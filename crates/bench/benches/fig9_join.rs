@@ -1,0 +1,46 @@
+//! E1 / Fig. 9 — join execution times.
+//!
+//! Measures the CPU cost of the three §6.3.1 cases on a zero-latency
+//! clock; the calibrated simulated wall-clock (the paper's 3 s / 4 s / 1 s
+//! shape) is printed by `cargo run --release --bin fig9_join_times`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use trust_vo_bench::workloads;
+use trust_vo_negotiation::Strategy;
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_join");
+
+    group.bench_function("join_without_tn", |b| {
+        b.iter(|| {
+            let mut s = workloads::scenario(workloads::free_clock());
+            black_box(workloads::join_without_tn(&mut s).expect("join succeeds"))
+        })
+    });
+
+    group.bench_function("join_with_tn", |b| {
+        b.iter(|| {
+            let mut s = workloads::scenario(workloads::free_clock());
+            black_box(workloads::join_with_tn(&mut s, Strategy::Standard).expect("join succeeds"))
+        })
+    });
+
+    group.bench_function("standalone_tn", |b| {
+        b.iter(|| {
+            let s = workloads::scenario(workloads::free_clock());
+            workloads::standalone_tn(&s, Strategy::Standard).expect("negotiation succeeds");
+        })
+    });
+
+    // Scenario construction is part of every iteration above; measure it
+    // alone so the join costs can be read net of setup.
+    group.bench_function("scenario_setup_only", |b| {
+        b.iter(|| black_box(workloads::scenario(workloads::free_clock())))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

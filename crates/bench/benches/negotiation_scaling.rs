@@ -1,0 +1,55 @@
+//! E4 — negotiation scaling: CPU cost vs. policy-chain depth and number
+//! of failing alternatives ("short and efficient negotiations", §1).
+//! Message/round counts for the same sweep are printed by
+//! `cargo run --release --bin negotiation_messages`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use trust_vo_bench::workloads;
+use trust_vo_negotiation::{negotiate, NegotiationConfig, Strategy};
+
+fn bench_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("negotiation_depth");
+    for depth in [1usize, 2, 4, 8, 12] {
+        let (requester, controller) = workloads::chain_parties(depth, 1);
+        let cfg = NegotiationConfig::new(Strategy::Standard, workloads::at());
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| black_box(negotiate(&requester, &controller, "Target", &cfg).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_alternatives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("negotiation_alternatives");
+    for alts in [1usize, 2, 4, 8] {
+        let (requester, controller) = workloads::chain_parties(4, alts);
+        let cfg = NegotiationConfig::new(Strategy::Standard, workloads::at());
+        group.bench_with_input(BenchmarkId::from_parameter(alts), &alts, |b, _| {
+            b.iter(|| black_box(negotiate(&requester, &controller, "Target", &cfg).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_phase_split(c: &mut Criterion) {
+    // Where does the time go: policy evaluation vs. credential exchange?
+    let mut group = c.benchmark_group("negotiation_phases");
+    let (requester, controller) = workloads::chain_parties(6, 2);
+    let cfg = NegotiationConfig::new(Strategy::Standard, workloads::at());
+    group.bench_function("policy_evaluation_only", |b| {
+        b.iter(|| {
+            black_box(
+                trust_vo_negotiation::evaluate_policies(&requester, &controller, "Target", &cfg)
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("both_phases", |b| {
+        b.iter(|| black_box(negotiate(&requester, &controller, "Target", &cfg).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_depth, bench_alternatives, bench_phase_split);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! E8 — operation-phase flows (§5.1): authorization TNs between members,
+//! membership renewal after expiry, and member replacement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use trust_vo_bench::workloads;
+use trust_vo_credential::RevocationList;
+use trust_vo_negotiation::Strategy;
+use trust_vo_vo::mailbox::MailboxSystem;
+use trust_vo_vo::operation::{authorize_operation, renew_membership, replace_member};
+use trust_vo_vo::reputation::ReputationLedger;
+use trust_vo_vo::scenario::{names, roles};
+
+fn bench_authorize(c: &mut Criterion) {
+    let mut s = workloads::scenario(workloads::free_clock());
+    let vo = s.form_vo(Strategy::Standard).unwrap();
+    let (_initiator, providers) = workloads::operation_world(&s);
+    c.bench_function("operation_authorize_flow_solution", |b| {
+        b.iter(|| {
+            let mut reputation = ReputationLedger::new();
+            black_box(
+                authorize_operation(
+                    &vo,
+                    &providers,
+                    names::CONSULTANCY,
+                    names::HPC,
+                    "FlowSolution",
+                    &mut reputation,
+                    &s.toolkit.clock,
+                    Strategy::Standard,
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_renew(c: &mut Criterion) {
+    c.bench_function("operation_renew_membership", |b| {
+        b.iter(|| {
+            let mut s = workloads::scenario(workloads::free_clock());
+            let mut vo = s.form_vo(Strategy::Standard).unwrap();
+            let (initiator, providers) = workloads::operation_world(&s);
+            black_box(
+                renew_membership(
+                    &mut vo,
+                    &initiator,
+                    &providers,
+                    names::AEROSPACE,
+                    &mut s.toolkit.mailboxes,
+                    &mut s.toolkit.reputation,
+                    &s.toolkit.clock,
+                    Strategy::Standard,
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_replace(c: &mut Criterion) {
+    c.bench_function("operation_replace_hpc_member", |b| {
+        b.iter(|| {
+            let mut s = workloads::scenario(workloads::free_clock());
+            let mut vo = s.form_vo(Strategy::Standard).unwrap();
+            let (initiator, providers) = workloads::operation_world(&s);
+            let mut crl = RevocationList::new();
+            let mut mailboxes = MailboxSystem::new();
+            let mut reputation = ReputationLedger::new();
+            black_box(
+                replace_member(
+                    &mut vo,
+                    &initiator,
+                    &providers,
+                    &s.toolkit.registry,
+                    roles::HPC,
+                    &mut crl,
+                    &mut mailboxes,
+                    &mut reputation,
+                    &s.toolkit.clock,
+                    Strategy::Standard,
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_authorize, bench_renew, bench_replace);
+criterion_main!(benches);

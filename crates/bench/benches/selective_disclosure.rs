@@ -1,0 +1,87 @@
+//! E7 — the §6.3 selective-disclosure extension: overhead of
+//! hash-commitment certificates vs. plain X.509v2 attribute certificates,
+//! as the attribute count grows. ("We are exploring the robustness and
+//! computational complexity of this approach.")
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use trust_vo_bench::workloads;
+use trust_vo_credential::selective::SelectiveIssuance;
+use trust_vo_credential::x509::AttributeCertificate;
+use trust_vo_credential::{TimeRange, Timestamp};
+use trust_vo_crypto::KeyPair;
+
+fn window() -> TimeRange {
+    TimeRange::one_year_from(Timestamp::parse_iso("2009-10-26T21:32:52").unwrap())
+}
+
+fn bench_plain_x509(c: &mut Criterion) {
+    let issuer = KeyPair::from_seed(b"issuer");
+    let holder = KeyPair::from_seed(b"holder");
+    let mut group = c.benchmark_group("x509_issue_verify");
+    for n in [1usize, 4, 16, 64] {
+        let attrs = workloads::wide_attributes(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let cert = AttributeCertificate::issue(
+                    1, "holder", holder.public, "issuer", &issuer, window(), attrs.clone(),
+                );
+                cert.verify(workloads::at(), None).unwrap();
+                black_box(cert)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_selective(c: &mut Criterion) {
+    let issuer = KeyPair::from_seed(b"issuer");
+    let holder = KeyPair::from_seed(b"holder");
+    let mut group = c.benchmark_group("selective_issue_disclose_verify");
+    for n in [1usize, 4, 16, 64] {
+        let attrs = workloads::wide_attributes(n);
+        // Reveal half the attributes.
+        let reveal: Vec<&str> = attrs.iter().take(n / 2 + 1).map(|(k, _)| k.as_str()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let issuance = SelectiveIssuance::issue(
+                    1, "holder", holder.public, "issuer", &issuer, window(), &attrs,
+                );
+                let view = issuance.disclose(&reveal).unwrap();
+                view.verify(workloads::at(), None).unwrap();
+                black_box(view)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_verify_only(c: &mut Criterion) {
+    // Receiver-side comparison at a fixed width.
+    let issuer = KeyPair::from_seed(b"issuer");
+    let holder = KeyPair::from_seed(b"holder");
+    let attrs = workloads::wide_attributes(16);
+    let plain =
+        AttributeCertificate::issue(1, "holder", holder.public, "issuer", &issuer, window(), attrs.clone());
+    let issuance =
+        SelectiveIssuance::issue(1, "holder", holder.public, "issuer", &issuer, window(), &attrs);
+    let reveal: Vec<&str> = attrs.iter().take(8).map(|(k, _)| k.as_str()).collect();
+    let view = issuance.disclose(&reveal).unwrap();
+    let mut group = c.benchmark_group("verify_only_16_attrs");
+    group.bench_function("plain_x509", |b| {
+        b.iter(|| {
+            plain.verify(workloads::at(), None).unwrap();
+            black_box(())
+        })
+    });
+    group.bench_function("selective_half_disclosed", |b| {
+        b.iter(|| {
+            view.verify(workloads::at(), None).unwrap();
+            black_box(())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_plain_x509, bench_selective, bench_verify_only);
+criterion_main!(benches);

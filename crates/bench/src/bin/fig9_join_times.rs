@@ -1,0 +1,81 @@
+//! E1 / Fig. 9 — regenerate the paper's join-execution-time figure.
+//!
+//! The paper reports (on a P4 2 GHz, Tomcat + Axis + Oracle):
+//! join ≈ 3 s, join with trust negotiation ≈ 4 s (a ~27–33 % increase),
+//! standalone trust negotiation ≈ 1 s. We reproduce the *shape* on the
+//! calibrated sim-clock and report the real CPU time alongside.
+
+use std::time::Instant;
+use trust_vo_bench::report::Report;
+use trust_vo_bench::workloads;
+use trust_vo_negotiation::Strategy;
+
+fn main() {
+    let mut report = Report::new(
+        "E1/Fig9",
+        "Join execution times (Aircraft Optimization VO, Design Partner Web Portal joining)",
+        &["case", "sim wall-clock (s)", "paper (s)", "cpu (ms)"],
+    );
+
+    // (a) Join with trust negotiation. The clock is reset after scenario
+    // construction so only the join process itself is measured.
+    let mut s = workloads::scenario(workloads::paper_clock());
+    s.toolkit.clock.reset();
+    let cpu = Instant::now();
+    workloads::join_with_tn(&mut s, Strategy::Standard).expect("join succeeds");
+    let cpu_with = cpu.elapsed();
+    let sim_with = s.toolkit.clock.elapsed();
+
+    // (b) Join without trust negotiation.
+    let mut s = workloads::scenario(workloads::paper_clock());
+    s.toolkit.clock.reset();
+    let cpu = Instant::now();
+    workloads::join_without_tn(&mut s).expect("join succeeds");
+    let cpu_without = cpu.elapsed();
+    let sim_without = s.toolkit.clock.elapsed();
+
+    // (c) Standalone trust negotiation from the TN service.
+    let s = workloads::scenario(workloads::paper_clock());
+    s.toolkit.clock.reset();
+    let cpu = Instant::now();
+    workloads::standalone_tn(&s, Strategy::Standard).expect("negotiation succeeds");
+    let cpu_tn = cpu.elapsed();
+    let sim_tn = s.toolkit.clock.elapsed();
+
+    report.row(
+        "Join with trust negotiation",
+        &[
+            format!("{:.2}", sim_with.as_secs_f64()),
+            "~4".into(),
+            format!("{:.3}", cpu_with.as_secs_f64() * 1e3),
+        ],
+    );
+    report.row(
+        "Join",
+        &[
+            format!("{:.2}", sim_without.as_secs_f64()),
+            "~3".into(),
+            format!("{:.3}", cpu_without.as_secs_f64() * 1e3),
+        ],
+    );
+    report.row(
+        "Trust negotiation",
+        &[
+            format!("{:.2}", sim_tn.as_secs_f64()),
+            "~1".into(),
+            format!("{:.3}", cpu_tn.as_secs_f64() * 1e3),
+        ],
+    );
+    let overhead = (sim_with.as_secs_f64() / sim_without.as_secs_f64() - 1.0) * 100.0;
+    report.note(&format!(
+        "TN adds {overhead:.0}% to the join (paper: ~27-33%); sim wall-clock uses \
+         the CostModel::paper_testbed() latencies (DESIGN.md §3)"
+    ));
+    report.print();
+
+    // Shape assertions: fail loudly if the reproduction drifts.
+    assert!(sim_with > sim_without, "join with TN must cost more");
+    assert!(sim_tn < sim_without, "standalone TN must be cheaper than the join");
+    let ratio = sim_with.as_secs_f64() / sim_without.as_secs_f64();
+    assert!((1.1..=1.7).contains(&ratio), "overhead ratio {ratio} outside the paper's shape");
+}

@@ -1,0 +1,54 @@
+//! E4 — message/round counts vs. policy-graph size ("trust negotiations
+//! help in determining and verifying with a relatively small number of
+//! messages…", §1).
+
+use trust_vo_bench::report::Report;
+use trust_vo_bench::workloads;
+use trust_vo_negotiation::{negotiate, NegotiationConfig, Strategy};
+
+fn main() {
+    let mut report = Report::new(
+        "E4",
+        "Negotiation cost vs. policy chain depth (standard strategy)",
+        &["depth", "messages", "policy rounds", "policies", "credentials", "views"],
+    );
+    for depth in [1usize, 2, 4, 6, 8, 12] {
+        let (requester, controller) = workloads::chain_parties(depth, 2);
+        let cfg = NegotiationConfig::new(Strategy::Standard, workloads::at());
+        let outcome = negotiate(&requester, &controller, "Target", &cfg).expect("satisfiable");
+        let views =
+            trust_vo_negotiation::count_views(&requester, &controller, "Target", &cfg, 1000);
+        report.row(
+            &depth.to_string(),
+            &[
+                outcome.transcript.message_count().to_string(),
+                outcome.transcript.policy_rounds.to_string(),
+                outcome.transcript.policies_disclosed.to_string(),
+                outcome.transcript.credentials_disclosed.to_string(),
+                views.to_string(),
+            ],
+        );
+    }
+    report.note("message count grows linearly with depth — the paper's 'small number of messages' claim");
+    report.print();
+
+    let mut report = Report::new(
+        "E4b",
+        "Negotiation cost vs. failing alternatives per level (depth 4)",
+        &["alternatives", "messages", "failed branches", "policies disclosed"],
+    );
+    for alts in [1usize, 2, 4, 8] {
+        let (requester, controller) = workloads::chain_parties(4, alts);
+        let cfg = NegotiationConfig::new(Strategy::Standard, workloads::at());
+        let outcome = negotiate(&requester, &controller, "Target", &cfg).expect("satisfiable");
+        report.row(
+            &alts.to_string(),
+            &[
+                outcome.transcript.message_count().to_string(),
+                outcome.transcript.failed_alternatives.to_string(),
+                outcome.transcript.policies_disclosed.to_string(),
+            ],
+        );
+    }
+    report.print();
+}

@@ -1,0 +1,85 @@
+//! E8 — operation-phase re-negotiation table (§5.1): authorization TNs,
+//! membership renewal, and member replacement on the calibrated clock.
+
+use trust_vo_bench::report::Report;
+use trust_vo_bench::workloads;
+use trust_vo_credential::RevocationList;
+use trust_vo_negotiation::Strategy;
+use trust_vo_soa::simclock::SimDuration;
+use trust_vo_vo::mailbox::MailboxSystem;
+use trust_vo_vo::operation::{authorize_operation, renew_membership, replace_member};
+use trust_vo_vo::reputation::ReputationLedger;
+use trust_vo_vo::scenario::{names, roles};
+
+fn main() {
+    let mut report = Report::new(
+        "E8",
+        "Operation-phase trust negotiation costs (simulated wall-clock)",
+        &["flow", "sim (s)"],
+    );
+
+    // Authorization between two members (consultancy asks HPC for a flow
+    // solution; the §5 privacy-regulator exchange runs underneath).
+    let mut s = workloads::scenario(workloads::paper_clock());
+    let vo = s.form_vo(Strategy::Standard).expect("formation succeeds");
+    let formation_cost = s.toolkit.clock.elapsed();
+    let (initiator, providers) = workloads::operation_world(&s);
+
+    let before = s.toolkit.clock.elapsed();
+    let mut reputation = ReputationLedger::new();
+    authorize_operation(
+        &vo,
+        &providers,
+        names::CONSULTANCY,
+        names::HPC,
+        "FlowSolution",
+        &mut reputation,
+        &s.toolkit.clock,
+        Strategy::Standard,
+    )
+    .expect("authorization succeeds");
+    let auth_cost = SimDuration(s.toolkit.clock.elapsed().0 - before.0);
+
+    // Membership renewal after expiry.
+    let mut vo2 = vo.clone();
+    let before = s.toolkit.clock.elapsed();
+    renew_membership(
+        &mut vo2,
+        &initiator,
+        &providers,
+        names::AEROSPACE,
+        &mut s.toolkit.mailboxes,
+        &mut s.toolkit.reputation,
+        &s.toolkit.clock,
+        Strategy::Standard,
+    )
+    .expect("renewal succeeds");
+    let renew_cost = SimDuration(s.toolkit.clock.elapsed().0 - before.0);
+
+    // Member replacement (HPC reputation dropped; backup takes over).
+    let mut vo3 = vo.clone();
+    let mut crl = RevocationList::new();
+    let before = s.toolkit.clock.elapsed();
+    let record = replace_member(
+        &mut vo3,
+        &initiator,
+        &providers,
+        &s.toolkit.registry,
+        roles::HPC,
+        &mut crl,
+        &mut MailboxSystem::new(),
+        &mut ReputationLedger::new(),
+        &s.toolkit.clock,
+        Strategy::Standard,
+    )
+    .expect("replacement succeeds");
+    let replace_cost = SimDuration(s.toolkit.clock.elapsed().0 - before.0);
+    assert_eq!(record.provider, names::HPC_BACKUP);
+
+    report.row("full 4-role formation", &[format!("{:.2}", formation_cost.as_secs_f64())]);
+    report.row("authorization TN (FlowSolution)", &[format!("{:.2}", auth_cost.as_secs_f64())]);
+    report.row("membership renewal", &[format!("{:.2}", renew_cost.as_secs_f64())]);
+    report.row("member replacement", &[format!("{:.2}", replace_cost.as_secs_f64())]);
+    report.note("authorization TNs grant permissions, not credentials (§5.1); renewal/replacement rerun the formation join");
+    report.print();
+}

@@ -1,0 +1,65 @@
+//! E7 — selective-disclosure overhead table (the §6.3 extension).
+
+use std::time::Instant;
+use trust_vo_bench::report::Report;
+use trust_vo_bench::workloads;
+use trust_vo_credential::selective::SelectiveIssuance;
+use trust_vo_credential::x509::AttributeCertificate;
+use trust_vo_credential::{TimeRange, Timestamp};
+use trust_vo_crypto::KeyPair;
+
+fn timed<R>(f: impl Fn() -> R, iters: u32) -> (R, f64) {
+    let started = Instant::now();
+    let mut last = None;
+    for _ in 0..iters {
+        last = Some(f());
+    }
+    (last.expect("iters > 0"), started.elapsed().as_secs_f64() * 1e6 / f64::from(iters))
+}
+
+fn main() {
+    let issuer = KeyPair::from_seed(b"issuer");
+    let holder = KeyPair::from_seed(b"holder");
+    let window = TimeRange::one_year_from(Timestamp::parse_iso("2009-10-26T21:32:52").unwrap());
+    let at = workloads::at();
+    const ITERS: u32 = 200;
+
+    let mut report = Report::new(
+        "E7",
+        "Selective disclosure (hash commitments) vs. plain X.509v2",
+        &["attributes", "x509 issue+verify (us)", "selective issue+verify (us)", "overhead"],
+    );
+    for n in [1usize, 4, 16, 64, 256] {
+        let attrs = workloads::wide_attributes(n);
+        let reveal: Vec<&str> = attrs.iter().take(n / 2 + 1).map(|(k, _)| k.as_str()).collect();
+        let (_, plain_us) = timed(
+            || {
+                let cert = AttributeCertificate::issue(
+                    1, "holder", holder.public, "issuer", &issuer, window, attrs.clone(),
+                );
+                cert.verify(at, None).unwrap();
+            },
+            ITERS,
+        );
+        let (_, sel_us) = timed(
+            || {
+                let issuance = SelectiveIssuance::issue(
+                    1, "holder", holder.public, "issuer", &issuer, window, &attrs,
+                );
+                let view = issuance.disclose(&reveal).unwrap();
+                view.verify(at, None).unwrap();
+            },
+            ITERS,
+        );
+        report.row(
+            &n.to_string(),
+            &[
+                format!("{plain_us:.1}"),
+                format!("{sel_us:.1}"),
+                format!("{:.2}x", sel_us / plain_us),
+            ],
+        );
+    }
+    report.note("selective adds one commitment per attribute at issue time and one hash per revealed attribute at verify time");
+    report.print();
+}

@@ -1,0 +1,123 @@
+//! Table-shaped experiment reporting.
+//!
+//! The harness binaries print paper-style tables to stdout and emit a
+//! machine-readable JSON record so `EXPERIMENTS.md` stays auditable.
+
+use serde::Serialize;
+
+/// One row of an experiment table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Row label (e.g. "Join with trust negotiation").
+    pub label: String,
+    /// Column values, formatted.
+    pub values: Vec<String>,
+}
+
+/// A full experiment report.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// Experiment id from DESIGN.md §3 (e.g. "E1/Fig9").
+    pub experiment: String,
+    /// What is being shown.
+    pub title: String,
+    /// Column headers (first column is the row label).
+    pub columns: Vec<String>,
+    /// The rows.
+    pub rows: Vec<Row>,
+    /// Free-form notes (calibration caveats etc.).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Start a report.
+    pub fn new(experiment: &str, title: &str, columns: &[&str]) -> Self {
+        Report {
+            experiment: experiment.to_owned(),
+            title: title.to_owned(),
+            columns: columns.iter().map(|c| (*c).to_owned()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Add a row.
+    pub fn row(&mut self, label: &str, values: &[String]) {
+        self.rows.push(Row { label: label.to_owned(), values: values.to_vec() });
+    }
+
+    /// Add a note.
+    pub fn note(&mut self, text: &str) {
+        self.notes.push(text.to_owned());
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            widths[0] = widths[0].max(row.label.len());
+            for (i, v) in row.values.iter().enumerate() {
+                if i + 1 < widths.len() {
+                    widths[i + 1] = widths[i + 1].max(v.len());
+                }
+            }
+        }
+        let mut out = format!("== {} — {} ==\n", self.experiment, self.title);
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
+            .collect();
+        out.push_str(&header.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            let mut cells = vec![format!("{:w$}", row.label, w = widths[0])];
+            for (i, v) in row.values.iter().enumerate() {
+                cells.push(format!("{:w$}", v, w = widths.get(i + 1).copied().unwrap_or(0)));
+            }
+            out.push_str(&cells.join("  "));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("note: {note}\n"));
+        }
+        out
+    }
+
+    /// Print the table and the JSON record.
+    pub fn print(&self) {
+        println!("{}", self.render());
+        println!(
+            "json: {}",
+            serde_json::to_string(self).expect("report serializes")
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut r = Report::new("E1/Fig9", "Join execution times", &["case", "sim (s)"]);
+        r.row("Join", &["2.97".into()]);
+        r.row("Join with trust negotiation", &["3.95".into()]);
+        r.note("calibrated to the paper testbed");
+        let text = r.render();
+        assert!(text.contains("E1/Fig9"));
+        assert!(text.contains("Join with trust negotiation  3.95"));
+        assert!(text.contains("note: calibrated"));
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let mut r = Report::new("E5", "mapping", &["n", "us"]);
+        r.row("exact", &["1.2".into()]);
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"experiment\":\"E5\""));
+    }
+}

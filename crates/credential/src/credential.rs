@@ -1,0 +1,412 @@
+//! The X-TNL credential: `<header>`, `<content>`, `<signature>`.
+//!
+//! Mirrors the paper's Example 1 (§6.2): the header carries the credential
+//! type, issuer, and validity window; the content carries the typed
+//! attributes; the signature is the issuer's signature "on the whole
+//! credential encoded in base64". Signing is performed over the canonical
+//! compact XML of the credential *without* its `<signature>` element, so
+//! any mutation of header or content invalidates the credential.
+
+use crate::attribute::{AttrValue, Attribute};
+use crate::error::CredentialError;
+use crate::revocation::RevocationList;
+use crate::time::{TimeRange, Timestamp};
+use trust_vo_crypto::{base64, hex, KeyPair, PublicKey, Signature};
+use trust_vo_xmldoc::{Element, Node};
+
+/// A unique credential identifier assigned by the issuing authority.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CredentialId(pub String);
+
+impl std::fmt::Display for CredentialId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for CredentialId {
+    fn from(s: &str) -> Self {
+        CredentialId(s.to_owned())
+    }
+}
+
+/// The credential header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Header {
+    /// Unique id assigned at issuance.
+    pub cred_id: CredentialId,
+    /// The credential type name (`<credType>`).
+    pub cred_type: String,
+    /// Issuer display name (`<issuer>`).
+    pub issuer: String,
+    /// Issuer verification key.
+    pub issuer_key: PublicKey,
+    /// Subject (owner) display name.
+    pub subject: String,
+    /// Subject key, used to authenticate ownership at exchange time.
+    pub subject_key: PublicKey,
+    /// Validity window (`<expiration_Date>` pair in the paper's format).
+    pub validity: TimeRange,
+}
+
+/// A signed X-TNL credential.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Credential {
+    /// The header.
+    pub header: Header,
+    /// The typed attributes (`<content>`).
+    pub content: Vec<Attribute>,
+    /// Issuer signature over the canonical unsigned encoding.
+    pub signature: Signature,
+}
+
+impl Credential {
+    /// Sign `header` + `content` with the issuer key pair, producing a
+    /// complete credential. (Authorities call this; see
+    /// [`crate::authority::CredentialAuthority::issue`].)
+    pub fn issue_signed(header: Header, content: Vec<Attribute>, issuer: &KeyPair) -> Self {
+        let bytes = signing_bytes(&header, &content);
+        let signature = issuer.sign(&bytes);
+        Credential { header, content, signature }
+    }
+
+    /// Look up an attribute value by name.
+    pub fn attr(&self, name: &str) -> Option<&AttrValue> {
+        self.content.iter().find(|a| a.name == name).map(|a| &a.value)
+    }
+
+    /// The credential id.
+    pub fn id(&self) -> &CredentialId {
+        &self.header.cred_id
+    }
+
+    /// The credential type name.
+    pub fn cred_type(&self) -> &str {
+        &self.header.cred_type
+    }
+
+    /// Verify the issuer signature only.
+    pub fn verify_signature(&self) -> Result<(), CredentialError> {
+        let bytes = signing_bytes(&self.header, &self.content);
+        if self.header.issuer_key.verify(&bytes, &self.signature) {
+            Ok(())
+        } else {
+            Err(CredentialError::BadSignature { cred_id: self.header.cred_id.0.clone() })
+        }
+    }
+
+    /// The full exchange-time check the paper describes (§4.2): signature,
+    /// validity dates, and revocation status.
+    pub fn verify(&self, at: Timestamp, crl: Option<&RevocationList>) -> Result<(), CredentialError> {
+        self.verify_signature()?;
+        if !self.header.validity.contains(at) {
+            return Err(CredentialError::Expired { cred_id: self.header.cred_id.0.clone(), at });
+        }
+        if let Some(crl) = crl {
+            if crl.is_revoked(&self.header.cred_id) {
+                return Err(CredentialError::Revoked { cred_id: self.header.cred_id.0.clone() });
+            }
+        }
+        Ok(())
+    }
+
+    /// Produce an ownership proof: the holder signs `nonce` with the
+    /// subject key. The verifier calls [`Credential::authenticate_ownership`].
+    pub fn prove_ownership(subject_keys: &KeyPair, nonce: &[u8]) -> Signature {
+        subject_keys.sign(nonce)
+    }
+
+    /// Authenticate ownership: does `proof` show possession of this
+    /// credential's subject key for the given `nonce`?
+    pub fn authenticate_ownership(&self, nonce: &[u8], proof: &Signature) -> Result<(), CredentialError> {
+        if self.header.subject_key.verify(nonce, proof) {
+            Ok(())
+        } else {
+            Err(CredentialError::NotOwner { cred_id: self.header.cred_id.0.clone() })
+        }
+    }
+
+    /// Canonical XML encoding (includes the signature).
+    pub fn to_xml(&self) -> Element {
+        let mut root = unsigned_xml(&self.header, &self.content);
+        let sig_text = encode_signature(&self.signature);
+        root.children.push(Node::Element(Element::new("signature").text(sig_text)));
+        root
+    }
+
+    /// Parse a credential from its XML encoding. Verifies structure only —
+    /// call [`Credential::verify`] for the cryptographic checks.
+    pub fn from_xml(root: &Element) -> Result<Self, CredentialError> {
+        if root.name != "credential" {
+            return Err(CredentialError::Malformed(format!(
+                "expected <credential>, found <{}>",
+                root.name
+            )));
+        }
+        let cred_id = root
+            .get_attr("credID")
+            .ok_or_else(|| CredentialError::Malformed("missing credID attribute".into()))?;
+        let header_el = root
+            .first("header")
+            .ok_or_else(|| CredentialError::Malformed("missing <header>".into()))?;
+        let cred_type = header_el
+            .child_text("credType")
+            .ok_or_else(|| CredentialError::Malformed("missing <credType>".into()))?;
+        let issuer_el = header_el
+            .first("issuer")
+            .ok_or_else(|| CredentialError::Malformed("missing <issuer>".into()))?;
+        let subject_el = header_el
+            .first("subject")
+            .ok_or_else(|| CredentialError::Malformed("missing <subject>".into()))?;
+        let validity_el = header_el
+            .first("validity")
+            .ok_or_else(|| CredentialError::Malformed("missing <validity>".into()))?;
+        let parse_key = |e: &Element, what: &str| -> Result<PublicKey, CredentialError> {
+            let hex_key = e
+                .get_attr("key")
+                .ok_or_else(|| CredentialError::Malformed(format!("{what} missing key attr")))?;
+            let bytes = hex::decode(hex_key)
+                .filter(|b| b.len() == 8)
+                .ok_or_else(|| CredentialError::Malformed(format!("{what} key is not 8 hex bytes")))?;
+            let mut raw = [0u8; 8];
+            raw.copy_from_slice(&bytes);
+            Ok(PublicKey(u64::from_be_bytes(raw)))
+        };
+        let parse_ts = |attr: &str| -> Result<Timestamp, CredentialError> {
+            let text = validity_el
+                .get_attr(attr)
+                .ok_or_else(|| CredentialError::Malformed(format!("validity missing '{attr}'")))?;
+            Timestamp::parse_iso(text)
+                .ok_or_else(|| CredentialError::Malformed(format!("bad timestamp '{text}'")))
+        };
+        let not_before = parse_ts("from")?;
+        let not_after = parse_ts("to")?;
+        if not_before > not_after {
+            return Err(CredentialError::Malformed("inverted validity window".into()));
+        }
+        let header = Header {
+            cred_id: CredentialId(cred_id.to_owned()),
+            cred_type,
+            issuer: issuer_el.text_content(),
+            issuer_key: parse_key(issuer_el, "issuer")?,
+            subject: subject_el.text_content(),
+            subject_key: parse_key(subject_el, "subject")?,
+            validity: TimeRange { not_before, not_after },
+        };
+        let content_el = root
+            .first("content")
+            .ok_or_else(|| CredentialError::Malformed("missing <content>".into()))?;
+        let mut content = Vec::new();
+        for attr_el in content_el.elements() {
+            let tag = attr_el.get_attr("type").unwrap_or("string");
+            let value = AttrValue::from_tagged(tag, &attr_el.text_content()).ok_or_else(|| {
+                CredentialError::Malformed(format!(
+                    "attribute '{}' has invalid {tag} value",
+                    attr_el.name
+                ))
+            })?;
+            content.push(Attribute { name: attr_el.name.clone(), value });
+        }
+        let sig_text = root
+            .child_text("signature")
+            .ok_or_else(|| CredentialError::Malformed("missing <signature>".into()))?;
+        let signature = decode_signature(&sig_text)
+            .ok_or_else(|| CredentialError::Malformed("undecodable signature".into()))?;
+        Ok(Credential { header, content, signature })
+    }
+}
+
+/// The canonical unsigned encoding (signature element omitted).
+fn unsigned_xml(header: &Header, content: &[Attribute]) -> Element {
+    let header_el = Element::new("header")
+        .child(Element::new("credType").text(&header.cred_type))
+        .child(
+            Element::new("issuer")
+                .attr("key", hex::encode(&header.issuer_key.0.to_be_bytes()))
+                .text(&header.issuer),
+        )
+        .child(
+            Element::new("subject")
+                .attr("key", hex::encode(&header.subject_key.0.to_be_bytes()))
+                .text(&header.subject),
+        )
+        .child(
+            Element::new("validity")
+                .attr("from", header.validity.not_before.to_iso())
+                .attr("to", header.validity.not_after.to_iso()),
+        );
+    let mut content_el = Element::new("content");
+    for attr in content {
+        content_el.children.push(Node::Element(
+            Element::new(&attr.name)
+                .attr("type", attr.value.type_tag())
+                .text(attr.value.canonical()),
+        ));
+    }
+    Element::new("credential")
+        .attr("credID", &header.cred_id.0)
+        .child(header_el)
+        .child(content_el)
+}
+
+/// The byte string issuers sign.
+pub fn signing_bytes(header: &Header, content: &[Attribute]) -> Vec<u8> {
+    trust_vo_xmldoc::to_string(&unsigned_xml(header, content)).into_bytes()
+}
+
+fn encode_signature(sig: &Signature) -> String {
+    let mut bytes = Vec::with_capacity(16);
+    bytes.extend_from_slice(&sig.r.to_be_bytes());
+    bytes.extend_from_slice(&sig.s.to_be_bytes());
+    base64::encode(&bytes)
+}
+
+fn decode_signature(text: &str) -> Option<Signature> {
+    let bytes = base64::decode(text.trim()).ok()?;
+    if bytes.len() != 16 {
+        return None;
+    }
+    let mut r = [0u8; 8];
+    let mut s = [0u8; 8];
+    r.copy_from_slice(&bytes[..8]);
+    s.copy_from_slice(&bytes[8..]);
+    Some(Signature { r: u64::from_be_bytes(r), s: u64::from_be_bytes(s) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::TimeRange;
+
+    fn issuer_keys() -> KeyPair {
+        KeyPair::from_seed(b"INFN")
+    }
+
+    fn subject_keys() -> KeyPair {
+        KeyPair::from_seed(b"AerospaceCo")
+    }
+
+    fn sample(issuer: &KeyPair, subject: &KeyPair) -> Credential {
+        let header = Header {
+            cred_id: CredentialId("cred-0001".into()),
+            cred_type: "ISO9000Certified".into(),
+            issuer: "INFN".into(),
+            issuer_key: issuer.public,
+            subject: "Aerospace Company".into(),
+            subject_key: subject.public,
+            validity: TimeRange::one_year_from(Timestamp::parse_iso("2009-10-26T21:32:52").unwrap()),
+        };
+        Credential::issue_signed(
+            header,
+            vec![Attribute::new("QualityRegulation", "UNI EN ISO 9000")],
+            issuer,
+        )
+    }
+
+    #[test]
+    fn issue_and_verify() {
+        let cred = sample(&issuer_keys(), &subject_keys());
+        let inside = Timestamp::parse_iso("2010-01-01T00:00:00").unwrap();
+        assert!(cred.verify(inside, None).is_ok());
+    }
+
+    #[test]
+    fn expired_rejected() {
+        let cred = sample(&issuer_keys(), &subject_keys());
+        let late = Timestamp::parse_iso("2011-01-01T00:00:00").unwrap();
+        assert!(matches!(cred.verify(late, None), Err(CredentialError::Expired { .. })));
+        let early = Timestamp::parse_iso("2009-01-01T00:00:00").unwrap();
+        assert!(matches!(cred.verify(early, None), Err(CredentialError::Expired { .. })));
+    }
+
+    #[test]
+    fn revoked_rejected() {
+        let cred = sample(&issuer_keys(), &subject_keys());
+        let mut crl = RevocationList::default();
+        crl.revoke(cred.id().clone(), Timestamp(0));
+        let at = Timestamp::parse_iso("2010-01-01T00:00:00").unwrap();
+        assert!(matches!(cred.verify(at, Some(&crl)), Err(CredentialError::Revoked { .. })));
+    }
+
+    #[test]
+    fn tampered_content_rejected() {
+        let mut cred = sample(&issuer_keys(), &subject_keys());
+        cred.content[0].value = AttrValue::Str("FORGED".into());
+        assert!(matches!(cred.verify_signature(), Err(CredentialError::BadSignature { .. })));
+    }
+
+    #[test]
+    fn tampered_header_rejected() {
+        let mut cred = sample(&issuer_keys(), &subject_keys());
+        cred.header.cred_type = "PlatinumCertified".into();
+        assert!(cred.verify_signature().is_err());
+    }
+
+    #[test]
+    fn ownership_proof() {
+        let subject = subject_keys();
+        let cred = sample(&issuer_keys(), &subject);
+        let nonce = b"negotiation-42-nonce";
+        let proof = Credential::prove_ownership(&subject, nonce);
+        assert!(cred.authenticate_ownership(nonce, &proof).is_ok());
+        // A different party cannot prove ownership.
+        let thief = KeyPair::from_seed(b"thief");
+        let bad = Credential::prove_ownership(&thief, nonce);
+        assert!(matches!(
+            cred.authenticate_ownership(nonce, &bad),
+            Err(CredentialError::NotOwner { .. })
+        ));
+        // Replaying the proof for a different nonce fails.
+        assert!(cred.authenticate_ownership(b"other-nonce", &proof).is_err());
+    }
+
+    #[test]
+    fn xml_roundtrip_preserves_everything() {
+        let cred = sample(&issuer_keys(), &subject_keys());
+        let xml = cred.to_xml();
+        let text = trust_vo_xmldoc::to_string(&xml);
+        let parsed = trust_vo_xmldoc::parse(&text).unwrap();
+        let back = Credential::from_xml(&parsed).unwrap();
+        assert_eq!(back, cred);
+        // And it still verifies after the round trip.
+        assert!(back.verify_signature().is_ok());
+    }
+
+    #[test]
+    fn from_xml_rejects_malformed() {
+        let cred = sample(&issuer_keys(), &subject_keys());
+        let good = cred.to_xml();
+
+        // Wrong root name.
+        let mut bad = good.clone();
+        bad.name = "creds".into();
+        assert!(Credential::from_xml(&bad).is_err());
+
+        // Drop each mandatory child in turn.
+        for victim in ["header", "content", "signature"] {
+            let mut bad = good.clone();
+            bad.children.retain(|c| c.as_element().map(|e| e.name != victim).unwrap_or(true));
+            assert!(Credential::from_xml(&bad).is_err(), "dropping <{victim}>");
+        }
+    }
+
+    #[test]
+    fn xml_matches_paper_shape() {
+        let cred = sample(&issuer_keys(), &subject_keys());
+        let text = trust_vo_xmldoc::to_string_pretty(&cred.to_xml());
+        assert!(text.contains("<credential credID=\"cred-0001\">"));
+        assert!(text.contains("<credType>ISO9000Certified</credType>"));
+        assert!(text.contains("<QualityRegulation type=\"string\">UNI EN ISO 9000</QualityRegulation>"));
+        assert!(text.contains("<signature>"));
+    }
+
+    #[test]
+    fn attr_lookup() {
+        let cred = sample(&issuer_keys(), &subject_keys());
+        assert_eq!(
+            cred.attr("QualityRegulation"),
+            Some(&AttrValue::Str("UNI EN ISO 9000".into()))
+        );
+        assert_eq!(cred.attr("Missing"), None);
+    }
+}

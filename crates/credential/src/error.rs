@@ -1,0 +1,97 @@
+//! Error type for credential operations.
+
+use crate::time::Timestamp;
+
+/// Errors raised while issuing, encoding, or verifying credentials.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CredentialError {
+    /// Credential content does not match the type schema.
+    SchemaViolation {
+        /// The credential type whose schema was violated.
+        cred_type: String,
+        /// What went wrong.
+        detail: String,
+    },
+    /// The signature did not verify against the issuer key.
+    BadSignature {
+        /// The credential id.
+        cred_id: String,
+    },
+    /// The credential is outside its validity window.
+    Expired {
+        /// The credential id.
+        cred_id: String,
+        /// The instant at which validity was checked.
+        at: Timestamp,
+    },
+    /// The credential appears on a revocation list.
+    Revoked {
+        /// The credential id.
+        cred_id: String,
+    },
+    /// Ownership authentication failed (the presenter does not hold the
+    /// subject key).
+    NotOwner {
+        /// The credential id.
+        cred_id: String,
+    },
+    /// An XML document could not be interpreted as a credential.
+    Malformed(String),
+    /// A credential chain is broken (issuer of a link is not certified by
+    /// the previous link, or no trusted root is reached).
+    BrokenChain(String),
+    /// The issuer is not known/trusted in the current context.
+    UnknownIssuer(String),
+}
+
+impl std::fmt::Display for CredentialError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::SchemaViolation { cred_type, detail } => {
+                write!(f, "schema violation for credential type '{cred_type}': {detail}")
+            }
+            Self::BadSignature { cred_id } => {
+                write!(f, "signature verification failed for credential '{cred_id}'")
+            }
+            Self::Expired { cred_id, at } => {
+                write!(f, "credential '{cred_id}' is not valid at {at}")
+            }
+            Self::Revoked { cred_id } => write!(f, "credential '{cred_id}' has been revoked"),
+            Self::NotOwner { cred_id } => {
+                write!(f, "ownership authentication failed for credential '{cred_id}'")
+            }
+            Self::Malformed(detail) => write!(f, "malformed credential document: {detail}"),
+            Self::BrokenChain(detail) => write!(f, "broken credential chain: {detail}"),
+            Self::UnknownIssuer(name) => write!(f, "unknown or untrusted issuer '{name}'"),
+        }
+    }
+}
+
+impl std::error::Error for CredentialError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let cases: Vec<(CredentialError, &str)> = vec![
+            (
+                CredentialError::BadSignature { cred_id: "c1".into() },
+                "signature verification failed",
+            ),
+            (
+                CredentialError::Expired { cred_id: "c1".into(), at: Timestamp(0) },
+                "not valid at 1970-01-01T00:00:00",
+            ),
+            (CredentialError::Revoked { cred_id: "c1".into() }, "revoked"),
+            (CredentialError::NotOwner { cred_id: "c1".into() }, "ownership"),
+            (CredentialError::Malformed("no header".into()), "no header"),
+            (CredentialError::BrokenChain("gap".into()), "gap"),
+            (CredentialError::UnknownIssuer("X".into()), "untrusted issuer 'X'"),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+}

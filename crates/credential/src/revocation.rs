@@ -1,0 +1,133 @@
+//! Revocation lists.
+//!
+//! During the credential exchange phase the receiver "checks for
+//! revocation" (§4.2), and "if the failure is related to trust, for example
+//! a party uses a revoked certificate, the negotiation fails". Authorities
+//! publish a [`RevocationList`]; negotiation sessions consult the lists of
+//! the issuers they trust.
+
+use crate::credential::CredentialId;
+use crate::time::Timestamp;
+use std::collections::HashMap;
+
+/// A list of revoked credential ids with their revocation instants.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RevocationList {
+    entries: HashMap<CredentialId, Timestamp>,
+}
+
+impl RevocationList {
+    /// Create an empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Revoke a credential as of `at`. Re-revoking keeps the earliest instant.
+    pub fn revoke(&mut self, id: CredentialId, at: Timestamp) {
+        self.entries
+            .entry(id)
+            .and_modify(|t| {
+                if at < *t {
+                    *t = at;
+                }
+            })
+            .or_insert(at);
+    }
+
+    /// Is the credential revoked (at any time)?
+    pub fn is_revoked(&self, id: &CredentialId) -> bool {
+        self.entries.contains_key(id)
+    }
+
+    /// Was the credential already revoked at `at`?
+    pub fn is_revoked_at(&self, id: &CredentialId, at: Timestamp) -> bool {
+        self.entries.get(id).is_some_and(|&t| t <= at)
+    }
+
+    /// When was the credential revoked, if ever?
+    pub fn revoked_at(&self, id: &CredentialId) -> Option<Timestamp> {
+        self.entries.get(id).copied()
+    }
+
+    /// Remove a revocation (e.g. issued in error).
+    pub fn reinstate(&mut self, id: &CredentialId) -> bool {
+        self.entries.remove(id).is_some()
+    }
+
+    /// Number of revoked credentials.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is revoked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Merge another list into this one (earliest instants win).
+    pub fn merge(&mut self, other: &RevocationList) {
+        for (id, &at) in &other.entries {
+            self.revoke(id.clone(), at);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(s: &str) -> CredentialId {
+        CredentialId(s.to_owned())
+    }
+
+    #[test]
+    fn revoke_and_query() {
+        let mut crl = RevocationList::new();
+        assert!(!crl.is_revoked(&id("c1")));
+        crl.revoke(id("c1"), Timestamp(100));
+        assert!(crl.is_revoked(&id("c1")));
+        assert_eq!(crl.revoked_at(&id("c1")), Some(Timestamp(100)));
+        assert!(!crl.is_revoked(&id("c2")));
+    }
+
+    #[test]
+    fn revoked_at_respects_time() {
+        let mut crl = RevocationList::new();
+        crl.revoke(id("c1"), Timestamp(100));
+        assert!(!crl.is_revoked_at(&id("c1"), Timestamp(99)));
+        assert!(crl.is_revoked_at(&id("c1"), Timestamp(100)));
+        assert!(crl.is_revoked_at(&id("c1"), Timestamp(500)));
+    }
+
+    #[test]
+    fn rerevoking_keeps_earliest() {
+        let mut crl = RevocationList::new();
+        crl.revoke(id("c1"), Timestamp(100));
+        crl.revoke(id("c1"), Timestamp(200));
+        assert_eq!(crl.revoked_at(&id("c1")), Some(Timestamp(100)));
+        crl.revoke(id("c1"), Timestamp(50));
+        assert_eq!(crl.revoked_at(&id("c1")), Some(Timestamp(50)));
+    }
+
+    #[test]
+    fn reinstate() {
+        let mut crl = RevocationList::new();
+        crl.revoke(id("c1"), Timestamp(1));
+        assert!(crl.reinstate(&id("c1")));
+        assert!(!crl.is_revoked(&id("c1")));
+        assert!(!crl.reinstate(&id("c1")));
+    }
+
+    #[test]
+    fn merge_takes_earliest() {
+        let mut a = RevocationList::new();
+        a.revoke(id("c1"), Timestamp(10));
+        let mut b = RevocationList::new();
+        b.revoke(id("c1"), Timestamp(5));
+        b.revoke(id("c2"), Timestamp(7));
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.revoked_at(&id("c1")), Some(Timestamp(5)));
+        assert_eq!(a.revoked_at(&id("c2")), Some(Timestamp(7)));
+    }
+}

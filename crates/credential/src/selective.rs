@@ -1,0 +1,357 @@
+//! Selective attribute disclosure for attribute certificates.
+//!
+//! The paper's §6.3 identifies a drawback of X.509 v2 attribute
+//! certificates: "only the standard and trusting negotiation strategies can
+//! be adopted, because this standard does not support partial hiding of the
+//! credential contents", and sketches the fix this module implements:
+//!
+//! > "One solution would be to substitute the attributes in clear with
+//! > attributes whose content is the hash value of the concatenation of
+//! > attribute name and attribute value. The signature could be computed
+//! > over the whole hashed content."
+//!
+//! Concretely, each attribute is replaced by a **salted commitment**
+//! `H(name ‖ 0x00 ‖ value ‖ 0x00 ‖ salt)`; the issuer signs the TLV
+//! encoding of the committed certificate; the holder receives the salts
+//! (the *openings*) and can later reveal any subset of attributes. A
+//! verifier checks the issuer signature and, per disclosed attribute,
+//! recomputes the commitment. Withheld attributes leak only their count.
+
+use crate::error::CredentialError;
+use crate::revocation::RevocationList;
+use crate::time::{TimeRange, Timestamp};
+use trust_vo_crypto::sha256::Sha256;
+use trust_vo_crypto::{Digest, KeyPair, PublicKey, Signature};
+
+/// A committed (hidden) attribute inside a selective certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommittedAttr {
+    /// The commitment `H(name ‖ 0 ‖ value ‖ 0 ‖ salt)`.
+    pub commitment: Digest,
+}
+
+/// An attribute certificate whose attributes are salted commitments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectiveCertificate {
+    /// Serial number unique per issuer.
+    pub serial: u64,
+    /// Holder display name.
+    pub holder: String,
+    /// Holder public key.
+    pub holder_key: PublicKey,
+    /// Issuer display name.
+    pub issuer: String,
+    /// Issuer verification key.
+    pub issuer_key: PublicKey,
+    /// Validity window.
+    pub validity: TimeRange,
+    /// Commitments, in issuance order.
+    pub commitments: Vec<CommittedAttr>,
+    /// Issuer signature over all the above.
+    pub signature: Signature,
+}
+
+/// The opening of one commitment, kept by the holder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Opening {
+    /// Attribute name.
+    pub name: String,
+    /// Attribute value.
+    pub value: String,
+    /// The salt used in the commitment.
+    pub salt: [u8; 16],
+}
+
+/// What the holder receives at issuance: the certificate plus the openings.
+#[derive(Debug, Clone)]
+pub struct SelectiveIssuance {
+    /// The signed certificate (safe to transmit).
+    pub certificate: SelectiveCertificate,
+    /// The openings (held privately; disclosed selectively).
+    pub openings: Vec<Opening>,
+}
+
+/// A disclosure: the certificate plus the openings of a chosen subset.
+#[derive(Debug, Clone)]
+pub struct DisclosedView {
+    /// The certificate as issued.
+    pub certificate: SelectiveCertificate,
+    /// Openings for the revealed attributes only.
+    pub revealed: Vec<Opening>,
+}
+
+fn commit(name: &str, value: &str, salt: &[u8; 16]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(name.as_bytes());
+    h.update(&[0]);
+    h.update(value.as_bytes());
+    h.update(&[0]);
+    h.update(salt);
+    h.finalize()
+}
+
+fn tbs_bytes(cert: &SelectiveCertificate) -> Vec<u8> {
+    let mut out = Vec::with_capacity(96 + cert.commitments.len() * 33);
+    out.extend_from_slice(&cert.serial.to_be_bytes());
+    out.extend_from_slice(&(cert.holder.len() as u32).to_be_bytes());
+    out.extend_from_slice(cert.holder.as_bytes());
+    out.extend_from_slice(&cert.holder_key.0.to_be_bytes());
+    out.extend_from_slice(&(cert.issuer.len() as u32).to_be_bytes());
+    out.extend_from_slice(cert.issuer.as_bytes());
+    out.extend_from_slice(&cert.issuer_key.0.to_be_bytes());
+    out.extend_from_slice(&cert.validity.not_before.0.to_be_bytes());
+    out.extend_from_slice(&cert.validity.not_after.0.to_be_bytes());
+    for c in &cert.commitments {
+        out.extend_from_slice(&c.commitment);
+    }
+    out
+}
+
+impl SelectiveIssuance {
+    /// Issue a selective certificate over `attributes`. Salts are derived
+    /// deterministically from the issuer key, serial, and attribute —
+    /// unpredictable to outsiders, reproducible for tests.
+    pub fn issue(
+        serial: u64,
+        holder: impl Into<String>,
+        holder_key: PublicKey,
+        issuer: impl Into<String>,
+        issuer_keys: &KeyPair,
+        validity: TimeRange,
+        attributes: &[(String, String)],
+    ) -> Self {
+        let holder = holder.into();
+        let issuer = issuer.into();
+        let mut openings = Vec::with_capacity(attributes.len());
+        let mut commitments = Vec::with_capacity(attributes.len());
+        for (i, (name, value)) in attributes.iter().enumerate() {
+            let mut salt_input = Vec::new();
+            salt_input.extend_from_slice(&serial.to_be_bytes());
+            salt_input.extend_from_slice(&(i as u32).to_be_bytes());
+            salt_input.extend_from_slice(name.as_bytes());
+            let tag = issuer_keys.sign(&salt_input); // unpredictable without the issuer key
+            let digest = trust_vo_crypto::sha256(&[tag.r.to_be_bytes(), tag.s.to_be_bytes()].concat());
+            let mut salt = [0u8; 16];
+            salt.copy_from_slice(&digest[..16]);
+            commitments.push(CommittedAttr { commitment: commit(name, value, &salt) });
+            openings.push(Opening { name: name.clone(), value: value.clone(), salt });
+        }
+        let mut certificate = SelectiveCertificate {
+            serial,
+            holder,
+            holder_key,
+            issuer,
+            issuer_key: issuer_keys.public,
+            validity,
+            commitments,
+            signature: Signature { r: 0, s: 0 },
+        };
+        certificate.signature = issuer_keys.sign(&tbs_bytes(&certificate));
+        SelectiveIssuance { certificate, openings }
+    }
+
+    /// Build a disclosure revealing exactly the attributes named in `names`.
+    ///
+    /// Returns `None` if a requested name has no opening.
+    pub fn disclose(&self, names: &[&str]) -> Option<DisclosedView> {
+        let mut revealed = Vec::with_capacity(names.len());
+        for &name in names {
+            revealed.push(self.openings.iter().find(|o| o.name == name)?.clone());
+        }
+        Some(DisclosedView { certificate: self.certificate.clone(), revealed })
+    }
+}
+
+impl SelectiveCertificate {
+    /// A stable identifier for revocation purposes.
+    pub fn revocation_id(&self) -> crate::credential::CredentialId {
+        crate::credential::CredentialId(format!("sel:{}:{}", self.issuer, self.serial))
+    }
+
+    /// Verify the issuer signature over the committed content.
+    pub fn verify_signature(&self) -> Result<(), CredentialError> {
+        if self.issuer_key.verify(&tbs_bytes(self), &self.signature) {
+            Ok(())
+        } else {
+            Err(CredentialError::BadSignature { cred_id: self.revocation_id().0 })
+        }
+    }
+}
+
+impl DisclosedView {
+    /// Verify the disclosure: issuer signature, validity, revocation, and
+    /// every revealed opening against some commitment in the certificate.
+    pub fn verify(&self, at: Timestamp, crl: Option<&RevocationList>) -> Result<(), CredentialError> {
+        self.certificate.verify_signature()?;
+        if !self.certificate.validity.contains(at) {
+            return Err(CredentialError::Expired {
+                cred_id: self.certificate.revocation_id().0,
+                at,
+            });
+        }
+        if let Some(crl) = crl {
+            if crl.is_revoked(&self.certificate.revocation_id()) {
+                return Err(CredentialError::Revoked {
+                    cred_id: self.certificate.revocation_id().0,
+                });
+            }
+        }
+        for opening in &self.revealed {
+            let expect = commit(&opening.name, &opening.value, &opening.salt);
+            if !self
+                .certificate
+                .commitments
+                .iter()
+                .any(|c| c.commitment == expect)
+            {
+                return Err(CredentialError::Malformed(format!(
+                    "opening for '{}' does not match any commitment",
+                    opening.name
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The revealed value of an attribute, if it was disclosed.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.revealed
+            .iter()
+            .find(|o| o.name == name)
+            .map(|o| o.value.as_str())
+    }
+
+    /// Serialize the wire form and confirm no withheld value leaks into it.
+    /// Exposed for the privacy property tests.
+    pub fn wire_bytes(&self) -> Vec<u8> {
+        let mut out = tbs_bytes(&self.certificate);
+        out.extend_from_slice(&self.certificate.signature.r.to_be_bytes());
+        out.extend_from_slice(&self.certificate.signature.s.to_be_bytes());
+        for o in &self.revealed {
+            out.extend_from_slice(o.name.as_bytes());
+            out.push(0);
+            out.extend_from_slice(o.value.as_bytes());
+            out.push(0);
+            out.extend_from_slice(&o.salt);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn window() -> TimeRange {
+        TimeRange::one_year_from(Timestamp::from_ymd_hms(2009, 1, 1, 0, 0, 0))
+    }
+
+    fn at() -> Timestamp {
+        Timestamp::from_ymd_hms(2009, 6, 1, 0, 0, 0)
+    }
+
+    fn sample() -> SelectiveIssuance {
+        let issuer = KeyPair::from_seed(b"INFN");
+        let holder = KeyPair::from_seed(b"Aerospace");
+        SelectiveIssuance::issue(
+            42,
+            "Aerospace Company",
+            holder.public,
+            "INFN",
+            &issuer,
+            window(),
+            &[
+                ("QualityRegulation".into(), "UNI EN ISO 9000".into()),
+                ("AuditScore".into(), "97".into()),
+                ("InternalNotes".into(), "do not share".into()),
+            ],
+        )
+    }
+
+    #[test]
+    fn full_disclosure_verifies() {
+        let iss = sample();
+        let view = iss.disclose(&["QualityRegulation", "AuditScore", "InternalNotes"]).unwrap();
+        assert!(view.verify(at(), None).is_ok());
+        assert_eq!(view.attr("AuditScore"), Some("97"));
+    }
+
+    #[test]
+    fn partial_disclosure_verifies() {
+        let iss = sample();
+        let view = iss.disclose(&["QualityRegulation"]).unwrap();
+        assert!(view.verify(at(), None).is_ok());
+        assert_eq!(view.attr("QualityRegulation"), Some("UNI EN ISO 9000"));
+        assert_eq!(view.attr("InternalNotes"), None);
+    }
+
+    #[test]
+    fn withheld_values_do_not_appear_on_the_wire() {
+        let iss = sample();
+        let view = iss.disclose(&["QualityRegulation"]).unwrap();
+        let wire = view.wire_bytes();
+        let needle = b"do not share";
+        assert!(
+            !wire.windows(needle.len()).any(|w| w == needle),
+            "withheld attribute value leaked into the wire form"
+        );
+        // The disclosed one does appear.
+        let disclosed = b"UNI EN ISO 9000";
+        assert!(wire.windows(disclosed.len()).any(|w| w == disclosed));
+    }
+
+    #[test]
+    fn forged_opening_rejected() {
+        let iss = sample();
+        let mut view = iss.disclose(&["AuditScore"]).unwrap();
+        view.revealed[0].value = "100".into();
+        assert!(matches!(view.verify(at(), None), Err(CredentialError::Malformed(_))));
+    }
+
+    #[test]
+    fn wrong_salt_rejected() {
+        let iss = sample();
+        let mut view = iss.disclose(&["AuditScore"]).unwrap();
+        view.revealed[0].salt[0] ^= 1;
+        assert!(view.verify(at(), None).is_err());
+    }
+
+    #[test]
+    fn tampered_commitment_rejected() {
+        let iss = sample();
+        let mut view = iss.disclose(&["AuditScore"]).unwrap();
+        view.certificate.commitments[0].commitment[0] ^= 1;
+        assert!(matches!(view.verify(at(), None), Err(CredentialError::BadSignature { .. })));
+    }
+
+    #[test]
+    fn unknown_attribute_cannot_be_disclosed() {
+        let iss = sample();
+        assert!(iss.disclose(&["Nope"]).is_none());
+    }
+
+    #[test]
+    fn expiry_and_revocation_checked() {
+        let iss = sample();
+        let view = iss.disclose(&[]).unwrap();
+        assert!(view.verify(window().not_after.plus_days(1), None).is_err());
+        let mut crl = RevocationList::new();
+        crl.revoke(iss.certificate.revocation_id(), at());
+        assert!(matches!(view.verify(at(), Some(&crl)), Err(CredentialError::Revoked { .. })));
+    }
+
+    proptest! {
+        #[test]
+        fn any_subset_discloses_and_verifies(mask in proptest::collection::vec(any::<bool>(), 3)) {
+            let iss = sample();
+            let all = ["QualityRegulation", "AuditScore", "InternalNotes"];
+            let chosen: Vec<&str> = all.iter().zip(&mask).filter(|(_, &m)| m).map(|(&n, _)| n).collect();
+            let view = iss.disclose(&chosen).unwrap();
+            prop_assert!(view.verify(at(), None).is_ok());
+            for (name, &m) in all.iter().zip(&mask) {
+                prop_assert_eq!(view.attr(name).is_some(), m);
+            }
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Credential-type schemas.
+//!
+//! Trust-X assumes parties "have a common understanding of the type of
+//! credentials supported, and know their internal structure" (§4.3). A
+//! [`CredentialType`] records that structure: the type name plus the set of
+//! attributes a credential of the type may (or must) carry. Authorities
+//! validate content against the schema at issuance time.
+
+use crate::attribute::{AttrValue, Attribute};
+use crate::error::CredentialError;
+
+/// The kind of an attribute in a schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttrKind {
+    /// Free text.
+    Str,
+    /// Integer.
+    Int,
+    /// Boolean.
+    Bool,
+    /// Date/time.
+    Date,
+}
+
+impl AttrKind {
+    /// Does `value` have this kind?
+    pub fn admits(self, value: &AttrValue) -> bool {
+        matches!(
+            (self, value),
+            (AttrKind::Str, AttrValue::Str(_))
+                | (AttrKind::Int, AttrValue::Int(_))
+                | (AttrKind::Bool, AttrValue::Bool(_))
+                | (AttrKind::Date, AttrValue::Date(_))
+        )
+    }
+}
+
+/// One attribute slot in a credential-type schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrSpec {
+    /// Attribute name.
+    pub name: String,
+    /// Expected value kind.
+    pub kind: AttrKind,
+    /// Whether issuance fails if the attribute is missing.
+    pub required: bool,
+}
+
+/// A credential type: a name plus an attribute schema.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CredentialType {
+    /// The type name, e.g. `ISO9000Certified` or `AAAccreditation`.
+    pub name: String,
+    /// The attribute slots. Empty means "any attributes allowed".
+    pub attrs: Vec<AttrSpec>,
+}
+
+impl CredentialType {
+    /// A schema-less type that accepts any content.
+    pub fn open(name: impl Into<String>) -> Self {
+        CredentialType { name: name.into(), attrs: Vec::new() }
+    }
+
+    /// Start building a typed schema.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self::open(name)
+    }
+
+    /// Builder: add a required attribute.
+    #[must_use]
+    pub fn required(mut self, name: impl Into<String>, kind: AttrKind) -> Self {
+        self.attrs.push(AttrSpec { name: name.into(), kind, required: true });
+        self
+    }
+
+    /// Builder: add an optional attribute.
+    #[must_use]
+    pub fn optional(mut self, name: impl Into<String>, kind: AttrKind) -> Self {
+        self.attrs.push(AttrSpec { name: name.into(), kind, required: false });
+        self
+    }
+
+    /// Validate credential content against this schema.
+    ///
+    /// Schema-less (open) types accept anything. Typed schemas require every
+    /// required slot to be present with the right kind, and reject unknown
+    /// or wrongly-typed attributes.
+    pub fn validate(&self, content: &[Attribute]) -> Result<(), CredentialError> {
+        if self.attrs.is_empty() {
+            return Ok(());
+        }
+        for spec in &self.attrs {
+            match content.iter().find(|a| a.name == spec.name) {
+                Some(attr) if !spec.kind.admits(&attr.value) => {
+                    return Err(CredentialError::SchemaViolation {
+                        cred_type: self.name.clone(),
+                        detail: format!(
+                            "attribute '{}' has the wrong kind (expected {:?})",
+                            spec.name, spec.kind
+                        ),
+                    });
+                }
+                None if spec.required => {
+                    return Err(CredentialError::SchemaViolation {
+                        cred_type: self.name.clone(),
+                        detail: format!("missing required attribute '{}'", spec.name),
+                    });
+                }
+                _ => {}
+            }
+        }
+        for attr in content {
+            if !self.attrs.iter().any(|s| s.name == attr.name) {
+                return Err(CredentialError::SchemaViolation {
+                    cred_type: self.name.clone(),
+                    detail: format!("unknown attribute '{}'", attr.name),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iso_type() -> CredentialType {
+        CredentialType::new("ISO9000Certified")
+            .required("QualityRegulation", AttrKind::Str)
+            .optional("AuditScore", AttrKind::Int)
+    }
+
+    #[test]
+    fn open_type_accepts_anything() {
+        let t = CredentialType::open("Anything");
+        assert!(t.validate(&[Attribute::new("x", 1i64)]).is_ok());
+        assert!(t.validate(&[]).is_ok());
+    }
+
+    #[test]
+    fn valid_content_passes() {
+        let t = iso_type();
+        assert!(t
+            .validate(&[Attribute::new("QualityRegulation", "UNI EN ISO 9000")])
+            .is_ok());
+        assert!(t
+            .validate(&[
+                Attribute::new("QualityRegulation", "UNI EN ISO 9000"),
+                Attribute::new("AuditScore", 97i64),
+            ])
+            .is_ok());
+    }
+
+    #[test]
+    fn missing_required_fails() {
+        let err = iso_type().validate(&[]).unwrap_err();
+        assert!(err.to_string().contains("QualityRegulation"));
+    }
+
+    #[test]
+    fn wrong_kind_fails() {
+        let err = iso_type()
+            .validate(&[Attribute::new("QualityRegulation", 9i64)])
+            .unwrap_err();
+        assert!(err.to_string().contains("wrong kind"));
+    }
+
+    #[test]
+    fn unknown_attribute_fails() {
+        let err = iso_type()
+            .validate(&[
+                Attribute::new("QualityRegulation", "ok"),
+                Attribute::new("Bogus", "x"),
+            ])
+            .unwrap_err();
+        assert!(err.to_string().contains("unknown attribute 'Bogus'"));
+    }
+
+    #[test]
+    fn admits_matrix() {
+        assert!(AttrKind::Str.admits(&AttrValue::Str("x".into())));
+        assert!(!AttrKind::Str.admits(&AttrValue::Int(1)));
+        assert!(AttrKind::Date.admits(&AttrValue::Date(crate::time::Timestamp(0))));
+        assert!(!AttrKind::Bool.admits(&AttrValue::Str("true".into())));
+    }
+}

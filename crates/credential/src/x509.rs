@@ -1,0 +1,274 @@
+//! X.509 v2-style attribute certificates.
+//!
+//! The VO Management toolkit "supports X.509 identity credentials to
+//! identify the VO members during the VO operational phase", and the
+//! integration upgraded the TN web service "to support both our XML
+//! proprietary format and the X.509 v2 format for attribute certificates"
+//! (§6.3). The VO membership credential issued at the end of a successful
+//! formation negotiation "is an X509 credential … the membership token
+//! contains the public key of the VO".
+//!
+//! This module models the attribute-certificate profile with a
+//! deterministic TLV (tag-length-value) encoding standing in for DER: the
+//! semantics the workspace needs — canonical bytes to sign, holder/issuer
+//! binding, validity, attribute list — are identical.
+
+use crate::error::CredentialError;
+use crate::revocation::RevocationList;
+use crate::time::{TimeRange, Timestamp};
+use trust_vo_crypto::{KeyPair, PublicKey, Signature};
+
+/// Field tags for the TLV encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+enum Tag {
+    Serial = 1,
+    Holder = 2,
+    HolderKey = 3,
+    Issuer = 4,
+    IssuerKey = 5,
+    NotBefore = 6,
+    NotAfter = 7,
+    AttrName = 8,
+    AttrValue = 9,
+}
+
+/// An X.509 v2-style attribute certificate.
+///
+/// Attributes are name/value pairs **in the clear** — which is exactly why
+/// the paper notes that only the *standard* and *trusting* negotiation
+/// strategies can be used with this format (§6.3); see
+/// [`crate::selective`] for the hash-commitment extension that lifts that
+/// restriction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttributeCertificate {
+    /// Serial number unique per issuer.
+    pub serial: u64,
+    /// Holder display name.
+    pub holder: String,
+    /// Holder public key (binds the certificate to a key holder).
+    pub holder_key: PublicKey,
+    /// Issuer display name.
+    pub issuer: String,
+    /// Issuer verification key.
+    pub issuer_key: PublicKey,
+    /// Validity window.
+    pub validity: TimeRange,
+    /// Attributes in the clear, e.g. `("role", "DesignPartnerWebPortal")`.
+    pub attributes: Vec<(String, String)>,
+    /// Issuer signature over the TLV encoding of all other fields.
+    pub signature: Signature,
+}
+
+fn push_tlv(out: &mut Vec<u8>, tag: Tag, payload: &[u8]) {
+    out.push(tag as u8);
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// The canonical to-be-signed bytes.
+pub fn tbs_bytes(
+    serial: u64,
+    holder: &str,
+    holder_key: PublicKey,
+    issuer: &str,
+    issuer_key: PublicKey,
+    validity: TimeRange,
+    attributes: &[(String, String)],
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(96 + attributes.len() * 32);
+    push_tlv(&mut out, Tag::Serial, &serial.to_be_bytes());
+    push_tlv(&mut out, Tag::Holder, holder.as_bytes());
+    push_tlv(&mut out, Tag::HolderKey, &holder_key.0.to_be_bytes());
+    push_tlv(&mut out, Tag::Issuer, issuer.as_bytes());
+    push_tlv(&mut out, Tag::IssuerKey, &issuer_key.0.to_be_bytes());
+    push_tlv(&mut out, Tag::NotBefore, &validity.not_before.0.to_be_bytes());
+    push_tlv(&mut out, Tag::NotAfter, &validity.not_after.0.to_be_bytes());
+    for (name, value) in attributes {
+        push_tlv(&mut out, Tag::AttrName, name.as_bytes());
+        push_tlv(&mut out, Tag::AttrValue, value.as_bytes());
+    }
+    out
+}
+
+impl AttributeCertificate {
+    /// Issue (sign) a new attribute certificate.
+    #[allow(clippy::too_many_arguments)]
+    pub fn issue(
+        serial: u64,
+        holder: impl Into<String>,
+        holder_key: PublicKey,
+        issuer: impl Into<String>,
+        issuer_keys: &KeyPair,
+        validity: TimeRange,
+        attributes: Vec<(String, String)>,
+    ) -> Self {
+        let holder = holder.into();
+        let issuer = issuer.into();
+        let tbs = tbs_bytes(serial, &holder, holder_key, &issuer, issuer_keys.public, validity, &attributes);
+        let signature = issuer_keys.sign(&tbs);
+        AttributeCertificate {
+            serial,
+            holder,
+            holder_key,
+            issuer,
+            issuer_key: issuer_keys.public,
+            validity,
+            attributes,
+            signature,
+        }
+    }
+
+    /// A stable identifier for revocation purposes: `issuer/serial`.
+    pub fn revocation_id(&self) -> crate::credential::CredentialId {
+        crate::credential::CredentialId(format!("x509:{}:{}", self.issuer, self.serial))
+    }
+
+    /// Look up an attribute value.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Verify the issuer signature only.
+    pub fn verify_signature(&self) -> Result<(), CredentialError> {
+        let tbs = tbs_bytes(
+            self.serial,
+            &self.holder,
+            self.holder_key,
+            &self.issuer,
+            self.issuer_key,
+            self.validity,
+            &self.attributes,
+        );
+        if self.issuer_key.verify(&tbs, &self.signature) {
+            Ok(())
+        } else {
+            Err(CredentialError::BadSignature { cred_id: self.revocation_id().0 })
+        }
+    }
+
+    /// Full verification: signature, validity at `at`, and revocation.
+    pub fn verify(&self, at: Timestamp, crl: Option<&RevocationList>) -> Result<(), CredentialError> {
+        self.verify_signature()?;
+        if !self.validity.contains(at) {
+            return Err(CredentialError::Expired { cred_id: self.revocation_id().0, at });
+        }
+        if let Some(crl) = crl {
+            if crl.is_revoked(&self.revocation_id()) {
+                return Err(CredentialError::Revoked { cred_id: self.revocation_id().0 });
+            }
+        }
+        Ok(())
+    }
+
+    /// Authenticate that the presenter holds the certificate's holder key:
+    /// the presenter signs `nonce` with it.
+    pub fn authenticate_holder(&self, nonce: &[u8], proof: &Signature) -> Result<(), CredentialError> {
+        if self.holder_key.verify(nonce, proof) {
+            Ok(())
+        } else {
+            Err(CredentialError::NotOwner { cred_id: self.revocation_id().0 })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window() -> TimeRange {
+        TimeRange::one_year_from(Timestamp::from_ymd_hms(2009, 1, 1, 0, 0, 0))
+    }
+
+    fn at() -> Timestamp {
+        Timestamp::from_ymd_hms(2009, 6, 1, 0, 0, 0)
+    }
+
+    fn sample() -> (AttributeCertificate, KeyPair, KeyPair) {
+        let issuer = KeyPair::from_seed(b"Aircraft Company");
+        let holder = KeyPair::from_seed(b"Aerospace Company");
+        let cert = AttributeCertificate::issue(
+            7,
+            "Aerospace Company",
+            holder.public,
+            "Aircraft Company",
+            &issuer,
+            window(),
+            vec![
+                ("vo".into(), "AircraftOptimization".into()),
+                ("role".into(), "DesignPartnerWebPortal".into()),
+            ],
+        );
+        (cert, issuer, holder)
+    }
+
+    #[test]
+    fn issue_verify_roundtrip() {
+        let (cert, _, _) = sample();
+        assert!(cert.verify(at(), None).is_ok());
+        assert_eq!(cert.attr("role"), Some("DesignPartnerWebPortal"));
+        assert_eq!(cert.attr("missing"), None);
+    }
+
+    #[test]
+    fn tampered_attribute_rejected() {
+        let (mut cert, _, _) = sample();
+        cert.attributes[1].1 = "Initiator".into();
+        assert!(matches!(cert.verify_signature(), Err(CredentialError::BadSignature { .. })));
+    }
+
+    #[test]
+    fn tampered_serial_rejected() {
+        let (mut cert, _, _) = sample();
+        cert.serial = 8;
+        assert!(cert.verify_signature().is_err());
+    }
+
+    #[test]
+    fn tlv_is_injective_across_field_moves() {
+        // ("ab","c") vs ("a","bc") must encode differently — length prefixes
+        // prevent concatenation ambiguity.
+        let k = KeyPair::from_seed(b"k");
+        let a = tbs_bytes(1, "h", k.public, "i", k.public, window(), &[("ab".into(), "c".into())]);
+        let b = tbs_bytes(1, "h", k.public, "i", k.public, window(), &[("a".into(), "bc".into())]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn expiry_and_revocation() {
+        let (cert, _, _) = sample();
+        let late = window().not_after.plus_days(1);
+        assert!(matches!(cert.verify(late, None), Err(CredentialError::Expired { .. })));
+        let mut crl = RevocationList::new();
+        crl.revoke(cert.revocation_id(), at());
+        assert!(matches!(cert.verify(at(), Some(&crl)), Err(CredentialError::Revoked { .. })));
+    }
+
+    #[test]
+    fn holder_authentication() {
+        let (cert, _, holder) = sample();
+        let proof = holder.sign(b"nonce");
+        assert!(cert.authenticate_holder(b"nonce", &proof).is_ok());
+        let other = KeyPair::from_seed(b"other");
+        assert!(cert.authenticate_holder(b"nonce", &other.sign(b"nonce")).is_err());
+    }
+
+    #[test]
+    fn revocation_id_distinguishes_issuers() {
+        let (cert, _, _) = sample();
+        let other_issuer = KeyPair::from_seed(b"Other");
+        let cert2 = AttributeCertificate::issue(
+            7,
+            cert.holder.clone(),
+            cert.holder_key,
+            "Other",
+            &other_issuer,
+            window(),
+            vec![],
+        );
+        assert_ne!(cert.revocation_id(), cert2.revocation_id());
+    }
+}

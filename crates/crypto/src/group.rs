@@ -1,0 +1,148 @@
+//! Modular arithmetic in a fixed 62-bit safe-prime group.
+//!
+//! The group parameters are hard-coded and were verified offline with
+//! Miller–Rabin: `P = 2Q + 1` with both `P` and `Q` prime, and `G = 4`
+//! generates the order-`Q` quadratic-residue subgroup.
+//!
+//! All products of two values `< P < 2^63` fit in `u128`, so the arithmetic
+//! here is exact without any multi-precision machinery. The small size is a
+//! deliberate simulation-grade substitution (see crate docs).
+
+/// The safe prime modulus `P = 2Q + 1`.
+pub const P: u64 = 4_611_686_018_427_394_499; // 0x40000000000019c3
+/// The prime subgroup order `Q = (P - 1) / 2`.
+pub const Q: u64 = 2_305_843_009_213_697_249; // 0x2000000000000ce1
+/// Generator of the order-`Q` subgroup (a quadratic residue).
+pub const G: u64 = 4;
+
+/// `(a * b) mod m` without overflow (inputs must be `< 2^64`).
+#[inline]
+pub fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((u128::from(a) * u128::from(b)) % u128::from(m)) as u64
+}
+
+/// `(a + b) mod m` without overflow.
+#[inline]
+pub fn add_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((u128::from(a) + u128::from(b)) % u128::from(m)) as u64
+}
+
+/// `(a - b) mod m`, always in `[0, m)`.
+#[inline]
+pub fn sub_mod(a: u64, b: u64, m: u64) -> u64 {
+    let (a, b) = (a % m, b % m);
+    if a >= b {
+        a - b
+    } else {
+        m - (b - a)
+    }
+}
+
+/// `base^exp mod m` by square-and-multiply.
+pub fn pow_mod(base: u64, mut exp: u64, m: u64) -> u64 {
+    debug_assert!(m > 1);
+    let mut base = base % m;
+    let mut acc: u64 = 1;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base, m);
+        }
+        base = mul_mod(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Multiplicative inverse modulo a prime `m` (via Fermat's little theorem).
+pub fn inv_mod(a: u64, m: u64) -> u64 {
+    debug_assert!(!a.is_multiple_of(m), "zero has no inverse");
+    pow_mod(a, m - 2, m)
+}
+
+/// `G^exp mod P` — the group exponentiation every key/signature uses.
+#[inline]
+pub fn g_pow(exp: u64) -> u64 {
+    pow_mod(G, exp, P)
+}
+
+/// True iff `x` is a member of the order-`Q` subgroup (excluding 0).
+pub fn in_subgroup(x: u64) -> bool {
+    x != 0 && x < P && pow_mod(x, Q, P) == 1
+}
+
+/// Reduce a 32-byte digest into a nonzero scalar modulo `Q`.
+///
+/// Takes the digest as a little pile of big-endian words folded together;
+/// the result is mapped into `[1, Q)` so it is always usable as an exponent
+/// or challenge.
+pub fn scalar_from_digest(digest: &[u8; 32]) -> u64 {
+    let mut acc: u64 = 0;
+    for chunk in digest.chunks_exact(8) {
+        let w = u64::from_be_bytes([
+            chunk[0], chunk[1], chunk[2], chunk[3], chunk[4], chunk[5], chunk[6], chunk[7],
+        ]);
+        // Fold with a multiplier to mix all four words.
+        acc = add_mod(mul_mod(acc, 0x9e3779b97f4a7c15 % Q, Q), w % Q, Q);
+    }
+    acc % (Q - 1) + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn generator_is_in_subgroup() {
+        assert!(in_subgroup(G));
+        assert_eq!(pow_mod(G, Q, P), 1);
+        assert_ne!(pow_mod(G, 1, P), 1);
+    }
+
+    #[test]
+    fn parameters_relate() {
+        assert_eq!(P, 2 * Q + 1);
+    }
+
+    #[test]
+    fn pow_mod_edges() {
+        assert_eq!(pow_mod(0, 0, P), 1); // 0^0 == 1 by convention here
+        assert_eq!(pow_mod(5, 0, P), 1);
+        assert_eq!(pow_mod(5, 1, P), 5);
+        assert_eq!(pow_mod(2, 62, P), (1u128 << 62).rem_euclid(u128::from(P)) as u64);
+    }
+
+    #[test]
+    fn sub_mod_wraps() {
+        assert_eq!(sub_mod(1, 2, 7), 6);
+        assert_eq!(sub_mod(2, 2, 7), 0);
+        assert_eq!(sub_mod(9, 1, 7), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn inverse_is_inverse(a in 1u64..Q) {
+            let inv = inv_mod(a, Q);
+            prop_assert_eq!(mul_mod(a, inv, Q), 1);
+        }
+
+        #[test]
+        fn exponent_laws(a in 0u64..Q, b in 0u64..Q) {
+            // g^(a+b) == g^a * g^b
+            let lhs = g_pow(add_mod(a, b, Q));
+            let rhs = mul_mod(g_pow(a), g_pow(b), P);
+            prop_assert_eq!(lhs, rhs);
+        }
+
+        #[test]
+        fn subgroup_closure(a in 1u64..Q) {
+            prop_assert!(in_subgroup(g_pow(a)));
+        }
+
+        #[test]
+        fn scalar_from_digest_in_range(bytes in proptest::array::uniform32(any::<u8>())) {
+            let s = scalar_from_digest(&bytes);
+            prop_assert!((1..Q).contains(&s));
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Lowercase hexadecimal encoding for digests and opaque identifiers.
+
+/// Encode bytes as lowercase hex.
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len() * 2);
+    for b in data {
+        out.push(char::from_digit((b >> 4) as u32, 16).expect("nibble < 16"));
+        out.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble < 16"));
+    }
+    out
+}
+
+/// Decode a hex string (either case). Returns `None` on odd length or a
+/// non-hex character.
+pub fn decode(text: &str) -> Option<Vec<u8>> {
+    let bytes = text.as_bytes();
+    if !bytes.len().is_multiple_of(2) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for pair in bytes.chunks_exact(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_values() {
+        assert_eq!(encode(&[0x00, 0xff, 0x10]), "00ff10");
+        assert_eq!(decode("00ff10"), Some(vec![0x00, 0xff, 0x10]));
+        assert_eq!(decode("00FF10"), Some(vec![0x00, 0xff, 0x10]));
+    }
+
+    #[test]
+    fn rejects_odd_and_garbage() {
+        assert_eq!(decode("abc"), None);
+        assert_eq!(decode("zz"), None);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+            prop_assert_eq!(decode(&encode(&data)), Some(data));
+        }
+    }
+}

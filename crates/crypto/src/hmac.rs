@@ -1,0 +1,93 @@
+//! HMAC-SHA-256 (RFC 2104), used for deterministic nonce derivation in
+//! [`crate::schnorr`] (RFC 6979-style) and for keyed integrity tags on
+//! store snapshots.
+
+use crate::sha256::{Digest, Sha256};
+
+const BLOCK: usize = 64;
+
+/// Compute `HMAC-SHA256(key, message)`.
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> Digest {
+    let mut k = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        let d = crate::sha256(key);
+        k[..32].copy_from_slice(&d);
+    } else {
+        k[..key.len()].copy_from_slice(key);
+    }
+    let mut ipad = [0x36u8; BLOCK];
+    let mut opad = [0x5cu8; BLOCK];
+    for i in 0..BLOCK {
+        ipad[i] ^= k[i];
+        opad[i] ^= k[i];
+    }
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    inner.update(message);
+    let inner_digest = inner.finalize();
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    // RFC 4231 test vectors.
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0bu8; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex::encode(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2_short_key() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex::encode(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3_fifty_bytes() {
+        let key = [0xaau8; 20];
+        let msg = [0xddu8; 50];
+        let tag = hmac_sha256(&key, &msg);
+        assert_eq!(
+            hex::encode(&tag),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        let key = [0xaau8; 131];
+        let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex::encode(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn key_sensitivity() {
+        assert_ne!(hmac_sha256(b"k1", b"m"), hmac_sha256(b"k2", b"m"));
+        assert_ne!(hmac_sha256(b"k", b"m1"), hmac_sha256(b"k", b"m2"));
+    }
+
+    #[test]
+    fn block_sized_key_is_used_verbatim() {
+        // A 64-byte key should not be hashed; check it differs from its hash-prefixed form.
+        let key = [7u8; 64];
+        let hashed_key = crate::sha256(&key);
+        assert_ne!(hmac_sha256(&key, b"m"), hmac_sha256(&hashed_key, b"m"));
+    }
+}

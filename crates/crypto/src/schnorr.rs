@@ -1,0 +1,186 @@
+//! Schnorr signatures over the [`crate::group`] subgroup.
+//!
+//! Keys are `(x, y = g^x)`. Signing a message `m`:
+//!
+//! 1. derive a per-message nonce `k = HMAC(x, m) mod Q` (deterministic, in
+//!    the spirit of RFC 6979 — no RNG failure can leak the key),
+//! 2. `r = g^k`,
+//! 3. challenge `e = H(r ‖ y ‖ m) mod Q`,
+//! 4. `s = k + e·x mod Q`.
+//!
+//! Verification recomputes `e` from the transmitted `r` and accepts iff
+//! `g^s == r · y^e (mod P)`.
+
+use crate::group::{self, P, Q};
+use crate::hmac::hmac_sha256;
+use crate::sha256::Sha256;
+
+/// A signing (secret) key: a scalar in `[1, Q)`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct SecretKey(pub(crate) u64);
+
+impl std::fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print the scalar.
+        f.write_str("SecretKey(<redacted>)")
+    }
+}
+
+/// A verifying (public) key: `y = g^x mod P`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PublicKey(pub u64);
+
+/// A detached Schnorr signature `(r, s)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signature {
+    /// The commitment `g^k mod P`.
+    pub r: u64,
+    /// The response `k + e·x mod Q`.
+    pub s: u64,
+}
+
+/// A signing key pair.
+#[derive(Debug, Clone)]
+pub struct KeyPair {
+    /// The secret scalar.
+    pub secret: SecretKey,
+    /// The corresponding public key.
+    pub public: PublicKey,
+}
+
+impl KeyPair {
+    /// Derive a key pair from a seed. The same seed always yields the same
+    /// pair, which keeps scenario construction and tests reproducible.
+    pub fn from_seed(seed: &[u8]) -> Self {
+        let digest = crate::sha256(seed);
+        let x = group::scalar_from_digest(&digest);
+        Self::from_scalar(x)
+    }
+
+    /// Build a key pair from an explicit scalar (clamped into `[1, Q)`).
+    pub fn from_scalar(x: u64) -> Self {
+        let x = x % (Q - 1) + 1;
+        KeyPair { secret: SecretKey(x), public: PublicKey(group::g_pow(x)) }
+    }
+
+    /// Generate a key pair from an RNG.
+    pub fn generate<R: rand::Rng + ?Sized>(rng: &mut R) -> Self {
+        Self::from_scalar(rng.gen_range(1..Q))
+    }
+
+    /// Sign `message` with the secret key.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        let x = self.secret.0;
+        // Deterministic nonce: HMAC over the message keyed by the secret.
+        let k_tag = hmac_sha256(&x.to_be_bytes(), message);
+        let k = group::scalar_from_digest(&k_tag);
+        let r = group::g_pow(k);
+        let e = challenge(r, self.public, message);
+        let s = group::add_mod(k, group::mul_mod(e, x, Q), Q);
+        Signature { r, s }
+    }
+}
+
+fn challenge(r: u64, public: PublicKey, message: &[u8]) -> u64 {
+    let mut h = Sha256::new();
+    h.update(&r.to_be_bytes());
+    h.update(&public.0.to_be_bytes());
+    h.update(message);
+    group::scalar_from_digest(&h.finalize())
+}
+
+impl PublicKey {
+    /// Verify `sig` over `message`.
+    pub fn verify(&self, message: &[u8], sig: &Signature) -> bool {
+        if !group::in_subgroup(sig.r) || !group::in_subgroup(self.0) || sig.s >= Q {
+            return false;
+        }
+        let e = challenge(sig.r, *self, message);
+        let lhs = group::g_pow(sig.s);
+        let rhs = group::mul_mod(sig.r, group::pow_mod(self.0, e, P), P);
+        lhs == rhs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let kp = KeyPair::from_seed(b"issuer:INFN");
+        let sig = kp.sign(b"ISO 9000 Certified");
+        assert!(kp.public.verify(b"ISO 9000 Certified", &sig));
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let kp = KeyPair::from_seed(b"issuer");
+        let sig = kp.sign(b"message A");
+        assert!(!kp.public.verify(b"message B", &sig));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let kp1 = KeyPair::from_seed(b"issuer-1");
+        let kp2 = KeyPair::from_seed(b"issuer-2");
+        let sig = kp1.sign(b"m");
+        assert!(!kp2.public.verify(b"m", &sig));
+    }
+
+    #[test]
+    fn signature_is_deterministic() {
+        let kp = KeyPair::from_seed(b"seed");
+        assert_eq!(kp.sign(b"m"), kp.sign(b"m"));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let kp = KeyPair::from_seed(b"seed");
+        let sig = kp.sign(b"m");
+        let bad_r = Signature { r: sig.r ^ 1, ..sig };
+        let bad_s = Signature { s: (sig.s + 1) % Q, ..sig };
+        assert!(!kp.public.verify(b"m", &bad_r));
+        assert!(!kp.public.verify(b"m", &bad_s));
+    }
+
+    #[test]
+    fn degenerate_components_rejected() {
+        let kp = KeyPair::from_seed(b"seed");
+        let sig = kp.sign(b"m");
+        assert!(!kp.public.verify(b"m", &Signature { r: 0, s: sig.s }));
+        assert!(!kp.public.verify(b"m", &Signature { r: sig.r, s: Q }));
+        // Public key outside the subgroup is rejected outright.
+        assert!(!PublicKey(0).verify(b"m", &sig));
+    }
+
+    #[test]
+    fn debug_does_not_leak_secret() {
+        let kp = KeyPair::from_scalar(12345);
+        let text = format!("{:?}", kp.secret);
+        assert!(!text.contains("12345"));
+    }
+
+    proptest! {
+        #[test]
+        fn any_seed_signs_and_verifies(seed in proptest::collection::vec(any::<u8>(), 1..32),
+                                       msg in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let kp = KeyPair::from_seed(&seed);
+            let sig = kp.sign(&msg);
+            prop_assert!(kp.public.verify(&msg, &sig));
+        }
+
+        #[test]
+        fn bitflip_in_message_rejected(scalar in 1u64..Q,
+                                       mut msg in proptest::collection::vec(any::<u8>(), 1..64),
+                                       idx in any::<prop::sample::Index>(),
+                                       bit in 0u8..8) {
+            let kp = KeyPair::from_scalar(scalar);
+            let sig = kp.sign(&msg);
+            let i = idx.index(msg.len());
+            msg[i] ^= 1 << bit;
+            prop_assert!(!kp.public.verify(&msg, &sig));
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! An eager (TrustBuilder-style) negotiation baseline.
+//!
+//! The related work (§7) discusses TrustBuilder, whose classic *eager*
+//! strategy differs from Trust-X's policy-driven exchange: instead of first
+//! agreeing on a trust sequence, each party repeatedly discloses **every**
+//! credential whose protecting policies are satisfied by what it has
+//! received so far, until the target resource unlocks or a fixpoint is
+//! reached. Eager negotiation needs no policy disclosure at all but
+//! over-discloses credentials — the comparison bench (E6) measures exactly
+//! that trade-off.
+
+use crate::error::NegotiationError;
+use crate::message::Side;
+use crate::party::Party;
+use crate::transcript::Transcript;
+use trust_vo_credential::{Credential, Timestamp};
+use trust_vo_policy::DisclosurePolicy;
+
+/// The result of an eager negotiation.
+#[derive(Debug, Clone)]
+pub struct EagerOutcome {
+    /// Credentials disclosed by each side, in disclosure order.
+    pub disclosed: Vec<(Side, String)>,
+    /// Accounting (eager rounds count as policy rounds).
+    pub transcript: Transcript,
+}
+
+/// Can `owner` release a credential of `cred_type`, given the credentials
+/// already received from the counterpart?
+fn releasable(owner: &Party, cred_type: &str, received: &[Credential]) -> bool {
+    let alternatives: Vec<&DisclosurePolicy> = owner.alternatives_for(cred_type);
+    if alternatives.is_empty() {
+        return true; // ungoverned ⇒ freely released
+    }
+    alternatives.iter().any(|policy| {
+        policy.is_deliv()
+            || policy
+                .terms()
+                .iter()
+                .all(|term| received.iter().any(|c| term.matches_credential(c)))
+    })
+}
+
+/// Run an eager negotiation: `requester` wants `resource` from `controller`.
+pub fn negotiate_eager(
+    requester: &Party,
+    controller: &Party,
+    resource: &str,
+    at: Timestamp,
+) -> Result<EagerOutcome, NegotiationError> {
+    let mut transcript = Transcript::new();
+    let mut disclosed: Vec<(Side, String)> = Vec::new();
+    // Credentials each side has received from the other.
+    let mut received_by_controller: Vec<Credential> = Vec::new();
+    let mut received_by_requester: Vec<Credential> = Vec::new();
+    // Which local credentials each side has already sent (by id).
+    let mut sent_requester: Vec<bool> = vec![false; requester.profile.len()];
+    let mut sent_controller: Vec<bool> = vec![false; controller.profile.len()];
+
+    /// One eager turn: `party` sends every not-yet-sent credential whose
+    /// policies its `inbox` satisfies. Returns the newly sent credentials.
+    fn turn(
+        party: &Party,
+        side: Side,
+        sent: &mut [bool],
+        inbox: &[Credential],
+        at: Timestamp,
+        disclosed: &mut Vec<(Side, String)>,
+        transcript: &mut Transcript,
+    ) -> Vec<Credential> {
+        let mut newly_sent = Vec::new();
+        for (i, cred) in party.profile.credentials().iter().enumerate() {
+            if sent[i] {
+                continue;
+            }
+            if releasable(party, cred.cred_type(), inbox) && cred.verify(at, None).is_ok() {
+                sent[i] = true;
+                newly_sent.push(cred.clone());
+                disclosed.push((side, cred.cred_type().to_owned()));
+                transcript.credentials_disclosed += 1;
+            }
+        }
+        newly_sent
+    }
+
+    // Alternate turns, requester first, until the resource unlocks or a
+    // fixpoint (two consecutive idle turns) is reached.
+    let mut idle_streak = 0;
+    for round in 0..64 {
+        transcript.policy_rounds += 1;
+        if releasable(controller, resource, &received_by_controller) {
+            return Ok(EagerOutcome { disclosed, transcript });
+        }
+        let newly = if round % 2 == 0 {
+            let newly = turn(
+                requester,
+                Side::Requester,
+                &mut sent_requester,
+                &received_by_requester,
+                at,
+                &mut disclosed,
+                &mut transcript,
+            );
+            received_by_controller.extend(newly.iter().cloned());
+            newly
+        } else {
+            let newly = turn(
+                controller,
+                Side::Controller,
+                &mut sent_controller,
+                &received_by_controller,
+                at,
+                &mut disclosed,
+                &mut transcript,
+            );
+            received_by_requester.extend(newly.iter().cloned());
+            newly
+        };
+        if newly.is_empty() {
+            idle_streak += 1;
+            if idle_streak >= 2 {
+                return Err(NegotiationError::NoTrustSequence { resource: resource.to_owned() });
+            }
+        } else {
+            idle_streak = 0;
+        }
+    }
+    Err(NegotiationError::NoTrustSequence { resource: resource.to_owned() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trust_vo_credential::{CredentialAuthority, TimeRange};
+    use trust_vo_policy::{Resource, Term};
+
+    fn window() -> TimeRange {
+        TimeRange::one_year_from(Timestamp::from_ymd_hms(2009, 1, 1, 0, 0, 0))
+    }
+
+    fn at() -> Timestamp {
+        Timestamp::from_ymd_hms(2009, 6, 1, 0, 0, 0)
+    }
+
+    fn parties() -> (Party, Party) {
+        let mut ca = CredentialAuthority::new("CA");
+        let mut requester = Party::new("R");
+        let mut controller = Party::new("C");
+        for ty in ["Quality", "Extra1", "Extra2"] {
+            let c = ca.issue(ty, "R", requester.keys.public, vec![], window()).unwrap();
+            requester.profile.add(c);
+        }
+        let c = ca.issue("Accreditation", "C", controller.keys.public, vec![], window()).unwrap();
+        controller.profile.add(c);
+        controller.policies.add(DisclosurePolicy::rule(
+            "p1",
+            Resource::service("Svc"),
+            vec![Term::of_type("Quality")],
+        ));
+        // Requester's Quality is protected by the controller's accreditation.
+        requester.policies.add(DisclosurePolicy::rule(
+            "p2",
+            Resource::credential("Quality"),
+            vec![Term::of_type("Accreditation")],
+        ));
+        (requester, controller)
+    }
+
+    #[test]
+    fn eager_succeeds_and_overdiscloses() {
+        let (requester, controller) = parties();
+        let outcome = negotiate_eager(&requester, &controller, "Svc", at()).unwrap();
+        // Eager sends the two unprotected extras even though only Quality
+        // was needed.
+        let requester_disclosures: Vec<_> = outcome
+            .disclosed
+            .iter()
+            .filter(|(s, _)| *s == Side::Requester)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert!(requester_disclosures.contains(&"Extra1"));
+        assert!(requester_disclosures.contains(&"Extra2"));
+        assert!(requester_disclosures.contains(&"Quality"));
+        assert!(outcome.transcript.credentials_disclosed >= 4);
+    }
+
+    #[test]
+    fn eager_fails_when_unsatisfiable() {
+        let (mut requester, controller) = parties();
+        // Remove everything that could satisfy Svc's policy.
+        let ids: Vec<_> = requester
+            .profile
+            .of_type("Quality")
+            .map(|c| c.id().clone())
+            .collect();
+        for id in ids {
+            requester.profile.remove(&id);
+        }
+        let err = negotiate_eager(&requester, &controller, "Svc", at()).unwrap_err();
+        assert!(matches!(err, NegotiationError::NoTrustSequence { .. }));
+    }
+
+    #[test]
+    fn eager_ungoverned_resource_immediate() {
+        let (requester, controller) = parties();
+        let outcome = negotiate_eager(&requester, &controller, "Public", at()).unwrap();
+        assert_eq!(outcome.transcript.credentials_disclosed, 0);
+    }
+
+    #[test]
+    fn eager_respects_own_policies() {
+        // Quality is locked behind Accreditation; the first requester turn
+        // must NOT send it, only after the controller's accreditation lands.
+        let (requester, controller) = parties();
+        let outcome = negotiate_eager(&requester, &controller, "Svc", at()).unwrap();
+        let quality_pos = outcome
+            .disclosed
+            .iter()
+            .position(|(s, t)| *s == Side::Requester && t == "Quality")
+            .unwrap();
+        let accr_pos = outcome
+            .disclosed
+            .iter()
+            .position(|(s, t)| *s == Side::Controller && t == "Accreditation")
+            .unwrap();
+        assert!(accr_pos < quality_pos);
+    }
+}

@@ -1,0 +1,250 @@
+//! Trust-sequence caching.
+//!
+//! Long-lived VOs repeat negotiations: the operation phase re-checks
+//! certifications, members re-authorize flows, replacements re-run the
+//! formation join (§5.1). The policy-evaluation phase is the expensive
+//! part (AND-OR search over both policy sets), and — as long as neither
+//! party's policies or profile changed — its result is deterministic. The
+//! [`SequenceCache`] memoizes the agreed trust sequence per
+//! `(requester, controller, resource, strategy)` and invalidates on a
+//! fingerprint of both parties' negotiation state.
+//!
+//! Unlike [`crate::ticket`], caching is a *local* optimization: the
+//! credential exchange phase (and all its verification) still runs, so a
+//! revocation that happened since the last negotiation is still caught.
+
+use crate::engine::{
+    evaluate_policies, exchange_credentials, NegotiationConfig, NegotiationOutcome, PolicyPhase,
+};
+use crate::error::NegotiationError;
+use crate::party::Party;
+use crate::strategy::Strategy;
+use crate::view::TrustSequence;
+use std::collections::HashMap;
+use trust_vo_crypto::sha256::Sha256;
+use trust_vo_crypto::Digest;
+
+/// A fingerprint of everything phase 1 depends on for one party.
+fn party_fingerprint(party: &Party) -> Digest {
+    let mut h = Sha256::new();
+    h.update(party.name.as_bytes());
+    h.update(&[0]);
+    for cred in party.profile.credentials() {
+        h.update(cred.id().0.as_bytes());
+        h.update(&[1]);
+        h.update(cred.cred_type().as_bytes());
+        h.update(&[2]);
+        h.update(party.profile.sensitivity_of(cred.id()).label().as_bytes());
+        h.update(&[3]);
+        h.update(&cred.header.validity.not_after.0.to_be_bytes());
+    }
+    h.update(&[0xff]);
+    for policy in party.policies.iter() {
+        h.update(policy.to_string().as_bytes());
+        h.update(&[4]);
+    }
+    h.finalize()
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Key {
+    requester: String,
+    controller: String,
+    resource: String,
+    strategy: Strategy,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    requester_fp: Digest,
+    controller_fp: Digest,
+    sequence: TrustSequence,
+}
+
+/// Statistics for the cache ablation bench.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Phase-1 computations skipped.
+    pub hits: u64,
+    /// Full phase-1 runs (cold or invalidated).
+    pub misses: u64,
+    /// Entries dropped because a fingerprint changed.
+    pub invalidations: u64,
+}
+
+/// A memo of agreed trust sequences.
+#[derive(Debug, Default)]
+pub struct SequenceCache {
+    entries: HashMap<Key, Entry>,
+    stats: CacheStats,
+}
+
+impl SequenceCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cache statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of cached sequences.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Negotiate with sequence reuse: on a fingerprint-valid hit, phase 1
+    /// is skipped and the cached sequence goes straight to the credential
+    /// exchange phase; otherwise the full protocol runs and the resulting
+    /// sequence is cached.
+    pub fn negotiate(
+        &mut self,
+        requester: &Party,
+        controller: &Party,
+        resource: &str,
+        cfg: &NegotiationConfig,
+    ) -> Result<NegotiationOutcome, NegotiationError> {
+        let key = Key {
+            requester: requester.name.clone(),
+            controller: controller.name.clone(),
+            resource: resource.to_owned(),
+            strategy: cfg.strategy,
+        };
+        let requester_fp = party_fingerprint(requester);
+        let controller_fp = party_fingerprint(controller);
+        if let Some(entry) = self.entries.get(&key) {
+            if entry.requester_fp == requester_fp && entry.controller_fp == controller_fp {
+                self.stats.hits += 1;
+                let phase = PolicyPhase {
+                    resource: resource.to_owned(),
+                    sequence: entry.sequence.clone(),
+                    transcript: crate::transcript::Transcript::new(),
+                    tree: crate::tree::NegotiationTree::new(
+                        resource,
+                        crate::message::Side::Controller,
+                    ),
+                };
+                return exchange_credentials(requester, controller, phase, cfg);
+            }
+            self.stats.invalidations += 1;
+            self.entries.remove(&key);
+        }
+        self.stats.misses += 1;
+        let phase = evaluate_policies(requester, controller, resource, cfg)?;
+        self.entries.insert(
+            key,
+            Entry { requester_fp, controller_fp, sequence: phase.sequence.clone() },
+        );
+        exchange_credentials(requester, controller, phase, cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trust_vo_credential::{CredentialAuthority, CredentialError, TimeRange, Timestamp};
+    use trust_vo_policy::{DisclosurePolicy, Resource, Term};
+
+    fn window() -> TimeRange {
+        TimeRange::one_year_from(Timestamp::from_ymd_hms(2009, 1, 1, 0, 0, 0))
+    }
+
+    fn at() -> Timestamp {
+        Timestamp::from_ymd_hms(2009, 6, 1, 0, 0, 0)
+    }
+
+    fn parties() -> (Party, Party) {
+        let mut ca = CredentialAuthority::new("CA");
+        let mut requester = Party::new("R");
+        let mut controller = Party::new("C");
+        let cred = ca.issue("Quality", "R", requester.keys.public, vec![], window()).unwrap();
+        requester.profile.add(cred);
+        controller.policies.add(DisclosurePolicy::rule(
+            "p",
+            Resource::service("Svc"),
+            vec![Term::of_type("Quality")],
+        ));
+        requester.trust_root(ca.public_key());
+        controller.trust_root(ca.public_key());
+        (requester, controller)
+    }
+
+    #[test]
+    fn second_run_hits_and_produces_same_sequence() {
+        let (requester, controller) = parties();
+        let cfg = NegotiationConfig::new(Strategy::Standard, at());
+        let mut cache = SequenceCache::new();
+        let first = cache.negotiate(&requester, &controller, "Svc", &cfg).unwrap();
+        let second = cache.negotiate(&requester, &controller, "Svc", &cfg).unwrap();
+        assert_eq!(first.sequence, second.sequence);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1, invalidations: 0 });
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn profile_change_invalidates() {
+        let (mut requester, controller) = parties();
+        let cfg = NegotiationConfig::new(Strategy::Standard, at());
+        let mut cache = SequenceCache::new();
+        cache.negotiate(&requester, &controller, "Svc", &cfg).unwrap();
+        // The requester's profile changes (new credential) — the cached
+        // sequence may no longer be optimal/valid.
+        let mut ca = CredentialAuthority::new("CA2");
+        let extra = ca.issue("Extra", "R", requester.keys.public, vec![], window()).unwrap();
+        requester.profile.add(extra);
+        cache.negotiate(&requester, &controller, "Svc", &cfg).unwrap();
+        assert_eq!(cache.stats().invalidations, 1);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn policy_change_invalidates() {
+        let (requester, mut controller) = parties();
+        let cfg = NegotiationConfig::new(Strategy::Standard, at());
+        let mut cache = SequenceCache::new();
+        cache.negotiate(&requester, &controller, "Svc", &cfg).unwrap();
+        controller
+            .policies
+            .add(DisclosurePolicy::deliv("extra", Resource::credential("Whatever")));
+        cache.negotiate(&requester, &controller, "Svc", &cfg).unwrap();
+        assert_eq!(cache.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn cached_exchange_still_detects_revocation() {
+        let (requester, mut controller) = parties();
+        let cfg = NegotiationConfig::new(Strategy::Standard, at());
+        let mut cache = SequenceCache::new();
+        cache.negotiate(&requester, &controller, "Svc", &cfg).unwrap();
+        // A revocation arrives at the controller (its own fingerprint is
+        // unchanged — CRLs are not part of the phase-1 state).
+        let victim = requester.profile.credentials()[0].id().clone();
+        controller.crl.revoke(victim, at());
+        let err = cache.negotiate(&requester, &controller, "Svc", &cfg).unwrap_err();
+        assert!(matches!(
+            err,
+            NegotiationError::TrustFailure { cause: CredentialError::Revoked { .. } }
+        ));
+        // The hit was counted — the cache worked; safety came from phase 2.
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn different_strategies_cached_separately() {
+        let (requester, controller) = parties();
+        let mut cache = SequenceCache::new();
+        for strategy in Strategy::ALL {
+            let cfg = NegotiationConfig::new(strategy, at());
+            cache.negotiate(&requester, &controller, "Svc", &cfg).unwrap();
+        }
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.stats().misses, 4);
+    }
+}

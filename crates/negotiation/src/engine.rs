@@ -1,0 +1,1078 @@
+//! The two-phase Trust-X negotiation engine.
+//!
+//! **Phase 1 — policy evaluation** (§4.2): a bilateral, ordered policy
+//! exchange. The requester asks the controller for a resource; the
+//! controller answers with the disclosure policies protecting it; each
+//! policy term must be satisfied by a counterpart credential, whose own
+//! protecting policies are exchanged in turn. The interplay is modelled as
+//! an AND-OR search over both parties' policy sets with cycle detection
+//! (interlocked policies fail the branch), building the negotiation tree
+//! as it goes. A successful search is a satisfied *view*; its post-order
+//! yields the *trust sequence*.
+//!
+//! **Phase 2 — credential exchange**: credentials are disclosed following
+//! the trust sequence; the receiver "verifies the satisfaction of the
+//! associated policies, checks for revocation and validity dates, and
+//! authenticates the ownership", replying with an acknowledgment. A trust
+//! failure (revoked/expired/forged credential) aborts the negotiation.
+//!
+//! Message accounting follows the selected [`Strategy`]: trusting batches
+//! all policy alternatives into one message; standard/suspicious disclose
+//! one alternative per round; strong-suspicious sends one term per
+//! message; the suspicious variants decline without naming missing
+//! credentials and demand ownership proofs.
+
+use crate::error::NegotiationError;
+use crate::message::{Message, Side};
+use crate::party::Party;
+use crate::strategy::{CredentialFormat, Strategy};
+use crate::transcript::Transcript;
+use crate::tree::{NegotiationTree, NodeId, NodeStatus};
+use crate::view::{Disclosure, TrustSequence};
+use trust_vo_credential::{Credential, CredentialError, CredentialId, Timestamp};
+use trust_vo_policy::DisclosurePolicy;
+
+/// Configuration for one negotiation run.
+#[derive(Debug, Clone)]
+pub struct NegotiationConfig {
+    /// The strategy both parties agree on at `StartNegotiation` time.
+    pub strategy: Strategy,
+    /// The credential wire format in use.
+    pub format: CredentialFormat,
+    /// The negotiation instant (validity windows are checked against it).
+    pub at: Timestamp,
+    /// Recursion bound on the policy graph (defense against pathological
+    /// policy sets).
+    pub max_depth: usize,
+    /// Message budget: the negotiation is interrupted once this many
+    /// messages have been exchanged ("if any unforeseen event happens, an
+    /// interruption", §4.2 — here, the event is the counterpart giving up
+    /// on an endless policy exchange). `usize::MAX` disables the budget.
+    pub max_messages: usize,
+}
+
+impl NegotiationConfig {
+    /// A config with the given strategy, X-TNL format, and the given time.
+    pub fn new(strategy: Strategy, at: Timestamp) -> Self {
+        NegotiationConfig {
+            strategy,
+            format: CredentialFormat::Xtnl,
+            at,
+            max_depth: 24,
+            max_messages: usize::MAX,
+        }
+    }
+}
+
+/// The result of a successful negotiation.
+#[derive(Debug, Clone)]
+pub struct NegotiationOutcome {
+    /// The requested resource, now granted.
+    pub resource: String,
+    /// The agreed trust sequence (already executed).
+    pub sequence: TrustSequence,
+    /// Message/round accounting.
+    pub transcript: Transcript,
+    /// The negotiation tree as explored.
+    pub tree: NegotiationTree,
+}
+
+/// The satisfied view found by phase 1.
+#[derive(Debug, Clone)]
+enum Plan {
+    /// The resource flows freely (DELIV rule or ungoverned resource).
+    Deliv,
+    /// A satisfied policy rule.
+    Rule { terms: Vec<TermPlan> },
+}
+
+#[derive(Debug, Clone)]
+struct TermPlan {
+    /// The side disclosing the satisfying credential.
+    by: Side,
+    credential: CredentialId,
+    cred_type: String,
+    /// How that credential's own protection is satisfied.
+    release: Box<Plan>,
+}
+
+struct Engine<'a> {
+    requester: &'a Party,
+    controller: &'a Party,
+    cfg: &'a NegotiationConfig,
+    transcript: Transcript,
+    tree: NegotiationTree,
+}
+
+impl<'a> Engine<'a> {
+    fn party(&self, side: Side) -> &'a Party {
+        match side {
+            Side::Requester => self.requester,
+            Side::Controller => self.controller,
+        }
+    }
+
+    /// Phase 1 for one resource owned by `owner`, expanding `node`.
+    fn plan_release(
+        &mut self,
+        owner: Side,
+        resource: &str,
+        node: NodeId,
+        stack: &mut Vec<(Side, String)>,
+    ) -> Option<Plan> {
+        if stack.len() >= self.cfg.max_depth {
+            return None;
+        }
+        let key = (owner, resource.to_owned());
+        if stack.contains(&key) {
+            // Interlocked policies: this branch deadlocks.
+            return None;
+        }
+        stack.push(key);
+        let result = self.plan_release_inner(owner, resource, node, stack);
+        stack.pop();
+        if let Some(Plan::Deliv) = &result { self.tree.set_status(node, NodeStatus::Deliv) }
+        if result.is_none() {
+            self.tree.set_status(node, NodeStatus::Failed);
+        }
+        result
+    }
+
+    fn plan_release_inner(
+        &mut self,
+        owner: Side,
+        resource: &str,
+        node: NodeId,
+        stack: &mut Vec<(Side, String)>,
+    ) -> Option<Plan> {
+        let owner_party = self.party(owner);
+        let alternatives: Vec<DisclosurePolicy> =
+            owner_party.alternatives_for(resource).into_iter().cloned().collect();
+        // The counterpart asks for the resource's policies.
+        self.transcript
+            .log(owner.other(), Message::PolicyRequest { resource: resource.to_owned() });
+        if alternatives.is_empty() {
+            // Ungoverned resources are freely released.
+            return Some(Plan::Deliv);
+        }
+        if self.cfg.strategy.batches_alternatives() {
+            // Trusting: every alternative is disclosed in one message.
+            self.transcript.policies_disclosed += alternatives.len();
+            self.transcript.policy_rounds += 1;
+            self.transcript
+                .log(owner, Message::PolicyDisclosure { policies: alternatives.clone() });
+        }
+        for policy in &alternatives {
+            if !self.cfg.strategy.batches_alternatives() {
+                self.transcript.policies_disclosed += 1;
+                let terms = policy.terms().len().max(1);
+                let per_message = self.cfg.strategy.terms_per_message();
+                let messages = terms.div_ceil(per_message.max(1)).max(1);
+                self.transcript.policy_rounds += messages;
+                for _ in 0..messages {
+                    self.transcript
+                        .log(owner, Message::PolicyDisclosure { policies: vec![policy.clone()] });
+                }
+            }
+            if policy.is_deliv() {
+                self.tree.choose_edge(node, &policy.id);
+                return Some(Plan::Deliv);
+            }
+            if let Some(plan) = self.try_policy(owner, policy, node, stack) {
+                self.tree.choose_edge(node, &policy.id);
+                return Some(plan);
+            }
+            self.transcript.failed_alternatives += 1;
+        }
+        None
+    }
+
+    /// Try to satisfy all terms of one policy alternative.
+    fn try_policy(
+        &mut self,
+        owner: Side,
+        policy: &DisclosurePolicy,
+        node: NodeId,
+        stack: &mut Vec<(Side, String)>,
+    ) -> Option<Plan> {
+        let labels: Vec<String> = policy.terms().iter().map(|t| t.key()).collect();
+        let children = self.tree.expand(node, policy.id.clone(), &labels);
+        let counterpart = owner.other();
+        let mut term_plans = Vec::with_capacity(policy.terms().len());
+        for (term, &child) in policy.terms().iter().zip(&children) {
+            // Which of the counterpart's credentials satisfy the term?
+            // Each party knows the validity windows of its own credentials
+            // and never offers one that is expired at negotiation time
+            // (revocation, by contrast, is only detected by the receiver
+            // during the exchange phase — the §4.2 failure mode).
+            let candidates: Vec<(CredentialId, String)> = self
+                .party(counterpart)
+                .satisfying(term)
+                .into_iter()
+                .filter(|c| c.header.validity.contains(self.cfg.at))
+                .map(|c| (c.id().clone(), c.cred_type().to_owned()))
+                .collect();
+            if candidates.is_empty() {
+                if self.cfg.strategy.reveals_missing() {
+                    self.transcript
+                        .log(counterpart, Message::NotPossessed { resource: term.key() });
+                } else {
+                    self.transcript.log(counterpart, Message::Decline);
+                }
+                self.tree.set_status(child, NodeStatus::Failed);
+                return None;
+            }
+            let mut satisfied = None;
+            for (cred_id, cred_type) in candidates {
+                if let Some(release) = self.plan_release(counterpart, &cred_type, child, stack) {
+                    self.tree
+                        .set_status(child, NodeStatus::SatisfiedBy(cred_id.clone()));
+                    satisfied = Some(TermPlan {
+                        by: counterpart,
+                        credential: cred_id,
+                        cred_type,
+                        release: Box::new(release),
+                    });
+                    break;
+                }
+            }
+            term_plans.push(satisfied?);
+        }
+        Some(Plan::Rule { terms: term_plans })
+    }
+}
+
+fn sequence_of(plan: &Plan, out: &mut TrustSequence) {
+    if let Plan::Rule { terms } = plan {
+        for term in terms {
+            // Prerequisites of the credential first …
+            sequence_of(&term.release, out);
+            // … then the credential itself.
+            out.push(Disclosure {
+                by: term.by,
+                cred_id: term.credential.clone(),
+                cred_type: term.cred_type.clone(),
+            });
+        }
+    }
+}
+
+/// The result of the policy evaluation phase: a trust sequence agreed on
+/// by both parties, plus the exploration record.
+#[derive(Debug, Clone)]
+pub struct PolicyPhase {
+    /// The requested resource.
+    pub resource: String,
+    /// The agreed trust sequence (not yet executed).
+    pub sequence: TrustSequence,
+    /// Accounting so far (phase 1 messages only).
+    pub transcript: Transcript,
+    /// The negotiation tree as explored.
+    pub tree: NegotiationTree,
+}
+
+/// Run phase 1 (policy evaluation) only: determine a trust sequence.
+///
+/// This is the operation behind the TN web service's `PolicyExchange`
+/// endpoint; [`negotiate`] composes it with [`exchange_credentials`].
+pub fn evaluate_policies(
+    requester: &Party,
+    controller: &Party,
+    resource: &str,
+    cfg: &NegotiationConfig,
+) -> Result<PolicyPhase, NegotiationError> {
+    if !cfg.strategy.compatible_with(cfg.format) {
+        return Err(NegotiationError::IncompatibleFormat {
+            detail: format!(
+                "strategy '{}' requires partial hiding, which format {:?} does not support",
+                cfg.strategy, cfg.format
+            ),
+        });
+    }
+    let mut engine = Engine {
+        requester,
+        controller,
+        cfg,
+        transcript: Transcript::new(),
+        tree: NegotiationTree::new(resource, Side::Controller),
+    };
+    engine.transcript.log(
+        Side::Requester,
+        Message::Start { resource: resource.to_owned(), strategy: cfg.strategy },
+    );
+    let mut stack = Vec::new();
+    let root = engine.tree.root();
+    let plan = engine.plan_release(Side::Controller, resource, root, &mut stack);
+    if engine.transcript.message_count() > cfg.max_messages {
+        engine.transcript.log(
+            Side::Controller,
+            Message::Failure { reason: "message budget exhausted".into() },
+        );
+        return Err(NegotiationError::Interrupted {
+            reason: format!(
+                "policy exchange exceeded the {}-message budget",
+                cfg.max_messages
+            ),
+        });
+    }
+    let Some(plan) = plan else {
+        engine.transcript.log(
+            Side::Controller,
+            Message::Failure { reason: "no satisfiable view".into() },
+        );
+        return Err(NegotiationError::NoTrustSequence { resource: resource.to_owned() });
+    };
+    let mut sequence = TrustSequence::new();
+    sequence_of(&plan, &mut sequence);
+    Ok(PolicyPhase {
+        resource: resource.to_owned(),
+        sequence,
+        transcript: engine.transcript,
+        tree: engine.tree,
+    })
+}
+
+/// Run phase 2 (credential exchange) over an agreed trust sequence,
+/// consuming the phase-1 record and completing the outcome.
+pub fn exchange_credentials(
+    requester: &Party,
+    controller: &Party,
+    phase: PolicyPhase,
+    cfg: &NegotiationConfig,
+) -> Result<NegotiationOutcome, NegotiationError> {
+    let PolicyPhase { resource, sequence, mut transcript, mut tree } = phase;
+    let nonce = session_nonce(requester, controller, &resource);
+    for disclosure in sequence.disclosures() {
+        let sender = match disclosure.by {
+            Side::Requester => requester,
+            Side::Controller => controller,
+        };
+        let receiver = match disclosure.by {
+            Side::Requester => controller,
+            Side::Controller => requester,
+        };
+        let cred = sender
+            .profile
+            .get(&disclosure.cred_id)
+            .expect("planned credential is in the sender profile");
+        let ownership = if cfg.strategy.requires_ownership_proof() {
+            Some(Credential::prove_ownership(&sender.keys, &nonce))
+        } else {
+            None
+        };
+        transcript.log(
+            disclosure.by,
+            Message::CredentialDisclosure {
+                cred_id: disclosure.cred_id.0.clone(),
+                xml: trust_vo_xmldoc::to_string(&cred.to_xml()),
+                ownership,
+            },
+        );
+        transcript.credentials_disclosed += 1;
+
+        // Receiver-side verification.
+        transcript.verifications += 1;
+        let check = verify_disclosure(cred, receiver, cfg, &nonce, ownership.as_ref());
+        if let Err(cause) = check {
+            transcript.log(
+                disclosure.by.other(),
+                Message::Failure { reason: cause.to_string() },
+            );
+            tree.set_status(tree.root(), NodeStatus::Failed);
+            return Err(NegotiationError::TrustFailure { cause });
+        }
+        if cfg.strategy.requires_ownership_proof() {
+            transcript.ownership_proofs += 1;
+        }
+        transcript.log(disclosure.by.other(), Message::Ack);
+    }
+    transcript.log(Side::Controller, Message::Success);
+    Ok(NegotiationOutcome { resource, sequence, transcript, tree })
+}
+
+/// Run a full two-phase negotiation: `requester` asks `controller` for
+/// `resource`.
+pub fn negotiate(
+    requester: &Party,
+    controller: &Party,
+    resource: &str,
+    cfg: &NegotiationConfig,
+) -> Result<NegotiationOutcome, NegotiationError> {
+    let phase = evaluate_policies(requester, controller, resource, cfg)?;
+    exchange_credentials(requester, controller, phase, cfg)
+}
+
+/// Receiver-side checks on one disclosed credential: signature, validity,
+/// revocation, trusted issuer, and (for suspicious strategies) ownership.
+/// Public so the TN web service can verify per `CredentialExchange` call.
+pub fn verify_disclosure(
+    cred: &Credential,
+    receiver: &Party,
+    cfg: &NegotiationConfig,
+    nonce: &[u8],
+    ownership: Option<&trust_vo_crypto::Signature>,
+) -> Result<(), CredentialError> {
+    cred.verify(cfg.at, Some(&receiver.crl))?;
+    if !receiver.trusted_roots.is_empty()
+        && !receiver.trusted_roots.contains(&cred.header.issuer_key)
+    {
+        // The issuer is not directly trusted: try to reach a trusted root
+        // through the receiver's known intermediate credentials ("…
+        // eventually retrieving those credentials that are not immediately
+        // available through credentials chains", §4.2).
+        let chain = receiver
+            .chains
+            .resolve(cred, &receiver.trusted_roots)
+            .ok_or_else(|| CredentialError::UnknownIssuer(cred.header.issuer.clone()))?;
+        trust_vo_credential::chain::verify_chain(
+            &chain,
+            &receiver.trusted_roots,
+            cfg.at,
+            Some(&receiver.crl),
+        )?;
+    }
+    if cfg.strategy.requires_ownership_proof() {
+        let proof = ownership.ok_or(CredentialError::NotOwner {
+            cred_id: cred.id().0.clone(),
+        })?;
+        cred.authenticate_ownership(nonce, proof)?;
+    }
+    Ok(())
+}
+
+/// The deterministic per-session nonce ownership proofs are bound to.
+pub fn session_nonce(requester: &Party, controller: &Party, resource: &str) -> Vec<u8> {
+    let mut h = trust_vo_crypto::sha256::Sha256::new();
+    h.update(requester.name.as_bytes());
+    h.update(&[0]);
+    h.update(controller.name.as_bytes());
+    h.update(&[0]);
+    h.update(resource.as_bytes());
+    h.finalize().to_vec()
+}
+
+/// Count the satisfiable views for a negotiation (bounded by `cap`),
+/// without message accounting — "the interplay goes on until one or more
+/// potential trust sequences are determined" (§4.2). Used by tests and the
+/// scaling bench.
+pub fn count_views(
+    requester: &Party,
+    controller: &Party,
+    resource: &str,
+    cfg: &NegotiationConfig,
+    cap: usize,
+) -> usize {
+    fn views(
+        requester: &Party,
+        controller: &Party,
+        cfg: &NegotiationConfig,
+        owner: Side,
+        resource: &str,
+        stack: &mut Vec<(Side, String)>,
+        cap: usize,
+    ) -> usize {
+        if stack.len() >= cfg.max_depth {
+            return 0;
+        }
+        let key = (owner, resource.to_owned());
+        if stack.contains(&key) {
+            return 0;
+        }
+        stack.push(key);
+        let owner_party = match owner {
+            Side::Requester => requester,
+            Side::Controller => controller,
+        };
+        let alternatives: Vec<DisclosurePolicy> =
+            owner_party.alternatives_for(resource).into_iter().cloned().collect();
+        let mut total = 0usize;
+        if alternatives.is_empty() {
+            total = 1;
+        }
+        for policy in &alternatives {
+            if total >= cap {
+                break;
+            }
+            if policy.is_deliv() {
+                total += 1;
+                continue;
+            }
+            let counterpart = owner.other();
+            let counterpart_party = match counterpart {
+                Side::Requester => requester,
+                Side::Controller => controller,
+            };
+            let mut product = 1usize;
+            for term in policy.terms() {
+                let mut term_ways = 0usize;
+                for cred in counterpart_party.satisfying(term) {
+                    // Same validity filter as planning and enumeration:
+                    // parties never offer credentials expired at cfg.at.
+                    if !cred.header.validity.contains(cfg.at) {
+                        continue;
+                    }
+                    term_ways += views(
+                        requester,
+                        controller,
+                        cfg,
+                        counterpart,
+                        cred.cred_type(),
+                        stack,
+                        cap,
+                    );
+                    if term_ways >= cap {
+                        break;
+                    }
+                }
+                product = product.saturating_mul(term_ways).min(cap);
+                if product == 0 {
+                    break;
+                }
+            }
+            total = (total + product).min(cap);
+        }
+        stack.pop();
+        total
+    }
+    let mut stack = Vec::new();
+    views(requester, controller, cfg, Side::Controller, resource, &mut stack, cap)
+}
+
+// The `PolicyId` import is used in tree interactions; re-exported here for
+// integration tests that inspect chosen edges.
+#[doc(hidden)]
+pub use trust_vo_policy::PolicyId as _PolicyIdForTests;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trust_vo_credential::{Attribute, CredentialAuthority, Sensitivity, TimeRange};
+    use trust_vo_policy::{Resource, Term};
+
+    fn window() -> TimeRange {
+        TimeRange::one_year_from(Timestamp::from_ymd_hms(2009, 1, 1, 0, 0, 0))
+    }
+
+    fn at() -> Timestamp {
+        Timestamp::from_ymd_hms(2009, 6, 1, 0, 0, 0)
+    }
+
+    /// Build the paper's Fig. 2 / §5 scenario:
+    /// * Aircraft (controller) protects VoMembership with WebDesignerQuality.
+    /// * Aerospace (requester) holds an ISO9000/WebDesignerQuality credential,
+    ///   protected by: AAACreditation OR BalanceSheet from the Aircraft side.
+    /// * Aircraft holds an AAACreditation (and a BalanceSheet) credential,
+    ///   both freely deliverable.
+    fn fig2_parties() -> (Party, Party, CredentialAuthority) {
+        let mut ca = CredentialAuthority::new("AAA");
+        let mut aircraft = Party::new("Aircraft Company");
+        let mut aerospace = Party::new("Aerospace Company");
+
+        let quality = ca
+            .issue(
+                "WebDesignerQuality",
+                &aerospace.name,
+                aerospace.keys.public,
+                vec![Attribute::new("QualityRegulation", "UNI EN ISO 9000")],
+                window(),
+            )
+            .unwrap();
+        aerospace.profile.add_with_sensitivity(quality, Sensitivity::Medium);
+
+        let accreditation = ca
+            .issue("AAACreditation", &aircraft.name, aircraft.keys.public, vec![], window())
+            .unwrap();
+        aircraft.profile.add(accreditation);
+        let sheet = ca
+            .issue(
+                "BalanceSheet",
+                &aircraft.name,
+                aircraft.keys.public,
+                vec![Attribute::new("Issuer", "BBB")],
+                window(),
+            )
+            .unwrap();
+        aircraft.profile.add(sheet);
+
+        // Controller policy: VoMembership <- WebDesignerQuality.
+        aircraft.policies.add(DisclosurePolicy::rule(
+            "p1",
+            Resource::service("VoMembership"),
+            vec![Term::of_type("WebDesignerQuality")],
+        ));
+        // Aircraft's credentials are freely deliverable.
+        aircraft
+            .policies
+            .add(DisclosurePolicy::deliv("d1", Resource::credential("AAACreditation")));
+        aircraft
+            .policies
+            .add(DisclosurePolicy::deliv("d2", Resource::credential("BalanceSheet")));
+
+        // Requester policy: WebDesignerQuality <- AAACreditation | BalanceSheet.
+        aerospace.policies.add(DisclosurePolicy::rule(
+            "p2",
+            Resource::credential("WebDesignerQuality"),
+            vec![Term::of_type("AAACreditation")],
+        ));
+        aerospace.policies.add(DisclosurePolicy::rule(
+            "p3",
+            Resource::credential("WebDesignerQuality"),
+            vec![Term::of_type("BalanceSheet")],
+        ));
+
+        // Both trust the CA.
+        aircraft.trust_root(ca.public_key());
+        aerospace.trust_root(ca.public_key());
+        (aerospace, aircraft, ca)
+    }
+
+    #[test]
+    fn fig2_negotiation_succeeds() {
+        let (aerospace, aircraft, _) = fig2_parties();
+        let cfg = NegotiationConfig::new(Strategy::Standard, at());
+        let outcome = negotiate(&aerospace, &aircraft, "VoMembership", &cfg).unwrap();
+        // Trust sequence: Aircraft's AAACreditation first, then Aerospace's
+        // WebDesignerQuality.
+        let seq: Vec<_> = outcome
+            .sequence
+            .disclosures()
+            .iter()
+            .map(|d| (d.by, d.cred_type.clone()))
+            .collect();
+        assert_eq!(
+            seq,
+            vec![
+                (Side::Controller, "AAACreditation".to_owned()),
+                (Side::Requester, "WebDesignerQuality".to_owned()),
+            ]
+        );
+        assert_eq!(outcome.transcript.credentials_disclosed, 2);
+        assert!(outcome.tree.depth() >= 3);
+    }
+
+    #[test]
+    fn all_strategies_agree_on_success() {
+        let (aerospace, aircraft, _) = fig2_parties();
+        for strategy in Strategy::ALL {
+            let cfg = NegotiationConfig::new(strategy, at());
+            let outcome = negotiate(&aerospace, &aircraft, "VoMembership", &cfg);
+            assert!(outcome.is_ok(), "strategy {strategy} failed: {outcome:?}");
+        }
+    }
+
+    #[test]
+    fn trusting_uses_fewer_messages_than_strong_suspicious() {
+        let (aerospace, aircraft, _) = fig2_parties();
+        let trusting = negotiate(
+            &aerospace,
+            &aircraft,
+            "VoMembership",
+            &NegotiationConfig::new(Strategy::Trusting, at()),
+        )
+        .unwrap();
+        let strong = negotiate(
+            &aerospace,
+            &aircraft,
+            "VoMembership",
+            &NegotiationConfig::new(Strategy::StrongSuspicious, at()),
+        )
+        .unwrap();
+        assert!(
+            trusting.transcript.policy_rounds <= strong.transcript.policy_rounds,
+            "trusting {} vs strong {}",
+            trusting.transcript.policy_rounds,
+            strong.transcript.policy_rounds
+        );
+        assert_eq!(strong.transcript.ownership_proofs, 2);
+        assert_eq!(trusting.transcript.ownership_proofs, 0);
+    }
+
+    #[test]
+    fn missing_credential_fails_with_no_sequence() {
+        let (mut aerospace, aircraft, _) = fig2_parties();
+        // Strip the requester's only quality credential.
+        let id = aerospace.profile.credentials()[0].id().clone();
+        aerospace.profile.remove(&id);
+        let cfg = NegotiationConfig::new(Strategy::Standard, at());
+        let err = negotiate(&aerospace, &aircraft, "VoMembership", &cfg).unwrap_err();
+        assert!(matches!(err, NegotiationError::NoTrustSequence { .. }));
+    }
+
+    #[test]
+    fn revoked_credential_fails_in_exchange_phase() {
+        let (aerospace, mut aircraft, ca) = fig2_parties();
+        // Aircraft's CRL learns that the aerospace quality credential is revoked.
+        let revoked_id = aerospace.profile.credentials()[0].id().clone();
+        aircraft.crl.revoke(revoked_id, at());
+        let _ = ca;
+        let cfg = NegotiationConfig::new(Strategy::Standard, at());
+        let err = negotiate(&aerospace, &aircraft, "VoMembership", &cfg).unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                NegotiationError::TrustFailure { cause: CredentialError::Revoked { .. } }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn expired_credentials_are_never_offered() {
+        // Parties filter their own expired credentials during planning, so
+        // a negotiation after everything lapsed finds no trust sequence
+        // (rather than failing mid-exchange).
+        let (aerospace, aircraft, _) = fig2_parties();
+        let late = window().not_after.plus_days(30);
+        let cfg = NegotiationConfig::new(Strategy::Standard, late);
+        let err = negotiate(&aerospace, &aircraft, "VoMembership", &cfg).unwrap_err();
+        assert!(matches!(err, NegotiationError::NoTrustSequence { .. }));
+    }
+
+    #[test]
+    fn expired_credential_detected_in_exchange_when_sender_lies() {
+        // If a (buggy or malicious) sender bypasses the planning filter,
+        // the receiver's exchange-phase check still catches the expiry.
+        let (aerospace, _, _) = fig2_parties();
+        let cred = aerospace.profile.credentials()[0].clone();
+        let late = window().not_after.plus_days(30);
+        let cfg = NegotiationConfig::new(Strategy::Standard, late);
+        let receiver = Party::new("receiver");
+        let nonce = b"n";
+        let err = super::verify_disclosure(&cred, &receiver, &cfg, nonce, None).unwrap_err();
+        assert!(matches!(err, CredentialError::Expired { .. }));
+    }
+
+    #[test]
+    fn untrusted_issuer_fails() {
+        let (aerospace, mut aircraft, _) = fig2_parties();
+        // Aircraft only trusts some other CA now.
+        aircraft.trusted_roots.clear();
+        aircraft.trust_root(trust_vo_crypto::KeyPair::from_seed(b"other-ca").public);
+        let cfg = NegotiationConfig::new(Strategy::Standard, at());
+        let err = negotiate(&aerospace, &aircraft, "VoMembership", &cfg).unwrap_err();
+        assert!(matches!(
+            err,
+            NegotiationError::TrustFailure { cause: CredentialError::UnknownIssuer(_) }
+        ));
+    }
+
+    #[test]
+    fn incompatible_format_rejected_upfront() {
+        let (aerospace, aircraft, _) = fig2_parties();
+        let mut cfg = NegotiationConfig::new(Strategy::Suspicious, at());
+        cfg.format = CredentialFormat::X509v2;
+        let err = negotiate(&aerospace, &aircraft, "VoMembership", &cfg).unwrap_err();
+        assert!(matches!(err, NegotiationError::IncompatibleFormat { .. }));
+        // The selective extension lifts the restriction.
+        cfg.format = CredentialFormat::SelectiveX509;
+        assert!(negotiate(&aerospace, &aircraft, "VoMembership", &cfg).is_ok());
+    }
+
+    #[test]
+    fn interlocked_policies_deadlock_cleanly() {
+        // A wants B's X before giving Y; B wants A's Y before giving X.
+        let mut ca = CredentialAuthority::new("CA");
+        let mut a = Party::new("A");
+        let mut b = Party::new("B");
+        let ax = ca.issue("Y", "A", a.keys.public, vec![], window()).unwrap();
+        a.profile.add(ax);
+        let bx = ca.issue("X", "B", b.keys.public, vec![], window()).unwrap();
+        b.profile.add(bx);
+        a.policies.add(DisclosurePolicy::rule("pa", Resource::credential("Y"), vec![Term::of_type("X")]));
+        b.policies.add(DisclosurePolicy::rule("pb", Resource::credential("X"), vec![Term::of_type("Y")]));
+        b.policies.add(DisclosurePolicy::rule(
+            "root",
+            Resource::service("Svc"),
+            vec![Term::of_type("Y")],
+        ));
+        let cfg = NegotiationConfig::new(Strategy::Standard, at());
+        let err = negotiate(&a, &b, "Svc", &cfg).unwrap_err();
+        assert!(matches!(err, NegotiationError::NoTrustSequence { .. }));
+    }
+
+    #[test]
+    fn ungoverned_resource_granted_immediately() {
+        let a = Party::new("A");
+        let b = Party::new("B");
+        let cfg = NegotiationConfig::new(Strategy::Standard, at());
+        let outcome = negotiate(&a, &b, "PublicInfo", &cfg).unwrap();
+        assert!(outcome.sequence.is_empty());
+        assert_eq!(outcome.transcript.credentials_disclosed, 0);
+    }
+
+    #[test]
+    fn second_alternative_used_when_first_fails() {
+        let (mut aerospace, mut aircraft, _) = fig2_parties();
+        // Remove the aircraft's AAACreditation so alternative p2 fails and
+        // p3 (BalanceSheet) is used.
+        let id = aircraft
+            .profile
+            .of_type("AAACreditation")
+            .next()
+            .unwrap()
+            .id()
+            .clone();
+        aircraft.profile.remove(&id);
+        aerospace.trust_root(CredentialAuthority::new("AAA").public_key());
+        let cfg = NegotiationConfig::new(Strategy::Standard, at());
+        let outcome = negotiate(&aerospace, &aircraft, "VoMembership", &cfg).unwrap();
+        let types: Vec<_> = outcome
+            .sequence
+            .disclosures()
+            .iter()
+            .map(|d| d.cred_type.as_str())
+            .collect();
+        assert!(types.contains(&"BalanceSheet"));
+        assert!(outcome.transcript.failed_alternatives >= 1);
+    }
+
+    #[test]
+    fn count_views_matches_alternatives() {
+        let (aerospace, aircraft, _) = fig2_parties();
+        let cfg = NegotiationConfig::new(Strategy::Standard, at());
+        // Two views: via AAACreditation and via BalanceSheet.
+        assert_eq!(count_views(&aerospace, &aircraft, "VoMembership", &cfg, 100), 2);
+        assert_eq!(count_views(&aerospace, &aircraft, "Nothing", &cfg, 100), 1); // ungoverned
+    }
+
+    #[test]
+    fn sequence_respects_dependency_order() {
+        let (aerospace, aircraft, _) = fig2_parties();
+        let cfg = NegotiationConfig::new(Strategy::Standard, at());
+        let outcome = negotiate(&aerospace, &aircraft, "VoMembership", &cfg).unwrap();
+        // The aircraft's accreditation must precede the aerospace quality
+        // credential it unlocks.
+        let accr = aircraft.profile.of_type("AAACreditation").next().unwrap().id().clone();
+        let quality = aerospace.profile.of_type("WebDesignerQuality").next().unwrap().id().clone();
+        assert!(outcome.sequence.respects_order(&[(accr, quality)]));
+    }
+}
+
+#[cfg(test)]
+mod chain_tests {
+    use super::*;
+    use crate::strategy::Strategy;
+    use trust_vo_credential::{CredentialAuthority, TimeRange};
+    use trust_vo_policy::{DisclosurePolicy, Resource, Term};
+
+    fn window() -> TimeRange {
+        TimeRange::one_year_from(Timestamp::from_ymd_hms(2009, 1, 1, 0, 0, 0))
+    }
+
+    fn at() -> Timestamp {
+        Timestamp::from_ymd_hms(2009, 6, 1, 0, 0, 0)
+    }
+
+    /// The requester's credential is issued by an intermediate CA the
+    /// controller does not trust directly; the controller holds the root's
+    /// cross-certificate for the intermediate.
+    fn chained_world() -> (Party, Party) {
+        let root = CredentialAuthority::new("Root CA");
+        let mut intermediate = CredentialAuthority::new("Regional CA");
+        let mut requester = Party::new("R");
+        let mut controller = Party::new("C");
+
+        let quality = intermediate
+            .issue("Quality", "R", requester.keys.public, vec![], window())
+            .unwrap();
+        requester.profile.add(quality);
+
+        // The root certifies the intermediate: a credential whose subject
+        // key is the intermediate's issuing key.
+        let root_keys = trust_vo_crypto::KeyPair::from_seed(b"authority:Root CA");
+        let intermediate_subject_key = intermediate.public_key();
+        let cross_cert = Credential::issue_signed(
+            trust_vo_credential::Header {
+                cred_id: trust_vo_credential::CredentialId("cross-1".into()),
+                cred_type: "CACert".into(),
+                issuer: "Root CA".into(),
+                issuer_key: root.public_key(),
+                subject: "Regional CA".into(),
+                subject_key: intermediate_subject_key,
+                validity: window(),
+            },
+            vec![],
+            &root_keys,
+        );
+        controller.chains.add(cross_cert);
+
+        controller.policies.add(DisclosurePolicy::rule(
+            "p",
+            Resource::service("Svc"),
+            vec![Term::of_type("Quality")],
+        ));
+        // The controller trusts ONLY the root.
+        controller.trust_root(root.public_key());
+        requester.trust_root(root.public_key());
+        requester.trust_root(intermediate.public_key());
+        (requester, controller)
+    }
+
+    #[test]
+    fn chain_resolution_accepts_indirectly_trusted_issuer() {
+        let (requester, controller) = chained_world();
+        let cfg = NegotiationConfig::new(Strategy::Standard, at());
+        let outcome = negotiate(&requester, &controller, "Svc", &cfg);
+        assert!(outcome.is_ok(), "{outcome:?}");
+    }
+
+    #[test]
+    fn missing_chain_link_still_rejected() {
+        let (requester, mut controller) = chained_world();
+        controller.chains = trust_vo_credential::chain::ChainDirectory::new();
+        let cfg = NegotiationConfig::new(Strategy::Standard, at());
+        let err = negotiate(&requester, &controller, "Svc", &cfg).unwrap_err();
+        assert!(matches!(
+            err,
+            NegotiationError::TrustFailure { cause: CredentialError::UnknownIssuer(_) }
+        ));
+    }
+
+    #[test]
+    fn revoked_chain_link_rejected() {
+        let (requester, mut controller) = chained_world();
+        controller
+            .crl
+            .revoke(trust_vo_credential::CredentialId("cross-1".into()), at());
+        let cfg = NegotiationConfig::new(Strategy::Standard, at());
+        let err = negotiate(&requester, &controller, "Svc", &cfg).unwrap_err();
+        assert!(matches!(
+            err,
+            NegotiationError::TrustFailure { cause: CredentialError::Revoked { .. } }
+        ));
+    }
+}
+
+#[cfg(test)]
+mod budget_tests {
+    use super::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn message_budget_interrupts_long_exchanges() {
+        // A deep chain needs many policy messages; a tiny budget interrupts.
+        let (requester, controller) = {
+            // Reuse the chain generator shape inline.
+            use trust_vo_credential::{CredentialAuthority, TimeRange};
+            use trust_vo_policy::{DisclosurePolicy, Resource, Term};
+            let window = TimeRange::one_year_from(Timestamp::from_ymd_hms(2009, 1, 1, 0, 0, 0));
+            let mut ca = CredentialAuthority::new("CA");
+            let mut requester = Party::new("R");
+            let mut controller = Party::new("C");
+            for level in 0..8usize {
+                let ty = format!("T{level}");
+                let owner = if level % 2 == 0 { &mut requester } else { &mut controller };
+                let cred = ca.issue(&ty, &owner.name.clone(), owner.keys.public, vec![], window).unwrap();
+                owner.profile.add(cred);
+                let resource = Resource::credential(ty);
+                if level + 1 < 8 {
+                    owner.policies.add(DisclosurePolicy::rule(
+                        format!("p{level}"),
+                        resource,
+                        vec![Term::of_type(format!("T{}", level + 1))],
+                    ));
+                } else {
+                    owner.policies.add(DisclosurePolicy::deliv(format!("d{level}"), resource));
+                }
+            }
+            controller.policies.add(DisclosurePolicy::rule(
+                "root",
+                Resource::service("Svc"),
+                vec![Term::of_type("T0")],
+            ));
+            requester.trust_root(ca.public_key());
+            controller.trust_root(ca.public_key());
+            (requester, controller)
+        };
+        let at = Timestamp::from_ymd_hms(2009, 6, 1, 0, 0, 0);
+        let mut cfg = NegotiationConfig::new(Strategy::Standard, at);
+        cfg.max_messages = 5;
+        let err = negotiate(&requester, &controller, "Svc", &cfg).unwrap_err();
+        assert!(matches!(err, NegotiationError::Interrupted { .. }), "{err:?}");
+        // With the default budget it completes.
+        let cfg = NegotiationConfig::new(Strategy::Standard, at);
+        assert!(negotiate(&requester, &controller, "Svc", &cfg).is_ok());
+    }
+}
+
+#[cfg(test)]
+mod strategy_message_tests {
+    use super::*;
+    use crate::strategy::Strategy;
+    use trust_vo_credential::{CredentialAuthority, TimeRange};
+    use trust_vo_policy::{DisclosurePolicy, Resource, Term};
+
+    /// A conjunctive three-term policy: strong-suspicious must split it
+    /// into one message per term, the others send it whole.
+    #[test]
+    fn strong_suspicious_splits_conjunctions() {
+        let window = TimeRange::one_year_from(Timestamp::from_ymd_hms(2009, 1, 1, 0, 0, 0));
+        let at = Timestamp::from_ymd_hms(2009, 6, 1, 0, 0, 0);
+        let mut ca = CredentialAuthority::new("CA");
+        let mut requester = Party::new("R");
+        let mut controller = Party::new("C");
+        for ty in ["A", "B", "C"] {
+            let cred = ca.issue(ty, "R", requester.keys.public, vec![], window).unwrap();
+            requester.profile.add(cred);
+        }
+        controller.policies.add(DisclosurePolicy::rule(
+            "p",
+            Resource::service("Svc"),
+            vec![Term::of_type("A"), Term::of_type("B"), Term::of_type("C")],
+        ));
+        requester.trust_root(ca.public_key());
+        controller.trust_root(ca.public_key());
+
+        let standard = negotiate(
+            &requester, &controller, "Svc",
+            &NegotiationConfig::new(Strategy::Standard, at),
+        ).unwrap();
+        let strong = negotiate(
+            &requester, &controller, "Svc",
+            &NegotiationConfig::new(Strategy::StrongSuspicious, at),
+        ).unwrap();
+        // Standard: the whole policy in 1 round; strong: 3 rounds.
+        assert_eq!(standard.transcript.policy_rounds + 2, strong.transcript.policy_rounds);
+        assert_eq!(standard.transcript.count_tag("policy-disclosure") + 2,
+                   strong.transcript.count_tag("policy-disclosure"));
+        // Same trust sequence either way.
+        assert_eq!(standard.sequence, strong.sequence);
+    }
+}
+
+#[cfg(test)]
+mod count_views_validity_tests {
+    use super::*;
+    use crate::strategy::Strategy;
+    use trust_vo_credential::{CredentialAuthority, TimeRange};
+    use trust_vo_policy::{DisclosurePolicy, Resource, Term};
+
+    /// Regression: count_views must apply the same validity filter as
+    /// planning and enumeration, so the three APIs agree in the presence
+    /// of expired credentials.
+    #[test]
+    fn expired_credentials_not_counted_as_views() {
+        let mut ca = CredentialAuthority::new("CA");
+        let mut requester = Party::new("R");
+        let mut controller = Party::new("C");
+        let fresh_window = TimeRange::one_year_from(Timestamp::from_ymd_hms(2009, 1, 1, 0, 0, 0));
+        let stale_window = TimeRange::one_year_from(Timestamp::from_ymd_hms(2005, 1, 1, 0, 0, 0));
+        let valid = ca.issue("T", "R", requester.keys.public, vec![], fresh_window).unwrap();
+        let expired = ca.issue("T", "R", requester.keys.public, vec![], stale_window).unwrap();
+        requester.profile.add(valid);
+        requester.profile.add(expired);
+        controller.policies.add(DisclosurePolicy::rule(
+            "p",
+            Resource::service("Svc"),
+            vec![Term::of_type("T")],
+        ));
+        requester.trust_root(ca.public_key());
+        controller.trust_root(ca.public_key());
+        let cfg = NegotiationConfig::new(Strategy::Standard, Timestamp::from_ymd_hms(2009, 6, 1, 0, 0, 0));
+        let counted = count_views(&requester, &controller, "Svc", &cfg, 100);
+        let enumerated =
+            crate::enumerate::enumerate_sequences(&requester, &controller, "Svc", &cfg, 100).len();
+        assert_eq!(counted, 1, "only the valid credential forms a view");
+        assert_eq!(counted, enumerated);
+    }
+}

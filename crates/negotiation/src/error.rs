@@ -1,0 +1,84 @@
+//! Failure taxonomy for negotiations.
+//!
+//! "The process ends with the disclosure of the requested resource or, if
+//! any unforeseen event happens, an interruption. If the failure is related
+//! to trust, for example a party uses a revoked certificate, the
+//! negotiation fails." (§4.2)
+
+use trust_vo_credential::CredentialError;
+
+/// Why a negotiation did not succeed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NegotiationError {
+    /// The policy evaluation phase found no satisfiable view: no trust
+    /// sequence exists for the requested resource.
+    NoTrustSequence {
+        /// The requested resource.
+        resource: String,
+    },
+    /// A trust failure during the credential exchange phase (revoked,
+    /// expired, forged, or not-owned credential).
+    TrustFailure {
+        /// The underlying credential error.
+        cause: CredentialError,
+    },
+    /// The chosen strategy is incompatible with the credential format in
+    /// use (§6.3: suspicious strategies require partial hiding, which plain
+    /// X.509 v2 does not support).
+    IncompatibleFormat {
+        /// Human-readable explanation.
+        detail: String,
+    },
+    /// The counterpart interrupted the negotiation.
+    Interrupted {
+        /// Reason given, if any.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for NegotiationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoTrustSequence { resource } => {
+                write!(f, "no trust sequence exists for resource '{resource}'")
+            }
+            Self::TrustFailure { cause } => write!(f, "trust failure: {cause}"),
+            Self::IncompatibleFormat { detail } => {
+                write!(f, "strategy/format incompatibility: {detail}")
+            }
+            Self::Interrupted { reason } => write!(f, "negotiation interrupted: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for NegotiationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::TrustFailure { cause } => Some(cause),
+            _ => None,
+        }
+    }
+}
+
+impl From<CredentialError> for NegotiationError {
+    fn from(cause: CredentialError) -> Self {
+        NegotiationError::TrustFailure { cause }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = NegotiationError::NoTrustSequence { resource: "VoMembership".into() };
+        assert!(e.to_string().contains("VoMembership"));
+        let e: NegotiationError =
+            CredentialError::Revoked { cred_id: "c1".into() }.into();
+        assert!(e.to_string().contains("revoked"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = NegotiationError::Interrupted { reason: "timeout".into() };
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,327 @@
+//! Trust tickets: fast-path re-negotiation.
+//!
+//! The paper's Identification phase anticipates policies that require
+//! "tickets attesting their participation to other VOs" (§5.1), and the
+//! Trust-X line of work (\[15,16\]) issues *trust tickets* at the end of a
+//! successful negotiation so that subsequent negotiations between the same
+//! parties for the same resource can skip the policy-evaluation phase.
+//!
+//! A [`TrustTicket`] is signed by the resource controller, names both
+//! parties and the resource, and carries a validity window. Presenting a
+//! valid ticket (plus a holder proof over the session nonce) replaces the
+//! whole two-phase protocol with a single verification.
+
+use crate::engine::{session_nonce, NegotiationConfig};
+use crate::error::NegotiationError;
+use crate::party::Party;
+use trust_vo_credential::{CredentialError, TimeRange, Timestamp};
+use trust_vo_crypto::{KeyPair, PublicKey, Signature};
+
+/// A ticket attesting a previously successful negotiation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrustTicket {
+    /// The party the ticket was granted to (the requester).
+    pub holder: String,
+    /// The holder's key (ownership is proven against it).
+    pub holder_key: PublicKey,
+    /// The controller that granted the ticket.
+    pub issuer: String,
+    /// The controller's verification key.
+    pub issuer_key: PublicKey,
+    /// The resource the original negotiation granted.
+    pub resource: String,
+    /// Validity window.
+    pub validity: TimeRange,
+    /// Controller signature over all the above.
+    pub signature: Signature,
+}
+
+fn ticket_bytes(
+    holder: &str,
+    holder_key: PublicKey,
+    issuer: &str,
+    issuer_key: PublicKey,
+    resource: &str,
+    validity: TimeRange,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + holder.len() + issuer.len() + resource.len());
+    out.extend_from_slice(&(holder.len() as u32).to_be_bytes());
+    out.extend_from_slice(holder.as_bytes());
+    out.extend_from_slice(&holder_key.0.to_be_bytes());
+    out.extend_from_slice(&(issuer.len() as u32).to_be_bytes());
+    out.extend_from_slice(issuer.as_bytes());
+    out.extend_from_slice(&issuer_key.0.to_be_bytes());
+    out.extend_from_slice(&(resource.len() as u32).to_be_bytes());
+    out.extend_from_slice(resource.as_bytes());
+    out.extend_from_slice(&validity.not_before.0.to_be_bytes());
+    out.extend_from_slice(&validity.not_after.0.to_be_bytes());
+    out
+}
+
+impl TrustTicket {
+    /// Issue a ticket after a successful negotiation: the controller signs
+    /// with its own keys.
+    pub fn issue(
+        requester: &Party,
+        controller: &Party,
+        controller_keys: &KeyPair,
+        resource: &str,
+        validity: TimeRange,
+    ) -> Self {
+        let bytes = ticket_bytes(
+            &requester.name,
+            requester.keys.public,
+            &controller.name,
+            controller_keys.public,
+            resource,
+            validity,
+        );
+        TrustTicket {
+            holder: requester.name.clone(),
+            holder_key: requester.keys.public,
+            issuer: controller.name.clone(),
+            issuer_key: controller_keys.public,
+            resource: resource.to_owned(),
+            validity,
+            signature: controller_keys.sign(&bytes),
+        }
+    }
+
+    /// Verify the ticket itself (signature + validity at `at`).
+    pub fn verify(&self, at: Timestamp) -> Result<(), CredentialError> {
+        let bytes = ticket_bytes(
+            &self.holder,
+            self.holder_key,
+            &self.issuer,
+            self.issuer_key,
+            &self.resource,
+            self.validity,
+        );
+        if !self.issuer_key.verify(&bytes, &self.signature) {
+            return Err(CredentialError::BadSignature { cred_id: format!("ticket:{}", self.resource) });
+        }
+        if !self.validity.contains(at) {
+            return Err(CredentialError::Expired {
+                cred_id: format!("ticket:{}", self.resource),
+                at,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The result of a ticket-based fast path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TicketOutcome {
+    /// The ticket was accepted; the resource is granted without a
+    /// negotiation.
+    Granted,
+    /// No usable ticket — fall back to the full two-phase protocol.
+    FallBack(TicketRejection),
+}
+
+/// Why a ticket was not usable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TicketRejection {
+    /// The ticket names a different controller or resource.
+    WrongScope,
+    /// Signature or validity check failed.
+    Invalid(String),
+    /// The holder proof over the session nonce failed.
+    NotHolder,
+}
+
+/// Controller-side check of a presented ticket. `proof` is the holder's
+/// signature over the session nonce (computed exactly as in the full
+/// protocol), so a stolen ticket is useless without the holder key.
+pub fn redeem_ticket(
+    ticket: &TrustTicket,
+    requester: &Party,
+    controller: &Party,
+    resource: &str,
+    cfg: &NegotiationConfig,
+    proof: &Signature,
+) -> TicketOutcome {
+    if ticket.issuer != controller.name
+        || ticket.issuer_key != controller.keys.public
+        || ticket.resource != resource
+        || ticket.holder != requester.name
+    {
+        return TicketOutcome::FallBack(TicketRejection::WrongScope);
+    }
+    if let Err(e) = ticket.verify(cfg.at) {
+        return TicketOutcome::FallBack(TicketRejection::Invalid(e.to_string()));
+    }
+    let nonce = session_nonce(requester, controller, resource);
+    if !ticket.holder_key.verify(&nonce, proof) {
+        return TicketOutcome::FallBack(TicketRejection::NotHolder);
+    }
+    TicketOutcome::Granted
+}
+
+/// Full-protocol wrapper with a ticket fast path: if `ticket` is usable it
+/// is redeemed (one signature check instead of a negotiation); otherwise
+/// the ordinary two-phase [`crate::engine::negotiate`] runs. On success, a
+/// fresh ticket is issued for next time.
+pub fn negotiate_with_ticket(
+    requester: &Party,
+    controller: &Party,
+    resource: &str,
+    cfg: &NegotiationConfig,
+    ticket: Option<&TrustTicket>,
+    ticket_validity: TimeRange,
+) -> Result<(TrustTicket, bool), NegotiationError> {
+    if let Some(ticket) = ticket {
+        let nonce = session_nonce(requester, controller, resource);
+        let proof = requester.keys.sign(&nonce);
+        if let TicketOutcome::Granted =
+            redeem_ticket(ticket, requester, controller, resource, cfg, &proof)
+        {
+            return Ok((ticket.clone(), true));
+        }
+    }
+    crate::engine::negotiate(requester, controller, resource, cfg)?;
+    let fresh = TrustTicket::issue(requester, controller, &controller.keys, resource, ticket_validity);
+    Ok((fresh, false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+    use trust_vo_credential::CredentialAuthority;
+    use trust_vo_policy::{DisclosurePolicy, Resource, Term};
+
+    fn window() -> TimeRange {
+        TimeRange::one_year_from(Timestamp::from_ymd_hms(2009, 1, 1, 0, 0, 0))
+    }
+
+    fn at() -> Timestamp {
+        Timestamp::from_ymd_hms(2009, 6, 1, 0, 0, 0)
+    }
+
+    fn parties() -> (Party, Party) {
+        let mut ca = CredentialAuthority::new("CA");
+        let mut requester = Party::new("R");
+        let mut controller = Party::new("C");
+        let cred = ca.issue("Quality", "R", requester.keys.public, vec![], window()).unwrap();
+        requester.profile.add(cred);
+        controller.policies.add(DisclosurePolicy::rule(
+            "p",
+            Resource::service("Svc"),
+            vec![Term::of_type("Quality")],
+        ));
+        requester.trust_root(ca.public_key());
+        controller.trust_root(ca.public_key());
+        (requester, controller)
+    }
+
+    #[test]
+    fn issue_and_verify() {
+        let (requester, controller) = parties();
+        let ticket =
+            TrustTicket::issue(&requester, &controller, &controller.keys, "Svc", window());
+        assert!(ticket.verify(at()).is_ok());
+        assert!(ticket.verify(window().not_after.plus_days(1)).is_err());
+    }
+
+    #[test]
+    fn tampered_ticket_rejected() {
+        let (requester, controller) = parties();
+        let mut ticket =
+            TrustTicket::issue(&requester, &controller, &controller.keys, "Svc", window());
+        ticket.resource = "OtherSvc".into();
+        assert!(matches!(ticket.verify(at()), Err(CredentialError::BadSignature { .. })));
+    }
+
+    #[test]
+    fn redeem_happy_path() {
+        let (requester, controller) = parties();
+        let cfg = NegotiationConfig::new(Strategy::Standard, at());
+        let ticket =
+            TrustTicket::issue(&requester, &controller, &controller.keys, "Svc", window());
+        let nonce = session_nonce(&requester, &controller, "Svc");
+        let proof = requester.keys.sign(&nonce);
+        assert_eq!(
+            redeem_ticket(&ticket, &requester, &controller, "Svc", &cfg, &proof),
+            TicketOutcome::Granted
+        );
+    }
+
+    #[test]
+    fn stolen_ticket_useless_without_holder_key() {
+        let (requester, controller) = parties();
+        let thief = Party::new("Thief");
+        let cfg = NegotiationConfig::new(Strategy::Standard, at());
+        let ticket =
+            TrustTicket::issue(&requester, &controller, &controller.keys, "Svc", window());
+        // The thief presents the requester's ticket but signs with its own key.
+        let nonce = session_nonce(&requester, &controller, "Svc");
+        let bad_proof = thief.keys.sign(&nonce);
+        assert_eq!(
+            redeem_ticket(&ticket, &requester, &controller, "Svc", &cfg, &bad_proof),
+            TicketOutcome::FallBack(TicketRejection::NotHolder)
+        );
+        // A ticket naming the thief as holder doesn't verify either — the
+        // scope check fires first when the thief negotiates as itself.
+        assert_eq!(
+            redeem_ticket(&ticket, &thief, &controller, "Svc", &cfg, &bad_proof),
+            TicketOutcome::FallBack(TicketRejection::WrongScope)
+        );
+    }
+
+    #[test]
+    fn wrong_scope_falls_back() {
+        let (requester, controller) = parties();
+        let cfg = NegotiationConfig::new(Strategy::Standard, at());
+        let ticket =
+            TrustTicket::issue(&requester, &controller, &controller.keys, "Svc", window());
+        let nonce = session_nonce(&requester, &controller, "OtherSvc");
+        let proof = requester.keys.sign(&nonce);
+        assert_eq!(
+            redeem_ticket(&ticket, &requester, &controller, "OtherSvc", &cfg, &proof),
+            TicketOutcome::FallBack(TicketRejection::WrongScope)
+        );
+    }
+
+    #[test]
+    fn negotiate_with_ticket_round_trips() {
+        let (requester, controller) = parties();
+        let cfg = NegotiationConfig::new(Strategy::Standard, at());
+        // First run: no ticket — full protocol, fresh ticket issued.
+        let (ticket, fast) =
+            negotiate_with_ticket(&requester, &controller, "Svc", &cfg, None, window()).unwrap();
+        assert!(!fast);
+        // Second run: the ticket short-circuits.
+        let (_, fast) =
+            negotiate_with_ticket(&requester, &controller, "Svc", &cfg, Some(&ticket), window())
+                .unwrap();
+        assert!(fast);
+        // Expired ticket: falls back to the full protocol and re-issues.
+        let late_cfg = NegotiationConfig::new(Strategy::Standard, window().not_after.plus_days(-1));
+        let (_, fast) = negotiate_with_ticket(
+            &requester,
+            &controller,
+            "Svc",
+            &late_cfg,
+            Some(&TrustTicket {
+                validity: TimeRange::new(Timestamp(0), Timestamp(1)),
+                ..ticket.clone()
+            }),
+            window(),
+        )
+        .unwrap();
+        assert!(!fast);
+    }
+
+    #[test]
+    fn unsatisfiable_negotiation_stays_unsatisfiable_with_ticket_api() {
+        let (mut requester, controller) = parties();
+        let id = requester.profile.credentials()[0].id().clone();
+        requester.profile.remove(&id);
+        let cfg = NegotiationConfig::new(Strategy::Standard, at());
+        let err = negotiate_with_ticket(&requester, &controller, "Svc", &cfg, None, window())
+            .unwrap_err();
+        assert!(matches!(err, NegotiationError::NoTrustSequence { .. }));
+    }
+}

@@ -1,0 +1,132 @@
+//! Views and trust sequences.
+//!
+//! "The trust sequence is identified by one tree view, where a view denotes
+//! a possible trust sequence that can lead to the negotiation success. The
+//! view keeps track of which terms may need to be disclosed to contribute
+//! to the success of the negotiation, and of the correct order of
+//! certificate exchange." (§4.2)
+
+use crate::message::Side;
+use trust_vo_credential::CredentialId;
+
+/// One credential disclosure in a trust sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Disclosure {
+    /// Who discloses.
+    pub by: Side,
+    /// The credential.
+    pub cred_id: CredentialId,
+    /// Its type (for display).
+    pub cred_type: String,
+}
+
+/// An ordered trust sequence: credentials are disclosed deepest-first, so
+/// every credential's protecting policies are already satisfied when it is
+/// sent.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TrustSequence {
+    disclosures: Vec<Disclosure>,
+}
+
+impl TrustSequence {
+    /// An empty sequence (pure-DELIV negotiations).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a disclosure (callers append in leaf-to-root order).
+    pub fn push(&mut self, disclosure: Disclosure) {
+        self.disclosures.push(disclosure);
+    }
+
+    /// The disclosures in exchange order.
+    pub fn disclosures(&self) -> &[Disclosure] {
+        &self.disclosures
+    }
+
+    /// Number of disclosures.
+    pub fn len(&self) -> usize {
+        self.disclosures.len()
+    }
+
+    /// True when nothing needs to be disclosed.
+    pub fn is_empty(&self) -> bool {
+        self.disclosures.is_empty()
+    }
+
+    /// Disclosures made by one side.
+    pub fn by_side(&self, side: Side) -> impl Iterator<Item = &Disclosure> {
+        self.disclosures.iter().filter(move |d| d.by == side)
+    }
+
+    /// Validate the central safety invariant used in tests: for every
+    /// dependency pair `(earlier ⇒ later)` passed in, `earlier` appears
+    /// before `later` in the sequence. Dependencies are credential-id
+    /// pairs: the credential satisfying a policy term must be disclosed
+    /// before the credential that policy protects.
+    pub fn respects_order(&self, dependencies: &[(CredentialId, CredentialId)]) -> bool {
+        let position = |id: &CredentialId| self.disclosures.iter().position(|d| &d.cred_id == id);
+        dependencies.iter().all(|(before, after)| {
+            match (position(before), position(after)) {
+                (Some(b), Some(a)) => b < a,
+                // Absent credentials cannot violate ordering.
+                _ => true,
+            }
+        })
+    }
+}
+
+impl std::fmt::Display for TrustSequence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, d) in self.disclosures.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" -> ")?;
+            }
+            write!(f, "{}:{}", d.by, d.cred_type)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(by: Side, id: &str, ty: &str) -> Disclosure {
+        Disclosure { by, cred_id: CredentialId(id.into()), cred_type: ty.into() }
+    }
+
+    #[test]
+    fn push_and_query() {
+        let mut seq = TrustSequence::new();
+        assert!(seq.is_empty());
+        seq.push(d(Side::Requester, "c1", "ISO9000Certified"));
+        seq.push(d(Side::Controller, "c2", "AAAMember"));
+        seq.push(d(Side::Requester, "c3", "BalanceSheet"));
+        assert_eq!(seq.len(), 3);
+        assert_eq!(seq.by_side(Side::Requester).count(), 2);
+        assert_eq!(seq.by_side(Side::Controller).count(), 1);
+    }
+
+    #[test]
+    fn display_renders_arrow_chain() {
+        let mut seq = TrustSequence::new();
+        seq.push(d(Side::Requester, "c1", "A"));
+        seq.push(d(Side::Controller, "c2", "B"));
+        assert_eq!(seq.to_string(), "requester:A -> controller:B");
+    }
+
+    #[test]
+    fn respects_order_checks_pairs() {
+        let mut seq = TrustSequence::new();
+        seq.push(d(Side::Requester, "c1", "A"));
+        seq.push(d(Side::Controller, "c2", "B"));
+        let ok = [(CredentialId("c1".into()), CredentialId("c2".into()))];
+        assert!(seq.respects_order(&ok));
+        let bad = [(CredentialId("c2".into()), CredentialId("c1".into()))];
+        assert!(!seq.respects_order(&bad));
+        // Unknown ids do not constrain.
+        let unknown = [(CredentialId("zz".into()), CredentialId("c1".into()))];
+        assert!(seq.respects_order(&unknown));
+    }
+}

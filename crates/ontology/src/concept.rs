@@ -1,0 +1,184 @@
+//! Concepts and their credential bindings.
+//!
+//! "Each concept in the ontology is associated with the concept name, a set
+//! of attributes and credential types names.
+//! ⟨gender; Passport.gender; DrivingLicense.sex⟩ is an example of concept.
+//! … a concept can be implemented by attributes of different credentials or
+//! by different credentials." (§4.3)
+
+use std::collections::BTreeSet;
+
+/// One way a concept can be implemented by credential material: either a
+/// whole credential type (`BalanceSheet`) or a specific attribute of a
+/// credential type (`Passport.gender`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Binding {
+    /// The credential type that carries the information.
+    pub cred_type: String,
+    /// The attribute within the credential, if the binding is
+    /// attribute-level; `None` means the whole credential implements the
+    /// concept.
+    pub attribute: Option<String>,
+}
+
+impl Binding {
+    /// A whole-credential binding.
+    pub fn credential(cred_type: impl Into<String>) -> Self {
+        Binding { cred_type: cred_type.into(), attribute: None }
+    }
+
+    /// An attribute-level binding (`Passport.gender`).
+    pub fn attribute(cred_type: impl Into<String>, attribute: impl Into<String>) -> Self {
+        Binding { cred_type: cred_type.into(), attribute: Some(attribute.into()) }
+    }
+
+    /// Parse the dotted form used in the paper (`Passport.gender`), or a
+    /// bare credential type.
+    pub fn parse(text: &str) -> Self {
+        match text.split_once('.') {
+            Some((ty, attr)) => Binding::attribute(ty, attr),
+            None => Binding::credential(text),
+        }
+    }
+}
+
+impl std::fmt::Display for Binding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.attribute {
+            Some(attr) => write!(f, "{}.{}", self.cred_type, attr),
+            None => f.write_str(&self.cred_type),
+        }
+    }
+}
+
+/// A concept in a party's ontology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Concept {
+    /// The concept name (unique within an ontology).
+    pub name: String,
+    /// Credential bindings that implement the concept.
+    pub bindings: Vec<Binding>,
+    /// Extra descriptive keywords used by the similarity matcher.
+    pub keywords: Vec<String>,
+}
+
+impl Concept {
+    /// Create a concept with no bindings.
+    pub fn new(name: impl Into<String>) -> Self {
+        Concept { name: name.into(), bindings: Vec::new(), keywords: Vec::new() }
+    }
+
+    /// Builder: add a binding by its textual form.
+    #[must_use]
+    pub fn implemented_by(mut self, binding: &str) -> Self {
+        self.bindings.push(Binding::parse(binding));
+        self
+    }
+
+    /// Builder: add a descriptive keyword.
+    #[must_use]
+    pub fn keyword(mut self, kw: impl Into<String>) -> Self {
+        self.keywords.push(kw.into());
+        self
+    }
+
+    /// The credential types bound to this concept (deduplicated).
+    pub fn credential_types(&self) -> BTreeSet<&str> {
+        self.bindings.iter().map(|b| b.cred_type.as_str()).collect()
+    }
+
+    /// The token set the Jaccard matcher compares: name fragments,
+    /// keywords, and binding fragments, all lowercased.
+    pub fn feature_tokens(&self) -> BTreeSet<String> {
+        let mut set = BTreeSet::new();
+        tokenize_into(&self.name, &mut set);
+        for kw in &self.keywords {
+            tokenize_into(kw, &mut set);
+        }
+        for b in &self.bindings {
+            tokenize_into(&b.cred_type, &mut set);
+            if let Some(attr) = &b.attribute {
+                tokenize_into(attr, &mut set);
+            }
+        }
+        set
+    }
+}
+
+/// Split an identifier into lowercase tokens on case changes, digits, and
+/// separators: `TexasDriverLicense` → {texas, driver, license}.
+pub fn tokenize_into(text: &str, out: &mut BTreeSet<String>) {
+    let mut current = String::new();
+    let mut prev_lower = false;
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            if ch.is_uppercase() && prev_lower && !current.is_empty() {
+                out.insert(std::mem::take(&mut current));
+            }
+            current.extend(ch.to_lowercase());
+            prev_lower = ch.is_lowercase() || ch.is_numeric();
+        } else {
+            if !current.is_empty() {
+                out.insert(std::mem::take(&mut current));
+            }
+            prev_lower = false;
+        }
+    }
+    if !current.is_empty() {
+        out.insert(current);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binding_parse_forms() {
+        assert_eq!(Binding::parse("Passport.gender"), Binding::attribute("Passport", "gender"));
+        assert_eq!(Binding::parse("BalanceSheet"), Binding::credential("BalanceSheet"));
+        assert_eq!(Binding::parse("Passport.gender").to_string(), "Passport.gender");
+        assert_eq!(Binding::parse("BalanceSheet").to_string(), "BalanceSheet");
+    }
+
+    #[test]
+    fn paper_gender_concept() {
+        // ⟨gender; Passport.gender; DrivingLicense.sex⟩
+        let c = Concept::new("gender")
+            .implemented_by("Passport.gender")
+            .implemented_by("DrivingLicense.sex");
+        assert_eq!(c.credential_types().into_iter().collect::<Vec<_>>(), ["DrivingLicense", "Passport"]);
+    }
+
+    #[test]
+    fn tokenize_camel_case_and_separators() {
+        let mut set = BTreeSet::new();
+        tokenize_into("TexasDriverLicense", &mut set);
+        assert_eq!(set.iter().collect::<Vec<_>>(), ["driver", "license", "texas"]);
+        let mut set = BTreeSet::new();
+        tokenize_into("quality_regulation-ISO", &mut set);
+        assert!(set.contains("quality") && set.contains("regulation") && set.contains("iso"));
+    }
+
+    #[test]
+    fn tokenize_handles_acronym_runs() {
+        let mut set = BTreeSet::new();
+        tokenize_into("AAACreditation", &mut set);
+        // Acronym runs stay together with the following word-start.
+        assert!(!set.is_empty());
+        let mut set2 = BTreeSet::new();
+        tokenize_into("", &mut set2);
+        assert!(set2.is_empty());
+    }
+
+    #[test]
+    fn feature_tokens_union_all_sources() {
+        let c = Concept::new("WebDesignerQuality")
+            .keyword("ISO 9000")
+            .implemented_by("ISO9000Certified.QualityRegulation");
+        let tokens = c.feature_tokens();
+        for t in ["web", "designer", "quality", "iso", "9000", "certified", "regulation"] {
+            assert!(tokens.contains(t), "missing token {t}: {tokens:?}");
+        }
+    }
+}

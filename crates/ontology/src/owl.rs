@@ -1,0 +1,179 @@
+//! Ontology persistence as XML (the OWL/Protégé substitute).
+//!
+//! The prototype used "OWL to create a common ontology for the credential
+//! and disclosure policies attributes" and "the Core Protégé APIs which
+//! allow one to store ontologies in different formats such as XML Schema"
+//! (§6.3, Fig. 8). This module provides the equivalent round-trippable XML
+//! form:
+//!
+//! ```xml
+//! <ontology>
+//!   <concept name="gender">
+//!     <keyword>sex</keyword>
+//!     <binding credType="Passport" attribute="gender"/>
+//!     <binding credType="DrivingLicense" attribute="sex"/>
+//!   </concept>
+//!   <isA child="Texas_DriverLicense" parent="Civilian_DriverLicense"/>
+//! </ontology>
+//! ```
+
+use crate::concept::{Binding, Concept};
+use crate::graph::Ontology;
+use trust_vo_xmldoc::{Element, Node};
+
+/// Error while reading an ontology document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OntologyParseError(pub String);
+
+impl std::fmt::Display for OntologyParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed ontology document: {}", self.0)
+    }
+}
+
+impl std::error::Error for OntologyParseError {}
+
+/// Serialize an ontology (concepts, bindings, keywords, `is_a` edges).
+pub fn ontology_to_xml(ontology: &Ontology) -> Element {
+    let mut root = Element::new("ontology");
+    for concept in ontology.concepts() {
+        let mut el = Element::new("concept").attr("name", &concept.name);
+        for kw in &concept.keywords {
+            el.children.push(Node::Element(Element::new("keyword").text(kw)));
+        }
+        for b in &concept.bindings {
+            let mut binding = Element::new("binding").attr("credType", &b.cred_type);
+            if let Some(attr) = &b.attribute {
+                binding.set_attr("attribute", attr);
+            }
+            el.children.push(Node::Element(binding));
+        }
+        root.children.push(Node::Element(el));
+    }
+    for concept in ontology.concepts() {
+        for parent in ontology.direct_parents(&concept.name) {
+            root.children.push(Node::Element(
+                Element::new("isA").attr("child", &concept.name).attr("parent", parent),
+            ));
+        }
+    }
+    root
+}
+
+/// Deserialize an ontology.
+pub fn ontology_from_xml(root: &Element) -> Result<Ontology, OntologyParseError> {
+    if root.name != "ontology" {
+        return Err(OntologyParseError(format!("expected <ontology>, found <{}>", root.name)));
+    }
+    let mut ontology = Ontology::new();
+    for el in root.all("concept") {
+        let name = el
+            .get_attr("name")
+            .ok_or_else(|| OntologyParseError("<concept> missing name".into()))?;
+        let mut concept = Concept::new(name);
+        for kw in el.all("keyword") {
+            concept.keywords.push(kw.text_content());
+        }
+        for b in el.all("binding") {
+            let cred_type = b
+                .get_attr("credType")
+                .ok_or_else(|| OntologyParseError("<binding> missing credType".into()))?;
+            concept.bindings.push(match b.get_attr("attribute") {
+                Some(attr) => Binding::attribute(cred_type, attr),
+                None => Binding::credential(cred_type),
+            });
+        }
+        ontology.add(concept);
+    }
+    for el in root.all("isA") {
+        let child = el
+            .get_attr("child")
+            .ok_or_else(|| OntologyParseError("<isA> missing child".into()))?;
+        let parent = el
+            .get_attr("parent")
+            .ok_or_else(|| OntologyParseError("<isA> missing parent".into()))?;
+        if !ontology.add_is_a(child, parent) {
+            return Err(OntologyParseError(format!(
+                "invalid is_a edge {child} -> {parent} (unknown concept or cycle)"
+            )));
+        }
+    }
+    Ok(ontology)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ontology {
+        let mut o = Ontology::new();
+        o.add(
+            Concept::new("gender")
+                .keyword("sex")
+                .implemented_by("Passport.gender")
+                .implemented_by("DrivingLicense.sex"),
+        );
+        o.add(Concept::new("Civilian_DriverLicense").implemented_by("CivilianLicense"));
+        o.add(Concept::new("Texas_DriverLicense").implemented_by("TexasLicense"));
+        assert!(o.add_is_a("Texas_DriverLicense", "Civilian_DriverLicense"));
+        o
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let original = sample();
+        let text = trust_vo_xmldoc::to_string(&ontology_to_xml(&original));
+        let back = ontology_from_xml(&trust_vo_xmldoc::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.len(), original.len());
+        let gender = back.get("gender").unwrap();
+        assert_eq!(gender.keywords, ["sex"]);
+        assert_eq!(gender.bindings.len(), 2);
+        assert_eq!(gender.bindings[0], Binding::attribute("Passport", "gender"));
+        assert!(back.is_subconcept("Texas_DriverLicense", "Civilian_DriverLicense"));
+    }
+
+    #[test]
+    fn roundtripped_ontology_behaves_identically() {
+        let original = sample();
+        let back = ontology_from_xml(&ontology_to_xml(&original)).unwrap();
+        // Same inference, same similarity behaviour.
+        assert_eq!(
+            original.credential_types_for("Civilian_DriverLicense"),
+            back.credential_types_for("Civilian_DriverLicense")
+        );
+        let m1 = crate::matcher::match_concept("drivers_license_texas", &original, 0.1);
+        let m2 = crate::matcher::match_concept("drivers_license_texas", &back, 0.1);
+        assert_eq!(m1.map(|m| m.target), m2.map(|m| m.target));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for text in [
+            "<notOntology/>",
+            r#"<ontology><concept/></ontology>"#,
+            r#"<ontology><concept name="a"><binding/></concept></ontology>"#,
+            r#"<ontology><isA child="x" parent="y"/></ontology>"#,
+        ] {
+            let doc = trust_vo_xmldoc::parse(text).unwrap();
+            assert!(ontology_from_xml(&doc).is_err(), "{text}");
+        }
+    }
+
+    #[test]
+    fn cyclic_is_a_rejected_at_load() {
+        let text = r#"<ontology>
+            <concept name="a"/><concept name="b"/>
+            <isA child="a" parent="b"/>
+            <isA child="b" parent="a"/>
+        </ontology>"#;
+        let doc = trust_vo_xmldoc::parse(text).unwrap();
+        let err = ontology_from_xml(&doc).unwrap_err();
+        assert!(err.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn empty_ontology_roundtrips() {
+        let back = ontology_from_xml(&ontology_to_xml(&Ontology::new())).unwrap();
+        assert!(back.is_empty());
+    }
+}

@@ -1,0 +1,112 @@
+//! Jaccard-coefficient similarity between concepts.
+//!
+//! "The matching operation is executed according to the Jaccard
+//! coefficient, as developed for the GLUE mapping tool, and is summarized
+//! by the ComputeSimilarity function in Algorithm 1." (§4.3.1)
+//!
+//! GLUE's exact coefficient is estimated from instance distributions; with
+//! no instance corpus available, the standard surrogate is the Jaccard
+//! coefficient over the concepts' *feature token sets* (name fragments,
+//! keywords, binding fragments) — the same `|A ∩ B| / |A ∪ B|` form, the
+//! same `[0, 1]` confidence range, the same argmax use.
+
+use crate::concept::{tokenize_into, Concept};
+use std::collections::BTreeSet;
+
+/// Jaccard coefficient between two sets: `|A ∩ B| / |A ∪ B|`.
+/// Both empty ⇒ 1.0 (identical); one empty ⇒ 0.0.
+pub fn jaccard(a: &BTreeSet<String>, b: &BTreeSet<String>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let intersection = a.intersection(b).count();
+    let union = a.len() + b.len() - intersection;
+    if union == 0 {
+        1.0
+    } else {
+        intersection as f64 / union as f64
+    }
+}
+
+/// The paper's `ComputeSimilarity(C′, Cᵢ)`: similarity between two concepts
+/// in `[0, 1]`.
+pub fn compute_similarity(a: &Concept, b: &Concept) -> f64 {
+    jaccard(&a.feature_tokens(), &b.feature_tokens())
+}
+
+/// Similarity between a bare concept *name* (from a counterpart policy) and
+/// a local concept — used when the foreign ontology is not transmitted.
+pub fn name_similarity(name: &str, local: &Concept) -> f64 {
+    let mut tokens = BTreeSet::new();
+    tokenize_into(name, &mut tokens);
+    jaccard(&tokens, &local.feature_tokens())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn set(items: &[&str]) -> BTreeSet<String> {
+        items.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn jaccard_basics() {
+        assert_eq!(jaccard(&set(&["a", "b"]), &set(&["a", "b"])), 1.0);
+        assert_eq!(jaccard(&set(&["a"]), &set(&["b"])), 0.0);
+        assert!((jaccard(&set(&["a", "b", "c"]), &set(&["b", "c", "d"])) - 0.5).abs() < 1e-12);
+        assert_eq!(jaccard(&set(&[]), &set(&[])), 1.0);
+        assert_eq!(jaccard(&set(&["a"]), &set(&[])), 0.0);
+    }
+
+    #[test]
+    fn identical_concepts_score_one() {
+        let c = Concept::new("WebDesignerQuality").keyword("ISO");
+        assert_eq!(compute_similarity(&c, &c), 1.0);
+    }
+
+    #[test]
+    fn related_concepts_score_between() {
+        let a = Concept::new("WebDesignerQuality");
+        let b = Concept::new("DesignerQualityCertification");
+        let s = compute_similarity(&a, &b);
+        assert!(s > 0.0 && s < 1.0, "{s}");
+    }
+
+    #[test]
+    fn unrelated_concepts_score_zero() {
+        let a = Concept::new("BalanceSheet");
+        let b = Concept::new("DriverLicense");
+        assert_eq!(compute_similarity(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn name_similarity_matches_policy_keywords() {
+        let local = Concept::new("QualityCertification")
+            .keyword("ISO 9000")
+            .implemented_by("ISO9000Certified.QualityRegulation");
+        // A foreign policy asks for "Quality_Certification_ISO".
+        let s = name_similarity("Quality_Certification_ISO", &local);
+        assert!(s > 0.4, "{s}");
+        assert!(name_similarity("StorageCapacity", &local) < 0.1);
+    }
+
+    proptest! {
+        #[test]
+        fn jaccard_is_symmetric_and_bounded(
+            a in proptest::collection::btree_set("[a-e]{1,3}", 0..6),
+            b in proptest::collection::btree_set("[a-e]{1,3}", 0..6),
+        ) {
+            let ab = jaccard(&a, &b);
+            let ba = jaccard(&b, &a);
+            prop_assert!((ab - ba).abs() < 1e-15);
+            prop_assert!((0.0..=1.0).contains(&ab));
+        }
+
+        #[test]
+        fn self_similarity_is_one(a in proptest::collection::btree_set("[a-e]{1,3}", 0..6)) {
+            prop_assert_eq!(jaccard(&a, &a), 1.0);
+        }
+    }
+}

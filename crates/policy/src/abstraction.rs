@@ -1,0 +1,139 @@
+//! Policy abstraction over the ontology (paper §4.3.1).
+//!
+//! "The disclosure policies' can be abstracted by executing a substitution
+//! operation of sensitive credentials names into the associated concepts
+//! names, which are more generic and disclose less information. The process
+//! can be iterated so as to hide even more information, if the ancestor
+//! concept is used."
+//!
+//! Abstraction serves the privacy goal of §4.3: "By expressing the policy
+//! through concepts, the VO party can avoid having to request a specific Id
+//! type … it can ask for a generic business list, rather than naming
+//! exactly the type of document needed."
+
+use crate::policy::{DisclosurePolicy, PolicyBody};
+use crate::term::{CredentialSpec, Term};
+use trust_vo_ontology::Ontology;
+
+/// Substitute a typed term's credential name by the concept that the
+/// ontology binds it to. Conditions are preserved. Terms that are already
+/// concept-level, variable, or whose type has no owning concept are
+/// returned unchanged.
+pub fn abstract_term(term: &Term, ontology: &Ontology) -> Term {
+    let CredentialSpec::Type(cred_type) = &term.spec else {
+        return term.clone();
+    };
+    let owning = ontology
+        .concepts()
+        .find(|c| c.credential_types().contains(cred_type.as_str()));
+    match owning {
+        Some(concept) => Term {
+            spec: CredentialSpec::Concept(concept.name.clone()),
+            conditions: term.conditions.clone(),
+        },
+        None => term.clone(),
+    }
+}
+
+/// Iterate the abstraction `levels` more times by climbing the `is_a`
+/// hierarchy: each level replaces a concept by its nearest ancestor (if
+/// any). `levels == 0` performs only the name→concept substitution.
+pub fn lift_term(term: &Term, ontology: &Ontology, levels: usize) -> Term {
+    let mut current = abstract_term(term, ontology);
+    for _ in 0..levels {
+        let CredentialSpec::Concept(name) = &current.spec else {
+            break;
+        };
+        match ontology.ancestors(name).first() {
+            Some(&parent) => {
+                current.spec = CredentialSpec::Concept(parent.to_owned());
+            }
+            None => break,
+        }
+    }
+    current
+}
+
+/// Abstract every term of a policy (delivery rules are unchanged).
+pub fn abstract_policy(policy: &DisclosurePolicy, ontology: &Ontology, levels: usize) -> DisclosurePolicy {
+    let body = match &policy.body {
+        PolicyBody::Deliv => PolicyBody::Deliv,
+        PolicyBody::Terms(terms) => {
+            PolicyBody::Terms(terms.iter().map(|t| lift_term(t, ontology, levels)).collect())
+        }
+    };
+    DisclosurePolicy { id: policy.id.clone(), target: policy.target.clone(), body }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rterm::Resource;
+    use trust_vo_ontology::Concept;
+
+    fn ontology() -> Ontology {
+        let mut o = Ontology::new();
+        o.add(Concept::new("IntelBadge").implemented_by("IntelEmployeeCard"));
+        o.add(Concept::new("EmployeeId"));
+        o.add(Concept::new("Identity"));
+        assert!(o.add_is_a("IntelBadge", "EmployeeId"));
+        assert!(o.add_is_a("EmployeeId", "Identity"));
+        o
+    }
+
+    #[test]
+    fn typed_term_abstracts_to_owning_concept() {
+        // The §4.3 example: "verify that the counterpart has an Intel
+        // issued card at run time without revealing that this is the one
+        // kind needed".
+        let t = Term::of_type("IntelEmployeeCard");
+        let a = abstract_term(&t, &ontology());
+        assert_eq!(a.spec, CredentialSpec::Concept("IntelBadge".into()));
+    }
+
+    #[test]
+    fn conditions_survive_abstraction() {
+        let t = Term::of_type("IntelEmployeeCard").where_attr("Division", "Fab");
+        let a = abstract_term(&t, &ontology());
+        assert_eq!(a.conditions.len(), 1);
+    }
+
+    #[test]
+    fn unbound_type_unchanged() {
+        let t = Term::of_type("MysteryCredential");
+        assert_eq!(abstract_term(&t, &ontology()), t);
+    }
+
+    #[test]
+    fn lifting_climbs_ancestors() {
+        let t = Term::of_type("IntelEmployeeCard");
+        let o = ontology();
+        assert_eq!(lift_term(&t, &o, 0).spec, CredentialSpec::Concept("IntelBadge".into()));
+        assert_eq!(lift_term(&t, &o, 1).spec, CredentialSpec::Concept("EmployeeId".into()));
+        assert_eq!(lift_term(&t, &o, 2).spec, CredentialSpec::Concept("Identity".into()));
+        // Lifting past the root saturates.
+        assert_eq!(lift_term(&t, &o, 9).spec, CredentialSpec::Concept("Identity".into()));
+    }
+
+    #[test]
+    fn variable_terms_unchanged() {
+        let t = Term::variable();
+        assert_eq!(lift_term(&t, &ontology(), 3), t);
+    }
+
+    #[test]
+    fn policy_abstraction_covers_all_terms() {
+        let p = DisclosurePolicy::rule(
+            "p",
+            Resource::service("VoMembership"),
+            vec![Term::of_type("IntelEmployeeCard"), Term::of_type("MysteryCredential")],
+        );
+        let a = abstract_policy(&p, &ontology(), 1);
+        let terms = a.terms();
+        assert_eq!(terms[0].spec, CredentialSpec::Concept("EmployeeId".into()));
+        assert_eq!(terms[1].spec, CredentialSpec::Type("MysteryCredential".into()));
+        // Delivery rules pass through.
+        let d = DisclosurePolicy::deliv("d", Resource::credential("X"));
+        assert_eq!(abstract_policy(&d, &ontology(), 1), d);
+    }
+}

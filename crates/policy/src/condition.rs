@@ -1,0 +1,112 @@
+//! Attribute conditions on counterpart credentials.
+//!
+//! "Additional conditions to be evaluated on the credential attributes are
+//! specified in the subelements `<certCond>`. Such element stores an Xpath
+//! expression on the credential denoted by targetCertType." (§6.2)
+//!
+//! A [`Condition`] wraps an [`XPathExpr`] evaluated against the canonical
+//! XML form of a credential. Conditions written against `content/...`
+//! paths work for both absolute (`/credential/content/X`) and relative
+//! (`content/X`) spellings.
+
+use trust_vo_credential::Credential;
+use trust_vo_xmldoc::{XmlError, XPathExpr};
+
+/// A single condition over a credential document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Condition {
+    expr: XPathExpr,
+}
+
+impl Condition {
+    /// Parse a condition from its XPath text.
+    pub fn parse(text: &str) -> Result<Self, XmlError> {
+        Ok(Condition { expr: XPathExpr::parse(text)? })
+    }
+
+    /// Shorthand: equality on a content attribute
+    /// (`//content/<attr> = '<value>'`).
+    pub fn attr_equals(attr: &str, value: &str) -> Self {
+        Self::parse(&format!("//content/{attr} = '{value}'"))
+            .expect("generated condition is valid")
+    }
+
+    /// Evaluate against a credential.
+    pub fn holds_for(&self, cred: &Credential) -> bool {
+        self.expr.evaluate(&cred.to_xml())
+    }
+
+    /// The source text.
+    pub fn source(&self) -> &str {
+        self.expr.source()
+    }
+}
+
+impl std::fmt::Display for Condition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.source())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trust_vo_credential::{Attribute, CredentialAuthority, TimeRange, Timestamp};
+    use trust_vo_crypto::KeyPair;
+
+    fn cred() -> Credential {
+        let mut ca = CredentialAuthority::new("INFN");
+        ca.issue(
+            "ISO9000Certified",
+            "Aerospace",
+            KeyPair::from_seed(b"aero").public,
+            vec![
+                Attribute::new("QualityRegulation", "UNI EN ISO 9000"),
+                Attribute::new("AuditScore", 97i64),
+            ],
+            TimeRange::one_year_from(Timestamp::from_ymd_hms(2009, 1, 1, 0, 0, 0)),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn equality_condition() {
+        let c = Condition::attr_equals("QualityRegulation", "UNI EN ISO 9000");
+        assert!(c.holds_for(&cred()));
+        let c = Condition::attr_equals("QualityRegulation", "ISO 14000");
+        assert!(!c.holds_for(&cred()));
+    }
+
+    #[test]
+    fn numeric_condition() {
+        let c = Condition::parse("//content/AuditScore >= 90").unwrap();
+        assert!(c.holds_for(&cred()));
+        let c = Condition::parse("//content/AuditScore > 97").unwrap();
+        assert!(!c.holds_for(&cred()));
+    }
+
+    #[test]
+    fn header_paths_work() {
+        let c = Condition::parse("/credential/header/issuer = 'INFN'").unwrap();
+        assert!(c.holds_for(&cred()));
+        let c = Condition::parse("//credType = 'ISO9000Certified'").unwrap();
+        assert!(c.holds_for(&cred()));
+    }
+
+    #[test]
+    fn existence_condition() {
+        assert!(Condition::parse("//content/AuditScore").unwrap().holds_for(&cred()));
+        assert!(!Condition::parse("//content/Nothing").unwrap().holds_for(&cred()));
+    }
+
+    #[test]
+    fn parse_error_propagates() {
+        assert!(Condition::parse("///").is_err());
+    }
+
+    #[test]
+    fn display_echoes_source() {
+        let c = Condition::parse("//content/AuditScore >= 90").unwrap();
+        assert_eq!(c.to_string(), "//content/AuditScore >= 90");
+    }
+}

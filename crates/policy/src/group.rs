@@ -1,0 +1,191 @@
+//! Group conditions (paper §8, planned extension).
+//!
+//! "A first extension is related to enhancing the Trust-X language to
+//! support the specification of policies with group conditions and
+//! requesting credentials that describe VO properties."
+//!
+//! A **group condition** requires any `k` of `n` terms to be satisfied
+//! (e.g. "two of: ISO 9000 certification, AAA accreditation, a recent
+//! balance sheet"). X-TNL rules are pure conjunctions with per-resource
+//! alternatives providing disjunction, so a k-of-n group compiles exactly
+//! onto that machinery: one alternative rule per k-subset. This module
+//! performs the compilation, keeping the negotiation engine unchanged.
+//!
+//! **VO-property terms** are the second half of the extension: terms over
+//! the VO membership certificate itself (`VoProperty`), compiled into
+//! conditions on the `vo` / `role` / `voPublicKey` attributes of the
+//! X.509v2 membership token, re-encoded as an X-TNL credential type
+//! `VoMembershipToken`.
+
+use crate::condition::Condition;
+use crate::policy::DisclosurePolicy;
+use crate::rterm::Resource;
+use crate::term::Term;
+
+/// A k-of-n group condition over terms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupCondition {
+    /// How many of the terms must be satisfied.
+    pub k: usize,
+    /// The candidate terms.
+    pub terms: Vec<Term>,
+}
+
+impl GroupCondition {
+    /// Build a group; panics if `k` is zero or exceeds the term count
+    /// (scenario-construction errors).
+    pub fn new(k: usize, terms: Vec<Term>) -> Self {
+        assert!(k >= 1, "a group condition requires k >= 1");
+        assert!(k <= terms.len(), "k = {k} exceeds {} terms", terms.len());
+        GroupCondition { k, terms }
+    }
+
+    /// All k-subsets of the term list, in lexicographic index order.
+    fn subsets(&self) -> Vec<Vec<Term>> {
+        let n = self.terms.len();
+        let mut out = Vec::new();
+        let mut idx: Vec<usize> = (0..self.k).collect();
+        loop {
+            out.push(idx.iter().map(|&i| self.terms[i].clone()).collect());
+            // Advance the combination.
+            let mut i = self.k;
+            loop {
+                if i == 0 {
+                    return out;
+                }
+                i -= 1;
+                if idx[i] != i + n - self.k {
+                    break;
+                }
+            }
+            if idx[self.k - 1] == n - 1 && idx[0] == n - self.k {
+                return out;
+            }
+            idx[i] += 1;
+            for j in i + 1..self.k {
+                idx[j] = idx[j - 1] + 1;
+            }
+        }
+    }
+
+    /// Compile into ordinary X-TNL alternatives: one conjunctive rule per
+    /// k-subset, all protecting `target`. Ids are `prefix#0`, `prefix#1`, …
+    pub fn compile(&self, prefix: &str, target: Resource) -> Vec<DisclosurePolicy> {
+        self.subsets()
+            .into_iter()
+            .enumerate()
+            .map(|(i, terms)| DisclosurePolicy::rule(format!("{prefix}#{i}"), target.clone(), terms))
+            .collect()
+    }
+
+    /// Number of compiled alternatives: `C(n, k)`.
+    pub fn alternative_count(&self) -> usize {
+        let n = self.terms.len();
+        let k = self.k.min(n - self.k); // symmetry
+        let mut result: usize = 1;
+        for i in 0..k {
+            result = result * (n - i) / (i + 1);
+        }
+        result
+    }
+}
+
+/// A term requiring the counterpart's VO membership token to carry given
+/// properties — the "credentials that describe VO properties" half of the
+/// extension. Compiles into a typed term over `VoMembershipToken`.
+pub fn vo_property_term(vo_name: Option<&str>, role: Option<&str>) -> Term {
+    let mut term = Term::of_type("VoMembershipToken");
+    if let Some(vo) = vo_name {
+        term = term.with_condition(Condition::attr_equals("vo", vo));
+    }
+    if let Some(role) = role {
+        term = term.with_condition(Condition::attr_equals("role", role));
+    }
+    term
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn terms(n: usize) -> Vec<Term> {
+        (0..n).map(|i| Term::of_type(format!("T{i}"))).collect()
+    }
+
+    #[test]
+    fn one_of_n_compiles_to_n_alternatives() {
+        let g = GroupCondition::new(1, terms(3));
+        let policies = g.compile("grp", Resource::service("Svc"));
+        assert_eq!(policies.len(), 3);
+        assert_eq!(g.alternative_count(), 3);
+        for (i, p) in policies.iter().enumerate() {
+            assert_eq!(p.terms().len(), 1);
+            assert_eq!(p.id.0, format!("grp#{i}"));
+            assert_eq!(p.target.name, "Svc");
+        }
+    }
+
+    #[test]
+    fn two_of_three_compiles_to_three_pairs() {
+        let g = GroupCondition::new(2, terms(3));
+        let policies = g.compile("grp", Resource::service("Svc"));
+        assert_eq!(policies.len(), 3);
+        let pairs: Vec<Vec<String>> = policies
+            .iter()
+            .map(|p| p.terms().iter().map(Term::key).collect())
+            .collect();
+        assert_eq!(pairs, vec![
+            vec!["T0".to_owned(), "T1".to_owned()],
+            vec!["T0".to_owned(), "T2".to_owned()],
+            vec!["T1".to_owned(), "T2".to_owned()],
+        ]);
+    }
+
+    #[test]
+    fn n_of_n_is_plain_conjunction() {
+        let g = GroupCondition::new(4, terms(4));
+        let policies = g.compile("grp", Resource::credential("C"));
+        assert_eq!(policies.len(), 1);
+        assert_eq!(policies[0].terms().len(), 4);
+    }
+
+    #[test]
+    fn alternative_count_is_binomial() {
+        assert_eq!(GroupCondition::new(2, terms(5)).alternative_count(), 10);
+        assert_eq!(GroupCondition::new(3, terms(6)).alternative_count(), 20);
+        assert_eq!(GroupCondition::new(1, terms(1)).alternative_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 1")]
+    fn zero_k_panics() {
+        GroupCondition::new(0, terms(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_k_panics() {
+        GroupCondition::new(3, terms(2));
+    }
+
+    #[test]
+    fn compiled_subsets_cover_binomial_count() {
+        for (k, n) in [(1, 4), (2, 4), (3, 4), (2, 6)] {
+            let g = GroupCondition::new(k, terms(n));
+            assert_eq!(
+                g.compile("x", Resource::service("S")).len(),
+                g.alternative_count(),
+                "k={k} n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn vo_property_term_shapes() {
+        let t = vo_property_term(Some("AircraftOptimization"), Some("HpcPartnerService"));
+        assert_eq!(t.key(), "VoMembershipToken");
+        assert_eq!(t.conditions.len(), 2);
+        let t = vo_property_term(None, None);
+        assert!(t.conditions.is_empty());
+    }
+}

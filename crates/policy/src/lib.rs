@@ -1,0 +1,53 @@
+//! X-TNL disclosure policies (paper §4.1).
+//!
+//! "The disclosure policies state the conditions under which a resource or
+//! a credential can be released during a negotiation." Policies are logic
+//! rules built from **terms** `P(C)` (credential type + conditions) and
+//! **R-Terms** `ResName(attrset)` (resource name + attributes):
+//!
+//! ```text
+//! R ← T₁, T₂, …, Tₙ     (n ≥ 1)      — release R if all terms satisfied
+//! R ← DELIV                           — delivery rule: R is freely released
+//! ```
+//!
+//! A policy "is satisfied if the stated credentials are disclosed to the
+//! policy sender and the policy conditions (if any) evaluated as true".
+//! Several policies may protect the same resource — they are
+//! *alternatives*, which is what gives negotiation trees their multiedges.
+//!
+//! Modules:
+//!
+//! * [`term`] — terms, with typed or unspecified credential types (the
+//!   paper allows a variable type "to express constraints on the
+//!   counterpart properties without specifying from which types of
+//!   credential such properties should be obtained"), and concept-level
+//!   terms for the ontology extension (§4.3.1),
+//! * [`rterm`] — resources (credentials, services, files),
+//! * [`condition`] — attribute conditions, stored as XPath expressions
+//!   exactly as the prototype's `<certCond>` elements do,
+//! * [`policy`] — the disclosure-policy rule and policy sets,
+//! * [`compliance`] — checking a term against an X-Profile,
+//! * [`xml`] — the proprietary XML format of Figs. 6–7,
+//! * [`abstraction`] — §4.3.1's substitution of credential names by
+//!   concept names (policy abstraction over the ontology).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod abstraction;
+pub mod compliance;
+pub mod condition;
+pub mod group;
+pub mod policy;
+pub mod rterm;
+pub mod term;
+pub mod xacml;
+pub mod xml;
+
+pub use compliance::{satisfying_credentials, term_satisfied};
+pub use condition::Condition;
+pub use policy::{DisclosurePolicy, PolicyBody, PolicyId, PolicySet};
+pub use rterm::{Resource, ResourceKind};
+pub use group::{vo_property_term, GroupCondition};
+pub use term::{CredentialSpec, Term};
+pub use xacml::{import_policy, import_policy_set};

@@ -1,0 +1,123 @@
+//! R-Terms: resources protected by disclosure policies.
+//!
+//! "R-Terms are expressions of the form ResName(attrset) where ResName
+//! denotes a resource name whereas attrset denotes a set of attributes,
+//! specifying relevant characteristics of the resource. Examples of
+//! resources are a credential, a file or a Web service." (§4.1)
+
+/// What kind of thing a resource is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceKind {
+    /// A credential the party may disclose.
+    Credential,
+    /// A service the party offers (e.g. VO membership, the design portal).
+    Service,
+    /// A file / data item.
+    File,
+}
+
+impl ResourceKind {
+    /// The XML tag value.
+    pub fn label(self) -> &'static str {
+        match self {
+            ResourceKind::Credential => "credential",
+            ResourceKind::Service => "service",
+            ResourceKind::File => "file",
+        }
+    }
+
+    /// Parse the XML tag value.
+    pub fn parse(text: &str) -> Option<Self> {
+        match text {
+            "credential" => Some(ResourceKind::Credential),
+            "service" => Some(ResourceKind::Service),
+            "file" => Some(ResourceKind::File),
+            _ => None,
+        }
+    }
+}
+
+/// An R-Term.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Resource {
+    /// The resource name (a credential type name, service name, or path).
+    pub name: String,
+    /// The resource kind.
+    pub kind: ResourceKind,
+    /// Characteristic attributes, e.g. `("vo", "AircraftOptimization")`.
+    pub attrs: Vec<(String, String)>,
+}
+
+impl Resource {
+    /// A credential resource.
+    pub fn credential(name: impl Into<String>) -> Self {
+        Resource { name: name.into(), kind: ResourceKind::Credential, attrs: Vec::new() }
+    }
+
+    /// A service resource.
+    pub fn service(name: impl Into<String>) -> Self {
+        Resource { name: name.into(), kind: ResourceKind::Service, attrs: Vec::new() }
+    }
+
+    /// A file resource.
+    pub fn file(name: impl Into<String>) -> Self {
+        Resource { name: name.into(), kind: ResourceKind::File, attrs: Vec::new() }
+    }
+
+    /// Builder: attach a characteristic attribute.
+    #[must_use]
+    pub fn with_attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attrs.push((name.into(), value.into()));
+        self
+    }
+
+    /// Look up a characteristic attribute.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+}
+
+impl std::fmt::Display for Resource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, (k, v)) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{k}={v}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_and_lookup() {
+        let r = Resource::service("VoMembership")
+            .with_attr("vo", "AircraftOptimization")
+            .with_attr("role", "DesignPartnerWebPortal");
+        assert_eq!(r.kind, ResourceKind::Service);
+        assert_eq!(r.attr("vo"), Some("AircraftOptimization"));
+        assert_eq!(r.attr("nope"), None);
+        assert_eq!(
+            r.to_string(),
+            "VoMembership(vo=AircraftOptimization, role=DesignPartnerWebPortal)"
+        );
+    }
+
+    #[test]
+    fn kind_labels_roundtrip() {
+        for k in [ResourceKind::Credential, ResourceKind::Service, ResourceKind::File] {
+            assert_eq!(ResourceKind::parse(k.label()), Some(k));
+        }
+        assert_eq!(ResourceKind::parse("other"), None);
+    }
+
+    #[test]
+    fn display_without_attrs() {
+        assert_eq!(Resource::credential("BalanceSheet").to_string(), "BalanceSheet()");
+    }
+}

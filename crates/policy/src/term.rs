@@ -1,0 +1,172 @@
+//! Terms: the left-hand-side building blocks of disclosure policies.
+//!
+//! "A term is an expression of form P(C) where P is a credential type and C
+//! is a (possibly empty) list of conditions on the attributes encoded in
+//! credentials of type P. The credential type P can be unspecified (and
+//! denoted by a variable), so to express constraints on the counterpart
+//! properties without specifying from which types of credential such
+//! properties should be obtained from." (§4.1)
+//!
+//! The ontology extension (§4.3) adds a third spec form: a **concept**
+//! name, to be resolved by the receiver's reasoning engine via Algorithm 1.
+
+use crate::condition::Condition;
+use trust_vo_credential::Credential;
+
+/// How a term designates the credential(s) that can satisfy it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CredentialSpec {
+    /// A named credential type `P`.
+    Type(String),
+    /// An unspecified type (a variable) — any credential whose attributes
+    /// satisfy the conditions counts, giving the receiver "the flexibility
+    /// of choosing which credentials to send".
+    Variable,
+    /// An ontology concept, resolved by the receiver (§4.3.1).
+    Concept(String),
+}
+
+/// A term `P(C)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Term {
+    /// The credential designation.
+    pub spec: CredentialSpec,
+    /// Conditions on the credential's attributes (possibly empty).
+    pub conditions: Vec<Condition>,
+}
+
+impl Term {
+    /// A term naming a credential type with no conditions.
+    pub fn of_type(name: impl Into<String>) -> Self {
+        Term { spec: CredentialSpec::Type(name.into()), conditions: Vec::new() }
+    }
+
+    /// A variable-type term.
+    pub fn variable() -> Self {
+        Term { spec: CredentialSpec::Variable, conditions: Vec::new() }
+    }
+
+    /// A concept-level term.
+    pub fn of_concept(name: impl Into<String>) -> Self {
+        Term { spec: CredentialSpec::Concept(name.into()), conditions: Vec::new() }
+    }
+
+    /// Builder: add a condition.
+    #[must_use]
+    pub fn with_condition(mut self, condition: Condition) -> Self {
+        self.conditions.push(condition);
+        self
+    }
+
+    /// Builder: add an attribute-equality condition.
+    #[must_use]
+    pub fn where_attr(self, attr: &str, value: &str) -> Self {
+        self.with_condition(Condition::attr_equals(attr, value))
+    }
+
+    /// Does this specific credential satisfy the term, *ignoring* concept
+    /// resolution (concept terms never match directly — the receiver maps
+    /// them first)?
+    pub fn matches_credential(&self, cred: &Credential) -> bool {
+        let type_ok = match &self.spec {
+            CredentialSpec::Type(name) => cred.cred_type() == name,
+            CredentialSpec::Variable => true,
+            CredentialSpec::Concept(_) => false,
+        };
+        type_ok && self.conditions.iter().all(|c| c.holds_for(cred))
+    }
+
+    /// A display key for tree nodes / diagnostics: the type, `?` for a
+    /// variable, or `concept:<name>`.
+    pub fn key(&self) -> String {
+        match &self.spec {
+            CredentialSpec::Type(name) => name.clone(),
+            CredentialSpec::Variable => "?".into(),
+            CredentialSpec::Concept(name) => format!("concept:{name}"),
+        }
+    }
+}
+
+impl std::fmt::Display for Term {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.key())?;
+        f.write_str("(")?;
+        for (i, c) in self.conditions.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trust_vo_credential::{Attribute, CredentialAuthority, TimeRange, Timestamp};
+    use trust_vo_crypto::KeyPair;
+
+    fn cred(ty: &str, attrs: Vec<Attribute>) -> Credential {
+        let mut ca = CredentialAuthority::new("CA");
+        ca.issue(
+            ty,
+            "S",
+            KeyPair::from_seed(b"s").public,
+            attrs,
+            TimeRange::one_year_from(Timestamp::from_ymd_hms(2009, 1, 1, 0, 0, 0)),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn typed_term_matches_same_type_only() {
+        let t = Term::of_type("ISO9000Certified");
+        assert!(t.matches_credential(&cred("ISO9000Certified", vec![])));
+        assert!(!t.matches_credential(&cred("BalanceSheet", vec![])));
+    }
+
+    #[test]
+    fn conditions_must_all_hold() {
+        let t = Term::of_type("BalanceSheet")
+            .where_attr("Issuer", "BBB")
+            .with_condition(Condition::parse("//content/Year >= 2008").unwrap());
+        let good = cred(
+            "BalanceSheet",
+            vec![Attribute::new("Issuer", "BBB"), Attribute::new("Year", 2009i64)],
+        );
+        assert!(t.matches_credential(&good));
+        let stale = cred(
+            "BalanceSheet",
+            vec![Attribute::new("Issuer", "BBB"), Attribute::new("Year", 2005i64)],
+        );
+        assert!(!t.matches_credential(&stale));
+    }
+
+    #[test]
+    fn variable_term_matches_any_type_with_conditions() {
+        // The paper: an unspecified type "gives the receiver … the
+        // flexibility of choosing which credentials to send".
+        let t = Term::variable().where_attr("Issuer", "BBB");
+        assert!(t.matches_credential(&cred("Anything", vec![Attribute::new("Issuer", "BBB")])));
+        assert!(!t.matches_credential(&cred("Anything", vec![Attribute::new("Issuer", "X")])));
+    }
+
+    #[test]
+    fn concept_terms_never_match_directly() {
+        let t = Term::of_concept("QualityCertification");
+        assert!(!t.matches_credential(&cred("ISO9000Certified", vec![])));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Term::of_type("VoMembership").to_string(), "VoMembership()");
+        assert_eq!(Term::variable().to_string(), "?()");
+        assert_eq!(
+            Term::of_concept("BusinessProof").to_string(),
+            "concept:BusinessProof()"
+        );
+        let t = Term::of_type("BalanceSheet").where_attr("Issuer", "BBB");
+        assert!(t.to_string().contains("Issuer"));
+    }
+}

@@ -1,0 +1,341 @@
+//! XACML policy import (paper §8, planned extension).
+//!
+//! "A second extension is the support of XACML policies, which would make
+//! our integrated toolkit portable and interoperable with a number of
+//! other VO Management tools."
+//!
+//! This module implements the *import* direction: a pragmatic subset of
+//! XACML 2.0 policies is translated into X-TNL disclosure policies so the
+//! negotiation engine can consume policies authored by XACML-based VO
+//! tools. Supported XACML constructs:
+//!
+//! ```text
+//! <Policy PolicyId=".." RuleCombiningAlgId="..permit-overrides">
+//!   <Target>
+//!     <Resources><Resource>
+//!       <ResourceMatch MatchId="..string-equal">
+//!         <AttributeValue>VoMembership</AttributeValue>
+//!         <ResourceAttributeDesignator AttributeId="resource-id"/>
+//!       </ResourceMatch>
+//!     </Resource></Resources>
+//!   </Target>
+//!   <Rule RuleId=".." Effect="Permit">
+//!     <Condition>
+//!       <Apply FunctionId="..string-equal">
+//!         <SubjectAttributeDesignator AttributeId="ISO9000Certified/QualityRegulation"/>
+//!         <AttributeValue>UNI EN ISO 9000</AttributeValue>
+//!       </Apply>
+//!       ... (nested ..and Apply for conjunctions)
+//!     </Condition>
+//!   </Rule>
+//!   <Rule RuleId="deny-all" Effect="Deny"/>
+//! </Policy>
+//! ```
+//!
+//! Mapping: the `Target` resource-id names the protected resource; each
+//! `Permit` rule becomes one X-TNL alternative; each subject-attribute
+//! comparison becomes a term on the credential type named by the
+//! designator's `CredType/Attribute` id (a bare `CredType` id yields a
+//! possession-only term). `Deny` rules and unknown functions are ignored
+//! (X-TNL is deny-by-default).
+
+use crate::policy::{DisclosurePolicy, PolicySet};
+use crate::rterm::Resource;
+use crate::term::Term;
+use crate::xml::PolicyParseError;
+use trust_vo_xmldoc::Element;
+
+const FN_STRING_EQUAL: &str = "urn:oasis:names:tc:xacml:1.0:function:string-equal";
+const FN_INT_GE: &str = "urn:oasis:names:tc:xacml:1.0:function:integer-greater-than-or-equal";
+const FN_AND: &str = "urn:oasis:names:tc:xacml:1.0:function:and";
+
+/// Translate one XACML `<Policy>` element into X-TNL alternatives.
+pub fn import_policy(root: &Element) -> Result<Vec<DisclosurePolicy>, PolicyParseError> {
+    if root.name != "Policy" {
+        return Err(PolicyParseError(format!("expected <Policy>, found <{}>", root.name)));
+    }
+    let policy_id = root
+        .get_attr("PolicyId")
+        .ok_or_else(|| PolicyParseError("missing PolicyId".into()))?;
+    let resource = target_resource(root)?;
+    let mut out = Vec::new();
+    for (i, rule) in root.all("Rule").enumerate() {
+        if rule.get_attr("Effect") != Some("Permit") {
+            continue; // Deny rules are implicit in X-TNL.
+        }
+        let rule_id = rule.get_attr("RuleId").unwrap_or("rule");
+        let terms = match rule.first("Condition") {
+            None => {
+                // An unconditioned Permit is a delivery rule.
+                out.push(DisclosurePolicy::deliv(
+                    format!("{policy_id}/{rule_id}#{i}"),
+                    resource.clone(),
+                ));
+                continue;
+            }
+            Some(condition) => {
+                let apply = condition
+                    .first("Apply")
+                    .ok_or_else(|| PolicyParseError(format!("rule '{rule_id}': empty <Condition>")))?;
+                collect_terms(apply)?
+            }
+        };
+        if terms.is_empty() {
+            return Err(PolicyParseError(format!("rule '{rule_id}': no usable terms")));
+        }
+        out.push(DisclosurePolicy::rule(
+            format!("{policy_id}/{rule_id}#{i}"),
+            resource.clone(),
+            terms,
+        ));
+    }
+    if out.is_empty() {
+        return Err(PolicyParseError(format!("policy '{policy_id}' has no Permit rules")));
+    }
+    Ok(out)
+}
+
+/// Translate a whole `<PolicySet>`-like document (or a single `<Policy>`)
+/// into an X-TNL [`PolicySet`].
+pub fn import_policy_set(root: &Element) -> Result<PolicySet, PolicyParseError> {
+    let mut set = PolicySet::new();
+    if root.name == "Policy" {
+        for p in import_policy(root)? {
+            set.add(p);
+        }
+        return Ok(set);
+    }
+    if root.name != "PolicySet" {
+        return Err(PolicyParseError(format!(
+            "expected <PolicySet> or <Policy>, found <{}>",
+            root.name
+        )));
+    }
+    for policy in root.all("Policy") {
+        for p in import_policy(policy)? {
+            set.add(p);
+        }
+    }
+    Ok(set)
+}
+
+fn target_resource(policy: &Element) -> Result<Resource, PolicyParseError> {
+    let matcher = policy
+        .first("Target")
+        .and_then(|t| t.first("Resources"))
+        .and_then(|r| r.first("Resource"))
+        .and_then(|r| r.first("ResourceMatch"))
+        .ok_or_else(|| PolicyParseError("missing Target/Resources/Resource/ResourceMatch".into()))?;
+    let name = matcher
+        .child_text("AttributeValue")
+        .ok_or_else(|| PolicyParseError("ResourceMatch missing <AttributeValue>".into()))?;
+    Ok(Resource::service(name))
+}
+
+/// Recursively collect terms from an `<Apply>` tree (conjunctions via the
+/// `and` function).
+fn collect_terms(apply: &Element) -> Result<Vec<Term>, PolicyParseError> {
+    let function = apply
+        .get_attr("FunctionId")
+        .ok_or_else(|| PolicyParseError("<Apply> missing FunctionId".into()))?;
+    if function == FN_AND {
+        let mut terms = Vec::new();
+        for child in apply.all("Apply") {
+            terms.extend(collect_terms(child)?);
+        }
+        return Ok(terms);
+    }
+    let designator = apply
+        .first("SubjectAttributeDesignator")
+        .ok_or_else(|| PolicyParseError(format!("Apply[{function}] has no subject designator")))?;
+    let attribute_id = designator
+        .get_attr("AttributeId")
+        .ok_or_else(|| PolicyParseError("designator missing AttributeId".into()))?;
+    let (cred_type, attr) = match attribute_id.split_once('/') {
+        Some((ty, attr)) => (ty, Some(attr)),
+        None => (attribute_id, None),
+    };
+    let mut term = Term::of_type(cred_type);
+    if let Some(attr) = attr {
+        let value = apply
+            .child_text("AttributeValue")
+            .ok_or_else(|| PolicyParseError("comparison missing <AttributeValue>".into()))?;
+        let expr = match function {
+            FN_STRING_EQUAL => format!("//content/{attr} = '{value}'"),
+            FN_INT_GE => format!("//content/{attr} >= {value}"),
+            other => {
+                return Err(PolicyParseError(format!("unsupported XACML function '{other}'")))
+            }
+        };
+        let condition = crate::condition::Condition::parse(&expr)
+            .map_err(|e| PolicyParseError(format!("generated condition invalid: {e}")))?;
+        term = term.with_condition(condition);
+    }
+    Ok(vec![term])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xacml_doc() -> Element {
+        let text = r#"
+<Policy PolicyId="vo-portal-xacml" RuleCombiningAlgId="urn:oasis:names:tc:xacml:1.0:rule-combining-algorithm:permit-overrides">
+  <Target>
+    <Resources><Resource>
+      <ResourceMatch MatchId="urn:oasis:names:tc:xacml:1.0:function:string-equal">
+        <AttributeValue>VoMembership</AttributeValue>
+        <ResourceAttributeDesignator AttributeId="urn:oasis:names:tc:xacml:1.0:resource:resource-id"/>
+      </ResourceMatch>
+    </Resource></Resources>
+  </Target>
+  <Rule RuleId="iso-route" Effect="Permit">
+    <Condition>
+      <Apply FunctionId="urn:oasis:names:tc:xacml:1.0:function:and">
+        <Apply FunctionId="urn:oasis:names:tc:xacml:1.0:function:string-equal">
+          <SubjectAttributeDesignator AttributeId="ISO9000Certified/QualityRegulation"/>
+          <AttributeValue>UNI EN ISO 9000</AttributeValue>
+        </Apply>
+        <Apply FunctionId="urn:oasis:names:tc:xacml:1.0:function:integer-greater-than-or-equal">
+          <SubjectAttributeDesignator AttributeId="HpcSla/Availability"/>
+          <AttributeValue>99</AttributeValue>
+        </Apply>
+      </Apply>
+    </Condition>
+  </Rule>
+  <Rule RuleId="accreditation-route" Effect="Permit">
+    <Condition>
+      <Apply FunctionId="urn:oasis:names:tc:xacml:1.0:function:string-equal">
+        <SubjectAttributeDesignator AttributeId="AAAccreditation"/>
+      </Apply>
+    </Condition>
+  </Rule>
+  <Rule RuleId="deny-all" Effect="Deny"/>
+</Policy>"#;
+        trust_vo_xmldoc::parse(text).unwrap()
+    }
+
+    #[test]
+    fn imports_permit_rules_as_alternatives() {
+        let policies = import_policy(&xacml_doc()).unwrap();
+        assert_eq!(policies.len(), 2, "two Permit rules, Deny ignored");
+        for p in &policies {
+            assert_eq!(p.target.name, "VoMembership");
+        }
+        // First alternative: conjunction of two conditioned terms.
+        assert_eq!(policies[0].terms().len(), 2);
+        assert_eq!(policies[0].terms()[0].key(), "ISO9000Certified");
+        assert_eq!(policies[0].terms()[0].conditions.len(), 1);
+        assert_eq!(policies[0].terms()[1].key(), "HpcSla");
+        // Second alternative: possession-only term.
+        assert_eq!(policies[1].terms().len(), 1);
+        assert_eq!(policies[1].terms()[0].key(), "AAAccreditation");
+        assert!(policies[1].terms()[0].conditions.is_empty());
+    }
+
+    #[test]
+    fn imported_conditions_evaluate_against_credentials() {
+        use trust_vo_credential::{Attribute, CredentialAuthority, TimeRange, Timestamp};
+        let policies = import_policy(&xacml_doc()).unwrap();
+        let mut ca = CredentialAuthority::new("INFN");
+        let keys = trust_vo_crypto::KeyPair::from_seed(b"h");
+        let window = TimeRange::one_year_from(Timestamp::from_ymd_hms(2009, 1, 1, 0, 0, 0));
+        let good = ca
+            .issue("ISO9000Certified", "h", keys.public,
+                   vec![Attribute::new("QualityRegulation", "UNI EN ISO 9000")], window)
+            .unwrap();
+        let bad = ca
+            .issue("ISO9000Certified", "h", keys.public,
+                   vec![Attribute::new("QualityRegulation", "ISO 14000")], window)
+            .unwrap();
+        let term = &policies[0].terms()[0];
+        assert!(term.matches_credential(&good));
+        assert!(!term.matches_credential(&bad));
+    }
+
+    #[test]
+    fn unconditioned_permit_becomes_deliv() {
+        let text = r#"
+<Policy PolicyId="open">
+  <Target><Resources><Resource><ResourceMatch>
+    <AttributeValue>PublicInfo</AttributeValue>
+  </ResourceMatch></Resource></Resources></Target>
+  <Rule RuleId="allow" Effect="Permit"/>
+</Policy>"#;
+        let policies = import_policy(&trust_vo_xmldoc::parse(text).unwrap()).unwrap();
+        assert_eq!(policies.len(), 1);
+        assert!(policies[0].is_deliv());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for text in [
+            "<NotPolicy/>",
+            r#"<Policy/>"#,
+            r#"<Policy PolicyId="x"/>"#,
+            // Only a Deny rule.
+            r#"<Policy PolicyId="x"><Target><Resources><Resource><ResourceMatch><AttributeValue>R</AttributeValue></ResourceMatch></Resource></Resources></Target><Rule RuleId="d" Effect="Deny"/></Policy>"#,
+        ] {
+            let doc = trust_vo_xmldoc::parse(text).unwrap();
+            assert!(import_policy(&doc).is_err(), "{text}");
+        }
+    }
+
+    #[test]
+    fn unsupported_function_reported() {
+        let text = r#"
+<Policy PolicyId="x">
+  <Target><Resources><Resource><ResourceMatch>
+    <AttributeValue>R</AttributeValue>
+  </ResourceMatch></Resource></Resources></Target>
+  <Rule RuleId="r" Effect="Permit"><Condition>
+    <Apply FunctionId="urn:oasis:names:tc:xacml:1.0:function:regexp-string-match">
+      <SubjectAttributeDesignator AttributeId="T/a"/>
+      <AttributeValue>v</AttributeValue>
+    </Apply>
+  </Condition></Rule>
+</Policy>"#;
+        let err = import_policy(&trust_vo_xmldoc::parse(text).unwrap()).unwrap_err();
+        assert!(err.to_string().contains("unsupported XACML function"));
+    }
+
+    #[test]
+    fn policy_set_import_merges() {
+        let text = format!(
+            "<PolicySet>{}{}</PolicySet>",
+            trust_vo_xmldoc::to_string(&xacml_doc()),
+            r#"<Policy PolicyId="open"><Target><Resources><Resource><ResourceMatch><AttributeValue>PublicInfo</AttributeValue></ResourceMatch></Resource></Resources></Target><Rule RuleId="allow" Effect="Permit"/></Policy>"#
+        );
+        let set = import_policy_set(&trust_vo_xmldoc::parse(&text).unwrap()).unwrap();
+        assert_eq!(set.len(), 3);
+        assert!(set.governs("VoMembership"));
+        assert!(set.is_deliverable("PublicInfo"));
+    }
+
+    #[test]
+    fn imported_terms_check_against_profiles() {
+        // The policy crate cannot depend on the negotiation engine; the
+        // full negotiation over imported policies is exercised in the
+        // workspace-level `tests/xacml_negotiation.rs`. Here: compliance.
+        use trust_vo_credential::{Attribute, CredentialAuthority, TimeRange, Timestamp};
+        let policies = import_policy(&xacml_doc()).unwrap();
+        let mut ca = CredentialAuthority::new("AAA");
+        let keys = trust_vo_crypto::KeyPair::from_seed(b"h");
+        let window = TimeRange::one_year_from(Timestamp::from_ymd_hms(2009, 1, 1, 0, 0, 0));
+        let mut profile = trust_vo_credential::XProfile::new("h");
+        profile.add(
+            ca.issue(
+                "AAAccreditation",
+                "h",
+                keys.public,
+                vec![Attribute::new("MemberSince", 1998i64)],
+                window,
+            )
+            .unwrap(),
+        );
+        // The accreditation route is satisfiable from the profile.
+        assert!(crate::compliance::term_satisfied(&policies[1].terms()[0], &profile, None));
+        // The ISO route is not (no ISO credential held).
+        assert!(!crate::compliance::term_satisfied(&policies[0].terms()[0], &profile, None));
+    }
+}

@@ -1,0 +1,138 @@
+//! The in-process service bus.
+//!
+//! The prototype combined "several Web services for managing VOs" over a
+//! SOA (§6.1); the bus plays the role of the SOAP transport + service
+//! registry: endpoints register under a URL-like name, callers dispatch
+//! envelopes, and every call is charged one SOAP round trip on the shared
+//! [`SimClock`].
+
+use crate::envelope::{Envelope, Fault};
+use crate::simclock::{CostKind, SimClock};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A service endpoint: handles envelopes for its registered operations.
+pub trait ServiceEndpoint: Send + Sync {
+    /// Handle one request envelope.
+    fn handle(&self, request: &Envelope) -> Result<Envelope, Fault>;
+
+    /// The operations this endpoint serves (for discovery/diagnostics).
+    fn operations(&self) -> Vec<String>;
+}
+
+/// The service bus: a registry plus dispatcher.
+#[derive(Clone)]
+pub struct ServiceBus {
+    endpoints: Arc<RwLock<BTreeMap<String, Arc<dyn ServiceEndpoint>>>>,
+    clock: SimClock,
+}
+
+impl ServiceBus {
+    /// A bus with the given clock.
+    pub fn new(clock: SimClock) -> Self {
+        ServiceBus { endpoints: Arc::new(RwLock::new(BTreeMap::new())), clock }
+    }
+
+    /// Register an endpoint under a service name. Re-registering replaces.
+    pub fn register(&self, name: impl Into<String>, endpoint: Arc<dyn ServiceEndpoint>) {
+        self.endpoints.write().insert(name.into(), endpoint);
+    }
+
+    /// Registered service names.
+    pub fn services(&self) -> Vec<String> {
+        self.endpoints.read().keys().cloned().collect()
+    }
+
+    /// Dispatch a request to a service. Charges one SOAP round trip.
+    pub fn call(&self, service: &str, request: &Envelope) -> Result<Envelope, Fault> {
+        self.clock.charge(CostKind::SoapRoundTrip);
+        let endpoint = {
+            let guard = self.endpoints.read();
+            guard.get(service).cloned()
+        };
+        match endpoint {
+            Some(ep) => ep.handle(request),
+            None => Err(Fault::new("NoSuchService", format!("service '{service}' not registered"))),
+        }
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simclock::CostModel;
+    use trust_vo_credential::Timestamp;
+    use trust_vo_xmldoc::Element;
+
+    struct Echo;
+
+    impl ServiceEndpoint for Echo {
+        fn handle(&self, request: &Envelope) -> Result<Envelope, Fault> {
+            if request.operation == "fail" {
+                return Err(Fault::new("Boom", "requested failure"));
+            }
+            Ok(Envelope::request(format!("{}Response", request.operation), request.body.clone()))
+        }
+
+        fn operations(&self) -> Vec<String> {
+            vec!["echo".into(), "fail".into()]
+        }
+    }
+
+    fn bus() -> ServiceBus {
+        ServiceBus::new(SimClock::new(CostModel::paper_testbed(), Timestamp(0)))
+    }
+
+    #[test]
+    fn dispatch_reaches_endpoint() {
+        let bus = bus();
+        bus.register("echo-svc", Arc::new(Echo));
+        let resp = bus
+            .call("echo-svc", &Envelope::request("echo", Element::new("hello")))
+            .unwrap();
+        assert_eq!(resp.operation, "echoResponse");
+        assert_eq!(resp.body.name, "hello");
+    }
+
+    #[test]
+    fn unknown_service_faults() {
+        let err = bus().call("ghost", &Envelope::request("x", Element::new("b"))).unwrap_err();
+        assert_eq!(err.code, "NoSuchService");
+    }
+
+    #[test]
+    fn endpoint_faults_propagate() {
+        let bus = bus();
+        bus.register("echo-svc", Arc::new(Echo));
+        let err = bus.call("echo-svc", &Envelope::request("fail", Element::new("b"))).unwrap_err();
+        assert_eq!(err.code, "Boom");
+    }
+
+    #[test]
+    fn every_call_charges_a_roundtrip() {
+        let bus = bus();
+        bus.register("echo-svc", Arc::new(Echo));
+        let before = bus.clock().elapsed();
+        let _ = bus.call("echo-svc", &Envelope::request("echo", Element::new("b")));
+        let _ = bus.call("ghost", &Envelope::request("echo", Element::new("b")));
+        assert_eq!(
+            bus.clock().elapsed().0 - before.0,
+            (bus.clock().model().cost_of(CostKind::SoapRoundTrip) * 2).0
+        );
+    }
+
+    #[test]
+    fn services_lists_registrations() {
+        let bus = bus();
+        bus.register("b-svc", Arc::new(Echo));
+        bus.register("a-svc", Arc::new(Echo));
+        assert_eq!(bus.services(), ["a-svc", "b-svc"]);
+        assert_eq!(Echo.operations().len(), 2);
+    }
+}

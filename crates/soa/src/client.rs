@@ -1,0 +1,171 @@
+//! The client application driving a negotiation through the web service.
+//!
+//! "A client application has also been developed, ClientWS.java,
+//! implementing the negotiation protocol by invoking the Web service's
+//! operations." (§6.2) This is its Rust analogue: it issues
+//! `StartNegotiation`, one `PolicyExchange`, and then `CredentialExchange`
+//! calls until the service reports completion, returning the accounting a
+//! GUI would display.
+
+use crate::bus::ServiceBus;
+use crate::envelope::{Envelope, Fault};
+use crate::simclock::SimDuration;
+use trust_vo_negotiation::Strategy;
+use trust_vo_xmldoc::Element;
+
+/// The result of a driven negotiation, as the client observes it.
+#[derive(Debug, Clone)]
+pub struct ClientRun {
+    /// The negotiation id the service assigned.
+    pub negotiation_id: u64,
+    /// Number of credential-exchange calls made.
+    pub credential_calls: usize,
+    /// Disclosures listed in the trust sequence.
+    pub sequence_len: usize,
+    /// Simulated time consumed by this run.
+    pub sim_elapsed: SimDuration,
+}
+
+/// Drive a full negotiation over the bus against the TN service
+/// registered under `service`.
+pub fn run_negotiation(
+    bus: &ServiceBus,
+    service: &str,
+    requester: &str,
+    controller: &str,
+    resource: &str,
+    strategy: Strategy,
+) -> Result<ClientRun, Fault> {
+    let started_at = bus.clock().elapsed();
+    // StartNegotiation.
+    let start = bus.call(
+        service,
+        &Envelope::request(
+            "StartNegotiation",
+            Element::new("StartNegotiationRequest")
+                .child(Element::new("strategy").text(strategy.wire_name()))
+                .child(Element::new("requester").text(requester))
+                .child(Element::new("counterpartUrl").text(controller))
+                .child(Element::new("resource").text(resource)),
+        ),
+    )?;
+    let negotiation_id: u64 = start
+        .body
+        .child_text("negotiationId")
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| Fault::new("BadResponse", "missing negotiation id"))?;
+
+    // PolicyExchange (one call resolves the whole policy evaluation phase).
+    let policy = bus.call(
+        service,
+        &Envelope::request("PolicyExchange", Element::new("PolicyExchangeRequest"))
+            .with_negotiation(negotiation_id),
+    )?;
+    let sequence_len = policy
+        .body
+        .first("trustSequence")
+        .map(|seq| seq.all("disclosure").count())
+        .unwrap_or(0);
+
+    // CredentialExchange until completed.
+    let mut credential_calls = 0;
+    loop {
+        let resp = bus.call(
+            service,
+            &Envelope::request("CredentialExchange", Element::new("CredentialExchangeRequest"))
+                .with_negotiation(negotiation_id),
+        )?;
+        credential_calls += 1;
+        if resp.body.get_attr("status") == Some("completed") {
+            break;
+        }
+        if credential_calls > sequence_len + 1 {
+            return Err(Fault::new("ProtocolError", "service never reported completion"));
+        }
+    }
+    let sim_elapsed = SimDuration(bus.clock().elapsed().0 - started_at.0);
+    Ok(ClientRun { negotiation_id, credential_calls, sequence_len, sim_elapsed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simclock::{CostModel, SimClock};
+    use crate::tn_service::TnService;
+    use std::sync::Arc;
+    use trust_vo_credential::{CredentialAuthority, TimeRange, Timestamp};
+    use trust_vo_negotiation::Party;
+    use trust_vo_policy::{DisclosurePolicy, Resource, Term};
+    use trust_vo_store::Database;
+
+    fn setup() -> ServiceBus {
+        let clock = SimClock::new(
+            CostModel::paper_testbed(),
+            Timestamp::from_ymd_hms(2009, 6, 1, 0, 0, 0),
+        );
+        let bus = ServiceBus::new(clock.clone());
+        let svc = TnService::new(clock, Database::new());
+
+        let mut ca = CredentialAuthority::new("AAA");
+        let window = TimeRange::one_year_from(Timestamp::from_ymd_hms(2009, 1, 1, 0, 0, 0));
+        let mut aircraft = Party::new("Aircraft");
+        let mut aerospace = Party::new("Aerospace");
+        let quality = ca
+            .issue("WebDesignerQuality", "Aerospace", aerospace.keys.public, vec![], window)
+            .unwrap();
+        aerospace.profile.add(quality);
+        aircraft.policies.add(DisclosurePolicy::rule(
+            "p1",
+            Resource::service("VoMembership"),
+            vec![Term::of_type("WebDesignerQuality")],
+        ));
+        aircraft.trust_root(ca.public_key());
+        aerospace.trust_root(ca.public_key());
+        svc.register_party(aerospace);
+        svc.register_party(aircraft);
+        bus.register("tn", Arc::new(svc));
+        bus
+    }
+
+    #[test]
+    fn client_drives_negotiation_to_completion() {
+        let bus = setup();
+        let run =
+            run_negotiation(&bus, "tn", "Aerospace", "Aircraft", "VoMembership", Strategy::Standard)
+                .unwrap();
+        assert_eq!(run.sequence_len, 1);
+        assert!(run.credential_calls >= 1);
+        assert!(run.sim_elapsed > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn client_surfaces_faults() {
+        let bus = setup();
+        let err = run_negotiation(&bus, "tn", "Ghost", "Aircraft", "VoMembership", Strategy::Standard)
+            .unwrap_err();
+        assert_eq!(err.code, "UnknownParty");
+        let err = run_negotiation(&bus, "nope", "a", "b", "r", Strategy::Standard).unwrap_err();
+        assert_eq!(err.code, "NoSuchService");
+    }
+
+    #[test]
+    fn sim_elapsed_scales_with_strategy() {
+        // Suspicious adds ownership-proof charges, so it must cost at
+        // least as much virtual time as standard on the same workload.
+        let bus1 = setup();
+        let standard =
+            run_negotiation(&bus1, "tn", "Aerospace", "Aircraft", "VoMembership", Strategy::Standard)
+                .unwrap();
+        let bus2 = setup();
+        let suspicious = run_negotiation(
+            &bus2,
+            "tn",
+            "Aerospace",
+            "Aircraft",
+            "VoMembership",
+            Strategy::Suspicious,
+        )
+        .unwrap();
+        assert!(suspicious.sim_elapsed >= standard.sim_elapsed);
+    }
+}

@@ -1,0 +1,127 @@
+//! SOAP-style message envelopes.
+//!
+//! Every TN web service operation is invoked with a request envelope and
+//! answered with a response envelope (or a fault), mirroring the Axis SOAP
+//! transport of the prototype.
+
+use trust_vo_xmldoc::{Element, Node};
+
+/// A request or response envelope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// The operation name, e.g. `StartNegotiation`.
+    pub operation: String,
+    /// The negotiation id, once assigned.
+    pub negotiation_id: Option<u64>,
+    /// The XML body.
+    pub body: Element,
+}
+
+impl Envelope {
+    /// Build a request envelope.
+    pub fn request(operation: impl Into<String>, body: Element) -> Self {
+        Envelope { operation: operation.into(), negotiation_id: None, body }
+    }
+
+    /// Attach a negotiation id.
+    #[must_use]
+    pub fn with_negotiation(mut self, id: u64) -> Self {
+        self.negotiation_id = Some(id);
+        self
+    }
+
+    /// Serialize as a SOAP-shaped XML document.
+    pub fn to_xml(&self) -> Element {
+        let mut header = Element::new("Header").child(
+            Element::new("operation").text(&self.operation),
+        );
+        if let Some(id) = self.negotiation_id {
+            header
+                .children
+                .push(Node::Element(Element::new("negotiationId").text(id.to_string())));
+        }
+        Element::new("Envelope")
+            .child(header)
+            .child(Element::new("Body").child(self.body.clone()))
+    }
+
+    /// Parse an envelope from its XML document.
+    pub fn from_xml(root: &Element) -> Option<Self> {
+        if root.name != "Envelope" {
+            return None;
+        }
+        let header = root.first("Header")?;
+        let operation = header.child_text("operation")?;
+        let negotiation_id = header
+            .child_text("negotiationId")
+            .and_then(|t| t.parse().ok());
+        let body = root.first("Body")?.elements().next()?.clone();
+        Some(Envelope { operation, negotiation_id, body })
+    }
+}
+
+/// A service fault (SOAP fault analogue).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fault {
+    /// Machine-readable code.
+    pub code: String,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl Fault {
+    /// Build a fault.
+    pub fn new(code: impl Into<String>, reason: impl Into<String>) -> Self {
+        Fault { code: code.into(), reason: reason.into() }
+    }
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fault [{}]: {}", self.code, self.reason)
+    }
+}
+
+impl std::error::Error for Fault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_roundtrip() {
+        let env = Envelope::request(
+            "StartNegotiation",
+            Element::new("StartNegotiationRequest")
+                .child(Element::new("strategy").text("standard")),
+        )
+        .with_negotiation(7);
+        let xml = env.to_xml();
+        let text = trust_vo_xmldoc::to_string(&xml);
+        let parsed = trust_vo_xmldoc::parse(&text).unwrap();
+        assert_eq!(Envelope::from_xml(&parsed), Some(env));
+    }
+
+    #[test]
+    fn envelope_without_id() {
+        let env = Envelope::request("PolicyExchange", Element::new("x"));
+        let back = Envelope::from_xml(&env.to_xml()).unwrap();
+        assert_eq!(back.negotiation_id, None);
+        assert_eq!(back.operation, "PolicyExchange");
+    }
+
+    #[test]
+    fn from_xml_rejects_malformed() {
+        assert!(Envelope::from_xml(&Element::new("NotEnvelope")).is_none());
+        assert!(Envelope::from_xml(&Element::new("Envelope")).is_none());
+        let no_body = Element::new("Envelope")
+            .child(Element::new("Header").child(Element::new("operation").text("X")));
+        assert!(Envelope::from_xml(&no_body).is_none());
+    }
+
+    #[test]
+    fn fault_display() {
+        let f = Fault::new("NoSuchNegotiation", "id 42 unknown");
+        assert_eq!(f.to_string(), "fault [NoSuchNegotiation]: id 42 unknown");
+    }
+}

@@ -1,0 +1,38 @@
+//! The SOA substrate: envelopes, service bus, the TN web service, and the
+//! simulated-latency clock (paper §6).
+//!
+//! The prototype deploys trust negotiation as a Web Service (Tomcat + Axis
+//! SOAP + Oracle) exposing three operations — `StartNegotiation`,
+//! `PolicyExchange`, `CredentialExchange` — "each corresponding to one of
+//! the main phases of the negotiation process" (§6.2), and the VO
+//! Management toolkit invokes it "as a web service when needed" (§6).
+//!
+//! This crate reproduces that architecture in-process:
+//!
+//! * [`envelope`] — SOAP-style request/response envelopes carrying XML
+//!   bodies,
+//! * [`bus`] — a service registry + dispatcher with per-call latency
+//!   accounting,
+//! * [`simclock`] — the simulated wall-clock. Every SOAP round-trip, DB
+//!   query, signature operation, and JSP/GUI step is charged a latency
+//!   calibrated to the paper's 2006-era testbed so that Fig. 9's *shape*
+//!   can be regenerated (see `simclock::CostModel`),
+//! * [`tn_service`] — the TN web service: negotiation state keyed by
+//!   negotiation id, backed by a policy/credential [`trust_vo_store`]
+//!   database per party,
+//! * [`client`] — the `ClientWS` analogue that drives a whole negotiation
+//!   through the service operations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bus;
+pub mod client;
+pub mod envelope;
+pub mod simclock;
+pub mod tn_service;
+
+pub use bus::{ServiceBus, ServiceEndpoint};
+pub use envelope::{Envelope, Fault};
+pub use simclock::{CostModel, SimClock, SimDuration};
+pub use tn_service::TnService;

@@ -1,0 +1,551 @@
+//! The TN web service.
+//!
+//! "The TN Web service provides three different operations,
+//! StartNegotiation, PolicyExchange and CredentialExchange, each
+//! corresponding to one of the main phases of the negotiation process.
+//! StartNegotiation … assigns a unique id to the negotiation process and
+//! opens the connection with \[the\] database. … PolicyExchange checks if
+//! the database contains disclosure policies protecting the credentials
+//! requested … CredentialExchange receives … the counterpart's credential
+//! … verifies the validity … then selects the next credential to be sent."
+//! (§6.2)
+//!
+//! This implementation hosts the negotiation data of registered parties
+//! (the Host Edition registers members, §6.1), persists their X-Profiles
+//! and policies in the document [`Database`], and drives the
+//! [`trust_vo_negotiation`] engine behind the three service operations —
+//! charging the [`SimClock`] for every SOAP, DB, and crypto step so the
+//! Fig. 9 bench can read realistic virtual latencies.
+
+use crate::envelope::{Envelope, Fault};
+use crate::bus::ServiceEndpoint;
+use crate::simclock::{CostKind, SimClock};
+use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use trust_vo_credential::Credential;
+use trust_vo_negotiation::{
+    evaluate_policies, message::Side, strategy::CredentialFormat, NegotiationConfig, Party,
+    PolicyPhase, Strategy,
+};
+use trust_vo_store::Database;
+use trust_vo_xmldoc::{Element, Node};
+
+#[derive(Debug)]
+enum SessionState {
+    Started,
+    Sequenced { phase: PolicyPhase, next: usize },
+    Completed,
+    Failed(String),
+}
+
+#[derive(Debug)]
+struct Session {
+    requester: String,
+    controller: String,
+    resource: String,
+    strategy: Strategy,
+    state: SessionState,
+}
+
+/// The TN web service endpoint.
+pub struct TnService {
+    clock: SimClock,
+    db: Database,
+    parties: RwLock<BTreeMap<String, Party>>,
+    sessions: Mutex<BTreeMap<u64, Session>>,
+    next_id: AtomicU64,
+}
+
+impl TnService {
+    /// An empty service on the given clock and database.
+    pub fn new(clock: SimClock, db: Database) -> Self {
+        TnService {
+            clock,
+            db,
+            parties: RwLock::new(BTreeMap::new()),
+            sessions: Mutex::new(BTreeMap::new()),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Register a party: its profile and policies are persisted into the
+    /// service database (one insert per document, charged as DB queries).
+    pub fn register_party(&self, party: Party) {
+        let profile_doc = party.profile.to_xml();
+        self.db.with_collection("profiles", |c| {
+            c.put(party.name.as_str(), profile_doc);
+        });
+        self.clock.charge(CostKind::DbQuery);
+        let policy_docs: Vec<Element> = party
+            .policies
+            .iter()
+            .map(trust_vo_policy::xml::policy_to_xml)
+            .collect();
+        self.clock.charge_n(CostKind::DbQuery, policy_docs.len() as u64);
+        let fresh_count = policy_docs.len();
+        self.db.with_collection("policies", |c| {
+            for (i, doc) in policy_docs.into_iter().enumerate() {
+                c.put(format!("{}#{}", party.name, i).as_str(), doc);
+            }
+            // Retire rows beyond the new policy count so a re-registration
+            // with fewer policies leaves no stale documents live.
+            let stale: Vec<_> = c
+                .ids()
+                .filter(|id| {
+                    id.0.strip_prefix(&format!("{}#", party.name))
+                        .and_then(|suffix| suffix.parse::<usize>().ok())
+                        .is_some_and(|i| i >= fresh_count)
+                })
+                .cloned()
+                .collect();
+            for id in stale {
+                c.delete(&id);
+            }
+        });
+        self.parties.write().insert(party.name.clone(), party);
+    }
+
+    /// Snapshot of a registered party (for tests and the VO toolkit).
+    pub fn party(&self, name: &str) -> Option<Party> {
+        self.parties.read().get(name).cloned()
+    }
+
+    /// Update a registered party in place (e.g. new credential after
+    /// re-issuance during the operation phase).
+    pub fn update_party(&self, party: Party) {
+        self.register_party(party);
+    }
+
+    /// The service database (shared with the VO toolkit).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    fn config(&self, strategy: Strategy) -> NegotiationConfig {
+        let mut cfg = NegotiationConfig::new(strategy, self.clock.timestamp());
+        cfg.format = CredentialFormat::Xtnl;
+        cfg
+    }
+
+    fn start_negotiation(&self, request: &Envelope) -> Result<Envelope, Fault> {
+        let body = &request.body;
+        let get = |name: &str| -> Result<String, Fault> {
+            body.child_text(name)
+                .ok_or_else(|| Fault::new("BadRequest", format!("missing <{name}>")))
+        };
+        let strategy_name = get("strategy")?;
+        let strategy = Strategy::from_wire_name(&strategy_name)
+            .ok_or_else(|| Fault::new("BadRequest", format!("unknown strategy '{strategy_name}'")))?;
+        let requester = get("requester")?;
+        let controller = get("counterpartUrl")?;
+        let resource = get("resource")?;
+        {
+            let parties = self.parties.read();
+            for name in [&requester, &controller] {
+                if !parties.contains_key(name) {
+                    return Err(Fault::new("UnknownParty", format!("party '{name}' not registered")));
+                }
+            }
+        }
+        // "opens the connection with \[the\] database".
+        self.clock.charge(CostKind::DbQuery);
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.sessions.lock().insert(
+            id,
+            Session { requester, controller, resource, strategy, state: SessionState::Started },
+        );
+        Ok(Envelope::request(
+            "StartNegotiationResponse",
+            Element::new("StartNegotiationResponse")
+                .child(Element::new("negotiationId").text(id.to_string())),
+        )
+        .with_negotiation(id))
+    }
+
+    fn policy_exchange(&self, request: &Envelope) -> Result<Envelope, Fault> {
+        let id = request
+            .negotiation_id
+            .ok_or_else(|| Fault::new("BadRequest", "missing negotiation id"))?;
+        let mut sessions = self.sessions.lock();
+        let session = sessions
+            .get_mut(&id)
+            .ok_or_else(|| Fault::new("NoSuchNegotiation", format!("id {id} unknown")))?;
+        if !matches!(session.state, SessionState::Started) {
+            return Err(Fault::new("BadState", "policy exchange already performed"));
+        }
+        let parties = self.parties.read();
+        let requester = parties.get(&session.requester).expect("validated at start");
+        let controller = parties.get(&session.controller).expect("validated at start");
+        let cfg = self.config(session.strategy);
+        let phase = evaluate_policies(requester, controller, &session.resource, &cfg);
+        drop(parties);
+        match phase {
+            Ok(phase) => {
+                // Charge the work phase 1 performed: one DB fetch plus one
+                // evaluation per policy disclosed, and an ontology mapping
+                // per concept-term encountered in either policy set.
+                self.clock
+                    .charge_n(CostKind::DbQuery, phase.transcript.policies_disclosed as u64);
+                self.clock
+                    .charge_n(CostKind::PolicyEvaluation, phase.transcript.policies_disclosed as u64);
+                let concept_terms = self.concept_term_count(&session.requester, &session.controller);
+                self.clock.charge_n(CostKind::OntologyMapping, concept_terms);
+                let mut seq_el = Element::new("trustSequence");
+                for d in phase.sequence.disclosures() {
+                    seq_el.children.push(Node::Element(
+                        Element::new("disclosure")
+                            .attr("by", d.by.to_string())
+                            .attr("credType", &d.cred_type)
+                            .attr("credId", &d.cred_id.0),
+                    ));
+                }
+                let response = Element::new("PolicyExchangeResponse")
+                    .attr("policiesDisclosed", phase.transcript.policies_disclosed.to_string())
+                    .attr("rounds", phase.transcript.policy_rounds.to_string())
+                    .child(seq_el);
+                session.state = SessionState::Sequenced { phase, next: 0 };
+                Ok(Envelope::request("PolicyExchangeResponse", response).with_negotiation(id))
+            }
+            Err(e) => {
+                session.state = SessionState::Failed(e.to_string());
+                Err(Fault::new("NoTrustSequence", e.to_string()))
+            }
+        }
+    }
+
+    fn concept_term_count(&self, requester: &str, controller: &str) -> u64 {
+        let parties = self.parties.read();
+        [requester, controller]
+            .iter()
+            .filter_map(|name| parties.get(*name))
+            .flat_map(|p| p.policies.iter())
+            .flat_map(|policy| policy.terms())
+            .filter(|t| matches!(t.spec, trust_vo_policy::CredentialSpec::Concept(_)))
+            .count() as u64
+    }
+
+    fn credential_exchange(&self, request: &Envelope) -> Result<Envelope, Fault> {
+        let id = request
+            .negotiation_id
+            .ok_or_else(|| Fault::new("BadRequest", "missing negotiation id"))?;
+        let mut sessions = self.sessions.lock();
+        let session = sessions
+            .get_mut(&id)
+            .ok_or_else(|| Fault::new("NoSuchNegotiation", format!("id {id} unknown")))?;
+        let SessionState::Sequenced { phase, next } = &mut session.state else {
+            return Err(Fault::new("BadState", "run PolicyExchange first"));
+        };
+        let disclosures = phase.sequence.disclosures();
+        if *next >= disclosures.len() {
+            session.state = SessionState::Completed;
+            return Ok(Envelope::request(
+                "CredentialExchangeResponse",
+                Element::new("CredentialExchangeResponse").attr("status", "completed"),
+            )
+            .with_negotiation(id));
+        }
+        let disclosure = disclosures[*next].clone();
+        let parties = self.parties.read();
+        let requester = parties.get(&session.requester).expect("validated");
+        let controller = parties.get(&session.controller).expect("validated");
+        let (sender, receiver) = match disclosure.by {
+            Side::Requester => (requester, controller),
+            Side::Controller => (controller, requester),
+        };
+        let cred: Credential = sender
+            .profile
+            .get(&disclosure.cred_id)
+            .expect("sequence credentials exist")
+            .clone();
+        // Fetch + transmit + verify.
+        self.clock.charge(CostKind::DbQuery);
+        self.clock.charge(CostKind::SignatureVerify);
+        let cfg = self.config(session.strategy);
+        let nonce = trust_vo_negotiation::engine::session_nonce(requester, controller, &session.resource);
+        let ownership = if cfg.strategy.requires_ownership_proof() {
+            self.clock.charge(CostKind::SignatureSign);
+            self.clock.charge(CostKind::SignatureVerify);
+            Some(Credential::prove_ownership(&sender.keys, &nonce))
+        } else {
+            None
+        };
+        let check = trust_vo_negotiation::engine::verify_disclosure(
+            &cred,
+            receiver,
+            &cfg,
+            &nonce,
+            ownership.as_ref(),
+        );
+        drop(parties);
+        if let Err(cause) = check {
+            let reason = cause.to_string();
+            session.state = SessionState::Failed(reason.clone());
+            return Err(Fault::new("TrustFailure", reason));
+        }
+        *next += 1;
+        let remaining = disclosures.len() - *next;
+        let status = if remaining == 0 {
+            session.state = SessionState::Completed;
+            "completed"
+        } else {
+            "in-progress"
+        };
+        Ok(Envelope::request(
+            "CredentialExchangeResponse",
+            Element::new("CredentialExchangeResponse")
+                .attr("status", status)
+                .attr("remaining", remaining.to_string())
+                .child(cred.to_xml()),
+        )
+        .with_negotiation(id))
+    }
+
+    /// Is the negotiation completed successfully?
+    pub fn is_completed(&self, id: u64) -> bool {
+        matches!(
+            self.sessions.lock().get(&id).map(|s| &s.state),
+            Some(SessionState::Completed)
+        )
+    }
+
+    /// The failure reason, if the negotiation failed.
+    pub fn failure_reason(&self, id: u64) -> Option<String> {
+        match self.sessions.lock().get(&id).map(|s| &s.state) {
+            Some(SessionState::Failed(reason)) => Some(reason.clone()),
+            _ => None,
+        }
+    }
+}
+
+impl ServiceEndpoint for TnService {
+    fn handle(&self, request: &Envelope) -> Result<Envelope, Fault> {
+        match request.operation.as_str() {
+            "StartNegotiation" => self.start_negotiation(request),
+            "PolicyExchange" => self.policy_exchange(request),
+            "CredentialExchange" => self.credential_exchange(request),
+            other => Err(Fault::new("NoSuchOperation", format!("operation '{other}' not supported"))),
+        }
+    }
+
+    fn operations(&self) -> Vec<String> {
+        vec!["StartNegotiation".into(), "PolicyExchange".into(), "CredentialExchange".into()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simclock::CostModel;
+    use trust_vo_credential::{CredentialAuthority, TimeRange, Timestamp};
+    use trust_vo_policy::{DisclosurePolicy, Resource, Term};
+
+    fn clock() -> SimClock {
+        SimClock::new(CostModel::paper_testbed(), Timestamp::from_ymd_hms(2009, 6, 1, 0, 0, 0))
+    }
+
+    fn service_with_fig2() -> TnService {
+        let mut ca = CredentialAuthority::new("AAA");
+        let window = TimeRange::one_year_from(Timestamp::from_ymd_hms(2009, 1, 1, 0, 0, 0));
+        let mut aircraft = Party::new("Aircraft");
+        let mut aerospace = Party::new("Aerospace");
+        let quality = ca
+            .issue("WebDesignerQuality", "Aerospace", aerospace.keys.public, vec![], window)
+            .unwrap();
+        aerospace.profile.add(quality);
+        let accr = ca
+            .issue("AAACreditation", "Aircraft", aircraft.keys.public, vec![], window)
+            .unwrap();
+        aircraft.profile.add(accr);
+        aircraft.policies.add(DisclosurePolicy::rule(
+            "p1",
+            Resource::service("VoMembership"),
+            vec![Term::of_type("WebDesignerQuality")],
+        ));
+        aircraft
+            .policies
+            .add(DisclosurePolicy::deliv("d1", Resource::credential("AAACreditation")));
+        aerospace.policies.add(DisclosurePolicy::rule(
+            "p2",
+            Resource::credential("WebDesignerQuality"),
+            vec![Term::of_type("AAACreditation")],
+        ));
+        aircraft.trust_root(ca.public_key());
+        aerospace.trust_root(ca.public_key());
+        let svc = TnService::new(clock(), Database::new());
+        svc.register_party(aerospace);
+        svc.register_party(aircraft);
+        svc
+    }
+
+    fn start(svc: &TnService, strategy: &str) -> u64 {
+        let resp = svc
+            .handle(&Envelope::request(
+                "StartNegotiation",
+                Element::new("StartNegotiationRequest")
+                    .child(Element::new("strategy").text(strategy))
+                    .child(Element::new("requester").text("Aerospace"))
+                    .child(Element::new("counterpartUrl").text("Aircraft"))
+                    .child(Element::new("resource").text("VoMembership")),
+            ))
+            .unwrap();
+        resp.body.child_text("negotiationId").unwrap().parse().unwrap()
+    }
+
+    #[test]
+    fn full_protocol_run() {
+        let svc = service_with_fig2();
+        let id = start(&svc, "standard");
+        let policy_resp = svc
+            .handle(&Envelope::request("PolicyExchange", Element::new("PolicyExchangeRequest")).with_negotiation(id))
+            .unwrap();
+        let seq = policy_resp.body.first("trustSequence").unwrap();
+        assert_eq!(seq.all("disclosure").count(), 2);
+        // Two credential exchange calls then completed.
+        for expected in ["in-progress", "completed"] {
+            let resp = svc
+                .handle(
+                    &Envelope::request("CredentialExchange", Element::new("CredentialExchangeRequest"))
+                        .with_negotiation(id),
+                )
+                .unwrap();
+            assert_eq!(resp.body.get_attr("status"), Some(expected));
+        }
+        assert!(svc.is_completed(id));
+    }
+
+    #[test]
+    fn clock_advances_through_protocol() {
+        let svc = service_with_fig2();
+        let before = svc.clock.elapsed();
+        let id = start(&svc, "standard");
+        let _ = svc.handle(
+            &Envelope::request("PolicyExchange", Element::new("r")).with_negotiation(id),
+        );
+        assert!(svc.clock.elapsed() > before);
+        let counts = svc.clock.counts();
+        assert!(counts[&CostKind::DbQuery] >= 2);
+        assert!(counts.contains_key(&CostKind::PolicyEvaluation));
+    }
+
+    #[test]
+    fn bad_requests_fault() {
+        let svc = service_with_fig2();
+        // Unknown operation.
+        let err = svc.handle(&Envelope::request("Frobnicate", Element::new("x"))).unwrap_err();
+        assert_eq!(err.code, "NoSuchOperation");
+        // Unknown strategy.
+        let err = svc
+            .handle(&Envelope::request(
+                "StartNegotiation",
+                Element::new("r")
+                    .child(Element::new("strategy").text("yolo"))
+                    .child(Element::new("requester").text("Aerospace"))
+                    .child(Element::new("counterpartUrl").text("Aircraft"))
+                    .child(Element::new("resource").text("VoMembership")),
+            ))
+            .unwrap_err();
+        assert_eq!(err.code, "BadRequest");
+        // Unknown party.
+        let err = svc
+            .handle(&Envelope::request(
+                "StartNegotiation",
+                Element::new("r")
+                    .child(Element::new("strategy").text("standard"))
+                    .child(Element::new("requester").text("Ghost"))
+                    .child(Element::new("counterpartUrl").text("Aircraft"))
+                    .child(Element::new("resource").text("VoMembership")),
+            ))
+            .unwrap_err();
+        assert_eq!(err.code, "UnknownParty");
+        // Credential exchange before policy exchange.
+        let id = start(&svc, "standard");
+        let err = svc
+            .handle(&Envelope::request("CredentialExchange", Element::new("x")).with_negotiation(id))
+            .unwrap_err();
+        assert_eq!(err.code, "BadState");
+        // Unknown negotiation id.
+        let err = svc
+            .handle(&Envelope::request("PolicyExchange", Element::new("x")).with_negotiation(999))
+            .unwrap_err();
+        assert_eq!(err.code, "NoSuchNegotiation");
+    }
+
+    #[test]
+    fn unsatisfiable_negotiation_faults_and_records() {
+        let svc = service_with_fig2();
+        // Strip the aerospace party of its quality credential.
+        let mut aerospace = svc.party("Aerospace").unwrap();
+        let id0 = aerospace.profile.credentials()[0].id().clone();
+        aerospace.profile.remove(&id0);
+        svc.update_party(aerospace);
+        let id = start(&svc, "standard");
+        let err = svc
+            .handle(&Envelope::request("PolicyExchange", Element::new("x")).with_negotiation(id))
+            .unwrap_err();
+        assert_eq!(err.code, "NoTrustSequence");
+        assert!(svc.failure_reason(id).is_some());
+        assert!(!svc.is_completed(id));
+    }
+
+    #[test]
+    fn suspicious_strategy_charges_ownership_proofs() {
+        let svc = service_with_fig2();
+        let id = start(&svc, "suspicious");
+        svc.handle(&Envelope::request("PolicyExchange", Element::new("x")).with_negotiation(id))
+            .unwrap();
+        let signs_before = svc.clock.counts().get(&CostKind::SignatureSign).copied().unwrap_or(0);
+        svc.handle(&Envelope::request("CredentialExchange", Element::new("x")).with_negotiation(id))
+            .unwrap();
+        assert_eq!(
+            svc.clock.counts()[&CostKind::SignatureSign],
+            signs_before + 1
+        );
+    }
+
+    #[test]
+    fn registration_persists_documents() {
+        let svc = service_with_fig2();
+        let stats = svc.database().stats();
+        assert!(stats.collections >= 2);
+        assert!(stats.documents >= 4); // 2 profiles + >= 2 policies
+    }
+}
+
+#[cfg(test)]
+mod update_party_tests {
+    use super::*;
+    use crate::simclock::CostModel;
+    use trust_vo_credential::Timestamp;
+    use trust_vo_policy::{DisclosurePolicy, Resource};
+
+    #[test]
+    fn shrinking_policy_set_retires_stale_documents() {
+        let svc = TnService::new(
+            SimClock::new(CostModel::free(), Timestamp(0)),
+            Database::new(),
+        );
+        let mut party = Party::new("P");
+        for i in 0..3 {
+            party.policies.add(DisclosurePolicy::deliv(
+                format!("d{i}"),
+                Resource::credential(format!("C{i}")),
+            ));
+        }
+        svc.register_party(party);
+        assert_eq!(
+            svc.database().with_collection("policies", |c| c.len()),
+            3
+        );
+        // Re-register with a single policy: the two extra rows must go.
+        let mut smaller = Party::new("P");
+        smaller
+            .policies
+            .add(DisclosurePolicy::deliv("only", Resource::credential("C0")));
+        svc.update_party(smaller);
+        assert_eq!(
+            svc.database().with_collection("policies", |c| c.len()),
+            1
+        );
+    }
+}

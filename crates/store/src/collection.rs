@@ -1,0 +1,278 @@
+//! A versioned collection of XML documents.
+
+use trust_vo_xmldoc::{Element, Selector, XPathExpr};
+
+/// A document identifier within a collection.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DocId(pub String);
+
+impl From<&str> for DocId {
+    fn from(s: &str) -> Self {
+        DocId(s.to_owned())
+    }
+}
+
+impl std::fmt::Display for DocId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// One stored revision of a document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Revision {
+    /// Monotonic revision number, starting at 1.
+    pub number: u64,
+    /// The document at this revision.
+    pub doc: Element,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Entry {
+    revisions: Vec<Revision>,
+    deleted: bool,
+}
+
+/// A named collection of versioned XML documents with XPath-subset queries.
+#[derive(Debug, Clone, Default)]
+pub struct Collection {
+    entries: std::collections::BTreeMap<DocId, Entry>,
+    /// Operations performed (reads + writes), for latency accounting.
+    ops: u64,
+}
+
+impl Collection {
+    /// An empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert or update a document; returns the new revision number.
+    pub fn put(&mut self, id: impl Into<DocId>, doc: Element) -> u64 {
+        self.ops += 1;
+        let entry = self.entries.entry(id.into()).or_default();
+        entry.deleted = false;
+        let number = entry.revisions.last().map(|r| r.number + 1).unwrap_or(1);
+        entry.revisions.push(Revision { number, doc });
+        number
+    }
+
+    /// The latest revision of a live document.
+    pub fn get(&mut self, id: &DocId) -> Option<&Element> {
+        self.ops += 1;
+        self.entries
+            .get(id)
+            .filter(|e| !e.deleted)
+            .and_then(|e| e.revisions.last())
+            .map(|r| &r.doc)
+    }
+
+    /// A specific revision (even of a deleted document).
+    pub fn get_revision(&mut self, id: &DocId, number: u64) -> Option<&Element> {
+        self.ops += 1;
+        self.entries
+            .get(id)
+            .and_then(|e| e.revisions.iter().find(|r| r.number == number))
+            .map(|r| &r.doc)
+    }
+
+    /// Mark a document deleted (history retained). Returns whether it was live.
+    pub fn delete(&mut self, id: &DocId) -> bool {
+        self.ops += 1;
+        match self.entries.get_mut(id) {
+            Some(e) if !e.deleted => {
+                e.deleted = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Ids of all live documents.
+    pub fn ids(&self) -> impl Iterator<Item = &DocId> {
+        self.entries.iter().filter(|(_, e)| !e.deleted).map(|(id, _)| id)
+    }
+
+    /// Number of live documents.
+    pub fn len(&self) -> usize {
+        self.ids().count()
+    }
+
+    /// True when no live documents exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All live documents matching an XPath condition.
+    pub fn find_all(&mut self, condition: &XPathExpr) -> Vec<(DocId, Element)> {
+        self.ops += 1;
+        self.entries
+            .iter()
+            .filter(|(_, e)| !e.deleted)
+            .filter_map(|(id, e)| {
+                let doc = &e.revisions.last()?.doc;
+                condition.evaluate(doc).then(|| (id.clone(), doc.clone()))
+            })
+            .collect()
+    }
+
+    /// First live document matching a condition.
+    pub fn find(&mut self, condition: &XPathExpr) -> Option<(DocId, Element)> {
+        self.find_all(condition).into_iter().next()
+    }
+
+    /// Extract values from every live document via a selector.
+    pub fn select_values(&mut self, selector: &Selector) -> Vec<String> {
+        self.ops += 1;
+        self.entries
+            .values()
+            .filter(|e| !e.deleted)
+            .filter_map(|e| e.revisions.last())
+            .flat_map(|r| selector.values(&r.doc))
+            .collect()
+    }
+
+    /// Operations performed so far (the sim-clock charges per op).
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(name: &str, value: &str) -> Element {
+        Element::new("item").attr("name", name).child(Element::new("value").text(value))
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut c = Collection::new();
+        assert_eq!(c.put("a", doc("a", "1")), 1);
+        assert_eq!(c.get(&"a".into()).unwrap().get_attr("name"), Some("a"));
+        assert!(c.get(&"missing".into()).is_none());
+    }
+
+    #[test]
+    fn update_bumps_revision_and_keeps_history() {
+        let mut c = Collection::new();
+        c.put("a", doc("a", "1"));
+        assert_eq!(c.put("a", doc("a", "2")), 2);
+        assert_eq!(c.get(&"a".into()).unwrap().child_text("value").unwrap(), "2");
+        assert_eq!(
+            c.get_revision(&"a".into(), 1).unwrap().child_text("value").unwrap(),
+            "1"
+        );
+        assert!(c.get_revision(&"a".into(), 3).is_none());
+    }
+
+    #[test]
+    fn delete_hides_but_retains_history() {
+        let mut c = Collection::new();
+        c.put("a", doc("a", "1"));
+        assert!(c.delete(&"a".into()));
+        assert!(!c.delete(&"a".into()));
+        assert!(c.get(&"a".into()).is_none());
+        assert!(c.get_revision(&"a".into(), 1).is_some());
+        assert_eq!(c.len(), 0);
+        // Re-inserting resurrects with a bumped revision.
+        assert_eq!(c.put("a", doc("a", "3")), 2);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn find_by_xpath() {
+        let mut c = Collection::new();
+        c.put("a", doc("alpha", "1"));
+        c.put("b", doc("beta", "2"));
+        c.put("c", doc("gamma", "2"));
+        let cond = XPathExpr::parse("/item/value = 2").unwrap();
+        let found = c.find_all(&cond);
+        assert_eq!(found.len(), 2);
+        let one = c.find(&XPathExpr::parse("/item[@name='alpha']").unwrap()).unwrap();
+        assert_eq!(one.0, DocId("a".into()));
+    }
+
+    #[test]
+    fn select_values_across_documents() {
+        let mut c = Collection::new();
+        c.put("a", doc("alpha", "1"));
+        c.put("b", doc("beta", "2"));
+        let sel = Selector::parse("/item/value").unwrap();
+        let mut values = c.select_values(&sel);
+        values.sort();
+        assert_eq!(values, ["1", "2"]);
+    }
+
+    #[test]
+    fn ops_counter_increments() {
+        let mut c = Collection::new();
+        let before = c.ops();
+        c.put("a", doc("a", "1"));
+        c.get(&"a".into());
+        assert_eq!(c.ops(), before + 2);
+    }
+}
+
+#[cfg(test)]
+mod property_tests {
+    use super::*;
+    use proptest::prelude::*;
+    use trust_vo_xmldoc::Element;
+
+    proptest! {
+        /// Revisions are dense and monotone per document, whatever the
+        /// interleaving of puts and deletes.
+        #[test]
+        fn revisions_monotone(ops in proptest::collection::vec((0u8..3, 0u8..4), 1..40)) {
+            let mut c = Collection::new();
+            let mut expected: std::collections::BTreeMap<u8, u64> = Default::default();
+            for (op, key) in ops {
+                let id: DocId = format!("doc{key}").as_str().into();
+                match op {
+                    0 | 1 => {
+                        let rev = c.put(id.clone(), Element::new("d").attr("k", key.to_string()));
+                        let count = expected.entry(key).or_insert(0);
+                        *count += 1;
+                        prop_assert_eq!(rev, *count, "revision must be dense");
+                    }
+                    _ => {
+                        let was_live = c.get(&id).is_some();
+                        prop_assert_eq!(c.delete(&id), was_live);
+                    }
+                }
+            }
+            // Every historical revision remains readable.
+            for (key, &count) in &expected {
+                let id: DocId = format!("doc{key}").as_str().into();
+                for rev in 1..=count {
+                    prop_assert!(c.get_revision(&id, rev).is_some());
+                }
+                prop_assert!(c.get_revision(&id, count + 1).is_none());
+            }
+        }
+
+        /// find_all returns exactly the live documents whose content
+        /// matches, no duplicates, no deleted ones.
+        #[test]
+        fn find_all_matches_live_set(
+            values in proptest::collection::vec(0u8..5, 1..20),
+            deleted in proptest::collection::vec(any::<bool>(), 20),
+        ) {
+            let mut c = Collection::new();
+            let mut live_matching = 0usize;
+            for (i, v) in values.iter().enumerate() {
+                let id: DocId = format!("d{i}").as_str().into();
+                c.put(id.clone(), Element::new("item").child(Element::new("v").text(v.to_string())));
+                if deleted.get(i).copied().unwrap_or(false) {
+                    c.delete(&id);
+                } else if *v == 3 {
+                    live_matching += 1;
+                }
+            }
+            let cond = trust_vo_xmldoc::XPathExpr::parse("/item/v = 3").unwrap();
+            prop_assert_eq!(c.find_all(&cond).len(), live_matching);
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! A thread-safe database of named collections.
+//!
+//! Plays the role of the prototype's Oracle/MySQL instance: each party's TN
+//! service connects with its own connection parameters (§6.2,
+//! `StartNegotiationRequest` carries "the parameters to connect to the
+//! Oracle database containing the disclosure policies and credentials of
+//! the invoker") — here, each party gets its own [`Database`] handle.
+
+use crate::collection::Collection;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Aggregate statistics over the whole database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Number of collections.
+    pub collections: usize,
+    /// Live documents across all collections.
+    pub documents: usize,
+    /// Total operations performed.
+    pub operations: u64,
+}
+
+/// A shareable database handle.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    inner: Arc<RwLock<BTreeMap<String, Collection>>>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Run `f` with mutable access to the named collection (created on
+    /// first use).
+    pub fn with_collection<R>(&self, name: &str, f: impl FnOnce(&mut Collection) -> R) -> R {
+        let mut guard = self.inner.write();
+        let collection = guard.entry(name.to_owned()).or_default();
+        f(collection)
+    }
+
+    /// Does the named collection exist?
+    pub fn has_collection(&self, name: &str) -> bool {
+        self.inner.read().contains_key(name)
+    }
+
+    /// Drop a collection entirely. Returns whether it existed.
+    pub fn drop_collection(&self, name: &str) -> bool {
+        self.inner.write().remove(name).is_some()
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> StoreStats {
+        let guard = self.inner.read();
+        StoreStats {
+            collections: guard.len(),
+            documents: guard.values().map(Collection::len).sum(),
+            operations: guard.values().map(Collection::ops).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trust_vo_xmldoc::Element;
+
+    #[test]
+    fn collections_created_on_demand() {
+        let db = Database::new();
+        assert!(!db.has_collection("policies"));
+        db.with_collection("policies", |c| {
+            c.put("p1", Element::new("policy"));
+        });
+        assert!(db.has_collection("policies"));
+        let found = db.with_collection("policies", |c| c.get(&"p1".into()).cloned());
+        assert!(found.is_some());
+    }
+
+    #[test]
+    fn stats_aggregate() {
+        let db = Database::new();
+        db.with_collection("a", |c| {
+            c.put("1", Element::new("x"));
+            c.put("2", Element::new("y"));
+        });
+        db.with_collection("b", |c| {
+            c.put("1", Element::new("z"));
+        });
+        let stats = db.stats();
+        assert_eq!(stats.collections, 2);
+        assert_eq!(stats.documents, 3);
+        assert!(stats.operations >= 3);
+    }
+
+    #[test]
+    fn drop_collection() {
+        let db = Database::new();
+        db.with_collection("tmp", |c| {
+            c.put("1", Element::new("x"));
+        });
+        assert!(db.drop_collection("tmp"));
+        assert!(!db.drop_collection("tmp"));
+        assert!(!db.has_collection("tmp"));
+    }
+
+    #[test]
+    fn handles_share_state() {
+        let db = Database::new();
+        let db2 = db.clone();
+        db.with_collection("shared", |c| {
+            c.put("1", Element::new("x"));
+        });
+        assert!(db2.has_collection("shared"));
+        assert_eq!(db2.stats().documents, 1);
+    }
+
+    #[test]
+    fn concurrent_access() {
+        let db = Database::new();
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let db = db.clone();
+                std::thread::spawn(move || {
+                    for j in 0..50 {
+                        db.with_collection("c", |c| {
+                            c.put(format!("{i}-{j}").as_str(), Element::new("doc"));
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(db.stats().documents, 400);
+    }
+}

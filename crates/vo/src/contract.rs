@@ -1,0 +1,188 @@
+//! Collaboration contracts.
+//!
+//! "A VO is typically initiated by one or more organizations, also in
+//! charge of establishing collaboration policies through formally
+//! specified collaboration contracts … The contract states the roles and
+//! the requirements that each member has to fulfill in order to be part of
+//! the VO. In addition, the contract specifies the collaboration rules the
+//! VO members have to follow to reach the business goal." (§2)
+
+use trust_vo_policy::PolicySet;
+
+/// A role to be covered in the VO.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Role {
+    /// Role name, e.g. `DesignPartnerWebPortal`.
+    pub name: String,
+    /// The registry capability a provider must advertise to be a candidate.
+    pub capability: String,
+    /// Human-readable requirements from the contract.
+    pub requirements: String,
+}
+
+impl Role {
+    /// Construct a role.
+    pub fn new(
+        name: impl Into<String>,
+        capability: impl Into<String>,
+        requirements: impl Into<String>,
+    ) -> Self {
+        Role { name: name.into(), capability: capability.into(), requirements: requirements.into() }
+    }
+}
+
+/// A collaboration rule members must follow during the operation phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollaborationRule {
+    /// Rule identifier.
+    pub id: String,
+    /// What the rule demands.
+    pub description: String,
+    /// The roles it applies to (empty = all members).
+    pub applies_to: Vec<String>,
+}
+
+impl CollaborationRule {
+    /// Construct a rule applying to all members.
+    pub fn global(id: impl Into<String>, description: impl Into<String>) -> Self {
+        CollaborationRule { id: id.into(), description: description.into(), applies_to: Vec::new() }
+    }
+
+    /// Construct a rule scoped to specific roles.
+    pub fn for_roles(
+        id: impl Into<String>,
+        description: impl Into<String>,
+        roles: &[&str],
+    ) -> Self {
+        CollaborationRule {
+            id: id.into(),
+            description: description.into(),
+            applies_to: roles.iter().map(|r| (*r).to_owned()).collect(),
+        }
+    }
+
+    /// Does the rule bind a member playing `role`?
+    pub fn binds(&self, role: &str) -> bool {
+        self.applies_to.is_empty() || self.applies_to.iter().any(|r| r == role)
+    }
+}
+
+/// The collaboration contract the VO Initiator authors in the
+/// Identification phase. With TN integration, the Initiator also "locally
+/// defines the disclosure policies to be used during the TN with potential
+/// members … created for the specific VO and in particular for the roles"
+/// (§5.1) — they are attached per role here.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Contract {
+    /// The VO name.
+    pub vo_name: String,
+    /// The business goal.
+    pub goal: String,
+    /// Roles to fill.
+    pub roles: Vec<Role>,
+    /// Collaboration rules for the operation phase.
+    pub rules: Vec<CollaborationRule>,
+    /// Per-role disclosure policies the Initiator will negotiate with
+    /// (role name → policy set).
+    pub role_policies: Vec<(String, PolicySet)>,
+}
+
+impl Contract {
+    /// A contract with no roles or rules yet.
+    pub fn new(vo_name: impl Into<String>, goal: impl Into<String>) -> Self {
+        Contract {
+            vo_name: vo_name.into(),
+            goal: goal.into(),
+            roles: Vec::new(),
+            rules: Vec::new(),
+            role_policies: Vec::new(),
+        }
+    }
+
+    /// Builder: add a role.
+    #[must_use]
+    pub fn with_role(mut self, role: Role) -> Self {
+        self.roles.push(role);
+        self
+    }
+
+    /// Builder: add a collaboration rule.
+    #[must_use]
+    pub fn with_rule(mut self, rule: CollaborationRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Attach the Identification-phase disclosure policies for a role.
+    pub fn set_role_policies(&mut self, role: &str, policies: PolicySet) {
+        if let Some(slot) = self.role_policies.iter_mut().find(|(r, _)| r == role) {
+            slot.1 = policies;
+        } else {
+            self.role_policies.push((role.to_owned(), policies));
+        }
+    }
+
+    /// Look up a role by name.
+    pub fn role(&self, name: &str) -> Option<&Role> {
+        self.roles.iter().find(|r| r.name == name)
+    }
+
+    /// The disclosure policies for a role, if defined.
+    pub fn policies_for(&self, role: &str) -> Option<&PolicySet> {
+        self.role_policies.iter().find(|(r, _)| r == role).map(|(_, p)| p)
+    }
+
+    /// Rules binding a given role.
+    pub fn rules_for<'a>(&'a self, role: &'a str) -> impl Iterator<Item = &'a CollaborationRule> + 'a {
+        self.rules.iter().filter(move |rule| rule.binds(role))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trust_vo_policy::{DisclosurePolicy, Resource, Term};
+
+    fn contract() -> Contract {
+        Contract::new("AircraftOptimization", "low-emission wing design")
+            .with_role(Role::new("DesignPortal", "design-db", "ISO 9000 compliant"))
+            .with_role(Role::new("HPC", "hpc-compute", "SLA 99.9%"))
+            .with_rule(CollaborationRule::global("r1", "log all accesses"))
+            .with_rule(CollaborationRule::for_roles("r2", "encrypt stored data", &["HPC"]))
+    }
+
+    #[test]
+    fn role_lookup() {
+        let c = contract();
+        assert!(c.role("HPC").is_some());
+        assert!(c.role("Ghost").is_none());
+        assert_eq!(c.role("DesignPortal").unwrap().capability, "design-db");
+    }
+
+    #[test]
+    fn rules_bind_by_role() {
+        let c = contract();
+        let hpc_rules: Vec<_> = c.rules_for("HPC").map(|r| r.id.as_str()).collect();
+        assert_eq!(hpc_rules, ["r1", "r2"]);
+        let portal_rules: Vec<_> = c.rules_for("DesignPortal").map(|r| r.id.as_str()).collect();
+        assert_eq!(portal_rules, ["r1"]);
+    }
+
+    #[test]
+    fn role_policies_attach_and_replace() {
+        let mut c = contract();
+        assert!(c.policies_for("HPC").is_none());
+        let mut set = PolicySet::new();
+        set.add(DisclosurePolicy::rule(
+            "p",
+            Resource::service("VoMembership"),
+            vec![Term::of_type("HpcSla")],
+        ));
+        c.set_role_policies("HPC", set.clone());
+        assert_eq!(c.policies_for("HPC").unwrap().len(), 1);
+        let mut set2 = PolicySet::new();
+        set2.add(DisclosurePolicy::deliv("d", Resource::service("VoMembership")));
+        c.set_role_policies("HPC", set2);
+        assert!(c.policies_for("HPC").unwrap().is_deliverable("VoMembership"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Error type for VO management operations.
+
+use crate::lifecycle::Phase;
+use trust_vo_negotiation::NegotiationError;
+
+/// Errors raised by the VO Management toolkit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VoError {
+    /// The operation is not valid in the current lifecycle phase.
+    WrongPhase {
+        /// The phase the operation requires.
+        expected: Phase,
+        /// The phase the VO is actually in.
+        actual: Phase,
+    },
+    /// An invalid lifecycle transition was attempted.
+    BadTransition {
+        /// Current phase.
+        from: Phase,
+        /// Requested phase.
+        to: Phase,
+    },
+    /// A referenced role does not exist in the contract.
+    UnknownRole(String),
+    /// A referenced member is not part of the VO.
+    UnknownMember(String),
+    /// No registered provider can cover the role.
+    NoCandidates {
+        /// The uncovered role.
+        role: String,
+    },
+    /// Every candidate for the role failed its trust negotiation (or
+    /// declined the invitation).
+    RoleUnfilled {
+        /// The uncovered role.
+        role: String,
+        /// Candidates that were tried.
+        tried: Vec<String>,
+    },
+    /// A trust negotiation failed.
+    Negotiation(NegotiationError),
+    /// The member's membership certificate failed verification during the
+    /// operation phase.
+    InvalidMembership {
+        /// The member whose certificate failed.
+        member: String,
+        /// Why.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for VoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::WrongPhase { expected, actual } => {
+                write!(f, "operation requires phase {expected}, but the VO is in {actual}")
+            }
+            Self::BadTransition { from, to } => {
+                write!(f, "invalid lifecycle transition {from} -> {to}")
+            }
+            Self::UnknownRole(role) => write!(f, "role '{role}' is not in the contract"),
+            Self::UnknownMember(member) => write!(f, "'{member}' is not a VO member"),
+            Self::NoCandidates { role } => {
+                write!(f, "no registered provider offers the capability for role '{role}'")
+            }
+            Self::RoleUnfilled { role, tried } => {
+                write!(f, "role '{role}' could not be filled (tried: {})", tried.join(", "))
+            }
+            Self::Negotiation(e) => write!(f, "trust negotiation failed: {e}"),
+            Self::InvalidMembership { member, detail } => {
+                write!(f, "membership certificate of '{member}' invalid: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VoError {}
+
+impl From<NegotiationError> for VoError {
+    fn from(e: NegotiationError) -> Self {
+        VoError::Negotiation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let cases: Vec<(VoError, &str)> = vec![
+            (
+                VoError::WrongPhase { expected: Phase::Operation, actual: Phase::Formation },
+                "requires phase operation",
+            ),
+            (
+                VoError::BadTransition { from: Phase::Preparation, to: Phase::Operation },
+                "invalid lifecycle transition",
+            ),
+            (VoError::UnknownRole("HPC".into()), "role 'HPC'"),
+            (VoError::UnknownMember("X".into()), "not a VO member"),
+            (VoError::NoCandidates { role: "Storage".into() }, "no registered provider"),
+            (
+                VoError::RoleUnfilled { role: "HPC".into(), tried: vec!["A".into(), "B".into()] },
+                "tried: A, B",
+            ),
+            (
+                VoError::InvalidMembership { member: "X".into(), detail: "expired".into() },
+                "expired",
+            ),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    fn negotiation_error_converts() {
+        let err: VoError =
+            NegotiationError::NoTrustSequence { resource: "VoMembership".into() }.into();
+        assert!(err.to_string().contains("VoMembership"));
+    }
+}

@@ -1,0 +1,483 @@
+//! The Formation phase with integrated trust negotiation (paper §5.1).
+//!
+//! "The VO Initiator engages a TN with the potential members accepting its
+//! invitation. … unlike the conventional joining phase of a VO, acceptance
+//! in TN is mutual … If the VO Initiator decides to assign the VO
+//! potential member to the role, it sends it a VO membership certificate
+//! that the member can use to identify itself during the operational
+//! phase. If a negotiation is not successful, the VO Initiator removes the
+//! invited VO partner from the potential partners list and looks for other
+//! potential members."
+//!
+//! [`join_member`] reproduces the §6.3.1 measured *join process* for one
+//! member (with or without TN — the two Fig. 9 bars); [`form_vo`] runs the
+//! whole Formation phase over every contract role.
+
+use crate::contract::Contract;
+use crate::error::VoError;
+use crate::lifecycle::{Phase, VoLifecycle};
+use crate::mailbox::{Invitation, MailboxSystem};
+use crate::member::{MemberRecord, ServiceProvider};
+use crate::registry::ServiceRegistry;
+use crate::reputation::ReputationLedger;
+use std::collections::BTreeMap;
+use trust_vo_credential::x509::AttributeCertificate;
+use trust_vo_credential::TimeRange;
+use trust_vo_crypto::{hex, KeyPair};
+use trust_vo_negotiation::{negotiate, NegotiationConfig, Party, Strategy, Transcript};
+use trust_vo_soa::simclock::{CostKind, SimClock};
+
+/// A formed VO: the output of the Formation phase.
+#[derive(Debug, Clone)]
+pub struct FormedVo {
+    /// The VO name (from the contract).
+    pub name: String,
+    /// The contract in force.
+    pub contract: Contract,
+    /// The initiating organization.
+    pub initiator: String,
+    /// The VO key pair; the public half is embedded in membership tokens
+    /// "to be used for authentication in the VO" (§5.1).
+    pub vo_keys: KeyPair,
+    /// Current members.
+    pub members: Vec<MemberRecord>,
+    /// Lifecycle tracker.
+    pub lifecycle: VoLifecycle,
+    pub(crate) next_serial: u64,
+}
+
+impl FormedVo {
+    /// The member playing `role`, if assigned.
+    pub fn member_for_role(&self, role: &str) -> Option<&MemberRecord> {
+        self.members.iter().find(|m| m.role == role)
+    }
+
+    /// Is the named provider a member?
+    pub fn is_member(&self, provider: &str) -> bool {
+        self.members.iter().any(|m| m.provider == provider)
+    }
+
+    /// The members.
+    pub fn members(&self) -> &[MemberRecord] {
+        &self.members
+    }
+
+    /// Allocate the next membership-certificate serial.
+    pub fn next_serial(&mut self) -> u64 {
+        self.next_serial += 1;
+        self.next_serial
+    }
+}
+
+/// Charge the sim-clock for the work a negotiation transcript records.
+pub fn charge_negotiation(clock: &SimClock, transcript: &Transcript) {
+    clock.charge_n(CostKind::SoapRoundTrip, transcript.policy_rounds as u64);
+    clock.charge_n(CostKind::DbQuery, transcript.policies_disclosed as u64);
+    clock.charge_n(CostKind::PolicyEvaluation, transcript.policies_disclosed as u64);
+    // Each credential: one SOAP hop, one DB fetch, one verification.
+    clock.charge_n(CostKind::SoapRoundTrip, transcript.credentials_disclosed as u64);
+    clock.charge_n(CostKind::DbQuery, transcript.credentials_disclosed as u64);
+    clock.charge_n(CostKind::SignatureVerify, transcript.verifications as u64);
+    clock.charge_n(CostKind::SignatureSign, transcript.ownership_proofs as u64);
+    clock.charge_n(CostKind::SignatureVerify, transcript.ownership_proofs as u64);
+}
+
+/// The initiator's negotiation identity for one role: its own party data
+/// with the contract's Identification-phase policies for that role merged
+/// in ("policies are created for the specific VO and in particular for the
+/// roles", §5.1).
+fn initiator_party_for_role(initiator: &ServiceProvider, contract: &Contract, role: &str) -> Party {
+    let mut party = initiator.party.clone();
+    if let Some(set) = contract.policies_for(role) {
+        for policy in set.iter() {
+            party.policies.add(policy.clone());
+        }
+    }
+    party
+}
+
+/// Issue the VO membership certificate for a successful candidate.
+fn issue_membership(
+    vo: &mut FormedVo,
+    initiator_keys: &KeyPair,
+    clock: &SimClock,
+    candidate: &Party,
+    role: &str,
+) -> AttributeCertificate {
+    clock.charge(CostKind::CertificateIssue);
+    clock.charge(CostKind::SignatureSign);
+    let serial = vo.next_serial();
+    AttributeCertificate::issue(
+        serial,
+        candidate.name.clone(),
+        candidate.keys.public,
+        vo.initiator.clone(),
+        initiator_keys,
+        TimeRange::one_year_from(clock.timestamp()),
+        vec![
+            ("vo".into(), vo.name.clone()),
+            ("role".into(), role.to_owned()),
+            ("voPublicKey".into(), hex::encode(&vo.vo_keys.public.0.to_be_bytes())),
+        ],
+    )
+}
+
+/// The §6.3.1 join process for one member, with or without TN.
+///
+/// The GUI steps mirror §6.1's flow: invitation screen → member mailbox →
+/// accept → "Role overview" screen → "Assign Member" → confirmation.
+/// Passing `Some(strategy)` interleaves the mutual trust negotiation
+/// (Fig. 4) between acceptance and role assignment.
+#[allow(clippy::too_many_arguments)]
+pub fn join_member(
+    vo: &mut FormedVo,
+    initiator: &ServiceProvider,
+    candidate: &ServiceProvider,
+    role: &str,
+    mailboxes: &mut MailboxSystem,
+    reputation: &mut ReputationLedger,
+    clock: &SimClock,
+    with_tn: Option<Strategy>,
+) -> Result<MemberRecord, VoError> {
+    let role_def = vo
+        .contract
+        .role(role)
+        .ok_or_else(|| VoError::UnknownRole(role.to_owned()))?
+        .clone();
+
+    // Invitation screen + delivery into the member's mailbox.
+    clock.charge(CostKind::GuiStep);
+    clock.charge(CostKind::SoapRoundTrip);
+    mailboxes.deliver(
+        candidate.name(),
+        Invitation {
+            vo_name: vo.name.clone(),
+            role: role.to_owned(),
+            from: initiator.name().to_owned(),
+            text: format!("Join '{}': {}", vo.name, role_def.requirements),
+        },
+    );
+    // Member reads the mailbox and decides.
+    clock.charge(CostKind::GuiStep);
+    let _invitation = mailboxes.take(candidate.name());
+    if !candidate.accepts_invitations {
+        return Err(VoError::RoleUnfilled {
+            role: role.to_owned(),
+            tried: vec![candidate.name().to_owned()],
+        });
+    }
+    clock.charge(CostKind::GuiStep); // accept click + reply
+    clock.charge(CostKind::SoapRoundTrip);
+
+    // The interleaved trust negotiation (Fig. 3, arrow 0 / Fig. 4).
+    if let Some(strategy) = with_tn {
+        let initiator_party = initiator_party_for_role(initiator, &vo.contract, role);
+        let cfg = NegotiationConfig::new(strategy, clock.timestamp());
+        match negotiate(&candidate.party, &initiator_party, "VoMembership", &cfg) {
+            Ok(outcome) => {
+                charge_negotiation(clock, &outcome.transcript);
+                reputation.record_success(candidate.name());
+            }
+            Err(e) => {
+                // "the failed TN may affect the parties' reputation" (§5.1).
+                reputation.record_failed_negotiation(candidate.name());
+                return Err(VoError::Negotiation(e));
+            }
+        }
+    }
+
+    // Role overview + Assign Member + registration write.
+    clock.charge(CostKind::GuiStep);
+    clock.charge(CostKind::GuiStep);
+    clock.charge_n(CostKind::DbQuery, 2);
+    let certificate = issue_membership(vo, &initiator.party.keys, clock, &candidate.party, role);
+    // Confirmation screen.
+    clock.charge(CostKind::GuiStep);
+    clock.charge(CostKind::DbQuery);
+
+    let record = MemberRecord {
+        provider: candidate.name().to_owned(),
+        role: role.to_owned(),
+        certificate,
+    };
+    vo.members.push(record.clone());
+    Ok(record)
+}
+
+/// Create the VO shell after the Identification phase: lifecycle advanced
+/// to Formation, VO keys generated, no members yet.
+pub fn create_vo(contract: Contract, initiator: &ServiceProvider, clock: &SimClock) -> FormedVo {
+    let mut lifecycle = VoLifecycle::new(clock.timestamp());
+    lifecycle
+        .advance_to(Phase::Identification, clock.timestamp())
+        .expect("fresh lifecycle advances");
+    lifecycle
+        .advance_to(Phase::Formation, clock.timestamp())
+        .expect("identification advances to formation");
+    let vo_keys = KeyPair::from_seed(format!("vo:{}", contract.vo_name).as_bytes());
+    FormedVo {
+        name: contract.vo_name.clone(),
+        initiator: initiator.name().to_owned(),
+        contract,
+        vo_keys,
+        members: Vec::new(),
+        lifecycle,
+        next_serial: 0,
+    }
+}
+
+/// Run the whole Formation phase: for every contract role, query the
+/// registry, invite candidates best-first (registry quality × reputation),
+/// negotiate, and assign the first success. Ends with the lifecycle in
+/// Operation.
+#[allow(clippy::too_many_arguments)]
+pub fn form_vo(
+    contract: Contract,
+    initiator: &ServiceProvider,
+    providers: &BTreeMap<String, ServiceProvider>,
+    registry: &ServiceRegistry,
+    mailboxes: &mut MailboxSystem,
+    reputation: &mut ReputationLedger,
+    clock: &SimClock,
+    strategy: Strategy,
+) -> Result<FormedVo, VoError> {
+    let mut vo = create_vo(contract, initiator, clock);
+    let roles: Vec<_> = vo.contract.roles.clone();
+    for role in &roles {
+        // Formation: "The VO Initiator queries public repositories to
+        // retrieve the information published during the Preparation phase."
+        clock.charge(CostKind::DbQuery);
+        let mut candidates: Vec<&crate::registry::ResourceDescription> =
+            registry.find_by_capability(&role.capability);
+        if candidates.is_empty() {
+            return Err(VoError::NoCandidates { role: role.name.clone() });
+        }
+        // Order by advertised quality weighted by reputation.
+        candidates.sort_by(|a, b| {
+            let score = |d: &crate::registry::ResourceDescription| d.quality * reputation.get(&d.provider);
+            score(b)
+                .partial_cmp(&score(a))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.provider.cmp(&b.provider))
+        });
+        let mut tried = Vec::new();
+        let mut assigned = false;
+        for description in candidates {
+            let Some(candidate) = providers.get(&description.provider) else {
+                continue;
+            };
+            tried.push(candidate.name().to_owned());
+            match join_member(
+                &mut vo,
+                initiator,
+                candidate,
+                &role.name,
+                mailboxes,
+                reputation,
+                clock,
+                Some(strategy),
+            ) {
+                Ok(_) => {
+                    assigned = true;
+                    break;
+                }
+                Err(_) => continue, // "looks for other potential members"
+            }
+        }
+        if !assigned {
+            return Err(VoError::RoleUnfilled { role: role.name.clone(), tried });
+        }
+    }
+    vo.lifecycle
+        .advance_to(Phase::Operation, clock.timestamp())
+        .expect("formation advances to operation");
+    Ok(vo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contract::Role;
+    use crate::registry::ResourceDescription;
+    use trust_vo_credential::{CredentialAuthority, TimeRange, Timestamp};
+    use trust_vo_policy::{DisclosurePolicy, PolicySet, Resource, Term};
+    use trust_vo_soa::simclock::CostModel;
+
+    fn clock() -> SimClock {
+        SimClock::new(CostModel::paper_testbed(), Timestamp::from_ymd_hms(2009, 6, 1, 0, 0, 0))
+    }
+
+    /// A minimal one-role world: the initiator requires WebDesignerQuality
+    /// for the DesignPortal role; two candidate providers exist, one with
+    /// the credential and one without.
+    fn world() -> (Contract, ServiceProvider, BTreeMap<String, ServiceProvider>, ServiceRegistry) {
+        let mut ca = CredentialAuthority::new("AAA");
+        let window = TimeRange::one_year_from(Timestamp::from_ymd_hms(2009, 1, 1, 0, 0, 0));
+
+        let mut initiator_party = Party::new("Aircraft");
+        let mut good = Party::new("Aerospace");
+        let quality = ca
+            .issue("WebDesignerQuality", "Aerospace", good.keys.public, vec![], window)
+            .unwrap();
+        good.profile.add(quality);
+        good.trust_root(ca.public_key());
+        initiator_party.trust_root(ca.public_key());
+        let bad = Party::new("Shady Co");
+
+        let mut contract = Contract::new("AircraftOptimization", "low emissions")
+            .with_role(Role::new("DesignPortal", "design-db", "ISO 9000"));
+        let mut policies = PolicySet::new();
+        policies.add(DisclosurePolicy::rule(
+            "vo-p1",
+            Resource::service("VoMembership"),
+            vec![Term::of_type("WebDesignerQuality")],
+        ));
+        contract.set_role_policies("DesignPortal", policies);
+
+        let mut registry = ServiceRegistry::new();
+        registry.publish(ResourceDescription::new("Shady Co", "design-db", "x", 0.99));
+        registry.publish(ResourceDescription::new("Aerospace", "design-db", "x", 0.9));
+
+        let mut providers = BTreeMap::new();
+        providers.insert("Aerospace".to_owned(), ServiceProvider::new(good));
+        providers.insert("Shady Co".to_owned(), ServiceProvider::new(bad));
+        (contract, ServiceProvider::new(initiator_party), providers, registry)
+    }
+
+    #[test]
+    fn formation_fills_role_skipping_failed_candidate() {
+        let (contract, initiator, providers, registry) = world();
+        let clock = clock();
+        let mut mailboxes = MailboxSystem::new();
+        let mut reputation = ReputationLedger::new();
+        let vo = form_vo(
+            contract,
+            &initiator,
+            &providers,
+            &registry,
+            &mut mailboxes,
+            &mut reputation,
+            &clock,
+            Strategy::Standard,
+        )
+        .unwrap();
+        // Shady Co (higher quality) was tried first but failed TN;
+        // Aerospace got the role.
+        assert!(vo.is_member("Aerospace"));
+        assert!(!vo.is_member("Shady Co"));
+        assert!(reputation.get("Shady Co") < 0.5);
+        assert!(reputation.get("Aerospace") > 0.5);
+        assert_eq!(vo.lifecycle.phase(), Phase::Operation);
+        // The membership token carries the VO public key and the role.
+        let record = vo.member_for_role("DesignPortal").unwrap();
+        assert_eq!(record.certificate.attr("role"), Some("DesignPortal"));
+        assert_eq!(
+            record.certificate.attr("voPublicKey"),
+            Some(hex::encode(&vo.vo_keys.public.0.to_be_bytes()).as_str())
+        );
+        assert!(record.certificate.verify_signature().is_ok());
+    }
+
+    #[test]
+    fn join_without_tn_is_cheaper_than_with() {
+        let (contract, initiator, providers, _registry) = world();
+        let candidate = providers.get("Aerospace").unwrap();
+
+        let c1 = clock();
+        let mut vo1 = create_vo(contract.clone(), &initiator, &c1);
+        let mut mail = MailboxSystem::new();
+        let mut rep = ReputationLedger::new();
+        join_member(&mut vo1, &initiator, candidate, "DesignPortal", &mut mail, &mut rep, &c1, None)
+            .unwrap();
+        let without = c1.elapsed();
+
+        let c2 = clock();
+        let mut vo2 = create_vo(contract, &initiator, &c2);
+        join_member(
+            &mut vo2,
+            &initiator,
+            candidate,
+            "DesignPortal",
+            &mut mail,
+            &mut rep,
+            &c2,
+            Some(Strategy::Standard),
+        )
+        .unwrap();
+        let with = c2.elapsed();
+        assert!(with > without, "with TN {with} must exceed without {without}");
+        // The Fig. 9 shape: TN adds a modest fraction, not a multiple.
+        let ratio = with.as_secs_f64() / without.as_secs_f64();
+        assert!(ratio > 1.05 && ratio < 2.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn declining_candidate_is_skipped() {
+        let (contract, initiator, mut providers, registry) = world();
+        providers.insert(
+            "Aerospace".to_owned(),
+            ServiceProvider::new(providers.get("Aerospace").unwrap().party.clone()).declining(),
+        );
+        let clock = clock();
+        let err = form_vo(
+            contract,
+            &initiator,
+            &providers,
+            &registry,
+            &mut MailboxSystem::new(),
+            &mut ReputationLedger::new(),
+            &clock,
+            Strategy::Standard,
+        )
+        .unwrap_err();
+        assert!(matches!(err, VoError::RoleUnfilled { .. }));
+    }
+
+    #[test]
+    fn empty_registry_reports_no_candidates() {
+        let (contract, initiator, providers, _) = world();
+        let err = form_vo(
+            contract,
+            &initiator,
+            &providers,
+            &ServiceRegistry::new(),
+            &mut MailboxSystem::new(),
+            &mut ReputationLedger::new(),
+            &clock(),
+            Strategy::Standard,
+        )
+        .unwrap_err();
+        assert!(matches!(err, VoError::NoCandidates { .. }));
+    }
+
+    #[test]
+    fn unknown_role_rejected() {
+        let (contract, initiator, providers, _) = world();
+        let clock = clock();
+        let mut vo = create_vo(contract, &initiator, &clock);
+        let err = join_member(
+            &mut vo,
+            &initiator,
+            providers.get("Aerospace").unwrap(),
+            "Ghost",
+            &mut MailboxSystem::new(),
+            &mut ReputationLedger::new(),
+            &clock,
+            None,
+        )
+        .unwrap_err();
+        assert!(matches!(err, VoError::UnknownRole(_)));
+    }
+
+    #[test]
+    fn serials_are_unique() {
+        let (contract, initiator, providers, _) = world();
+        let clock = clock();
+        let mut vo = create_vo(contract, &initiator, &clock);
+        let mut mail = MailboxSystem::new();
+        let mut rep = ReputationLedger::new();
+        let a = join_member(&mut vo, &initiator, providers.get("Aerospace").unwrap(), "DesignPortal", &mut mail, &mut rep, &clock, None).unwrap();
+        let b = join_member(&mut vo, &initiator, providers.get("Shady Co").unwrap(), "DesignPortal", &mut mail, &mut rep, &clock, None).unwrap();
+        assert_ne!(a.certificate.serial, b.certificate.serial);
+    }
+}

@@ -1,0 +1,149 @@
+//! The VO lifecycle state machine (paper §2).
+//!
+//! Preparation → Identification → Formation → Operation → Dissolution.
+//! The Operation phase may loop internally (member replacement, repeated
+//! optimization steps), but phases only ever advance forward.
+
+use crate::error::VoError;
+use trust_vo_credential::Timestamp;
+
+/// A lifecycle phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// SPs publish their resources' functionalities in a public repository.
+    Preparation,
+    /// The VO Initiator defines the business goal, the contract, and (with
+    /// TN integration) the per-role disclosure policies.
+    Identification,
+    /// Candidates are invited and mutually negotiated with; successful
+    /// ones receive membership certificates.
+    Formation,
+    /// Members cooperate under the contract's collaboration rules.
+    Operation,
+    /// Final operations nullify all contractual bindings.
+    Dissolution,
+}
+
+impl Phase {
+    /// The phases in lifecycle order.
+    pub const ORDER: [Phase; 5] = [
+        Phase::Preparation,
+        Phase::Identification,
+        Phase::Formation,
+        Phase::Operation,
+        Phase::Dissolution,
+    ];
+
+    /// The next phase, if any.
+    pub fn next(self) -> Option<Phase> {
+        let idx = Phase::ORDER.iter().position(|&p| p == self).expect("phase in ORDER");
+        Phase::ORDER.get(idx + 1).copied()
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Phase::Preparation => "preparation",
+            Phase::Identification => "identification",
+            Phase::Formation => "formation",
+            Phase::Operation => "operation",
+            Phase::Dissolution => "dissolution",
+        })
+    }
+}
+
+/// The lifecycle tracker of one VO: current phase plus a timestamped
+/// transition history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VoLifecycle {
+    current: Phase,
+    history: Vec<(Phase, Timestamp)>,
+}
+
+impl VoLifecycle {
+    /// A lifecycle starting in Preparation at `at`.
+    pub fn new(at: Timestamp) -> Self {
+        VoLifecycle { current: Phase::Preparation, history: vec![(Phase::Preparation, at)] }
+    }
+
+    /// The current phase.
+    pub fn phase(&self) -> Phase {
+        self.current
+    }
+
+    /// Advance to the next phase. Only single forward steps are legal.
+    pub fn advance_to(&mut self, to: Phase, at: Timestamp) -> Result<(), VoError> {
+        if self.current.next() == Some(to) {
+            self.current = to;
+            self.history.push((to, at));
+            Ok(())
+        } else {
+            Err(VoError::BadTransition { from: self.current, to })
+        }
+    }
+
+    /// Require the lifecycle to be in `phase`.
+    pub fn require(&self, phase: Phase) -> Result<(), VoError> {
+        if self.current == phase {
+            Ok(())
+        } else {
+            Err(VoError::WrongPhase { expected: phase, actual: self.current })
+        }
+    }
+
+    /// The transition history, oldest first.
+    pub fn history(&self) -> &[(Phase, Timestamp)] {
+        &self.history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_forward_walk() {
+        let mut lc = VoLifecycle::new(Timestamp(0));
+        for (i, phase) in Phase::ORDER.iter().enumerate().skip(1) {
+            lc.advance_to(*phase, Timestamp(i as i64)).unwrap();
+        }
+        assert_eq!(lc.phase(), Phase::Dissolution);
+        assert_eq!(lc.history().len(), 5);
+    }
+
+    #[test]
+    fn skipping_phases_rejected() {
+        let mut lc = VoLifecycle::new(Timestamp(0));
+        let err = lc.advance_to(Phase::Operation, Timestamp(1)).unwrap_err();
+        assert!(matches!(err, VoError::BadTransition { .. }));
+        assert_eq!(lc.phase(), Phase::Preparation);
+    }
+
+    #[test]
+    fn going_backwards_rejected() {
+        let mut lc = VoLifecycle::new(Timestamp(0));
+        lc.advance_to(Phase::Identification, Timestamp(1)).unwrap();
+        assert!(lc.advance_to(Phase::Preparation, Timestamp(2)).is_err());
+        // Self-transition also rejected.
+        assert!(lc.advance_to(Phase::Identification, Timestamp(2)).is_err());
+    }
+
+    #[test]
+    fn dissolution_is_terminal() {
+        let mut lc = VoLifecycle::new(Timestamp(0));
+        for phase in Phase::ORDER.iter().skip(1) {
+            lc.advance_to(*phase, Timestamp(1)).unwrap();
+        }
+        assert_eq!(Phase::Dissolution.next(), None);
+        assert!(lc.advance_to(Phase::Operation, Timestamp(2)).is_err());
+    }
+
+    #[test]
+    fn require_checks_phase() {
+        let lc = VoLifecycle::new(Timestamp(0));
+        assert!(lc.require(Phase::Preparation).is_ok());
+        let err = lc.require(Phase::Operation).unwrap_err();
+        assert!(matches!(err, VoError::WrongPhase { .. }));
+    }
+}

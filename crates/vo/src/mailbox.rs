@@ -1,0 +1,103 @@
+//! Invitations and mailboxes.
+//!
+//! "Invitations appear in the Mailbox of the new potential members. The
+//! message contains the text entered in the invitation screen. When all
+//! the members have accepted the invitation, the 'Role overview' screen
+//! shows the possible members that can be assigned to each role." (§6.1)
+
+use std::collections::BTreeMap;
+
+/// An invitation to join a VO in a given role.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Invitation {
+    /// The VO being formed.
+    pub vo_name: String,
+    /// The role offered.
+    pub role: String,
+    /// The inviting VO Initiator.
+    pub from: String,
+    /// The invitation text ("the text entered in the invitation screen").
+    pub text: String,
+}
+
+/// A member's reply to an invitation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reply {
+    /// The provider accepts and is willing to negotiate.
+    Accept,
+    /// The provider declines.
+    Decline,
+}
+
+/// The mailbox system: per-provider invitation queues.
+#[derive(Debug, Clone, Default)]
+pub struct MailboxSystem {
+    boxes: BTreeMap<String, Vec<Invitation>>,
+}
+
+impl MailboxSystem {
+    /// An empty mailbox system.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deliver an invitation to a provider's mailbox.
+    pub fn deliver(&mut self, to: &str, invitation: Invitation) {
+        self.boxes.entry(to.to_owned()).or_default().push(invitation);
+    }
+
+    /// Read (without consuming) a provider's invitations.
+    pub fn read(&self, provider: &str) -> &[Invitation] {
+        self.boxes.get(provider).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Pop the oldest invitation from a provider's mailbox.
+    pub fn take(&mut self, provider: &str) -> Option<Invitation> {
+        let inbox = self.boxes.get_mut(provider)?;
+        if inbox.is_empty() {
+            None
+        } else {
+            Some(inbox.remove(0))
+        }
+    }
+
+    /// Total pending invitations across all mailboxes.
+    pub fn pending(&self) -> usize {
+        self.boxes.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn invitation(role: &str) -> Invitation {
+        Invitation {
+            vo_name: "AircraftOptimization".into(),
+            role: role.into(),
+            from: "Aircraft Company".into(),
+            text: "Join our low-emission aircraft project".into(),
+        }
+    }
+
+    #[test]
+    fn deliver_and_read() {
+        let mut mail = MailboxSystem::new();
+        mail.deliver("Aerospace", invitation("DesignPortal"));
+        mail.deliver("Aerospace", invitation("Backup"));
+        assert_eq!(mail.read("Aerospace").len(), 2);
+        assert_eq!(mail.read("Nobody").len(), 0);
+        assert_eq!(mail.pending(), 2);
+    }
+
+    #[test]
+    fn take_is_fifo() {
+        let mut mail = MailboxSystem::new();
+        mail.deliver("Aerospace", invitation("First"));
+        mail.deliver("Aerospace", invitation("Second"));
+        assert_eq!(mail.take("Aerospace").unwrap().role, "First");
+        assert_eq!(mail.take("Aerospace").unwrap().role, "Second");
+        assert!(mail.take("Aerospace").is_none());
+        assert!(mail.take("Nobody").is_none());
+    }
+}

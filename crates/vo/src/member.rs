@@ -1,0 +1,87 @@
+//! Service providers and VO membership records.
+
+use trust_vo_credential::x509::AttributeCertificate;
+use trust_vo_negotiation::Party;
+
+/// A service provider: the negotiation-capable identity plus its toolkit
+/// edition behaviour.
+#[derive(Debug, Clone)]
+pub struct ServiceProvider {
+    /// The provider's negotiation identity (profile, policies, ontology).
+    pub party: Party,
+    /// Whether the provider accepts VO invitations (Member Edition
+    /// configuration; the paper's invitees may decline).
+    pub accepts_invitations: bool,
+}
+
+impl ServiceProvider {
+    /// A provider wrapping the given party, accepting invitations.
+    pub fn new(party: Party) -> Self {
+        ServiceProvider { party, accepts_invitations: true }
+    }
+
+    /// Builder: make the provider decline all invitations.
+    #[must_use]
+    pub fn declining(mut self) -> Self {
+        self.accepts_invitations = false;
+        self
+    }
+
+    /// The provider's display name.
+    pub fn name(&self) -> &str {
+        &self.party.name
+    }
+}
+
+/// A formed-VO membership record: who plays which role, under which
+/// membership certificate.
+#[derive(Debug, Clone)]
+pub struct MemberRecord {
+    /// The member's provider name.
+    pub provider: String,
+    /// The role it plays.
+    pub role: String,
+    /// The X.509v2 membership certificate the Initiator issued. "The
+    /// membership token contains the public key of the VO to be used for
+    /// authentication in the VO." (§5.1)
+    pub certificate: AttributeCertificate,
+}
+
+impl MemberRecord {
+    /// The VO name baked into the certificate.
+    pub fn vo_name(&self) -> Option<&str> {
+        self.certificate.attr("vo")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trust_vo_credential::{TimeRange, Timestamp};
+    use trust_vo_crypto::KeyPair;
+
+    #[test]
+    fn provider_construction() {
+        let p = ServiceProvider::new(Party::new("HPC-A"));
+        assert_eq!(p.name(), "HPC-A");
+        assert!(p.accepts_invitations);
+        assert!(!ServiceProvider::new(Party::new("X")).declining().accepts_invitations);
+    }
+
+    #[test]
+    fn member_record_vo_name() {
+        let issuer = KeyPair::from_seed(b"initiator");
+        let holder = KeyPair::from_seed(b"member");
+        let cert = AttributeCertificate::issue(
+            1,
+            "HPC-A",
+            holder.public,
+            "Aircraft",
+            &issuer,
+            TimeRange::one_year_from(Timestamp(0)),
+            vec![("vo".into(), "AircraftOptimization".into()), ("role".into(), "HPC".into())],
+        );
+        let record = MemberRecord { provider: "HPC-A".into(), role: "HPC".into(), certificate: cert };
+        assert_eq!(record.vo_name(), Some("AircraftOptimization"));
+    }
+}

@@ -1,0 +1,158 @@
+//! The Preparation-phase public repository.
+//!
+//! "SPs publish their resources' functionalities in a public repository.
+//! The resources' description provides detailed information about
+//! resources' capabilities, the resources' interaction means and other
+//! information like the resource quality. This information allows one to
+//! select a SP for inclusion in the VO." (§2)
+
+/// A published resource description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceDescription {
+    /// The publishing service provider.
+    pub provider: String,
+    /// The advertised capability, e.g. `hpc-compute`.
+    pub capability: String,
+    /// Interaction means (endpoint/protocol description).
+    pub interaction: String,
+    /// Advertised quality in `[0, 1]`.
+    pub quality: f64,
+}
+
+impl ResourceDescription {
+    /// Construct a description (quality clamped into `[0, 1]`).
+    pub fn new(
+        provider: impl Into<String>,
+        capability: impl Into<String>,
+        interaction: impl Into<String>,
+        quality: f64,
+    ) -> Self {
+        ResourceDescription {
+            provider: provider.into(),
+            capability: capability.into(),
+            interaction: interaction.into(),
+            quality: quality.clamp(0.0, 1.0),
+        }
+    }
+}
+
+/// The public repository queried by VO Initiators during Formation.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceRegistry {
+    entries: Vec<ResourceDescription>,
+}
+
+impl ServiceRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publish a description. A provider republishing the same capability
+    /// replaces its previous entry.
+    pub fn publish(&mut self, description: ResourceDescription) {
+        if let Some(slot) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.provider == description.provider && e.capability == description.capability)
+        {
+            *slot = description;
+        } else {
+            self.entries.push(description);
+        }
+    }
+
+    /// Withdraw all of a provider's publications (e.g. at dissolution).
+    pub fn withdraw(&mut self, provider: &str) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.provider != provider);
+        before - self.entries.len()
+    }
+
+    /// Providers advertising `capability`, best quality first.
+    pub fn find_by_capability(&self, capability: &str) -> Vec<&ResourceDescription> {
+        let mut found: Vec<&ResourceDescription> =
+            self.entries.iter().filter(|e| e.capability == capability).collect();
+        found.sort_by(|a, b| {
+            b.quality
+                .partial_cmp(&a.quality)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.provider.cmp(&b.provider))
+        });
+        found
+    }
+
+    /// All publications of one provider.
+    pub fn by_provider<'a>(&'a self, provider: &'a str) -> impl Iterator<Item = &'a ResourceDescription> + 'a {
+        self.entries.iter().filter(move |e| e.provider == provider)
+    }
+
+    /// Number of publications.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is published.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> ServiceRegistry {
+        let mut r = ServiceRegistry::new();
+        r.publish(ResourceDescription::new("HPC-A", "hpc-compute", "soap://hpc-a", 0.9));
+        r.publish(ResourceDescription::new("HPC-B", "hpc-compute", "soap://hpc-b", 0.95));
+        r.publish(ResourceDescription::new("StoreCo", "storage", "soap://store", 0.8));
+        r
+    }
+
+    #[test]
+    fn find_sorted_by_quality() {
+        let r = registry();
+        let found = r.find_by_capability("hpc-compute");
+        assert_eq!(found.len(), 2);
+        assert_eq!(found[0].provider, "HPC-B");
+        assert_eq!(found[1].provider, "HPC-A");
+        assert!(r.find_by_capability("quantum").is_empty());
+    }
+
+    #[test]
+    fn quality_ties_break_by_name() {
+        let mut r = ServiceRegistry::new();
+        r.publish(ResourceDescription::new("Zeta", "cap", "x", 0.5));
+        r.publish(ResourceDescription::new("Alpha", "cap", "x", 0.5));
+        let found = r.find_by_capability("cap");
+        assert_eq!(found[0].provider, "Alpha");
+    }
+
+    #[test]
+    fn republish_replaces() {
+        let mut r = registry();
+        r.publish(ResourceDescription::new("HPC-A", "hpc-compute", "soap://hpc-a2", 0.99));
+        let found = r.find_by_capability("hpc-compute");
+        assert_eq!(found.len(), 2);
+        assert_eq!(found[0].provider, "HPC-A");
+        assert_eq!(found[0].interaction, "soap://hpc-a2");
+    }
+
+    #[test]
+    fn withdraw_removes_all() {
+        let mut r = registry();
+        r.publish(ResourceDescription::new("HPC-A", "storage", "x", 0.4));
+        assert_eq!(r.withdraw("HPC-A"), 2);
+        assert_eq!(r.withdraw("HPC-A"), 0);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn quality_clamped() {
+        let d = ResourceDescription::new("X", "c", "i", 1.7);
+        assert_eq!(d.quality, 1.0);
+        let d = ResourceDescription::new("X", "c", "i", -0.3);
+        assert_eq!(d.quality, 0.0);
+    }
+}

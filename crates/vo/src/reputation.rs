@@ -1,0 +1,138 @@
+//! Member reputation.
+//!
+//! "Each member will have an associated reputation, established on the
+//! basis of past transactions and updated as it interacts with members of
+//! the VO" (§2); during operation, "reputation of the members is updated
+//! accordingly based on the result of the operations, the quality of the
+//! service granted and so forth. If a VO member violates the contract, it
+//! can either be replaced or it can be punished; for example its
+//! reputation can be negatively modified."
+
+use std::collections::BTreeMap;
+
+/// Default reputation for a previously unseen party.
+pub const DEFAULT_REPUTATION: f64 = 0.5;
+/// Reputation gained per successful transaction.
+pub const SUCCESS_DELTA: f64 = 0.05;
+/// Reputation lost per contract violation.
+pub const VIOLATION_DELTA: f64 = 0.2;
+/// Reputation lost per failed trust negotiation ("the failed TN may
+/// affect the parties' reputation", §5.1).
+pub const FAILED_TN_DELTA: f64 = 0.1;
+
+/// A ledger of member reputations in `[0, 1]`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReputationLedger {
+    scores: BTreeMap<String, f64>,
+    events: u64,
+}
+
+impl ReputationLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The reputation of a party (default for unknown parties).
+    pub fn get(&self, party: &str) -> f64 {
+        self.scores.get(party).copied().unwrap_or(DEFAULT_REPUTATION)
+    }
+
+    fn adjust(&mut self, party: &str, delta: f64) {
+        let current = self.get(party);
+        self.scores.insert(party.to_owned(), (current + delta).clamp(0.0, 1.0));
+        self.events += 1;
+    }
+
+    /// Record a successful transaction.
+    pub fn record_success(&mut self, party: &str) {
+        self.adjust(party, SUCCESS_DELTA);
+    }
+
+    /// Record a contract violation.
+    pub fn record_violation(&mut self, party: &str) {
+        self.adjust(party, -VIOLATION_DELTA);
+    }
+
+    /// Record a failed trust negotiation.
+    pub fn record_failed_negotiation(&mut self, party: &str) {
+        self.adjust(party, -FAILED_TN_DELTA);
+    }
+
+    /// Is the party below the replacement threshold?
+    pub fn needs_replacement(&self, party: &str, threshold: f64) -> bool {
+        self.get(party) < threshold
+    }
+
+    /// Number of recorded events.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn unknown_party_has_default() {
+        let ledger = ReputationLedger::new();
+        assert_eq!(ledger.get("Ghost"), DEFAULT_REPUTATION);
+    }
+
+    #[test]
+    fn success_and_violation_move_score() {
+        let mut ledger = ReputationLedger::new();
+        ledger.record_success("HPC-A");
+        assert!((ledger.get("HPC-A") - (DEFAULT_REPUTATION + SUCCESS_DELTA)).abs() < 1e-12);
+        ledger.record_violation("HPC-A");
+        assert!(ledger.get("HPC-A") < DEFAULT_REPUTATION);
+        assert_eq!(ledger.events(), 2);
+    }
+
+    #[test]
+    fn replacement_threshold() {
+        let mut ledger = ReputationLedger::new();
+        assert!(!ledger.needs_replacement("HPC-A", 0.3));
+        ledger.record_violation("HPC-A");
+        ledger.record_violation("HPC-A");
+        // 0.5 - 0.4 = 0.1 < 0.3
+        assert!(ledger.needs_replacement("HPC-A", 0.3));
+    }
+
+    #[test]
+    fn failed_negotiation_penalty() {
+        let mut ledger = ReputationLedger::new();
+        ledger.record_failed_negotiation("Shady Co");
+        assert!((ledger.get("Shady Co") - (DEFAULT_REPUTATION - FAILED_TN_DELTA)).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn reputation_stays_bounded(ops in proptest::collection::vec(0u8..3, 0..100)) {
+            let mut ledger = ReputationLedger::new();
+            for op in ops {
+                match op {
+                    0 => ledger.record_success("X"),
+                    1 => ledger.record_violation("X"),
+                    _ => ledger.record_failed_negotiation("X"),
+                }
+                let score = ledger.get("X");
+                prop_assert!((0.0..=1.0).contains(&score));
+            }
+        }
+
+        #[test]
+        fn successes_never_decrease(n in 1usize..50) {
+            let mut ledger = ReputationLedger::new();
+            let mut last = ledger.get("X");
+            for _ in 0..n {
+                ledger.record_success("X");
+                let now = ledger.get("X");
+                prop_assert!(now >= last);
+                last = now;
+            }
+        }
+    }
+}

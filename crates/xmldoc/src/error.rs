@@ -1,0 +1,37 @@
+//! Error types for parsing XML and XPath expressions.
+
+/// An error produced while parsing an XML document or XPath expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Byte offset in the input where the error was detected.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl XmlError {
+    pub(crate) fn new(offset: usize, message: impl Into<String>) -> Self {
+        XmlError { offset, message: message.into() }
+    }
+}
+
+impl std::fmt::Display for XmlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "XML error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_offset_and_message() {
+        let e = XmlError::new(42, "unexpected '<'");
+        let text = e.to_string();
+        assert!(text.contains("42"));
+        assert!(text.contains("unexpected '<'"));
+    }
+}

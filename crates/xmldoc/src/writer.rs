@@ -1,0 +1,178 @@
+//! Canonical XML serialization.
+//!
+//! Two forms are provided:
+//!
+//! * [`to_string`] — the **canonical compact form**: no insignificant
+//!   whitespace, attributes in stored order, `"` quoting, and the five
+//!   standard entity escapes. Credential signatures are computed over these
+//!   bytes, so this form must be deterministic.
+//! * [`to_string_pretty`] — an indented form for logs, examples, and docs.
+
+use crate::node::{Element, Node};
+
+/// Escape text content (`&`, `<`, `>`).
+pub fn escape_text(text: &str, out: &mut String) {
+    for ch in text.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Escape an attribute value (adds `"` and newline escapes on top of text escapes).
+pub fn escape_attr(text: &str, out: &mut String) {
+    for ch in text.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\n' => out.push_str("&#10;"),
+            '\t' => out.push_str("&#9;"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn write_open_tag(e: &Element, out: &mut String) {
+    out.push('<');
+    out.push_str(&e.name);
+    for (k, v) in &e.attrs {
+        out.push(' ');
+        out.push_str(k);
+        out.push_str("=\"");
+        escape_attr(v, out);
+        out.push('"');
+    }
+}
+
+fn write_compact(e: &Element, out: &mut String) {
+    write_open_tag(e, out);
+    if e.children.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    for c in &e.children {
+        match c {
+            Node::Element(child) => write_compact(child, out),
+            Node::Text(t) => escape_text(t, out),
+        }
+    }
+    out.push_str("</");
+    out.push_str(&e.name);
+    out.push('>');
+}
+
+/// Serialize to the canonical compact form (no XML declaration).
+pub fn to_string(root: &Element) -> String {
+    let mut out = String::with_capacity(root.size() * 16);
+    write_compact(root, &mut out);
+    out
+}
+
+fn write_pretty(e: &Element, depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    write_open_tag(e, out);
+    if e.children.is_empty() {
+        out.push_str("/>\n");
+        return;
+    }
+    // Elements whose children are all text stay on one line.
+    let text_only = e.children.iter().all(|c| matches!(c, Node::Text(_)));
+    if text_only {
+        out.push('>');
+        for c in &e.children {
+            if let Node::Text(t) = c {
+                escape_text(t, out);
+            }
+        }
+        out.push_str("</");
+        out.push_str(&e.name);
+        out.push_str(">\n");
+        return;
+    }
+    out.push_str(">\n");
+    for c in &e.children {
+        match c {
+            Node::Element(child) => write_pretty(child, depth + 1, out),
+            Node::Text(t) => {
+                let trimmed = t.trim();
+                if !trimmed.is_empty() {
+                    for _ in 0..=depth {
+                        out.push_str("  ");
+                    }
+                    escape_text(trimmed, out);
+                    out.push('\n');
+                }
+            }
+        }
+    }
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    out.push_str("</");
+    out.push_str(&e.name);
+    out.push_str(">\n");
+}
+
+/// Serialize with indentation, prefixed by an XML declaration — the form the
+/// paper's figures (Figs. 6–7) show for credentials and policies.
+pub fn to_string_pretty(root: &Element) -> String {
+    let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    write_pretty(root, 0, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_empty_element_self_closes() {
+        assert_eq!(to_string(&Element::new("a")), "<a/>");
+    }
+
+    #[test]
+    fn compact_nested() {
+        let e = Element::new("a")
+            .attr("k", "v")
+            .child(Element::new("b").text("hi"));
+        assert_eq!(to_string(&e), r#"<a k="v"><b>hi</b></a>"#);
+    }
+
+    #[test]
+    fn escapes_text_and_attrs() {
+        let e = Element::new("a").attr("q", "x\"<>&").text("1 < 2 & 3 > 2");
+        let s = to_string(&e);
+        assert_eq!(s, r#"<a q="x&quot;&lt;&gt;&amp;">1 &lt; 2 &amp; 3 &gt; 2</a>"#);
+    }
+
+    #[test]
+    fn attr_newline_and_tab_escaped() {
+        let e = Element::new("a").attr("k", "l1\nl2\tend");
+        assert_eq!(to_string(&e), r#"<a k="l1&#10;l2&#9;end"/>"#);
+    }
+
+    #[test]
+    fn pretty_has_declaration_and_indentation() {
+        let e = Element::new("credential")
+            .child(Element::new("header").child(Element::new("issuer").text("INFN")));
+        let s = to_string_pretty(&e);
+        assert!(s.starts_with("<?xml version=\"1.0\""));
+        assert!(s.contains("\n  <header>\n    <issuer>INFN</issuer>\n"));
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let e = Element::new("a").attr("z", "1").attr("a", "2").text("t");
+        assert_eq!(to_string(&e), to_string(&e.clone()));
+        // Attribute order is preserved as stored, not sorted.
+        assert_eq!(to_string(&e), r#"<a z="1" a="2">t</a>"#);
+    }
+}

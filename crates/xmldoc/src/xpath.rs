@@ -1,0 +1,612 @@
+//! An XPath-subset evaluator for credential conditions.
+//!
+//! The paper stores each `<certCond>` as "an Xpath expression on the
+//! credential denoted by targetCertType" (§6.2). The grammar implemented
+//! here covers everything the prototype's figures and examples use:
+//!
+//! ```text
+//! expr     := selector ( op literal )?
+//! selector := '/'? step ( '/' step )* ( '/' ('@' name | 'text()') )?
+//!           | '//' step ( '/' step )* ...
+//! step     := ('//')? (name | '*') predicate*
+//! pred     := '[' '@' name ('=' literal)? ']'
+//! op       := '=' | '!=' | '<' | '<=' | '>' | '>='
+//! literal  := 'single-quoted' | "double-quoted" | number
+//! ```
+//!
+//! * An **absolute** selector (`/credential/header`) matches from the
+//!   document root: the first step must match the root element itself.
+//! * `//name` selects every element named `name` anywhere in the subtree
+//!   (descendant-or-self).
+//! * A trailing `/@attr` selects attribute values; a trailing `/text()`
+//!   selects text content; otherwise the element's own text content is the
+//!   value used in comparisons.
+//! * Comparisons are numeric when both sides parse as numbers, string
+//!   comparisons otherwise. A bare selector tests existence.
+
+use crate::error::XmlError;
+use crate::node::Element;
+
+/// Comparison operators usable in a condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    fn apply_ord(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        matches!(
+            (self, ord),
+            (CmpOp::Eq, Equal)
+                | (CmpOp::Ne, Less)
+                | (CmpOp::Ne, Greater)
+                | (CmpOp::Lt, Less)
+                | (CmpOp::Le, Less)
+                | (CmpOp::Le, Equal)
+                | (CmpOp::Gt, Greater)
+                | (CmpOp::Ge, Greater)
+                | (CmpOp::Ge, Equal)
+        )
+    }
+
+    /// Compare two values: numerically when both sides are numbers,
+    /// lexicographically otherwise.
+    pub fn compare(self, lhs: &str, rhs: &str) -> bool {
+        if let (Ok(a), Ok(b)) = (lhs.trim().parse::<f64>(), rhs.trim().parse::<f64>()) {
+            if let Some(ord) = a.partial_cmp(&b) {
+                return self.apply_ord(ord);
+            }
+        }
+        self.apply_ord(lhs.cmp(rhs))
+    }
+}
+
+impl std::fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        })
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum NameTest {
+    Name(String),
+    Any,
+}
+
+impl NameTest {
+    fn matches(&self, name: &str) -> bool {
+        match self {
+            NameTest::Name(n) => n == name,
+            NameTest::Any => true,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Predicate {
+    HasAttr(String),
+    AttrEquals(String, String),
+}
+
+impl Predicate {
+    fn matches(&self, e: &Element) -> bool {
+        match self {
+            Predicate::HasAttr(name) => e.get_attr(name).is_some(),
+            Predicate::AttrEquals(name, value) => e.get_attr(name) == Some(value.as_str()),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Step {
+    descendant: bool,
+    name: NameTest,
+    predicates: Vec<Predicate>,
+}
+
+/// What the selector ultimately extracts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Target {
+    /// The matched elements' own text content.
+    ElementText,
+    /// An attribute of the matched elements.
+    Attribute(String),
+    /// Explicit `text()` of the matched elements.
+    Text,
+}
+
+/// A parsed location path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Selector {
+    absolute: bool,
+    steps: Vec<Step>,
+    target: Target,
+    source: String,
+}
+
+impl Selector {
+    /// Parse a selector (location path without a comparison).
+    pub fn parse(input: &str) -> Result<Self, XmlError> {
+        let mut p = PathParser { input: input.as_bytes(), pos: 0 };
+        let sel = p.parse_selector()?;
+        p.skip_ws();
+        if p.pos != p.input.len() {
+            return Err(XmlError::new(p.pos, "trailing input after selector"));
+        }
+        Ok(sel)
+    }
+
+    /// The source text this selector was parsed from.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Select matching elements in `root`'s tree.
+    pub fn select<'a>(&self, root: &'a Element) -> Vec<&'a Element> {
+        let mut current: Vec<&'a Element> = Vec::new();
+        let mut first = true;
+        for step in &self.steps {
+            let mut next = Vec::new();
+            if first {
+                first = false;
+                if self.absolute {
+                    // The first step of an absolute path matches the root
+                    // itself (or any subtree element for `//`).
+                    if step.descendant {
+                        collect_descendants(root, &step.name, &step.predicates, &mut next);
+                    } else if step.name.matches(&root.name)
+                        && step.predicates.iter().all(|p| p.matches(root))
+                    {
+                        next.push(root);
+                    }
+                } else if step.descendant {
+                    collect_descendants(root, &step.name, &step.predicates, &mut next);
+                } else {
+                    for child in root.elements() {
+                        if step.name.matches(&child.name)
+                            && step.predicates.iter().all(|p| p.matches(child))
+                        {
+                            next.push(child);
+                        }
+                    }
+                }
+            } else {
+                for ctx in &current {
+                    if step.descendant {
+                        for child in ctx.elements() {
+                            collect_descendants(child, &step.name, &step.predicates, &mut next);
+                        }
+                    } else {
+                        for child in ctx.elements() {
+                            if step.name.matches(&child.name)
+                                && step.predicates.iter().all(|p| p.matches(child))
+                            {
+                                next.push(child);
+                            }
+                        }
+                    }
+                }
+            }
+            current = next;
+            if current.is_empty() {
+                return current;
+            }
+        }
+        current
+    }
+
+    /// Extract the string values this selector denotes.
+    pub fn values(&self, root: &Element) -> Vec<String> {
+        self.select(root)
+            .into_iter()
+            .filter_map(|e| match &self.target {
+                Target::ElementText | Target::Text => Some(e.text_content()),
+                Target::Attribute(name) => e.get_attr(name).map(str::to_owned),
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Display for Selector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.source)
+    }
+}
+
+fn collect_descendants<'a>(
+    e: &'a Element,
+    name: &NameTest,
+    preds: &[Predicate],
+    out: &mut Vec<&'a Element>,
+) {
+    if name.matches(&e.name) && preds.iter().all(|p| p.matches(e)) {
+        out.push(e);
+    }
+    for child in e.elements() {
+        collect_descendants(child, name, preds, out);
+    }
+}
+
+/// A full condition: a selector plus an optional comparison.
+///
+/// ```
+/// use trust_vo_xmldoc::{Element, XPathExpr};
+/// let cred = Element::new("credential")
+///     .child(Element::new("content").child(Element::new("Salary").text("60000")));
+/// let cond = XPathExpr::parse("/credential/content/Salary > 50000").unwrap();
+/// assert!(cond.evaluate(&cred));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XPathExpr {
+    /// The location path.
+    pub selector: Selector,
+    /// The comparison, if any; `None` means an existence test.
+    pub comparison: Option<(CmpOp, String)>,
+    source: String,
+}
+
+impl XPathExpr {
+    /// Parse a condition expression.
+    pub fn parse(input: &str) -> Result<Self, XmlError> {
+        let mut p = PathParser { input: input.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let selector = p.parse_selector()?;
+        p.skip_ws();
+        let comparison = if p.pos < p.input.len() {
+            let op = p.parse_op()?;
+            p.skip_ws();
+            let literal = p.parse_literal()?;
+            Some((op, literal))
+        } else {
+            None
+        };
+        p.skip_ws();
+        if p.pos != p.input.len() {
+            return Err(XmlError::new(p.pos, "trailing input after expression"));
+        }
+        Ok(XPathExpr { selector, comparison, source: input.trim().to_owned() })
+    }
+
+    /// Evaluate against a document. Existence tests succeed when the
+    /// selector matches at least one value; comparisons succeed when **any**
+    /// selected value satisfies them (XPath's existential semantics).
+    pub fn evaluate(&self, root: &Element) -> bool {
+        let values = self.selector.values(root);
+        match &self.comparison {
+            None => !values.is_empty(),
+            Some((op, literal)) => values.iter().any(|v| op.compare(v, literal)),
+        }
+    }
+
+    /// The source text this expression was parsed from.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+}
+
+impl std::fmt::Display for XPathExpr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.source)
+    }
+}
+
+struct PathParser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PathParser<'a> {
+    fn err(&self, msg: impl Into<String>) -> XmlError {
+        XmlError::new(self.pos, msg)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, prefix: &[u8]) -> bool {
+        if self.input[self.pos..].starts_with(prefix) {
+            self.pos += prefix.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if start == self.pos {
+            return Err(self.err("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    fn parse_selector(&mut self) -> Result<Selector, XmlError> {
+        let start = self.pos;
+        let mut steps = Vec::new();
+        let mut target = Target::ElementText;
+        let absolute = self.peek() == Some(b'/');
+        let mut pending_descendant = false;
+        if absolute {
+            if self.eat(b"//") {
+                pending_descendant = true;
+            } else {
+                self.eat(b"/");
+            }
+        }
+        loop {
+            // Target forms terminate the path.
+            if self.eat(b"@") {
+                target = Target::Attribute(self.parse_name()?);
+                break;
+            }
+            if self.eat(b"text()") {
+                target = Target::Text;
+                break;
+            }
+            let name = if self.eat(b"*") {
+                NameTest::Any
+            } else {
+                NameTest::Name(self.parse_name()?)
+            };
+            let mut predicates = Vec::new();
+            while self.eat(b"[") {
+                self.skip_ws();
+                if !self.eat(b"@") {
+                    return Err(self.err("only attribute predicates are supported"));
+                }
+                let attr = self.parse_name()?;
+                self.skip_ws();
+                if self.eat(b"=") {
+                    self.skip_ws();
+                    let value = self.parse_literal()?;
+                    predicates.push(Predicate::AttrEquals(attr, value));
+                } else {
+                    predicates.push(Predicate::HasAttr(attr));
+                }
+                self.skip_ws();
+                if !self.eat(b"]") {
+                    return Err(self.err("expected ']'"));
+                }
+            }
+            steps.push(Step { descendant: pending_descendant, name, predicates });
+            pending_descendant = false;
+            if self.eat(b"//") {
+                pending_descendant = true;
+            } else if self.eat(b"/") {
+                // continue to next step or target
+            } else {
+                break;
+            }
+        }
+        if steps.is_empty() {
+            return Err(self.err("empty selector"));
+        }
+        if pending_descendant {
+            return Err(self.err("path may not end with '//'"));
+        }
+        let source = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+        Ok(Selector { absolute, steps, target, source })
+    }
+
+    fn parse_op(&mut self) -> Result<CmpOp, XmlError> {
+        if self.eat(b"!=") {
+            Ok(CmpOp::Ne)
+        } else if self.eat(b"<=") {
+            Ok(CmpOp::Le)
+        } else if self.eat(b">=") {
+            Ok(CmpOp::Ge)
+        } else if self.eat(b"=") {
+            Ok(CmpOp::Eq)
+        } else if self.eat(b"<") {
+            Ok(CmpOp::Lt)
+        } else if self.eat(b">") {
+            Ok(CmpOp::Gt)
+        } else {
+            Err(self.err("expected a comparison operator"))
+        }
+    }
+
+    fn parse_literal(&mut self) -> Result<String, XmlError> {
+        match self.peek() {
+            Some(q @ (b'\'' | b'"')) => {
+                self.pos += 1;
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c == q {
+                        let s = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                        self.pos += 1;
+                        return Ok(s);
+                    }
+                    self.pos += 1;
+                }
+                Err(self.err("unterminated string literal"))
+            }
+            Some(c) if c.is_ascii_digit() || c == b'-' || c == b'+' => {
+                let start = self.pos;
+                self.pos += 1;
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() || c == b'.' {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+            }
+            _ => Err(self.err("expected a literal")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn credential() -> Element {
+        Element::new("credential")
+            .attr("credID", "c77")
+            .child(
+                Element::new("header")
+                    .child(Element::new("credType").text("ISO9000Certified"))
+                    .child(Element::new("issuer").attr("CA", "INFN").text("INFN CA")),
+            )
+            .child(
+                Element::new("content")
+                    .child(Element::new("QualityRegulation").text("UNI EN ISO 9000"))
+                    .child(Element::new("Salary").text("60000"))
+                    .child(
+                        Element::new("certificate")
+                            .attr("targetCertType", "AAAccreditation")
+                            .child(Element::new("certCond").text("/issuer = 'AAA'")),
+                    ),
+            )
+    }
+
+    #[test]
+    fn absolute_path_selects() {
+        let sel = Selector::parse("/credential/header/credType").unwrap();
+        assert_eq!(sel.values(&credential()), ["ISO9000Certified"]);
+    }
+
+    #[test]
+    fn absolute_path_requires_matching_root() {
+        let sel = Selector::parse("/other/header").unwrap();
+        assert!(sel.values(&credential()).is_empty());
+    }
+
+    #[test]
+    fn descendant_axis() {
+        let sel = Selector::parse("//certCond").unwrap();
+        assert_eq!(sel.values(&credential()), ["/issuer = 'AAA'"]);
+    }
+
+    #[test]
+    fn attribute_target() {
+        let sel = Selector::parse("//certificate/@targetCertType").unwrap();
+        assert_eq!(sel.values(&credential()), ["AAAccreditation"]);
+        let sel = Selector::parse("/credential/@credID").unwrap();
+        assert_eq!(sel.values(&credential()), ["c77"]);
+    }
+
+    #[test]
+    fn text_target_and_wildcard() {
+        let sel = Selector::parse("/credential/content/*/text()").unwrap();
+        let values = sel.values(&credential());
+        assert!(values.contains(&"UNI EN ISO 9000".to_owned()));
+        assert!(values.contains(&"60000".to_owned()));
+    }
+
+    #[test]
+    fn attribute_predicate() {
+        let sel = Selector::parse("//certificate[@targetCertType='AAAccreditation']").unwrap();
+        assert_eq!(sel.select(&credential()).len(), 1);
+        let sel = Selector::parse("//certificate[@targetCertType='Nope']").unwrap();
+        assert!(sel.select(&credential()).is_empty());
+        let sel = Selector::parse("//*[@CA]").unwrap();
+        assert_eq!(sel.select(&credential())[0].name, "issuer");
+    }
+
+    #[test]
+    fn relative_path_selects_children() {
+        let root = credential();
+        let sel = Selector::parse("header/credType").unwrap();
+        assert_eq!(sel.values(&root), ["ISO9000Certified"]);
+    }
+
+    #[test]
+    fn numeric_comparisons() {
+        let doc = credential();
+        assert!(XPathExpr::parse("/credential/content/Salary > 50000").unwrap().evaluate(&doc));
+        assert!(XPathExpr::parse("/credential/content/Salary >= 60000").unwrap().evaluate(&doc));
+        assert!(!XPathExpr::parse("/credential/content/Salary < 60000").unwrap().evaluate(&doc));
+        assert!(XPathExpr::parse("/credential/content/Salary != 1").unwrap().evaluate(&doc));
+    }
+
+    #[test]
+    fn string_comparisons() {
+        let doc = credential();
+        assert!(XPathExpr::parse("/credential/header/credType = 'ISO9000Certified'")
+            .unwrap()
+            .evaluate(&doc));
+        assert!(!XPathExpr::parse("/credential/header/credType = 'Other'")
+            .unwrap()
+            .evaluate(&doc));
+    }
+
+    #[test]
+    fn existence_test() {
+        let doc = credential();
+        assert!(XPathExpr::parse("//QualityRegulation").unwrap().evaluate(&doc));
+        assert!(!XPathExpr::parse("//Nonexistent").unwrap().evaluate(&doc));
+    }
+
+    #[test]
+    fn existential_comparison_over_multiple_matches() {
+        let doc = Element::new("r")
+            .child(Element::new("v").text("1"))
+            .child(Element::new("v").text("9"));
+        assert!(XPathExpr::parse("/r/v > 5").unwrap().evaluate(&doc));
+        assert!(!XPathExpr::parse("/r/v > 10").unwrap().evaluate(&doc));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(XPathExpr::parse("").is_err());
+        assert!(XPathExpr::parse("/a/").is_err());
+        assert!(XPathExpr::parse("/a//").is_err());
+        assert!(XPathExpr::parse("/a[b]").is_err());
+        assert!(XPathExpr::parse("/a = ").is_err());
+        assert!(XPathExpr::parse("/a = 'unterminated").is_err());
+        assert!(XPathExpr::parse("/a ? 3").is_err());
+        assert!(XPathExpr::parse("/a = 1 junk").is_err());
+    }
+
+    #[test]
+    fn display_roundtrips_source() {
+        let e = XPathExpr::parse("/credential/content/Salary > 50000").unwrap();
+        assert_eq!(e.to_string(), "/credential/content/Salary > 50000");
+    }
+
+    #[test]
+    fn cmp_op_table() {
+        assert!(CmpOp::Eq.compare("a", "a"));
+        assert!(CmpOp::Ne.compare("a", "b"));
+        assert!(CmpOp::Lt.compare("2", "10")); // numeric, not lexicographic
+        assert!(CmpOp::Gt.compare("b", "a")); // lexicographic fallback
+        assert!(CmpOp::Le.compare("3.5", "3.5"));
+        assert!(CmpOp::Ge.compare("4", "3.9"));
+    }
+}

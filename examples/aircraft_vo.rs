@@ -1,0 +1,109 @@
+//! The full VO lifecycle of the paper's §2/§5 — Preparation,
+//! Identification, Formation, Operation (with monitoring, an authorization
+//! TN, a reputation drop, and a member replacement), and Dissolution.
+//!
+//! Run with: `cargo run --example aircraft_vo`
+
+use trust_vo::credential::RevocationList;
+use trust_vo::negotiation::Strategy;
+use trust_vo::vo::mailbox::MailboxSystem;
+use trust_vo::vo::operation::{
+    authorize_operation, replace_member, verify_membership, OperationLog, REPLACEMENT_THRESHOLD,
+};
+use trust_vo::vo::scenario::{names, roles, AircraftScenario};
+
+fn main() {
+    // --- Preparation + Identification (done by the scenario builder):
+    // providers published their capabilities, the initiator authored the
+    // contract and the per-role disclosure policies.
+    let mut scenario = AircraftScenario::build();
+    println!("[preparation]    {} resource descriptions published", scenario.toolkit.registry.len());
+    println!("[identification] contract '{}' with {} roles", scenario.contract.vo_name, scenario.contract.roles.len());
+
+    // --- Formation: invitations + mutual trust negotiations.
+    let mut vo = scenario.form_vo(Strategy::Standard).expect("formation succeeds");
+    println!("[formation]      {} members assigned, lifecycle = {}", vo.members().len(), vo.lifecycle.phase());
+
+    // --- Operation: the Fig. 1 optimization loop, monitored.
+    let initiator = scenario.provider(names::AIRCRAFT).clone();
+    let providers = scenario.toolkit.providers.clone();
+    let clock = scenario.toolkit.clock.clone();
+    let mut log = OperationLog::new();
+    let mut crl = RevocationList::new();
+
+    // Every member's certificate is checked before operations start.
+    for member in vo.members() {
+        verify_membership(&vo, member, clock.timestamp(), &crl).expect("fresh certificates verify");
+    }
+    println!("[operation]      all membership certificates verified");
+
+    // The consultancy needs the HPC flow solution: an operation-phase TN
+    // grants an *authorization*, not a credential (§5.1) — underneath, the
+    // privacy-regulator credentials are exchanged.
+    let auth = authorize_operation(
+        &vo,
+        &providers,
+        names::CONSULTANCY,
+        names::HPC,
+        "FlowSolution",
+        &mut scenario.toolkit.reputation,
+        &clock,
+        Strategy::Standard,
+    )
+    .expect("privacy credentials satisfy the policy");
+    println!("[operation]      authorization granted to '{}' for '{}'", auth.granted_to, auth.resource);
+
+    // Steps 5-6 of Fig. 1 repeat; interactions are monitored. The HPC
+    // provider starts violating its SLA.
+    for i in 0..3 {
+        log.record(
+            &vo,
+            &mut scenario.toolkit.reputation,
+            names::HPC,
+            names::STORAGE,
+            &format!("store lift/drag values, iteration {i}"),
+            i > 0, // iterations 1 and 2 violate the SLA rule
+            clock.timestamp(),
+        )
+        .expect("members interact");
+    }
+    let hpc_rep = scenario.toolkit.reputation.get(names::HPC);
+    println!(
+        "[operation]      HPC reputation after {} violations: {:.2} (threshold {REPLACEMENT_THRESHOLD})",
+        log.violations_by(names::HPC).count(),
+        hpc_rep
+    );
+
+    // "One of the members detects that the reputation of the HPC service
+    // has decreased due to contract's violation … The new member is
+    // enrolled, using a TN." (§5.1)
+    if scenario.toolkit.reputation.needs_replacement(names::HPC, REPLACEMENT_THRESHOLD) {
+        let record = replace_member(
+            &mut vo,
+            &initiator,
+            &providers,
+            &scenario.toolkit.registry,
+            roles::HPC,
+            &mut crl,
+            &mut MailboxSystem::new(),
+            &mut scenario.toolkit.reputation,
+            &clock,
+            Strategy::Standard,
+        )
+        .expect("the backup HPC provider negotiates successfully");
+        println!("[operation]      HPC member replaced by '{}' (old certificate revoked)", record.provider);
+    }
+
+    // --- Dissolution: objectives fulfilled.
+    let report = trust_vo::vo::dissolution::dissolve(&mut vo, &mut crl, &clock).expect("dissolves");
+    println!(
+        "[dissolution]    VO '{}' dissolved; {} certificates revoked; members released: {}",
+        report.vo_name,
+        report.certificates_revoked,
+        report.members_released.join(", ")
+    );
+    println!(
+        "\ntotal simulated lifecycle time: {:.2} s",
+        clock.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,102 @@
+//! The ontology reasoning engine of §4.3: concept-level policies,
+//! Algorithm 1 mapping, is_a inference, similarity fallback, and policy
+//! abstraction.
+//!
+//! Run with: `cargo run --example ontology_mapping`
+
+use trust_vo::credential::{Attribute, CredentialAuthority, Sensitivity, TimeRange, Timestamp, XProfile};
+use trust_vo::ontology::mapping::map_concept;
+use trust_vo::ontology::{match_concept, Concept, MappingOutcome, Ontology};
+use trust_vo::policy::abstraction::{abstract_policy, lift_term};
+use trust_vo::policy::{DisclosurePolicy, Resource, Term};
+
+fn main() {
+    // A local ontology in the §4.3 style, including the paper's gender
+    // and driver-license examples.
+    let mut ontology = Ontology::new();
+    ontology.add(
+        Concept::new("gender")
+            .implemented_by("Passport.gender")
+            .implemented_by("DrivingLicense.sex"),
+    );
+    ontology.add(Concept::new("Civilian_DriverLicense").implemented_by("CivilianLicense"));
+    ontology.add(Concept::new("Texas_DriverLicense").implemented_by("TexasLicense"));
+    ontology.add(
+        Concept::new("QualityCertification")
+            .keyword("ISO 9000")
+            .implemented_by("ISO9000Certified.QualityRegulation"),
+    );
+    ontology.add(Concept::new("BusinessProof"));
+    ontology.add(Concept::new("BalanceSheet").implemented_by("CertificationAuthorityCompany"));
+    assert!(ontology.add_is_a("Texas_DriverLicense", "Civilian_DriverLicense"));
+    assert!(ontology.add_is_a("BalanceSheet", "BusinessProof"));
+
+    println!("is_a inference:");
+    println!(
+        "  Texas_DriverLicense is_a Civilian_DriverLicense: {}",
+        ontology.is_subconcept("Texas_DriverLicense", "Civilian_DriverLicense")
+    );
+    println!(
+        "  credential types conveying Civilian_DriverLicense: {:?}\n",
+        ontology.credential_types_for("Civilian_DriverLicense")
+    );
+
+    // A profile holding a Texas license and a balance sheet.
+    let mut ca = CredentialAuthority::new("DMV");
+    let keys = trust_vo::crypto::KeyPair::from_seed(b"holder");
+    let window = TimeRange::one_year_from(Timestamp::from_ymd_hms(2009, 1, 1, 0, 0, 0));
+    let mut profile = XProfile::new("holder");
+    profile.add_with_sensitivity(
+        ca.issue("TexasLicense", "holder", keys.public, vec![Attribute::new("sex", "F")], window)
+            .unwrap(),
+        Sensitivity::Medium,
+    );
+    profile.add_with_sensitivity(
+        ca.issue(
+            "CertificationAuthorityCompany",
+            "holder",
+            keys.public,
+            vec![Attribute::new("Issuer", "BBB")],
+            window,
+        )
+        .unwrap(),
+        Sensitivity::High,
+    );
+
+    // Algorithm 1: a counterpart policy asks for concepts; the engine maps
+    // them onto held credentials, least-sensitive cluster first.
+    println!("Algorithm 1 mapping:");
+    for concept in ["Civilian_DriverLicense", "BusinessProof", "QualityCertification", "Drivers_License_TX"] {
+        match map_concept(&ontology, &profile, concept, 0.2) {
+            MappingOutcome::Mapped { credential, via, sensitivity, .. } => println!(
+                "  {concept:<24} -> {credential} (sensitivity {sensitivity}{})",
+                via.map(|m| format!(", via similarity {:.2} to {}", m.confidence, m.target))
+                    .unwrap_or_default()
+            ),
+            MappingOutcome::NoCredential { resolved, .. } => {
+                println!("  {concept:<24} -> concept '{resolved}' known, no credential held")
+            }
+            MappingOutcome::UnknownConcept { best_confidence, .. } => {
+                println!("  {concept:<24} -> unknown (best similarity {best_confidence:.2})")
+            }
+        }
+    }
+
+    // Similarity matching on its own (the ComputeSimilarity fallback).
+    let m = match_concept("Quality_ISO_Certification", &ontology, 0.2).expect("similar concept found");
+    println!("\nsimilarity match: 'Quality_ISO_Certification' -> '{}' ({:.2})", m.target, m.confidence);
+
+    // Policy abstraction (§4.3.1): hide the exact credential type behind
+    // its concept, then behind the ancestor concept.
+    let policy = DisclosurePolicy::rule(
+        "p",
+        Resource::service("VoMembership"),
+        vec![Term::of_type("CertificationAuthorityCompany")],
+    );
+    println!("\npolicy abstraction:");
+    println!("  concrete:  {policy}");
+    println!("  level 0:   {}", abstract_policy(&policy, &ontology, 0));
+    println!("  level 1:   {}", abstract_policy(&policy, &ontology, 1));
+    let lifted = lift_term(&Term::of_type("TexasLicense"), &ontology, 1);
+    println!("  TexasLicense lifted once -> {lifted}");
+}

@@ -1,0 +1,71 @@
+//! The §6.3 extension: selective attribute disclosure on X.509v2-style
+//! certificates via salted hash commitments — "substitute the attributes
+//! in clear with attributes whose content is the hash value of the
+//! concatenation of attribute name and attribute value".
+//!
+//! Run with: `cargo run --example selective_disclosure`
+
+use trust_vo::credential::selective::SelectiveIssuance;
+use trust_vo::credential::{TimeRange, Timestamp};
+use trust_vo::crypto::KeyPair;
+use trust_vo::negotiation::strategy::{CredentialFormat, Strategy};
+
+fn main() {
+    let issuer = KeyPair::from_seed(b"INFN");
+    let holder = KeyPair::from_seed(b"Aerospace Company");
+    let window = TimeRange::one_year_from(Timestamp::parse_iso("2009-10-26T21:32:52").unwrap());
+    let at = Timestamp::parse_iso("2009-12-01T00:00:00").unwrap();
+
+    // Issue a certificate whose attributes are committed, not cleartext.
+    let issuance = SelectiveIssuance::issue(
+        42,
+        "Aerospace Company",
+        holder.public,
+        "INFN",
+        &issuer,
+        window,
+        &[
+            ("QualityRegulation".into(), "UNI EN ISO 9000".into()),
+            ("AuditScore".into(), "97".into()),
+            ("InternalRiskRating".into(), "B+ (confidential)".into()),
+        ],
+    );
+    println!(
+        "issued selective certificate #{} with {} committed attributes",
+        issuance.certificate.serial,
+        issuance.certificate.commitments.len()
+    );
+
+    // During a suspicious-strategy negotiation, reveal only what the
+    // policy asks for.
+    let view = issuance
+        .disclose(&["QualityRegulation"])
+        .expect("the attribute was committed at issuance");
+    view.verify(at, None).expect("partial view verifies against the issuer signature");
+    println!(
+        "verifier sees QualityRegulation = {:?}; InternalRiskRating stays hidden: {:?}",
+        view.attr("QualityRegulation"),
+        view.attr("InternalRiskRating"),
+    );
+
+    // The hidden value never appears in the wire encoding.
+    let wire = view.wire_bytes();
+    let secret = b"B+ (confidential)";
+    assert!(!wire.windows(secret.len()).any(|w| w == secret));
+    println!("wire form is {} bytes and does not contain the withheld value", wire.len());
+
+    // This is exactly what lifts the §6.3 strategy restriction:
+    for strategy in Strategy::ALL {
+        println!(
+            "  {strategy:<17} on plain X.509v2: {:<5}  on selective X.509: {}",
+            strategy.compatible_with(CredentialFormat::X509v2),
+            strategy.compatible_with(CredentialFormat::SelectiveX509),
+        );
+    }
+
+    // Tampering is detected.
+    let mut forged = view.clone();
+    forged.revealed[0].value = "ISO 14000".into();
+    assert!(forged.verify(at, None).is_err());
+    println!("forged opening rejected ✔");
+}

@@ -1,0 +1,186 @@
+//! `trustvo` — a small CLI over the trust-vo library.
+//!
+//! ```text
+//! trustvo form [--strategy <s>]        run the Formation phase of the Aircraft VO
+//! trustvo negotiate [--strategy <s>]   run the Fig. 2 negotiation, print tree + sequence
+//! trustvo views                        enumerate all satisfiable trust sequences
+//! trustvo lifecycle                    full lifecycle incl. operation + dissolution
+//! trustvo strategies                   compare the four strategies side by side
+//! ```
+//!
+//! Strategies: standard (default), trusting, suspicious, strong-suspicious.
+
+use trust_vo::credential::RevocationList;
+use trust_vo::negotiation::message::Side;
+use trust_vo::negotiation::{choose_minimal, enumerate_sequences, NegotiationConfig, Strategy};
+use trust_vo::vo::operation::{authorize_operation, OperationLog};
+use trust_vo::vo::scenario::{names, roles, scenario_time, AircraftScenario};
+
+fn parse_strategy(args: &[String]) -> Result<Strategy, String> {
+    match args.iter().position(|a| a == "--strategy") {
+        None => Ok(Strategy::Standard),
+        Some(i) => {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| "--strategy requires a value".to_owned())?;
+            Strategy::from_wire_name(value).ok_or_else(|| {
+                format!(
+                    "unknown strategy '{value}' (expected: {})",
+                    Strategy::ALL.map(|s| s.wire_name()).join(", ")
+                )
+            })
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: trustvo <command> [--strategy <s>]\n\
+         commands:\n\
+         \x20 form        run the Formation phase of the Aircraft Optimization VO\n\
+         \x20 negotiate   run the Fig. 2 negotiation (tree + trust sequence)\n\
+         \x20 views       enumerate all satisfiable trust sequences\n\
+         \x20 lifecycle   walk the whole VO lifecycle\n\
+         \x20 strategies  compare the four Trust-X strategies\n\
+         strategies: standard | trusting | suspicious | strong-suspicious"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else { usage() };
+    let strategy = match parse_strategy(&args) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    match command.as_str() {
+        "form" => cmd_form(strategy),
+        "negotiate" => cmd_negotiate(strategy),
+        "views" => cmd_views(),
+        "lifecycle" => cmd_lifecycle(strategy),
+        "strategies" => cmd_strategies(),
+        _ => usage(),
+    }
+}
+
+fn cmd_form(strategy: Strategy) {
+    let mut scenario = AircraftScenario::build();
+    match scenario.form_vo(strategy) {
+        Ok(vo) => {
+            println!("VO '{}' formed with strategy '{strategy}':", vo.name);
+            for m in vo.members() {
+                println!("  {:<32} as {}", m.provider, m.role);
+            }
+            println!(
+                "simulated formation time: {:.2} s",
+                scenario.toolkit.clock.elapsed().as_secs_f64()
+            );
+        }
+        Err(e) => {
+            eprintln!("formation failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_negotiate(strategy: Strategy) {
+    let scenario = AircraftScenario::build();
+    match scenario.fig2_negotiation(strategy) {
+        Ok(outcome) => {
+            println!("negotiation tree:");
+            print!("{}", outcome.tree.render());
+            println!("trust sequence: {}", outcome.sequence);
+            println!("transcript:     {}", outcome.transcript.summary());
+        }
+        Err(e) => {
+            eprintln!("negotiation failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_views() {
+    let scenario = AircraftScenario::build();
+    let mut initiator = scenario.provider(names::AIRCRAFT).party.clone();
+    if let Some(set) = scenario.contract.policies_for(roles::DESIGN_PORTAL) {
+        for policy in set.iter() {
+            initiator.policies.add(policy.clone());
+        }
+    }
+    let aerospace = scenario.provider(names::AEROSPACE).party.clone();
+    let cfg = NegotiationConfig::new(Strategy::Standard, scenario_time());
+    let sequences = enumerate_sequences(&aerospace, &initiator, "VoMembership", &cfg, 100);
+    println!("{} satisfiable trust sequences:", sequences.len());
+    for s in &sequences {
+        println!("  {s}");
+    }
+    if let Some(best) = choose_minimal(&sequences, Side::Requester) {
+        println!("requester-minimal: {best}");
+    }
+}
+
+fn cmd_lifecycle(strategy: Strategy) {
+    let mut scenario = AircraftScenario::build();
+    let vo = match scenario.form_vo(strategy) {
+        Ok(vo) => vo,
+        Err(e) => {
+            eprintln!("formation failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("[formation]  {} members, phase {}", vo.members().len(), vo.lifecycle.phase());
+    let providers = scenario.toolkit.providers.clone();
+    let clock = scenario.toolkit.clock.clone();
+    let auth = authorize_operation(
+        &vo,
+        &providers,
+        names::CONSULTANCY,
+        names::HPC,
+        "FlowSolution",
+        &mut scenario.toolkit.reputation,
+        &clock,
+        strategy,
+    );
+    match auth {
+        Ok(a) => println!("[operation]  authorization for '{}' granted to {}", a.resource, a.granted_to),
+        Err(e) => println!("[operation]  authorization failed: {e}"),
+    }
+    let mut log = OperationLog::new();
+    log.record(&vo, &mut scenario.toolkit.reputation, names::HPC, names::STORAGE, "store results", false, clock.timestamp())
+        .expect("members interact");
+    println!("[operation]  {} interactions monitored", log.records().len());
+    let mut vo = vo;
+    let mut crl = RevocationList::new();
+    let report = trust_vo::vo::dissolution::dissolve(&mut vo, &mut crl, &clock).expect("dissolves");
+    println!(
+        "[dissolved]  {} certificates revoked, total sim time {:.2} s",
+        report.certificates_revoked,
+        clock.elapsed().as_secs_f64()
+    );
+}
+
+fn cmd_strategies() {
+    let scenario = AircraftScenario::build();
+    println!(
+        "{:<18} {:>9} {:>7} {:>9} {:>12} {:>7}",
+        "strategy", "messages", "rounds", "policies", "credentials", "proofs"
+    );
+    for strategy in Strategy::ALL {
+        match scenario.fig2_negotiation(strategy) {
+            Ok(o) => println!(
+                "{:<18} {:>9} {:>7} {:>9} {:>12} {:>7}",
+                strategy.wire_name(),
+                o.transcript.message_count(),
+                o.transcript.policy_rounds,
+                o.transcript.policies_disclosed,
+                o.transcript.credentials_disclosed,
+                o.transcript.ownership_proofs,
+            ),
+            Err(e) => println!("{:<18} failed: {e}", strategy.wire_name()),
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! # trust-vo
+//!
+//! A from-scratch Rust reproduction of *“Trust establishment in the
+//! formation of Virtual Organizations”* (Squicciarini, Paci, Bertino):
+//! the **Trust-X** trust-negotiation system integrated with a **VO
+//! Management toolkit**, enriched with an ontology-based reasoning engine.
+//!
+//! This crate is a facade: it re-exports the workspace crates under stable
+//! module names and hosts the cross-crate integration tests and runnable
+//! examples.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use trust_vo::vo::scenario::AircraftScenario;
+//! use trust_vo::negotiation::strategy::Strategy;
+//!
+//! // Build the paper's running example: the Aircraft Optimization VO.
+//! let mut scenario = AircraftScenario::build();
+//! // Run the formation phase: the initiator negotiates with every invitee.
+//! let formed = scenario.form_vo(Strategy::Standard).expect("formation succeeds");
+//! assert_eq!(formed.members().len(), 4);
+//! ```
+//!
+//! See `examples/quickstart.rs` for a narrated walk-through and
+//! `DESIGN.md` for the full system inventory.
+
+#![forbid(unsafe_code)]
+
+/// Cryptographic substrate: SHA-256, HMAC, base64, Schnorr signatures.
+pub use trust_vo_crypto as crypto;
+/// XML document model, writer, parser, and XPath-subset evaluator.
+pub use trust_vo_xmldoc as xmldoc;
+/// X-TNL credentials, X-Profiles, authorities, revocation, X.509v2 certs.
+pub use trust_vo_credential as credential;
+/// Concept ontology, Jaccard matching, and Algorithm 1 mapping.
+pub use trust_vo_ontology as ontology;
+/// X-TNL disclosure policies and compliance checking.
+pub use trust_vo_policy as policy;
+/// The Trust-X negotiation engine and the eager baseline.
+pub use trust_vo_negotiation as negotiation;
+/// In-memory versioned document store.
+pub use trust_vo_store as store;
+/// SOA substrate: envelopes, service bus, TN web service, sim-clock.
+pub use trust_vo_soa as soa;
+/// VO Management toolkit: lifecycle, formation, operation, reputation.
+pub use trust_vo_vo as vo;

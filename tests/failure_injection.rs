@@ -1,0 +1,169 @@
+//! Failure injection: every tampering, forgery, or corruption an attacker
+//! could attempt on the wire must be detected — never a panic, never a
+//! silent acceptance.
+
+use proptest::prelude::*;
+use trust_vo::credential::{Attribute, Credential, CredentialAuthority, TimeRange, Timestamp};
+use trust_vo::crypto::KeyPair;
+use trust_vo::negotiation::Strategy;
+use trust_vo::vo::scenario::{names, AircraftScenario};
+
+fn window() -> TimeRange {
+    TimeRange::one_year_from(Timestamp::parse_iso("2009-10-26T21:32:52").unwrap())
+}
+
+fn at() -> Timestamp {
+    Timestamp::parse_iso("2009-12-01T00:00:00").unwrap()
+}
+
+fn sample_credential() -> Credential {
+    let mut ca = CredentialAuthority::new("INFN");
+    let keys = KeyPair::from_seed(b"holder");
+    ca.issue(
+        "ISO9000Certified",
+        "Aerospace Company",
+        keys.public,
+        vec![
+            Attribute::new("QualityRegulation", "UNI EN ISO 9000"),
+            Attribute::new("AuditScore", 97i64),
+        ],
+        window(),
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any single-byte mutation of a credential's wire form either fails
+    /// to parse or fails signature verification. (A mutation confined to
+    /// the base64 signature may decode to different bytes; verification
+    /// must still reject it.)
+    #[test]
+    fn wire_mutations_never_verify(
+        idx in any::<prop::sample::Index>(),
+        replacement in any::<u8>(),
+    ) {
+        let cred = sample_credential();
+        let wire = trust_vo::xmldoc::to_string(&cred.to_xml());
+        let mut bytes = wire.clone().into_bytes();
+        let i = idx.index(bytes.len());
+        if bytes[i] == replacement {
+            return Ok(()); // not a mutation
+        }
+        bytes[i] = replacement;
+        let Ok(text) = String::from_utf8(bytes) else { return Ok(()) };
+        let Ok(doc) = trust_vo::xmldoc::parse(&text) else { return Ok(()) };
+        let Ok(parsed) = Credential::from_xml(&doc) else { return Ok(()) };
+        if parsed == cred {
+            return Ok(()); // semantically identical (e.g. mutated whitespace)
+        }
+        prop_assert!(
+            parsed.verify_signature().is_err(),
+            "mutated credential verified! byte {i} -> {replacement:#x}"
+        );
+    }
+
+    /// Ownership proofs cannot be replayed across nonces or forged by a
+    /// random signature.
+    #[test]
+    fn ownership_proofs_not_replayable(r in any::<u64>(), s in any::<u64>()) {
+        let keys = KeyPair::from_seed(b"holder");
+        let cred = {
+            let mut ca = CredentialAuthority::new("CA");
+            ca.issue("T", "holder", keys.public, vec![], window()).unwrap()
+        };
+        // A random (r, s) pair must not authenticate.
+        let forged = trust_vo::crypto::Signature { r, s };
+        prop_assert!(cred.authenticate_ownership(b"nonce", &forged).is_err());
+        // A genuine proof for one nonce fails for another.
+        let proof = Credential::prove_ownership(&keys, b"nonce-1");
+        prop_assert!(cred.authenticate_ownership(b"nonce-1", &proof).is_ok());
+        prop_assert!(cred.authenticate_ownership(b"nonce-2", &proof).is_err());
+    }
+}
+
+#[test]
+fn stolen_profile_without_keys_is_useless() {
+    // An attacker clones the Aerospace Company's X-Profile but has its own
+    // key pair. Under a suspicious strategy the ownership proof fails.
+    let scenario = AircraftScenario::build();
+    let aerospace = scenario.provider(names::AEROSPACE).party.clone();
+    let mut thief = trust_vo::negotiation::Party::new("Industrial Spy");
+    thief.profile = aerospace.profile.clone();
+    thief.policies = aerospace.policies.clone();
+    thief.ontology = aerospace.ontology.clone();
+    thief.trusted_roots = aerospace.trusted_roots.clone();
+
+    let mut initiator = scenario.provider(names::AIRCRAFT).party.clone();
+    if let Some(set) = scenario
+        .contract
+        .policies_for(trust_vo::vo::scenario::roles::DESIGN_PORTAL)
+    {
+        for p in set.iter() {
+            initiator.policies.add(p.clone());
+        }
+    }
+    let cfg = trust_vo::negotiation::NegotiationConfig::new(Strategy::Suspicious, at());
+    let result = trust_vo::negotiation::negotiate(&thief, &initiator, "VoMembership", &cfg);
+    assert!(
+        matches!(
+            result,
+            Err(trust_vo::negotiation::NegotiationError::TrustFailure {
+                cause: trust_vo::credential::CredentialError::NotOwner { .. }
+            })
+        ),
+        "{result:?}"
+    );
+    // Under the (ownership-proof-free) standard strategy the same theft
+    // would slip through phase 2 — which is exactly why the suspicious
+    // strategies exist. Document that contrast:
+    let cfg = trust_vo::negotiation::NegotiationConfig::new(Strategy::Standard, at());
+    assert!(trust_vo::negotiation::negotiate(&thief, &initiator, "VoMembership", &cfg).is_ok());
+}
+
+#[test]
+fn forged_membership_certificate_rejected_by_monitoring() {
+    let mut scenario = AircraftScenario::build();
+    let mut vo = scenario.form_vo(Strategy::Standard).unwrap();
+    // Forge: swap the role attribute on a real certificate.
+    let record = &mut vo.members[0];
+    record.certificate.attributes[1].1 = "Initiator".into();
+    let report = scenario.toolkit.host_monitor(
+        &vo,
+        &trust_vo::credential::RevocationList::new(),
+        trust_vo::vo::operation::REPLACEMENT_THRESHOLD,
+    );
+    assert_eq!(report.invalid_memberships, [vo.members[0].provider.clone()]);
+}
+
+#[test]
+fn clock_skew_cannot_resurrect_expired_credentials() {
+    // A verifier whose clock runs behind would accept an expired
+    // credential — the sim-clock gives the *receiver's* time to the
+    // engine, so skew on the sender side has no effect.
+    let cred = sample_credential();
+    let just_expired = window().not_after.plus_seconds(1);
+    assert!(cred.verify(just_expired, None).is_err());
+    assert!(cred.verify(window().not_after, None).is_ok());
+}
+
+#[test]
+fn selective_disclosure_commitment_swap_rejected() {
+    use trust_vo::credential::selective::SelectiveIssuance;
+    let issuer = KeyPair::from_seed(b"INFN");
+    let holder = KeyPair::from_seed(b"holder");
+    let a = SelectiveIssuance::issue(
+        1, "holder", holder.public, "INFN", &issuer, window(),
+        &[("score".into(), "97".into())],
+    );
+    let b = SelectiveIssuance::issue(
+        2, "holder", holder.public, "INFN", &issuer, window(),
+        &[("score".into(), "12".into())],
+    );
+    // Present certificate B (low score) with the opening from A (high
+    // score): the commitment check must fail.
+    let mut view = b.disclose(&["score"]).unwrap();
+    view.revealed = a.disclose(&["score"]).unwrap().revealed;
+    assert!(view.verify(at(), None).is_err());
+}

@@ -1,0 +1,78 @@
+//! E2 — the Fig. 2 negotiation tree, end to end across crates.
+
+use trust_vo::negotiation::message::Side;
+use trust_vo::negotiation::Strategy;
+use trust_vo::vo::scenario::{names, AircraftScenario};
+
+#[test]
+fn fig2_tree_structure_matches_the_paper() {
+    let scenario = AircraftScenario::build();
+    let outcome = scenario.fig2_negotiation(Strategy::Standard).unwrap();
+
+    // Root: the requested VO membership, controlled by the Aircraft side.
+    let rendered = outcome.tree.render();
+    assert!(rendered.contains("VoMembership <controller>"), "{rendered}");
+    // First level: the quality requirement on the Aerospace side.
+    assert!(rendered.contains("ISO9000Certified <requester>"), "{rendered}");
+    // Second level: the accreditation counter-requirement.
+    assert!(rendered.contains("AAAccreditation <controller>"), "{rendered}");
+    // The chosen path is marked.
+    assert!(rendered.contains("[edge vo-portal *]"), "{rendered}");
+    assert_eq!(outcome.tree.depth(), 3);
+}
+
+#[test]
+fn fig2_trust_sequence_orders_accreditation_first() {
+    let scenario = AircraftScenario::build();
+    let outcome = scenario.fig2_negotiation(Strategy::Standard).unwrap();
+    let sequence: Vec<(Side, &str)> = outcome
+        .sequence
+        .disclosures()
+        .iter()
+        .map(|d| (d.by, d.cred_type.as_str()))
+        .collect();
+    assert_eq!(
+        sequence,
+        [
+            (Side::Controller, "AAAccreditation"),
+            (Side::Requester, "ISO9000Certified"),
+        ]
+    );
+}
+
+#[test]
+fn fig2_alternative_branch_exists_as_multialternative() {
+    // The paper's Fig. 2 shows TWO alternatives under the quality node:
+    // AAACreditation or a balance sheet. Both must be counted as views.
+    let scenario = AircraftScenario::build();
+    let mut initiator = scenario.provider(names::AIRCRAFT).party.clone();
+    if let Some(set) = scenario
+        .contract
+        .policies_for(trust_vo::vo::scenario::roles::DESIGN_PORTAL)
+    {
+        for p in set.iter() {
+            initiator.policies.add(p.clone());
+        }
+    }
+    let aerospace = &scenario.provider(names::AEROSPACE).party;
+    let cfg = trust_vo::negotiation::NegotiationConfig::new(
+        Strategy::Standard,
+        trust_vo::vo::scenario::scenario_time(),
+    );
+    let views =
+        trust_vo::negotiation::count_views(aerospace, &initiator, "VoMembership", &cfg, 100);
+    assert_eq!(views, 2, "AAACreditation and BusinessProof/balance-sheet alternatives");
+}
+
+#[test]
+fn fig2_succeeds_under_every_strategy_with_identical_sequences() {
+    let scenario = AircraftScenario::build();
+    let baseline = scenario.fig2_negotiation(Strategy::Standard).unwrap();
+    for strategy in Strategy::ALL {
+        let outcome = scenario.fig2_negotiation(strategy).unwrap();
+        assert_eq!(
+            outcome.sequence, baseline.sequence,
+            "strategy {strategy} changed the agreed trust sequence"
+        );
+    }
+}

@@ -1,0 +1,200 @@
+//! E3 — the full VO lifecycle (Figs. 3–4): Preparation, Identification,
+//! Formation (with TN), Operation (authorization TN, expiry, violation,
+//! replacement), Dissolution.
+
+use trust_vo::credential::RevocationList;
+use trust_vo::negotiation::Strategy;
+use trust_vo::soa::simclock::SimDuration;
+use trust_vo::vo::lifecycle::Phase;
+use trust_vo::vo::mailbox::MailboxSystem;
+use trust_vo::vo::operation::{
+    authorize_operation, renew_membership, replace_member, verify_membership, OperationLog,
+};
+use trust_vo::vo::reputation::ReputationLedger;
+use trust_vo::vo::scenario::{names, roles, AircraftScenario};
+
+#[test]
+fn lifecycle_walks_all_phases() {
+    let mut scenario = AircraftScenario::build();
+    let mut vo = scenario.form_vo(Strategy::Standard).unwrap();
+    // Formation left us in Operation, having passed through all prior phases.
+    assert_eq!(vo.lifecycle.phase(), Phase::Operation);
+    let phases: Vec<Phase> = vo.lifecycle.history().iter().map(|(p, _)| *p).collect();
+    assert_eq!(
+        phases,
+        [Phase::Preparation, Phase::Identification, Phase::Formation, Phase::Operation]
+    );
+
+    let mut crl = RevocationList::new();
+    let report =
+        trust_vo::vo::dissolution::dissolve(&mut vo, &mut crl, &scenario.toolkit.clock).unwrap();
+    assert_eq!(vo.lifecycle.phase(), Phase::Dissolution);
+    assert_eq!(report.certificates_revoked, 4);
+}
+
+#[test]
+fn formation_assigns_best_quality_provider_per_role() {
+    let mut scenario = AircraftScenario::build();
+    let vo = scenario.form_vo(Strategy::Standard).unwrap();
+    // HPC Services Inc (quality 0.95) beats HPC Backup Corp (0.85).
+    assert_eq!(vo.member_for_role(roles::HPC).unwrap().provider, names::HPC);
+}
+
+#[test]
+fn operation_phase_authorization_and_monitoring() {
+    let mut scenario = AircraftScenario::build();
+    let vo = scenario.form_vo(Strategy::Standard).unwrap();
+    let providers = scenario.toolkit.providers.clone();
+    let clock = scenario.toolkit.clock.clone();
+
+    // Authorization TN between two members (§5.1: result is an
+    // authorization, not a credential).
+    let auth = authorize_operation(
+        &vo,
+        &providers,
+        names::CONSULTANCY,
+        names::HPC,
+        "FlowSolution",
+        &mut scenario.toolkit.reputation,
+        &clock,
+        Strategy::Standard,
+    )
+    .unwrap();
+    assert_eq!(auth.granted_to, names::CONSULTANCY);
+
+    // A member without the privacy credential is denied.
+    let err = authorize_operation(
+        &vo,
+        &providers,
+        names::STORAGE,
+        names::HPC,
+        "FlowSolution",
+        &mut scenario.toolkit.reputation,
+        &clock,
+        Strategy::Standard,
+    )
+    .unwrap_err();
+    assert!(matches!(err, trust_vo::vo::VoError::Negotiation(_)));
+    // The failed TN lowered the requester's reputation (§5.1).
+    assert!(scenario.toolkit.reputation.get(names::STORAGE) < 0.6);
+
+    // Monitoring records interactions and updates reputation.
+    let mut log = OperationLog::new();
+    log.record(&vo, &mut scenario.toolkit.reputation, names::HPC, names::STORAGE, "store results", false, clock.timestamp())
+        .unwrap();
+    assert_eq!(log.records().len(), 1);
+}
+
+#[test]
+fn expiry_renewal_flow() {
+    let mut scenario = AircraftScenario::build();
+    let mut vo = scenario.form_vo(Strategy::Standard).unwrap();
+    let clock = scenario.toolkit.clock.clone();
+    let crl = RevocationList::new();
+
+    let record = vo.member_for_role(roles::DESIGN_PORTAL).unwrap().clone();
+    assert!(verify_membership(&vo, &record, clock.timestamp(), &crl).is_ok());
+
+    // Two simulated years later the membership certificate is expired…
+    clock.advance(SimDuration::from_millis(2 * 365 * 24 * 3600 * 1000));
+    assert!(verify_membership(&vo, &record, clock.timestamp(), &crl).is_err());
+
+    // …but the member's underlying ISO credential is also expired, so a
+    // renewal TN must fail until the authority re-issues.
+    let initiator = scenario.provider(names::AIRCRAFT).clone();
+    let providers = scenario.toolkit.providers.clone();
+    let err = renew_membership(
+        &mut vo,
+        &initiator,
+        &providers,
+        names::AEROSPACE,
+        &mut MailboxSystem::new(),
+        &mut ReputationLedger::new(),
+        &clock,
+        Strategy::Standard,
+    )
+    .unwrap_err();
+    assert!(matches!(err, trust_vo::vo::VoError::Negotiation(_)));
+
+    // The failed renewal must NOT have dropped the membership record.
+    assert!(vo.member_for_role(roles::DESIGN_PORTAL).is_some());
+
+    // Re-issue fresh credentials on both sides (the two-year jump expired
+    // everything): a new ISO 9000 certificate for the member and a new AAA
+    // accreditation for the initiator. The renewal TN then succeeds and
+    // retires the expired membership certificate.
+    let window = trust_vo::credential::TimeRange::one_year_from(clock.timestamp());
+    let mut providers = providers;
+    let aerospace = providers.get_mut(names::AEROSPACE).unwrap();
+    let infn = scenario.authorities.get_mut("INFN").unwrap();
+    let fresh = infn
+        .issue(
+            "ISO9000Certified",
+            names::AEROSPACE,
+            aerospace.party.keys.public,
+            vec![trust_vo::credential::Attribute::new("QualityRegulation", "UNI EN ISO 9000")],
+            window,
+        )
+        .unwrap();
+    aerospace.party.profile.add(fresh);
+    let mut initiator = initiator;
+    let aaa = scenario.authorities.get_mut("American Aircraft Association").unwrap();
+    let fresh_accr = aaa
+        .issue("AAAccreditation", names::AIRCRAFT, initiator.party.keys.public, vec![], window)
+        .unwrap();
+    initiator.party.profile.add(fresh_accr);
+    let record = renew_membership(
+        &mut vo,
+        &initiator,
+        &providers,
+        names::AEROSPACE,
+        &mut MailboxSystem::new(),
+        &mut ReputationLedger::new(),
+        &clock,
+        Strategy::Standard,
+    )
+    .unwrap();
+    assert!(verify_membership(&vo, &record, clock.timestamp(), &RevocationList::new()).is_ok());
+    assert_eq!(
+        vo.members().iter().filter(|m| m.role == roles::DESIGN_PORTAL).count(),
+        1,
+        "exactly one portal membership after renewal"
+    );
+}
+
+#[test]
+fn replacement_after_reputation_drop() {
+    let mut scenario = AircraftScenario::build();
+    let mut vo = scenario.form_vo(Strategy::Standard).unwrap();
+    let initiator = scenario.provider(names::AIRCRAFT).clone();
+    let providers = scenario.toolkit.providers.clone();
+    let clock = scenario.toolkit.clock.clone();
+
+    let mut log = OperationLog::new();
+    for _ in 0..2 {
+        log.record(&vo, &mut scenario.toolkit.reputation, names::HPC, names::STORAGE, "SLA miss", true, clock.timestamp())
+            .unwrap();
+    }
+    assert!(scenario
+        .toolkit
+        .reputation
+        .needs_replacement(names::HPC, trust_vo::vo::operation::REPLACEMENT_THRESHOLD));
+
+    let mut crl = RevocationList::new();
+    let record = replace_member(
+        &mut vo,
+        &initiator,
+        &providers,
+        &scenario.toolkit.registry,
+        roles::HPC,
+        &mut crl,
+        &mut MailboxSystem::new(),
+        &mut scenario.toolkit.reputation,
+        &clock,
+        Strategy::Standard,
+    )
+    .unwrap();
+    assert_eq!(record.provider, names::HPC_BACKUP);
+    assert!(crl.len() == 1, "old membership certificate revoked");
+    assert_eq!(vo.members().len(), 4);
+}

@@ -1,0 +1,156 @@
+//! Cross-crate ontology interop: persisted ontologies, dictionaries, and
+//! cross-ontology matching driving real negotiations (§4.3's full story —
+//! "parties … may not share the same credentials' language").
+
+use trust_vo::credential::{Attribute, CredentialAuthority, TimeRange, Timestamp};
+use trust_vo::negotiation::{negotiate, NegotiationConfig, Party, Strategy};
+use trust_vo::ontology::{
+    map_concept_with_dictionary, match_ontologies, ontology_from_xml, ontology_to_xml, Concept,
+    Dictionary, Ontology,
+};
+use trust_vo::policy::{DisclosurePolicy, Resource, Term};
+
+fn window() -> TimeRange {
+    TimeRange::one_year_from(Timestamp::parse_iso("2009-10-26T21:32:52").unwrap())
+}
+
+fn at() -> Timestamp {
+    Timestamp::parse_iso("2009-12-01T00:00:00").unwrap()
+}
+
+/// Two organizations with *different* local ontologies for the same
+/// domain: the Italian subsidiary names its concepts differently.
+fn italian_ontology() -> Ontology {
+    let mut o = Ontology::new();
+    o.add(
+        Concept::new("Certificazione_Qualita")
+            .keyword("quality certification ISO")
+            .implemented_by("ISO9000Certified.QualityRegulation"),
+    );
+    o.add(Concept::new("Bilancio").keyword("balance sheet financial").implemented_by("CertificationAuthorityCompany"));
+    o
+}
+
+fn us_ontology() -> Ontology {
+    let mut o = Ontology::new();
+    o.add(
+        Concept::new("QualityCertification")
+            .keyword("ISO quality")
+            .implemented_by("ISO9000Certified"),
+    );
+    o.add(Concept::new("BalanceSheet").keyword("financial statement").implemented_by("CertificationAuthorityCompany"));
+    o
+}
+
+#[test]
+fn cross_ontology_matching_bridges_naming_schemas() {
+    // "The extension of Trust-X with the reasoning engine facilitates the
+    // interoperability among the negotiation parties, by bridging the
+    // potential semantic gaps resulting from the usage of different naming
+    // schemas." (§4.3)
+    let mapping = match_ontologies(&italian_ontology(), &us_ontology());
+    assert_eq!(mapping.len(), 2);
+    let quality = mapping.iter().find(|m| m.source == "Certificazione_Qualita").unwrap();
+    assert_eq!(quality.target, "QualityCertification");
+    assert!(quality.confidence > 0.2, "{}", quality.confidence);
+    let sheet = mapping.iter().find(|m| m.source == "Bilancio").unwrap();
+    assert_eq!(sheet.target, "BalanceSheet");
+}
+
+#[test]
+fn persisted_ontology_drives_concept_negotiation() {
+    // The controller's ontology goes through an XML save/load cycle (the
+    // Protégé storage path) before the negotiation uses it.
+    let saved = trust_vo::xmldoc::to_string(&ontology_to_xml(&us_ontology()));
+    let reloaded = ontology_from_xml(&trust_vo::xmldoc::parse(&saved).unwrap()).unwrap();
+
+    let mut ca = CredentialAuthority::new("INFN");
+    let mut requester = Party::new("R").with_ontology(reloaded);
+    let mut controller = Party::new("C");
+    let cred = ca
+        .issue(
+            "ISO9000Certified",
+            "R",
+            requester.keys.public,
+            vec![Attribute::new("QualityRegulation", "UNI EN ISO 9000")],
+            window(),
+        )
+        .unwrap();
+    requester.profile.add(cred);
+    requester.trust_root(ca.public_key());
+    controller.trust_root(ca.public_key());
+    // The controller asks for a *concept* the requester must resolve
+    // through its (reloaded) ontology.
+    controller.policies.add(DisclosurePolicy::rule(
+        "p",
+        Resource::service("Svc"),
+        vec![Term::of_concept("QualityCertification")],
+    ));
+    let cfg = NegotiationConfig::new(Strategy::Standard, at());
+    let outcome = negotiate(&requester, &controller, "Svc", &cfg).unwrap();
+    assert_eq!(outcome.sequence.disclosures()[0].cred_type, "ISO9000Certified");
+}
+
+#[test]
+fn dictionary_front_end_resolves_foreign_aliases() {
+    let mut ca = CredentialAuthority::new("BBB");
+    let keys = trust_vo::crypto::KeyPair::from_seed(b"holder");
+    let mut profile = trust_vo::credential::XProfile::new("holder");
+    profile.add(
+        ca.issue(
+            "CertificationAuthorityCompany",
+            "holder",
+            keys.public,
+            vec![Attribute::new("Issuer", "BBB")],
+            window(),
+        )
+        .unwrap(),
+    );
+    let ontology = us_ontology();
+    let mut dictionary = Dictionary::new();
+    dictionary.alias("Bilancio", "BalanceSheet");
+    // Zero token overlap between "Bilancio" and "BalanceSheet": similarity
+    // alone fails, the dictionary resolves it.
+    let out = map_concept_with_dictionary(&ontology, &dictionary, &profile, "Bilancio", 0.25);
+    assert!(out.is_mapped(), "{out:?}");
+    let out = trust_vo::ontology::mapping::map_concept(&ontology, &profile, "Bilancio", 0.25);
+    assert!(!out.is_mapped());
+}
+
+#[test]
+fn abstraction_then_resolution_is_lossless_for_satisfiability() {
+    // §4.3.1 round trip: a concrete policy is abstracted to concepts by
+    // one party and resolved back to credentials by the other; the
+    // negotiation outcome is unchanged.
+    let ontology = us_ontology();
+    let concrete = DisclosurePolicy::rule(
+        "p",
+        Resource::service("Svc"),
+        vec![Term::of_type("ISO9000Certified")],
+    );
+    let abstracted = trust_vo::policy::abstraction::abstract_policy(&concrete, &ontology, 0);
+    assert_ne!(concrete, abstracted, "abstraction must change the term form");
+
+    let mut ca = CredentialAuthority::new("INFN");
+    let make_parties = |policy: DisclosurePolicy, ca: &mut CredentialAuthority| {
+        let mut requester = Party::new("R").with_ontology(us_ontology());
+        let mut controller = Party::new("C");
+        let cred = ca
+            .issue("ISO9000Certified", "R", requester.keys.public, vec![], window())
+            .unwrap();
+        requester.profile.add(cred);
+        requester.trust_root(ca.public_key());
+        controller.trust_root(ca.public_key());
+        controller.policies.add(policy);
+        (requester, controller)
+    };
+    let cfg = NegotiationConfig::new(Strategy::Standard, at());
+    let (r1, c1) = make_parties(concrete, &mut ca);
+    let (r2, c2) = make_parties(abstracted, &mut ca);
+    let direct = negotiate(&r1, &c1, "Svc", &cfg).unwrap();
+    let via_concepts = negotiate(&r2, &c2, "Svc", &cfg).unwrap();
+    assert_eq!(
+        direct.sequence.disclosures()[0].cred_type,
+        via_concepts.sequence.disclosures()[0].cred_type
+    );
+}

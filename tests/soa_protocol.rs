@@ -1,0 +1,141 @@
+//! The TN web service protocol over the scenario parties: the §6.2 stack
+//! (ClientWS → bus → TnService → negotiation engine → store).
+
+use std::sync::Arc;
+use trust_vo::negotiation::Strategy;
+use trust_vo::soa::client::run_negotiation;
+use trust_vo::soa::simclock::{CostKind, SimDuration};
+use trust_vo::soa::{Envelope, ServiceBus, TnService};
+use trust_vo::store::Database;
+use trust_vo::vo::scenario::{names, roles, AircraftScenario};
+use trust_vo::xmldoc::Element;
+
+fn service_setup() -> (ServiceBus, Arc<TnService>) {
+    let scenario = AircraftScenario::build();
+    let clock = scenario.toolkit.clock.clone();
+    clock.reset();
+    let service = TnService::new(clock.clone(), Database::new());
+    let mut initiator = scenario.provider(names::AIRCRAFT).party.clone();
+    if let Some(set) = scenario.contract.policies_for(roles::DESIGN_PORTAL) {
+        for policy in set.iter() {
+            initiator.policies.add(policy.clone());
+        }
+    }
+    service.register_party(initiator);
+    service.register_party(scenario.provider(names::AEROSPACE).party.clone());
+    let service = Arc::new(service);
+    let bus = ServiceBus::new(clock);
+    bus.register("tn", service.clone());
+    (bus, service)
+}
+
+#[test]
+fn client_completes_the_scenario_negotiation() {
+    let (bus, service) = service_setup();
+    let run = run_negotiation(
+        &bus,
+        "tn",
+        names::AEROSPACE,
+        names::AIRCRAFT,
+        "VoMembership",
+        Strategy::Standard,
+    )
+    .unwrap();
+    assert_eq!(run.sequence_len, 2);
+    assert!(service.is_completed(run.negotiation_id));
+    assert!(run.sim_elapsed > SimDuration::ZERO);
+}
+
+#[test]
+fn all_strategies_complete_over_the_service() {
+    for strategy in Strategy::ALL {
+        let (bus, service) = service_setup();
+        let run = run_negotiation(
+            &bus,
+            "tn",
+            names::AEROSPACE,
+            names::AIRCRAFT,
+            "VoMembership",
+            strategy,
+        )
+        .unwrap_or_else(|e| panic!("{strategy}: {e}"));
+        assert!(service.is_completed(run.negotiation_id), "{strategy}");
+    }
+}
+
+#[test]
+fn suspicious_strategy_costs_more_sim_time_than_trusting() {
+    let mut elapsed = Vec::new();
+    for strategy in [Strategy::Trusting, Strategy::StrongSuspicious] {
+        let (bus, _service) = service_setup();
+        let run = run_negotiation(
+            &bus,
+            "tn",
+            names::AEROSPACE,
+            names::AIRCRAFT,
+            "VoMembership",
+            strategy,
+        )
+        .unwrap();
+        elapsed.push(run.sim_elapsed);
+    }
+    assert!(elapsed[1] >= elapsed[0], "strong-suspicious {:?} < trusting {:?}", elapsed[1], elapsed[0]);
+}
+
+#[test]
+fn service_charges_expected_cost_kinds() {
+    let (bus, _service) = service_setup();
+    run_negotiation(&bus, "tn", names::AEROSPACE, names::AIRCRAFT, "VoMembership", Strategy::Standard)
+        .unwrap();
+    let counts = bus.clock().counts();
+    // 4 SOAP calls minimum: start + policy + 2 credential exchanges.
+    assert!(counts[&CostKind::SoapRoundTrip] >= 4);
+    assert!(counts[&CostKind::DbQuery] >= 3);
+    assert!(counts[&CostKind::SignatureVerify] >= 2);
+    assert!(counts[&CostKind::PolicyEvaluation] >= 1);
+}
+
+#[test]
+fn concurrent_negotiations_get_distinct_ids() {
+    let (bus, service) = service_setup();
+    let mut ids = Vec::new();
+    for _ in 0..4 {
+        let run = run_negotiation(
+            &bus,
+            "tn",
+            names::AEROSPACE,
+            names::AIRCRAFT,
+            "VoMembership",
+            Strategy::Standard,
+        )
+        .unwrap();
+        ids.push(run.negotiation_id);
+    }
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), 4);
+    for id in ids {
+        assert!(service.is_completed(id));
+    }
+}
+
+#[test]
+fn malformed_envelopes_fault_without_state_damage() {
+    let (bus, service) = service_setup();
+    // Missing negotiation id.
+    let err = bus
+        .call("tn", &Envelope::request("PolicyExchange", Element::new("x")))
+        .unwrap_err();
+    assert_eq!(err.code, "BadRequest");
+    // A good run still works afterwards.
+    let run = run_negotiation(
+        &bus,
+        "tn",
+        names::AEROSPACE,
+        names::AIRCRAFT,
+        "VoMembership",
+        Strategy::Standard,
+    )
+    .unwrap();
+    assert!(service.is_completed(run.negotiation_id));
+}

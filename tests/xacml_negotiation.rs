@@ -1,0 +1,194 @@
+//! The §8 extensions working end-to-end: XACML-imported policies and
+//! compiled group conditions driving real negotiations.
+
+use trust_vo::credential::{Attribute, CredentialAuthority, TimeRange, Timestamp};
+use trust_vo::negotiation::{negotiate, NegotiationConfig, Party, Strategy};
+use trust_vo::policy::{
+    import_policy, vo_property_term, DisclosurePolicy, GroupCondition, Resource, Term,
+};
+
+fn window() -> TimeRange {
+    TimeRange::one_year_from(Timestamp::parse_iso("2009-10-26T21:32:52").unwrap())
+}
+
+fn at() -> Timestamp {
+    Timestamp::parse_iso("2009-12-01T00:00:00").unwrap()
+}
+
+const XACML: &str = r#"
+<Policy PolicyId="vo-portal-xacml">
+  <Target>
+    <Resources><Resource>
+      <ResourceMatch MatchId="urn:oasis:names:tc:xacml:1.0:function:string-equal">
+        <AttributeValue>VoMembership</AttributeValue>
+        <ResourceAttributeDesignator AttributeId="urn:oasis:names:tc:xacml:1.0:resource:resource-id"/>
+      </ResourceMatch>
+    </Resource></Resources>
+  </Target>
+  <Rule RuleId="iso-route" Effect="Permit">
+    <Condition>
+      <Apply FunctionId="urn:oasis:names:tc:xacml:1.0:function:string-equal">
+        <SubjectAttributeDesignator AttributeId="ISO9000Certified/QualityRegulation"/>
+        <AttributeValue>UNI EN ISO 9000</AttributeValue>
+      </Apply>
+    </Condition>
+  </Rule>
+  <Rule RuleId="deny-all" Effect="Deny"/>
+</Policy>"#;
+
+#[test]
+fn xacml_imported_policy_drives_a_negotiation() {
+    let mut ca = CredentialAuthority::new("INFN");
+    let mut requester = Party::new("Aerospace");
+    let mut controller = Party::new("Aircraft");
+    let cred = ca
+        .issue(
+            "ISO9000Certified",
+            "Aerospace",
+            requester.keys.public,
+            vec![Attribute::new("QualityRegulation", "UNI EN ISO 9000")],
+            window(),
+        )
+        .unwrap();
+    requester.profile.add(cred);
+    requester.trust_root(ca.public_key());
+    controller.trust_root(ca.public_key());
+
+    // The controller's policies come straight from the XACML document.
+    let doc = trust_vo::xmldoc::parse(XACML).unwrap();
+    for policy in import_policy(&doc).unwrap() {
+        controller.policies.add(policy);
+    }
+
+    let cfg = NegotiationConfig::new(Strategy::Standard, at());
+    let outcome = negotiate(&requester, &controller, "VoMembership", &cfg).unwrap();
+    assert_eq!(outcome.sequence.len(), 1);
+    assert_eq!(outcome.sequence.disclosures()[0].cred_type, "ISO9000Certified");
+}
+
+#[test]
+fn xacml_imported_policy_rejects_noncompliant_requester() {
+    let mut ca = CredentialAuthority::new("INFN");
+    let mut requester = Party::new("Shady");
+    let mut controller = Party::new("Aircraft");
+    // Wrong regulation value — the imported condition must reject it.
+    let cred = ca
+        .issue(
+            "ISO9000Certified",
+            "Shady",
+            requester.keys.public,
+            vec![Attribute::new("QualityRegulation", "ISO 14000")],
+            window(),
+        )
+        .unwrap();
+    requester.profile.add(cred);
+    let doc = trust_vo::xmldoc::parse(XACML).unwrap();
+    for policy in import_policy(&doc).unwrap() {
+        controller.policies.add(policy);
+    }
+    let cfg = NegotiationConfig::new(Strategy::Standard, at());
+    assert!(negotiate(&requester, &controller, "VoMembership", &cfg).is_err());
+}
+
+#[test]
+fn two_of_three_group_condition_negotiates() {
+    let mut ca = CredentialAuthority::new("CA");
+    let mut requester = Party::new("R");
+    let mut controller = Party::new("C");
+    // The requester holds exactly two of the three acceptable credentials.
+    for ty in ["IsoCert", "BalanceSheet"] {
+        let cred = ca.issue(ty, "R", requester.keys.public, vec![], window()).unwrap();
+        requester.profile.add(cred);
+    }
+    requester.trust_root(ca.public_key());
+    controller.trust_root(ca.public_key());
+    let group = GroupCondition::new(
+        2,
+        vec![
+            Term::of_type("IsoCert"),
+            Term::of_type("Accreditation"), // not held
+            Term::of_type("BalanceSheet"),
+        ],
+    );
+    for policy in group.compile("grp", Resource::service("Svc")) {
+        controller.policies.add(policy);
+    }
+    let cfg = NegotiationConfig::new(Strategy::Standard, at());
+    let outcome = negotiate(&requester, &controller, "Svc", &cfg).unwrap();
+    let mut types: Vec<_> = outcome
+        .sequence
+        .disclosures()
+        .iter()
+        .map(|d| d.cred_type.clone())
+        .collect();
+    types.sort();
+    assert_eq!(types, ["BalanceSheet", "IsoCert"]);
+    // The first alternative (IsoCert + Accreditation) failed on the
+    // missing accreditation before the satisfiable pair was found.
+    assert!(outcome.transcript.failed_alternatives >= 1);
+}
+
+#[test]
+fn group_condition_fails_when_k_unreachable() {
+    let mut ca = CredentialAuthority::new("CA");
+    let mut requester = Party::new("R");
+    let mut controller = Party::new("C");
+    let cred = ca.issue("IsoCert", "R", requester.keys.public, vec![], window()).unwrap();
+    requester.profile.add(cred); // holds only one
+    let group = GroupCondition::new(
+        2,
+        vec![Term::of_type("IsoCert"), Term::of_type("Accreditation"), Term::of_type("BalanceSheet")],
+    );
+    for policy in group.compile("grp", Resource::service("Svc")) {
+        controller.policies.add(policy);
+    }
+    let cfg = NegotiationConfig::new(Strategy::Standard, at());
+    assert!(negotiate(&requester, &controller, "Svc", &cfg).is_err());
+}
+
+#[test]
+fn vo_property_term_gates_on_membership_token() {
+    // A member's VO membership, re-encoded as an X-TNL credential, opens a
+    // resource gated by a VO-property term (the "credentials that describe
+    // VO properties" extension).
+    let mut ca = CredentialAuthority::new("Aircraft Company");
+    let mut requester = Party::new("HPC");
+    let mut controller = Party::new("Storage");
+    let token = ca
+        .issue(
+            "VoMembershipToken",
+            "HPC",
+            requester.keys.public,
+            vec![
+                Attribute::new("vo", "AircraftOptimization"),
+                Attribute::new("role", "HpcPartnerService"),
+            ],
+            window(),
+        )
+        .unwrap();
+    requester.profile.add(token);
+    requester.trust_root(ca.public_key());
+    controller.trust_root(ca.public_key());
+    controller.policies.add(DisclosurePolicy::rule(
+        "store-gate",
+        Resource::service("StoreAnalysisData"),
+        vec![vo_property_term(Some("AircraftOptimization"), None)],
+    ));
+    let cfg = NegotiationConfig::new(Strategy::Standard, at());
+    assert!(negotiate(&requester, &controller, "StoreAnalysisData", &cfg).is_ok());
+
+    // A token from a different VO does not open the gate.
+    let mut outsider = Party::new("Outsider");
+    let other_token = ca
+        .issue(
+            "VoMembershipToken",
+            "Outsider",
+            outsider.keys.public,
+            vec![Attribute::new("vo", "SomeOtherVo")],
+            window(),
+        )
+        .unwrap();
+    outsider.profile.add(other_token);
+    outsider.trust_root(ca.public_key());
+    assert!(negotiate(&outsider, &controller, "StoreAnalysisData", &cfg).is_err());
+}
