@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Tier-1 gate, one command: build, test, format, lint.
+# Also compiles (without running) the criterion benches, which `cargo test`
+# skips because they set `harness = false`.
+set -eux
+
+cargo build --workspace --release
+cargo test --workspace -q
+cargo fmt --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo bench --workspace --no-run

@@ -24,8 +24,16 @@ fn bench_repeat_negotiations(c: &mut Criterion) {
     group.bench_function("sequence_cache_hit", |b| {
         let mut cache = SequenceCache::new();
         // Warm the cache once.
-        cache.negotiate(&requester, &controller, "Target", &cfg).unwrap();
-        b.iter(|| black_box(cache.negotiate(&requester, &controller, "Target", &cfg).unwrap()))
+        cache
+            .negotiate(&requester, &controller, "Target", &cfg)
+            .unwrap();
+        b.iter(|| {
+            black_box(
+                cache
+                    .negotiate(&requester, &controller, "Target", &cfg)
+                    .unwrap(),
+            )
+        })
     });
 
     group.bench_function("ticket_redemption", |b| {

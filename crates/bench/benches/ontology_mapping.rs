@@ -12,7 +12,12 @@ fn bench_direct_lookup(c: &mut Criterion) {
         let request = format!("Concept{}Quality", n / 2);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
-                black_box(map_concept(&w.ontology, &w.profile, &request, SIMILARITY_THRESHOLD))
+                black_box(map_concept(
+                    &w.ontology,
+                    &w.profile,
+                    &request,
+                    SIMILARITY_THRESHOLD,
+                ))
             })
         });
     }
@@ -26,7 +31,12 @@ fn bench_similarity_fallback(c: &mut Criterion) {
         let request = format!("Quality_Concept{}", n / 2);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
-                black_box(map_concept(&w.ontology, &w.profile, &request, SIMILARITY_THRESHOLD))
+                black_box(map_concept(
+                    &w.ontology,
+                    &w.profile,
+                    &request,
+                    SIMILARITY_THRESHOLD,
+                ))
             })
         });
     }
@@ -45,5 +55,10 @@ fn bench_cross_ontology_match(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_direct_lookup, bench_similarity_fallback, bench_cross_ontology_match);
+criterion_group!(
+    benches,
+    bench_direct_lookup,
+    bench_similarity_fallback,
+    bench_cross_ontology_match
+);
 criterion_main!(benches);

@@ -24,7 +24,13 @@ fn bench_plain_x509(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
                 let cert = AttributeCertificate::issue(
-                    1, "holder", holder.public, "issuer", &issuer, window(), attrs.clone(),
+                    1,
+                    "holder",
+                    holder.public,
+                    "issuer",
+                    &issuer,
+                    window(),
+                    attrs.clone(),
                 );
                 cert.verify(workloads::at(), None).unwrap();
                 black_box(cert)
@@ -41,11 +47,21 @@ fn bench_selective(c: &mut Criterion) {
     for n in [1usize, 4, 16, 64] {
         let attrs = workloads::wide_attributes(n);
         // Reveal half the attributes.
-        let reveal: Vec<&str> = attrs.iter().take(n / 2 + 1).map(|(k, _)| k.as_str()).collect();
+        let reveal: Vec<&str> = attrs
+            .iter()
+            .take(n / 2 + 1)
+            .map(|(k, _)| k.as_str())
+            .collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
                 let issuance = SelectiveIssuance::issue(
-                    1, "holder", holder.public, "issuer", &issuer, window(), &attrs,
+                    1,
+                    "holder",
+                    holder.public,
+                    "issuer",
+                    &issuer,
+                    window(),
+                    &attrs,
                 );
                 let view = issuance.disclose(&reveal).unwrap();
                 view.verify(workloads::at(), None).unwrap();
@@ -61,10 +77,24 @@ fn bench_verify_only(c: &mut Criterion) {
     let issuer = KeyPair::from_seed(b"issuer");
     let holder = KeyPair::from_seed(b"holder");
     let attrs = workloads::wide_attributes(16);
-    let plain =
-        AttributeCertificate::issue(1, "holder", holder.public, "issuer", &issuer, window(), attrs.clone());
-    let issuance =
-        SelectiveIssuance::issue(1, "holder", holder.public, "issuer", &issuer, window(), &attrs);
+    let plain = AttributeCertificate::issue(
+        1,
+        "holder",
+        holder.public,
+        "issuer",
+        &issuer,
+        window(),
+        attrs.clone(),
+    );
+    let issuance = SelectiveIssuance::issue(
+        1,
+        "holder",
+        holder.public,
+        "issuer",
+        &issuer,
+        window(),
+        &attrs,
+    );
     let reveal: Vec<&str> = attrs.iter().take(8).map(|(k, _)| k.as_str()).collect();
     let view = issuance.disclose(&reveal).unwrap();
     let mut group = c.benchmark_group("verify_only_16_attrs");
@@ -83,5 +113,10 @@ fn bench_verify_only(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_plain_x509, bench_selective, bench_verify_only);
+criterion_group!(
+    benches,
+    bench_plain_x509,
+    bench_selective,
+    bench_verify_only
+);
 criterion_main!(benches);

@@ -28,7 +28,9 @@ fn main() {
     });
 
     let mut cache = SequenceCache::new();
-    cache.negotiate(&requester, &controller, "Target", &cfg).unwrap();
+    cache
+        .negotiate(&requester, &controller, "Target", &cfg)
+        .unwrap();
     let cache_cell = std::cell::RefCell::new(cache);
     let cache_us = timed(&|| {
         cache_cell
@@ -40,8 +42,15 @@ fn main() {
     let (ticket, _) =
         negotiate_with_ticket(&requester, &controller, "Target", &cfg, None, window).unwrap();
     let ticket_us = timed(&|| {
-        negotiate_with_ticket(&requester, &controller, "Target", &cfg, Some(&ticket), window)
-            .unwrap();
+        negotiate_with_ticket(
+            &requester,
+            &controller,
+            "Target",
+            &cfg,
+            Some(&ticket),
+            window,
+        )
+        .unwrap();
     });
 
     let mut report = Report::new(
@@ -49,7 +58,10 @@ fn main() {
         "Repeat-negotiation ablation (chain depth 6, 2 alternatives/level)",
         &["path", "us/negotiation", "speedup", "still verifies"],
     );
-    report.row("full two-phase protocol", &[format!("{full_us:.1}"), "1.0x".into(), "everything".into()]);
+    report.row(
+        "full two-phase protocol",
+        &[format!("{full_us:.1}"), "1.0x".into(), "everything".into()],
+    );
     report.row(
         "sequence cache (phase 1 skipped)",
         &[
@@ -71,5 +83,8 @@ fn main() {
 
     let stats = cache_cell.borrow().stats();
     assert_eq!(stats.misses, 1, "only the warm-up missed");
-    assert!(ticket_us < full_us && cache_us < full_us, "ablations must be faster");
+    assert!(
+        ticket_us < full_us && cache_us < full_us,
+        "ablations must be faster"
+    );
 }

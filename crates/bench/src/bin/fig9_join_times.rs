@@ -75,7 +75,13 @@ fn main() {
 
     // Shape assertions: fail loudly if the reproduction drifts.
     assert!(sim_with > sim_without, "join with TN must cost more");
-    assert!(sim_tn < sim_without, "standalone TN must be cheaper than the join");
+    assert!(
+        sim_tn < sim_without,
+        "standalone TN must be cheaper than the join"
+    );
     let ratio = sim_with.as_secs_f64() / sim_without.as_secs_f64();
-    assert!((1.1..=1.7).contains(&ratio), "overhead ratio {ratio} outside the paper's shape");
+    assert!(
+        (1.1..=1.7).contains(&ratio),
+        "overhead ratio {ratio} outside the paper's shape"
+    );
 }

@@ -10,7 +10,14 @@ fn main() {
     let mut report = Report::new(
         "E4",
         "Negotiation cost vs. policy chain depth (standard strategy)",
-        &["depth", "messages", "policy rounds", "policies", "credentials", "views"],
+        &[
+            "depth",
+            "messages",
+            "policy rounds",
+            "policies",
+            "credentials",
+            "views",
+        ],
     );
     for depth in [1usize, 2, 4, 6, 8, 12] {
         let (requester, controller) = workloads::chain_parties(depth, 2);
@@ -29,13 +36,20 @@ fn main() {
             ],
         );
     }
-    report.note("message count grows linearly with depth — the paper's 'small number of messages' claim");
+    report.note(
+        "message count grows linearly with depth — the paper's 'small number of messages' claim",
+    );
     report.print();
 
     let mut report = Report::new(
         "E4b",
         "Negotiation cost vs. failing alternatives per level (depth 4)",
-        &["alternatives", "messages", "failed branches", "policies disclosed"],
+        &[
+            "alternatives",
+            "messages",
+            "failed branches",
+            "policies disclosed",
+        ],
     );
     for alts in [1usize, 2, 4, 8] {
         let (requester, controller) = workloads::chain_parties(4, alts);

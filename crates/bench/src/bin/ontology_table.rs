@@ -9,15 +9,31 @@ fn main() {
     let mut report = Report::new(
         "E5",
         "Algorithm 1: concept-to-credential mapping",
-        &["concepts", "paraphrased", "mapped", "via similarity", "unmapped", "us/request"],
+        &[
+            "concepts",
+            "paraphrased",
+            "mapped",
+            "via similarity",
+            "unmapped",
+            "us/request",
+        ],
     );
-    for (n, paraphrased) in [(20usize, 0usize), (20, 10), (100, 0), (100, 50), (400, 0), (400, 200)] {
+    for (n, paraphrased) in [
+        (20usize, 0usize),
+        (20, 10),
+        (100, 0),
+        (100, 50),
+        (400, 0),
+        (400, 200),
+    ] {
         let w = workloads::ontology_workload(n, paraphrased);
         let mut mapped = 0;
         let mut via_similarity = 0;
         let started = Instant::now();
         for request in &w.requests {
-            if let trust_vo_ontology::MappingOutcome::Mapped { via, .. } = map_concept(&w.ontology, &w.profile, request, SIMILARITY_THRESHOLD) {
+            if let trust_vo_ontology::MappingOutcome::Mapped { via, .. } =
+                map_concept(&w.ontology, &w.profile, request, SIMILARITY_THRESHOLD)
+            {
                 mapped += 1;
                 if via.is_some() {
                     via_similarity += 1;

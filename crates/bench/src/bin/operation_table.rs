@@ -76,10 +76,22 @@ fn main() {
     let replace_cost = SimDuration(s.toolkit.clock.elapsed().0 - before.0);
     assert_eq!(record.provider, names::HPC_BACKUP);
 
-    report.row("full 4-role formation", &[format!("{:.2}", formation_cost.as_secs_f64())]);
-    report.row("authorization TN (FlowSolution)", &[format!("{:.2}", auth_cost.as_secs_f64())]);
-    report.row("membership renewal", &[format!("{:.2}", renew_cost.as_secs_f64())]);
-    report.row("member replacement", &[format!("{:.2}", replace_cost.as_secs_f64())]);
+    report.row(
+        "full 4-role formation",
+        &[format!("{:.2}", formation_cost.as_secs_f64())],
+    );
+    report.row(
+        "authorization TN (FlowSolution)",
+        &[format!("{:.2}", auth_cost.as_secs_f64())],
+    );
+    report.row(
+        "membership renewal",
+        &[format!("{:.2}", renew_cost.as_secs_f64())],
+    );
+    report.row(
+        "member replacement",
+        &[format!("{:.2}", replace_cost.as_secs_f64())],
+    );
     report.note("authorization TNs grant permissions, not credentials (§5.1); renewal/replacement rerun the formation join");
     report.print();
 }

@@ -1,0 +1,119 @@
+//! E10 — parallel batch admission: serial vs. parallel formation table.
+//!
+//! Forms a VO whose contract has one role per applicant (4 / 16 / 64),
+//! each admission guarded by a deep chain of interlocking disclosure
+//! policies, and compares the serial engine against `form_vo_parallel` on
+//! real CPU time. Both engines must produce identical membership —
+//! members, roles, certificate serials — which this harness also checks.
+
+use std::time::Instant;
+use trust_vo_bench::report::Report;
+use trust_vo_bench::workloads;
+use trust_vo_negotiation::{ConcurrentSequenceCache, Strategy};
+use trust_vo_vo::mailbox::MailboxSystem;
+use trust_vo_vo::{form_vo, form_vo_parallel, FormedVo, ReputationLedger};
+
+const DEPTH: usize = 20;
+const ALTERNATIVES: usize = 10;
+
+fn membership(vo: &FormedVo) -> Vec<(String, String, u64)> {
+    vo.members()
+        .iter()
+        .map(|m| (m.provider.clone(), m.role.clone(), m.certificate.serial))
+        .collect()
+}
+
+fn main() {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut report = Report::new(
+        "E10",
+        "Parallel batch admission: serial vs. parallel formation (chain depth 20, 10 alternatives)",
+        &[
+            "applicants",
+            "serial (ms)",
+            "parallel (ms)",
+            "speedup",
+            "cache misses",
+        ],
+    );
+
+    let mut speedup_at_16 = 0.0_f64;
+    for applicants in [4usize, 16, 64] {
+        let world = workloads::parallel_join_world(applicants, DEPTH, ALTERNATIVES);
+
+        let serial_clock = workloads::free_clock();
+        let start = Instant::now();
+        let serial = form_vo(
+            world.contract.clone(),
+            &world.initiator,
+            &world.providers,
+            &world.registry,
+            &mut MailboxSystem::new(),
+            &mut ReputationLedger::new(),
+            &serial_clock,
+            Strategy::Standard,
+        )
+        .expect("serial formation succeeds");
+        let serial_cpu = start.elapsed();
+
+        let parallel_clock = workloads::free_clock();
+        let cache = ConcurrentSequenceCache::new();
+        let start = Instant::now();
+        let parallel = form_vo_parallel(
+            world.contract.clone(),
+            &world.initiator,
+            &world.providers,
+            &world.registry,
+            &mut MailboxSystem::new(),
+            &mut ReputationLedger::new(),
+            &parallel_clock,
+            Strategy::Standard,
+            &cache,
+            workers,
+        )
+        .expect("parallel formation succeeds");
+        let parallel_cpu = start.elapsed();
+
+        assert_eq!(
+            membership(&serial),
+            membership(&parallel),
+            "parallel membership must be byte-identical to serial"
+        );
+        assert_eq!(
+            serial_clock.elapsed(),
+            parallel_clock.elapsed(),
+            "replay must charge the sim-clock exactly like serial"
+        );
+
+        let speedup = serial_cpu.as_secs_f64() / parallel_cpu.as_secs_f64();
+        if applicants == 16 {
+            speedup_at_16 = speedup;
+        }
+        report.row(
+            &applicants.to_string(),
+            &[
+                format!("{:.2}", serial_cpu.as_secs_f64() * 1e3),
+                format!("{:.2}", parallel_cpu.as_secs_f64() * 1e3),
+                format!("{speedup:.2}x"),
+                cache.stats().misses.to_string(),
+            ],
+        );
+    }
+
+    report.note(&format!(
+        "workers = {workers}; parallel speculates every (role, accepting-candidate) \
+         negotiation on a scoped thread pool, then replays the serial decision procedure"
+    ));
+    report.print();
+
+    // Shape assertion: on a multi-core host the fan-out must pay for
+    // itself by 16 applicants.
+    if workers >= 4 {
+        assert!(
+            speedup_at_16 >= 2.0,
+            "expected >= 2x speedup at 16 applicants on {workers} workers, got {speedup_at_16:.2}x"
+        );
+    }
+}

@@ -14,7 +14,10 @@ fn timed<R>(f: impl Fn() -> R, iters: u32) -> (R, f64) {
     for _ in 0..iters {
         last = Some(f());
     }
-    (last.expect("iters > 0"), started.elapsed().as_secs_f64() * 1e6 / f64::from(iters))
+    (
+        last.expect("iters > 0"),
+        started.elapsed().as_secs_f64() * 1e6 / f64::from(iters),
+    )
 }
 
 fn main() {
@@ -27,15 +30,30 @@ fn main() {
     let mut report = Report::new(
         "E7",
         "Selective disclosure (hash commitments) vs. plain X.509v2",
-        &["attributes", "x509 issue+verify (us)", "selective issue+verify (us)", "overhead"],
+        &[
+            "attributes",
+            "x509 issue+verify (us)",
+            "selective issue+verify (us)",
+            "overhead",
+        ],
     );
     for n in [1usize, 4, 16, 64, 256] {
         let attrs = workloads::wide_attributes(n);
-        let reveal: Vec<&str> = attrs.iter().take(n / 2 + 1).map(|(k, _)| k.as_str()).collect();
+        let reveal: Vec<&str> = attrs
+            .iter()
+            .take(n / 2 + 1)
+            .map(|(k, _)| k.as_str())
+            .collect();
         let (_, plain_us) = timed(
             || {
                 let cert = AttributeCertificate::issue(
-                    1, "holder", holder.public, "issuer", &issuer, window, attrs.clone(),
+                    1,
+                    "holder",
+                    holder.public,
+                    "issuer",
+                    &issuer,
+                    window,
+                    attrs.clone(),
                 );
                 cert.verify(at, None).unwrap();
             },
@@ -44,7 +62,13 @@ fn main() {
         let (_, sel_us) = timed(
             || {
                 let issuance = SelectiveIssuance::issue(
-                    1, "holder", holder.public, "issuer", &issuer, window, &attrs,
+                    1,
+                    "holder",
+                    holder.public,
+                    "issuer",
+                    &issuer,
+                    window,
+                    &attrs,
                 );
                 let view = issuance.disclose(&reveal).unwrap();
                 view.verify(at, None).unwrap();

@@ -13,7 +13,14 @@ fn main() {
     let mut report = Report::new(
         "E6",
         "Strategy comparison on the Fig. 2 negotiation (VoMembership)",
-        &["strategy", "messages", "policy rounds", "policies", "credentials", "ownership proofs"],
+        &[
+            "strategy",
+            "messages",
+            "policy rounds",
+            "policies",
+            "credentials",
+            "ownership proofs",
+        ],
     );
     for strategy in Strategy::ALL {
         let outcome = s.fig2_negotiation(strategy).expect("satisfiable");
@@ -50,6 +57,8 @@ fn main() {
             "0".into(),
         ],
     );
-    report.note("eager discloses no policies but pushes every releasable credential (over-disclosure)");
+    report.note(
+        "eager discloses no policies but pushes every releasable credential (over-disclosure)",
+    );
     report.print();
 }

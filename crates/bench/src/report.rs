@@ -2,11 +2,10 @@
 //!
 //! The harness binaries print paper-style tables to stdout and emit a
 //! machine-readable JSON record so `EXPERIMENTS.md` stays auditable.
-
-use serde::Serialize;
+//! JSON is rendered by hand (the build is offline, so no serde).
 
 /// One row of an experiment table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// Row label (e.g. "Join with trust negotiation").
     pub label: String,
@@ -15,7 +14,7 @@ pub struct Row {
 }
 
 /// A full experiment report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Report {
     /// Experiment id from DESIGN.md §3 (e.g. "E1/Fig9").
     pub experiment: String,
@@ -43,7 +42,10 @@ impl Report {
 
     /// Add a row.
     pub fn row(&mut self, label: &str, values: &[String]) {
-        self.rows.push(Row { label: label.to_owned(), values: values.to_vec() });
+        self.rows.push(Row {
+            label: label.to_owned(),
+            values: values.to_vec(),
+        });
     }
 
     /// Add a note.
@@ -76,7 +78,11 @@ impl Report {
         for row in &self.rows {
             let mut cells = vec![format!("{:w$}", row.label, w = widths[0])];
             for (i, v) in row.values.iter().enumerate() {
-                cells.push(format!("{:w$}", v, w = widths.get(i + 1).copied().unwrap_or(0)));
+                cells.push(format!(
+                    "{:w$}",
+                    v,
+                    w = widths.get(i + 1).copied().unwrap_or(0)
+                ));
             }
             out.push_str(&cells.join("  "));
             out.push('\n');
@@ -87,14 +93,71 @@ impl Report {
         out
     }
 
+    /// Render as a compact JSON record (hand-rolled; field order fixed).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        push_json_field(&mut out, "experiment", &self.experiment);
+        out.push(',');
+        push_json_field(&mut out, "title", &self.title);
+        out.push_str(",\"columns\":");
+        push_json_string_array(&mut out, &self.columns);
+        out.push_str(",\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            push_json_field(&mut out, "label", &row.label);
+            out.push_str(",\"values\":");
+            push_json_string_array(&mut out, &row.values);
+            out.push('}');
+        }
+        out.push_str("],\"notes\":");
+        push_json_string_array(&mut out, &self.notes);
+        out.push('}');
+        out
+    }
+
     /// Print the table and the JSON record.
     pub fn print(&self) {
         println!("{}", self.render());
-        println!(
-            "json: {}",
-            serde_json::to_string(self).expect("report serializes")
-        );
+        println!("json: {}", self.to_json());
     }
+}
+
+fn push_json_field(out: &mut String, key: &str, value: &str) {
+    push_json_string(out, key);
+    out.push(':');
+    push_json_string(out, value);
+}
+
+fn push_json_string_array(out: &mut String, values: &[String]) {
+    out.push('[');
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_string(out, v);
+    }
+    out.push(']');
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 #[cfg(test)]
@@ -117,7 +180,17 @@ mod tests {
     fn serializes_to_json() {
         let mut r = Report::new("E5", "mapping", &["n", "us"]);
         r.row("exact", &["1.2".into()]);
-        let json = serde_json::to_string(&r).unwrap();
+        let json = r.to_json();
         assert!(json.contains("\"experiment\":\"E5\""));
+        assert!(json.contains("\"rows\":[{\"label\":\"exact\",\"values\":[\"1.2\"]}]"));
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        let mut r = Report::new("E0", "quote \" and \\ and\nnewline", &["c"]);
+        r.row("tab\there", &[]);
+        let json = r.to_json();
+        assert!(json.contains("quote \\\" and \\\\ and\\nnewline"));
+        assert!(json.contains("tab\\there"));
     }
 }

@@ -3,13 +3,18 @@
 //! the printed tables and the statistical benches measure the same thing.
 
 use std::collections::BTreeMap;
-use trust_vo_credential::{Attribute, CredentialAuthority, Sensitivity, TimeRange, Timestamp, XProfile};
+use trust_vo_credential::{
+    Attribute, CredentialAuthority, Sensitivity, TimeRange, Timestamp, XProfile,
+};
 use trust_vo_negotiation::{Party, Strategy};
 use trust_vo_ontology::{Concept, Ontology};
+use trust_vo_policy::PolicySet;
 use trust_vo_policy::{DisclosurePolicy, Resource, Term};
 use trust_vo_soa::simclock::{CostModel, SimClock};
 use trust_vo_vo::scenario::{names, roles, AircraftScenario};
-use trust_vo_vo::{MemberRecord, ServiceProvider, VoError};
+use trust_vo_vo::{
+    Contract, MemberRecord, ResourceDescription, Role, ServiceProvider, ServiceRegistry, VoError,
+};
 
 /// The default wall-clock instant negotiations run at.
 pub fn at() -> Timestamp {
@@ -121,7 +126,9 @@ pub fn chain_parties(depth: usize, alternatives: usize) -> (Party, Party) {
                 vec![Term::of_type(type_name(level + 1))],
             ));
         } else {
-            owner.policies.add(DisclosurePolicy::deliv(format!("p{level}-deliv"), resource));
+            owner
+                .policies
+                .add(DisclosurePolicy::deliv(format!("p{level}-deliv"), resource));
         }
         let _ = owner_is_requester;
     }
@@ -163,7 +170,13 @@ pub fn ontology_workload(n: usize, paraphrased: usize) -> OntologyWorkload {
                 .implemented_by(&format!("{cred_type}.Attr{i}")),
         );
         let cred = ca
-            .issue(&cred_type, "onto-holder", keys.public, vec![Attribute::new(format!("Attr{i}"), i as i64)], window)
+            .issue(
+                &cred_type,
+                "onto-holder",
+                keys.public,
+                vec![Attribute::new(format!("Attr{i}"), i as i64)],
+                window,
+            )
             .expect("open schema");
         profile.add_with_sensitivity(
             cred,
@@ -190,12 +203,165 @@ pub fn ontology_workload(n: usize, paraphrased: usize) -> OntologyWorkload {
             }
         })
         .collect();
-    OntologyWorkload { ontology, profile, requests }
+    OntologyWorkload {
+        ontology,
+        profile,
+        requests,
+    }
+}
+
+/// E10: the parallel batch-admission world — one contract role per
+/// applicant, each guarded by an applicant-specific chain of interlocking
+/// disclosure policies, so every admission negotiation carries real CPU
+/// work (`depth` levels, `alternatives` branches per level, as in
+/// [`chain_parties`]) and the serial-vs-parallel comparison measures
+/// negotiation fan-out rather than bookkeeping.
+pub struct ParallelJoinWorld {
+    /// The contract: `Role000..RoleNNN`, one per applicant.
+    pub contract: Contract,
+    /// The VO Initiator, holding the controller half of every chain.
+    pub initiator: ServiceProvider,
+    /// The applicant providers, keyed by name.
+    pub providers: BTreeMap<String, ServiceProvider>,
+    /// Registry with one published capability per applicant.
+    pub registry: ServiceRegistry,
+}
+
+/// Build the E10 world with `applicants` roles/candidates.
+pub fn parallel_join_world(
+    applicants: usize,
+    depth: usize,
+    alternatives: usize,
+) -> ParallelJoinWorld {
+    let mut ca = CredentialAuthority::new("BatchCA");
+    let window = TimeRange::one_year_from(at());
+    let mut initiator_party = Party::new("BatchInitiator");
+    initiator_party.trust_root(ca.public_key());
+    let mut contract = Contract::new("BatchVo", "parallel batch admission");
+    let mut providers = BTreeMap::new();
+    let mut registry = ServiceRegistry::new();
+
+    // Credential *types* are shared across applicants (each applicant holds
+    // its own credentials of those types), so the initiator's X-Profile and
+    // policy set stay constant-size as the applicant count grows — the
+    // comparison then scales with negotiation work, not with the cost of
+    // fingerprinting an ever-larger controller profile. Even levels are
+    // applicant-held, odd levels initiator-held, alternating sides as in
+    // the E4 chain workload.
+    let app_type = |level: usize| format!("AppL{level}");
+    let init_type = |level: usize| format!("InitL{level}");
+    let type_name = |level: usize| {
+        if level.is_multiple_of(2) {
+            app_type(level)
+        } else {
+            init_type(level)
+        }
+    };
+
+    // Initiator half of the chain, built once.
+    for level in (1..depth).step_by(2) {
+        let cred = ca
+            .issue(
+                &init_type(level),
+                "BatchInitiator",
+                initiator_party.keys.public,
+                vec![Attribute::new("Level", level as i64)],
+                window,
+            )
+            .expect("open schema");
+        initiator_party.profile.add(cred);
+        let resource = Resource::credential(init_type(level));
+        if level + 1 < depth {
+            for alt in 0..alternatives.saturating_sub(1) {
+                initiator_party.policies.add(DisclosurePolicy::rule(
+                    format!("ip{level}-fail{alt}"),
+                    resource.clone(),
+                    vec![Term::of_type(format!("MissingI{level}x{alt}"))],
+                ));
+            }
+            initiator_party.policies.add(DisclosurePolicy::rule(
+                format!("ip{level}-real"),
+                resource.clone(),
+                vec![Term::of_type(type_name(level + 1))],
+            ));
+        } else {
+            initiator_party.policies.add(DisclosurePolicy::deliv(
+                format!("ip{level}-deliv"),
+                resource,
+            ));
+        }
+    }
+
+    for i in 0..applicants {
+        let applicant_name = format!("Applicant{i:03}");
+        let mut applicant = Party::new(&applicant_name);
+        applicant.trust_root(ca.public_key());
+        // Applicant half of the chain: its own credentials of the shared
+        // even-level types, protected by the initiator's odd-level types.
+        for level in (0..depth).step_by(2) {
+            let cred = ca
+                .issue(
+                    &app_type(level),
+                    &applicant_name,
+                    applicant.keys.public,
+                    vec![Attribute::new("Level", level as i64)],
+                    window,
+                )
+                .expect("open schema");
+            applicant.profile.add(cred);
+            let resource = Resource::credential(app_type(level));
+            if level + 1 < depth {
+                for alt in 0..alternatives.saturating_sub(1) {
+                    applicant.policies.add(DisclosurePolicy::rule(
+                        format!("ap{level}-fail{alt}"),
+                        resource.clone(),
+                        vec![Term::of_type(format!("MissingA{level}x{alt}"))],
+                    ));
+                }
+                applicant.policies.add(DisclosurePolicy::rule(
+                    format!("ap{level}-real"),
+                    resource.clone(),
+                    vec![Term::of_type(type_name(level + 1))],
+                ));
+            } else {
+                applicant.policies.add(DisclosurePolicy::deliv(
+                    format!("ap{level}-deliv"),
+                    resource,
+                ));
+            }
+        }
+        let role_name = format!("Role{i:03}");
+        let capability = format!("cap{i:03}");
+        contract = contract.with_role(Role::new(&role_name, &capability, "batch admission"));
+        let mut policies = PolicySet::new();
+        policies.add(DisclosurePolicy::rule(
+            format!("vo-a{i}"),
+            Resource::service("VoMembership"),
+            vec![Term::of_type(app_type(0))],
+        ));
+        contract.set_role_policies(&role_name, policies);
+        registry.publish(ResourceDescription::new(
+            &applicant_name,
+            &capability,
+            "x",
+            0.9,
+        ));
+        providers.insert(applicant_name, ServiceProvider::new(applicant));
+    }
+
+    ParallelJoinWorld {
+        contract,
+        initiator: ServiceProvider::new(initiator_party),
+        providers,
+        registry,
+    }
 }
 
 /// E7: attribute sets of growing width for the selective-disclosure bench.
 pub fn wide_attributes(n: usize) -> Vec<(String, String)> {
-    (0..n).map(|i| (format!("attr{i}"), format!("value-{i}-{}", i * 31))).collect()
+    (0..n)
+        .map(|i| (format!("attr{i}"), format!("value-{i}-{}", i * 31)))
+        .collect()
 }
 
 /// The provider map + initiator used by operation-phase workloads.
@@ -247,6 +413,27 @@ mod tests {
         }
         // All exact lookups and most paraphrased ones resolve.
         assert!(mapped >= 35, "only {mapped}/40 mapped");
+    }
+
+    #[test]
+    fn parallel_join_world_admits_every_applicant() {
+        let w = parallel_join_world(3, 4, 2);
+        let clock = free_clock();
+        let vo = trust_vo_vo::form_vo(
+            w.contract,
+            &w.initiator,
+            &w.providers,
+            &w.registry,
+            &mut trust_vo_vo::mailbox::MailboxSystem::new(),
+            &mut trust_vo_vo::ReputationLedger::new(),
+            &clock,
+            Strategy::Standard,
+        )
+        .expect("all applicants admitted");
+        assert_eq!(vo.members().len(), 3);
+        for i in 0..3 {
+            assert!(vo.is_member(&format!("Applicant{i:03}")));
+        }
     }
 
     #[test]

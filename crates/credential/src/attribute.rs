@@ -95,7 +95,10 @@ pub struct Attribute {
 impl Attribute {
     /// Construct an attribute.
     pub fn new(name: impl Into<String>, value: impl Into<AttrValue>) -> Self {
-        Attribute { name: name.into(), value: value.into() }
+        Attribute {
+            name: name.into(),
+            value: value.into(),
+        }
     }
 }
 

@@ -34,7 +34,13 @@ impl CredentialAuthority {
     pub fn new(name: impl Into<String>) -> Self {
         let name = name.into();
         let keys = KeyPair::from_seed(format!("authority:{name}").as_bytes());
-        CredentialAuthority { name, keys, schemas: HashMap::new(), crl: RevocationList::new(), issued: 0 }
+        CredentialAuthority {
+            name,
+            keys,
+            schemas: HashMap::new(),
+            crl: RevocationList::new(),
+            issued: 0,
+        }
     }
 
     /// The authority's verification key, distributed to relying parties.
@@ -90,7 +96,13 @@ impl CredentialAuthority {
 
 fn slug(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
         .collect()
 }
 
@@ -127,8 +139,12 @@ mod tests {
     #[test]
     fn ids_are_unique_and_prefixed() {
         let mut ca = CredentialAuthority::new("AAA Certifier");
-        let c1 = ca.issue("T", "s", subject_keys().public, vec![], window()).unwrap();
-        let c2 = ca.issue("T", "s", subject_keys().public, vec![], window()).unwrap();
+        let c1 = ca
+            .issue("T", "s", subject_keys().public, vec![], window())
+            .unwrap();
+        let c2 = ca
+            .issue("T", "s", subject_keys().public, vec![], window())
+            .unwrap();
         assert_ne!(c1.id(), c2.id());
         assert!(c1.id().0.starts_with("aaa-certifier-"));
     }
@@ -140,17 +156,33 @@ mod tests {
             CredentialType::new("ISO9000Certified").required("QualityRegulation", AttrKind::Str),
         );
         let err = ca
-            .issue("ISO9000Certified", "s", subject_keys().public, vec![], window())
+            .issue(
+                "ISO9000Certified",
+                "s",
+                subject_keys().public,
+                vec![],
+                window(),
+            )
             .unwrap_err();
         assert!(matches!(err, CredentialError::SchemaViolation { .. }));
         // Unregistered types stay open.
-        assert!(ca.issue("SomethingElse", "s", subject_keys().public, vec![], window()).is_ok());
+        assert!(ca
+            .issue(
+                "SomethingElse",
+                "s",
+                subject_keys().public,
+                vec![],
+                window()
+            )
+            .is_ok());
     }
 
     #[test]
     fn revocation_flows_to_verification() {
         let mut ca = CredentialAuthority::new("INFN");
-        let cred = ca.issue("T", "s", subject_keys().public, vec![], window()).unwrap();
+        let cred = ca
+            .issue("T", "s", subject_keys().public, vec![], window())
+            .unwrap();
         let at = window().not_before.plus_days(10);
         assert!(cred.verify(at, Some(ca.revocation_list())).is_ok());
         ca.revoke(cred.id().clone(), at);

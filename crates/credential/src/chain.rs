@@ -86,7 +86,11 @@ impl ChainDirectory {
     /// first search over "subject-key certifies issuer-key" edges. The
     /// returned chain includes `target` as its last element. Returns `None`
     /// when no chain exists.
-    pub fn resolve(&self, target: &Credential, trusted_roots: &[PublicKey]) -> Option<Vec<Credential>> {
+    pub fn resolve(
+        &self,
+        target: &Credential,
+        trusted_roots: &[PublicKey],
+    ) -> Option<Vec<Credential>> {
         // Trivial case: the target's issuer is directly trusted.
         if trusted_roots.contains(&target.header.issuer_key) {
             return Some(vec![target.clone()]);
@@ -99,7 +103,10 @@ impl ChainDirectory {
             suffix: Vec<usize>, // indices into self.creds, target-most last
         }
         let mut queue = VecDeque::new();
-        queue.push_back(State { need: target.header.issuer_key, suffix: Vec::new() });
+        queue.push_back(State {
+            need: target.header.issuer_key,
+            suffix: Vec::new(),
+        });
         let mut seen = vec![target.header.issuer_key];
         while let Some(state) = queue.pop_front() {
             for (idx, cred) in self.creds.iter().enumerate() {
@@ -110,14 +117,20 @@ impl ChainDirectory {
                 suffix.push(idx);
                 if trusted_roots.contains(&cred.header.issuer_key) {
                     // Found a root-issued link; assemble root → … → target.
-                    let mut chain: Vec<Credential> =
-                        suffix.iter().rev().map(|&i| self.creds[i].clone()).collect();
+                    let mut chain: Vec<Credential> = suffix
+                        .iter()
+                        .rev()
+                        .map(|&i| self.creds[i].clone())
+                        .collect();
                     chain.push(target.clone());
                     return Some(chain);
                 }
                 if !seen.contains(&cred.header.issuer_key) {
                     seen.push(cred.header.issuer_key);
-                    queue.push_back(State { need: cred.header.issuer_key, suffix });
+                    queue.push_back(State {
+                        need: cred.header.issuer_key,
+                        suffix,
+                    });
                 }
             }
         }
@@ -142,7 +155,14 @@ mod tests {
     }
 
     /// Issue a credential from `issuer` keys to `subject` keys.
-    fn issue(id: &str, ty: &str, issuer: &KeyPair, issuer_name: &str, subject: &KeyPair, subject_name: &str) -> Credential {
+    fn issue(
+        id: &str,
+        ty: &str,
+        issuer: &KeyPair,
+        issuer_name: &str,
+        subject: &KeyPair,
+        subject_name: &str,
+    ) -> Credential {
         let header = Header {
             cred_id: CredentialId(id.into()),
             cred_type: ty.into(),
@@ -168,7 +188,8 @@ mod tests {
         let rogue = KeyPair::from_seed(b"rogue");
         let holder = KeyPair::from_seed(b"holder");
         let cred = issue("c1", "T", &rogue, "Rogue", &holder, "Holder");
-        let err = verify_chain(&[cred], &[KeyPair::from_seed(b"root").public], at(), None).unwrap_err();
+        let err =
+            verify_chain(&[cred], &[KeyPair::from_seed(b"root").public], at(), None).unwrap_err();
         assert!(matches!(err, CredentialError::BrokenChain(_)));
     }
 
@@ -178,7 +199,14 @@ mod tests {
         let intermediate = KeyPair::from_seed(b"intermediate");
         let holder = KeyPair::from_seed(b"holder");
         // Root certifies the intermediate CA; intermediate issues to holder.
-        let link = issue("ca-cert", "CACert", &root, "Root CA", &intermediate, "Mid CA");
+        let link = issue(
+            "ca-cert",
+            "CACert",
+            &root,
+            "Root CA",
+            &intermediate,
+            "Mid CA",
+        );
         let target = issue("c1", "T", &intermediate, "Mid CA", &holder, "Holder");
         assert!(verify_chain(&[link.clone(), target.clone()], &[root.public], at(), None).is_ok());
         // Out of order is broken.
@@ -221,7 +249,14 @@ mod tests {
         dir.add(issue("l1", "CACert", &root, "Root", &mid1, "Mid1"));
         dir.add(issue("l2", "CACert", &mid1, "Mid1", &mid2, "Mid2"));
         // Noise entry that leads nowhere.
-        dir.add(issue("noise", "CACert", &KeyPair::from_seed(b"x"), "X", &KeyPair::from_seed(b"y"), "Y"));
+        dir.add(issue(
+            "noise",
+            "CACert",
+            &KeyPair::from_seed(b"x"),
+            "X",
+            &KeyPair::from_seed(b"y"),
+            "Y",
+        ));
         let target = issue("c1", "T", &mid2, "Mid2", &holder, "Holder");
         let chain = dir.resolve(&target, &[root.public]).expect("chain found");
         assert_eq!(chain.len(), 3);
@@ -233,7 +268,9 @@ mod tests {
         let root = KeyPair::from_seed(b"root");
         let holder = KeyPair::from_seed(b"holder");
         let target = issue("c1", "T", &root, "Root", &holder, "Holder");
-        let chain = ChainDirectory::new().resolve(&target, &[root.public]).unwrap();
+        let chain = ChainDirectory::new()
+            .resolve(&target, &[root.public])
+            .unwrap();
         assert_eq!(chain.len(), 1);
     }
 
@@ -243,7 +280,9 @@ mod tests {
         let stranger = KeyPair::from_seed(b"stranger");
         let holder = KeyPair::from_seed(b"holder");
         let target = issue("c1", "T", &stranger, "Stranger", &holder, "Holder");
-        assert!(ChainDirectory::new().resolve(&target, &[root.public]).is_none());
+        assert!(ChainDirectory::new()
+            .resolve(&target, &[root.public])
+            .is_none());
     }
 
     #[test]
@@ -256,6 +295,8 @@ mod tests {
         dir.add(issue("ab", "CACert", &a, "A", &b, "B"));
         dir.add(issue("ba", "CACert", &b, "B", &a, "A"));
         let target = issue("c1", "T", &a, "A", &holder, "Holder");
-        assert!(dir.resolve(&target, &[KeyPair::from_seed(b"root").public]).is_none());
+        assert!(dir
+            .resolve(&target, &[KeyPair::from_seed(b"root").public])
+            .is_none());
     }
 }

@@ -67,12 +67,19 @@ impl Credential {
     pub fn issue_signed(header: Header, content: Vec<Attribute>, issuer: &KeyPair) -> Self {
         let bytes = signing_bytes(&header, &content);
         let signature = issuer.sign(&bytes);
-        Credential { header, content, signature }
+        Credential {
+            header,
+            content,
+            signature,
+        }
     }
 
     /// Look up an attribute value by name.
     pub fn attr(&self, name: &str) -> Option<&AttrValue> {
-        self.content.iter().find(|a| a.name == name).map(|a| &a.value)
+        self.content
+            .iter()
+            .find(|a| a.name == name)
+            .map(|a| &a.value)
     }
 
     /// The credential id.
@@ -91,20 +98,31 @@ impl Credential {
         if self.header.issuer_key.verify(&bytes, &self.signature) {
             Ok(())
         } else {
-            Err(CredentialError::BadSignature { cred_id: self.header.cred_id.0.clone() })
+            Err(CredentialError::BadSignature {
+                cred_id: self.header.cred_id.0.clone(),
+            })
         }
     }
 
     /// The full exchange-time check the paper describes (§4.2): signature,
     /// validity dates, and revocation status.
-    pub fn verify(&self, at: Timestamp, crl: Option<&RevocationList>) -> Result<(), CredentialError> {
+    pub fn verify(
+        &self,
+        at: Timestamp,
+        crl: Option<&RevocationList>,
+    ) -> Result<(), CredentialError> {
         self.verify_signature()?;
         if !self.header.validity.contains(at) {
-            return Err(CredentialError::Expired { cred_id: self.header.cred_id.0.clone(), at });
+            return Err(CredentialError::Expired {
+                cred_id: self.header.cred_id.0.clone(),
+                at,
+            });
         }
         if let Some(crl) = crl {
             if crl.is_revoked(&self.header.cred_id) {
-                return Err(CredentialError::Revoked { cred_id: self.header.cred_id.0.clone() });
+                return Err(CredentialError::Revoked {
+                    cred_id: self.header.cred_id.0.clone(),
+                });
             }
         }
         Ok(())
@@ -118,11 +136,17 @@ impl Credential {
 
     /// Authenticate ownership: does `proof` show possession of this
     /// credential's subject key for the given `nonce`?
-    pub fn authenticate_ownership(&self, nonce: &[u8], proof: &Signature) -> Result<(), CredentialError> {
+    pub fn authenticate_ownership(
+        &self,
+        nonce: &[u8],
+        proof: &Signature,
+    ) -> Result<(), CredentialError> {
         if self.header.subject_key.verify(nonce, proof) {
             Ok(())
         } else {
-            Err(CredentialError::NotOwner { cred_id: self.header.cred_id.0.clone() })
+            Err(CredentialError::NotOwner {
+                cred_id: self.header.cred_id.0.clone(),
+            })
         }
     }
 
@@ -130,7 +154,8 @@ impl Credential {
     pub fn to_xml(&self) -> Element {
         let mut root = unsigned_xml(&self.header, &self.content);
         let sig_text = encode_signature(&self.signature);
-        root.children.push(Node::Element(Element::new("signature").text(sig_text)));
+        root.children
+            .push(Node::Element(Element::new("signature").text(sig_text)));
         root
     }
 
@@ -167,7 +192,9 @@ impl Credential {
                 .ok_or_else(|| CredentialError::Malformed(format!("{what} missing key attr")))?;
             let bytes = hex::decode(hex_key)
                 .filter(|b| b.len() == 8)
-                .ok_or_else(|| CredentialError::Malformed(format!("{what} key is not 8 hex bytes")))?;
+                .ok_or_else(|| {
+                    CredentialError::Malformed(format!("{what} key is not 8 hex bytes"))
+                })?;
             let mut raw = [0u8; 8];
             raw.copy_from_slice(&bytes);
             Ok(PublicKey(u64::from_be_bytes(raw)))
@@ -182,7 +209,9 @@ impl Credential {
         let not_before = parse_ts("from")?;
         let not_after = parse_ts("to")?;
         if not_before > not_after {
-            return Err(CredentialError::Malformed("inverted validity window".into()));
+            return Err(CredentialError::Malformed(
+                "inverted validity window".into(),
+            ));
         }
         let header = Header {
             cred_id: CredentialId(cred_id.to_owned()),
@@ -191,7 +220,10 @@ impl Credential {
             issuer_key: parse_key(issuer_el, "issuer")?,
             subject: subject_el.text_content(),
             subject_key: parse_key(subject_el, "subject")?,
-            validity: TimeRange { not_before, not_after },
+            validity: TimeRange {
+                not_before,
+                not_after,
+            },
         };
         let content_el = root
             .first("content")
@@ -205,14 +237,21 @@ impl Credential {
                     attr_el.name
                 ))
             })?;
-            content.push(Attribute { name: attr_el.name.clone(), value });
+            content.push(Attribute {
+                name: attr_el.name.clone(),
+                value,
+            });
         }
         let sig_text = root
             .child_text("signature")
             .ok_or_else(|| CredentialError::Malformed("missing <signature>".into()))?;
         let signature = decode_signature(&sig_text)
             .ok_or_else(|| CredentialError::Malformed("undecodable signature".into()))?;
-        Ok(Credential { header, content, signature })
+        Ok(Credential {
+            header,
+            content,
+            signature,
+        })
     }
 }
 
@@ -270,7 +309,10 @@ fn decode_signature(text: &str) -> Option<Signature> {
     let mut s = [0u8; 8];
     r.copy_from_slice(&bytes[..8]);
     s.copy_from_slice(&bytes[8..]);
-    Some(Signature { r: u64::from_be_bytes(r), s: u64::from_be_bytes(s) })
+    Some(Signature {
+        r: u64::from_be_bytes(r),
+        s: u64::from_be_bytes(s),
+    })
 }
 
 #[cfg(test)]
@@ -294,7 +336,9 @@ mod tests {
             issuer_key: issuer.public,
             subject: "Aerospace Company".into(),
             subject_key: subject.public,
-            validity: TimeRange::one_year_from(Timestamp::parse_iso("2009-10-26T21:32:52").unwrap()),
+            validity: TimeRange::one_year_from(
+                Timestamp::parse_iso("2009-10-26T21:32:52").unwrap(),
+            ),
         };
         Credential::issue_signed(
             header,
@@ -314,9 +358,15 @@ mod tests {
     fn expired_rejected() {
         let cred = sample(&issuer_keys(), &subject_keys());
         let late = Timestamp::parse_iso("2011-01-01T00:00:00").unwrap();
-        assert!(matches!(cred.verify(late, None), Err(CredentialError::Expired { .. })));
+        assert!(matches!(
+            cred.verify(late, None),
+            Err(CredentialError::Expired { .. })
+        ));
         let early = Timestamp::parse_iso("2009-01-01T00:00:00").unwrap();
-        assert!(matches!(cred.verify(early, None), Err(CredentialError::Expired { .. })));
+        assert!(matches!(
+            cred.verify(early, None),
+            Err(CredentialError::Expired { .. })
+        ));
     }
 
     #[test]
@@ -325,14 +375,20 @@ mod tests {
         let mut crl = RevocationList::default();
         crl.revoke(cred.id().clone(), Timestamp(0));
         let at = Timestamp::parse_iso("2010-01-01T00:00:00").unwrap();
-        assert!(matches!(cred.verify(at, Some(&crl)), Err(CredentialError::Revoked { .. })));
+        assert!(matches!(
+            cred.verify(at, Some(&crl)),
+            Err(CredentialError::Revoked { .. })
+        ));
     }
 
     #[test]
     fn tampered_content_rejected() {
         let mut cred = sample(&issuer_keys(), &subject_keys());
         cred.content[0].value = AttrValue::Str("FORGED".into());
-        assert!(matches!(cred.verify_signature(), Err(CredentialError::BadSignature { .. })));
+        assert!(matches!(
+            cred.verify_signature(),
+            Err(CredentialError::BadSignature { .. })
+        ));
     }
 
     #[test]
@@ -385,7 +441,8 @@ mod tests {
         // Drop each mandatory child in turn.
         for victim in ["header", "content", "signature"] {
             let mut bad = good.clone();
-            bad.children.retain(|c| c.as_element().map(|e| e.name != victim).unwrap_or(true));
+            bad.children
+                .retain(|c| c.as_element().map(|e| e.name != victim).unwrap_or(true));
             assert!(Credential::from_xml(&bad).is_err(), "dropping <{victim}>");
         }
     }
@@ -396,7 +453,9 @@ mod tests {
         let text = trust_vo_xmldoc::to_string_pretty(&cred.to_xml());
         assert!(text.contains("<credential credID=\"cred-0001\">"));
         assert!(text.contains("<credType>ISO9000Certified</credType>"));
-        assert!(text.contains("<QualityRegulation type=\"string\">UNI EN ISO 9000</QualityRegulation>"));
+        assert!(
+            text.contains("<QualityRegulation type=\"string\">UNI EN ISO 9000</QualityRegulation>")
+        );
         assert!(text.contains("<signature>"));
     }
 

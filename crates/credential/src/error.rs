@@ -48,17 +48,26 @@ impl std::fmt::Display for CredentialError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::SchemaViolation { cred_type, detail } => {
-                write!(f, "schema violation for credential type '{cred_type}': {detail}")
+                write!(
+                    f,
+                    "schema violation for credential type '{cred_type}': {detail}"
+                )
             }
             Self::BadSignature { cred_id } => {
-                write!(f, "signature verification failed for credential '{cred_id}'")
+                write!(
+                    f,
+                    "signature verification failed for credential '{cred_id}'"
+                )
             }
             Self::Expired { cred_id, at } => {
                 write!(f, "credential '{cred_id}' is not valid at {at}")
             }
             Self::Revoked { cred_id } => write!(f, "credential '{cred_id}' has been revoked"),
             Self::NotOwner { cred_id } => {
-                write!(f, "ownership authentication failed for credential '{cred_id}'")
+                write!(
+                    f,
+                    "ownership authentication failed for credential '{cred_id}'"
+                )
             }
             Self::Malformed(detail) => write!(f, "malformed credential document: {detail}"),
             Self::BrokenChain(detail) => write!(f, "broken credential chain: {detail}"),
@@ -77,18 +86,36 @@ mod tests {
     fn display_variants() {
         let cases: Vec<(CredentialError, &str)> = vec![
             (
-                CredentialError::BadSignature { cred_id: "c1".into() },
+                CredentialError::BadSignature {
+                    cred_id: "c1".into(),
+                },
                 "signature verification failed",
             ),
             (
-                CredentialError::Expired { cred_id: "c1".into(), at: Timestamp(0) },
+                CredentialError::Expired {
+                    cred_id: "c1".into(),
+                    at: Timestamp(0),
+                },
                 "not valid at 1970-01-01T00:00:00",
             ),
-            (CredentialError::Revoked { cred_id: "c1".into() }, "revoked"),
-            (CredentialError::NotOwner { cred_id: "c1".into() }, "ownership"),
+            (
+                CredentialError::Revoked {
+                    cred_id: "c1".into(),
+                },
+                "revoked",
+            ),
+            (
+                CredentialError::NotOwner {
+                    cred_id: "c1".into(),
+                },
+                "ownership",
+            ),
             (CredentialError::Malformed("no header".into()), "no header"),
             (CredentialError::BrokenChain("gap".into()), "gap"),
-            (CredentialError::UnknownIssuer("X".into()), "untrusted issuer 'X'"),
+            (
+                CredentialError::UnknownIssuer("X".into()),
+                "untrusted issuer 'X'",
+            ),
         ];
         for (err, needle) in cases {
             assert!(err.to_string().contains(needle), "{err}");

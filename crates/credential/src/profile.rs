@@ -22,7 +22,10 @@ pub struct XProfile {
 impl XProfile {
     /// Create an empty profile for `owner`.
     pub fn new(owner: impl Into<String>) -> Self {
-        XProfile { owner: owner.into(), ..Default::default() }
+        XProfile {
+            owner: owner.into(),
+            ..Default::default()
+        }
     }
 
     /// Add a credential with an explicit sensitivity label.
@@ -65,7 +68,9 @@ impl XProfile {
 
     /// All credentials of a given type.
     pub fn of_type<'a>(&'a self, cred_type: &'a str) -> impl Iterator<Item = &'a Credential> + 'a {
-        self.credentials.iter().filter(move |c| c.cred_type() == cred_type)
+        self.credentials
+            .iter()
+            .filter(move |c| c.cred_type() == cred_type)
     }
 
     /// Does the profile hold at least one credential of this type?
@@ -125,7 +130,13 @@ mod tests {
             ("ISO9000Certified", Sensitivity::Medium),
         ] {
             let cred = ca
-                .issue(ty, "Aerospace Company", subject.public, vec![Attribute::new("k", "v")], window)
+                .issue(
+                    ty,
+                    "Aerospace Company",
+                    subject.public,
+                    vec![Attribute::new("k", "v")],
+                    window,
+                )
                 .unwrap();
             ids.push(cred.id().clone());
             profile.add_with_sensitivity(cred, label);
@@ -146,7 +157,10 @@ mod tests {
     fn sensitivity_lookup_defaults_low() {
         let (profile, ids) = build_profile();
         assert_eq!(profile.sensitivity_of(&ids[1]), Sensitivity::High);
-        assert_eq!(profile.sensitivity_of(&CredentialId("missing".into())), Sensitivity::Low);
+        assert_eq!(
+            profile.sensitivity_of(&CredentialId("missing".into())),
+            Sensitivity::Low
+        );
     }
 
     #[test]
@@ -213,11 +227,19 @@ mod auto_label_tests {
         let window = TimeRange::one_year_from(Timestamp::from_ymd_hms(2009, 1, 1, 0, 0, 0));
         let mut profile = XProfile::new("h");
         let sheet = ca
-            .issue("BalanceSheet", "h", keys.public, vec![Attribute::new("Year", 2009i64)], window)
+            .issue(
+                "BalanceSheet",
+                "h",
+                keys.public,
+                vec![Attribute::new("Year", 2009i64)],
+                window,
+            )
             .unwrap();
         let sheet_id = sheet.id().clone();
         profile.add_auto(sheet);
-        let sla = ca.issue("HpcSla", "h", keys.public, vec![], window).unwrap();
+        let sla = ca
+            .issue("HpcSla", "h", keys.public, vec![], window)
+            .unwrap();
         let sla_id = sla.id().clone();
         profile.add_auto(sla);
         assert_eq!(profile.sensitivity_of(&sheet_id), Sensitivity::High);

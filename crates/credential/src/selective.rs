@@ -130,11 +130,18 @@ impl SelectiveIssuance {
             salt_input.extend_from_slice(&(i as u32).to_be_bytes());
             salt_input.extend_from_slice(name.as_bytes());
             let tag = issuer_keys.sign(&salt_input); // unpredictable without the issuer key
-            let digest = trust_vo_crypto::sha256(&[tag.r.to_be_bytes(), tag.s.to_be_bytes()].concat());
+            let digest =
+                trust_vo_crypto::sha256(&[tag.r.to_be_bytes(), tag.s.to_be_bytes()].concat());
             let mut salt = [0u8; 16];
             salt.copy_from_slice(&digest[..16]);
-            commitments.push(CommittedAttr { commitment: commit(name, value, &salt) });
-            openings.push(Opening { name: name.clone(), value: value.clone(), salt });
+            commitments.push(CommittedAttr {
+                commitment: commit(name, value, &salt),
+            });
+            openings.push(Opening {
+                name: name.clone(),
+                value: value.clone(),
+                salt,
+            });
         }
         let mut certificate = SelectiveCertificate {
             serial,
@@ -147,7 +154,10 @@ impl SelectiveIssuance {
             signature: Signature { r: 0, s: 0 },
         };
         certificate.signature = issuer_keys.sign(&tbs_bytes(&certificate));
-        SelectiveIssuance { certificate, openings }
+        SelectiveIssuance {
+            certificate,
+            openings,
+        }
     }
 
     /// Build a disclosure revealing exactly the attributes named in `names`.
@@ -158,7 +168,10 @@ impl SelectiveIssuance {
         for &name in names {
             revealed.push(self.openings.iter().find(|o| o.name == name)?.clone());
         }
-        Some(DisclosedView { certificate: self.certificate.clone(), revealed })
+        Some(DisclosedView {
+            certificate: self.certificate.clone(),
+            revealed,
+        })
     }
 }
 
@@ -173,7 +186,9 @@ impl SelectiveCertificate {
         if self.issuer_key.verify(&tbs_bytes(self), &self.signature) {
             Ok(())
         } else {
-            Err(CredentialError::BadSignature { cred_id: self.revocation_id().0 })
+            Err(CredentialError::BadSignature {
+                cred_id: self.revocation_id().0,
+            })
         }
     }
 }
@@ -181,7 +196,11 @@ impl SelectiveCertificate {
 impl DisclosedView {
     /// Verify the disclosure: issuer signature, validity, revocation, and
     /// every revealed opening against some commitment in the certificate.
-    pub fn verify(&self, at: Timestamp, crl: Option<&RevocationList>) -> Result<(), CredentialError> {
+    pub fn verify(
+        &self,
+        at: Timestamp,
+        crl: Option<&RevocationList>,
+    ) -> Result<(), CredentialError> {
         self.certificate.verify_signature()?;
         if !self.certificate.validity.contains(at) {
             return Err(CredentialError::Expired {
@@ -272,7 +291,9 @@ mod tests {
     #[test]
     fn full_disclosure_verifies() {
         let iss = sample();
-        let view = iss.disclose(&["QualityRegulation", "AuditScore", "InternalNotes"]).unwrap();
+        let view = iss
+            .disclose(&["QualityRegulation", "AuditScore", "InternalNotes"])
+            .unwrap();
         assert!(view.verify(at(), None).is_ok());
         assert_eq!(view.attr("AuditScore"), Some("97"));
     }
@@ -306,7 +327,10 @@ mod tests {
         let iss = sample();
         let mut view = iss.disclose(&["AuditScore"]).unwrap();
         view.revealed[0].value = "100".into();
-        assert!(matches!(view.verify(at(), None), Err(CredentialError::Malformed(_))));
+        assert!(matches!(
+            view.verify(at(), None),
+            Err(CredentialError::Malformed(_))
+        ));
     }
 
     #[test]
@@ -322,7 +346,10 @@ mod tests {
         let iss = sample();
         let mut view = iss.disclose(&["AuditScore"]).unwrap();
         view.certificate.commitments[0].commitment[0] ^= 1;
-        assert!(matches!(view.verify(at(), None), Err(CredentialError::BadSignature { .. })));
+        assert!(matches!(
+            view.verify(at(), None),
+            Err(CredentialError::BadSignature { .. })
+        ));
     }
 
     #[test]
@@ -338,7 +365,10 @@ mod tests {
         assert!(view.verify(window().not_after.plus_days(1), None).is_err());
         let mut crl = RevocationList::new();
         crl.revoke(iss.certificate.revocation_id(), at());
-        assert!(matches!(view.verify(at(), Some(&crl)), Err(CredentialError::Revoked { .. })));
+        assert!(matches!(
+            view.verify(at(), Some(&crl)),
+            Err(CredentialError::Revoked { .. })
+        ));
     }
 
     proptest! {

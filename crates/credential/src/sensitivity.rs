@@ -86,18 +86,28 @@ mod tests {
 /// its type and attribute names: financial/medical/internal markers are
 /// **high**, identity/affiliation markers are **medium**, everything else
 /// (public certifications, SLAs) is **low**.
-pub fn auto_label(cred_type: &str, attribute_names: impl Iterator<Item = impl AsRef<str>>) -> Sensitivity {
+pub fn auto_label(
+    cred_type: &str,
+    attribute_names: impl Iterator<Item = impl AsRef<str>>,
+) -> Sensitivity {
     const HIGH_MARKERS: [&str; 10] = [
         "balance", "salary", "income", "financ", "medical", "health", "internal", "risk",
         "revenue", "tax",
     ];
-    const MEDIUM_MARKERS: [&str; 8] =
-        ["passport", "license", "identity", "ssn", "birth", "address", "member", "employee"];
+    const MEDIUM_MARKERS: [&str; 8] = [
+        "passport", "license", "identity", "ssn", "birth", "address", "member", "employee",
+    ];
     let mut tokens: Vec<String> = vec![cred_type.to_lowercase()];
     tokens.extend(attribute_names.map(|a| a.as_ref().to_lowercase()));
-    if tokens.iter().any(|t| HIGH_MARKERS.iter().any(|m| t.contains(m))) {
+    if tokens
+        .iter()
+        .any(|t| HIGH_MARKERS.iter().any(|m| t.contains(m)))
+    {
         Sensitivity::High
-    } else if tokens.iter().any(|t| MEDIUM_MARKERS.iter().any(|m| t.contains(m))) {
+    } else if tokens
+        .iter()
+        .any(|t| MEDIUM_MARKERS.iter().any(|m| t.contains(m)))
+    {
         Sensitivity::Medium
     } else {
         Sensitivity::Low
@@ -110,19 +120,34 @@ mod auto_tests {
 
     #[test]
     fn financial_credentials_are_high() {
-        assert_eq!(auto_label("BalanceSheet", std::iter::empty::<&str>()), Sensitivity::High);
+        assert_eq!(
+            auto_label("BalanceSheet", std::iter::empty::<&str>()),
+            Sensitivity::High
+        );
         assert_eq!(
             auto_label("EmploymentRecord", ["Salary"].into_iter()),
             Sensitivity::High
         );
-        assert_eq!(auto_label("InternalAudit", std::iter::empty::<&str>()), Sensitivity::High);
+        assert_eq!(
+            auto_label("InternalAudit", std::iter::empty::<&str>()),
+            Sensitivity::High
+        );
     }
 
     #[test]
     fn identity_credentials_are_medium() {
-        assert_eq!(auto_label("Passport", std::iter::empty::<&str>()), Sensitivity::Medium);
-        assert_eq!(auto_label("DrivingLicense", ["sex"].into_iter()), Sensitivity::Medium);
-        assert_eq!(auto_label("AAAMember", std::iter::empty::<&str>()), Sensitivity::Medium);
+        assert_eq!(
+            auto_label("Passport", std::iter::empty::<&str>()),
+            Sensitivity::Medium
+        );
+        assert_eq!(
+            auto_label("DrivingLicense", ["sex"].into_iter()),
+            Sensitivity::Medium
+        );
+        assert_eq!(
+            auto_label("AAAMember", std::iter::empty::<&str>()),
+            Sensitivity::Medium
+        );
     }
 
     #[test]
@@ -131,7 +156,10 @@ mod auto_tests {
             auto_label("ISO9000Certified", ["QualityRegulation"].into_iter()),
             Sensitivity::Low
         );
-        assert_eq!(auto_label("HpcSla", ["Availability"].into_iter()), Sensitivity::Low);
+        assert_eq!(
+            auto_label("HpcSla", ["Availability"].into_iter()),
+            Sensitivity::Low
+        );
     }
 
     #[test]

@@ -56,8 +56,12 @@ impl Timestamp {
     /// paper's credentials use in `<expiration_Date>` elements).
     pub fn parse_iso(text: &str) -> Option<Self> {
         let bytes = text.as_bytes();
-        if bytes.len() != 19 || bytes[4] != b'-' || bytes[7] != b'-' || bytes[10] != b'T'
-            || bytes[13] != b':' || bytes[16] != b':'
+        if bytes.len() != 19
+            || bytes[4] != b'-'
+            || bytes[7] != b'-'
+            || bytes[10] != b'T'
+            || bytes[13] != b':'
+            || bytes[16] != b':'
         {
             return None;
         }
@@ -67,7 +71,12 @@ impl Timestamp {
         let hour: u8 = text[11..13].parse().ok()?;
         let min: u8 = text[14..16].parse().ok()?;
         let sec: u8 = text[17..19].parse().ok()?;
-        if !(1..=12).contains(&month) || !(1..=31).contains(&day) || hour > 23 || min > 59 || sec > 59 {
+        if !(1..=12).contains(&month)
+            || !(1..=31).contains(&day)
+            || hour > 23
+            || min > 59
+            || sec > 59
+        {
             return None;
         }
         Some(Self::from_ymd_hms(year, month, day, hour, min, sec))
@@ -111,7 +120,10 @@ impl TimeRange {
     /// Build a range; panics if inverted (a programming error in scenario setup).
     pub fn new(not_before: Timestamp, not_after: Timestamp) -> Self {
         assert!(not_before <= not_after, "inverted validity range");
-        TimeRange { not_before, not_after }
+        TimeRange {
+            not_before,
+            not_after,
+        }
     }
 
     /// A one-year window starting at `from` (the paper's running example).
@@ -155,7 +167,9 @@ mod tests {
         assert_eq!(feb28.plus_days(1), feb29);
         // Non-leap year: 2009-02-28 + 1 day == 2009-03-01
         assert_eq!(
-            Timestamp::from_ymd_hms(2009, 2, 28, 0, 0, 0).plus_days(1).to_iso(),
+            Timestamp::from_ymd_hms(2009, 2, 28, 0, 0, 0)
+                .plus_days(1)
+                .to_iso(),
             "2009-03-01T00:00:00"
         );
     }

@@ -58,7 +58,10 @@ pub struct CredentialType {
 impl CredentialType {
     /// A schema-less type that accepts any content.
     pub fn open(name: impl Into<String>) -> Self {
-        CredentialType { name: name.into(), attrs: Vec::new() }
+        CredentialType {
+            name: name.into(),
+            attrs: Vec::new(),
+        }
     }
 
     /// Start building a typed schema.
@@ -69,14 +72,22 @@ impl CredentialType {
     /// Builder: add a required attribute.
     #[must_use]
     pub fn required(mut self, name: impl Into<String>, kind: AttrKind) -> Self {
-        self.attrs.push(AttrSpec { name: name.into(), kind, required: true });
+        self.attrs.push(AttrSpec {
+            name: name.into(),
+            kind,
+            required: true,
+        });
         self
     }
 
     /// Builder: add an optional attribute.
     #[must_use]
     pub fn optional(mut self, name: impl Into<String>, kind: AttrKind) -> Self {
-        self.attrs.push(AttrSpec { name: name.into(), kind, required: false });
+        self.attrs.push(AttrSpec {
+            name: name.into(),
+            kind,
+            required: false,
+        });
         self
     }
 

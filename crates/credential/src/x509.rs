@@ -82,7 +82,11 @@ pub fn tbs_bytes(
     push_tlv(&mut out, Tag::HolderKey, &holder_key.0.to_be_bytes());
     push_tlv(&mut out, Tag::Issuer, issuer.as_bytes());
     push_tlv(&mut out, Tag::IssuerKey, &issuer_key.0.to_be_bytes());
-    push_tlv(&mut out, Tag::NotBefore, &validity.not_before.0.to_be_bytes());
+    push_tlv(
+        &mut out,
+        Tag::NotBefore,
+        &validity.not_before.0.to_be_bytes(),
+    );
     push_tlv(&mut out, Tag::NotAfter, &validity.not_after.0.to_be_bytes());
     for (name, value) in attributes {
         push_tlv(&mut out, Tag::AttrName, name.as_bytes());
@@ -105,7 +109,15 @@ impl AttributeCertificate {
     ) -> Self {
         let holder = holder.into();
         let issuer = issuer.into();
-        let tbs = tbs_bytes(serial, &holder, holder_key, &issuer, issuer_keys.public, validity, &attributes);
+        let tbs = tbs_bytes(
+            serial,
+            &holder,
+            holder_key,
+            &issuer,
+            issuer_keys.public,
+            validity,
+            &attributes,
+        );
         let signature = issuer_keys.sign(&tbs);
         AttributeCertificate {
             serial,
@@ -146,19 +158,30 @@ impl AttributeCertificate {
         if self.issuer_key.verify(&tbs, &self.signature) {
             Ok(())
         } else {
-            Err(CredentialError::BadSignature { cred_id: self.revocation_id().0 })
+            Err(CredentialError::BadSignature {
+                cred_id: self.revocation_id().0,
+            })
         }
     }
 
     /// Full verification: signature, validity at `at`, and revocation.
-    pub fn verify(&self, at: Timestamp, crl: Option<&RevocationList>) -> Result<(), CredentialError> {
+    pub fn verify(
+        &self,
+        at: Timestamp,
+        crl: Option<&RevocationList>,
+    ) -> Result<(), CredentialError> {
         self.verify_signature()?;
         if !self.validity.contains(at) {
-            return Err(CredentialError::Expired { cred_id: self.revocation_id().0, at });
+            return Err(CredentialError::Expired {
+                cred_id: self.revocation_id().0,
+                at,
+            });
         }
         if let Some(crl) = crl {
             if crl.is_revoked(&self.revocation_id()) {
-                return Err(CredentialError::Revoked { cred_id: self.revocation_id().0 });
+                return Err(CredentialError::Revoked {
+                    cred_id: self.revocation_id().0,
+                });
             }
         }
         Ok(())
@@ -166,11 +189,17 @@ impl AttributeCertificate {
 
     /// Authenticate that the presenter holds the certificate's holder key:
     /// the presenter signs `nonce` with it.
-    pub fn authenticate_holder(&self, nonce: &[u8], proof: &Signature) -> Result<(), CredentialError> {
+    pub fn authenticate_holder(
+        &self,
+        nonce: &[u8],
+        proof: &Signature,
+    ) -> Result<(), CredentialError> {
         if self.holder_key.verify(nonce, proof) {
             Ok(())
         } else {
-            Err(CredentialError::NotOwner { cred_id: self.revocation_id().0 })
+            Err(CredentialError::NotOwner {
+                cred_id: self.revocation_id().0,
+            })
         }
     }
 }
@@ -217,7 +246,10 @@ mod tests {
     fn tampered_attribute_rejected() {
         let (mut cert, _, _) = sample();
         cert.attributes[1].1 = "Initiator".into();
-        assert!(matches!(cert.verify_signature(), Err(CredentialError::BadSignature { .. })));
+        assert!(matches!(
+            cert.verify_signature(),
+            Err(CredentialError::BadSignature { .. })
+        ));
     }
 
     #[test]
@@ -232,8 +264,24 @@ mod tests {
         // ("ab","c") vs ("a","bc") must encode differently — length prefixes
         // prevent concatenation ambiguity.
         let k = KeyPair::from_seed(b"k");
-        let a = tbs_bytes(1, "h", k.public, "i", k.public, window(), &[("ab".into(), "c".into())]);
-        let b = tbs_bytes(1, "h", k.public, "i", k.public, window(), &[("a".into(), "bc".into())]);
+        let a = tbs_bytes(
+            1,
+            "h",
+            k.public,
+            "i",
+            k.public,
+            window(),
+            &[("ab".into(), "c".into())],
+        );
+        let b = tbs_bytes(
+            1,
+            "h",
+            k.public,
+            "i",
+            k.public,
+            window(),
+            &[("a".into(), "bc".into())],
+        );
         assert_ne!(a, b);
     }
 
@@ -241,10 +289,16 @@ mod tests {
     fn expiry_and_revocation() {
         let (cert, _, _) = sample();
         let late = window().not_after.plus_days(1);
-        assert!(matches!(cert.verify(late, None), Err(CredentialError::Expired { .. })));
+        assert!(matches!(
+            cert.verify(late, None),
+            Err(CredentialError::Expired { .. })
+        ));
         let mut crl = RevocationList::new();
         crl.revoke(cert.revocation_id(), at());
-        assert!(matches!(cert.verify(at(), Some(&crl)), Err(CredentialError::Revoked { .. })));
+        assert!(matches!(
+            cert.verify(at(), Some(&crl)),
+            Err(CredentialError::Revoked { .. })
+        ));
     }
 
     #[test]
@@ -253,7 +307,9 @@ mod tests {
         let proof = holder.sign(b"nonce");
         assert!(cert.authenticate_holder(b"nonce", &proof).is_ok());
         let other = KeyPair::from_seed(b"other");
-        assert!(cert.authenticate_holder(b"nonce", &other.sign(b"nonce")).is_err());
+        assert!(cert
+            .authenticate_holder(b"nonce", &other.sign(b"nonce"))
+            .is_err());
     }
 
     #[test]

@@ -16,7 +16,8 @@ pub enum DecodeError {
         /// Offset of the offending byte.
         index: usize,
         /// The offending byte value.
-        byte: u8 },
+        byte: u8,
+    },
     /// Padding appeared somewhere other than the final one or two positions.
     BadPadding,
 }
@@ -92,7 +93,10 @@ pub fn decode(text: &str) -> Result<Vec<u8>, DecodeError> {
         }
         let mut n: u32 = 0;
         for (i, &b) in group[..4 - pad].iter().enumerate() {
-            let v = value_of(b).ok_or(DecodeError::BadByte { index: group_idx * 4 + i, byte: b })?;
+            let v = value_of(b).ok_or(DecodeError::BadByte {
+                index: group_idx * 4 + i,
+                byte: b,
+            })?;
             n |= u32::from(v) << (18 - 6 * i);
         }
         out.push((n >> 16) as u8);
@@ -136,7 +140,13 @@ mod tests {
 
     #[test]
     fn rejects_bad_byte() {
-        assert!(matches!(decode("ab!d"), Err(DecodeError::BadByte { index: 2, byte: b'!' })));
+        assert!(matches!(
+            decode("ab!d"),
+            Err(DecodeError::BadByte {
+                index: 2,
+                byte: b'!'
+            })
+        ));
     }
 
     #[test]

@@ -109,7 +109,10 @@ mod tests {
         assert_eq!(pow_mod(0, 0, P), 1); // 0^0 == 1 by convention here
         assert_eq!(pow_mod(5, 0, P), 1);
         assert_eq!(pow_mod(5, 1, P), 5);
-        assert_eq!(pow_mod(2, 62, P), (1u128 << 62).rem_euclid(u128::from(P)) as u64);
+        assert_eq!(
+            pow_mod(2, 62, P),
+            (1u128 << 62).rem_euclid(u128::from(P)) as u64
+        );
     }
 
     #[test]

@@ -60,7 +60,10 @@ impl KeyPair {
     /// Build a key pair from an explicit scalar (clamped into `[1, Q)`).
     pub fn from_scalar(x: u64) -> Self {
         let x = x % (Q - 1) + 1;
-        KeyPair { secret: SecretKey(x), public: PublicKey(group::g_pow(x)) }
+        KeyPair {
+            secret: SecretKey(x),
+            public: PublicKey(group::g_pow(x)),
+        }
     }
 
     /// Generate a key pair from an RNG.
@@ -139,8 +142,14 @@ mod tests {
     fn tampered_signature_rejected() {
         let kp = KeyPair::from_seed(b"seed");
         let sig = kp.sign(b"m");
-        let bad_r = Signature { r: sig.r ^ 1, ..sig };
-        let bad_s = Signature { s: (sig.s + 1) % Q, ..sig };
+        let bad_r = Signature {
+            r: sig.r ^ 1,
+            ..sig
+        };
+        let bad_s = Signature {
+            s: (sig.s + 1) % Q,
+            ..sig
+        };
         assert!(!kp.public.verify(b"m", &bad_r));
         assert!(!kp.public.verify(b"m", &bad_s));
     }

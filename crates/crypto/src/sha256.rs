@@ -48,7 +48,12 @@ impl Default for Sha256 {
 impl Sha256 {
     /// Create a hasher in the initial state.
     pub fn new() -> Self {
-        Self { state: H0, len: 0, buf: [0; 64], buf_len: 0 }
+        Self {
+            state: H0,
+            len: 0,
+            buf: [0; 64],
+            buf_len: 0,
+        }
     }
 
     /// Absorb `data` into the hash state.

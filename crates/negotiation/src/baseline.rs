@@ -89,7 +89,10 @@ pub fn negotiate_eager(
     for round in 0..64 {
         transcript.policy_rounds += 1;
         if releasable(controller, resource, &received_by_controller) {
-            return Ok(EagerOutcome { disclosed, transcript });
+            return Ok(EagerOutcome {
+                disclosed,
+                transcript,
+            });
         }
         let newly = if round % 2 == 0 {
             let newly = turn(
@@ -119,13 +122,17 @@ pub fn negotiate_eager(
         if newly.is_empty() {
             idle_streak += 1;
             if idle_streak >= 2 {
-                return Err(NegotiationError::NoTrustSequence { resource: resource.to_owned() });
+                return Err(NegotiationError::NoTrustSequence {
+                    resource: resource.to_owned(),
+                });
             }
         } else {
             idle_streak = 0;
         }
     }
-    Err(NegotiationError::NoTrustSequence { resource: resource.to_owned() })
+    Err(NegotiationError::NoTrustSequence {
+        resource: resource.to_owned(),
+    })
 }
 
 #[cfg(test)]
@@ -147,10 +154,20 @@ mod tests {
         let mut requester = Party::new("R");
         let mut controller = Party::new("C");
         for ty in ["Quality", "Extra1", "Extra2"] {
-            let c = ca.issue(ty, "R", requester.keys.public, vec![], window()).unwrap();
+            let c = ca
+                .issue(ty, "R", requester.keys.public, vec![], window())
+                .unwrap();
             requester.profile.add(c);
         }
-        let c = ca.issue("Accreditation", "C", controller.keys.public, vec![], window()).unwrap();
+        let c = ca
+            .issue(
+                "Accreditation",
+                "C",
+                controller.keys.public,
+                vec![],
+                window(),
+            )
+            .unwrap();
         controller.profile.add(c);
         controller.policies.add(DisclosurePolicy::rule(
             "p1",

@@ -20,30 +20,82 @@ use crate::error::NegotiationError;
 use crate::party::Party;
 use crate::strategy::Strategy;
 use crate::view::TrustSequence;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use trust_vo_credential::Credential;
 use trust_vo_crypto::sha256::Sha256;
 use trust_vo_crypto::Digest;
 
 /// A fingerprint of everything phase 1 depends on for one party.
+///
+/// Each credential contributes its *full canonical XML encoding*
+/// (header incl. issuer/subject keys and both validity bounds, every
+/// content attribute, and the issuer signature), not just a projection
+/// of selected header fields. A credential reissued under the same id —
+/// new subject key, changed attributes, shifted `not_before` — therefore
+/// changes the fingerprint and invalidates cached sequences instead of
+/// serving a stale hit.
 fn party_fingerprint(party: &Party) -> Digest {
     let mut h = Sha256::new();
     h.update(party.name.as_bytes());
     h.update(&[0]);
     for cred in party.profile.credentials() {
-        h.update(cred.id().0.as_bytes());
+        // Field-by-field hashing covers the same content as the canonical
+        // XML encoding (it is built from exactly these fields) without
+        // materializing an element tree per negotiation — fingerprints run
+        // on every cache access, and the parallel formation path is
+        // sensitive to their cost.
+        hash_credential(&mut h, cred);
         h.update(&[1]);
-        h.update(cred.cred_type().as_bytes());
-        h.update(&[2]);
+        // Sensitivity lives in the profile, not the credential encoding.
         h.update(party.profile.sensitivity_of(cred.id()).label().as_bytes());
-        h.update(&[3]);
-        h.update(&cred.header.validity.not_after.0.to_be_bytes());
+        h.update(&[2]);
     }
     h.update(&[0xff]);
+    let mut sink = HashWrite(&mut h);
     for policy in party.policies.iter() {
-        h.update(policy.to_string().as_bytes());
-        h.update(&[4]);
+        use std::fmt::Write;
+        let _ = write!(sink, "{policy}");
+        sink.0.update(&[3]);
     }
     h.finalize()
+}
+
+/// Hash every field the canonical credential encoding carries: the full
+/// header (id, type, issuer + key, subject + key, both validity bounds),
+/// every content attribute, and the issuer signature.
+fn hash_credential(h: &mut Sha256, cred: &Credential) {
+    let sep = |h: &mut Sha256| h.update(&[0x1f]);
+    h.update(cred.header.cred_id.0.as_bytes());
+    sep(h);
+    h.update(cred.header.cred_type.as_bytes());
+    sep(h);
+    h.update(cred.header.issuer.as_bytes());
+    h.update(&cred.header.issuer_key.0.to_be_bytes());
+    sep(h);
+    h.update(cred.header.subject.as_bytes());
+    h.update(&cred.header.subject_key.0.to_be_bytes());
+    sep(h);
+    h.update(&cred.header.validity.not_before.0.to_be_bytes());
+    h.update(&cred.header.validity.not_after.0.to_be_bytes());
+    for attr in &cred.content {
+        sep(h);
+        h.update(attr.name.as_bytes());
+        h.update(b"=");
+        h.update(attr.value.canonical().as_bytes());
+    }
+    sep(h);
+    h.update(&cred.signature.r.to_be_bytes());
+    h.update(&cred.signature.s.to_be_bytes());
+}
+
+/// A `fmt::Write` adapter feeding formatted output straight into a hasher.
+struct HashWrite<'a>(&'a mut Sha256);
+
+impl std::fmt::Write for HashWrite<'_> {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        self.0.update(s.as_bytes());
+        Ok(())
+    }
 }
 
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -59,6 +111,7 @@ struct Entry {
     requester_fp: Digest,
     controller_fp: Digest,
     sequence: TrustSequence,
+    last_used: u64,
 }
 
 /// Statistics for the cache ablation bench.
@@ -70,24 +123,70 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries dropped because a fingerprint changed.
     pub invalidations: u64,
+    /// Entries dropped to stay within capacity.
+    pub evictions: u64,
 }
 
-/// A memo of agreed trust sequences.
-#[derive(Debug, Default)]
+impl CacheStats {
+    /// Element-wise sum (used to aggregate per-shard stats).
+    pub fn merge(self, other: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            invalidations: self.invalidations + other.invalidations,
+            evictions: self.evictions + other.evictions,
+        }
+    }
+}
+
+/// Default number of cached sequences per [`SequenceCache`].
+pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
+
+/// A memo of agreed trust sequences, bounded by a least-recently-used
+/// eviction policy.
+#[derive(Debug)]
 pub struct SequenceCache {
     entries: HashMap<Key, Entry>,
+    /// LRU side index: `last_used` tick → key. Ticks are unique, so this
+    /// is a total order; the first entry is the eviction victim.
+    lru: BTreeMap<u64, Key>,
+    capacity: usize,
+    tick: u64,
     stats: CacheStats,
 }
 
+impl Default for SequenceCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl SequenceCache {
-    /// An empty cache.
+    /// An empty cache with [`DEFAULT_CACHE_CAPACITY`].
     pub fn new() -> Self {
-        Self::default()
+        Self::with_capacity(DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// An empty cache holding at most `capacity` sequences (`>= 1`).
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity >= 1, "cache capacity must be at least 1");
+        SequenceCache {
+            entries: HashMap::new(),
+            lru: BTreeMap::new(),
+            capacity,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
     }
 
     /// Cache statistics so far.
     pub fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    /// The configured maximum number of cached sequences.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Number of cached sequences.
@@ -98,6 +197,75 @@ impl SequenceCache {
     /// True when nothing is cached.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Mark `key` as most recently used.
+    fn touch(&mut self, key: &Key) {
+        self.tick += 1;
+        if let Some(entry) = self.entries.get_mut(key) {
+            self.lru.remove(&entry.last_used);
+            entry.last_used = self.tick;
+            self.lru.insert(self.tick, key.clone());
+        }
+    }
+
+    /// Drop the least-recently-used entry to make room.
+    fn evict_one(&mut self) {
+        if let Some((&oldest, _)) = self.lru.iter().next() {
+            if let Some(victim) = self.lru.remove(&oldest) {
+                self.entries.remove(&victim);
+                self.stats.evictions += 1;
+            }
+        }
+    }
+
+    /// Look up a fingerprint-valid cached sequence, updating statistics:
+    /// a valid entry counts a hit (and is touched), a stale entry counts
+    /// an invalidation and is dropped, and absence counts a miss.
+    fn lookup(
+        &mut self,
+        key: &Key,
+        requester_fp: &Digest,
+        controller_fp: &Digest,
+    ) -> Option<TrustSequence> {
+        if let Some(entry) = self.entries.get(key) {
+            if entry.requester_fp == *requester_fp && entry.controller_fp == *controller_fp {
+                self.stats.hits += 1;
+                let sequence = entry.sequence.clone();
+                self.touch(key);
+                return Some(sequence);
+            }
+            self.stats.invalidations += 1;
+            if let Some(old) = self.entries.remove(key) {
+                self.lru.remove(&old.last_used);
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Insert a freshly computed sequence, evicting if at capacity.
+    fn store(
+        &mut self,
+        key: Key,
+        requester_fp: Digest,
+        controller_fp: Digest,
+        sequence: TrustSequence,
+    ) {
+        if self.entries.len() >= self.capacity {
+            self.evict_one();
+        }
+        self.tick += 1;
+        self.lru.insert(self.tick, key.clone());
+        self.entries.insert(
+            key,
+            Entry {
+                requester_fp,
+                controller_fp,
+                sequence,
+                last_used: self.tick,
+            },
+        );
     }
 
     /// Negotiate with sequence reuse: on a fingerprint-valid hit, phase 1
@@ -119,30 +287,124 @@ impl SequenceCache {
         };
         let requester_fp = party_fingerprint(requester);
         let controller_fp = party_fingerprint(controller);
-        if let Some(entry) = self.entries.get(&key) {
-            if entry.requester_fp == requester_fp && entry.controller_fp == controller_fp {
-                self.stats.hits += 1;
-                let phase = PolicyPhase {
-                    resource: resource.to_owned(),
-                    sequence: entry.sequence.clone(),
-                    transcript: crate::transcript::Transcript::new(),
-                    tree: crate::tree::NegotiationTree::new(
-                        resource,
-                        crate::message::Side::Controller,
-                    ),
-                };
-                return exchange_credentials(requester, controller, phase, cfg);
-            }
-            self.stats.invalidations += 1;
-            self.entries.remove(&key);
+        if let Some(sequence) = self.lookup(&key, &requester_fp, &controller_fp) {
+            let phase = cached_phase(resource, sequence);
+            return exchange_credentials(requester, controller, phase, cfg);
         }
-        self.stats.misses += 1;
         let phase = evaluate_policies(requester, controller, resource, cfg)?;
-        self.entries.insert(
-            key,
-            Entry { requester_fp, controller_fp, sequence: phase.sequence.clone() },
+        self.store(key, requester_fp, controller_fp, phase.sequence.clone());
+        exchange_credentials(requester, controller, phase, cfg)
+    }
+}
+
+/// A [`PolicyPhase`] reconstructed from a cached sequence: an empty
+/// transcript (phase 1 was skipped) and a fresh tree.
+fn cached_phase(resource: &str, sequence: TrustSequence) -> PolicyPhase {
+    PolicyPhase {
+        resource: resource.to_owned(),
+        sequence,
+        transcript: crate::transcript::Transcript::new(),
+        tree: crate::tree::NegotiationTree::new(resource, crate::message::Side::Controller),
+    }
+}
+
+/// Default shard count for [`ConcurrentSequenceCache`].
+pub const DEFAULT_CACHE_SHARDS: usize = 16;
+
+/// A sharded, thread-safe sequence cache for parallel batch admission.
+///
+/// Keys are distributed over N independently locked [`SequenceCache`]
+/// shards by hash, so concurrent negotiations over different pairs rarely
+/// contend. The expensive work — phase-1 policy evaluation and phase-2
+/// credential exchange — always runs *outside* the shard lock; a shard is
+/// only held for the memo lookup or insert itself.
+#[derive(Debug)]
+pub struct ConcurrentSequenceCache {
+    shards: Vec<parking_lot::Mutex<SequenceCache>>,
+}
+
+impl Default for ConcurrentSequenceCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ConcurrentSequenceCache {
+    /// [`DEFAULT_CACHE_SHARDS`] shards of [`DEFAULT_CACHE_CAPACITY`] each.
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_CACHE_SHARDS, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// `shards` independently locked caches of `capacity_per_shard` each.
+    pub fn with_shards(shards: usize, capacity_per_shard: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        ConcurrentSequenceCache {
+            shards: (0..shards)
+                .map(|_| parking_lot::Mutex::new(SequenceCache::with_capacity(capacity_per_shard)))
+                .collect(),
+        }
+    }
+
+    fn shard_for(&self, key: &Key) -> &parking_lot::Mutex<SequenceCache> {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() % self.shards.len() as u64) as usize]
+    }
+
+    /// Negotiate with sequence reuse, safe to call from many threads.
+    /// Semantics match [`SequenceCache::negotiate`]; two threads missing
+    /// on the same key may both run phase 1 (last insert wins), which is
+    /// wasteful but correct — the memo only ever holds computed results.
+    pub fn negotiate(
+        &self,
+        requester: &Party,
+        controller: &Party,
+        resource: &str,
+        cfg: &NegotiationConfig,
+    ) -> Result<NegotiationOutcome, NegotiationError> {
+        let key = Key {
+            requester: requester.name.clone(),
+            controller: controller.name.clone(),
+            resource: resource.to_owned(),
+            strategy: cfg.strategy,
+        };
+        let requester_fp = party_fingerprint(requester);
+        let controller_fp = party_fingerprint(controller);
+        let cached = self
+            .shard_for(&key)
+            .lock()
+            .lookup(&key, &requester_fp, &controller_fp);
+        if let Some(sequence) = cached {
+            let phase = cached_phase(resource, sequence);
+            return exchange_credentials(requester, controller, phase, cfg);
+        }
+        let phase = evaluate_policies(requester, controller, resource, cfg)?;
+        self.shard_for(&key).lock().store(
+            key.clone(),
+            requester_fp,
+            controller_fp,
+            phase.sequence.clone(),
         );
         exchange_credentials(requester, controller, phase, cfg)
+    }
+
+    /// Aggregate statistics over all shards.
+    pub fn stats(&self) -> CacheStats {
+        self.shards
+            .iter()
+            .map(|s| s.lock().stats())
+            .fold(CacheStats::default(), CacheStats::merge)
+    }
+
+    /// Total cached sequences across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -164,7 +426,9 @@ mod tests {
         let mut ca = CredentialAuthority::new("CA");
         let mut requester = Party::new("R");
         let mut controller = Party::new("C");
-        let cred = ca.issue("Quality", "R", requester.keys.public, vec![], window()).unwrap();
+        let cred = ca
+            .issue("Quality", "R", requester.keys.public, vec![], window())
+            .unwrap();
         requester.profile.add(cred);
         controller.policies.add(DisclosurePolicy::rule(
             "p",
@@ -181,11 +445,201 @@ mod tests {
         let (requester, controller) = parties();
         let cfg = NegotiationConfig::new(Strategy::Standard, at());
         let mut cache = SequenceCache::new();
-        let first = cache.negotiate(&requester, &controller, "Svc", &cfg).unwrap();
-        let second = cache.negotiate(&requester, &controller, "Svc", &cfg).unwrap();
+        let first = cache
+            .negotiate(&requester, &controller, "Svc", &cfg)
+            .unwrap();
+        let second = cache
+            .negotiate(&requester, &controller, "Svc", &cfg)
+            .unwrap();
         assert_eq!(first.sequence, second.sequence);
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1, invalidations: 0 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                invalidations: 0,
+                evictions: 0
+            }
+        );
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn reissued_credential_with_same_id_invalidates() {
+        use trust_vo_credential::Credential;
+        use trust_vo_crypto::KeyPair;
+
+        let (mut requester, controller) = parties();
+        let cfg = NegotiationConfig::new(Strategy::Standard, at());
+        let mut cache = SequenceCache::new();
+        cache
+            .negotiate(&requester, &controller, "Svc", &cfg)
+            .unwrap();
+
+        // Reissue the credential under the SAME id, type, sensitivity, and
+        // not_after — only the subject key differs. A fingerprint built from
+        // selected header fields would treat this as unchanged and serve a
+        // stale hit; the full-encoding fingerprint must invalidate.
+        let old = requester.profile.credentials()[0].clone();
+        let rogue_keys = KeyPair::from_seed(b"rogue-subject");
+        let mut header = old.header.clone();
+        header.subject_key = rogue_keys.public;
+        let ca_keys = KeyPair::from_seed(b"authority:CA");
+        let reissued = Credential::issue_signed(header, old.content.clone(), &ca_keys);
+        assert_eq!(reissued.id(), old.id());
+        assert_eq!(
+            reissued.header.validity.not_after,
+            old.header.validity.not_after
+        );
+        requester.profile.remove(old.id());
+        requester.profile.add(reissued);
+
+        cache
+            .negotiate(&requester, &controller, "Svc", &cfg)
+            .unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 0, "stale cache hit on a reissued credential");
+        assert_eq!(stats.invalidations, 1);
+        assert_eq!(stats.misses, 2);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_least_recently_used() {
+        let (requester, controller) = parties();
+        let mut cache = SequenceCache::with_capacity(2);
+        let cfg_of = |s| NegotiationConfig::new(s, at());
+        let [a, b, c, _] = Strategy::ALL;
+
+        cache
+            .negotiate(&requester, &controller, "Svc", &cfg_of(a))
+            .unwrap();
+        cache
+            .negotiate(&requester, &controller, "Svc", &cfg_of(b))
+            .unwrap();
+        // Touch `a` so `b` becomes the LRU victim.
+        cache
+            .negotiate(&requester, &controller, "Svc", &cfg_of(a))
+            .unwrap();
+        // Inserting `c` exceeds capacity and evicts `b`.
+        cache
+            .negotiate(&requester, &controller, "Svc", &cfg_of(c))
+            .unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+
+        // `a` survived the eviction...
+        cache
+            .negotiate(&requester, &controller, "Svc", &cfg_of(a))
+            .unwrap();
+        assert_eq!(cache.stats().hits, 2);
+        // ...while `b` was dropped and must recompute.
+        let misses_before = cache.stats().misses;
+        cache
+            .negotiate(&requester, &controller, "Svc", &cfg_of(b))
+            .unwrap();
+        assert_eq!(cache.stats().misses, misses_before + 1);
+    }
+
+    #[test]
+    fn concurrent_cache_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConcurrentSequenceCache>();
+    }
+
+    #[test]
+    fn concurrent_cache_matches_serial_semantics() {
+        let (requester, controller) = parties();
+        let cfg = NegotiationConfig::new(Strategy::Standard, at());
+        let cache = ConcurrentSequenceCache::new();
+        let first = cache
+            .negotiate(&requester, &controller, "Svc", &cfg)
+            .unwrap();
+        let second = cache
+            .negotiate(&requester, &controller, "Svc", &cfg)
+            .unwrap();
+        assert_eq!(first.sequence, second.sequence);
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                invalidations: 0,
+                evictions: 0
+            }
+        );
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_cache_invalidates_on_reissue() {
+        let (mut requester, controller) = parties();
+        let cfg = NegotiationConfig::new(Strategy::Standard, at());
+        let cache = ConcurrentSequenceCache::new();
+        cache
+            .negotiate(&requester, &controller, "Svc", &cfg)
+            .unwrap();
+        let mut ca = CredentialAuthority::new("CA2");
+        let extra = ca
+            .issue("Extra", "R", requester.keys.public, vec![], window())
+            .unwrap();
+        requester.profile.add(extra);
+        cache
+            .negotiate(&requester, &controller, "Svc", &cfg)
+            .unwrap();
+        assert_eq!(cache.stats().invalidations, 1);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn concurrent_cache_shared_across_threads() {
+        let (requester, controller) = parties();
+        let cache = ConcurrentSequenceCache::new();
+        // 4 strategies × 4 repeats each, all through one shared cache.
+        crossbeam::thread::scope(|s| {
+            for strategy in Strategy::ALL {
+                for _ in 0..4 {
+                    let (cache, requester, controller) = (&cache, &requester, &controller);
+                    s.spawn(move |_| {
+                        let cfg = NegotiationConfig::new(strategy, at());
+                        cache.negotiate(requester, controller, "Svc", &cfg).unwrap();
+                    });
+                }
+            }
+        })
+        .unwrap();
+        let stats = cache.stats();
+        // Every negotiation either hit or missed; at least one miss per
+        // strategy, and no entry was ever stale or evicted.
+        assert_eq!(stats.hits + stats.misses, 16);
+        assert!(stats.misses >= 4, "{stats:?}");
+        assert_eq!(stats.invalidations, 0);
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
+    fn stats_merge_sums_fields() {
+        let a = CacheStats {
+            hits: 1,
+            misses: 2,
+            invalidations: 3,
+            evictions: 4,
+        };
+        let b = CacheStats {
+            hits: 10,
+            misses: 20,
+            invalidations: 30,
+            evictions: 40,
+        };
+        assert_eq!(
+            a.merge(b),
+            CacheStats {
+                hits: 11,
+                misses: 22,
+                invalidations: 33,
+                evictions: 44
+            }
+        );
     }
 
     #[test]
@@ -193,13 +647,19 @@ mod tests {
         let (mut requester, controller) = parties();
         let cfg = NegotiationConfig::new(Strategy::Standard, at());
         let mut cache = SequenceCache::new();
-        cache.negotiate(&requester, &controller, "Svc", &cfg).unwrap();
+        cache
+            .negotiate(&requester, &controller, "Svc", &cfg)
+            .unwrap();
         // The requester's profile changes (new credential) — the cached
         // sequence may no longer be optimal/valid.
         let mut ca = CredentialAuthority::new("CA2");
-        let extra = ca.issue("Extra", "R", requester.keys.public, vec![], window()).unwrap();
+        let extra = ca
+            .issue("Extra", "R", requester.keys.public, vec![], window())
+            .unwrap();
         requester.profile.add(extra);
-        cache.negotiate(&requester, &controller, "Svc", &cfg).unwrap();
+        cache
+            .negotiate(&requester, &controller, "Svc", &cfg)
+            .unwrap();
         assert_eq!(cache.stats().invalidations, 1);
         assert_eq!(cache.stats().misses, 2);
     }
@@ -209,11 +669,16 @@ mod tests {
         let (requester, mut controller) = parties();
         let cfg = NegotiationConfig::new(Strategy::Standard, at());
         let mut cache = SequenceCache::new();
-        cache.negotiate(&requester, &controller, "Svc", &cfg).unwrap();
-        controller
-            .policies
-            .add(DisclosurePolicy::deliv("extra", Resource::credential("Whatever")));
-        cache.negotiate(&requester, &controller, "Svc", &cfg).unwrap();
+        cache
+            .negotiate(&requester, &controller, "Svc", &cfg)
+            .unwrap();
+        controller.policies.add(DisclosurePolicy::deliv(
+            "extra",
+            Resource::credential("Whatever"),
+        ));
+        cache
+            .negotiate(&requester, &controller, "Svc", &cfg)
+            .unwrap();
         assert_eq!(cache.stats().invalidations, 1);
     }
 
@@ -222,15 +687,21 @@ mod tests {
         let (requester, mut controller) = parties();
         let cfg = NegotiationConfig::new(Strategy::Standard, at());
         let mut cache = SequenceCache::new();
-        cache.negotiate(&requester, &controller, "Svc", &cfg).unwrap();
+        cache
+            .negotiate(&requester, &controller, "Svc", &cfg)
+            .unwrap();
         // A revocation arrives at the controller (its own fingerprint is
         // unchanged — CRLs are not part of the phase-1 state).
         let victim = requester.profile.credentials()[0].id().clone();
         controller.crl.revoke(victim, at());
-        let err = cache.negotiate(&requester, &controller, "Svc", &cfg).unwrap_err();
+        let err = cache
+            .negotiate(&requester, &controller, "Svc", &cfg)
+            .unwrap_err();
         assert!(matches!(
             err,
-            NegotiationError::TrustFailure { cause: CredentialError::Revoked { .. } }
+            NegotiationError::TrustFailure {
+                cause: CredentialError::Revoked { .. }
+            }
         ));
         // The hit was counted — the cache worked; safety came from phase 2.
         assert_eq!(cache.stats().hits, 1);
@@ -242,7 +713,9 @@ mod tests {
         let mut cache = SequenceCache::new();
         for strategy in Strategy::ALL {
             let cfg = NegotiationConfig::new(strategy, at());
-            cache.negotiate(&requester, &controller, "Svc", &cfg).unwrap();
+            cache
+                .negotiate(&requester, &controller, "Svc", &cfg)
+                .unwrap();
         }
         assert_eq!(cache.len(), 4);
         assert_eq!(cache.stats().misses, 4);

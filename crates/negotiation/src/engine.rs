@@ -131,7 +131,9 @@ impl<'a> Engine<'a> {
         stack.push(key);
         let result = self.plan_release_inner(owner, resource, node, stack);
         stack.pop();
-        if let Some(Plan::Deliv) = &result { self.tree.set_status(node, NodeStatus::Deliv) }
+        if let Some(Plan::Deliv) = &result {
+            self.tree.set_status(node, NodeStatus::Deliv)
+        }
         if result.is_none() {
             self.tree.set_status(node, NodeStatus::Failed);
         }
@@ -146,11 +148,18 @@ impl<'a> Engine<'a> {
         stack: &mut Vec<(Side, String)>,
     ) -> Option<Plan> {
         let owner_party = self.party(owner);
-        let alternatives: Vec<DisclosurePolicy> =
-            owner_party.alternatives_for(resource).into_iter().cloned().collect();
+        let alternatives: Vec<DisclosurePolicy> = owner_party
+            .alternatives_for(resource)
+            .into_iter()
+            .cloned()
+            .collect();
         // The counterpart asks for the resource's policies.
-        self.transcript
-            .log(owner.other(), Message::PolicyRequest { resource: resource.to_owned() });
+        self.transcript.log(
+            owner.other(),
+            Message::PolicyRequest {
+                resource: resource.to_owned(),
+            },
+        );
         if alternatives.is_empty() {
             // Ungoverned resources are freely released.
             return Some(Plan::Deliv);
@@ -159,8 +168,12 @@ impl<'a> Engine<'a> {
             // Trusting: every alternative is disclosed in one message.
             self.transcript.policies_disclosed += alternatives.len();
             self.transcript.policy_rounds += 1;
-            self.transcript
-                .log(owner, Message::PolicyDisclosure { policies: alternatives.clone() });
+            self.transcript.log(
+                owner,
+                Message::PolicyDisclosure {
+                    policies: alternatives.clone(),
+                },
+            );
         }
         for policy in &alternatives {
             if !self.cfg.strategy.batches_alternatives() {
@@ -170,8 +183,12 @@ impl<'a> Engine<'a> {
                 let messages = terms.div_ceil(per_message.max(1)).max(1);
                 self.transcript.policy_rounds += messages;
                 for _ in 0..messages {
-                    self.transcript
-                        .log(owner, Message::PolicyDisclosure { policies: vec![policy.clone()] });
+                    self.transcript.log(
+                        owner,
+                        Message::PolicyDisclosure {
+                            policies: vec![policy.clone()],
+                        },
+                    );
                 }
             }
             if policy.is_deliv() {
@@ -214,8 +231,12 @@ impl<'a> Engine<'a> {
                 .collect();
             if candidates.is_empty() {
                 if self.cfg.strategy.reveals_missing() {
-                    self.transcript
-                        .log(counterpart, Message::NotPossessed { resource: term.key() });
+                    self.transcript.log(
+                        counterpart,
+                        Message::NotPossessed {
+                            resource: term.key(),
+                        },
+                    );
                 } else {
                     self.transcript.log(counterpart, Message::Decline);
                 }
@@ -298,7 +319,10 @@ pub fn evaluate_policies(
     };
     engine.transcript.log(
         Side::Requester,
-        Message::Start { resource: resource.to_owned(), strategy: cfg.strategy },
+        Message::Start {
+            resource: resource.to_owned(),
+            strategy: cfg.strategy,
+        },
     );
     let mut stack = Vec::new();
     let root = engine.tree.root();
@@ -306,7 +330,9 @@ pub fn evaluate_policies(
     if engine.transcript.message_count() > cfg.max_messages {
         engine.transcript.log(
             Side::Controller,
-            Message::Failure { reason: "message budget exhausted".into() },
+            Message::Failure {
+                reason: "message budget exhausted".into(),
+            },
         );
         return Err(NegotiationError::Interrupted {
             reason: format!(
@@ -318,9 +344,13 @@ pub fn evaluate_policies(
     let Some(plan) = plan else {
         engine.transcript.log(
             Side::Controller,
-            Message::Failure { reason: "no satisfiable view".into() },
+            Message::Failure {
+                reason: "no satisfiable view".into(),
+            },
         );
-        return Err(NegotiationError::NoTrustSequence { resource: resource.to_owned() });
+        return Err(NegotiationError::NoTrustSequence {
+            resource: resource.to_owned(),
+        });
     };
     let mut sequence = TrustSequence::new();
     sequence_of(&plan, &mut sequence);
@@ -340,9 +370,32 @@ pub fn exchange_credentials(
     phase: PolicyPhase,
     cfg: &NegotiationConfig,
 ) -> Result<NegotiationOutcome, NegotiationError> {
-    let PolicyPhase { resource, sequence, mut transcript, mut tree } = phase;
+    let PolicyPhase {
+        resource,
+        sequence,
+        mut transcript,
+        mut tree,
+    } = phase;
     let nonce = session_nonce(requester, controller, &resource);
     for disclosure in sequence.disclosures() {
+        // The message budget covers the whole negotiation, not just the
+        // policy phase: each disclosure adds two messages (credential +
+        // ack), so stop before starting one that cannot fit.
+        if transcript.message_count() >= cfg.max_messages {
+            transcript.log(
+                Side::Controller,
+                Message::Failure {
+                    reason: "message budget exhausted".into(),
+                },
+            );
+            tree.set_status(tree.root(), NodeStatus::Failed);
+            return Err(NegotiationError::Interrupted {
+                reason: format!(
+                    "credential exchange exceeded the {}-message budget",
+                    cfg.max_messages
+                ),
+            });
+        }
         let sender = match disclosure.by {
             Side::Requester => requester,
             Side::Controller => controller,
@@ -376,7 +429,9 @@ pub fn exchange_credentials(
         if let Err(cause) = check {
             transcript.log(
                 disclosure.by.other(),
-                Message::Failure { reason: cause.to_string() },
+                Message::Failure {
+                    reason: cause.to_string(),
+                },
             );
             tree.set_status(tree.root(), NodeStatus::Failed);
             return Err(NegotiationError::TrustFailure { cause });
@@ -387,7 +442,12 @@ pub fn exchange_credentials(
         transcript.log(disclosure.by.other(), Message::Ack);
     }
     transcript.log(Side::Controller, Message::Success);
-    Ok(NegotiationOutcome { resource, sequence, transcript, tree })
+    Ok(NegotiationOutcome {
+        resource,
+        sequence,
+        transcript,
+        tree,
+    })
 }
 
 /// Run a full two-phase negotiation: `requester` asks `controller` for
@@ -483,8 +543,11 @@ pub fn count_views(
             Side::Requester => requester,
             Side::Controller => controller,
         };
-        let alternatives: Vec<DisclosurePolicy> =
-            owner_party.alternatives_for(resource).into_iter().cloned().collect();
+        let alternatives: Vec<DisclosurePolicy> = owner_party
+            .alternatives_for(resource)
+            .into_iter()
+            .cloned()
+            .collect();
         let mut total = 0usize;
         if alternatives.is_empty() {
             total = 1;
@@ -535,7 +598,15 @@ pub fn count_views(
         total
     }
     let mut stack = Vec::new();
-    views(requester, controller, cfg, Side::Controller, resource, &mut stack, cap)
+    views(
+        requester,
+        controller,
+        cfg,
+        Side::Controller,
+        resource,
+        &mut stack,
+        cap,
+    )
 }
 
 // The `PolicyId` import is used in tree interactions; re-exported here for
@@ -577,10 +648,18 @@ mod tests {
                 window(),
             )
             .unwrap();
-        aerospace.profile.add_with_sensitivity(quality, Sensitivity::Medium);
+        aerospace
+            .profile
+            .add_with_sensitivity(quality, Sensitivity::Medium);
 
         let accreditation = ca
-            .issue("AAACreditation", &aircraft.name, aircraft.keys.public, vec![], window())
+            .issue(
+                "AAACreditation",
+                &aircraft.name,
+                aircraft.keys.public,
+                vec![],
+                window(),
+            )
             .unwrap();
         aircraft.profile.add(accreditation);
         let sheet = ca
@@ -601,12 +680,14 @@ mod tests {
             vec![Term::of_type("WebDesignerQuality")],
         ));
         // Aircraft's credentials are freely deliverable.
-        aircraft
-            .policies
-            .add(DisclosurePolicy::deliv("d1", Resource::credential("AAACreditation")));
-        aircraft
-            .policies
-            .add(DisclosurePolicy::deliv("d2", Resource::credential("BalanceSheet")));
+        aircraft.policies.add(DisclosurePolicy::deliv(
+            "d1",
+            Resource::credential("AAACreditation"),
+        ));
+        aircraft.policies.add(DisclosurePolicy::deliv(
+            "d2",
+            Resource::credential("BalanceSheet"),
+        ));
 
         // Requester policy: WebDesignerQuality <- AAACreditation | BalanceSheet.
         aerospace.policies.add(DisclosurePolicy::rule(
@@ -710,7 +791,9 @@ mod tests {
         assert!(
             matches!(
                 &err,
-                NegotiationError::TrustFailure { cause: CredentialError::Revoked { .. } }
+                NegotiationError::TrustFailure {
+                    cause: CredentialError::Revoked { .. }
+                }
             ),
             "{err:?}"
         );
@@ -752,7 +835,9 @@ mod tests {
         let err = negotiate(&aerospace, &aircraft, "VoMembership", &cfg).unwrap_err();
         assert!(matches!(
             err,
-            NegotiationError::TrustFailure { cause: CredentialError::UnknownIssuer(_) }
+            NegotiationError::TrustFailure {
+                cause: CredentialError::UnknownIssuer(_)
+            }
         ));
     }
 
@@ -778,8 +863,16 @@ mod tests {
         a.profile.add(ax);
         let bx = ca.issue("X", "B", b.keys.public, vec![], window()).unwrap();
         b.profile.add(bx);
-        a.policies.add(DisclosurePolicy::rule("pa", Resource::credential("Y"), vec![Term::of_type("X")]));
-        b.policies.add(DisclosurePolicy::rule("pb", Resource::credential("X"), vec![Term::of_type("Y")]));
+        a.policies.add(DisclosurePolicy::rule(
+            "pa",
+            Resource::credential("Y"),
+            vec![Term::of_type("X")],
+        ));
+        b.policies.add(DisclosurePolicy::rule(
+            "pb",
+            Resource::credential("X"),
+            vec![Term::of_type("Y")],
+        ));
         b.policies.add(DisclosurePolicy::rule(
             "root",
             Resource::service("Svc"),
@@ -831,8 +924,12 @@ mod tests {
         let (aerospace, aircraft, _) = fig2_parties();
         let cfg = NegotiationConfig::new(Strategy::Standard, at());
         // Two views: via AAACreditation and via BalanceSheet.
-        assert_eq!(count_views(&aerospace, &aircraft, "VoMembership", &cfg, 100), 2);
-        assert_eq!(count_views(&aerospace, &aircraft, "Nothing", &cfg, 100), 1); // ungoverned
+        assert_eq!(
+            count_views(&aerospace, &aircraft, "VoMembership", &cfg, 100),
+            2
+        );
+        assert_eq!(count_views(&aerospace, &aircraft, "Nothing", &cfg, 100), 1);
+        // ungoverned
     }
 
     #[test]
@@ -842,8 +939,20 @@ mod tests {
         let outcome = negotiate(&aerospace, &aircraft, "VoMembership", &cfg).unwrap();
         // The aircraft's accreditation must precede the aerospace quality
         // credential it unlocks.
-        let accr = aircraft.profile.of_type("AAACreditation").next().unwrap().id().clone();
-        let quality = aerospace.profile.of_type("WebDesignerQuality").next().unwrap().id().clone();
+        let accr = aircraft
+            .profile
+            .of_type("AAACreditation")
+            .next()
+            .unwrap()
+            .id()
+            .clone();
+        let quality = aerospace
+            .profile
+            .of_type("WebDesignerQuality")
+            .next()
+            .unwrap()
+            .id()
+            .clone();
         assert!(outcome.sequence.respects_order(&[(accr, quality)]));
     }
 }
@@ -924,7 +1033,9 @@ mod chain_tests {
         let err = negotiate(&requester, &controller, "Svc", &cfg).unwrap_err();
         assert!(matches!(
             err,
-            NegotiationError::TrustFailure { cause: CredentialError::UnknownIssuer(_) }
+            NegotiationError::TrustFailure {
+                cause: CredentialError::UnknownIssuer(_)
+            }
         ));
     }
 
@@ -938,7 +1049,9 @@ mod chain_tests {
         let err = negotiate(&requester, &controller, "Svc", &cfg).unwrap_err();
         assert!(matches!(
             err,
-            NegotiationError::TrustFailure { cause: CredentialError::Revoked { .. } }
+            NegotiationError::TrustFailure {
+                cause: CredentialError::Revoked { .. }
+            }
         ));
     }
 }
@@ -961,8 +1074,14 @@ mod budget_tests {
             let mut controller = Party::new("C");
             for level in 0..8usize {
                 let ty = format!("T{level}");
-                let owner = if level % 2 == 0 { &mut requester } else { &mut controller };
-                let cred = ca.issue(&ty, &owner.name.clone(), owner.keys.public, vec![], window).unwrap();
+                let owner = if level % 2 == 0 {
+                    &mut requester
+                } else {
+                    &mut controller
+                };
+                let cred = ca
+                    .issue(&ty, &owner.name.clone(), owner.keys.public, vec![], window)
+                    .unwrap();
                 owner.profile.add(cred);
                 let resource = Resource::credential(ty);
                 if level + 1 < 8 {
@@ -972,7 +1091,9 @@ mod budget_tests {
                         vec![Term::of_type(format!("T{}", level + 1))],
                     ));
                 } else {
-                    owner.policies.add(DisclosurePolicy::deliv(format!("d{level}"), resource));
+                    owner
+                        .policies
+                        .add(DisclosurePolicy::deliv(format!("d{level}"), resource));
                 }
             }
             controller.policies.add(DisclosurePolicy::rule(
@@ -988,10 +1109,60 @@ mod budget_tests {
         let mut cfg = NegotiationConfig::new(Strategy::Standard, at);
         cfg.max_messages = 5;
         let err = negotiate(&requester, &controller, "Svc", &cfg).unwrap_err();
-        assert!(matches!(err, NegotiationError::Interrupted { .. }), "{err:?}");
+        assert!(
+            matches!(err, NegotiationError::Interrupted { .. }),
+            "{err:?}"
+        );
         // With the default budget it completes.
         let cfg = NegotiationConfig::new(Strategy::Standard, at);
         assert!(negotiate(&requester, &controller, "Svc", &cfg).is_ok());
+    }
+
+    #[test]
+    fn message_budget_enforced_during_credential_exchange() {
+        use trust_vo_credential::{CredentialAuthority, TimeRange};
+        use trust_vo_policy::{DisclosurePolicy, Resource, Term};
+        // Shallow policy phase (one rule, three terms) but a three-credential
+        // exchange: the budget must also interrupt phase 2.
+        let window = TimeRange::one_year_from(Timestamp::from_ymd_hms(2009, 1, 1, 0, 0, 0));
+        let mut ca = CredentialAuthority::new("CA");
+        let mut requester = Party::new("R");
+        let mut controller = Party::new("C");
+        for ty in ["A", "B", "C"] {
+            let cred = ca
+                .issue(ty, "R", requester.keys.public, vec![], window)
+                .unwrap();
+            requester.profile.add(cred);
+        }
+        controller.policies.add(DisclosurePolicy::rule(
+            "p",
+            Resource::service("Svc"),
+            vec![Term::of_type("A"), Term::of_type("B"), Term::of_type("C")],
+        ));
+        requester.trust_root(ca.public_key());
+        controller.trust_root(ca.public_key());
+
+        let at = Timestamp::from_ymd_hms(2009, 6, 1, 0, 0, 0);
+        let cfg = NegotiationConfig::new(Strategy::Standard, at);
+        // Phase 1 fits the budget on its own...
+        let phase = evaluate_policies(&requester, &controller, "Svc", &cfg).unwrap();
+        let phase1_messages = phase.transcript.message_count();
+        assert_eq!(phase.sequence.disclosures().len(), 3);
+
+        // ...but allow only one more message, so the exchange (two messages
+        // per disclosure) must hit the ceiling mid-phase-2.
+        let mut tight = cfg.clone();
+        tight.max_messages = phase1_messages + 1;
+        assert!(phase1_messages <= tight.max_messages);
+        let err = negotiate(&requester, &controller, "Svc", &tight).unwrap_err();
+        assert!(
+            matches!(err, NegotiationError::Interrupted { .. }),
+            "{err:?}"
+        );
+
+        // The untightened budget completes and discloses all three.
+        let ok = negotiate(&requester, &controller, "Svc", &cfg).unwrap();
+        assert_eq!(ok.transcript.credentials_disclosed, 3);
     }
 }
 
@@ -1012,7 +1183,9 @@ mod strategy_message_tests {
         let mut requester = Party::new("R");
         let mut controller = Party::new("C");
         for ty in ["A", "B", "C"] {
-            let cred = ca.issue(ty, "R", requester.keys.public, vec![], window).unwrap();
+            let cred = ca
+                .issue(ty, "R", requester.keys.public, vec![], window)
+                .unwrap();
             requester.profile.add(cred);
         }
         controller.policies.add(DisclosurePolicy::rule(
@@ -1024,17 +1197,28 @@ mod strategy_message_tests {
         controller.trust_root(ca.public_key());
 
         let standard = negotiate(
-            &requester, &controller, "Svc",
+            &requester,
+            &controller,
+            "Svc",
             &NegotiationConfig::new(Strategy::Standard, at),
-        ).unwrap();
+        )
+        .unwrap();
         let strong = negotiate(
-            &requester, &controller, "Svc",
+            &requester,
+            &controller,
+            "Svc",
             &NegotiationConfig::new(Strategy::StrongSuspicious, at),
-        ).unwrap();
+        )
+        .unwrap();
         // Standard: the whole policy in 1 round; strong: 3 rounds.
-        assert_eq!(standard.transcript.policy_rounds + 2, strong.transcript.policy_rounds);
-        assert_eq!(standard.transcript.count_tag("policy-disclosure") + 2,
-                   strong.transcript.count_tag("policy-disclosure"));
+        assert_eq!(
+            standard.transcript.policy_rounds + 2,
+            strong.transcript.policy_rounds
+        );
+        assert_eq!(
+            standard.transcript.count_tag("policy-disclosure") + 2,
+            strong.transcript.count_tag("policy-disclosure")
+        );
         // Same trust sequence either way.
         assert_eq!(standard.sequence, strong.sequence);
     }
@@ -1057,8 +1241,12 @@ mod count_views_validity_tests {
         let mut controller = Party::new("C");
         let fresh_window = TimeRange::one_year_from(Timestamp::from_ymd_hms(2009, 1, 1, 0, 0, 0));
         let stale_window = TimeRange::one_year_from(Timestamp::from_ymd_hms(2005, 1, 1, 0, 0, 0));
-        let valid = ca.issue("T", "R", requester.keys.public, vec![], fresh_window).unwrap();
-        let expired = ca.issue("T", "R", requester.keys.public, vec![], stale_window).unwrap();
+        let valid = ca
+            .issue("T", "R", requester.keys.public, vec![], fresh_window)
+            .unwrap();
+        let expired = ca
+            .issue("T", "R", requester.keys.public, vec![], stale_window)
+            .unwrap();
         requester.profile.add(valid);
         requester.profile.add(expired);
         controller.policies.add(DisclosurePolicy::rule(
@@ -1068,7 +1256,10 @@ mod count_views_validity_tests {
         ));
         requester.trust_root(ca.public_key());
         controller.trust_root(ca.public_key());
-        let cfg = NegotiationConfig::new(Strategy::Standard, Timestamp::from_ymd_hms(2009, 6, 1, 0, 0, 0));
+        let cfg = NegotiationConfig::new(
+            Strategy::Standard,
+            Timestamp::from_ymd_hms(2009, 6, 1, 0, 0, 0),
+        );
         let counted = count_views(&requester, &controller, "Svc", &cfg, 100);
         let enumerated =
             crate::enumerate::enumerate_sequences(&requester, &controller, "Svc", &cfg, 100).len();

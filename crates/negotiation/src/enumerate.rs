@@ -27,7 +27,15 @@ pub fn enumerate_sequences(
     cap: usize,
 ) -> Vec<TrustSequence> {
     let mut stack = Vec::new();
-    let partials = release_options(requester, controller, cfg, Side::Controller, resource, &mut stack, cap);
+    let partials = release_options(
+        requester,
+        controller,
+        cfg,
+        Side::Controller,
+        resource,
+        &mut stack,
+        cap,
+    );
     partials
         .into_iter()
         .take(cap)
@@ -64,7 +72,11 @@ fn release_options(
         Side::Requester => requester,
         Side::Controller => controller,
     };
-    let alternatives: Vec<_> = owner_party.alternatives_for(resource).into_iter().cloned().collect();
+    let alternatives: Vec<_> = owner_party
+        .alternatives_for(resource)
+        .into_iter()
+        .cloned()
+        .collect();
     let mut out: Vec<Vec<Disclosure>> = Vec::new();
     if alternatives.is_empty() {
         out.push(Vec::new()); // ungoverned ⇒ freely released
@@ -142,17 +154,10 @@ fn release_options(
 /// Selection criterion over enumerated sequences: fewest total
 /// disclosures, ties broken by fewest disclosures made by `minimize_side`,
 /// then by display order (deterministic).
-pub fn choose_minimal(
-    sequences: &[TrustSequence],
-    minimize_side: Side,
-) -> Option<&TrustSequence> {
-    sequences.iter().min_by_key(|s| {
-        (
-            s.len(),
-            s.by_side(minimize_side).count(),
-            s.to_string(),
-        )
-    })
+pub fn choose_minimal(sequences: &[TrustSequence], minimize_side: Side) -> Option<&TrustSequence> {
+    sequences
+        .iter()
+        .min_by_key(|s| (s.len(), s.by_side(minimize_side).count(), s.to_string()))
 }
 
 #[cfg(test)]
@@ -177,10 +182,14 @@ mod tests {
         let mut requester = Party::new("R");
         let mut controller = Party::new("C");
         for ty in ["Quality", "Sheet", "Member"] {
-            let cred = ca.issue(ty, "R", requester.keys.public, vec![], window()).unwrap();
+            let cred = ca
+                .issue(ty, "R", requester.keys.public, vec![], window())
+                .unwrap();
             requester.profile.add(cred);
         }
-        let accr = ca.issue("Accr", "C", controller.keys.public, vec![], window()).unwrap();
+        let accr = ca
+            .issue("Accr", "C", controller.keys.public, vec![], window())
+            .unwrap();
         controller.profile.add(accr);
         controller.policies.add(DisclosurePolicy::rule(
             "alt1",
@@ -245,7 +254,11 @@ mod tests {
     fn unsatisfiable_resource_yields_nothing() {
         let (mut requester, controller) = world();
         for ty in ["Quality", "Sheet", "Member"] {
-            let ids: Vec<_> = requester.profile.of_type(ty).map(|c| c.id().clone()).collect();
+            let ids: Vec<_> = requester
+                .profile
+                .of_type(ty)
+                .map(|c| c.id().clone())
+                .collect();
             for id in ids {
                 requester.profile.remove(&id);
             }
@@ -313,9 +326,9 @@ pub fn negotiate_with_selection(
     let sequences = enumerate_sequences(requester, controller, resource, cfg, cap);
     let chosen = match policy {
         SelectionPolicy::First => unreachable!("handled above"),
-        SelectionPolicy::MinimalDisclosures => sequences
-            .iter()
-            .min_by_key(|s| (s.len(), s.to_string())),
+        SelectionPolicy::MinimalDisclosures => {
+            sequences.iter().min_by_key(|s| (s.len(), s.to_string()))
+        }
         SelectionPolicy::MinimizeRequester => choose_minimal(&sequences, Side::Requester),
         SelectionPolicy::MinimizeController => choose_minimal(&sequences, Side::Controller),
     };
@@ -355,10 +368,14 @@ mod selection_tests {
         let mut requester = Party::new("R");
         let mut controller = Party::new("C");
         for ty in ["Sheet", "Member", "Quality"] {
-            let cred = ca.issue(ty, "R", requester.keys.public, vec![], window()).unwrap();
+            let cred = ca
+                .issue(ty, "R", requester.keys.public, vec![], window())
+                .unwrap();
             requester.profile.add(cred);
         }
-        let accr = ca.issue("Accr", "C", controller.keys.public, vec![], window()).unwrap();
+        let accr = ca
+            .issue("Accr", "C", controller.keys.public, vec![], window())
+            .unwrap();
         controller.profile.add(accr);
         controller.policies.add(DisclosurePolicy::rule(
             "two-cred-route",
@@ -370,7 +387,9 @@ mod selection_tests {
             Resource::service("Svc"),
             vec![Term::of_type("Quality")],
         ));
-        controller.policies.add(DisclosurePolicy::deliv("d", Resource::credential("Accr")));
+        controller
+            .policies
+            .add(DisclosurePolicy::deliv("d", Resource::credential("Accr")));
         requester.policies.add(DisclosurePolicy::rule(
             "q",
             Resource::credential("Quality"),
@@ -386,7 +405,12 @@ mod selection_tests {
         let (requester, controller) = world();
         let cfg = NegotiationConfig::new(Strategy::Standard, at());
         let outcome = negotiate_with_selection(
-            &requester, &controller, "Svc", &cfg, SelectionPolicy::First, 100,
+            &requester,
+            &controller,
+            "Svc",
+            &cfg,
+            SelectionPolicy::First,
+            100,
         )
         .unwrap();
         // The engine tries "two-cred-route" first.
@@ -399,7 +423,12 @@ mod selection_tests {
         let (requester, controller) = world();
         let cfg = NegotiationConfig::new(Strategy::Standard, at());
         let outcome = negotiate_with_selection(
-            &requester, &controller, "Svc", &cfg, SelectionPolicy::MinimizeRequester, 100,
+            &requester,
+            &controller,
+            "Svc",
+            &cfg,
+            SelectionPolicy::MinimizeRequester,
+            100,
         )
         .unwrap();
         assert_eq!(outcome.sequence.by_side(Side::Requester).count(), 1);
@@ -417,7 +446,12 @@ mod selection_tests {
         let (requester, controller) = world();
         let cfg = NegotiationConfig::new(Strategy::Standard, at());
         let outcome = negotiate_with_selection(
-            &requester, &controller, "Svc", &cfg, SelectionPolicy::MinimizeController, 100,
+            &requester,
+            &controller,
+            "Svc",
+            &cfg,
+            SelectionPolicy::MinimizeController,
+            100,
         )
         .unwrap();
         assert_eq!(outcome.sequence.by_side(Side::Controller).count(), 0);
@@ -428,7 +462,12 @@ mod selection_tests {
         let (requester, controller) = world();
         let cfg = NegotiationConfig::new(Strategy::Standard, at());
         let outcome = negotiate_with_selection(
-            &requester, &controller, "Svc", &cfg, SelectionPolicy::MinimalDisclosures, 100,
+            &requester,
+            &controller,
+            "Svc",
+            &cfg,
+            SelectionPolicy::MinimalDisclosures,
+            100,
         )
         .unwrap();
         // Both routes need 2 disclosures in total; any is acceptable, but
@@ -441,16 +480,28 @@ mod selection_tests {
     fn unsatisfiable_selection_errors() {
         let (mut requester, controller) = world();
         for ty in ["Sheet", "Member", "Quality"] {
-            let ids: Vec<_> = requester.profile.of_type(ty).map(|c| c.id().clone()).collect();
+            let ids: Vec<_> = requester
+                .profile
+                .of_type(ty)
+                .map(|c| c.id().clone())
+                .collect();
             for id in ids {
                 requester.profile.remove(&id);
             }
         }
         let cfg = NegotiationConfig::new(Strategy::Standard, at());
         let err = negotiate_with_selection(
-            &requester, &controller, "Svc", &cfg, SelectionPolicy::MinimalDisclosures, 100,
+            &requester,
+            &controller,
+            "Svc",
+            &cfg,
+            SelectionPolicy::MinimalDisclosures,
+            100,
         )
         .unwrap_err();
-        assert!(matches!(err, crate::error::NegotiationError::NoTrustSequence { .. }));
+        assert!(matches!(
+            err,
+            crate::error::NegotiationError::NoTrustSequence { .. }
+        ));
     }
 }

@@ -72,13 +72,19 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = NegotiationError::NoTrustSequence { resource: "VoMembership".into() };
+        let e = NegotiationError::NoTrustSequence {
+            resource: "VoMembership".into(),
+        };
         assert!(e.to_string().contains("VoMembership"));
-        let e: NegotiationError =
-            CredentialError::Revoked { cred_id: "c1".into() }.into();
+        let e: NegotiationError = CredentialError::Revoked {
+            cred_id: "c1".into(),
+        }
+        .into();
         assert!(e.to_string().contains("revoked"));
         assert!(std::error::Error::source(&e).is_some());
-        let e = NegotiationError::Interrupted { reason: "timeout".into() };
+        let e = NegotiationError::Interrupted {
+            reason: "timeout".into(),
+        };
         assert!(std::error::Error::source(&e).is_none());
     }
 }

@@ -42,14 +42,16 @@ pub mod transcript;
 pub mod tree;
 pub mod view;
 
+pub use cache::{CacheStats, ConcurrentSequenceCache, SequenceCache};
 pub use engine::{
     count_views, evaluate_policies, exchange_credentials, negotiate, NegotiationConfig,
     NegotiationOutcome, PolicyPhase,
 };
-pub use enumerate::{choose_minimal, enumerate_sequences, negotiate_with_selection, SelectionPolicy};
+pub use enumerate::{
+    choose_minimal, enumerate_sequences, negotiate_with_selection, SelectionPolicy,
+};
 pub use error::NegotiationError;
 pub use party::Party;
 pub use strategy::Strategy;
 pub use ticket::{negotiate_with_ticket, TrustTicket};
 pub use transcript::Transcript;
-pub use cache::SequenceCache;

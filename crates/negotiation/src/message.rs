@@ -119,15 +119,28 @@ mod tests {
     #[test]
     fn tags_cover_all_variants() {
         let msgs = [
-            Message::Start { resource: "r".into(), strategy: Strategy::Standard },
-            Message::PolicyRequest { resource: "r".into() },
+            Message::Start {
+                resource: "r".into(),
+                strategy: Strategy::Standard,
+            },
+            Message::PolicyRequest {
+                resource: "r".into(),
+            },
             Message::PolicyDisclosure { policies: vec![] },
-            Message::NotPossessed { resource: "r".into() },
+            Message::NotPossessed {
+                resource: "r".into(),
+            },
             Message::Decline,
-            Message::CredentialDisclosure { cred_id: "c".into(), xml: "<x/>".into(), ownership: None },
+            Message::CredentialDisclosure {
+                cred_id: "c".into(),
+                xml: "<x/>".into(),
+                ownership: None,
+            },
             Message::Ack,
             Message::Success,
-            Message::Failure { reason: "nope".into() },
+            Message::Failure {
+                reason: "nope".into(),
+            },
         ];
         let tags: Vec<_> = msgs.iter().map(Message::tag).collect();
         assert_eq!(tags.len(), 9);

@@ -114,13 +114,27 @@ mod tests {
         let mut ca = CredentialAuthority::new("CA");
         let mut p = Party::new("X");
         let high = ca
-            .issue("T", "X", p.keys.public, vec![Attribute::new("k", "v")], window())
+            .issue(
+                "T",
+                "X",
+                p.keys.public,
+                vec![Attribute::new("k", "v")],
+                window(),
+            )
             .unwrap();
         let low = ca
-            .issue("T", "X", p.keys.public, vec![Attribute::new("k", "v")], window())
+            .issue(
+                "T",
+                "X",
+                p.keys.public,
+                vec![Attribute::new("k", "v")],
+                window(),
+            )
             .unwrap();
-        p.profile.add_with_sensitivity(high.clone(), Sensitivity::High);
-        p.profile.add_with_sensitivity(low.clone(), Sensitivity::Low);
+        p.profile
+            .add_with_sensitivity(high.clone(), Sensitivity::High);
+        p.profile
+            .add_with_sensitivity(low.clone(), Sensitivity::Low);
         let found = p.satisfying(&Term::of_type("T"));
         assert_eq!(found.len(), 2);
         assert_eq!(found[0].id(), low.id());
@@ -130,7 +144,8 @@ mod tests {
     #[test]
     fn alternatives_reflect_policy_set() {
         let mut p = Party::new("X");
-        p.policies.add(DisclosurePolicy::deliv("d", Resource::credential("Free")));
+        p.policies
+            .add(DisclosurePolicy::deliv("d", Resource::credential("Free")));
         assert_eq!(p.alternatives_for("Free").len(), 1);
         assert!(p.alternatives_for("Other").is_empty());
     }

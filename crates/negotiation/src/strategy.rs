@@ -150,7 +150,11 @@ mod tests {
         // §6.3: plain X.509v2 supports only standard and trusting.
         for s in Strategy::ALL {
             let ok = s.compatible_with(CredentialFormat::X509v2);
-            assert_eq!(ok, matches!(s, Strategy::Standard | Strategy::Trusting), "{s}");
+            assert_eq!(
+                ok,
+                matches!(s, Strategy::Standard | Strategy::Trusting),
+                "{s}"
+            );
             // Every strategy works on X-TNL and on the selective extension.
             assert!(s.compatible_with(CredentialFormat::Xtnl));
             assert!(s.compatible_with(CredentialFormat::SelectiveX509));

@@ -98,7 +98,9 @@ impl TrustTicket {
             self.validity,
         );
         if !self.issuer_key.verify(&bytes, &self.signature) {
-            return Err(CredentialError::BadSignature { cred_id: format!("ticket:{}", self.resource) });
+            return Err(CredentialError::BadSignature {
+                cred_id: format!("ticket:{}", self.resource),
+            });
         }
         if !self.validity.contains(at) {
             return Err(CredentialError::Expired {
@@ -181,7 +183,13 @@ pub fn negotiate_with_ticket(
         }
     }
     crate::engine::negotiate(requester, controller, resource, cfg)?;
-    let fresh = TrustTicket::issue(requester, controller, &controller.keys, resource, ticket_validity);
+    let fresh = TrustTicket::issue(
+        requester,
+        controller,
+        &controller.keys,
+        resource,
+        ticket_validity,
+    );
     Ok((fresh, false))
 }
 
@@ -204,7 +212,9 @@ mod tests {
         let mut ca = CredentialAuthority::new("CA");
         let mut requester = Party::new("R");
         let mut controller = Party::new("C");
-        let cred = ca.issue("Quality", "R", requester.keys.public, vec![], window()).unwrap();
+        let cred = ca
+            .issue("Quality", "R", requester.keys.public, vec![], window())
+            .unwrap();
         requester.profile.add(cred);
         controller.policies.add(DisclosurePolicy::rule(
             "p",
@@ -219,8 +229,7 @@ mod tests {
     #[test]
     fn issue_and_verify() {
         let (requester, controller) = parties();
-        let ticket =
-            TrustTicket::issue(&requester, &controller, &controller.keys, "Svc", window());
+        let ticket = TrustTicket::issue(&requester, &controller, &controller.keys, "Svc", window());
         assert!(ticket.verify(at()).is_ok());
         assert!(ticket.verify(window().not_after.plus_days(1)).is_err());
     }
@@ -231,15 +240,17 @@ mod tests {
         let mut ticket =
             TrustTicket::issue(&requester, &controller, &controller.keys, "Svc", window());
         ticket.resource = "OtherSvc".into();
-        assert!(matches!(ticket.verify(at()), Err(CredentialError::BadSignature { .. })));
+        assert!(matches!(
+            ticket.verify(at()),
+            Err(CredentialError::BadSignature { .. })
+        ));
     }
 
     #[test]
     fn redeem_happy_path() {
         let (requester, controller) = parties();
         let cfg = NegotiationConfig::new(Strategy::Standard, at());
-        let ticket =
-            TrustTicket::issue(&requester, &controller, &controller.keys, "Svc", window());
+        let ticket = TrustTicket::issue(&requester, &controller, &controller.keys, "Svc", window());
         let nonce = session_nonce(&requester, &controller, "Svc");
         let proof = requester.keys.sign(&nonce);
         assert_eq!(
@@ -253,8 +264,7 @@ mod tests {
         let (requester, controller) = parties();
         let thief = Party::new("Thief");
         let cfg = NegotiationConfig::new(Strategy::Standard, at());
-        let ticket =
-            TrustTicket::issue(&requester, &controller, &controller.keys, "Svc", window());
+        let ticket = TrustTicket::issue(&requester, &controller, &controller.keys, "Svc", window());
         // The thief presents the requester's ticket but signs with its own key.
         let nonce = session_nonce(&requester, &controller, "Svc");
         let bad_proof = thief.keys.sign(&nonce);
@@ -274,8 +284,7 @@ mod tests {
     fn wrong_scope_falls_back() {
         let (requester, controller) = parties();
         let cfg = NegotiationConfig::new(Strategy::Standard, at());
-        let ticket =
-            TrustTicket::issue(&requester, &controller, &controller.keys, "Svc", window());
+        let ticket = TrustTicket::issue(&requester, &controller, &controller.keys, "Svc", window());
         let nonce = session_nonce(&requester, &controller, "OtherSvc");
         let proof = requester.keys.sign(&nonce);
         assert_eq!(
@@ -293,9 +302,15 @@ mod tests {
             negotiate_with_ticket(&requester, &controller, "Svc", &cfg, None, window()).unwrap();
         assert!(!fast);
         // Second run: the ticket short-circuits.
-        let (_, fast) =
-            negotiate_with_ticket(&requester, &controller, "Svc", &cfg, Some(&ticket), window())
-                .unwrap();
+        let (_, fast) = negotiate_with_ticket(
+            &requester,
+            &controller,
+            "Svc",
+            &cfg,
+            Some(&ticket),
+            window(),
+        )
+        .unwrap();
         assert!(fast);
         // Expired ticket: falls back to the full protocol and re-issues.
         let late_cfg = NegotiationConfig::new(Strategy::Standard, window().not_after.plus_days(-1));

@@ -57,7 +57,10 @@ impl Transcript {
 
     /// Count of entries with a given tag.
     pub fn count_tag(&self, tag: &str) -> usize {
-        self.entries.iter().filter(|e| e.message.tag() == tag).count()
+        self.entries
+            .iter()
+            .filter(|e| e.message.tag() == tag)
+            .count()
     }
 
     /// A one-line summary for logs and examples.
@@ -81,8 +84,17 @@ mod tests {
     #[test]
     fn logging_and_counting() {
         let mut t = Transcript::new();
-        t.log(Side::Requester, Message::Start { resource: "r".into(), strategy: Strategy::Standard });
-        t.log(Side::Controller, Message::PolicyDisclosure { policies: vec![] });
+        t.log(
+            Side::Requester,
+            Message::Start {
+                resource: "r".into(),
+                strategy: Strategy::Standard,
+            },
+        );
+        t.log(
+            Side::Controller,
+            Message::PolicyDisclosure { policies: vec![] },
+        );
         t.log(Side::Requester, Message::Ack);
         assert_eq!(t.message_count(), 3);
         assert_eq!(t.count_tag("start"), 1);
@@ -114,7 +126,10 @@ impl Transcript {
             .attr("messages", self.message_count().to_string())
             .attr("policyRounds", self.policy_rounds.to_string())
             .attr("policiesDisclosed", self.policies_disclosed.to_string())
-            .attr("credentialsDisclosed", self.credentials_disclosed.to_string())
+            .attr(
+                "credentialsDisclosed",
+                self.credentials_disclosed.to_string(),
+            )
             .attr("verifications", self.verifications.to_string())
             .attr("ownershipProofs", self.ownership_proofs.to_string())
             .attr("failedAlternatives", self.failed_alternatives.to_string());
@@ -158,13 +173,25 @@ mod xml_tests {
     #[test]
     fn transcript_exports_monitorable_xml() {
         let mut t = Transcript::new();
-        t.log(Side::Requester, Message::Start { resource: "VoMembership".into(), strategy: Strategy::Standard });
-        t.log(Side::Controller, Message::PolicyDisclosure { policies: vec![] });
-        t.log(Side::Requester, Message::CredentialDisclosure {
-            cred_id: "c1".into(),
-            xml: "<credential/>".into(),
-            ownership: None,
-        });
+        t.log(
+            Side::Requester,
+            Message::Start {
+                resource: "VoMembership".into(),
+                strategy: Strategy::Standard,
+            },
+        );
+        t.log(
+            Side::Controller,
+            Message::PolicyDisclosure { policies: vec![] },
+        );
+        t.log(
+            Side::Requester,
+            Message::CredentialDisclosure {
+                cred_id: "c1".into(),
+                xml: "<credential/>".into(),
+                ownership: None,
+            },
+        );
         t.log(Side::Controller, Message::Success);
         t.credentials_disclosed = 1;
         let xml = t.to_xml();

@@ -78,7 +78,11 @@ impl NegotiationTree {
     /// `owner` (normally [`Side::Controller`]).
     pub fn new(root_label: impl Into<String>, owner: Side) -> Self {
         NegotiationTree {
-            nodes: vec![TreeNode { label: root_label.into(), owner, status: NodeStatus::Open }],
+            nodes: vec![TreeNode {
+                label: root_label.into(),
+                owner,
+                status: NodeStatus::Open,
+            }],
             edges: Vec::new(),
         }
     }
@@ -105,7 +109,12 @@ impl NegotiationTree {
                 id
             })
             .collect();
-        self.edges.push(TreeEdge { from, to: ids.clone(), policy, chosen: false });
+        self.edges.push(TreeEdge {
+            from,
+            to: ids.clone(),
+            policy,
+            chosen: false,
+        });
         ids
     }
 
@@ -200,7 +209,11 @@ impl NegotiationTree {
         for _ in 0..depth {
             out.push_str("  ");
         }
-        let kind = if edge.is_multiedge() { "multiedge" } else { "edge" };
+        let kind = if edge.is_multiedge() {
+            "multiedge"
+        } else {
+            "edge"
+        };
         let chosen = if edge.chosen { " *" } else { "" };
         out.push_str(&format!("[{kind} {}{}]\n", edge.policy, chosen));
         for &child in &edge.to {
@@ -218,7 +231,11 @@ mod tests {
     /// company counter-requires AAACreditation OR a BalanceSheet.
     fn fig2() -> NegotiationTree {
         let mut t = NegotiationTree::new("VoMembership", Side::Controller);
-        let kids = t.expand(t.root(), PolicyId("p1".into()), &["WebDesignerQuality".into()]);
+        let kids = t.expand(
+            t.root(),
+            PolicyId("p1".into()),
+            &["WebDesignerQuality".into()],
+        );
         let quality = kids[0];
         t.expand(quality, PolicyId("p2".into()), &["AAACreditation".into()]);
         t.expand(quality, PolicyId("p3".into()), &["BalanceSheet".into()]);
@@ -259,7 +276,10 @@ mod tests {
     #[test]
     fn render_shows_structure_and_status() {
         let mut t = fig2();
-        t.set_status(NodeId(3), NodeStatus::SatisfiedBy(CredentialId("cred-7".into())));
+        t.set_status(
+            NodeId(3),
+            NodeStatus::SatisfiedBy(CredentialId("cred-7".into())),
+        );
         t.set_status(NodeId(2), NodeStatus::Failed);
         let text = t.render();
         assert!(text.contains("VoMembership <controller>"));

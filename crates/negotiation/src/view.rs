@@ -93,7 +93,11 @@ mod tests {
     use super::*;
 
     fn d(by: Side, id: &str, ty: &str) -> Disclosure {
-        Disclosure { by, cred_id: CredentialId(id.into()), cred_type: ty.into() }
+        Disclosure {
+            by,
+            cred_id: CredentialId(id.into()),
+            cred_type: ty.into(),
+        }
     }
 
     #[test]

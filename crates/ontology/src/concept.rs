@@ -24,12 +24,18 @@ pub struct Binding {
 impl Binding {
     /// A whole-credential binding.
     pub fn credential(cred_type: impl Into<String>) -> Self {
-        Binding { cred_type: cred_type.into(), attribute: None }
+        Binding {
+            cred_type: cred_type.into(),
+            attribute: None,
+        }
     }
 
     /// An attribute-level binding (`Passport.gender`).
     pub fn attribute(cred_type: impl Into<String>, attribute: impl Into<String>) -> Self {
-        Binding { cred_type: cred_type.into(), attribute: Some(attribute.into()) }
+        Binding {
+            cred_type: cred_type.into(),
+            attribute: Some(attribute.into()),
+        }
     }
 
     /// Parse the dotted form used in the paper (`Passport.gender`), or a
@@ -65,7 +71,11 @@ pub struct Concept {
 impl Concept {
     /// Create a concept with no bindings.
     pub fn new(name: impl Into<String>) -> Self {
-        Concept { name: name.into(), bindings: Vec::new(), keywords: Vec::new() }
+        Concept {
+            name: name.into(),
+            bindings: Vec::new(),
+            keywords: Vec::new(),
+        }
     }
 
     /// Builder: add a binding by its textual form.
@@ -135,9 +145,18 @@ mod tests {
 
     #[test]
     fn binding_parse_forms() {
-        assert_eq!(Binding::parse("Passport.gender"), Binding::attribute("Passport", "gender"));
-        assert_eq!(Binding::parse("BalanceSheet"), Binding::credential("BalanceSheet"));
-        assert_eq!(Binding::parse("Passport.gender").to_string(), "Passport.gender");
+        assert_eq!(
+            Binding::parse("Passport.gender"),
+            Binding::attribute("Passport", "gender")
+        );
+        assert_eq!(
+            Binding::parse("BalanceSheet"),
+            Binding::credential("BalanceSheet")
+        );
+        assert_eq!(
+            Binding::parse("Passport.gender").to_string(),
+            "Passport.gender"
+        );
         assert_eq!(Binding::parse("BalanceSheet").to_string(), "BalanceSheet");
     }
 
@@ -147,14 +166,20 @@ mod tests {
         let c = Concept::new("gender")
             .implemented_by("Passport.gender")
             .implemented_by("DrivingLicense.sex");
-        assert_eq!(c.credential_types().into_iter().collect::<Vec<_>>(), ["DrivingLicense", "Passport"]);
+        assert_eq!(
+            c.credential_types().into_iter().collect::<Vec<_>>(),
+            ["DrivingLicense", "Passport"]
+        );
     }
 
     #[test]
     fn tokenize_camel_case_and_separators() {
         let mut set = BTreeSet::new();
         tokenize_into("TexasDriverLicense", &mut set);
-        assert_eq!(set.iter().collect::<Vec<_>>(), ["driver", "license", "texas"]);
+        assert_eq!(
+            set.iter().collect::<Vec<_>>(),
+            ["driver", "license", "texas"]
+        );
         let mut set = BTreeSet::new();
         tokenize_into("quality_regulation-ISO", &mut set);
         assert!(set.contains("quality") && set.contains("regulation") && set.contains("iso"));
@@ -177,7 +202,15 @@ mod tests {
             .keyword("ISO 9000")
             .implemented_by("ISO9000Certified.QualityRegulation");
         let tokens = c.feature_tokens();
-        for t in ["web", "designer", "quality", "iso", "9000", "certified", "regulation"] {
+        for t in [
+            "web",
+            "designer",
+            "quality",
+            "iso",
+            "9000",
+            "certified",
+            "regulation",
+        ] {
             assert!(tokens.contains(t), "missing token {t}: {tokens:?}");
         }
     }

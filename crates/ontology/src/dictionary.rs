@@ -74,18 +74,27 @@ pub fn map_concept_with_dictionary(
         let outcome = map_concept(ontology, profile, canonical, threshold);
         // Report the original request name, not the canonical one.
         return match outcome {
-            MappingOutcome::Mapped { via, credential, sensitivity, .. } => MappingOutcome::Mapped {
+            MappingOutcome::Mapped {
+                via,
+                credential,
+                sensitivity,
+                ..
+            } => MappingOutcome::Mapped {
                 concept: concept.to_owned(),
                 via,
                 credential,
                 sensitivity,
             },
-            MappingOutcome::NoCredential { resolved, .. } => {
-                MappingOutcome::NoCredential { concept: concept.to_owned(), resolved }
-            }
-            MappingOutcome::UnknownConcept { best_confidence, .. } => {
-                MappingOutcome::UnknownConcept { concept: concept.to_owned(), best_confidence }
-            }
+            MappingOutcome::NoCredential { resolved, .. } => MappingOutcome::NoCredential {
+                concept: concept.to_owned(),
+                resolved,
+            },
+            MappingOutcome::UnknownConcept {
+                best_confidence, ..
+            } => MappingOutcome::UnknownConcept {
+                concept: concept.to_owned(),
+                best_confidence,
+            },
         };
     }
     map_concept(ontology, profile, concept, threshold)
@@ -138,7 +147,11 @@ mod tests {
         // similarity matching could never resolve it; the dictionary does.
         let out = map_concept_with_dictionary(&o, &d, &p, "Bilancio", 0.25);
         match out {
-            MappingOutcome::Mapped { concept, credential, .. } => {
+            MappingOutcome::Mapped {
+                concept,
+                credential,
+                ..
+            } => {
                 assert_eq!(concept, "Bilancio");
                 assert!(p.get(&credential).is_some());
             }

@@ -38,7 +38,10 @@ impl Ontology {
         if child == parent || self.is_subconcept(parent, child) {
             return false; // would create a cycle
         }
-        self.parents.entry(child.to_owned()).or_default().insert(parent.to_owned());
+        self.parents
+            .entry(child.to_owned())
+            .or_default()
+            .insert(parent.to_owned());
         true
     }
 
@@ -222,6 +225,8 @@ mod tests {
         let mut o = licenses();
         o.add(Concept::new("Texas_DriverLicense").implemented_by("NewTexasLicense"));
         assert!(o.is_subconcept("Texas_DriverLicense", "DriverLicense"));
-        assert!(o.credential_types_for("DriverLicense").contains("NewTexasLicense"));
+        assert!(o
+            .credential_types_for("DriverLicense")
+            .contains("NewTexasLicense"));
     }
 }

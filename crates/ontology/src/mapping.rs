@@ -108,7 +108,10 @@ pub fn map_concept(
             };
         }
     }
-    MappingOutcome::NoCredential { concept: concept.to_owned(), resolved }
+    MappingOutcome::NoCredential {
+        concept: concept.to_owned(),
+        resolved,
+    }
 }
 
 /// Algorithm 1 proper: map every concept of a policy.
@@ -128,9 +131,7 @@ pub fn map_policy_concepts(
 mod tests {
     use super::*;
     use crate::concept::Concept;
-    use trust_vo_credential::{
-        Attribute, CredentialAuthority, TimeRange, Timestamp,
-    };
+    use trust_vo_credential::{Attribute, CredentialAuthority, TimeRange, Timestamp};
     use trust_vo_crypto::KeyPair;
 
     fn window() -> TimeRange {
@@ -154,14 +155,24 @@ mod tests {
         let mut profile = XProfile::new("Aerospace");
         let mut ids = Vec::new();
         let iso = ca
-            .issue("ISO9000Certified", "Aerospace", keys.public,
-                   vec![Attribute::new("QualityRegulation", "UNI EN ISO 9000")], window())
+            .issue(
+                "ISO9000Certified",
+                "Aerospace",
+                keys.public,
+                vec![Attribute::new("QualityRegulation", "UNI EN ISO 9000")],
+                window(),
+            )
             .unwrap();
         ids.push(iso.id().clone());
         profile.add_with_sensitivity(iso, Sensitivity::Low);
         let sheet = ca
-            .issue("CertificationAuthorityCompany", "Aerospace", keys.public,
-                   vec![Attribute::new("Issuer", "BBB")], window())
+            .issue(
+                "CertificationAuthorityCompany",
+                "Aerospace",
+                keys.public,
+                vec![Attribute::new("Issuer", "BBB")],
+                window(),
+            )
             .unwrap();
         ids.push(sheet.id().clone());
         profile.add_with_sensitivity(sheet, Sensitivity::High);
@@ -173,7 +184,12 @@ mod tests {
         let (o, p, ids) = setup();
         let out = map_concept(&o, &p, "QualityCertification", 0.4);
         match out {
-            MappingOutcome::Mapped { credential, via, sensitivity, .. } => {
+            MappingOutcome::Mapped {
+                credential,
+                via,
+                sensitivity,
+                ..
+            } => {
                 assert_eq!(credential, ids[0]);
                 assert!(via.is_none());
                 assert_eq!(sensitivity, Sensitivity::Low);
@@ -188,7 +204,9 @@ mod tests {
         // Foreign naming schema: "Quality_Certification_ISO9000".
         let out = map_concept(&o, &p, "Quality_Certification_ISO9000", 0.3);
         match out {
-            MappingOutcome::Mapped { credential, via, .. } => {
+            MappingOutcome::Mapped {
+                credential, via, ..
+            } => {
                 assert_eq!(credential, ids[0]);
                 let via = via.expect("similarity used");
                 assert_eq!(via.target, "QualityCertification");
@@ -215,14 +233,23 @@ mod tests {
         let mut ca = CredentialAuthority::new("BBB");
         let keys = KeyPair::from_seed(b"aerospace");
         let low = ca
-            .issue("CertificationAuthorityCompany", "Aerospace", keys.public,
-                   vec![Attribute::new("Issuer", "BBB")], window())
+            .issue(
+                "CertificationAuthorityCompany",
+                "Aerospace",
+                keys.public,
+                vec![Attribute::new("Issuer", "BBB")],
+                window(),
+            )
             .unwrap();
         let low_id = low.id().clone();
         p.add_with_sensitivity(low, Sensitivity::Low);
         let out = map_concept(&o, &p, "BalanceSheet", 0.4);
         match out {
-            MappingOutcome::Mapped { credential, sensitivity, .. } => {
+            MappingOutcome::Mapped {
+                credential,
+                sensitivity,
+                ..
+            } => {
                 assert_eq!(credential, low_id);
                 assert_eq!(sensitivity, Sensitivity::Low);
             }
@@ -236,7 +263,10 @@ mod tests {
         let out = map_concept(&o, &p, "Identity", 0.4);
         assert_eq!(
             out,
-            MappingOutcome::NoCredential { concept: "Identity".into(), resolved: "Identity".into() }
+            MappingOutcome::NoCredential {
+                concept: "Identity".into(),
+                resolved: "Identity".into()
+            }
         );
     }
 
@@ -245,7 +275,9 @@ mod tests {
         let (o, p, _) = setup();
         let out = map_concept(&o, &p, "Xylophone", 0.4);
         match out {
-            MappingOutcome::UnknownConcept { best_confidence, .. } => {
+            MappingOutcome::UnknownConcept {
+                best_confidence, ..
+            } => {
                 assert!(best_confidence < 0.4);
             }
             other => panic!("unexpected {other:?}"),
@@ -255,9 +287,17 @@ mod tests {
     #[test]
     fn mapping_never_returns_unheld_credential() {
         let (o, p, _) = setup();
-        for concept in ["QualityCertification", "BalanceSheet", "BusinessProof", "Identity"] {
+        for concept in [
+            "QualityCertification",
+            "BalanceSheet",
+            "BusinessProof",
+            "Identity",
+        ] {
             if let Some(id) = map_concept(&o, &p, concept, 0.3).credential() {
-                assert!(p.get(id).is_some(), "returned a credential not in the profile");
+                assert!(
+                    p.get(id).is_some(),
+                    "returned a credential not in the profile"
+                );
             }
         }
     }

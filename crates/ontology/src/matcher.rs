@@ -35,10 +35,7 @@ pub fn match_concept(name: &str, local: &Ontology, threshold: f64) -> Option<Con
         let score = name_similarity(name, concept);
         let better = match &best {
             None => true,
-            Some(b) => {
-                score > b.confidence
-                    || (score == b.confidence && concept.name < b.target)
-            }
+            Some(b) => score > b.confidence || (score == b.confidence && concept.name < b.target),
         };
         if better {
             best = Some(ConceptMatch {
@@ -132,9 +129,15 @@ mod tests {
         foreign.add(Concept::new("Balance_Sheet"));
         let mapping = match_ontologies(&foreign, &local());
         assert_eq!(mapping.len(), 2);
-        let quality = mapping.iter().find(|m| m.source == "Quality_Certification").unwrap();
+        let quality = mapping
+            .iter()
+            .find(|m| m.source == "Quality_Certification")
+            .unwrap();
         assert_eq!(quality.target, "QualityCertification");
-        let balance = mapping.iter().find(|m| m.source == "Balance_Sheet").unwrap();
+        let balance = mapping
+            .iter()
+            .find(|m| m.source == "Balance_Sheet")
+            .unwrap();
         assert_eq!(balance.target, "BalanceSheet");
         for m in &mapping {
             assert!((0.0..=1.0).contains(&m.confidence));

@@ -39,7 +39,8 @@ pub fn ontology_to_xml(ontology: &Ontology) -> Element {
     for concept in ontology.concepts() {
         let mut el = Element::new("concept").attr("name", &concept.name);
         for kw in &concept.keywords {
-            el.children.push(Node::Element(Element::new("keyword").text(kw)));
+            el.children
+                .push(Node::Element(Element::new("keyword").text(kw)));
         }
         for b in &concept.bindings {
             let mut binding = Element::new("binding").attr("credType", &b.cred_type);
@@ -53,7 +54,9 @@ pub fn ontology_to_xml(ontology: &Ontology) -> Element {
     for concept in ontology.concepts() {
         for parent in ontology.direct_parents(&concept.name) {
             root.children.push(Node::Element(
-                Element::new("isA").attr("child", &concept.name).attr("parent", parent),
+                Element::new("isA")
+                    .attr("child", &concept.name)
+                    .attr("parent", parent),
             ));
         }
     }
@@ -63,7 +66,10 @@ pub fn ontology_to_xml(ontology: &Ontology) -> Element {
 /// Deserialize an ontology.
 pub fn ontology_from_xml(root: &Element) -> Result<Ontology, OntologyParseError> {
     if root.name != "ontology" {
-        return Err(OntologyParseError(format!("expected <ontology>, found <{}>", root.name)));
+        return Err(OntologyParseError(format!(
+            "expected <ontology>, found <{}>",
+            root.name
+        )));
     }
     let mut ontology = Ontology::new();
     for el in root.all("concept") {

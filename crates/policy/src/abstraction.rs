@@ -55,14 +55,25 @@ pub fn lift_term(term: &Term, ontology: &Ontology, levels: usize) -> Term {
 }
 
 /// Abstract every term of a policy (delivery rules are unchanged).
-pub fn abstract_policy(policy: &DisclosurePolicy, ontology: &Ontology, levels: usize) -> DisclosurePolicy {
+pub fn abstract_policy(
+    policy: &DisclosurePolicy,
+    ontology: &Ontology,
+    levels: usize,
+) -> DisclosurePolicy {
     let body = match &policy.body {
         PolicyBody::Deliv => PolicyBody::Deliv,
-        PolicyBody::Terms(terms) => {
-            PolicyBody::Terms(terms.iter().map(|t| lift_term(t, ontology, levels)).collect())
-        }
+        PolicyBody::Terms(terms) => PolicyBody::Terms(
+            terms
+                .iter()
+                .map(|t| lift_term(t, ontology, levels))
+                .collect(),
+        ),
     };
-    DisclosurePolicy { id: policy.id.clone(), target: policy.target.clone(), body }
+    DisclosurePolicy {
+        id: policy.id.clone(),
+        target: policy.target.clone(),
+        body,
+    }
 }
 
 #[cfg(test)]
@@ -108,11 +119,23 @@ mod tests {
     fn lifting_climbs_ancestors() {
         let t = Term::of_type("IntelEmployeeCard");
         let o = ontology();
-        assert_eq!(lift_term(&t, &o, 0).spec, CredentialSpec::Concept("IntelBadge".into()));
-        assert_eq!(lift_term(&t, &o, 1).spec, CredentialSpec::Concept("EmployeeId".into()));
-        assert_eq!(lift_term(&t, &o, 2).spec, CredentialSpec::Concept("Identity".into()));
+        assert_eq!(
+            lift_term(&t, &o, 0).spec,
+            CredentialSpec::Concept("IntelBadge".into())
+        );
+        assert_eq!(
+            lift_term(&t, &o, 1).spec,
+            CredentialSpec::Concept("EmployeeId".into())
+        );
+        assert_eq!(
+            lift_term(&t, &o, 2).spec,
+            CredentialSpec::Concept("Identity".into())
+        );
         // Lifting past the root saturates.
-        assert_eq!(lift_term(&t, &o, 9).spec, CredentialSpec::Concept("Identity".into()));
+        assert_eq!(
+            lift_term(&t, &o, 9).spec,
+            CredentialSpec::Concept("Identity".into())
+        );
     }
 
     #[test]
@@ -126,12 +149,18 @@ mod tests {
         let p = DisclosurePolicy::rule(
             "p",
             Resource::service("VoMembership"),
-            vec![Term::of_type("IntelEmployeeCard"), Term::of_type("MysteryCredential")],
+            vec![
+                Term::of_type("IntelEmployeeCard"),
+                Term::of_type("MysteryCredential"),
+            ],
         );
         let a = abstract_policy(&p, &ontology(), 1);
         let terms = a.terms();
         assert_eq!(terms[0].spec, CredentialSpec::Concept("EmployeeId".into()));
-        assert_eq!(terms[1].spec, CredentialSpec::Type("MysteryCredential".into()));
+        assert_eq!(
+            terms[1].spec,
+            CredentialSpec::Type("MysteryCredential".into())
+        );
         // Delivery rules pass through.
         let d = DisclosurePolicy::deliv("d", Resource::credential("X"));
         assert_eq!(abstract_policy(&d, &ontology(), 1), d);

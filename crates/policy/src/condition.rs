@@ -10,7 +10,7 @@
 //! (`content/X`) spellings.
 
 use trust_vo_credential::Credential;
-use trust_vo_xmldoc::{XmlError, XPathExpr};
+use trust_vo_xmldoc::{XPathExpr, XmlError};
 
 /// A single condition over a credential document.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -21,14 +21,15 @@ pub struct Condition {
 impl Condition {
     /// Parse a condition from its XPath text.
     pub fn parse(text: &str) -> Result<Self, XmlError> {
-        Ok(Condition { expr: XPathExpr::parse(text)? })
+        Ok(Condition {
+            expr: XPathExpr::parse(text)?,
+        })
     }
 
     /// Shorthand: equality on a content attribute
     /// (`//content/<attr> = '<value>'`).
     pub fn attr_equals(attr: &str, value: &str) -> Self {
-        Self::parse(&format!("//content/{attr} = '{value}'"))
-            .expect("generated condition is valid")
+        Self::parse(&format!("//content/{attr} = '{value}'")).expect("generated condition is valid")
     }
 
     /// Evaluate against a credential.
@@ -95,8 +96,12 @@ mod tests {
 
     #[test]
     fn existence_condition() {
-        assert!(Condition::parse("//content/AuditScore").unwrap().holds_for(&cred()));
-        assert!(!Condition::parse("//content/Nothing").unwrap().holds_for(&cred()));
+        assert!(Condition::parse("//content/AuditScore")
+            .unwrap()
+            .holds_for(&cred()));
+        assert!(!Condition::parse("//content/Nothing")
+            .unwrap()
+            .holds_for(&cred()));
     }
 
     #[test]

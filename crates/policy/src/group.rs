@@ -74,7 +74,9 @@ impl GroupCondition {
         self.subsets()
             .into_iter()
             .enumerate()
-            .map(|(i, terms)| DisclosurePolicy::rule(format!("{prefix}#{i}"), target.clone(), terms))
+            .map(|(i, terms)| {
+                DisclosurePolicy::rule(format!("{prefix}#{i}"), target.clone(), terms)
+            })
             .collect()
     }
 
@@ -134,11 +136,14 @@ mod tests {
             .iter()
             .map(|p| p.terms().iter().map(Term::key).collect())
             .collect();
-        assert_eq!(pairs, vec![
-            vec!["T0".to_owned(), "T1".to_owned()],
-            vec!["T0".to_owned(), "T2".to_owned()],
-            vec!["T1".to_owned(), "T2".to_owned()],
-        ]);
+        assert_eq!(
+            pairs,
+            vec![
+                vec!["T0".to_owned(), "T1".to_owned()],
+                vec!["T0".to_owned(), "T2".to_owned()],
+                vec!["T1".to_owned(), "T2".to_owned()],
+            ]
+        );
     }
 
     #[test]

@@ -46,8 +46,8 @@ pub mod xml;
 
 pub use compliance::{satisfying_credentials, term_satisfied};
 pub use condition::Condition;
+pub use group::{vo_property_term, GroupCondition};
 pub use policy::{DisclosurePolicy, PolicyBody, PolicyId, PolicySet};
 pub use rterm::{Resource, ResourceKind};
-pub use group::{vo_property_term, GroupCondition};
 pub use term::{CredentialSpec, Term};
 pub use xacml::{import_policy, import_policy_set};

@@ -49,7 +49,11 @@ pub struct DisclosurePolicy {
 impl DisclosurePolicy {
     /// A delivery rule for `target`.
     pub fn deliv(id: impl Into<String>, target: Resource) -> Self {
-        DisclosurePolicy { id: PolicyId(id.into()), target, body: PolicyBody::Deliv }
+        DisclosurePolicy {
+            id: PolicyId(id.into()),
+            target,
+            body: PolicyBody::Deliv,
+        }
     }
 
     /// A conjunctive rule `target ← terms`.
@@ -58,8 +62,15 @@ impl DisclosurePolicy {
     /// Panics when `terms` is empty (the paper requires `n ≥ 1`; an empty
     /// conjunction must be written as a delivery rule instead).
     pub fn rule(id: impl Into<String>, target: Resource, terms: Vec<Term>) -> Self {
-        assert!(!terms.is_empty(), "a policy rule requires n >= 1 terms; use a delivery rule");
-        DisclosurePolicy { id: PolicyId(id.into()), target, body: PolicyBody::Terms(terms) }
+        assert!(
+            !terms.is_empty(),
+            "a policy rule requires n >= 1 terms; use a delivery rule"
+        );
+        DisclosurePolicy {
+            id: PolicyId(id.into()),
+            target,
+            body: PolicyBody::Terms(terms),
+        }
     }
 
     /// Is this a delivery rule?
@@ -117,8 +128,13 @@ impl PolicySet {
 
     /// All policies protecting a resource name, in insertion order — the
     /// *alternatives* for that resource.
-    pub fn alternatives_for<'a>(&'a self, resource: &'a str) -> impl Iterator<Item = &'a DisclosurePolicy> + 'a {
-        self.policies.iter().filter(move |p| p.target.name == resource)
+    pub fn alternatives_for<'a>(
+        &'a self,
+        resource: &'a str,
+    ) -> impl Iterator<Item = &'a DisclosurePolicy> + 'a {
+        self.policies
+            .iter()
+            .filter(move |p| p.target.name == resource)
     }
 
     /// Is there any policy (including DELIV) governing this resource?
@@ -128,7 +144,8 @@ impl PolicySet {
 
     /// Is the resource freely deliverable (has a DELIV rule)?
     pub fn is_deliverable(&self, resource: &str) -> bool {
-        self.alternatives_for(resource).any(DisclosurePolicy::is_deliv)
+        self.alternatives_for(resource)
+            .any(DisclosurePolicy::is_deliv)
     }
 
     /// Look up a policy by id.
@@ -217,14 +234,20 @@ mod tests {
         assert!(set.governs("VoMembership"));
         assert!(!set.governs("Unprotected"));
         assert!(!set.is_deliverable("VoMembership"));
-        set.add(DisclosurePolicy::deliv("d", Resource::service("VoMembership")));
+        set.add(DisclosurePolicy::deliv(
+            "d",
+            Resource::service("VoMembership"),
+        ));
         assert!(set.is_deliverable("VoMembership"));
     }
 
     #[test]
     fn duplicate_id_replaces() {
         let mut set = example_1();
-        set.add(DisclosurePolicy::deliv("p1", Resource::service("VoMembership")));
+        set.add(DisclosurePolicy::deliv(
+            "p1",
+            Resource::service("VoMembership"),
+        ));
         assert_eq!(set.len(), 2);
         assert!(set.get(&PolicyId("p1".into())).unwrap().is_deliv());
     }

@@ -51,17 +51,29 @@ pub struct Resource {
 impl Resource {
     /// A credential resource.
     pub fn credential(name: impl Into<String>) -> Self {
-        Resource { name: name.into(), kind: ResourceKind::Credential, attrs: Vec::new() }
+        Resource {
+            name: name.into(),
+            kind: ResourceKind::Credential,
+            attrs: Vec::new(),
+        }
     }
 
     /// A service resource.
     pub fn service(name: impl Into<String>) -> Self {
-        Resource { name: name.into(), kind: ResourceKind::Service, attrs: Vec::new() }
+        Resource {
+            name: name.into(),
+            kind: ResourceKind::Service,
+            attrs: Vec::new(),
+        }
     }
 
     /// A file resource.
     pub fn file(name: impl Into<String>) -> Self {
-        Resource { name: name.into(), kind: ResourceKind::File, attrs: Vec::new() }
+        Resource {
+            name: name.into(),
+            kind: ResourceKind::File,
+            attrs: Vec::new(),
+        }
     }
 
     /// Builder: attach a characteristic attribute.
@@ -73,7 +85,10 @@ impl Resource {
 
     /// Look up a characteristic attribute.
     pub fn attr(&self, name: &str) -> Option<&str> {
-        self.attrs.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+        self.attrs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
     }
 }
 
@@ -110,7 +125,11 @@ mod tests {
 
     #[test]
     fn kind_labels_roundtrip() {
-        for k in [ResourceKind::Credential, ResourceKind::Service, ResourceKind::File] {
+        for k in [
+            ResourceKind::Credential,
+            ResourceKind::Service,
+            ResourceKind::File,
+        ] {
             assert_eq!(ResourceKind::parse(k.label()), Some(k));
         }
         assert_eq!(ResourceKind::parse("other"), None);
@@ -118,6 +137,9 @@ mod tests {
 
     #[test]
     fn display_without_attrs() {
-        assert_eq!(Resource::credential("BalanceSheet").to_string(), "BalanceSheet()");
+        assert_eq!(
+            Resource::credential("BalanceSheet").to_string(),
+            "BalanceSheet()"
+        );
     }
 }

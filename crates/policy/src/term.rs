@@ -38,17 +38,26 @@ pub struct Term {
 impl Term {
     /// A term naming a credential type with no conditions.
     pub fn of_type(name: impl Into<String>) -> Self {
-        Term { spec: CredentialSpec::Type(name.into()), conditions: Vec::new() }
+        Term {
+            spec: CredentialSpec::Type(name.into()),
+            conditions: Vec::new(),
+        }
     }
 
     /// A variable-type term.
     pub fn variable() -> Self {
-        Term { spec: CredentialSpec::Variable, conditions: Vec::new() }
+        Term {
+            spec: CredentialSpec::Variable,
+            conditions: Vec::new(),
+        }
     }
 
     /// A concept-level term.
     pub fn of_concept(name: impl Into<String>) -> Self {
-        Term { spec: CredentialSpec::Concept(name.into()), conditions: Vec::new() }
+        Term {
+            spec: CredentialSpec::Concept(name.into()),
+            conditions: Vec::new(),
+        }
     }
 
     /// Builder: add a condition.
@@ -133,12 +142,18 @@ mod tests {
             .with_condition(Condition::parse("//content/Year >= 2008").unwrap());
         let good = cred(
             "BalanceSheet",
-            vec![Attribute::new("Issuer", "BBB"), Attribute::new("Year", 2009i64)],
+            vec![
+                Attribute::new("Issuer", "BBB"),
+                Attribute::new("Year", 2009i64),
+            ],
         );
         assert!(t.matches_credential(&good));
         let stale = cred(
             "BalanceSheet",
-            vec![Attribute::new("Issuer", "BBB"), Attribute::new("Year", 2005i64)],
+            vec![
+                Attribute::new("Issuer", "BBB"),
+                Attribute::new("Year", 2005i64),
+            ],
         );
         assert!(!t.matches_credential(&stale));
     }

@@ -52,7 +52,10 @@ const FN_AND: &str = "urn:oasis:names:tc:xacml:1.0:function:and";
 /// Translate one XACML `<Policy>` element into X-TNL alternatives.
 pub fn import_policy(root: &Element) -> Result<Vec<DisclosurePolicy>, PolicyParseError> {
     if root.name != "Policy" {
-        return Err(PolicyParseError(format!("expected <Policy>, found <{}>", root.name)));
+        return Err(PolicyParseError(format!(
+            "expected <Policy>, found <{}>",
+            root.name
+        )));
     }
     let policy_id = root
         .get_attr("PolicyId")
@@ -74,14 +77,16 @@ pub fn import_policy(root: &Element) -> Result<Vec<DisclosurePolicy>, PolicyPars
                 continue;
             }
             Some(condition) => {
-                let apply = condition
-                    .first("Apply")
-                    .ok_or_else(|| PolicyParseError(format!("rule '{rule_id}': empty <Condition>")))?;
+                let apply = condition.first("Apply").ok_or_else(|| {
+                    PolicyParseError(format!("rule '{rule_id}': empty <Condition>"))
+                })?;
                 collect_terms(apply)?
             }
         };
         if terms.is_empty() {
-            return Err(PolicyParseError(format!("rule '{rule_id}': no usable terms")));
+            return Err(PolicyParseError(format!(
+                "rule '{rule_id}': no usable terms"
+            )));
         }
         out.push(DisclosurePolicy::rule(
             format!("{policy_id}/{rule_id}#{i}"),
@@ -90,7 +95,9 @@ pub fn import_policy(root: &Element) -> Result<Vec<DisclosurePolicy>, PolicyPars
         ));
     }
     if out.is_empty() {
-        return Err(PolicyParseError(format!("policy '{policy_id}' has no Permit rules")));
+        return Err(PolicyParseError(format!(
+            "policy '{policy_id}' has no Permit rules"
+        )));
     }
     Ok(out)
 }
@@ -125,7 +132,9 @@ fn target_resource(policy: &Element) -> Result<Resource, PolicyParseError> {
         .and_then(|t| t.first("Resources"))
         .and_then(|r| r.first("Resource"))
         .and_then(|r| r.first("ResourceMatch"))
-        .ok_or_else(|| PolicyParseError("missing Target/Resources/Resource/ResourceMatch".into()))?;
+        .ok_or_else(|| {
+            PolicyParseError("missing Target/Resources/Resource/ResourceMatch".into())
+        })?;
     let name = matcher
         .child_text("AttributeValue")
         .ok_or_else(|| PolicyParseError("ResourceMatch missing <AttributeValue>".into()))?;
@@ -164,7 +173,9 @@ fn collect_terms(apply: &Element) -> Result<Vec<Term>, PolicyParseError> {
             FN_STRING_EQUAL => format!("//content/{attr} = '{value}'"),
             FN_INT_GE => format!("//content/{attr} >= {value}"),
             other => {
-                return Err(PolicyParseError(format!("unsupported XACML function '{other}'")))
+                return Err(PolicyParseError(format!(
+                    "unsupported XACML function '{other}'"
+                )))
             }
         };
         let condition = crate::condition::Condition::parse(&expr)
@@ -241,12 +252,22 @@ mod tests {
         let keys = trust_vo_crypto::KeyPair::from_seed(b"h");
         let window = TimeRange::one_year_from(Timestamp::from_ymd_hms(2009, 1, 1, 0, 0, 0));
         let good = ca
-            .issue("ISO9000Certified", "h", keys.public,
-                   vec![Attribute::new("QualityRegulation", "UNI EN ISO 9000")], window)
+            .issue(
+                "ISO9000Certified",
+                "h",
+                keys.public,
+                vec![Attribute::new("QualityRegulation", "UNI EN ISO 9000")],
+                window,
+            )
             .unwrap();
         let bad = ca
-            .issue("ISO9000Certified", "h", keys.public,
-                   vec![Attribute::new("QualityRegulation", "ISO 14000")], window)
+            .issue(
+                "ISO9000Certified",
+                "h",
+                keys.public,
+                vec![Attribute::new("QualityRegulation", "ISO 14000")],
+                window,
+            )
             .unwrap();
         let term = &policies[0].terms()[0];
         assert!(term.matches_credential(&good));
@@ -334,8 +355,16 @@ mod tests {
             .unwrap(),
         );
         // The accreditation route is satisfiable from the profile.
-        assert!(crate::compliance::term_satisfied(&policies[1].terms()[0], &profile, None));
+        assert!(crate::compliance::term_satisfied(
+            &policies[1].terms()[0],
+            &profile,
+            None
+        ));
         // The ISO route is not (no ISO credential held).
-        assert!(!crate::compliance::term_satisfied(&policies[0].terms()[0], &profile, None));
+        assert!(!crate::compliance::term_satisfied(
+            &policies[0].terms()[0],
+            &profile,
+            None
+        ));
     }
 }

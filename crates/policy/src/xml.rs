@@ -52,7 +52,8 @@ pub fn policy_to_xml(policy: &DisclosurePolicy) -> Element {
                 CredentialSpec::Concept(name) => cert.set_attr("targetConcept", name),
             }
             for cond in &term.conditions {
-                cert.children.push(Node::Element(Element::new("certCond").text(cond.source())));
+                cert.children
+                    .push(Node::Element(Element::new("certCond").text(cond.source())));
             }
             properties.children.push(Node::Element(cert));
         }
@@ -64,7 +65,10 @@ pub fn policy_to_xml(policy: &DisclosurePolicy) -> Element {
 /// Parse a policy from its XML form.
 pub fn policy_from_xml(root: &Element) -> Result<DisclosurePolicy, PolicyParseError> {
     if root.name != "policy" {
-        return Err(PolicyParseError(format!("expected <policy>, found <{}>", root.name)));
+        return Err(PolicyParseError(format!(
+            "expected <policy>, found <{}>",
+            root.name
+        )));
     }
     let id = root
         .get_attr("id")
@@ -80,7 +84,11 @@ pub fn policy_from_xml(root: &Element) -> Result<DisclosurePolicy, PolicyParseEr
         .get_attr("kind")
         .and_then(ResourceKind::parse)
         .unwrap_or(ResourceKind::Credential);
-    let mut target = Resource { name: target_name.to_owned(), kind, attrs: Vec::new() };
+    let mut target = Resource {
+        name: target_name.to_owned(),
+        kind,
+        attrs: Vec::new(),
+    };
     for attr_el in resource_el.all("attr") {
         let name = attr_el
             .get_attr("name")
@@ -91,7 +99,11 @@ pub fn policy_from_xml(root: &Element) -> Result<DisclosurePolicy, PolicyParseEr
         target.attrs.push((name.to_owned(), value.to_owned()));
     }
     match form {
-        "deliv" => Ok(DisclosurePolicy { id: PolicyId(id.to_owned()), target, body: PolicyBody::Deliv }),
+        "deliv" => Ok(DisclosurePolicy {
+            id: PolicyId(id.to_owned()),
+            target,
+            body: PolicyBody::Deliv,
+        }),
         "rule" => {
             let properties = root
                 .first("properties")
@@ -121,9 +133,15 @@ pub fn policy_from_xml(root: &Element) -> Result<DisclosurePolicy, PolicyParseEr
                 terms.push(Term { spec, conditions });
             }
             if terms.is_empty() {
-                return Err(PolicyParseError("rule policy has no <certificate> terms".into()));
+                return Err(PolicyParseError(
+                    "rule policy has no <certificate> terms".into(),
+                ));
             }
-            Ok(DisclosurePolicy { id: PolicyId(id.to_owned()), target, body: PolicyBody::Terms(terms) })
+            Ok(DisclosurePolicy {
+                id: PolicyId(id.to_owned()),
+                target,
+                body: PolicyBody::Terms(terms),
+            })
         }
         other => Err(PolicyParseError(format!("unknown policy form '{other}'"))),
     }
@@ -139,8 +157,9 @@ mod tests {
         DisclosurePolicy::rule(
             "pol-iso-9000",
             Resource::credential("ISO9000Certified"),
-            vec![Term::of_type("AAAccreditation")
-                .with_condition(Condition::parse("//header/issuer = 'American Aircraft Association'").unwrap())],
+            vec![Term::of_type("AAAccreditation").with_condition(
+                Condition::parse("//header/issuer = 'American Aircraft Association'").unwrap(),
+            )],
         )
     }
 

@@ -31,7 +31,10 @@ pub struct ServiceBus {
 impl ServiceBus {
     /// A bus with the given clock.
     pub fn new(clock: SimClock) -> Self {
-        ServiceBus { endpoints: Arc::new(RwLock::new(BTreeMap::new())), clock }
+        ServiceBus {
+            endpoints: Arc::new(RwLock::new(BTreeMap::new())),
+            clock,
+        }
     }
 
     /// Register an endpoint under a service name. Re-registering replaces.
@@ -53,7 +56,10 @@ impl ServiceBus {
         };
         match endpoint {
             Some(ep) => ep.handle(request),
-            None => Err(Fault::new("NoSuchService", format!("service '{service}' not registered"))),
+            None => Err(Fault::new(
+                "NoSuchService",
+                format!("service '{service}' not registered"),
+            )),
         }
     }
 
@@ -77,7 +83,10 @@ mod tests {
             if request.operation == "fail" {
                 return Err(Fault::new("Boom", "requested failure"));
             }
-            Ok(Envelope::request(format!("{}Response", request.operation), request.body.clone()))
+            Ok(Envelope::request(
+                format!("{}Response", request.operation),
+                request.body.clone(),
+            ))
         }
 
         fn operations(&self) -> Vec<String> {
@@ -94,7 +103,10 @@ mod tests {
         let bus = bus();
         bus.register("echo-svc", Arc::new(Echo));
         let resp = bus
-            .call("echo-svc", &Envelope::request("echo", Element::new("hello")))
+            .call(
+                "echo-svc",
+                &Envelope::request("echo", Element::new("hello")),
+            )
             .unwrap();
         assert_eq!(resp.operation, "echoResponse");
         assert_eq!(resp.body.name, "hello");
@@ -102,7 +114,9 @@ mod tests {
 
     #[test]
     fn unknown_service_faults() {
-        let err = bus().call("ghost", &Envelope::request("x", Element::new("b"))).unwrap_err();
+        let err = bus()
+            .call("ghost", &Envelope::request("x", Element::new("b")))
+            .unwrap_err();
         assert_eq!(err.code, "NoSuchService");
     }
 
@@ -110,7 +124,9 @@ mod tests {
     fn endpoint_faults_propagate() {
         let bus = bus();
         bus.register("echo-svc", Arc::new(Echo));
-        let err = bus.call("echo-svc", &Envelope::request("fail", Element::new("b"))).unwrap_err();
+        let err = bus
+            .call("echo-svc", &Envelope::request("fail", Element::new("b")))
+            .unwrap_err();
         assert_eq!(err.code, "Boom");
     }
 

@@ -72,19 +72,30 @@ pub fn run_negotiation(
     loop {
         let resp = bus.call(
             service,
-            &Envelope::request("CredentialExchange", Element::new("CredentialExchangeRequest"))
-                .with_negotiation(negotiation_id),
+            &Envelope::request(
+                "CredentialExchange",
+                Element::new("CredentialExchangeRequest"),
+            )
+            .with_negotiation(negotiation_id),
         )?;
         credential_calls += 1;
         if resp.body.get_attr("status") == Some("completed") {
             break;
         }
         if credential_calls > sequence_len + 1 {
-            return Err(Fault::new("ProtocolError", "service never reported completion"));
+            return Err(Fault::new(
+                "ProtocolError",
+                "service never reported completion",
+            ));
         }
     }
     let sim_elapsed = SimDuration(bus.clock().elapsed().0 - started_at.0);
-    Ok(ClientRun { negotiation_id, credential_calls, sequence_len, sim_elapsed })
+    Ok(ClientRun {
+        negotiation_id,
+        credential_calls,
+        sequence_len,
+        sim_elapsed,
+    })
 }
 
 #[cfg(test)]
@@ -111,7 +122,13 @@ mod tests {
         let mut aircraft = Party::new("Aircraft");
         let mut aerospace = Party::new("Aerospace");
         let quality = ca
-            .issue("WebDesignerQuality", "Aerospace", aerospace.keys.public, vec![], window)
+            .issue(
+                "WebDesignerQuality",
+                "Aerospace",
+                aerospace.keys.public,
+                vec![],
+                window,
+            )
             .unwrap();
         aerospace.profile.add(quality);
         aircraft.policies.add(DisclosurePolicy::rule(
@@ -130,9 +147,15 @@ mod tests {
     #[test]
     fn client_drives_negotiation_to_completion() {
         let bus = setup();
-        let run =
-            run_negotiation(&bus, "tn", "Aerospace", "Aircraft", "VoMembership", Strategy::Standard)
-                .unwrap();
+        let run = run_negotiation(
+            &bus,
+            "tn",
+            "Aerospace",
+            "Aircraft",
+            "VoMembership",
+            Strategy::Standard,
+        )
+        .unwrap();
         assert_eq!(run.sequence_len, 1);
         assert!(run.credential_calls >= 1);
         assert!(run.sim_elapsed > SimDuration::ZERO);
@@ -141,8 +164,15 @@ mod tests {
     #[test]
     fn client_surfaces_faults() {
         let bus = setup();
-        let err = run_negotiation(&bus, "tn", "Ghost", "Aircraft", "VoMembership", Strategy::Standard)
-            .unwrap_err();
+        let err = run_negotiation(
+            &bus,
+            "tn",
+            "Ghost",
+            "Aircraft",
+            "VoMembership",
+            Strategy::Standard,
+        )
+        .unwrap_err();
         assert_eq!(err.code, "UnknownParty");
         let err = run_negotiation(&bus, "nope", "a", "b", "r", Strategy::Standard).unwrap_err();
         assert_eq!(err.code, "NoSuchService");
@@ -153,9 +183,15 @@ mod tests {
         // Suspicious adds ownership-proof charges, so it must cost at
         // least as much virtual time as standard on the same workload.
         let bus1 = setup();
-        let standard =
-            run_negotiation(&bus1, "tn", "Aerospace", "Aircraft", "VoMembership", Strategy::Standard)
-                .unwrap();
+        let standard = run_negotiation(
+            &bus1,
+            "tn",
+            "Aerospace",
+            "Aircraft",
+            "VoMembership",
+            Strategy::Standard,
+        )
+        .unwrap();
         let bus2 = setup();
         let suspicious = run_negotiation(
             &bus2,

@@ -20,7 +20,11 @@ pub struct Envelope {
 impl Envelope {
     /// Build a request envelope.
     pub fn request(operation: impl Into<String>, body: Element) -> Self {
-        Envelope { operation: operation.into(), negotiation_id: None, body }
+        Envelope {
+            operation: operation.into(),
+            negotiation_id: None,
+            body,
+        }
     }
 
     /// Attach a negotiation id.
@@ -32,13 +36,12 @@ impl Envelope {
 
     /// Serialize as a SOAP-shaped XML document.
     pub fn to_xml(&self) -> Element {
-        let mut header = Element::new("Header").child(
-            Element::new("operation").text(&self.operation),
-        );
+        let mut header =
+            Element::new("Header").child(Element::new("operation").text(&self.operation));
         if let Some(id) = self.negotiation_id {
-            header
-                .children
-                .push(Node::Element(Element::new("negotiationId").text(id.to_string())));
+            header.children.push(Node::Element(
+                Element::new("negotiationId").text(id.to_string()),
+            ));
         }
         Element::new("Envelope")
             .child(header)
@@ -56,7 +59,11 @@ impl Envelope {
             .child_text("negotiationId")
             .and_then(|t| t.parse().ok());
         let body = root.first("Body")?.elements().next()?.clone();
-        Some(Envelope { operation, negotiation_id, body })
+        Some(Envelope {
+            operation,
+            negotiation_id,
+            body,
+        })
     }
 }
 
@@ -72,7 +79,10 @@ pub struct Fault {
 impl Fault {
     /// Build a fault.
     pub fn new(code: impl Into<String>, reason: impl Into<String>) -> Self {
-        Fault { code: code.into(), reason: reason.into() }
+        Fault {
+            code: code.into(),
+            reason: reason.into(),
+        }
     }
 }
 

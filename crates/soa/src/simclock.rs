@@ -14,8 +14,8 @@
 //! converts the virtual instant into the [`Timestamp`] negotiations check
 //! validity windows against.
 
-use parking_lot::Mutex;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use trust_vo_credential::Timestamp;
 
@@ -108,6 +108,20 @@ impl CostKind {
         CostKind::CertificateIssue,
     ];
 
+    /// Position of this kind in [`CostKind::ALL`] (fixed counter slot).
+    fn slot(self) -> usize {
+        match self {
+            CostKind::SoapRoundTrip => 0,
+            CostKind::DbQuery => 1,
+            CostKind::SignatureVerify => 2,
+            CostKind::SignatureSign => 3,
+            CostKind::PolicyEvaluation => 4,
+            CostKind::OntologyMapping => 5,
+            CostKind::GuiStep => 6,
+            CostKind::CertificateIssue => 7,
+        }
+    }
+
     /// Human-readable label.
     pub fn label(self) -> &'static str {
         match self {
@@ -149,7 +163,9 @@ impl CostModel {
 
     /// A zero-cost model (pure CPU measurement).
     pub fn free() -> Self {
-        CostModel { costs: BTreeMap::new() }
+        CostModel {
+            costs: BTreeMap::new(),
+        }
     }
 
     /// Override one latency.
@@ -163,17 +179,21 @@ impl CostModel {
     }
 }
 
+/// Lock-free clock state: total elapsed microseconds plus one counter
+/// slot per [`CostKind`]. Charging from many admission threads is a pair
+/// of relaxed `fetch_add`s — no mutex, no contention-induced serialization
+/// of the parallel formation fan-out.
 #[derive(Debug, Default)]
 struct ClockState {
-    elapsed: SimDuration,
-    counts: BTreeMap<CostKind, u64>,
+    elapsed_micros: AtomicU64,
+    counts: [AtomicU64; 8],
 }
 
 /// A shareable simulated clock: charge operations, read elapsed time.
 #[derive(Debug, Clone)]
 pub struct SimClock {
     model: Arc<CostModel>,
-    state: Arc<Mutex<ClockState>>,
+    state: Arc<ClockState>,
     /// The virtual calendar instant at elapsed == 0.
     epoch: Timestamp,
 }
@@ -181,7 +201,11 @@ pub struct SimClock {
 impl SimClock {
     /// A clock with the given model, starting at `epoch`.
     pub fn new(model: CostModel, epoch: Timestamp) -> Self {
-        SimClock { model: Arc::new(model), state: Arc::new(Mutex::new(ClockState::default())), epoch }
+        SimClock {
+            model: Arc::new(model),
+            state: Arc::new(ClockState::default()),
+            epoch,
+        }
     }
 
     /// A paper-testbed clock starting at the paper's credential epoch.
@@ -197,19 +221,21 @@ impl SimClock {
         self.charge_n(kind, 1);
     }
 
-    /// Charge `n` operations of one kind.
+    /// Charge `n` operations of one kind (lock-free).
     pub fn charge_n(&self, kind: CostKind, n: u64) {
         if n == 0 {
             return;
         }
-        let mut state = self.state.lock();
-        state.elapsed += self.model.cost_of(kind) * n;
-        *state.counts.entry(kind).or_insert(0) += n;
+        let cost = self.model.cost_of(kind) * n;
+        self.state
+            .elapsed_micros
+            .fetch_add(cost.0, Ordering::Relaxed);
+        self.state.counts[kind.slot()].fetch_add(n, Ordering::Relaxed);
     }
 
     /// Total simulated time elapsed.
     pub fn elapsed(&self) -> SimDuration {
-        self.state.lock().elapsed
+        SimDuration(self.state.elapsed_micros.load(Ordering::Relaxed))
     }
 
     /// The current virtual calendar instant.
@@ -217,22 +243,31 @@ impl SimClock {
         self.epoch.plus_seconds(self.elapsed().as_secs_f64() as i64)
     }
 
-    /// Operation counts by kind.
+    /// Operation counts by kind (only kinds charged at least once).
     pub fn counts(&self) -> BTreeMap<CostKind, u64> {
-        self.state.lock().counts.clone()
+        CostKind::ALL
+            .into_iter()
+            .filter_map(|kind| {
+                let n = self.state.counts[kind.slot()].load(Ordering::Relaxed);
+                (n > 0).then_some((kind, n))
+            })
+            .collect()
     }
 
     /// Reset elapsed time and counters (a fresh measurement run).
     pub fn reset(&self) {
-        let mut state = self.state.lock();
-        state.elapsed = SimDuration::ZERO;
-        state.counts.clear();
+        self.state.elapsed_micros.store(0, Ordering::Relaxed);
+        for slot in &self.state.counts {
+            slot.store(0, Ordering::Relaxed);
+        }
     }
 
     /// Advance the virtual calendar without charging an operation (used by
     /// the VO operation phase to let months pass so certificates expire).
     pub fn advance(&self, duration: SimDuration) {
-        self.state.lock().elapsed += duration;
+        self.state
+            .elapsed_micros
+            .fetch_add(duration.0, Ordering::Relaxed);
     }
 
     /// The cost model in effect.
@@ -287,6 +322,23 @@ mod tests {
         let clone = clock.clone();
         clone.charge(CostKind::DbQuery);
         assert_eq!(clock.counts()[&CostKind::DbQuery], 1);
+    }
+
+    #[test]
+    fn concurrent_charges_lose_nothing() {
+        let clock = SimClock::new(CostModel::paper_testbed(), Timestamp(0));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let clock = clock.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        clock.charge(CostKind::PolicyEvaluation);
+                    }
+                });
+            }
+        });
+        assert_eq!(clock.counts()[&CostKind::PolicyEvaluation], 8000);
+        assert_eq!(clock.elapsed(), SimDuration::from_millis(6) * 8000);
     }
 
     #[test]

@@ -17,8 +17,8 @@
 //! charging the [`SimClock`] for every SOAP, DB, and crypto step so the
 //! Fig. 9 bench can read realistic virtual latencies.
 
-use crate::envelope::{Envelope, Fault};
 use crate::bus::ServiceEndpoint;
+use crate::envelope::{Envelope, Fault};
 use crate::simclock::{CostKind, SimClock};
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
@@ -82,7 +82,8 @@ impl TnService {
             .iter()
             .map(trust_vo_policy::xml::policy_to_xml)
             .collect();
-        self.clock.charge_n(CostKind::DbQuery, policy_docs.len() as u64);
+        self.clock
+            .charge_n(CostKind::DbQuery, policy_docs.len() as u64);
         let fresh_count = policy_docs.len();
         self.db.with_collection("policies", |c| {
             for (i, doc) in policy_docs.into_iter().enumerate() {
@@ -135,8 +136,9 @@ impl TnService {
                 .ok_or_else(|| Fault::new("BadRequest", format!("missing <{name}>")))
         };
         let strategy_name = get("strategy")?;
-        let strategy = Strategy::from_wire_name(&strategy_name)
-            .ok_or_else(|| Fault::new("BadRequest", format!("unknown strategy '{strategy_name}'")))?;
+        let strategy = Strategy::from_wire_name(&strategy_name).ok_or_else(|| {
+            Fault::new("BadRequest", format!("unknown strategy '{strategy_name}'"))
+        })?;
         let requester = get("requester")?;
         let controller = get("counterpartUrl")?;
         let resource = get("resource")?;
@@ -144,7 +146,10 @@ impl TnService {
             let parties = self.parties.read();
             for name in [&requester, &controller] {
                 if !parties.contains_key(name) {
-                    return Err(Fault::new("UnknownParty", format!("party '{name}' not registered")));
+                    return Err(Fault::new(
+                        "UnknownParty",
+                        format!("party '{name}' not registered"),
+                    ));
                 }
             }
         }
@@ -153,7 +158,13 @@ impl TnService {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         self.sessions.lock().insert(
             id,
-            Session { requester, controller, resource, strategy, state: SessionState::Started },
+            Session {
+                requester,
+                controller,
+                resource,
+                strategy,
+                state: SessionState::Started,
+            },
         );
         Ok(Envelope::request(
             "StartNegotiationResponse",
@@ -176,7 +187,9 @@ impl TnService {
         }
         let parties = self.parties.read();
         let requester = parties.get(&session.requester).expect("validated at start");
-        let controller = parties.get(&session.controller).expect("validated at start");
+        let controller = parties
+            .get(&session.controller)
+            .expect("validated at start");
         let cfg = self.config(session.strategy);
         let phase = evaluate_policies(requester, controller, &session.resource, &cfg);
         drop(parties);
@@ -185,12 +198,18 @@ impl TnService {
                 // Charge the work phase 1 performed: one DB fetch plus one
                 // evaluation per policy disclosed, and an ontology mapping
                 // per concept-term encountered in either policy set.
+                self.clock.charge_n(
+                    CostKind::DbQuery,
+                    phase.transcript.policies_disclosed as u64,
+                );
+                self.clock.charge_n(
+                    CostKind::PolicyEvaluation,
+                    phase.transcript.policies_disclosed as u64,
+                );
+                let concept_terms =
+                    self.concept_term_count(&session.requester, &session.controller);
                 self.clock
-                    .charge_n(CostKind::DbQuery, phase.transcript.policies_disclosed as u64);
-                self.clock
-                    .charge_n(CostKind::PolicyEvaluation, phase.transcript.policies_disclosed as u64);
-                let concept_terms = self.concept_term_count(&session.requester, &session.controller);
-                self.clock.charge_n(CostKind::OntologyMapping, concept_terms);
+                    .charge_n(CostKind::OntologyMapping, concept_terms);
                 let mut seq_el = Element::new("trustSequence");
                 for d in phase.sequence.disclosures() {
                     seq_el.children.push(Node::Element(
@@ -201,7 +220,10 @@ impl TnService {
                     ));
                 }
                 let response = Element::new("PolicyExchangeResponse")
-                    .attr("policiesDisclosed", phase.transcript.policies_disclosed.to_string())
+                    .attr(
+                        "policiesDisclosed",
+                        phase.transcript.policies_disclosed.to_string(),
+                    )
                     .attr("rounds", phase.transcript.policy_rounds.to_string())
                     .child(seq_el);
                 session.state = SessionState::Sequenced { phase, next: 0 };
@@ -262,7 +284,8 @@ impl TnService {
         self.clock.charge(CostKind::DbQuery);
         self.clock.charge(CostKind::SignatureVerify);
         let cfg = self.config(session.strategy);
-        let nonce = trust_vo_negotiation::engine::session_nonce(requester, controller, &session.resource);
+        let nonce =
+            trust_vo_negotiation::engine::session_nonce(requester, controller, &session.resource);
         let ownership = if cfg.strategy.requires_ownership_proof() {
             self.clock.charge(CostKind::SignatureSign);
             self.clock.charge(CostKind::SignatureVerify);
@@ -324,12 +347,19 @@ impl ServiceEndpoint for TnService {
             "StartNegotiation" => self.start_negotiation(request),
             "PolicyExchange" => self.policy_exchange(request),
             "CredentialExchange" => self.credential_exchange(request),
-            other => Err(Fault::new("NoSuchOperation", format!("operation '{other}' not supported"))),
+            other => Err(Fault::new(
+                "NoSuchOperation",
+                format!("operation '{other}' not supported"),
+            )),
         }
     }
 
     fn operations(&self) -> Vec<String> {
-        vec!["StartNegotiation".into(), "PolicyExchange".into(), "CredentialExchange".into()]
+        vec![
+            "StartNegotiation".into(),
+            "PolicyExchange".into(),
+            "CredentialExchange".into(),
+        ]
     }
 }
 
@@ -341,7 +371,10 @@ mod tests {
     use trust_vo_policy::{DisclosurePolicy, Resource, Term};
 
     fn clock() -> SimClock {
-        SimClock::new(CostModel::paper_testbed(), Timestamp::from_ymd_hms(2009, 6, 1, 0, 0, 0))
+        SimClock::new(
+            CostModel::paper_testbed(),
+            Timestamp::from_ymd_hms(2009, 6, 1, 0, 0, 0),
+        )
     }
 
     fn service_with_fig2() -> TnService {
@@ -350,11 +383,23 @@ mod tests {
         let mut aircraft = Party::new("Aircraft");
         let mut aerospace = Party::new("Aerospace");
         let quality = ca
-            .issue("WebDesignerQuality", "Aerospace", aerospace.keys.public, vec![], window)
+            .issue(
+                "WebDesignerQuality",
+                "Aerospace",
+                aerospace.keys.public,
+                vec![],
+                window,
+            )
             .unwrap();
         aerospace.profile.add(quality);
         let accr = ca
-            .issue("AAACreditation", "Aircraft", aircraft.keys.public, vec![], window)
+            .issue(
+                "AAACreditation",
+                "Aircraft",
+                aircraft.keys.public,
+                vec![],
+                window,
+            )
             .unwrap();
         aircraft.profile.add(accr);
         aircraft.policies.add(DisclosurePolicy::rule(
@@ -362,9 +407,10 @@ mod tests {
             Resource::service("VoMembership"),
             vec![Term::of_type("WebDesignerQuality")],
         ));
-        aircraft
-            .policies
-            .add(DisclosurePolicy::deliv("d1", Resource::credential("AAACreditation")));
+        aircraft.policies.add(DisclosurePolicy::deliv(
+            "d1",
+            Resource::credential("AAACreditation"),
+        ));
         aerospace.policies.add(DisclosurePolicy::rule(
             "p2",
             Resource::credential("WebDesignerQuality"),
@@ -389,7 +435,11 @@ mod tests {
                     .child(Element::new("resource").text("VoMembership")),
             ))
             .unwrap();
-        resp.body.child_text("negotiationId").unwrap().parse().unwrap()
+        resp.body
+            .child_text("negotiationId")
+            .unwrap()
+            .parse()
+            .unwrap()
     }
 
     #[test]
@@ -397,7 +447,10 @@ mod tests {
         let svc = service_with_fig2();
         let id = start(&svc, "standard");
         let policy_resp = svc
-            .handle(&Envelope::request("PolicyExchange", Element::new("PolicyExchangeRequest")).with_negotiation(id))
+            .handle(
+                &Envelope::request("PolicyExchange", Element::new("PolicyExchangeRequest"))
+                    .with_negotiation(id),
+            )
             .unwrap();
         let seq = policy_resp.body.first("trustSequence").unwrap();
         assert_eq!(seq.all("disclosure").count(), 2);
@@ -405,8 +458,11 @@ mod tests {
         for expected in ["in-progress", "completed"] {
             let resp = svc
                 .handle(
-                    &Envelope::request("CredentialExchange", Element::new("CredentialExchangeRequest"))
-                        .with_negotiation(id),
+                    &Envelope::request(
+                        "CredentialExchange",
+                        Element::new("CredentialExchangeRequest"),
+                    )
+                    .with_negotiation(id),
                 )
                 .unwrap();
             assert_eq!(resp.body.get_attr("status"), Some(expected));
@@ -419,9 +475,8 @@ mod tests {
         let svc = service_with_fig2();
         let before = svc.clock.elapsed();
         let id = start(&svc, "standard");
-        let _ = svc.handle(
-            &Envelope::request("PolicyExchange", Element::new("r")).with_negotiation(id),
-        );
+        let _ = svc
+            .handle(&Envelope::request("PolicyExchange", Element::new("r")).with_negotiation(id));
         assert!(svc.clock.elapsed() > before);
         let counts = svc.clock.counts();
         assert!(counts[&CostKind::DbQuery] >= 2);
@@ -432,7 +487,9 @@ mod tests {
     fn bad_requests_fault() {
         let svc = service_with_fig2();
         // Unknown operation.
-        let err = svc.handle(&Envelope::request("Frobnicate", Element::new("x"))).unwrap_err();
+        let err = svc
+            .handle(&Envelope::request("Frobnicate", Element::new("x")))
+            .unwrap_err();
         assert_eq!(err.code, "NoSuchOperation");
         // Unknown strategy.
         let err = svc
@@ -461,7 +518,9 @@ mod tests {
         // Credential exchange before policy exchange.
         let id = start(&svc, "standard");
         let err = svc
-            .handle(&Envelope::request("CredentialExchange", Element::new("x")).with_negotiation(id))
+            .handle(
+                &Envelope::request("CredentialExchange", Element::new("x")).with_negotiation(id),
+            )
             .unwrap_err();
         assert_eq!(err.code, "BadState");
         // Unknown negotiation id.
@@ -494,9 +553,16 @@ mod tests {
         let id = start(&svc, "suspicious");
         svc.handle(&Envelope::request("PolicyExchange", Element::new("x")).with_negotiation(id))
             .unwrap();
-        let signs_before = svc.clock.counts().get(&CostKind::SignatureSign).copied().unwrap_or(0);
-        svc.handle(&Envelope::request("CredentialExchange", Element::new("x")).with_negotiation(id))
-            .unwrap();
+        let signs_before = svc
+            .clock
+            .counts()
+            .get(&CostKind::SignatureSign)
+            .copied()
+            .unwrap_or(0);
+        svc.handle(
+            &Envelope::request("CredentialExchange", Element::new("x")).with_negotiation(id),
+        )
+        .unwrap();
         assert_eq!(
             svc.clock.counts()[&CostKind::SignatureSign],
             signs_before + 1
@@ -533,19 +599,13 @@ mod update_party_tests {
             ));
         }
         svc.register_party(party);
-        assert_eq!(
-            svc.database().with_collection("policies", |c| c.len()),
-            3
-        );
+        assert_eq!(svc.database().with_collection("policies", |c| c.len()), 3);
         // Re-register with a single policy: the two extra rows must go.
         let mut smaller = Party::new("P");
         smaller
             .policies
             .add(DisclosurePolicy::deliv("only", Resource::credential("C0")));
         svc.update_party(smaller);
-        assert_eq!(
-            svc.database().with_collection("policies", |c| c.len()),
-            1
-        );
+        assert_eq!(svc.database().with_collection("policies", |c| c.len()), 1);
     }
 }

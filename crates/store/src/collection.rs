@@ -34,11 +34,24 @@ struct Entry {
 }
 
 /// A named collection of versioned XML documents with XPath-subset queries.
-#[derive(Debug, Clone, Default)]
+///
+/// Reads take `&self`: the operation counter is atomic, so concurrent
+/// readers (e.g. parallel admission negotiations holding a shared read
+/// lock on the database) account their queries without write access.
+#[derive(Debug, Default)]
 pub struct Collection {
     entries: std::collections::BTreeMap<DocId, Entry>,
     /// Operations performed (reads + writes), for latency accounting.
-    ops: u64,
+    ops: std::sync::atomic::AtomicU64,
+}
+
+impl Clone for Collection {
+    fn clone(&self) -> Self {
+        Collection {
+            entries: self.entries.clone(),
+            ops: std::sync::atomic::AtomicU64::new(self.ops()),
+        }
+    }
 }
 
 impl Collection {
@@ -47,9 +60,13 @@ impl Collection {
         Self::default()
     }
 
+    fn count_op(&self) {
+        self.ops.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
     /// Insert or update a document; returns the new revision number.
     pub fn put(&mut self, id: impl Into<DocId>, doc: Element) -> u64 {
-        self.ops += 1;
+        self.count_op();
         let entry = self.entries.entry(id.into()).or_default();
         entry.deleted = false;
         let number = entry.revisions.last().map(|r| r.number + 1).unwrap_or(1);
@@ -58,8 +75,8 @@ impl Collection {
     }
 
     /// The latest revision of a live document.
-    pub fn get(&mut self, id: &DocId) -> Option<&Element> {
-        self.ops += 1;
+    pub fn get(&self, id: &DocId) -> Option<&Element> {
+        self.count_op();
         self.entries
             .get(id)
             .filter(|e| !e.deleted)
@@ -68,8 +85,8 @@ impl Collection {
     }
 
     /// A specific revision (even of a deleted document).
-    pub fn get_revision(&mut self, id: &DocId, number: u64) -> Option<&Element> {
-        self.ops += 1;
+    pub fn get_revision(&self, id: &DocId, number: u64) -> Option<&Element> {
+        self.count_op();
         self.entries
             .get(id)
             .and_then(|e| e.revisions.iter().find(|r| r.number == number))
@@ -78,7 +95,7 @@ impl Collection {
 
     /// Mark a document deleted (history retained). Returns whether it was live.
     pub fn delete(&mut self, id: &DocId) -> bool {
-        self.ops += 1;
+        self.count_op();
         match self.entries.get_mut(id) {
             Some(e) if !e.deleted => {
                 e.deleted = true;
@@ -90,7 +107,10 @@ impl Collection {
 
     /// Ids of all live documents.
     pub fn ids(&self) -> impl Iterator<Item = &DocId> {
-        self.entries.iter().filter(|(_, e)| !e.deleted).map(|(id, _)| id)
+        self.entries
+            .iter()
+            .filter(|(_, e)| !e.deleted)
+            .map(|(id, _)| id)
     }
 
     /// Number of live documents.
@@ -104,8 +124,8 @@ impl Collection {
     }
 
     /// All live documents matching an XPath condition.
-    pub fn find_all(&mut self, condition: &XPathExpr) -> Vec<(DocId, Element)> {
-        self.ops += 1;
+    pub fn find_all(&self, condition: &XPathExpr) -> Vec<(DocId, Element)> {
+        self.count_op();
         self.entries
             .iter()
             .filter(|(_, e)| !e.deleted)
@@ -117,13 +137,13 @@ impl Collection {
     }
 
     /// First live document matching a condition.
-    pub fn find(&mut self, condition: &XPathExpr) -> Option<(DocId, Element)> {
+    pub fn find(&self, condition: &XPathExpr) -> Option<(DocId, Element)> {
         self.find_all(condition).into_iter().next()
     }
 
     /// Extract values from every live document via a selector.
-    pub fn select_values(&mut self, selector: &Selector) -> Vec<String> {
-        self.ops += 1;
+    pub fn select_values(&self, selector: &Selector) -> Vec<String> {
+        self.count_op();
         self.entries
             .values()
             .filter(|e| !e.deleted)
@@ -134,7 +154,7 @@ impl Collection {
 
     /// Operations performed so far (the sim-clock charges per op).
     pub fn ops(&self) -> u64 {
-        self.ops
+        self.ops.load(std::sync::atomic::Ordering::Relaxed)
     }
 }
 
@@ -143,7 +163,9 @@ mod tests {
     use super::*;
 
     fn doc(name: &str, value: &str) -> Element {
-        Element::new("item").attr("name", name).child(Element::new("value").text(value))
+        Element::new("item")
+            .attr("name", name)
+            .child(Element::new("value").text(value))
     }
 
     #[test]
@@ -159,9 +181,15 @@ mod tests {
         let mut c = Collection::new();
         c.put("a", doc("a", "1"));
         assert_eq!(c.put("a", doc("a", "2")), 2);
-        assert_eq!(c.get(&"a".into()).unwrap().child_text("value").unwrap(), "2");
         assert_eq!(
-            c.get_revision(&"a".into(), 1).unwrap().child_text("value").unwrap(),
+            c.get(&"a".into()).unwrap().child_text("value").unwrap(),
+            "2"
+        );
+        assert_eq!(
+            c.get_revision(&"a".into(), 1)
+                .unwrap()
+                .child_text("value")
+                .unwrap(),
             "1"
         );
         assert!(c.get_revision(&"a".into(), 3).is_none());
@@ -190,7 +218,9 @@ mod tests {
         let cond = XPathExpr::parse("/item/value = 2").unwrap();
         let found = c.find_all(&cond);
         assert_eq!(found.len(), 2);
-        let one = c.find(&XPathExpr::parse("/item[@name='alpha']").unwrap()).unwrap();
+        let one = c
+            .find(&XPathExpr::parse("/item[@name='alpha']").unwrap())
+            .unwrap();
         assert_eq!(one.0, DocId("a".into()));
     }
 

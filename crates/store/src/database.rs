@@ -42,6 +42,15 @@ impl Database {
         f(collection)
     }
 
+    /// Run `f` with shared read access to the named collection. Unlike
+    /// [`Database::with_collection`] this takes the read lock, so any
+    /// number of readers proceed concurrently (collection reads are
+    /// `&self`); returns `None` when the collection does not exist.
+    pub fn read_collection<R>(&self, name: &str, f: impl FnOnce(&Collection) -> R) -> Option<R> {
+        let guard = self.inner.read();
+        guard.get(name).map(f)
+    }
+
     /// Does the named collection exist?
     pub fn has_collection(&self, name: &str) -> bool {
         self.inner.read().contains_key(name)
@@ -116,6 +125,45 @@ mod tests {
         });
         assert!(db2.has_collection("shared"));
         assert_eq!(db2.stats().documents, 1);
+    }
+
+    #[test]
+    fn read_collection_shares_access() {
+        let db = Database::new();
+        assert!(db.read_collection("missing", |_| ()).is_none());
+        db.with_collection("docs", |c| {
+            c.put("1", Element::new("x"));
+        });
+        let got = db.read_collection("docs", |c| c.get(&"1".into()).cloned());
+        assert!(got.expect("collection exists").is_some());
+        // Reads are counted even through the shared path.
+        let ops = db.stats().operations;
+        db.read_collection("docs", |c| {
+            c.get(&"1".into());
+        });
+        assert_eq!(db.stats().operations, ops + 1);
+    }
+
+    #[test]
+    fn concurrent_readers_count_every_op() {
+        let db = Database::new();
+        db.with_collection("docs", |c| {
+            c.put("1", Element::new("x"));
+        });
+        let ops_before = db.stats().operations;
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let db = db.clone();
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        db.read_collection("docs", |c| {
+                            c.get(&"1".into());
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(db.stats().operations, ops_before + 8 * 50);
     }
 
     #[test]

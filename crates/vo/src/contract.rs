@@ -27,7 +27,11 @@ impl Role {
         capability: impl Into<String>,
         requirements: impl Into<String>,
     ) -> Self {
-        Role { name: name.into(), capability: capability.into(), requirements: requirements.into() }
+        Role {
+            name: name.into(),
+            capability: capability.into(),
+            requirements: requirements.into(),
+        }
     }
 }
 
@@ -45,7 +49,11 @@ pub struct CollaborationRule {
 impl CollaborationRule {
     /// Construct a rule applying to all members.
     pub fn global(id: impl Into<String>, description: impl Into<String>) -> Self {
-        CollaborationRule { id: id.into(), description: description.into(), applies_to: Vec::new() }
+        CollaborationRule {
+            id: id.into(),
+            description: description.into(),
+            applies_to: Vec::new(),
+        }
     }
 
     /// Construct a rule scoped to specific roles.
@@ -129,11 +137,17 @@ impl Contract {
 
     /// The disclosure policies for a role, if defined.
     pub fn policies_for(&self, role: &str) -> Option<&PolicySet> {
-        self.role_policies.iter().find(|(r, _)| r == role).map(|(_, p)| p)
+        self.role_policies
+            .iter()
+            .find(|(r, _)| r == role)
+            .map(|(_, p)| p)
     }
 
     /// Rules binding a given role.
-    pub fn rules_for<'a>(&'a self, role: &'a str) -> impl Iterator<Item = &'a CollaborationRule> + 'a {
+    pub fn rules_for<'a>(
+        &'a self,
+        role: &'a str,
+    ) -> impl Iterator<Item = &'a CollaborationRule> + 'a {
         self.rules.iter().filter(move |rule| rule.binds(role))
     }
 }
@@ -148,7 +162,11 @@ mod tests {
             .with_role(Role::new("DesignPortal", "design-db", "ISO 9000 compliant"))
             .with_role(Role::new("HPC", "hpc-compute", "SLA 99.9%"))
             .with_rule(CollaborationRule::global("r1", "log all accesses"))
-            .with_rule(CollaborationRule::for_roles("r2", "encrypt stored data", &["HPC"]))
+            .with_rule(CollaborationRule::for_roles(
+                "r2",
+                "encrypt stored data",
+                &["HPC"],
+            ))
     }
 
     #[test]
@@ -181,8 +199,14 @@ mod tests {
         c.set_role_policies("HPC", set.clone());
         assert_eq!(c.policies_for("HPC").unwrap().len(), 1);
         let mut set2 = PolicySet::new();
-        set2.add(DisclosurePolicy::deliv("d", Resource::service("VoMembership")));
+        set2.add(DisclosurePolicy::deliv(
+            "d",
+            Resource::service("VoMembership"),
+        ));
         c.set_role_policies("HPC", set2);
-        assert!(c.policies_for("HPC").unwrap().is_deliverable("VoMembership"));
+        assert!(c
+            .policies_for("HPC")
+            .unwrap()
+            .is_deliverable("VoMembership"));
     }
 }

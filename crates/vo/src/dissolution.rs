@@ -62,17 +62,29 @@ mod tests {
     use trust_vo_soa::simclock::CostModel;
 
     fn formed() -> (FormedVo, RevocationList, SimClock) {
-        let clock = SimClock::new(CostModel::paper_testbed(), Timestamp::from_ymd_hms(2009, 6, 1, 0, 0, 0));
+        let clock = SimClock::new(
+            CostModel::paper_testbed(),
+            Timestamp::from_ymd_hms(2009, 6, 1, 0, 0, 0),
+        );
         let mut ca = CredentialAuthority::new("CA");
         let window = TimeRange::one_year_from(Timestamp::from_ymd_hms(2009, 1, 1, 0, 0, 0));
         let mut initiator_party = Party::new("Aircraft");
         initiator_party.trust_root(ca.public_key());
         let mut member_party = Party::new("StoreCo");
-        let sla = ca.issue("StorageSla", "StoreCo", member_party.keys.public, vec![], window).unwrap();
+        let sla = ca
+            .issue(
+                "StorageSla",
+                "StoreCo",
+                member_party.keys.public,
+                vec![],
+                window,
+            )
+            .unwrap();
         member_party.profile.add(sla);
         member_party.trust_root(ca.public_key());
 
-        let mut contract = Contract::new("VO", "goal").with_role(Role::new("Storage", "storage", "SLA"));
+        let mut contract =
+            Contract::new("VO", "goal").with_role(Role::new("Storage", "storage", "SLA"));
         let mut policies = PolicySet::new();
         policies.add(DisclosurePolicy::rule(
             "p",
@@ -115,7 +127,11 @@ mod tests {
     #[test]
     fn dissolve_requires_operation_phase() {
         let (vo, mut crl, clock) = formed();
-        let mut fresh = create_vo(vo.contract.clone(), &ServiceProvider::new(Party::new("Aircraft")), &clock);
+        let mut fresh = create_vo(
+            vo.contract.clone(),
+            &ServiceProvider::new(Party::new("Aircraft")),
+            &clock,
+        );
         let err = dissolve(&mut fresh, &mut crl, &clock).unwrap_err();
         assert!(matches!(err, VoError::WrongPhase { .. }));
     }

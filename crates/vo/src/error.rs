@@ -53,7 +53,10 @@ impl std::fmt::Display for VoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::WrongPhase { expected, actual } => {
-                write!(f, "operation requires phase {expected}, but the VO is in {actual}")
+                write!(
+                    f,
+                    "operation requires phase {expected}, but the VO is in {actual}"
+                )
             }
             Self::BadTransition { from, to } => {
                 write!(f, "invalid lifecycle transition {from} -> {to}")
@@ -61,10 +64,17 @@ impl std::fmt::Display for VoError {
             Self::UnknownRole(role) => write!(f, "role '{role}' is not in the contract"),
             Self::UnknownMember(member) => write!(f, "'{member}' is not a VO member"),
             Self::NoCandidates { role } => {
-                write!(f, "no registered provider offers the capability for role '{role}'")
+                write!(
+                    f,
+                    "no registered provider offers the capability for role '{role}'"
+                )
             }
             Self::RoleUnfilled { role, tried } => {
-                write!(f, "role '{role}' could not be filled (tried: {})", tried.join(", "))
+                write!(
+                    f,
+                    "role '{role}' could not be filled (tried: {})",
+                    tried.join(", ")
+                )
             }
             Self::Negotiation(e) => write!(f, "trust negotiation failed: {e}"),
             Self::InvalidMembership { member, detail } => {
@@ -90,22 +100,39 @@ mod tests {
     fn display_variants() {
         let cases: Vec<(VoError, &str)> = vec![
             (
-                VoError::WrongPhase { expected: Phase::Operation, actual: Phase::Formation },
+                VoError::WrongPhase {
+                    expected: Phase::Operation,
+                    actual: Phase::Formation,
+                },
                 "requires phase operation",
             ),
             (
-                VoError::BadTransition { from: Phase::Preparation, to: Phase::Operation },
+                VoError::BadTransition {
+                    from: Phase::Preparation,
+                    to: Phase::Operation,
+                },
                 "invalid lifecycle transition",
             ),
             (VoError::UnknownRole("HPC".into()), "role 'HPC'"),
             (VoError::UnknownMember("X".into()), "not a VO member"),
-            (VoError::NoCandidates { role: "Storage".into() }, "no registered provider"),
             (
-                VoError::RoleUnfilled { role: "HPC".into(), tried: vec!["A".into(), "B".into()] },
+                VoError::NoCandidates {
+                    role: "Storage".into(),
+                },
+                "no registered provider",
+            ),
+            (
+                VoError::RoleUnfilled {
+                    role: "HPC".into(),
+                    tried: vec!["A".into(), "B".into()],
+                },
                 "tried: A, B",
             ),
             (
-                VoError::InvalidMembership { member: "X".into(), detail: "expired".into() },
+                VoError::InvalidMembership {
+                    member: "X".into(),
+                    detail: "expired".into(),
+                },
                 "expired",
             ),
         ];
@@ -116,8 +143,10 @@ mod tests {
 
     #[test]
     fn negotiation_error_converts() {
-        let err: VoError =
-            NegotiationError::NoTrustSequence { resource: "VoMembership".into() }.into();
+        let err: VoError = NegotiationError::NoTrustSequence {
+            resource: "VoMembership".into(),
+        }
+        .into();
         assert!(err.to_string().contains("VoMembership"));
     }
 }

@@ -11,7 +11,29 @@
 //!
 //! [`join_member`] reproduces the §6.3.1 measured *join process* for one
 //! member (with or without TN — the two Fig. 9 bars); [`form_vo`] runs the
-//! whole Formation phase over every contract role.
+//! whole Formation phase over every contract role, and
+//! [`form_vo_parallel`] runs the same phase with the per-candidate trust
+//! negotiations fanned out over a scoped thread pool.
+//!
+//! # Parallel admission
+//!
+//! The serial admission loop is inherently ordered: candidate ranking
+//! depends on the reputation ledger, which earlier joins mutate. The
+//! parallel engine therefore splits formation into two steps:
+//!
+//! 1. **Speculate** — every (role, accepting-candidate) trust negotiation
+//!    is independent of reputation and of the other negotiations, so all
+//!    of them run concurrently on a scoped thread pool, through the shared
+//!    [`ConcurrentSequenceCache`], at the formation-start timestamp.
+//! 2. **Replay** — the exact serial decision procedure (ranking, attempt
+//!    order, reputation updates, sim-clock charges, serial allocation)
+//!    runs with negotiation results looked up from the speculation table
+//!    instead of recomputed.
+//!
+//! Replay consults only the attempts the serial algorithm would make, so
+//! the resulting [`FormedVo`] — members, roles, certificate serials — is
+//! identical to the serial one; negotiations speculated past the first
+//! success per role are the (bounded) price of the parallel fan-out.
 
 use crate::contract::Contract;
 use crate::error::VoError;
@@ -20,11 +42,16 @@ use crate::mailbox::{Invitation, MailboxSystem};
 use crate::member::{MemberRecord, ServiceProvider};
 use crate::registry::ServiceRegistry;
 use crate::reputation::ReputationLedger;
-use std::collections::BTreeMap;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use trust_vo_credential::x509::AttributeCertificate;
-use trust_vo_credential::TimeRange;
+use trust_vo_credential::{TimeRange, Timestamp};
 use trust_vo_crypto::{hex, KeyPair};
-use trust_vo_negotiation::{negotiate, NegotiationConfig, Party, Strategy, Transcript};
+use trust_vo_negotiation::{
+    negotiate, ConcurrentSequenceCache, NegotiationConfig, NegotiationError, NegotiationOutcome,
+    Party, Strategy, Transcript,
+};
 use trust_vo_soa::simclock::{CostKind, SimClock};
 
 /// A formed VO: the output of the Formation phase.
@@ -73,13 +100,22 @@ impl FormedVo {
 pub fn charge_negotiation(clock: &SimClock, transcript: &Transcript) {
     clock.charge_n(CostKind::SoapRoundTrip, transcript.policy_rounds as u64);
     clock.charge_n(CostKind::DbQuery, transcript.policies_disclosed as u64);
-    clock.charge_n(CostKind::PolicyEvaluation, transcript.policies_disclosed as u64);
+    clock.charge_n(
+        CostKind::PolicyEvaluation,
+        transcript.policies_disclosed as u64,
+    );
     // Each credential: one SOAP hop, one DB fetch, one verification.
-    clock.charge_n(CostKind::SoapRoundTrip, transcript.credentials_disclosed as u64);
+    clock.charge_n(
+        CostKind::SoapRoundTrip,
+        transcript.credentials_disclosed as u64,
+    );
     clock.charge_n(CostKind::DbQuery, transcript.credentials_disclosed as u64);
     clock.charge_n(CostKind::SignatureVerify, transcript.verifications as u64);
     clock.charge_n(CostKind::SignatureSign, transcript.ownership_proofs as u64);
-    clock.charge_n(CostKind::SignatureVerify, transcript.ownership_proofs as u64);
+    clock.charge_n(
+        CostKind::SignatureVerify,
+        transcript.ownership_proofs as u64,
+    );
 }
 
 /// The initiator's negotiation identity for one role: its own party data
@@ -117,9 +153,29 @@ fn issue_membership(
         vec![
             ("vo".into(), vo.name.clone()),
             ("role".into(), role.to_owned()),
-            ("voPublicKey".into(), hex::encode(&vo.vo_keys.public.0.to_be_bytes())),
+            (
+                "voPublicKey".into(),
+                hex::encode(&vo.vo_keys.public.0.to_be_bytes()),
+            ),
         ],
     )
+}
+
+/// How a join attempt resolves its trust negotiation.
+enum TnAction<'a> {
+    /// No TN (the paper's plain join bar).
+    Skip,
+    /// Negotiate now, at a fixed virtual instant, optionally through a
+    /// shared sequence cache.
+    Negotiate {
+        strategy: Strategy,
+        at: Timestamp,
+        cache: Option<&'a ConcurrentSequenceCache>,
+    },
+    /// Apply a speculatively precomputed outcome (parallel replay).
+    /// `None` means the speculation pass skipped this pair; reaching it is
+    /// a bug because speculation covers every accepting candidate.
+    Precomputed(Option<Result<NegotiationOutcome, NegotiationError>>),
 }
 
 /// The §6.3.1 join process for one member, with or without TN.
@@ -138,6 +194,32 @@ pub fn join_member(
     reputation: &mut ReputationLedger,
     clock: &SimClock,
     with_tn: Option<Strategy>,
+) -> Result<MemberRecord, VoError> {
+    let action = match with_tn {
+        Some(strategy) => TnAction::Negotiate {
+            strategy,
+            at: clock.timestamp(),
+            cache: None,
+        },
+        None => TnAction::Skip,
+    };
+    join_attempt(
+        vo, initiator, candidate, role, mailboxes, reputation, clock, action,
+    )
+}
+
+/// One join attempt: invitation flow, optional TN (live or precomputed),
+/// role assignment, membership certificate.
+#[allow(clippy::too_many_arguments)]
+fn join_attempt(
+    vo: &mut FormedVo,
+    initiator: &ServiceProvider,
+    candidate: &ServiceProvider,
+    role: &str,
+    mailboxes: &mut MailboxSystem,
+    reputation: &mut ReputationLedger,
+    clock: &SimClock,
+    tn: TnAction<'_>,
 ) -> Result<MemberRecord, VoError> {
     let role_def = vo
         .contract
@@ -170,10 +252,28 @@ pub fn join_member(
     clock.charge(CostKind::SoapRoundTrip);
 
     // The interleaved trust negotiation (Fig. 3, arrow 0 / Fig. 4).
-    if let Some(strategy) = with_tn {
-        let initiator_party = initiator_party_for_role(initiator, &vo.contract, role);
-        let cfg = NegotiationConfig::new(strategy, clock.timestamp());
-        match negotiate(&candidate.party, &initiator_party, "VoMembership", &cfg) {
+    let outcome = match tn {
+        TnAction::Skip => None,
+        TnAction::Negotiate {
+            strategy,
+            at,
+            cache,
+        } => {
+            let initiator_party = initiator_party_for_role(initiator, &vo.contract, role);
+            let cfg = NegotiationConfig::new(strategy, at);
+            Some(match cache {
+                Some(shared) => {
+                    shared.negotiate(&candidate.party, &initiator_party, "VoMembership", &cfg)
+                }
+                None => negotiate(&candidate.party, &initiator_party, "VoMembership", &cfg),
+            })
+        }
+        TnAction::Precomputed(outcome) => {
+            Some(outcome.expect("speculation covered every accepting candidate"))
+        }
+    };
+    if let Some(result) = outcome {
+        match result {
             Ok(outcome) => {
                 charge_negotiation(clock, &outcome.transcript);
                 reputation.record_success(candidate.name());
@@ -226,6 +326,112 @@ pub fn create_vo(contract: Contract, initiator: &ServiceProvider, clock: &SimClo
     }
 }
 
+/// A speculation-table key: (role name, provider name).
+type SpeculationKey = (String, String);
+
+/// Where the per-attempt trust negotiations come from during formation.
+enum TnSource<'a> {
+    /// Negotiate live as each attempt is made, optionally through a shared
+    /// sequence cache.
+    Live(Option<&'a ConcurrentSequenceCache>),
+    /// Look results up in a precomputed speculation table.
+    Table(HashMap<SpeculationKey, Result<NegotiationOutcome, NegotiationError>>),
+}
+
+/// The serial Formation decision procedure, parameterized over where each
+/// attempt's negotiation result comes from. Every negotiation — live or
+/// speculated — is configured at the formation-start instant, so the same
+/// contract and registry yield the same outcomes in every mode.
+#[allow(clippy::too_many_arguments)]
+fn form_vo_impl(
+    contract: Contract,
+    initiator: &ServiceProvider,
+    providers: &BTreeMap<String, ServiceProvider>,
+    registry: &ServiceRegistry,
+    mailboxes: &mut MailboxSystem,
+    reputation: &mut ReputationLedger,
+    clock: &SimClock,
+    strategy: Strategy,
+    mut tn: TnSource<'_>,
+) -> Result<FormedVo, VoError> {
+    let mut vo = create_vo(contract, initiator, clock);
+    let formation_at = clock.timestamp();
+    let roles: Vec<_> = vo.contract.roles.clone();
+    for role in &roles {
+        // Formation: "The VO Initiator queries public repositories to
+        // retrieve the information published during the Preparation phase."
+        clock.charge(CostKind::DbQuery);
+        let mut candidates: Vec<&crate::registry::ResourceDescription> =
+            registry.find_by_capability(&role.capability);
+        if candidates.is_empty() {
+            return Err(VoError::NoCandidates {
+                role: role.name.clone(),
+            });
+        }
+        // Order by advertised quality weighted by reputation.
+        candidates.sort_by(|a, b| {
+            let score =
+                |d: &crate::registry::ResourceDescription| d.quality * reputation.get(&d.provider);
+            score(b)
+                .partial_cmp(&score(a))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.provider.cmp(&b.provider))
+        });
+        let mut tried = Vec::new();
+        let mut assigned = false;
+        for description in candidates {
+            let Some(candidate) = providers.get(&description.provider) else {
+                continue;
+            };
+            tried.push(candidate.name().to_owned());
+            let action = match &mut tn {
+                TnSource::Live(cache) => TnAction::Negotiate {
+                    strategy,
+                    at: formation_at,
+                    cache: *cache,
+                },
+                // Successes are moved out (an outcome carries the whole
+                // explored negotiation tree — cloning it would cost as much
+                // as replaying); they are consumed at most once because a
+                // success ends the role's candidate loop. Failures are
+                // re-inserted (errors are small) so a provider listed under
+                // several matching registry entries sees the same
+                // deterministic outcome on every attempt.
+                TnSource::Table(table) => {
+                    let key = (role.name.clone(), candidate.name().to_owned());
+                    let entry = match table.remove(&key) {
+                        Some(Err(e)) => {
+                            table.insert(key, Err(e.clone()));
+                            Some(Err(e))
+                        }
+                        other => other,
+                    };
+                    TnAction::Precomputed(entry)
+                }
+            };
+            match join_attempt(
+                &mut vo, initiator, candidate, &role.name, mailboxes, reputation, clock, action,
+            ) {
+                Ok(_) => {
+                    assigned = true;
+                    break;
+                }
+                Err(_) => continue, // "looks for other potential members"
+            }
+        }
+        if !assigned {
+            return Err(VoError::RoleUnfilled {
+                role: role.name.clone(),
+                tried,
+            });
+        }
+    }
+    vo.lifecycle
+        .advance_to(Phase::Operation, clock.timestamp())
+        .expect("formation advances to operation");
+    Ok(vo)
+}
+
 /// Run the whole Formation phase: for every contract role, query the
 /// registry, invite candidates best-first (registry quality × reputation),
 /// negotiate, and assign the first success. Ends with the lifecycle in
@@ -241,57 +447,131 @@ pub fn form_vo(
     clock: &SimClock,
     strategy: Strategy,
 ) -> Result<FormedVo, VoError> {
-    let mut vo = create_vo(contract, initiator, clock);
-    let roles: Vec<_> = vo.contract.roles.clone();
-    for role in &roles {
-        // Formation: "The VO Initiator queries public repositories to
-        // retrieve the information published during the Preparation phase."
-        clock.charge(CostKind::DbQuery);
-        let mut candidates: Vec<&crate::registry::ResourceDescription> =
-            registry.find_by_capability(&role.capability);
-        if candidates.is_empty() {
-            return Err(VoError::NoCandidates { role: role.name.clone() });
-        }
-        // Order by advertised quality weighted by reputation.
-        candidates.sort_by(|a, b| {
-            let score = |d: &crate::registry::ResourceDescription| d.quality * reputation.get(&d.provider);
-            score(b)
-                .partial_cmp(&score(a))
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.provider.cmp(&b.provider))
-        });
-        let mut tried = Vec::new();
-        let mut assigned = false;
-        for description in candidates {
+    form_vo_impl(
+        contract,
+        initiator,
+        providers,
+        registry,
+        mailboxes,
+        reputation,
+        clock,
+        strategy,
+        TnSource::Live(None),
+    )
+}
+
+/// [`form_vo`], with every trust negotiation routed through a shared
+/// [`ConcurrentSequenceCache`]. Semantically identical to the uncached
+/// serial path; repeated negotiations against the same party reuse their
+/// phase-1 trust sequence.
+#[allow(clippy::too_many_arguments)]
+pub fn form_vo_cached(
+    contract: Contract,
+    initiator: &ServiceProvider,
+    providers: &BTreeMap<String, ServiceProvider>,
+    registry: &ServiceRegistry,
+    mailboxes: &mut MailboxSystem,
+    reputation: &mut ReputationLedger,
+    clock: &SimClock,
+    strategy: Strategy,
+    cache: &ConcurrentSequenceCache,
+) -> Result<FormedVo, VoError> {
+    form_vo_impl(
+        contract,
+        initiator,
+        providers,
+        registry,
+        mailboxes,
+        reputation,
+        clock,
+        strategy,
+        TnSource::Live(Some(cache)),
+    )
+}
+
+/// Run the Formation phase with the trust negotiations fanned out over a
+/// scoped thread pool (see the module docs' *Parallel admission* section).
+///
+/// Speculation covers every (role, accepting-candidate) pair, runs through
+/// the shared `cache`, and charges nothing to the sim-clock; the replay
+/// step then re-runs the exact serial decision procedure against the
+/// speculation table, so the returned [`FormedVo`] — member set, role
+/// assignment, certificate serials — is identical to [`form_vo_cached`]
+/// with the same inputs, as are the sim-clock charges.
+///
+/// `workers` bounds the pool (clamped to at least 1 and at most the number
+/// of speculation jobs).
+#[allow(clippy::too_many_arguments)]
+pub fn form_vo_parallel(
+    contract: Contract,
+    initiator: &ServiceProvider,
+    providers: &BTreeMap<String, ServiceProvider>,
+    registry: &ServiceRegistry,
+    mailboxes: &mut MailboxSystem,
+    reputation: &mut ReputationLedger,
+    clock: &SimClock,
+    strategy: Strategy,
+    cache: &ConcurrentSequenceCache,
+    workers: usize,
+) -> Result<FormedVo, VoError> {
+    let formation_at = clock.timestamp();
+
+    // Speculate: one job per (role, accepting candidate). Declining
+    // candidates never reach the negotiation step, so they need no entry.
+    let mut jobs: Vec<(String, &ServiceProvider, Party)> = Vec::new();
+    let mut seen: HashSet<SpeculationKey> = HashSet::new();
+    for role in &contract.roles {
+        for description in registry.find_by_capability(&role.capability) {
             let Some(candidate) = providers.get(&description.provider) else {
                 continue;
             };
-            tried.push(candidate.name().to_owned());
-            match join_member(
-                &mut vo,
-                initiator,
-                candidate,
-                &role.name,
-                mailboxes,
-                reputation,
-                clock,
-                Some(strategy),
-            ) {
-                Ok(_) => {
-                    assigned = true;
-                    break;
-                }
-                Err(_) => continue, // "looks for other potential members"
+            if !candidate.accepts_invitations {
+                continue;
+            }
+            if seen.insert((role.name.clone(), candidate.name().to_owned())) {
+                jobs.push((
+                    role.name.clone(),
+                    candidate,
+                    initiator_party_for_role(initiator, &contract, &role.name),
+                ));
             }
         }
-        if !assigned {
-            return Err(VoError::RoleUnfilled { role: role.name.clone(), tried });
-        }
     }
-    vo.lifecycle
-        .advance_to(Phase::Operation, clock.timestamp())
-        .expect("formation advances to operation");
-    Ok(vo)
+
+    let table: Mutex<HashMap<SpeculationKey, Result<NegotiationOutcome, NegotiationError>>> =
+        Mutex::new(HashMap::with_capacity(jobs.len()));
+    let next = AtomicUsize::new(0);
+    let workers = workers.max(1).min(jobs.len().max(1));
+    crossbeam::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some((role, candidate, initiator_party)) = jobs.get(i) else {
+                    break;
+                };
+                let cfg = NegotiationConfig::new(strategy, formation_at);
+                let result =
+                    cache.negotiate(&candidate.party, initiator_party, "VoMembership", &cfg);
+                table
+                    .lock()
+                    .insert((role.clone(), candidate.name().to_owned()), result);
+            });
+        }
+    })
+    .expect("speculation workers do not panic");
+
+    // Replay the serial decision procedure against the speculation table.
+    form_vo_impl(
+        contract,
+        initiator,
+        providers,
+        registry,
+        mailboxes,
+        reputation,
+        clock,
+        strategy,
+        TnSource::Table(table.into_inner()),
+    )
 }
 
 #[cfg(test)]
@@ -304,20 +584,34 @@ mod tests {
     use trust_vo_soa::simclock::CostModel;
 
     fn clock() -> SimClock {
-        SimClock::new(CostModel::paper_testbed(), Timestamp::from_ymd_hms(2009, 6, 1, 0, 0, 0))
+        SimClock::new(
+            CostModel::paper_testbed(),
+            Timestamp::from_ymd_hms(2009, 6, 1, 0, 0, 0),
+        )
     }
 
     /// A minimal one-role world: the initiator requires WebDesignerQuality
     /// for the DesignPortal role; two candidate providers exist, one with
     /// the credential and one without.
-    fn world() -> (Contract, ServiceProvider, BTreeMap<String, ServiceProvider>, ServiceRegistry) {
+    fn world() -> (
+        Contract,
+        ServiceProvider,
+        BTreeMap<String, ServiceProvider>,
+        ServiceRegistry,
+    ) {
         let mut ca = CredentialAuthority::new("AAA");
         let window = TimeRange::one_year_from(Timestamp::from_ymd_hms(2009, 1, 1, 0, 0, 0));
 
         let mut initiator_party = Party::new("Aircraft");
         let mut good = Party::new("Aerospace");
         let quality = ca
-            .issue("WebDesignerQuality", "Aerospace", good.keys.public, vec![], window)
+            .issue(
+                "WebDesignerQuality",
+                "Aerospace",
+                good.keys.public,
+                vec![],
+                window,
+            )
             .unwrap();
         good.profile.add(quality);
         good.trust_root(ca.public_key());
@@ -341,7 +635,12 @@ mod tests {
         let mut providers = BTreeMap::new();
         providers.insert("Aerospace".to_owned(), ServiceProvider::new(good));
         providers.insert("Shady Co".to_owned(), ServiceProvider::new(bad));
-        (contract, ServiceProvider::new(initiator_party), providers, registry)
+        (
+            contract,
+            ServiceProvider::new(initiator_party),
+            providers,
+            registry,
+        )
     }
 
     #[test]
@@ -387,8 +686,17 @@ mod tests {
         let mut vo1 = create_vo(contract.clone(), &initiator, &c1);
         let mut mail = MailboxSystem::new();
         let mut rep = ReputationLedger::new();
-        join_member(&mut vo1, &initiator, candidate, "DesignPortal", &mut mail, &mut rep, &c1, None)
-            .unwrap();
+        join_member(
+            &mut vo1,
+            &initiator,
+            candidate,
+            "DesignPortal",
+            &mut mail,
+            &mut rep,
+            &c1,
+            None,
+        )
+        .unwrap();
         let without = c1.elapsed();
 
         let c2 = clock();
@@ -405,7 +713,10 @@ mod tests {
         )
         .unwrap();
         let with = c2.elapsed();
-        assert!(with > without, "with TN {with} must exceed without {without}");
+        assert!(
+            with > without,
+            "with TN {with} must exceed without {without}"
+        );
         // The Fig. 9 shape: TN adds a modest fraction, not a multiple.
         let ratio = with.as_secs_f64() / without.as_secs_f64();
         assert!(ratio > 1.05 && ratio < 2.0, "ratio {ratio}");
@@ -470,14 +781,151 @@ mod tests {
     }
 
     #[test]
+    fn parallel_formation_matches_serial() {
+        let (contract, initiator, providers, registry) = world();
+
+        let serial_clock = clock();
+        let mut serial_rep = ReputationLedger::new();
+        let serial = form_vo(
+            contract.clone(),
+            &initiator,
+            &providers,
+            &registry,
+            &mut MailboxSystem::new(),
+            &mut serial_rep,
+            &serial_clock,
+            Strategy::Standard,
+        )
+        .unwrap();
+
+        let parallel_clock = clock();
+        let mut parallel_rep = ReputationLedger::new();
+        let cache = ConcurrentSequenceCache::new();
+        let parallel = form_vo_parallel(
+            contract,
+            &initiator,
+            &providers,
+            &registry,
+            &mut MailboxSystem::new(),
+            &mut parallel_rep,
+            &parallel_clock,
+            Strategy::Standard,
+            &cache,
+            4,
+        )
+        .unwrap();
+
+        let summary = |vo: &FormedVo| {
+            vo.members()
+                .iter()
+                .map(|m| (m.provider.clone(), m.role.clone(), m.certificate.serial))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(summary(&serial), summary(&parallel));
+        assert_eq!(serial_clock.elapsed(), parallel_clock.elapsed());
+        assert_eq!(serial_rep.get("Aerospace"), parallel_rep.get("Aerospace"));
+        assert_eq!(serial_rep.get("Shady Co"), parallel_rep.get("Shady Co"));
+        // Speculation ran both candidates through the shared cache.
+        let stats = cache.stats();
+        assert!(
+            stats.misses >= 1,
+            "speculation populates the cache: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn parallel_formation_with_declining_candidate_matches_serial_error() {
+        let (contract, initiator, mut providers, registry) = world();
+        providers.insert(
+            "Aerospace".to_owned(),
+            ServiceProvider::new(providers.get("Aerospace").unwrap().party.clone()).declining(),
+        );
+        let cache = ConcurrentSequenceCache::new();
+        let err = form_vo_parallel(
+            contract,
+            &initiator,
+            &providers,
+            &registry,
+            &mut MailboxSystem::new(),
+            &mut ReputationLedger::new(),
+            &clock(),
+            Strategy::Standard,
+            &cache,
+            4,
+        )
+        .unwrap_err();
+        assert!(matches!(err, VoError::RoleUnfilled { .. }));
+    }
+
+    #[test]
+    fn cached_formation_matches_uncached() {
+        let (contract, initiator, providers, registry) = world();
+        let uncached_clock = clock();
+        let uncached = form_vo(
+            contract.clone(),
+            &initiator,
+            &providers,
+            &registry,
+            &mut MailboxSystem::new(),
+            &mut ReputationLedger::new(),
+            &uncached_clock,
+            Strategy::Standard,
+        )
+        .unwrap();
+
+        let cached_clock = clock();
+        let cache = ConcurrentSequenceCache::new();
+        let cached = form_vo_cached(
+            contract,
+            &initiator,
+            &providers,
+            &registry,
+            &mut MailboxSystem::new(),
+            &mut ReputationLedger::new(),
+            &cached_clock,
+            Strategy::Standard,
+            &cache,
+        )
+        .unwrap();
+        let summary = |vo: &FormedVo| {
+            vo.members()
+                .iter()
+                .map(|m| (m.provider.clone(), m.role.clone(), m.certificate.serial))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(summary(&uncached), summary(&cached));
+        assert_eq!(uncached_clock.elapsed(), cached_clock.elapsed());
+    }
+
+    #[test]
     fn serials_are_unique() {
         let (contract, initiator, providers, _) = world();
         let clock = clock();
         let mut vo = create_vo(contract, &initiator, &clock);
         let mut mail = MailboxSystem::new();
         let mut rep = ReputationLedger::new();
-        let a = join_member(&mut vo, &initiator, providers.get("Aerospace").unwrap(), "DesignPortal", &mut mail, &mut rep, &clock, None).unwrap();
-        let b = join_member(&mut vo, &initiator, providers.get("Shady Co").unwrap(), "DesignPortal", &mut mail, &mut rep, &clock, None).unwrap();
+        let a = join_member(
+            &mut vo,
+            &initiator,
+            providers.get("Aerospace").unwrap(),
+            "DesignPortal",
+            &mut mail,
+            &mut rep,
+            &clock,
+            None,
+        )
+        .unwrap();
+        let b = join_member(
+            &mut vo,
+            &initiator,
+            providers.get("Shady Co").unwrap(),
+            "DesignPortal",
+            &mut mail,
+            &mut rep,
+            &clock,
+            None,
+        )
+        .unwrap();
         assert_ne!(a.certificate.serial, b.certificate.serial);
     }
 }

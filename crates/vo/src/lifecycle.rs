@@ -36,7 +36,10 @@ impl Phase {
 
     /// The next phase, if any.
     pub fn next(self) -> Option<Phase> {
-        let idx = Phase::ORDER.iter().position(|&p| p == self).expect("phase in ORDER");
+        let idx = Phase::ORDER
+            .iter()
+            .position(|&p| p == self)
+            .expect("phase in ORDER");
         Phase::ORDER.get(idx + 1).copied()
     }
 }
@@ -64,7 +67,10 @@ pub struct VoLifecycle {
 impl VoLifecycle {
     /// A lifecycle starting in Preparation at `at`.
     pub fn new(at: Timestamp) -> Self {
-        VoLifecycle { current: Phase::Preparation, history: vec![(Phase::Preparation, at)] }
+        VoLifecycle {
+            current: Phase::Preparation,
+            history: vec![(Phase::Preparation, at)],
+        }
     }
 
     /// The current phase.
@@ -79,7 +85,10 @@ impl VoLifecycle {
             self.history.push((to, at));
             Ok(())
         } else {
-            Err(VoError::BadTransition { from: self.current, to })
+            Err(VoError::BadTransition {
+                from: self.current,
+                to,
+            })
         }
     }
 
@@ -88,7 +97,10 @@ impl VoLifecycle {
         if self.current == phase {
             Ok(())
         } else {
-            Err(VoError::WrongPhase { expected: phase, actual: self.current })
+            Err(VoError::WrongPhase {
+                expected: phase,
+                actual: self.current,
+            })
         }
     }
 

@@ -43,7 +43,10 @@ impl MailboxSystem {
 
     /// Deliver an invitation to a provider's mailbox.
     pub fn deliver(&mut self, to: &str, invitation: Invitation) {
-        self.boxes.entry(to.to_owned()).or_default().push(invitation);
+        self.boxes
+            .entry(to.to_owned())
+            .or_default()
+            .push(invitation);
     }
 
     /// Read (without consuming) a provider's invitations.

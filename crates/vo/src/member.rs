@@ -17,7 +17,10 @@ pub struct ServiceProvider {
 impl ServiceProvider {
     /// A provider wrapping the given party, accepting invitations.
     pub fn new(party: Party) -> Self {
-        ServiceProvider { party, accepts_invitations: true }
+        ServiceProvider {
+            party,
+            accepts_invitations: true,
+        }
     }
 
     /// Builder: make the provider decline all invitations.
@@ -65,7 +68,11 @@ mod tests {
         let p = ServiceProvider::new(Party::new("HPC-A"));
         assert_eq!(p.name(), "HPC-A");
         assert!(p.accepts_invitations);
-        assert!(!ServiceProvider::new(Party::new("X")).declining().accepts_invitations);
+        assert!(
+            !ServiceProvider::new(Party::new("X"))
+                .declining()
+                .accepts_invitations
+        );
     }
 
     #[test]
@@ -79,9 +86,16 @@ mod tests {
             "Aircraft",
             &issuer,
             TimeRange::one_year_from(Timestamp(0)),
-            vec![("vo".into(), "AircraftOptimization".into()), ("role".into(), "HPC".into())],
+            vec![
+                ("vo".into(), "AircraftOptimization".into()),
+                ("role".into(), "HPC".into()),
+            ],
         );
-        let record = MemberRecord { provider: "HPC-A".into(), role: "HPC".into(), certificate: cert };
+        let record = MemberRecord {
+            provider: "HPC-A".into(),
+            role: "HPC".into(),
+            certificate: cert,
+        };
         assert_eq!(record.vo_name(), Some("AircraftOptimization"));
     }
 }

@@ -103,8 +103,13 @@ impl OperationLog {
     }
 
     /// Violations by a given member.
-    pub fn violations_by<'a>(&'a self, member: &'a str) -> impl Iterator<Item = &'a InteractionRecord> + 'a {
-        self.records.iter().filter(move |r| r.violation && r.from == member)
+    pub fn violations_by<'a>(
+        &'a self,
+        member: &'a str,
+    ) -> impl Iterator<Item = &'a InteractionRecord> + 'a {
+        self.records
+            .iter()
+            .filter(move |r| r.violation && r.from == member)
     }
 }
 
@@ -119,7 +124,10 @@ pub fn verify_membership(
     record
         .certificate
         .verify(at, Some(crl))
-        .map_err(|e| VoError::InvalidMembership { member: record.provider.clone(), detail: e.to_string() })
+        .map_err(|e| VoError::InvalidMembership {
+            member: record.provider.clone(),
+            detail: e.to_string(),
+        })
 }
 
 /// An operation-phase trust negotiation between two members: `requester`
@@ -202,14 +210,17 @@ pub fn replace_member(
     let mut candidates = registry.find_by_capability(&role_def.capability);
     candidates.retain(|d| d.provider != removed.provider);
     candidates.sort_by(|a, b| {
-        let score = |d: &crate::registry::ResourceDescription| d.quality * reputation.get(&d.provider);
+        let score =
+            |d: &crate::registry::ResourceDescription| d.quality * reputation.get(&d.provider);
         score(b)
             .partial_cmp(&score(a))
             .unwrap_or(std::cmp::Ordering::Equal)
             .then_with(|| a.provider.cmp(&b.provider))
     });
     if candidates.is_empty() {
-        return Err(VoError::NoCandidates { role: role.to_owned() });
+        return Err(VoError::NoCandidates {
+            role: role.to_owned(),
+        });
     }
     let mut tried = Vec::new();
     for description in candidates {
@@ -230,7 +241,10 @@ pub fn replace_member(
             return Ok(record);
         }
     }
-    Err(VoError::RoleUnfilled { role: role.to_owned(), tried })
+    Err(VoError::RoleUnfilled {
+        role: role.to_owned(),
+        tried,
+    })
 }
 
 /// Re-issue an expired membership certificate after a successful
@@ -259,8 +273,16 @@ pub fn renew_membership(
         .ok_or_else(|| VoError::UnknownMember(member.to_owned()))?;
     // Negotiate the renewal first; the old (expiring) record is only
     // retired once the new certificate is in hand.
-    let record =
-        join_member(vo, initiator, candidate, &role, mailboxes, reputation, clock, Some(strategy))?;
+    let record = join_member(
+        vo,
+        initiator,
+        candidate,
+        &role,
+        mailboxes,
+        reputation,
+        clock,
+        Some(strategy),
+    )?;
     vo.members.remove(idx);
     Ok(record)
 }
@@ -277,7 +299,10 @@ mod tests {
     use trust_vo_soa::simclock::{CostModel, SimDuration};
 
     fn clock() -> SimClock {
-        SimClock::new(CostModel::paper_testbed(), Timestamp::from_ymd_hms(2009, 6, 1, 0, 0, 0))
+        SimClock::new(
+            CostModel::paper_testbed(),
+            Timestamp::from_ymd_hms(2009, 6, 1, 0, 0, 0),
+        )
     }
 
     struct World {
@@ -300,7 +325,9 @@ mod tests {
         let mut providers = BTreeMap::new();
         for name in ["HPC-A", "HPC-B"] {
             let mut party = Party::new(name);
-            let sla = ca.issue("HpcSla", name, party.keys.public, vec![], window).unwrap();
+            let sla = ca
+                .issue("HpcSla", name, party.keys.public, vec![], window)
+                .unwrap();
             party.profile.add(sla);
             party.trust_root(ca.public_key());
             // Members expose a ControlFile service to each other, gated on
@@ -343,17 +370,41 @@ mod tests {
             Strategy::Standard,
         )
         .unwrap();
-        World { vo, initiator, providers, registry, mailboxes, reputation, clock }
+        World {
+            vo,
+            initiator,
+            providers,
+            registry,
+            mailboxes,
+            reputation,
+            clock,
+        }
     }
 
     #[test]
     fn interactions_recorded_and_reputation_updates() {
         let mut w = world();
         let mut log = OperationLog::new();
-        log.record(&w.vo, &mut w.reputation, "HPC-A", "Aircraft", "flow solution computed", false, w.clock.timestamp())
-            .unwrap();
-        log.record(&w.vo, &mut w.reputation, "HPC-A", "Aircraft", "SLA missed", true, w.clock.timestamp())
-            .unwrap();
+        log.record(
+            &w.vo,
+            &mut w.reputation,
+            "HPC-A",
+            "Aircraft",
+            "flow solution computed",
+            false,
+            w.clock.timestamp(),
+        )
+        .unwrap();
+        log.record(
+            &w.vo,
+            &mut w.reputation,
+            "HPC-A",
+            "Aircraft",
+            "SLA missed",
+            true,
+            w.clock.timestamp(),
+        )
+        .unwrap();
         assert_eq!(log.records().len(), 2);
         assert_eq!(log.violations_by("HPC-A").count(), 1);
         // One success (+0.05) + formation success (+0.05) then one violation (-0.2).
@@ -365,7 +416,15 @@ mod tests {
         let mut w = world();
         let mut log = OperationLog::new();
         let err = log
-            .record(&w.vo, &mut w.reputation, "Ghost", "Aircraft", "x", false, w.clock.timestamp())
+            .record(
+                &w.vo,
+                &mut w.reputation,
+                "Ghost",
+                "Aircraft",
+                "x",
+                false,
+                w.clock.timestamp(),
+            )
             .unwrap_err();
         assert!(matches!(err, VoError::UnknownMember(_)));
     }
@@ -428,7 +487,8 @@ mod tests {
         let record = w.vo.member_for_role("HPC").unwrap();
         let crl = RevocationList::new();
         // Advance the virtual calendar 2 years.
-        w.clock.advance(SimDuration::from_millis(2 * 365 * 24 * 3600 * 1000));
+        w.clock
+            .advance(SimDuration::from_millis(2 * 365 * 24 * 3600 * 1000));
         let err = verify_membership(&w.vo, record, w.clock.timestamp(), &crl).unwrap_err();
         assert!(matches!(err, VoError::InvalidMembership { .. }));
     }
@@ -482,10 +542,22 @@ mod tests {
         let mut w = world();
         let mut log = OperationLog::new();
         for _ in 0..2 {
-            log.record(&w.vo, &mut w.reputation, "HPC-A", "Aircraft", "violation", true, w.clock.timestamp())
-                .unwrap();
+            log.record(
+                &w.vo,
+                &mut w.reputation,
+                "HPC-A",
+                "Aircraft",
+                "violation",
+                true,
+                w.clock.timestamp(),
+            )
+            .unwrap();
         }
-        assert!(w.reputation.needs_replacement("HPC-A", REPLACEMENT_THRESHOLD));
-        assert!(!w.reputation.needs_replacement("HPC-B", REPLACEMENT_THRESHOLD));
+        assert!(w
+            .reputation
+            .needs_replacement("HPC-A", REPLACEMENT_THRESHOLD));
+        assert!(!w
+            .reputation
+            .needs_replacement("HPC-B", REPLACEMENT_THRESHOLD));
     }
 }

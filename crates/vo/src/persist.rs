@@ -77,8 +77,12 @@ fn cert_from_xml(el: &Element) -> Result<AttributeCertificate, PersistError> {
     }
     let mut attributes = Vec::new();
     for a in el.all("attr") {
-        let name = a.get_attr("name").ok_or_else(|| PersistError("attr missing name".into()))?;
-        let value = a.get_attr("value").ok_or_else(|| PersistError("attr missing value".into()))?;
+        let name = a
+            .get_attr("name")
+            .ok_or_else(|| PersistError("attr missing name".into()))?;
+        let value = a
+            .get_attr("value")
+            .ok_or_else(|| PersistError("attr missing value".into()))?;
         attributes.push((name.to_owned(), value.to_owned()));
     }
     let parse_u64 = |name: &str| -> Result<u64, PersistError> {
@@ -92,9 +96,15 @@ fn cert_from_xml(el: &Element) -> Result<AttributeCertificate, PersistError> {
         holder_key: key_from_hex(&attr("holderKey")?, "holderKey")?,
         issuer: attr("issuer")?,
         issuer_key: key_from_hex(&attr("issuerKey")?, "issuerKey")?,
-        validity: TimeRange { not_before, not_after },
+        validity: TimeRange {
+            not_before,
+            not_after,
+        },
         attributes,
-        signature: Signature { r: parse_u64("sigR")?, s: parse_u64("sigS")? },
+        signature: Signature {
+            r: parse_u64("sigR")?,
+            s: parse_u64("sigS")?,
+        },
     })
 }
 
@@ -114,7 +124,9 @@ pub fn vo_to_xml(vo: &FormedVo) -> Element {
             .attr("id", &rule.id)
             .attr("description", &rule.description);
         for r in &rule.applies_to {
-            rule_el.children.push(Node::Element(Element::new("appliesTo").text(r)));
+            rule_el
+                .children
+                .push(Node::Element(Element::new("appliesTo").text(r)));
         }
         contract_el.children.push(Node::Element(rule_el));
     }
@@ -138,7 +150,10 @@ pub fn vo_to_xml(vo: &FormedVo) -> Element {
     Element::new("virtualOrganization")
         .attr("name", &vo.name)
         .attr("initiator", &vo.initiator)
-        .attr("voPublicKey", hex::encode(&vo.vo_keys.public.0.to_be_bytes()))
+        .attr(
+            "voPublicKey",
+            hex::encode(&vo.vo_keys.public.0.to_be_bytes()),
+        )
         .child(contract_el)
         .child(lifecycle_el)
         .child(members_el)
@@ -154,7 +169,10 @@ fn phase_from_str(text: &str) -> Option<Phase> {
 /// in this reproduction); the stored public key is checked against it.
 pub fn vo_from_xml(root: &Element) -> Result<FormedVo, PersistError> {
     if root.name != "virtualOrganization" {
-        return Err(PersistError(format!("expected <virtualOrganization>, found <{}>", root.name)));
+        return Err(PersistError(format!(
+            "expected <virtualOrganization>, found <{}>",
+            root.name
+        )));
     }
     let name = root
         .get_attr("name")
@@ -166,11 +184,14 @@ pub fn vo_from_xml(root: &Element) -> Result<FormedVo, PersistError> {
         .to_owned();
     let vo_keys = KeyPair::from_seed(format!("vo:{name}").as_bytes());
     let stored_key = key_from_hex(
-        root.get_attr("voPublicKey").ok_or_else(|| PersistError("missing voPublicKey".into()))?,
+        root.get_attr("voPublicKey")
+            .ok_or_else(|| PersistError("missing voPublicKey".into()))?,
         "voPublicKey",
     )?;
     if stored_key != vo_keys.public {
-        return Err(PersistError("stored VO public key does not match the VO name".into()));
+        return Err(PersistError(
+            "stored VO public key does not match the VO name".into(),
+        ));
     }
     // Contract.
     let contract_el = root
@@ -208,7 +229,9 @@ pub fn vo_from_xml(root: &Element) -> Result<FormedVo, PersistError> {
     let first_at = Timestamp::parse_iso(first.get_attr("at").unwrap_or_default())
         .ok_or_else(|| PersistError("bad lifecycle timestamp".into()))?;
     if first.get_attr("phase") != Some("preparation") {
-        return Err(PersistError("lifecycle history must start at preparation".into()));
+        return Err(PersistError(
+            "lifecycle history must start at preparation".into(),
+        ));
     }
     let mut lifecycle = VoLifecycle::new(first_at);
     for t in transitions {
@@ -277,13 +300,18 @@ mod tests {
     use trust_vo_soa::simclock::{CostModel, SimClock};
 
     fn formed() -> (FormedVo, SimClock) {
-        let clock = SimClock::new(CostModel::free(), Timestamp::from_ymd_hms(2009, 6, 1, 0, 0, 0));
+        let clock = SimClock::new(
+            CostModel::free(),
+            Timestamp::from_ymd_hms(2009, 6, 1, 0, 0, 0),
+        );
         let mut ca = CredentialAuthority::new("CA");
         let window = TimeRange::one_year_from(Timestamp::from_ymd_hms(2009, 1, 1, 0, 0, 0));
         let mut initiator_party = Party::new("Aircraft");
         initiator_party.trust_root(ca.public_key());
         let mut member = Party::new("StoreCo");
-        let sla = ca.issue("StorageSla", "StoreCo", member.keys.public, vec![], window).unwrap();
+        let sla = ca
+            .issue("StorageSla", "StoreCo", member.keys.public, vec![], window)
+            .unwrap();
         member.profile.add(sla);
         member.trust_root(ca.public_key());
         let mut contract = Contract::new("PersistVO", "goal")
@@ -338,10 +366,7 @@ mod tests {
         let back = load_vo(&db, "PersistVO").unwrap();
         for m in back.members() {
             assert!(m.certificate.verify_signature().is_ok(), "{}", m.provider);
-            assert!(m
-                .certificate
-                .verify(clock.timestamp(), None)
-                .is_ok());
+            assert!(m.certificate.verify(clock.timestamp(), None).is_ok());
         }
     }
 

@@ -71,8 +71,11 @@ impl ServiceRegistry {
 
     /// Providers advertising `capability`, best quality first.
     pub fn find_by_capability(&self, capability: &str) -> Vec<&ResourceDescription> {
-        let mut found: Vec<&ResourceDescription> =
-            self.entries.iter().filter(|e| e.capability == capability).collect();
+        let mut found: Vec<&ResourceDescription> = self
+            .entries
+            .iter()
+            .filter(|e| e.capability == capability)
+            .collect();
         found.sort_by(|a, b| {
             b.quality
                 .partial_cmp(&a.quality)
@@ -83,7 +86,10 @@ impl ServiceRegistry {
     }
 
     /// All publications of one provider.
-    pub fn by_provider<'a>(&'a self, provider: &'a str) -> impl Iterator<Item = &'a ResourceDescription> + 'a {
+    pub fn by_provider<'a>(
+        &'a self,
+        provider: &'a str,
+    ) -> impl Iterator<Item = &'a ResourceDescription> + 'a {
         self.entries.iter().filter(move |e| e.provider == provider)
     }
 
@@ -104,9 +110,24 @@ mod tests {
 
     fn registry() -> ServiceRegistry {
         let mut r = ServiceRegistry::new();
-        r.publish(ResourceDescription::new("HPC-A", "hpc-compute", "soap://hpc-a", 0.9));
-        r.publish(ResourceDescription::new("HPC-B", "hpc-compute", "soap://hpc-b", 0.95));
-        r.publish(ResourceDescription::new("StoreCo", "storage", "soap://store", 0.8));
+        r.publish(ResourceDescription::new(
+            "HPC-A",
+            "hpc-compute",
+            "soap://hpc-a",
+            0.9,
+        ));
+        r.publish(ResourceDescription::new(
+            "HPC-B",
+            "hpc-compute",
+            "soap://hpc-b",
+            0.95,
+        ));
+        r.publish(ResourceDescription::new(
+            "StoreCo",
+            "storage",
+            "soap://store",
+            0.8,
+        ));
         r
     }
 
@@ -132,7 +153,12 @@ mod tests {
     #[test]
     fn republish_replaces() {
         let mut r = registry();
-        r.publish(ResourceDescription::new("HPC-A", "hpc-compute", "soap://hpc-a2", 0.99));
+        r.publish(ResourceDescription::new(
+            "HPC-A",
+            "hpc-compute",
+            "soap://hpc-a2",
+            0.99,
+        ));
         let found = r.find_by_capability("hpc-compute");
         assert_eq!(found.len(), 2);
         assert_eq!(found[0].provider, "HPC-A");

@@ -35,12 +35,16 @@ impl ReputationLedger {
 
     /// The reputation of a party (default for unknown parties).
     pub fn get(&self, party: &str) -> f64 {
-        self.scores.get(party).copied().unwrap_or(DEFAULT_REPUTATION)
+        self.scores
+            .get(party)
+            .copied()
+            .unwrap_or(DEFAULT_REPUTATION)
     }
 
     fn adjust(&mut self, party: &str, delta: f64) {
         let current = self.get(party);
-        self.scores.insert(party.to_owned(), (current + delta).clamp(0.0, 1.0));
+        self.scores
+            .insert(party.to_owned(), (current + delta).clamp(0.0, 1.0));
         self.events += 1;
     }
 

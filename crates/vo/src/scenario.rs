@@ -27,9 +27,7 @@ use crate::member::ServiceProvider;
 use crate::registry::ResourceDescription;
 use crate::toolkit::VoToolkit;
 use std::collections::BTreeMap;
-use trust_vo_credential::{
-    Attribute, CredentialAuthority, Sensitivity, TimeRange, Timestamp,
-};
+use trust_vo_credential::{Attribute, CredentialAuthority, Sensitivity, TimeRange, Timestamp};
 use trust_vo_negotiation::{
     negotiate, NegotiationConfig, NegotiationError, NegotiationOutcome, Party, Strategy,
 };
@@ -131,8 +129,10 @@ impl AircraftScenario {
         let ontology = reference_ontology();
         let mut toolkit = VoToolkit::new(clock);
 
-        let root_keys: Vec<_> =
-            [&infn, &aaa, &bbb, &sla_cert].iter().map(|ca| ca.public_key()).collect();
+        let root_keys: Vec<_> = [&infn, &aaa, &bbb, &sla_cert]
+            .iter()
+            .map(|ca| ca.public_key())
+            .collect();
         let trust_all = move |party: &mut Party| {
             for key in &root_keys {
                 party.trust_root(*key);
@@ -151,13 +151,18 @@ impl AircraftScenario {
                 window,
             )
             .expect("open schema");
-        aircraft.profile.add_with_sensitivity(accreditation, Sensitivity::Low);
+        aircraft
+            .profile
+            .add_with_sensitivity(accreditation, Sensitivity::Low);
         let balance_sheet = bbb
             .issue(
                 "CertificationAuthorityCompany",
                 names::AIRCRAFT,
                 aircraft.keys.public,
-                vec![Attribute::new("Issuer", "BBB"), Attribute::new("Year", 2009i64)],
+                vec![
+                    Attribute::new("Issuer", "BBB"),
+                    Attribute::new("Year", 2009i64),
+                ],
                 window,
             )
             .expect("open schema");
@@ -173,13 +178,16 @@ impl AircraftScenario {
                 window,
             )
             .expect("open schema");
-        aircraft.profile.add_with_sensitivity(privacy, Sensitivity::Medium);
+        aircraft
+            .profile
+            .add_with_sensitivity(privacy, Sensitivity::Medium);
         // The initiator's credentials are freely deliverable within a
         // negotiation, except the balance sheet, which mutually requires
         // the counterpart's quality certification.
-        aircraft
-            .policies
-            .add(DisclosurePolicy::deliv("air-d1", Resource::credential("AAAccreditation")));
+        aircraft.policies.add(DisclosurePolicy::deliv(
+            "air-d1",
+            Resource::credential("AAAccreditation"),
+        ));
         aircraft.policies.add(DisclosurePolicy::rule(
             "air-p1",
             Resource::credential("CertificationAuthorityCompany"),
@@ -216,7 +224,9 @@ impl AircraftScenario {
                 window,
             )
             .expect("open schema");
-        aerospace.profile.add_with_sensitivity(aaa_member, Sensitivity::Low);
+        aerospace
+            .profile
+            .add_with_sensitivity(aaa_member, Sensitivity::Low);
         // §5: "The Aerospace company, in order to give proof of the
         // compliance to quality, wants the Aircraft company to prove that
         // [it] has an accreditation released by the American Aircraft
@@ -234,9 +244,10 @@ impl AircraftScenario {
             vec![Term::of_concept("BusinessProof")
                 .with_condition(Condition::parse("//content/Issuer = 'BBB'").unwrap())],
         ));
-        aerospace
-            .policies
-            .add(DisclosurePolicy::deliv("aero-d1", Resource::credential("AAAMember")));
+        aerospace.policies.add(DisclosurePolicy::deliv(
+            "aero-d1",
+            Resource::credential("AAAMember"),
+        ));
         toolkit.host_register(
             ServiceProvider::new(aerospace),
             vec![ResourceDescription::new(
@@ -271,7 +282,9 @@ impl AircraftScenario {
                 window,
             )
             .expect("open schema");
-        consultancy.profile.add_with_sensitivity(iso002, Sensitivity::Medium);
+        consultancy
+            .profile
+            .add_with_sensitivity(iso002, Sensitivity::Medium);
         let privacy = infn
             .issue(
                 "PrivacyRegulator",
@@ -281,10 +294,13 @@ impl AircraftScenario {
                 window,
             )
             .expect("open schema");
-        consultancy.profile.add_with_sensitivity(privacy, Sensitivity::Medium);
         consultancy
-            .policies
-            .add(DisclosurePolicy::deliv("con-d1", Resource::credential("OptimizationCapability")));
+            .profile
+            .add_with_sensitivity(privacy, Sensitivity::Medium);
+        consultancy.policies.add(DisclosurePolicy::deliv(
+            "con-d1",
+            Resource::credential("OptimizationCapability"),
+        ));
         consultancy.policies.add(DisclosurePolicy::rule(
             "con-p1",
             Resource::credential("ISO002Certification"),
@@ -331,10 +347,14 @@ impl AircraftScenario {
                 )
                 .expect("open schema");
             hpc.profile.add(privacy);
-            hpc.policies
-                .add(DisclosurePolicy::deliv("hpc-d1", Resource::credential("HpcSla")));
-            hpc.policies
-                .add(DisclosurePolicy::deliv("hpc-d2", Resource::credential("PrivacyRegulator")));
+            hpc.policies.add(DisclosurePolicy::deliv(
+                "hpc-d1",
+                Resource::credential("HpcSla"),
+            ));
+            hpc.policies.add(DisclosurePolicy::deliv(
+                "hpc-d2",
+                Resource::credential("PrivacyRegulator"),
+            ));
             // Members grant the flow-solution service to holders of a
             // privacy credential (exercised in the operation phase).
             hpc.policies.add(DisclosurePolicy::rule(
@@ -344,7 +364,12 @@ impl AircraftScenario {
             ));
             toolkit.host_register(
                 ServiceProvider::new(hpc),
-                vec![ResourceDescription::new(name, "hpc-compute", "soap://hpc/run", quality)],
+                vec![ResourceDescription::new(
+                    name,
+                    "hpc-compute",
+                    "soap://hpc/run",
+                    quality,
+                )],
             );
         }
 
@@ -361,12 +386,18 @@ impl AircraftScenario {
             )
             .expect("open schema");
         storage.profile.add(sla);
-        storage
-            .policies
-            .add(DisclosurePolicy::deliv("sto-d1", Resource::credential("StorageSla")));
+        storage.policies.add(DisclosurePolicy::deliv(
+            "sto-d1",
+            Resource::credential("StorageSla"),
+        ));
         toolkit.host_register(
             ServiceProvider::new(storage),
-            vec![ResourceDescription::new(names::STORAGE, "storage", "soap://storage", 0.9)],
+            vec![ResourceDescription::new(
+                names::STORAGE,
+                "storage",
+                "soap://storage",
+                0.9,
+            )],
         );
 
         // ---- Contract (Identification phase) ----
@@ -384,9 +415,20 @@ impl AircraftScenario {
             "design-optimization",
             "advanced aerospace design optimization capability",
         ))
-        .with_role(Role::new(roles::HPC, "hpc-compute", "numerical simulation, SLA >= 99%"))
-        .with_role(Role::new(roles::STORAGE, "storage", "industrial engineering analysis data"))
-        .with_rule(CollaborationRule::global("log-all", "log every cross-member access"))
+        .with_role(Role::new(
+            roles::HPC,
+            "hpc-compute",
+            "numerical simulation, SLA >= 99%",
+        ))
+        .with_role(Role::new(
+            roles::STORAGE,
+            "storage",
+            "industrial engineering analysis data",
+        ))
+        .with_rule(CollaborationRule::global(
+            "log-all",
+            "log every cross-member access",
+        ))
         .with_rule(CollaborationRule::for_roles(
             "sla-uptime",
             "maintain advertised availability",
@@ -433,7 +475,11 @@ impl AircraftScenario {
         for ca in [infn, aaa, bbb, sla_cert] {
             authorities.insert(ca.name.clone(), ca);
         }
-        AircraftScenario { toolkit, contract, authorities }
+        AircraftScenario {
+            toolkit,
+            contract,
+            authorities,
+        }
     }
 
     /// Run the Formation phase for the whole contract.
@@ -453,7 +499,10 @@ impl AircraftScenario {
     /// The Fig. 2 negotiation, standalone: the Aerospace Company requests
     /// the VO membership from the Aircraft Company (whose Identification-
     /// phase Design-Portal policies are active).
-    pub fn fig2_negotiation(&self, strategy: Strategy) -> Result<NegotiationOutcome, NegotiationError> {
+    pub fn fig2_negotiation(
+        &self,
+        strategy: Strategy,
+    ) -> Result<NegotiationOutcome, NegotiationError> {
         let mut initiator = self.provider(names::AIRCRAFT).party.clone();
         if let Some(set) = self.contract.policies_for(roles::DESIGN_PORTAL) {
             for policy in set.iter() {
@@ -478,7 +527,11 @@ mod tests {
         assert_eq!(s.contract.roles.len(), 4);
         assert_eq!(s.authorities.len(), 4);
         for role in &s.contract.roles {
-            assert!(s.contract.policies_for(&role.name).is_some(), "{}", role.name);
+            assert!(
+                s.contract.policies_for(&role.name).is_some(),
+                "{}",
+                role.name
+            );
         }
     }
 
@@ -546,7 +599,10 @@ mod tests {
             .iter()
             .map(|d| d.cred_type.as_str())
             .collect();
-        assert!(types.contains(&"CertificationAuthorityCompany"), "{types:?}");
+        assert!(
+            types.contains(&"CertificationAuthorityCompany"),
+            "{types:?}"
+        );
     }
 
     #[test]

@@ -48,7 +48,12 @@ struct ServiceState {
 impl VoManagementService {
     /// Wrap a toolkit.
     pub fn new(toolkit: VoToolkit) -> Self {
-        VoManagementService { state: Mutex::new(ServiceState { toolkit, vos: Vec::new() }) }
+        VoManagementService {
+            state: Mutex::new(ServiceState {
+                toolkit,
+                vos: Vec::new(),
+            }),
+        }
     }
 
     /// Run `f` with the underlying toolkit (test/setup access).
@@ -58,7 +63,12 @@ impl VoManagementService {
 
     /// A snapshot of a formed VO by name.
     pub fn vo(&self, name: &str) -> Option<FormedVo> {
-        self.state.lock().vos.iter().find(|v| v.name == name).cloned()
+        self.state
+            .lock()
+            .vos
+            .iter()
+            .find(|v| v.name == name)
+            .cloned()
     }
 
     fn register_member(&self, request: &Envelope) -> Result<Envelope, Fault> {
@@ -78,14 +88,21 @@ impl VoManagementService {
                 .unwrap_or("0.5")
                 .parse()
                 .map_err(|_| Fault::new("BadRequest", "bad quality value"))?;
-            descriptions.push(ResourceDescription::new(&name, capability, interaction, quality));
+            descriptions.push(ResourceDescription::new(
+                &name,
+                capability,
+                interaction,
+                quality,
+            ));
         }
         let mut state = self.state.lock();
         // An externally registered member starts with an empty profile;
         // richer parties are installed via `with_toolkit` (the GUI path).
         if !state.toolkit.providers.contains_key(&name) {
             let party = Party::new(name.clone());
-            state.toolkit.host_register(ServiceProvider::new(party), descriptions);
+            state
+                .toolkit
+                .host_register(ServiceProvider::new(party), descriptions);
         } else {
             for d in descriptions {
                 state.toolkit.registry.publish(d);
@@ -115,7 +132,8 @@ impl VoManagementService {
         let state = self.state.lock();
         let mut body = Element::new("ListActiveVosResponse");
         for name in state.toolkit.host_active_vos() {
-            body.children.push(Node::Element(Element::new("vo").attr("name", name)));
+            body.children
+                .push(Node::Element(Element::new("vo").attr("name", name)));
         }
         Envelope::request("ListActiveVosResponse", body)
     }
@@ -166,7 +184,10 @@ impl VoManagementService {
             .unwrap_or(Strategy::Standard);
         let contract = Self::parse_contract(body)?;
         let mut state = self.state.lock();
-        match state.toolkit.initiator_form_vo(contract, &initiator, strategy) {
+        match state
+            .toolkit
+            .initiator_form_vo(contract, &initiator, strategy)
+        {
             Ok(vo) => {
                 let mut resp = Element::new("CreateVoResponse")
                     .attr("vo", &vo.name)
@@ -208,10 +229,12 @@ impl VoManagementService {
             .attr("phase", report.phase.to_string())
             .attr("members", report.members.to_string());
         for m in &report.invalid_memberships {
-            body.children.push(Node::Element(Element::new("invalidMembership").text(m)));
+            body.children
+                .push(Node::Element(Element::new("invalidMembership").text(m)));
         }
         for m in &report.below_threshold {
-            body.children.push(Node::Element(Element::new("belowThreshold").text(m)));
+            body.children
+                .push(Node::Element(Element::new("belowThreshold").text(m)));
         }
         Ok(Envelope::request("MonitorVoResponse", body))
     }
@@ -245,15 +268,25 @@ impl ServiceEndpoint for VoManagementService {
             "CreateVo" => self.create_vo(request),
             "MonitorVo" => self.monitor_vo(request),
             "ReadMailbox" => self.read_mailbox(request),
-            other => Err(Fault::new("NoSuchOperation", format!("operation '{other}' not supported"))),
+            other => Err(Fault::new(
+                "NoSuchOperation",
+                format!("operation '{other}' not supported"),
+            )),
         }
     }
 
     fn operations(&self) -> Vec<String> {
-        ["RegisterMember", "ListServices", "ListActiveVos", "CreateVo", "MonitorVo", "ReadMailbox"]
-            .into_iter()
-            .map(str::to_owned)
-            .collect()
+        [
+            "RegisterMember",
+            "ListServices",
+            "ListActiveVos",
+            "CreateVo",
+            "MonitorVo",
+            "ReadMailbox",
+        ]
+        .into_iter()
+        .map(str::to_owned)
+        .collect()
     }
 }
 
@@ -267,7 +300,10 @@ mod tests {
     use trust_vo_soa::simclock::{CostModel, SimClock};
 
     fn service() -> (ServiceBus, Arc<VoManagementService>) {
-        let clock = SimClock::new(CostModel::paper_testbed(), Timestamp::from_ymd_hms(2009, 6, 1, 0, 0, 0));
+        let clock = SimClock::new(
+            CostModel::paper_testbed(),
+            Timestamp::from_ymd_hms(2009, 6, 1, 0, 0, 0),
+        );
         let toolkit = VoToolkit::new(clock.clone());
         let svc = Arc::new(VoManagementService::new(toolkit));
         // Install credentialed parties through the GUI path.
@@ -278,12 +314,19 @@ mod tests {
             initiator.trust_root(ca.public_key());
             tk.host_register(ServiceProvider::new(initiator), vec![]);
             let mut member = Party::new("StoreCo");
-            let sla = ca.issue("StorageSla", "StoreCo", member.keys.public, vec![], window).unwrap();
+            let sla = ca
+                .issue("StorageSla", "StoreCo", member.keys.public, vec![], window)
+                .unwrap();
             member.profile.add(sla);
             member.trust_root(ca.public_key());
             tk.host_register(
                 ServiceProvider::new(member),
-                vec![ResourceDescription::new("StoreCo", "storage", "soap://store", 0.9)],
+                vec![ResourceDescription::new(
+                    "StoreCo",
+                    "storage",
+                    "soap://store",
+                    0.9,
+                )],
             );
         });
         let bus = ServiceBus::new(clock);
@@ -331,16 +374,25 @@ mod tests {
     fn list_and_monitor_operations() {
         let (bus, _svc) = service();
         let services = bus
-            .call("vo-mgmt", &Envelope::request("ListServices", Element::new("x")))
+            .call(
+                "vo-mgmt",
+                &Envelope::request("ListServices", Element::new("x")),
+            )
             .unwrap();
         assert_eq!(services.body.all("service").count(), 1);
         bus.call("vo-mgmt", &create_vo_request()).unwrap();
         let vos = bus
-            .call("vo-mgmt", &Envelope::request("ListActiveVos", Element::new("x")))
+            .call(
+                "vo-mgmt",
+                &Envelope::request("ListActiveVos", Element::new("x")),
+            )
             .unwrap();
         assert_eq!(vos.body.all("vo").count(), 1);
         let monitor = bus
-            .call("vo-mgmt", &Envelope::request("MonitorVo", Element::new("m").attr("vo", "SvcVO")))
+            .call(
+                "vo-mgmt",
+                &Envelope::request("MonitorVo", Element::new("m").attr("vo", "SvcVO")),
+            )
             .unwrap();
         assert_eq!(monitor.body.get_attr("phase"), Some("operation"));
         assert_eq!(monitor.body.all("invalidMembership").count(), 0);
@@ -378,20 +430,32 @@ mod tests {
             .unwrap_err();
         assert_eq!(err.code, "BadRequest");
         let err = bus
-            .call("vo-mgmt", &Envelope::request("MonitorVo", Element::new("m").attr("vo", "Ghost")))
+            .call(
+                "vo-mgmt",
+                &Envelope::request("MonitorVo", Element::new("m").attr("vo", "Ghost")),
+            )
             .unwrap_err();
         assert_eq!(err.code, "NoSuchVo");
         let err = bus
-            .call("vo-mgmt", &Envelope::request("Frobnicate", Element::new("x")))
+            .call(
+                "vo-mgmt",
+                &Envelope::request("Frobnicate", Element::new("x")),
+            )
             .unwrap_err();
         assert_eq!(err.code, "NoSuchOperation");
         // Unfillable role → FormationFailed fault, not a panic.
-        let body = Element::new("CreateVoRequest").attr("initiator", "Aircraft").child(
-            Element::new("contract").attr("name", "BadVO").child(
-                Element::new("role").attr("name", "R").attr("capability", "quantum"),
-            ),
-        );
-        let err = bus.call("vo-mgmt", &Envelope::request("CreateVo", body)).unwrap_err();
+        let body = Element::new("CreateVoRequest")
+            .attr("initiator", "Aircraft")
+            .child(
+                Element::new("contract").attr("name", "BadVO").child(
+                    Element::new("role")
+                        .attr("name", "R")
+                        .attr("capability", "quantum"),
+                ),
+            );
+        let err = bus
+            .call("vo-mgmt", &Envelope::request("CreateVo", body))
+            .unwrap_err();
         assert_eq!(err.code, "FormationFailed");
     }
 
@@ -410,7 +474,10 @@ mod tests {
             );
         });
         let resp = bus
-            .call("vo-mgmt", &Envelope::request("ReadMailbox", Element::new("m").attr("member", "StoreCo")))
+            .call(
+                "vo-mgmt",
+                &Envelope::request("ReadMailbox", Element::new("m").attr("member", "StoreCo")),
+            )
             .unwrap();
         assert_eq!(resp.body.all("invitation").count(), 1);
     }

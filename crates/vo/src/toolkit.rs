@@ -54,7 +54,11 @@ impl VoToolkit {
     /// Host Edition: register a member and publish its resources. "The
     /// Host Edition provides services such as member registration and VO
     /// monitoring."
-    pub fn host_register(&mut self, provider: ServiceProvider, descriptions: Vec<ResourceDescription>) {
+    pub fn host_register(
+        &mut self,
+        provider: ServiceProvider,
+        descriptions: Vec<ResourceDescription>,
+    ) {
         self.clock.charge(CostKind::SoapRoundTrip);
         self.clock.charge(CostKind::DbQuery);
         for d in descriptions {
@@ -138,7 +142,10 @@ mod tests {
     use trust_vo_soa::simclock::CostModel;
 
     fn toolkit() -> VoToolkit {
-        let clock = SimClock::new(CostModel::paper_testbed(), Timestamp::from_ymd_hms(2009, 6, 1, 0, 0, 0));
+        let clock = SimClock::new(
+            CostModel::paper_testbed(),
+            Timestamp::from_ymd_hms(2009, 6, 1, 0, 0, 0),
+        );
         let mut tk = VoToolkit::new(clock);
         let mut ca = CredentialAuthority::new("CA");
         let window = TimeRange::one_year_from(Timestamp::from_ymd_hms(2009, 1, 1, 0, 0, 0));
@@ -148,18 +155,26 @@ mod tests {
         tk.host_register(ServiceProvider::new(initiator), vec![]);
 
         let mut member = Party::new("StoreCo");
-        let sla = ca.issue("StorageSla", "StoreCo", member.keys.public, vec![], window).unwrap();
+        let sla = ca
+            .issue("StorageSla", "StoreCo", member.keys.public, vec![], window)
+            .unwrap();
         member.profile.add(sla);
         member.trust_root(ca.public_key());
         tk.host_register(
             ServiceProvider::new(member),
-            vec![ResourceDescription::new("StoreCo", "storage", "soap://store", 0.9)],
+            vec![ResourceDescription::new(
+                "StoreCo",
+                "storage",
+                "soap://store",
+                0.9,
+            )],
         );
         tk
     }
 
     fn contract() -> Contract {
-        let mut c = Contract::new("VO-1", "store data").with_role(Role::new("Storage", "storage", "SLA"));
+        let mut c =
+            Contract::new("VO-1", "store data").with_role(Role::new("Storage", "storage", "SLA"));
         let mut policies = PolicySet::new();
         policies.add(DisclosurePolicy::rule(
             "p",
@@ -182,7 +197,9 @@ mod tests {
     #[test]
     fn initiator_forms_vo_end_to_end() {
         let mut tk = toolkit();
-        let vo = tk.initiator_form_vo(contract(), "Aircraft", Strategy::Standard).unwrap();
+        let vo = tk
+            .initiator_form_vo(contract(), "Aircraft", Strategy::Standard)
+            .unwrap();
         assert!(vo.is_member("StoreCo"));
         assert_eq!(tk.host_active_vos(), ["VO-1"]);
     }
@@ -190,7 +207,9 @@ mod tests {
     #[test]
     fn unknown_initiator_rejected() {
         let mut tk = toolkit();
-        let err = tk.initiator_form_vo(contract(), "Ghost", Strategy::Standard).unwrap_err();
+        let err = tk
+            .initiator_form_vo(contract(), "Ghost", Strategy::Standard)
+            .unwrap_err();
         assert!(matches!(err, VoError::UnknownMember(_)));
     }
 
@@ -198,7 +217,9 @@ mod tests {
     fn member_edition_configuration() {
         let mut tk = toolkit();
         tk.member_set_accepting("StoreCo", false).unwrap();
-        let err = tk.initiator_form_vo(contract(), "Aircraft", Strategy::Standard).unwrap_err();
+        let err = tk
+            .initiator_form_vo(contract(), "Aircraft", Strategy::Standard)
+            .unwrap_err();
         assert!(matches!(err, VoError::RoleUnfilled { .. }));
         assert!(tk.member_set_accepting("Ghost", true).is_err());
     }
@@ -207,7 +228,8 @@ mod tests {
     fn mailbox_visibility() {
         let mut tk = toolkit();
         assert_eq!(tk.member_inbox("StoreCo"), 0);
-        tk.initiator_form_vo(contract(), "Aircraft", Strategy::Standard).unwrap();
+        tk.initiator_form_vo(contract(), "Aircraft", Strategy::Standard)
+            .unwrap();
         // Invitation was consumed during the join.
         assert_eq!(tk.member_inbox("StoreCo"), 0);
     }
@@ -273,7 +295,10 @@ mod monitoring_tests {
     use trust_vo_soa::simclock::{CostModel, SimDuration};
 
     fn toolkit_with_vo() -> (VoToolkit, crate::formation::FormedVo) {
-        let clock = SimClock::new(CostModel::paper_testbed(), Timestamp::from_ymd_hms(2009, 6, 1, 0, 0, 0));
+        let clock = SimClock::new(
+            CostModel::paper_testbed(),
+            Timestamp::from_ymd_hms(2009, 6, 1, 0, 0, 0),
+        );
         let mut tk = VoToolkit::new(clock);
         let mut ca = CredentialAuthority::new("CA");
         let window = TimeRange::one_year_from(Timestamp::from_ymd_hms(2009, 1, 1, 0, 0, 0));
@@ -281,14 +306,17 @@ mod monitoring_tests {
         initiator.trust_root(ca.public_key());
         tk.host_register(ServiceProvider::new(initiator), vec![]);
         let mut member = Party::new("StoreCo");
-        let sla = ca.issue("StorageSla", "StoreCo", member.keys.public, vec![], window).unwrap();
+        let sla = ca
+            .issue("StorageSla", "StoreCo", member.keys.public, vec![], window)
+            .unwrap();
         member.profile.add(sla);
         member.trust_root(ca.public_key());
         tk.host_register(
             ServiceProvider::new(member),
             vec![ResourceDescription::new("StoreCo", "storage", "x", 0.9)],
         );
-        let mut contract = Contract::new("MonVO", "goal").with_role(Role::new("Storage", "storage", "SLA"));
+        let mut contract =
+            Contract::new("MonVO", "goal").with_role(Role::new("Storage", "storage", "SLA"));
         let mut policies = PolicySet::new();
         policies.add(DisclosurePolicy::rule(
             "p",
@@ -297,7 +325,11 @@ mod monitoring_tests {
         ));
         contract.set_role_policies("Storage", policies);
         let vo = tk
-            .initiator_form_vo(contract, "Aircraft", trust_vo_negotiation::Strategy::Standard)
+            .initiator_form_vo(
+                contract,
+                "Aircraft",
+                trust_vo_negotiation::Strategy::Standard,
+            )
             .unwrap();
         (tk, vo)
     }
@@ -315,7 +347,8 @@ mod monitoring_tests {
     #[test]
     fn expired_certificate_flagged() {
         let (tk, vo) = toolkit_with_vo();
-        tk.clock.advance(SimDuration::from_millis(2 * 365 * 24 * 3600 * 1000));
+        tk.clock
+            .advance(SimDuration::from_millis(2 * 365 * 24 * 3600 * 1000));
         let report = tk.host_monitor(&vo, &RevocationList::new(), REPLACEMENT_THRESHOLD);
         assert_eq!(report.invalid_memberships, ["StoreCo"]);
     }
@@ -324,7 +357,10 @@ mod monitoring_tests {
     fn revoked_certificate_and_low_reputation_flagged() {
         let (mut tk, vo) = toolkit_with_vo();
         let mut crl = RevocationList::new();
-        crl.revoke(vo.members()[0].certificate.revocation_id(), tk.clock.timestamp());
+        crl.revoke(
+            vo.members()[0].certificate.revocation_id(),
+            tk.clock.timestamp(),
+        );
         tk.reputation.record_violation("StoreCo");
         tk.reputation.record_violation("StoreCo");
         tk.reputation.record_violation("StoreCo");

@@ -69,7 +69,10 @@ pub struct OptimizationTarget {
 
 impl Default for OptimizationTarget {
     fn default() -> Self {
-        OptimizationTarget { drag_target: 0.022, max_iterations: 32 }
+        OptimizationTarget {
+            drag_target: 0.022,
+            max_iterations: 32,
+        }
     }
 }
 
@@ -91,35 +94,87 @@ pub fn run_optimization(
     target: OptimizationTarget,
 ) -> Result<OptimizationRun, VoError> {
     // All four partners must be present with valid membership.
-    for role in [roles::DESIGN_PORTAL, roles::OPTIMIZER, roles::HPC, roles::STORAGE] {
+    for role in [
+        roles::DESIGN_PORTAL,
+        roles::OPTIMIZER,
+        roles::HPC,
+        roles::STORAGE,
+    ] {
         let record = vo
             .member_for_role(role)
             .ok_or_else(|| VoError::UnknownRole(role.to_owned()))?;
         verify_membership(vo, record, clock.timestamp(), crl)?;
     }
-    let portal = &vo.member_for_role(roles::DESIGN_PORTAL).expect("checked").provider;
-    let optimizer = &vo.member_for_role(roles::OPTIMIZER).expect("checked").provider;
+    let portal = &vo
+        .member_for_role(roles::DESIGN_PORTAL)
+        .expect("checked")
+        .provider;
+    let optimizer = &vo
+        .member_for_role(roles::OPTIMIZER)
+        .expect("checked")
+        .provider;
     let hpc = &vo.member_for_role(roles::HPC).expect("checked").provider;
-    let storage = &vo.member_for_role(roles::STORAGE).expect("checked").provider;
+    let storage = &vo
+        .member_for_role(roles::STORAGE)
+        .expect("checked")
+        .provider;
     let mut authorizations = Vec::new();
 
     // Steps 1–2: the engineer selects a design and activates the optimizer.
-    log.record(vo, reputation, names::AIRCRAFT, portal, "select wing design", false, clock.timestamp())?;
-    log.record(vo, reputation, names::AIRCRAFT, optimizer, "activate optimization", false, clock.timestamp())?;
+    log.record(
+        vo,
+        reputation,
+        names::AIRCRAFT,
+        portal,
+        "select wing design",
+        false,
+        clock.timestamp(),
+    )?;
+    log.record(
+        vo,
+        reputation,
+        names::AIRCRAFT,
+        optimizer,
+        "activate optimization",
+        false,
+        clock.timestamp(),
+    )?;
 
     // Step 3(a): the optimizer fetches the control file from the portal —
     // this is the dashed TN arrow of Fig. 1. The portal's ControlFile
     // service is ungoverned in the stock scenario, so the TN is trivial,
     // but the authorization machinery still runs.
     let auth = authorize_operation(
-        vo, providers, optimizer, portal, "ControlFile", reputation, clock, strategy,
+        vo,
+        providers,
+        optimizer,
+        portal,
+        "ControlFile",
+        reputation,
+        clock,
+        strategy,
     )?;
     authorizations.push(format!("{} -> {}: {}", optimizer, portal, auth.resource));
-    log.record(vo, reputation, optimizer, portal, "fetch design-optimization control file", false, clock.timestamp())?;
+    log.record(
+        vo,
+        reputation,
+        optimizer,
+        portal,
+        "fetch design-optimization control file",
+        false,
+        clock.timestamp(),
+    )?;
 
     // Step 4: the optimizer engages the HPC service (privacy-gated TN).
     let auth = authorize_operation(
-        vo, providers, optimizer, hpc, "FlowSolution", reputation, clock, strategy,
+        vo,
+        providers,
+        optimizer,
+        hpc,
+        "FlowSolution",
+        reputation,
+        clock,
+        strategy,
     )?;
     authorizations.push(format!("{} -> {}: {}", optimizer, hpc, auth.resource));
 
@@ -127,16 +182,40 @@ pub fn run_optimization(
     // drag, revise the design. The toy aero model: each iteration the HPC
     // flow solution reduces drag geometrically toward an asymptote while
     // lift is held within 2% of the requirement.
-    let mut history = vec![WingFigures { iteration: 0, lift: 1.32, drag: 0.034 }];
+    let mut history = vec![WingFigures {
+        iteration: 0,
+        lift: 1.32,
+        drag: 0.034,
+    }];
     let asymptote = 0.019;
     let mut converged = false;
     for iteration in 1..=target.max_iterations {
         let prev = history.last().expect("seeded").drag;
         let drag = asymptote + (prev - asymptote) * 0.72;
         let lift = 1.30 + 0.02 * (iteration as f64 * 0.9).sin();
-        history.push(WingFigures { iteration, lift, drag });
-        log.record(vo, reputation, hpc, storage, &format!("store lift/drag for iteration {iteration}"), false, clock.timestamp())?;
-        log.record(vo, reputation, storage, optimizer, &format!("serve analysis data for revision {iteration}"), false, clock.timestamp())?;
+        history.push(WingFigures {
+            iteration,
+            lift,
+            drag,
+        });
+        log.record(
+            vo,
+            reputation,
+            hpc,
+            storage,
+            &format!("store lift/drag for iteration {iteration}"),
+            false,
+            clock.timestamp(),
+        )?;
+        log.record(
+            vo,
+            reputation,
+            storage,
+            optimizer,
+            &format!("serve analysis data for revision {iteration}"),
+            false,
+            clock.timestamp(),
+        )?;
         if drag <= target.drag_target {
             converged = true;
             break;
@@ -144,8 +223,20 @@ pub fn run_optimization(
     }
 
     // Step 7: the revised design goes back to the portal.
-    log.record(vo, reputation, optimizer, portal, "publish revised design", false, clock.timestamp())?;
-    Ok(OptimizationRun { history, authorizations, converged })
+    log.record(
+        vo,
+        reputation,
+        optimizer,
+        portal,
+        "publish revised design",
+        false,
+        clock.timestamp(),
+    )?;
+    Ok(OptimizationRun {
+        history,
+        authorizations,
+        converged,
+    })
 }
 
 #[cfg(test)]
@@ -206,7 +297,10 @@ mod tests {
             &crl,
             &s.toolkit.clock,
             Strategy::Standard,
-            OptimizationTarget { drag_target: 0.001, max_iterations: 5 },
+            OptimizationTarget {
+                drag_target: 0.001,
+                max_iterations: 5,
+            },
         )
         .unwrap();
         assert!(!run.converged);
@@ -218,7 +312,11 @@ mod tests {
         let (mut s, vo) = world();
         let providers = s.toolkit.providers.clone();
         let mut crl = RevocationList::new();
-        let hpc_cert = vo.member_for_role(roles::HPC).unwrap().certificate.revocation_id();
+        let hpc_cert = vo
+            .member_for_role(roles::HPC)
+            .unwrap()
+            .certificate
+            .revocation_id();
         crl.revoke(hpc_cert, s.toolkit.clock.timestamp());
         let err = run_optimization(
             &vo,

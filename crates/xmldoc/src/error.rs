@@ -11,7 +11,10 @@ pub struct XmlError {
 
 impl XmlError {
     pub(crate) fn new(offset: usize, message: impl Into<String>) -> Self {
-        XmlError { offset, message: message.into() }
+        XmlError {
+            offset,
+            message: message.into(),
+        }
     }
 }
 

@@ -50,7 +50,11 @@ pub struct Element {
 impl Element {
     /// Create an element with the given tag name.
     pub fn new(name: impl Into<String>) -> Self {
-        Element { name: name.into(), attrs: Vec::new(), children: Vec::new() }
+        Element {
+            name: name.into(),
+            attrs: Vec::new(),
+            children: Vec::new(),
+        }
     }
 
     /// Builder: add an attribute.
@@ -149,7 +153,10 @@ mod tests {
                     .child(Element::new("credType").text("ISO9000Certified"))
                     .child(Element::new("issuer").text("INFN")),
             )
-            .child(Element::new("content").child(Element::new("QualityRegulation").text("UNI EN ISO 9000")))
+            .child(
+                Element::new("content")
+                    .child(Element::new("QualityRegulation").text("UNI EN ISO 9000")),
+            )
     }
 
     #[test]
@@ -157,7 +164,10 @@ mod tests {
         let e = sample();
         assert_eq!(e.get_attr("credID"), Some("c1"));
         assert_eq!(e.get_attr("missing"), None);
-        assert_eq!(e.first("header").unwrap().child_text("issuer").unwrap(), "INFN");
+        assert_eq!(
+            e.first("header").unwrap().child_text("issuer").unwrap(),
+            "INFN"
+        );
         assert_eq!(e.elements().count(), 2);
     }
 

@@ -12,7 +12,10 @@ use crate::node::{Element, Node};
 
 /// Parse a complete document and return its root element.
 pub fn parse(input: &str) -> Result<Element, XmlError> {
-    let mut p = Parser { input: input.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+    };
     p.skip_prolog()?;
     let root = p.parse_element()?;
     p.skip_misc()?;
@@ -250,15 +253,16 @@ impl<'a> Parser<'a> {
             "quot" => '"',
             "apos" => '\'',
             _ if name.starts_with("#x") || name.starts_with("#X") => {
-                let code = u32::from_str_radix(&name[2..], 16)
-                    .map_err(|_| XmlError::new(start, format!("bad character reference &{name};")))?;
+                let code = u32::from_str_radix(&name[2..], 16).map_err(|_| {
+                    XmlError::new(start, format!("bad character reference &{name};"))
+                })?;
                 char::from_u32(code)
                     .ok_or_else(|| XmlError::new(start, format!("invalid code point {code}")))?
             }
             _ if name.starts_with('#') => {
-                let code = name[1..]
-                    .parse::<u32>()
-                    .map_err(|_| XmlError::new(start, format!("bad character reference &{name};")))?;
+                let code = name[1..].parse::<u32>().map_err(|_| {
+                    XmlError::new(start, format!("bad character reference &{name};"))
+                })?;
                 char::from_u32(code)
                     .ok_or_else(|| XmlError::new(start, format!("invalid code point {code}")))?
             }
@@ -351,7 +355,10 @@ mod tests {
     }
 
     fn arb_element() -> impl Strategy<Value = Element> {
-        let leaf = (arb_name(), proptest::collection::vec((arb_name(), arb_text()), 0..3))
+        let leaf = (
+            arb_name(),
+            proptest::collection::vec((arb_name(), arb_text()), 0..3),
+        )
             .prop_map(|(name, attrs)| {
                 let mut seen = std::collections::HashSet::new();
                 let mut e = Element::new(name);

@@ -150,7 +150,10 @@ mod tests {
     fn escapes_text_and_attrs() {
         let e = Element::new("a").attr("q", "x\"<>&").text("1 < 2 & 3 > 2");
         let s = to_string(&e);
-        assert_eq!(s, r#"<a q="x&quot;&lt;&gt;&amp;">1 &lt; 2 &amp; 3 &gt; 2</a>"#);
+        assert_eq!(
+            s,
+            r#"<a q="x&quot;&lt;&gt;&amp;">1 &lt; 2 &amp; 3 &gt; 2</a>"#
+        );
     }
 
     #[test]

@@ -146,7 +146,10 @@ pub struct Selector {
 impl Selector {
     /// Parse a selector (location path without a comparison).
     pub fn parse(input: &str) -> Result<Self, XmlError> {
-        let mut p = PathParser { input: input.as_bytes(), pos: 0 };
+        let mut p = PathParser {
+            input: input.as_bytes(),
+            pos: 0,
+        };
         let sel = p.parse_selector()?;
         p.skip_ws();
         if p.pos != p.input.len() {
@@ -267,7 +270,10 @@ pub struct XPathExpr {
 impl XPathExpr {
     /// Parse a condition expression.
     pub fn parse(input: &str) -> Result<Self, XmlError> {
-        let mut p = PathParser { input: input.as_bytes(), pos: 0 };
+        let mut p = PathParser {
+            input: input.as_bytes(),
+            pos: 0,
+        };
         p.skip_ws();
         let selector = p.parse_selector()?;
         p.skip_ws();
@@ -283,7 +289,11 @@ impl XPathExpr {
         if p.pos != p.input.len() {
             return Err(XmlError::new(p.pos, "trailing input after expression"));
         }
-        Ok(XPathExpr { selector, comparison, source: input.trim().to_owned() })
+        Ok(XPathExpr {
+            selector,
+            comparison,
+            source: input.trim().to_owned(),
+        })
     }
 
     /// Evaluate against a document. Existence tests succeed when the
@@ -401,7 +411,11 @@ impl<'a> PathParser<'a> {
                     return Err(self.err("expected ']'"));
                 }
             }
-            steps.push(Step { descendant: pending_descendant, name, predicates });
+            steps.push(Step {
+                descendant: pending_descendant,
+                name,
+                predicates,
+            });
             pending_descendant = false;
             if self.eat(b"//") {
                 pending_descendant = true;
@@ -418,7 +432,12 @@ impl<'a> PathParser<'a> {
             return Err(self.err("path may not end with '//'"));
         }
         let source = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
-        Ok(Selector { absolute, steps, target, source })
+        Ok(Selector {
+            absolute,
+            steps,
+            target,
+            source,
+        })
     }
 
     fn parse_op(&mut self) -> Result<CmpOp, XmlError> {
@@ -549,18 +568,28 @@ mod tests {
     #[test]
     fn numeric_comparisons() {
         let doc = credential();
-        assert!(XPathExpr::parse("/credential/content/Salary > 50000").unwrap().evaluate(&doc));
-        assert!(XPathExpr::parse("/credential/content/Salary >= 60000").unwrap().evaluate(&doc));
-        assert!(!XPathExpr::parse("/credential/content/Salary < 60000").unwrap().evaluate(&doc));
-        assert!(XPathExpr::parse("/credential/content/Salary != 1").unwrap().evaluate(&doc));
+        assert!(XPathExpr::parse("/credential/content/Salary > 50000")
+            .unwrap()
+            .evaluate(&doc));
+        assert!(XPathExpr::parse("/credential/content/Salary >= 60000")
+            .unwrap()
+            .evaluate(&doc));
+        assert!(!XPathExpr::parse("/credential/content/Salary < 60000")
+            .unwrap()
+            .evaluate(&doc));
+        assert!(XPathExpr::parse("/credential/content/Salary != 1")
+            .unwrap()
+            .evaluate(&doc));
     }
 
     #[test]
     fn string_comparisons() {
         let doc = credential();
-        assert!(XPathExpr::parse("/credential/header/credType = 'ISO9000Certified'")
-            .unwrap()
-            .evaluate(&doc));
+        assert!(
+            XPathExpr::parse("/credential/header/credType = 'ISO9000Certified'")
+                .unwrap()
+                .evaluate(&doc)
+        );
         assert!(!XPathExpr::parse("/credential/header/credType = 'Other'")
             .unwrap()
             .evaluate(&doc));
@@ -569,7 +598,9 @@ mod tests {
     #[test]
     fn existence_test() {
         let doc = credential();
-        assert!(XPathExpr::parse("//QualityRegulation").unwrap().evaluate(&doc));
+        assert!(XPathExpr::parse("//QualityRegulation")
+            .unwrap()
+            .evaluate(&doc));
         assert!(!XPathExpr::parse("//Nonexistent").unwrap().evaluate(&doc));
     }
 

@@ -17,12 +17,25 @@ fn main() {
     // providers published their capabilities, the initiator authored the
     // contract and the per-role disclosure policies.
     let mut scenario = AircraftScenario::build();
-    println!("[preparation]    {} resource descriptions published", scenario.toolkit.registry.len());
-    println!("[identification] contract '{}' with {} roles", scenario.contract.vo_name, scenario.contract.roles.len());
+    println!(
+        "[preparation]    {} resource descriptions published",
+        scenario.toolkit.registry.len()
+    );
+    println!(
+        "[identification] contract '{}' with {} roles",
+        scenario.contract.vo_name,
+        scenario.contract.roles.len()
+    );
 
     // --- Formation: invitations + mutual trust negotiations.
-    let mut vo = scenario.form_vo(Strategy::Standard).expect("formation succeeds");
-    println!("[formation]      {} members assigned, lifecycle = {}", vo.members().len(), vo.lifecycle.phase());
+    let mut vo = scenario
+        .form_vo(Strategy::Standard)
+        .expect("formation succeeds");
+    println!(
+        "[formation]      {} members assigned, lifecycle = {}",
+        vo.members().len(),
+        vo.lifecycle.phase()
+    );
 
     // --- Operation: the Fig. 1 optimization loop, monitored.
     let initiator = scenario.provider(names::AIRCRAFT).clone();
@@ -51,7 +64,10 @@ fn main() {
         Strategy::Standard,
     )
     .expect("privacy credentials satisfy the policy");
-    println!("[operation]      authorization granted to '{}' for '{}'", auth.granted_to, auth.resource);
+    println!(
+        "[operation]      authorization granted to '{}' for '{}'",
+        auth.granted_to, auth.resource
+    );
 
     // Steps 5-6 of Fig. 1 repeat; interactions are monitored. The HPC
     // provider starts violating its SLA.
@@ -77,7 +93,11 @@ fn main() {
     // "One of the members detects that the reputation of the HPC service
     // has decreased due to contract's violation … The new member is
     // enrolled, using a TN." (§5.1)
-    if scenario.toolkit.reputation.needs_replacement(names::HPC, REPLACEMENT_THRESHOLD) {
+    if scenario
+        .toolkit
+        .reputation
+        .needs_replacement(names::HPC, REPLACEMENT_THRESHOLD)
+    {
         let record = replace_member(
             &mut vo,
             &initiator,
@@ -91,7 +111,10 @@ fn main() {
             Strategy::Standard,
         )
         .expect("the backup HPC provider negotiates successfully");
-        println!("[operation]      HPC member replaced by '{}' (old certificate revoked)", record.provider);
+        println!(
+            "[operation]      HPC member replaced by '{}' (old certificate revoked)",
+            record.provider
+        );
     }
 
     // --- Dissolution: objectives fulfilled.

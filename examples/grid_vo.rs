@@ -13,7 +13,9 @@
 //! Run with: `cargo run --example grid_vo`
 
 use trust_vo::credential::chain::ChainDirectory;
-use trust_vo::credential::{Attribute, Credential, CredentialAuthority, CredentialId, Header, TimeRange, Timestamp};
+use trust_vo::credential::{
+    Attribute, Credential, CredentialAuthority, CredentialId, Header, TimeRange, Timestamp,
+};
 use trust_vo::crypto::KeyPair;
 use trust_vo::negotiation::{Party, Strategy};
 use trust_vo::policy::{Condition, DisclosurePolicy, PolicySet, Resource, Term};
@@ -52,9 +54,10 @@ fn main() {
             )
             .unwrap();
         coordinator.profile.add(accr);
-        coordinator
-            .policies
-            .add(DisclosurePolicy::deliv("coord-d1", Resource::credential("ConsortiumAccreditation")));
+        coordinator.policies.add(DisclosurePolicy::deliv(
+            "coord-d1",
+            Resource::credential("ConsortiumAccreditation"),
+        ));
     }
     toolkit.host_register(ServiceProvider::new(coordinator), vec![]);
 
@@ -69,14 +72,24 @@ fn main() {
         site.trust_root(consortium_ca.public_key());
         let sla = if issuer_is_regional {
             regional_ca
-                .issue("GridSla", name, site.keys.public,
-                       vec![Attribute::new("Availability", availability)], window)
+                .issue(
+                    "GridSla",
+                    name,
+                    site.keys.public,
+                    vec![Attribute::new("Availability", availability)],
+                    window,
+                )
                 .unwrap()
         } else {
             let mut ca = CredentialAuthority::new("EuGrid Consortium CA");
-            ca.issue("GridSla", name, site.keys.public,
-                     vec![Attribute::new("Availability", availability)], window)
-                .unwrap()
+            ca.issue(
+                "GridSla",
+                name,
+                site.keys.public,
+                vec![Attribute::new("Availability", availability)],
+                window,
+            )
+            .unwrap()
         };
         site.profile.add(sla);
         // Grid sites are suspicious: the SLA is released only against the
@@ -88,7 +101,12 @@ fn main() {
         ));
         toolkit.host_register(
             ServiceProvider::new(site),
-            vec![ResourceDescription::new(name, "grid-compute", "gsiftp://site", quality)],
+            vec![ResourceDescription::new(
+                name,
+                "grid-compute",
+                "gsiftp://site",
+                quality,
+            )],
         );
     }
 
@@ -98,17 +116,28 @@ fn main() {
     {
         let mut ca = CredentialAuthority::new("EuGrid Consortium CA");
         let cert = ca
-            .issue("ArchiveCertification", "Petabyte Archive", archive.keys.public,
-                   vec![Attribute::new("CapacityPb", 12i64)], window)
+            .issue(
+                "ArchiveCertification",
+                "Petabyte Archive",
+                archive.keys.public,
+                vec![Attribute::new("CapacityPb", 12i64)],
+                window,
+            )
             .unwrap();
         archive.profile.add(cert);
-        archive
-            .policies
-            .add(DisclosurePolicy::deliv("arch-d1", Resource::credential("ArchiveCertification")));
+        archive.policies.add(DisclosurePolicy::deliv(
+            "arch-d1",
+            Resource::credential("ArchiveCertification"),
+        ));
     }
     toolkit.host_register(
         ServiceProvider::new(archive),
-        vec![ResourceDescription::new("Petabyte Archive", "grid-storage", "srm://archive", 0.95)],
+        vec![ResourceDescription::new(
+            "Petabyte Archive",
+            "grid-storage",
+            "srm://archive",
+            0.95,
+        )],
     );
 
     // The coordinator can verify Site Beta's regional credential through a
@@ -137,8 +166,16 @@ fn main() {
 
     // --- Identification: contract + per-role disclosure policies -------
     let mut contract = Contract::new("EuGridRun-2026", "continental compute campaign")
-        .with_role(Role::new("ComputeSite", "grid-compute", "availability >= 95%"))
-        .with_role(Role::new("Archive", "grid-storage", "petabyte-scale storage"));
+        .with_role(Role::new(
+            "ComputeSite",
+            "grid-compute",
+            "availability >= 95%",
+        ))
+        .with_role(Role::new(
+            "Archive",
+            "grid-storage",
+            "petabyte-scale storage",
+        ));
     let mut compute_policies = PolicySet::new();
     compute_policies.add(DisclosurePolicy::rule(
         "vo-compute",
@@ -174,13 +211,23 @@ fn main() {
 
     // Demonstrate the chain path explicitly: negotiate with Site Beta
     // directly — its regional SLA verifies only through the cross-cert.
-    let mut coordinator = toolkit.providers.get("Grid Coordination Office").unwrap().party.clone();
+    let mut coordinator = toolkit
+        .providers
+        .get("Grid Coordination Office")
+        .unwrap()
+        .party
+        .clone();
     coordinator.policies.add(DisclosurePolicy::rule(
         "direct",
         Resource::service("DirectCheck"),
         vec![Term::of_type("GridSla")],
     ));
-    let beta = toolkit.providers.get("Compute Site Beta").unwrap().party.clone();
+    let beta = toolkit
+        .providers
+        .get("Compute Site Beta")
+        .unwrap()
+        .party
+        .clone();
     let cfg = trust_vo::negotiation::NegotiationConfig::new(
         Strategy::Suspicious,
         toolkit.clock.timestamp(),

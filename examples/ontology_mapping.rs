@@ -4,7 +4,9 @@
 //!
 //! Run with: `cargo run --example ontology_mapping`
 
-use trust_vo::credential::{Attribute, CredentialAuthority, Sensitivity, TimeRange, Timestamp, XProfile};
+use trust_vo::credential::{
+    Attribute, CredentialAuthority, Sensitivity, TimeRange, Timestamp, XProfile,
+};
 use trust_vo::ontology::mapping::map_concept;
 use trust_vo::ontology::{match_concept, Concept, MappingOutcome, Ontology};
 use trust_vo::policy::abstraction::{abstract_policy, lift_term};
@@ -47,8 +49,14 @@ fn main() {
     let window = TimeRange::one_year_from(Timestamp::from_ymd_hms(2009, 1, 1, 0, 0, 0));
     let mut profile = XProfile::new("holder");
     profile.add_with_sensitivity(
-        ca.issue("TexasLicense", "holder", keys.public, vec![Attribute::new("sex", "F")], window)
-            .unwrap(),
+        ca.issue(
+            "TexasLicense",
+            "holder",
+            keys.public,
+            vec![Attribute::new("sex", "F")],
+            window,
+        )
+        .unwrap(),
         Sensitivity::Medium,
     );
     profile.add_with_sensitivity(
@@ -66,9 +74,19 @@ fn main() {
     // Algorithm 1: a counterpart policy asks for concepts; the engine maps
     // them onto held credentials, least-sensitive cluster first.
     println!("Algorithm 1 mapping:");
-    for concept in ["Civilian_DriverLicense", "BusinessProof", "QualityCertification", "Drivers_License_TX"] {
+    for concept in [
+        "Civilian_DriverLicense",
+        "BusinessProof",
+        "QualityCertification",
+        "Drivers_License_TX",
+    ] {
         match map_concept(&ontology, &profile, concept, 0.2) {
-            MappingOutcome::Mapped { credential, via, sensitivity, .. } => println!(
+            MappingOutcome::Mapped {
+                credential,
+                via,
+                sensitivity,
+                ..
+            } => println!(
                 "  {concept:<24} -> {credential} (sensitivity {sensitivity}{})",
                 via.map(|m| format!(", via similarity {:.2} to {}", m.confidence, m.target))
                     .unwrap_or_default()
@@ -76,15 +94,21 @@ fn main() {
             MappingOutcome::NoCredential { resolved, .. } => {
                 println!("  {concept:<24} -> concept '{resolved}' known, no credential held")
             }
-            MappingOutcome::UnknownConcept { best_confidence, .. } => {
+            MappingOutcome::UnknownConcept {
+                best_confidence, ..
+            } => {
                 println!("  {concept:<24} -> unknown (best similarity {best_confidence:.2})")
             }
         }
     }
 
     // Similarity matching on its own (the ComputeSimilarity fallback).
-    let m = match_concept("Quality_ISO_Certification", &ontology, 0.2).expect("similar concept found");
-    println!("\nsimilarity match: 'Quality_ISO_Certification' -> '{}' ({:.2})", m.target, m.confidence);
+    let m =
+        match_concept("Quality_ISO_Certification", &ontology, 0.2).expect("similar concept found");
+    println!(
+        "\nsimilarity match: 'Quality_ISO_Certification' -> '{}' ({:.2})",
+        m.target, m.confidence
+    );
 
     // Policy abstraction (§4.3.1): hide the exact credential type behind
     // its concept, then behind the ancestor concept.

@@ -24,16 +24,20 @@ fn main() {
         }
     }
     let aerospace = scenario.provider(names::AEROSPACE).party.clone();
-    let cfg = NegotiationConfig::new(
-        Strategy::Standard,
-        trust_vo::vo::scenario::scenario_time(),
-    );
+    let cfg = NegotiationConfig::new(Strategy::Standard, trust_vo::vo::scenario::scenario_time());
 
     // --- 1. Enumerate every satisfiable view and pick one deliberately.
     let sequences = enumerate_sequences(&aerospace, &initiator, "VoMembership", &cfg, 50);
-    println!("{} satisfiable trust sequences for VoMembership:", sequences.len());
+    println!(
+        "{} satisfiable trust sequences for VoMembership:",
+        sequences.len()
+    );
     for s in &sequences {
-        println!("  {s}   ({} disclosures, {} by the requester)", s.len(), s.by_side(Side::Requester).count());
+        println!(
+            "  {s}   ({} disclosures, {} by the requester)",
+            s.len(),
+            s.by_side(Side::Requester).count()
+        );
     }
     let best = choose_minimal(&sequences, Side::Requester).expect("satisfiable");
     println!("requester-minimal choice: {best}\n");
@@ -42,10 +46,15 @@ fn main() {
     //        the agreed sequence but re-verify every credential.
     let mut cache = SequenceCache::new();
     for _ in 0..3 {
-        cache.negotiate(&aerospace, &initiator, "VoMembership", &cfg).expect("succeeds");
+        cache
+            .negotiate(&aerospace, &initiator, "VoMembership", &cfg)
+            .expect("succeeds");
     }
     let stats = cache.stats();
-    println!("sequence cache after 3 runs: {} miss, {} hits (exchange-phase checks kept)\n", stats.misses, stats.hits);
+    println!(
+        "sequence cache after 3 runs: {} miss, {} hits (exchange-phase checks kept)\n",
+        stats.misses, stats.hits
+    );
 
     // --- 3. Trust tickets: a successful negotiation mints a ticket; the
     //        next request is two signature operations.

@@ -41,7 +41,8 @@ fn main() {
     let view = issuance
         .disclose(&["QualityRegulation"])
         .expect("the attribute was committed at issuance");
-    view.verify(at, None).expect("partial view verifies against the issuer signature");
+    view.verify(at, None)
+        .expect("partial view verifies against the issuer signature");
     println!(
         "verifier sees QualityRegulation = {:?}; InternalRiskRating stays hidden: {:?}",
         view.attr("QualityRegulation"),
@@ -52,7 +53,10 @@ fn main() {
     let wire = view.wire_bytes();
     let secret = b"B+ (confidential)";
     assert!(!wire.windows(secret.len()).any(|w| w == secret));
-    println!("wire form is {} bytes and does not contain the withheld value", wire.len());
+    println!(
+        "wire form is {} bytes and does not contain the withheld value",
+        wire.len()
+    );
 
     // This is exactly what lifts the §6.3 strategy restriction:
     for strategy in Strategy::ALL {

@@ -28,7 +28,10 @@ fn main() {
     }
     service.register_party(initiator);
     service.register_party(scenario.provider(names::AEROSPACE).party.clone());
-    println!("TN service registered; DB now holds {:?}", service.database().stats());
+    println!(
+        "TN service registered; DB now holds {:?}",
+        service.database().stats()
+    );
 
     let bus = ServiceBus::new(clock.clone());
     bus.register("tn-service", Arc::new(service));
@@ -47,7 +50,10 @@ fn main() {
     println!("negotiation #{} completed", run.negotiation_id);
     println!("  trust sequence length:     {}", run.sequence_len);
     println!("  CredentialExchange calls:  {}", run.credential_calls);
-    println!("  simulated service time:    {:.2} s", run.sim_elapsed.as_secs_f64());
+    println!(
+        "  simulated service time:    {:.2} s",
+        run.sim_elapsed.as_secs_f64()
+    );
     println!("\nper-operation charges:");
     for (kind, count) in clock.counts() {
         println!("  {:<18} x{}", kind.label(), count);

@@ -13,8 +13,14 @@ use trust_vo::vo::workflow::{run_optimization, OptimizationTarget};
 
 fn main() {
     let mut scenario = AircraftScenario::build();
-    let vo = scenario.form_vo(Strategy::Standard).expect("formation succeeds");
-    println!("VO '{}' operational with {} members\n", vo.name, vo.members().len());
+    let vo = scenario
+        .form_vo(Strategy::Standard)
+        .expect("formation succeeds");
+    println!(
+        "VO '{}' operational with {} members\n",
+        vo.name,
+        vo.members().len()
+    );
 
     let providers = scenario.toolkit.providers.clone();
     let mut log = OperationLog::new();

@@ -132,7 +132,11 @@ fn cmd_lifecycle(strategy: Strategy) {
             std::process::exit(1);
         }
     };
-    println!("[formation]  {} members, phase {}", vo.members().len(), vo.lifecycle.phase());
+    println!(
+        "[formation]  {} members, phase {}",
+        vo.members().len(),
+        vo.lifecycle.phase()
+    );
     let providers = scenario.toolkit.providers.clone();
     let clock = scenario.toolkit.clock.clone();
     let auth = authorize_operation(
@@ -146,13 +150,27 @@ fn cmd_lifecycle(strategy: Strategy) {
         strategy,
     );
     match auth {
-        Ok(a) => println!("[operation]  authorization for '{}' granted to {}", a.resource, a.granted_to),
+        Ok(a) => println!(
+            "[operation]  authorization for '{}' granted to {}",
+            a.resource, a.granted_to
+        ),
         Err(e) => println!("[operation]  authorization failed: {e}"),
     }
     let mut log = OperationLog::new();
-    log.record(&vo, &mut scenario.toolkit.reputation, names::HPC, names::STORAGE, "store results", false, clock.timestamp())
-        .expect("members interact");
-    println!("[operation]  {} interactions monitored", log.records().len());
+    log.record(
+        &vo,
+        &mut scenario.toolkit.reputation,
+        names::HPC,
+        names::STORAGE,
+        "store results",
+        false,
+        clock.timestamp(),
+    )
+    .expect("members interact");
+    println!(
+        "[operation]  {} interactions monitored",
+        log.records().len()
+    );
     let mut vo = vo;
     let mut crl = RevocationList::new();
     let report = trust_vo::vo::dissolution::dissolve(&mut vo, &mut crl, &clock).expect("dissolves");

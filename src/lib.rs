@@ -27,21 +27,21 @@
 
 #![forbid(unsafe_code)]
 
-/// Cryptographic substrate: SHA-256, HMAC, base64, Schnorr signatures.
-pub use trust_vo_crypto as crypto;
-/// XML document model, writer, parser, and XPath-subset evaluator.
-pub use trust_vo_xmldoc as xmldoc;
 /// X-TNL credentials, X-Profiles, authorities, revocation, X.509v2 certs.
 pub use trust_vo_credential as credential;
+/// Cryptographic substrate: SHA-256, HMAC, base64, Schnorr signatures.
+pub use trust_vo_crypto as crypto;
+/// The Trust-X negotiation engine and the eager baseline.
+pub use trust_vo_negotiation as negotiation;
 /// Concept ontology, Jaccard matching, and Algorithm 1 mapping.
 pub use trust_vo_ontology as ontology;
 /// X-TNL disclosure policies and compliance checking.
 pub use trust_vo_policy as policy;
-/// The Trust-X negotiation engine and the eager baseline.
-pub use trust_vo_negotiation as negotiation;
-/// In-memory versioned document store.
-pub use trust_vo_store as store;
 /// SOA substrate: envelopes, service bus, TN web service, sim-clock.
 pub use trust_vo_soa as soa;
+/// In-memory versioned document store.
+pub use trust_vo_store as store;
 /// VO Management toolkit: lifecycle, formation, operation, reputation.
 pub use trust_vo_vo as vo;
+/// XML document model, writer, parser, and XPath-subset evaluator.
+pub use trust_vo_xmldoc as xmldoc;

@@ -154,11 +154,21 @@ fn selective_disclosure_commitment_swap_rejected() {
     let issuer = KeyPair::from_seed(b"INFN");
     let holder = KeyPair::from_seed(b"holder");
     let a = SelectiveIssuance::issue(
-        1, "holder", holder.public, "INFN", &issuer, window(),
+        1,
+        "holder",
+        holder.public,
+        "INFN",
+        &issuer,
+        window(),
         &[("score".into(), "97".into())],
     );
     let b = SelectiveIssuance::issue(
-        2, "holder", holder.public, "INFN", &issuer, window(),
+        2,
+        "holder",
+        holder.public,
+        "INFN",
+        &issuer,
+        window(),
         &[("score".into(), "12".into())],
     );
     // Present certificate B (low score) with the opening from A (high

@@ -13,9 +13,15 @@ fn fig2_tree_structure_matches_the_paper() {
     let rendered = outcome.tree.render();
     assert!(rendered.contains("VoMembership <controller>"), "{rendered}");
     // First level: the quality requirement on the Aerospace side.
-    assert!(rendered.contains("ISO9000Certified <requester>"), "{rendered}");
+    assert!(
+        rendered.contains("ISO9000Certified <requester>"),
+        "{rendered}"
+    );
     // Second level: the accreditation counter-requirement.
-    assert!(rendered.contains("AAAccreditation <controller>"), "{rendered}");
+    assert!(
+        rendered.contains("AAAccreditation <controller>"),
+        "{rendered}"
+    );
     // The chosen path is marked.
     assert!(rendered.contains("[edge vo-portal *]"), "{rendered}");
     assert_eq!(outcome.tree.depth(), 3);
@@ -61,7 +67,10 @@ fn fig2_alternative_branch_exists_as_multialternative() {
     );
     let views =
         trust_vo::negotiation::count_views(aerospace, &initiator, "VoMembership", &cfg, 100);
-    assert_eq!(views, 2, "AAACreditation and BusinessProof/balance-sheet alternatives");
+    assert_eq!(
+        views, 2,
+        "AAACreditation and BusinessProof/balance-sheet alternatives"
+    );
 }
 
 #[test]

@@ -22,7 +22,12 @@ fn lifecycle_walks_all_phases() {
     let phases: Vec<Phase> = vo.lifecycle.history().iter().map(|(p, _)| *p).collect();
     assert_eq!(
         phases,
-        [Phase::Preparation, Phase::Identification, Phase::Formation, Phase::Operation]
+        [
+            Phase::Preparation,
+            Phase::Identification,
+            Phase::Formation,
+            Phase::Operation
+        ]
     );
 
     let mut crl = RevocationList::new();
@@ -80,8 +85,16 @@ fn operation_phase_authorization_and_monitoring() {
 
     // Monitoring records interactions and updates reputation.
     let mut log = OperationLog::new();
-    log.record(&vo, &mut scenario.toolkit.reputation, names::HPC, names::STORAGE, "store results", false, clock.timestamp())
-        .unwrap();
+    log.record(
+        &vo,
+        &mut scenario.toolkit.reputation,
+        names::HPC,
+        names::STORAGE,
+        "store results",
+        false,
+        clock.timestamp(),
+    )
+    .unwrap();
     assert_eq!(log.records().len(), 1);
 }
 
@@ -132,15 +145,27 @@ fn expiry_renewal_flow() {
             "ISO9000Certified",
             names::AEROSPACE,
             aerospace.party.keys.public,
-            vec![trust_vo::credential::Attribute::new("QualityRegulation", "UNI EN ISO 9000")],
+            vec![trust_vo::credential::Attribute::new(
+                "QualityRegulation",
+                "UNI EN ISO 9000",
+            )],
             window,
         )
         .unwrap();
     aerospace.party.profile.add(fresh);
     let mut initiator = initiator;
-    let aaa = scenario.authorities.get_mut("American Aircraft Association").unwrap();
+    let aaa = scenario
+        .authorities
+        .get_mut("American Aircraft Association")
+        .unwrap();
     let fresh_accr = aaa
-        .issue("AAAccreditation", names::AIRCRAFT, initiator.party.keys.public, vec![], window)
+        .issue(
+            "AAAccreditation",
+            names::AIRCRAFT,
+            initiator.party.keys.public,
+            vec![],
+            window,
+        )
         .unwrap();
     initiator.party.profile.add(fresh_accr);
     let record = renew_membership(
@@ -156,7 +181,10 @@ fn expiry_renewal_flow() {
     .unwrap();
     assert!(verify_membership(&vo, &record, clock.timestamp(), &RevocationList::new()).is_ok());
     assert_eq!(
-        vo.members().iter().filter(|m| m.role == roles::DESIGN_PORTAL).count(),
+        vo.members()
+            .iter()
+            .filter(|m| m.role == roles::DESIGN_PORTAL)
+            .count(),
         1,
         "exactly one portal membership after renewal"
     );
@@ -172,8 +200,16 @@ fn replacement_after_reputation_drop() {
 
     let mut log = OperationLog::new();
     for _ in 0..2 {
-        log.record(&vo, &mut scenario.toolkit.reputation, names::HPC, names::STORAGE, "SLA miss", true, clock.timestamp())
-            .unwrap();
+        log.record(
+            &vo,
+            &mut scenario.toolkit.reputation,
+            names::HPC,
+            names::STORAGE,
+            "SLA miss",
+            true,
+            clock.timestamp(),
+        )
+        .unwrap();
     }
     assert!(scenario
         .toolkit

@@ -27,7 +27,11 @@ fn italian_ontology() -> Ontology {
             .keyword("quality certification ISO")
             .implemented_by("ISO9000Certified.QualityRegulation"),
     );
-    o.add(Concept::new("Bilancio").keyword("balance sheet financial").implemented_by("CertificationAuthorityCompany"));
+    o.add(
+        Concept::new("Bilancio")
+            .keyword("balance sheet financial")
+            .implemented_by("CertificationAuthorityCompany"),
+    );
     o
 }
 
@@ -38,7 +42,11 @@ fn us_ontology() -> Ontology {
             .keyword("ISO quality")
             .implemented_by("ISO9000Certified"),
     );
-    o.add(Concept::new("BalanceSheet").keyword("financial statement").implemented_by("CertificationAuthorityCompany"));
+    o.add(
+        Concept::new("BalanceSheet")
+            .keyword("financial statement")
+            .implemented_by("CertificationAuthorityCompany"),
+    );
     o
 }
 
@@ -50,7 +58,10 @@ fn cross_ontology_matching_bridges_naming_schemas() {
     // schemas." (§4.3)
     let mapping = match_ontologies(&italian_ontology(), &us_ontology());
     assert_eq!(mapping.len(), 2);
-    let quality = mapping.iter().find(|m| m.source == "Certificazione_Qualita").unwrap();
+    let quality = mapping
+        .iter()
+        .find(|m| m.source == "Certificazione_Qualita")
+        .unwrap();
     assert_eq!(quality.target, "QualityCertification");
     assert!(quality.confidence > 0.2, "{}", quality.confidence);
     let sheet = mapping.iter().find(|m| m.source == "Bilancio").unwrap();
@@ -88,7 +99,10 @@ fn persisted_ontology_drives_concept_negotiation() {
     ));
     let cfg = NegotiationConfig::new(Strategy::Standard, at());
     let outcome = negotiate(&requester, &controller, "Svc", &cfg).unwrap();
-    assert_eq!(outcome.sequence.disclosures()[0].cred_type, "ISO9000Certified");
+    assert_eq!(
+        outcome.sequence.disclosures()[0].cred_type,
+        "ISO9000Certified"
+    );
 }
 
 #[test]
@@ -129,14 +143,23 @@ fn abstraction_then_resolution_is_lossless_for_satisfiability() {
         vec![Term::of_type("ISO9000Certified")],
     );
     let abstracted = trust_vo::policy::abstraction::abstract_policy(&concrete, &ontology, 0);
-    assert_ne!(concrete, abstracted, "abstraction must change the term form");
+    assert_ne!(
+        concrete, abstracted,
+        "abstraction must change the term form"
+    );
 
     let mut ca = CredentialAuthority::new("INFN");
     let make_parties = |policy: DisclosurePolicy, ca: &mut CredentialAuthority| {
         let mut requester = Party::new("R").with_ontology(us_ontology());
         let mut controller = Party::new("C");
         let cred = ca
-            .issue("ISO9000Certified", "R", requester.keys.public, vec![], window())
+            .issue(
+                "ISO9000Certified",
+                "R",
+                requester.keys.public,
+                vec![],
+                window(),
+            )
             .unwrap();
         requester.profile.add(cred);
         requester.trust_root(ca.public_key());

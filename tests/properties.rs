@@ -18,19 +18,25 @@ fn at() -> Timestamp {
 /// A randomized two-party world: `n` credential types alternating between
 /// the parties, each protected either by a DELIV rule or by the next type,
 /// with random sensitivities.
-fn random_parties(
-    depth: usize,
-    deliv_mask: &[bool],
-    sensitivities: &[u8],
-) -> (Party, Party) {
+fn random_parties(depth: usize, deliv_mask: &[bool], sensitivities: &[u8]) -> (Party, Party) {
     let mut ca = CredentialAuthority::new("PropCA");
     let mut requester = Party::new("prop-requester");
     let mut controller = Party::new("prop-controller");
     for level in 0..depth {
         let ty = format!("T{level}");
-        let owner = if level % 2 == 0 { &mut requester } else { &mut controller };
+        let owner = if level % 2 == 0 {
+            &mut requester
+        } else {
+            &mut controller
+        };
         let cred = ca
-            .issue(&ty, &owner.name.clone(), owner.keys.public, vec![Attribute::new("L", level as i64)], window())
+            .issue(
+                &ty,
+                &owner.name.clone(),
+                owner.keys.public,
+                vec![Attribute::new("L", level as i64)],
+                window(),
+            )
             .unwrap();
         let sens = match sensitivities.get(level).copied().unwrap_or(0) % 3 {
             0 => Sensitivity::Low,
@@ -41,7 +47,9 @@ fn random_parties(
         let resource = Resource::credential(ty);
         // The last level is always deliverable so the chain can terminate.
         if level + 1 >= depth || deliv_mask.get(level).copied().unwrap_or(true) {
-            owner.policies.add(DisclosurePolicy::deliv(format!("d{level}"), resource));
+            owner
+                .policies
+                .add(DisclosurePolicy::deliv(format!("d{level}"), resource));
         } else {
             owner.policies.add(DisclosurePolicy::rule(
                 format!("p{level}"),
@@ -193,12 +201,27 @@ fn random_dag(
     let mut ca = CredentialAuthority::new("DagCA");
     let mut requester = Party::new("dag-requester");
     let mut controller = Party::new("dag-controller");
-    let byte = |i: usize| structure.get(i % structure.len().max(1)).copied().unwrap_or(0) as usize;
+    let byte = |i: usize| {
+        structure
+            .get(i % structure.len().max(1))
+            .copied()
+            .unwrap_or(0) as usize
+    };
     for level in 0..n {
         let ty = format!("T{level}");
-        let owner = if level % 2 == 0 { &mut requester } else { &mut controller };
+        let owner = if level % 2 == 0 {
+            &mut requester
+        } else {
+            &mut controller
+        };
         let cred = ca
-            .issue(&ty, &owner.name.clone(), owner.keys.public, vec![], window())
+            .issue(
+                &ty,
+                &owner.name.clone(),
+                owner.keys.public,
+                vec![],
+                window(),
+            )
             .unwrap();
         owner.profile.add(cred);
         let resource = Resource::credential(ty);

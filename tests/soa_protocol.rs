@@ -79,14 +79,26 @@ fn suspicious_strategy_costs_more_sim_time_than_trusting() {
         .unwrap();
         elapsed.push(run.sim_elapsed);
     }
-    assert!(elapsed[1] >= elapsed[0], "strong-suspicious {:?} < trusting {:?}", elapsed[1], elapsed[0]);
+    assert!(
+        elapsed[1] >= elapsed[0],
+        "strong-suspicious {:?} < trusting {:?}",
+        elapsed[1],
+        elapsed[0]
+    );
 }
 
 #[test]
 fn service_charges_expected_cost_kinds() {
     let (bus, _service) = service_setup();
-    run_negotiation(&bus, "tn", names::AEROSPACE, names::AIRCRAFT, "VoMembership", Strategy::Standard)
-        .unwrap();
+    run_negotiation(
+        &bus,
+        "tn",
+        names::AEROSPACE,
+        names::AIRCRAFT,
+        "VoMembership",
+        Strategy::Standard,
+    )
+    .unwrap();
     let counts = bus.clock().counts();
     // 4 SOAP calls minimum: start + policy + 2 credential exchanges.
     assert!(counts[&CostKind::SoapRoundTrip] >= 4);
@@ -124,7 +136,10 @@ fn malformed_envelopes_fault_without_state_damage() {
     let (bus, service) = service_setup();
     // Missing negotiation id.
     let err = bus
-        .call("tn", &Envelope::request("PolicyExchange", Element::new("x")))
+        .call(
+            "tn",
+            &Envelope::request("PolicyExchange", Element::new("x")),
+        )
         .unwrap_err();
     assert_eq!(err.code, "BadRequest");
     // A good run still works afterwards.

@@ -63,7 +63,10 @@ fn xacml_imported_policy_drives_a_negotiation() {
     let cfg = NegotiationConfig::new(Strategy::Standard, at());
     let outcome = negotiate(&requester, &controller, "VoMembership", &cfg).unwrap();
     assert_eq!(outcome.sequence.len(), 1);
-    assert_eq!(outcome.sequence.disclosures()[0].cred_type, "ISO9000Certified");
+    assert_eq!(
+        outcome.sequence.disclosures()[0].cred_type,
+        "ISO9000Certified"
+    );
 }
 
 #[test]
@@ -97,7 +100,9 @@ fn two_of_three_group_condition_negotiates() {
     let mut controller = Party::new("C");
     // The requester holds exactly two of the three acceptable credentials.
     for ty in ["IsoCert", "BalanceSheet"] {
-        let cred = ca.issue(ty, "R", requester.keys.public, vec![], window()).unwrap();
+        let cred = ca
+            .issue(ty, "R", requester.keys.public, vec![], window())
+            .unwrap();
         requester.profile.add(cred);
     }
     requester.trust_root(ca.public_key());
@@ -133,11 +138,17 @@ fn group_condition_fails_when_k_unreachable() {
     let mut ca = CredentialAuthority::new("CA");
     let mut requester = Party::new("R");
     let mut controller = Party::new("C");
-    let cred = ca.issue("IsoCert", "R", requester.keys.public, vec![], window()).unwrap();
+    let cred = ca
+        .issue("IsoCert", "R", requester.keys.public, vec![], window())
+        .unwrap();
     requester.profile.add(cred); // holds only one
     let group = GroupCondition::new(
         2,
-        vec![Term::of_type("IsoCert"), Term::of_type("Accreditation"), Term::of_type("BalanceSheet")],
+        vec![
+            Term::of_type("IsoCert"),
+            Term::of_type("Accreditation"),
+            Term::of_type("BalanceSheet"),
+        ],
     );
     for policy in group.compile("grp", Resource::service("Svc")) {
         controller.policies.add(policy);

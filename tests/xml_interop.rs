@@ -79,7 +79,13 @@ fn tampered_stored_credential_fails_verification() {
     let mut ca = CredentialAuthority::new("INFN");
     let holder = KeyPair::from_seed(b"holder");
     let cred = ca
-        .issue("T", "holder", holder.public, vec![Attribute::new("k", "honest")], window())
+        .issue(
+            "T",
+            "holder",
+            holder.public,
+            vec![Attribute::new("k", "honest")],
+            window(),
+        )
         .unwrap();
     // An attacker edits the stored XML.
     let mut doc = cred.to_xml();
@@ -98,7 +104,9 @@ fn profile_document_queryable_with_xpath() {
         ("A", trust_vo::credential::Sensitivity::Low),
         ("B", trust_vo::credential::Sensitivity::High),
     ] {
-        let cred = ca.issue(ty, "holder", holder.public, vec![], window()).unwrap();
+        let cred = ca
+            .issue(ty, "holder", holder.public, vec![], window())
+            .unwrap();
         profile.add_with_sensitivity(cred, sens);
     }
     let doc = profile.to_xml();
@@ -125,7 +133,10 @@ fn store_versioning_keeps_policy_history() {
         c.put("p", policy_to_xml(&v2));
     });
     let (r1, r2) = db.with_collection("policies", |c| {
-        (c.get_revision(&"p".into(), 1).cloned(), c.get_revision(&"p".into(), 2).cloned())
+        (
+            c.get_revision(&"p".into(), 1).cloned(),
+            c.get_revision(&"p".into(), 2).cloned(),
+        )
     });
     assert_eq!(policy_from_xml(&r1.unwrap()).unwrap(), v1);
     assert_eq!(policy_from_xml(&r2.unwrap()).unwrap(), v2);

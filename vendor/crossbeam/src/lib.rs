@@ -1,0 +1,105 @@
+//! A minimal, API-compatible subset of `crossbeam`, implemented over the
+//! standard library, for offline builds of this workspace.
+//!
+//! Provides [`thread::scope`] (crossbeam-utils style scoped threads, built
+//! on `std::thread::scope`) and a small [`channel`] module backed by
+//! `std::sync::mpsc`.
+
+#![forbid(unsafe_code)]
+// Vendored snapshot: exempt from the workspace clippy policy so new
+// toolchain lints don't break the build.
+#![allow(clippy::all)]
+
+/// Scoped threads in the crossbeam-utils style.
+pub mod thread {
+    /// A scope handle: spawn threads that may borrow from the enclosing
+    /// stack frame. All spawned threads are joined when the scope ends.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// A handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish, returning its result.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope.
+        ///
+        /// crossbeam's closure takes a `&Scope` argument; this subset keeps
+        /// that shape so call sites match the real crate.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Create a scope for spawning borrowing threads. Returns `Ok` with the
+    /// closure's result once every spawned thread has been joined; a panic
+    /// in a spawned thread propagates (matching `std::thread::scope`).
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+/// Multi-producer channels backed by `std::sync::mpsc`.
+pub mod channel {
+    /// The sending half of a channel (cloneable).
+    pub use std::sync::mpsc::Sender;
+
+    /// The receiving half of a channel.
+    pub use std::sync::mpsc::Receiver;
+
+    /// Errors surfaced on receive.
+    pub use std::sync::mpsc::{RecvError, TryRecvError};
+
+    /// An unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+
+    /// A bounded FIFO channel (maps to `sync_channel`).
+    pub fn bounded<T>(cap: usize) -> (std::sync::mpsc::SyncSender<T>, Receiver<T>) {
+        std::sync::mpsc::sync_channel(cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let total: u64 = super::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn channels_roundtrip() {
+        let (tx, rx) = super::channel::unbounded();
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv().unwrap(), 7);
+    }
+}

@@ -1,0 +1,37 @@
+//! `prop::array` subset: fixed-size array strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing `[T; 32]` from 32 independent draws of `element`.
+pub fn uniform32<S: Strategy>(element: S) -> UniformArray<S, 32> {
+    UniformArray { element }
+}
+
+/// Strategy returned by [`uniform32`].
+#[derive(Debug, Clone)]
+pub struct UniformArray<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+
+    fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+        std::array::from_fn(|_| self.element.generate(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn uniform32_fills_every_slot() {
+        let mut rng = TestRng::from_seed(31);
+        let arr = uniform32(any::<u8>()).generate(&mut rng);
+        assert_eq!(arr.len(), 32);
+        assert!(arr.iter().any(|&b| b != arr[0]));
+    }
+}

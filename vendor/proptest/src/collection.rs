@@ -1,0 +1,143 @@
+//! `prop::collection` subset: [`vec`] and [`btree_set`] strategies with a
+//! [`SizeRange`] that accepts `usize`, `Range`, and `RangeInclusive`.
+
+use std::collections::BTreeSet;
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// How many elements a generated collection may hold (inclusive bounds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        if self.min == self.max {
+            self.min
+        } else {
+            self.min + rng.below(self.max - self.min + 1)
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(len: usize) -> Self {
+        SizeRange { min: len, max: len }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty collection size range");
+        SizeRange {
+            min: range.start,
+            max: range.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(range: RangeInclusive<usize>) -> Self {
+        assert!(range.start() <= range.end(), "empty collection size range");
+        SizeRange {
+            min: *range.start(),
+            max: *range.end(),
+        }
+    }
+}
+
+/// Strategy producing `Vec`s of values from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.sample(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy producing `BTreeSet`s of values from `element`. Duplicate
+/// generations may yield sets smaller than the sampled size.
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`btree_set`].
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = self.size.sample(rng);
+        let mut set = BTreeSet::new();
+        // A few extra draws compensate for collisions without risking an
+        // unbounded loop on narrow element domains.
+        let mut attempts = target.saturating_mul(4).max(8);
+        while set.len() < target && attempts > 0 {
+            set.insert(self.element.generate(rng));
+            attempts -= 1;
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn vec_respects_size_forms() {
+        let mut rng = TestRng::from_seed(21);
+        assert_eq!(vec(any::<bool>(), 3).generate(&mut rng).len(), 3);
+        for _ in 0..50 {
+            let v = vec(0u8..5, 1..4).generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+            let w = vec(0u8..5, 0..=2).generate(&mut rng);
+            assert!(w.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn btree_set_stays_bounded() {
+        let mut rng = TestRng::from_seed(22);
+        for _ in 0..50 {
+            let s = btree_set(0u8..3, 0..6).generate(&mut rng);
+            assert!(s.len() <= 5);
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! `prop::sample` subset: the [`Index`] helper for picking positions in
+//! runtime-sized collections.
+
+use crate::arbitrary::Arbitrary;
+use crate::test_runner::TestRng;
+
+/// An abstract index: generated independently of any collection, then
+/// projected onto one with [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index {
+    raw: u64,
+}
+
+impl Index {
+    /// Map this abstract index onto a collection of length `len`
+    /// (`len > 0`).
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index requires a non-empty collection");
+        (self.raw % len as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        Index {
+            raw: rng.next_u64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn index_projects_in_bounds() {
+        let mut rng = TestRng::from_seed(5);
+        for _ in 0..100 {
+            let ix = any::<Index>().generate(&mut rng);
+            assert!(ix.index(7) < 7);
+            assert!(ix.index(1) == 0);
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Regex-subset string strategies: `&'static str` patterns act as
+//! strategies generating matching `String`s, mirroring proptest's
+//! `StrategyFromRegex`.
+//!
+//! Supported syntax (the subset this workspace's tests use):
+//! character classes `[a-z_.-]`, the `\PC` escape (any non-control
+//! character), literal characters, and `{m}` / `{m,n}` repetition
+//! applied to the preceding atom.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// One parsed pattern element plus its repetition bounds.
+#[derive(Debug, Clone)]
+struct Atom {
+    kind: AtomKind,
+    min: usize,
+    max: usize,
+}
+
+#[derive(Debug, Clone)]
+enum AtomKind {
+    /// A literal character.
+    Literal(char),
+    /// Inclusive character ranges from a `[...]` class.
+    Class(Vec<(char, char)>),
+    /// `\PC`: any non-control character (printable ASCII plus a sprinkle
+    /// of multi-byte codepoints to exercise UTF-8 handling).
+    NotControl,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let kind = match c {
+            '[' => {
+                let mut ranges = Vec::new();
+                let mut pending: Option<char> = None;
+                loop {
+                    let item = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"));
+                    match item {
+                        ']' => {
+                            if let Some(p) = pending.take() {
+                                ranges.push((p, p));
+                            }
+                            break;
+                        }
+                        '-' if pending.is_some() && chars.peek() != Some(&']') => {
+                            let start = pending.take().expect("pending start");
+                            let end = chars.next().expect("range end");
+                            assert!(start <= end, "inverted range in pattern {pattern:?}");
+                            ranges.push((start, end));
+                        }
+                        other => {
+                            if let Some(p) = pending.take() {
+                                ranges.push((p, p));
+                            }
+                            pending = Some(other);
+                        }
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty class in pattern {pattern:?}");
+                AtomKind::Class(ranges)
+            }
+            '\\' => {
+                let esc = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                match esc {
+                    'P' => {
+                        // Only `\PC` (non-control) is supported.
+                        let class = chars.next();
+                        assert_eq!(
+                            class,
+                            Some('C'),
+                            "unsupported \\P class in pattern {pattern:?}"
+                        );
+                        AtomKind::NotControl
+                    }
+                    other => AtomKind::Literal(other),
+                }
+            }
+            other => AtomKind::Literal(other),
+        };
+
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut digits = String::new();
+            let mut min = None;
+            for d in chars.by_ref() {
+                match d {
+                    '}' => break,
+                    ',' => {
+                        min = Some(digits.parse::<usize>().expect("repeat lower bound"));
+                        digits.clear();
+                    }
+                    _ => digits.push(d),
+                }
+            }
+            let last = digits.parse::<usize>().expect("repeat bound");
+            match min {
+                Some(m) => (m, last),
+                None => (last, last),
+            }
+        } else {
+            (1, 1)
+        };
+
+        atoms.push(Atom { kind, min, max });
+    }
+    atoms
+}
+
+fn sample_char(kind: &AtomKind, rng: &mut TestRng) -> char {
+    match kind {
+        AtomKind::Literal(c) => *c,
+        AtomKind::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|(lo, hi)| u64::from(*hi) - u64::from(*lo) + 1)
+                .sum();
+            let mut pick = rng.next_u64() % total;
+            for (lo, hi) in ranges {
+                let span = u64::from(*hi) - u64::from(*lo) + 1;
+                if pick < span {
+                    return char::from_u32(*lo as u32 + pick as u32).expect("valid class char");
+                }
+                pick -= span;
+            }
+            unreachable!("class pick out of range")
+        }
+        AtomKind::NotControl => {
+            // ~1 in 8 draws picks a multi-byte codepoint.
+            if rng.next_u64() % 8 == 0 {
+                const WIDE: &[char] = &['é', 'λ', 'Ж', '中', '✓', '🌐'];
+                WIDE[rng.below(WIDE.len())]
+            } else {
+                char::from_u32(0x20 + (rng.next_u64() % 0x5f) as u32).expect("printable ascii")
+            }
+        }
+    }
+}
+
+/// A compiled pattern strategy; also usable directly via
+/// `"[a-z]{1,3}".prop_map(...)` since `&'static str: Strategy`.
+#[derive(Debug, Clone)]
+pub struct RegexStrategy {
+    atoms: Vec<Atom>,
+}
+
+impl RegexStrategy {
+    /// Compile `pattern` (panics on unsupported syntax).
+    pub fn new(pattern: &str) -> Self {
+        RegexStrategy {
+            atoms: parse_pattern(pattern),
+        }
+    }
+}
+
+impl Strategy for RegexStrategy {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in &self.atoms {
+            let count = if atom.min == atom.max {
+                atom.min
+            } else {
+                atom.min + rng.below(atom.max - atom.min + 1)
+            };
+            for _ in 0..count {
+                out.push(sample_char(&atom.kind, rng));
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        // Compiling per call keeps `&str` a zero-state strategy; patterns
+        // in this workspace are tiny, so the cost is negligible.
+        RegexStrategy::new(self).generate(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identifier_pattern_matches_shape() {
+        let mut rng = TestRng::from_seed(41);
+        let strat = "[a-zA-Z][a-zA-Z0-9_.-]{0,8}";
+        for _ in 0..200 {
+            let s = strat.generate(&mut rng);
+            let mut chars = s.chars();
+            let first = chars.next().expect("non-empty");
+            assert!(first.is_ascii_alphabetic());
+            assert!(s.chars().count() <= 9);
+            for c in chars {
+                assert!(
+                    c.is_ascii_alphanumeric() || "_.-".contains(c),
+                    "bad char {c:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn printable_pattern_has_no_controls() {
+        let mut rng = TestRng::from_seed(42);
+        let strat = "\\PC{0,200}";
+        for _ in 0..50 {
+            let s = strat.generate(&mut rng);
+            assert!(s.chars().count() <= 200);
+            assert!(!s.chars().any(|c| c.is_control()));
+        }
+    }
+
+    #[test]
+    fn exact_and_ranged_repeats() {
+        let mut rng = TestRng::from_seed(43);
+        for _ in 0..100 {
+            let s = "[a-e]{1,3}".generate(&mut rng);
+            assert!((1..=3).contains(&s.len()));
+            assert!(s.bytes().all(|b| (b'a'..=b'e').contains(&b)));
+            let t = "[ -~]{1,20}".generate(&mut rng);
+            assert!((1..=20).contains(&t.len()));
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let mut rng = TestRng::from_seed(44);
+        for _ in 0..300 {
+            let s = "[a-]".generate(&mut rng);
+            assert!(s == "a" || s == "-");
+        }
+    }
+}

