@@ -8,4 +8,14 @@ cargo build --workspace --release
 cargo test --workspace -q
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
+# Docs, warnings-as-errors, product crates only (the vendored offline
+# subsets under vendor/ are out of scope for the doc gate).
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
+  -p trust-vo -p trust-vo-bench -p trust-vo-credential -p trust-vo-crypto \
+  -p trust-vo-negotiation -p trust-vo-obs -p trust-vo-ontology \
+  -p trust-vo-policy -p trust-vo-soa -p trust-vo-store -p trust-vo-vo \
+  -p trust-vo-xmldoc
 cargo bench --workspace --no-run
+# Disabled-instrumentation smoke: with the obs feature compiled out the
+# formation bench must still build and complete one shrunken iteration.
+cargo run --release -p trust-vo-bench --no-default-features --bin parallel_join_times -- --smoke

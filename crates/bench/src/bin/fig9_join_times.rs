@@ -6,11 +6,13 @@
 //! calibrated sim-clock and report the real CPU time alongside.
 
 use std::time::Instant;
+use trust_vo_bench::obsutil::ObsArgs;
 use trust_vo_bench::report::Report;
 use trust_vo_bench::workloads;
 use trust_vo_negotiation::Strategy;
 
 fn main() {
+    let args = ObsArgs::from_env();
     let mut report = Report::new(
         "E1/Fig9",
         "Join execution times (Aircraft Optimization VO, Design Partner Web Portal joining)",
@@ -18,13 +20,26 @@ fn main() {
     );
 
     // (a) Join with trust negotiation. The clock is reset after scenario
-    // construction so only the join process itself is measured.
-    let mut s = workloads::scenario(workloads::paper_clock());
+    // construction so only the join process itself is measured. With
+    // --emit-obs, this is the instrumented case that lands in the dump.
+    let clock = workloads::paper_clock();
+    let collector = args.collector_for(&clock);
+    let mut s = workloads::scenario(clock);
     s.toolkit.clock.reset();
     let cpu = Instant::now();
     workloads::join_with_tn(&mut s, Strategy::Standard).expect("join succeeds");
     let cpu_with = cpu.elapsed();
     let sim_with = s.toolkit.clock.elapsed();
+    if collector.is_enabled() {
+        collector.event(
+            "bench.case",
+            vec![
+                ("experiment".to_string(), "E1/Fig9".into()),
+                ("case".to_string(), "join-with-tn".into()),
+            ],
+        );
+        args.dump(&collector);
+    }
 
     // (b) Join without trust negotiation.
     let mut s = workloads::scenario(workloads::paper_clock());

@@ -7,6 +7,7 @@
 //! members, roles, certificate serials — which this harness also checks.
 
 use std::time::Instant;
+use trust_vo_bench::obsutil::ObsArgs;
 use trust_vo_bench::report::Report;
 use trust_vo_bench::workloads;
 use trust_vo_negotiation::{ConcurrentSequenceCache, Strategy};
@@ -24,6 +25,14 @@ fn membership(vo: &FormedVo) -> Vec<(String, String, u64)> {
 }
 
 fn main() {
+    let args = ObsArgs::from_env();
+    // --smoke: one tiny workload so CI can exercise the binary (including
+    // with the obs feature compiled out) in well under a second.
+    let (sizes, depth, alternatives): (&[usize], usize, usize) = if args.smoke {
+        (&[4], 4, 2)
+    } else {
+        (&[4, 16, 64], DEPTH, ALTERNATIVES)
+    };
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
@@ -40,8 +49,8 @@ fn main() {
     );
 
     let mut speedup_at_16 = 0.0_f64;
-    for applicants in [4usize, 16, 64] {
-        let world = workloads::parallel_join_world(applicants, DEPTH, ALTERNATIVES);
+    for &applicants in sizes {
+        let world = workloads::parallel_join_world(applicants, depth, alternatives);
 
         let serial_clock = workloads::free_clock();
         let start = Instant::now();
@@ -59,6 +68,7 @@ fn main() {
         let serial_cpu = start.elapsed();
 
         let parallel_clock = workloads::free_clock();
+        let collector = args.collector_for(&parallel_clock);
         let cache = ConcurrentSequenceCache::new();
         let start = Instant::now();
         let parallel = form_vo_parallel(
@@ -87,6 +97,17 @@ fn main() {
             "replay must charge the sim-clock exactly like serial"
         );
 
+        if collector.is_enabled() {
+            collector.event(
+                "bench.case",
+                vec![
+                    ("experiment".to_string(), "E10".into()),
+                    ("applicants".to_string(), applicants.into()),
+                ],
+            );
+            args.dump(&collector);
+        }
+
         let speedup = serial_cpu.as_secs_f64() / parallel_cpu.as_secs_f64();
         if applicants == 16 {
             speedup_at_16 = speedup;
@@ -109,8 +130,8 @@ fn main() {
     report.print();
 
     // Shape assertion: on a multi-core host the fan-out must pay for
-    // itself by 16 applicants.
-    if workers >= 4 {
+    // itself by 16 applicants (skipped in --smoke, which runs one size).
+    if workers >= 4 && !args.smoke {
         assert!(
             speedup_at_16 >= 2.0,
             "expected >= 2x speedup at 16 applicants on {workers} workers, got {speedup_at_16:.2}x"

@@ -7,5 +7,6 @@
 
 #![forbid(unsafe_code)]
 
+pub mod obsutil;
 pub mod report;
 pub mod workloads;

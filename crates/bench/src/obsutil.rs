@@ -1,0 +1,109 @@
+//! `--emit-obs` support shared by the bench binaries.
+//!
+//! Every table-printing binary accepts:
+//!
+//! * `--emit-obs <path>` — attach a [`Collector`] to the workload clock
+//!   and, after the run, dump every span/event/metric as JSON lines to
+//!   `<path>` (see `trust-vo-obs` for the line schema);
+//! * `--smoke` (where documented) — shrink the workload to a single tiny
+//!   iteration so CI can exercise the binary in seconds.
+//!
+//! With the `obs` feature disabled the collector handles are inert: the
+//! flags still parse, the dump file is written, but it only carries the
+//! always-on metric lines (no spans or events).
+
+use std::path::PathBuf;
+use trust_vo_obs::Collector;
+use trust_vo_soa::simclock::SimClock;
+
+/// Flags recognised by the bench binaries.
+#[derive(Debug, Default)]
+pub struct ObsArgs {
+    /// Dump collected observability records to this path after the run.
+    pub emit_obs: Option<PathBuf>,
+    /// Run a single shrunken iteration (CI smoke).
+    pub smoke: bool,
+}
+
+impl ObsArgs {
+    /// Parse `--emit-obs <path>` and `--smoke` from `std::env::args`,
+    /// ignoring anything else (so harness-injected flags pass through).
+    pub fn from_env() -> Self {
+        let mut parsed = ObsArgs::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--emit-obs" => {
+                    let path = args.next().unwrap_or_else(|| {
+                        eprintln!("--emit-obs requires a path argument");
+                        std::process::exit(2);
+                    });
+                    parsed.emit_obs = Some(PathBuf::from(path));
+                }
+                "--smoke" => parsed.smoke = true,
+                _ => {}
+            }
+        }
+        parsed
+    }
+
+    /// A collector for the run: enabled (and attached to `clock`) when
+    /// `--emit-obs` was given, disabled otherwise so the bench pays no
+    /// instrumentation cost.
+    pub fn collector_for(&self, clock: &SimClock) -> Collector {
+        if self.emit_obs.is_none() {
+            return Collector::disabled();
+        }
+        let collector = Collector::new();
+        clock.attach_obs(&collector);
+        collector
+    }
+
+    /// Write the collector's JSONL dump to the `--emit-obs` path (no-op
+    /// without the flag). Panics on I/O errors: a bench run that cannot
+    /// write its requested artifact should fail loudly.
+    pub fn dump(&self, collector: &Collector) {
+        let Some(path) = &self.emit_obs else {
+            return;
+        };
+        std::fs::write(path, collector.to_jsonl())
+            .unwrap_or_else(|e| panic!("writing {} failed: {e}", path.display()));
+        eprintln!("observability dump written to {}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trust_vo_credential::Timestamp;
+    use trust_vo_soa::simclock::CostModel;
+
+    #[test]
+    fn no_flag_means_disabled_collector() {
+        let args = ObsArgs::default();
+        let clock = SimClock::new(CostModel::free(), Timestamp(0));
+        assert!(!args.collector_for(&clock).is_enabled());
+        args.dump(&Collector::disabled()); // no path: must not write
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn emit_obs_attaches_and_dumps() {
+        let dir = std::env::temp_dir().join("trust-vo-obsutil-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dump.jsonl");
+        let args = ObsArgs {
+            emit_obs: Some(path.clone()),
+            smoke: false,
+        };
+        let clock = SimClock::new(CostModel::paper_testbed(), Timestamp(0));
+        let collector = args.collector_for(&clock);
+        assert!(collector.is_enabled());
+        clock.charge(trust_vo_soa::simclock::CostKind::DbQuery);
+        args.dump(&collector);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let records = trust_vo_obs::parse_jsonl(&text).unwrap();
+        assert!(!records.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -24,6 +24,7 @@ use std::collections::{BTreeMap, HashMap};
 use trust_vo_credential::Credential;
 use trust_vo_crypto::sha256::Sha256;
 use trust_vo_crypto::Digest;
+use trust_vo_obs::{Counter, Registry};
 
 /// A fingerprint of everything phase 1 depends on for one party.
 ///
@@ -128,13 +129,59 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
-    /// Element-wise sum (used to aggregate per-shard stats).
+    /// Element-wise sum (kept as a façade for external aggregation; the
+    /// caches themselves now share atomic [`CacheMetrics`] instead of
+    /// folding per-shard stats).
     pub fn merge(self, other: CacheStats) -> CacheStats {
         CacheStats {
             hits: self.hits + other.hits,
             misses: self.misses + other.misses,
             invalidations: self.invalidations + other.invalidations,
             evictions: self.evictions + other.evictions,
+        }
+    }
+}
+
+/// Atomic counters backing [`CacheStats`].
+///
+/// Cloning shares the underlying counters, which is how all shards of a
+/// [`ConcurrentSequenceCache`] report into one set of totals — the old
+/// per-shard `CacheStats` fold is gone. Counters work whether or not an
+/// observability [`Registry`] is attached; [`CacheMetrics::in_registry`]
+/// additionally publishes them under `cache.*` metric names.
+#[derive(Debug, Clone, Default)]
+pub struct CacheMetrics {
+    hits: Counter,
+    misses: Counter,
+    invalidations: Counter,
+    evictions: Counter,
+}
+
+impl CacheMetrics {
+    /// Fresh counters not published to any registry.
+    pub fn detached() -> Self {
+        Self::default()
+    }
+
+    /// Counters registered in `registry` as `cache.hits`, `cache.misses`,
+    /// `cache.invalidations`, and `cache.evictions`. Calling this twice
+    /// with the same registry yields handles to the same counters.
+    pub fn in_registry(registry: &Registry) -> Self {
+        CacheMetrics {
+            hits: registry.counter("cache.hits"),
+            misses: registry.counter("cache.misses"),
+            invalidations: registry.counter("cache.invalidations"),
+            evictions: registry.counter("cache.evictions"),
+        }
+    }
+
+    /// Current totals as the plain [`CacheStats`] façade.
+    pub fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            invalidations: self.invalidations.get(),
+            evictions: self.evictions.get(),
         }
     }
 }
@@ -152,7 +199,7 @@ pub struct SequenceCache {
     lru: BTreeMap<u64, Key>,
     capacity: usize,
     tick: u64,
-    stats: CacheStats,
+    metrics: CacheMetrics,
 }
 
 impl Default for SequenceCache {
@@ -169,19 +216,29 @@ impl SequenceCache {
 
     /// An empty cache holding at most `capacity` sequences (`>= 1`).
     pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_metrics(capacity, CacheMetrics::detached())
+    }
+
+    /// An empty cache reporting into the given (possibly shared) metrics.
+    pub fn with_metrics(capacity: usize, metrics: CacheMetrics) -> Self {
         assert!(capacity >= 1, "cache capacity must be at least 1");
         SequenceCache {
             entries: HashMap::new(),
             lru: BTreeMap::new(),
             capacity,
             tick: 0,
-            stats: CacheStats::default(),
+            metrics,
         }
+    }
+
+    /// An empty cache publishing its metrics as `cache.*` in `registry`.
+    pub fn observed(registry: &Registry) -> Self {
+        Self::with_metrics(DEFAULT_CACHE_CAPACITY, CacheMetrics::in_registry(registry))
     }
 
     /// Cache statistics so far.
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        self.metrics.snapshot()
     }
 
     /// The configured maximum number of cached sequences.
@@ -214,7 +271,7 @@ impl SequenceCache {
         if let Some((&oldest, _)) = self.lru.iter().next() {
             if let Some(victim) = self.lru.remove(&oldest) {
                 self.entries.remove(&victim);
-                self.stats.evictions += 1;
+                self.metrics.evictions.inc();
             }
         }
     }
@@ -230,17 +287,17 @@ impl SequenceCache {
     ) -> Option<TrustSequence> {
         if let Some(entry) = self.entries.get(key) {
             if entry.requester_fp == *requester_fp && entry.controller_fp == *controller_fp {
-                self.stats.hits += 1;
+                self.metrics.hits.inc();
                 let sequence = entry.sequence.clone();
                 self.touch(key);
                 return Some(sequence);
             }
-            self.stats.invalidations += 1;
+            self.metrics.invalidations.inc();
             if let Some(old) = self.entries.remove(key) {
                 self.lru.remove(&old.last_used);
             }
         }
-        self.stats.misses += 1;
+        self.metrics.misses.inc();
         None
     }
 
@@ -321,6 +378,9 @@ pub const DEFAULT_CACHE_SHARDS: usize = 16;
 #[derive(Debug)]
 pub struct ConcurrentSequenceCache {
     shards: Vec<parking_lot::Mutex<SequenceCache>>,
+    /// Shared by every shard, so totals are exact under concurrency
+    /// without ever folding per-shard snapshots.
+    metrics: CacheMetrics,
 }
 
 impl Default for ConcurrentSequenceCache {
@@ -337,11 +397,36 @@ impl ConcurrentSequenceCache {
 
     /// `shards` independently locked caches of `capacity_per_shard` each.
     pub fn with_shards(shards: usize, capacity_per_shard: usize) -> Self {
+        Self::with_shards_and_metrics(shards, capacity_per_shard, CacheMetrics::detached())
+    }
+
+    /// Default-sized cache publishing `cache.*` metrics in `registry`.
+    pub fn observed(registry: &Registry) -> Self {
+        Self::with_shards_and_metrics(
+            DEFAULT_CACHE_SHARDS,
+            DEFAULT_CACHE_CAPACITY,
+            CacheMetrics::in_registry(registry),
+        )
+    }
+
+    /// Full control: shard count, per-shard capacity, and the metrics all
+    /// shards report into.
+    pub fn with_shards_and_metrics(
+        shards: usize,
+        capacity_per_shard: usize,
+        metrics: CacheMetrics,
+    ) -> Self {
         assert!(shards >= 1, "need at least one shard");
         ConcurrentSequenceCache {
             shards: (0..shards)
-                .map(|_| parking_lot::Mutex::new(SequenceCache::with_capacity(capacity_per_shard)))
+                .map(|_| {
+                    parking_lot::Mutex::new(SequenceCache::with_metrics(
+                        capacity_per_shard,
+                        metrics.clone(),
+                    ))
+                })
                 .collect(),
+            metrics,
         }
     }
 
@@ -389,12 +474,11 @@ impl ConcurrentSequenceCache {
         exchange_credentials(requester, controller, phase, cfg)
     }
 
-    /// Aggregate statistics over all shards.
+    /// Aggregate statistics over all shards. Exact even under concurrent
+    /// access: shards share one [`CacheMetrics`], so nothing is lost to a
+    /// racy per-shard fold.
     pub fn stats(&self) -> CacheStats {
-        self.shards
-            .iter()
-            .map(|s| s.lock().stats())
-            .fold(CacheStats::default(), CacheStats::merge)
+        self.metrics.snapshot()
     }
 
     /// Total cached sequences across shards.
@@ -615,6 +699,69 @@ mod tests {
         assert_eq!(stats.invalidations, 0);
         assert_eq!(stats.evictions, 0);
         assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
+    fn stats_conserved_across_16_shards_under_concurrent_access() {
+        // Satellite regression: the old `stats()` folded per-shard
+        // `CacheStats`, which was only exact by luck of timing. The shared
+        // CacheMetrics must conserve every event: each negotiate() call is
+        // exactly one hit or one miss, and evictions are forced by giving
+        // each shard a capacity of 1.
+        let (requester, controller) = parties();
+        let cache = ConcurrentSequenceCache::with_shards(16, 1);
+        const THREADS: usize = 8;
+        const CALLS_PER_THREAD: usize = 24;
+        crossbeam::thread::scope(|s| {
+            for t in 0..THREADS {
+                let (cache, requester, controller) = (&cache, &requester, &controller);
+                s.spawn(move |_| {
+                    for i in 0..CALLS_PER_THREAD {
+                        // Ungoverned resources (no policy matches ⇒ trivially
+                        // granted) keep each negotiation cheap while still
+                        // exercising lookup/store on many keys.
+                        let resource = format!("R{}", (t * CALLS_PER_THREAD + i) % 40);
+                        let cfg = NegotiationConfig::new(Strategy::Standard, at());
+                        cache
+                            .negotiate(requester, controller, &resource, &cfg)
+                            .unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let stats = cache.stats();
+        let total = (THREADS * CALLS_PER_THREAD) as u64;
+        assert_eq!(stats.hits + stats.misses, total, "{stats:?}");
+        assert_eq!(stats.invalidations, 0, "{stats:?}");
+        assert!(
+            stats.evictions > 0,
+            "capacity 1/shard must evict: {stats:?}"
+        );
+        // Evicted entries were inserted by misses and no longer resident.
+        assert_eq!(
+            cache.len() as u64,
+            stats.misses - stats.evictions,
+            "{stats:?}"
+        );
+    }
+
+    #[test]
+    fn observed_cache_publishes_registry_counters() {
+        let (requester, controller) = parties();
+        let registry = Registry::new();
+        let cache = ConcurrentSequenceCache::observed(&registry);
+        let cfg = NegotiationConfig::new(Strategy::Standard, at());
+        cache
+            .negotiate(&requester, &controller, "Svc", &cfg)
+            .unwrap();
+        cache
+            .negotiate(&requester, &controller, "Svc", &cfg)
+            .unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("cache.hits"), 1);
+        assert_eq!(snap.counter("cache.misses"), 1);
+        assert_eq!(cache.stats().hits, 1);
     }
 
     #[test]

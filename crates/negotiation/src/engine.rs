@@ -30,6 +30,7 @@ use crate::transcript::Transcript;
 use crate::tree::{NegotiationTree, NodeId, NodeStatus};
 use crate::view::{Disclosure, TrustSequence};
 use trust_vo_credential::{Credential, CredentialError, CredentialId, Timestamp};
+use trust_vo_obs::{ObsContext, SpanGuard};
 use trust_vo_policy::DisclosurePolicy;
 
 /// Configuration for one negotiation run.
@@ -49,6 +50,9 @@ pub struct NegotiationConfig {
     /// interruption", §4.2 — here, the event is the counterpart giving up
     /// on an endless policy exchange). `usize::MAX` disables the budget.
     pub max_messages: usize,
+    /// Observability sink (disabled by default): each phase opens a span
+    /// parented under the context and reports `negotiation.*` counters.
+    pub obs: ObsContext,
 }
 
 impl NegotiationConfig {
@@ -60,7 +64,14 @@ impl NegotiationConfig {
             at,
             max_depth: 24,
             max_messages: usize::MAX,
+            obs: ObsContext::disabled(),
         }
+    }
+
+    /// This config with the given observability context.
+    pub fn with_obs(mut self, obs: ObsContext) -> Self {
+        self.obs = obs;
+        self
     }
 }
 
@@ -292,6 +303,42 @@ pub struct PolicyPhase {
     pub tree: NegotiationTree,
 }
 
+/// Reports phase-1 accounting into the config's observability context:
+/// one `negotiation.*` counter per transcript column, plus an `outcome`
+/// span field. Called on every return path so interrupted and failed
+/// negotiations are counted too.
+fn record_policy_phase(
+    cfg: &NegotiationConfig,
+    span: &mut SpanGuard,
+    transcript: &Transcript,
+    outcome: &str,
+) {
+    if !cfg.obs.is_enabled() {
+        return;
+    }
+    let obs = &cfg.obs;
+    obs.add("negotiation.messages", transcript.message_count() as u64);
+    obs.add("negotiation.policy_rounds", transcript.policy_rounds as u64);
+    obs.add(
+        "negotiation.policies_disclosed",
+        transcript.policies_disclosed as u64,
+    );
+    // Each disclosed policy is evaluated against the counterpart profile —
+    // the same accounting the SimClock charges as PolicyEvaluation.
+    obs.add(
+        "negotiation.policy_evaluations",
+        transcript.policies_disclosed as u64,
+    );
+    obs.add(
+        "negotiation.failed_alternatives",
+        transcript.failed_alternatives as u64,
+    );
+    if outcome != "ok" {
+        obs.add("negotiation.failures", 1);
+    }
+    span.field("outcome", outcome);
+}
+
 /// Run phase 1 (policy evaluation) only: determine a trust sequence.
 ///
 /// This is the operation behind the TN web service's `PolicyExchange`
@@ -302,7 +349,13 @@ pub fn evaluate_policies(
     resource: &str,
     cfg: &NegotiationConfig,
 ) -> Result<PolicyPhase, NegotiationError> {
+    let mut span = cfg.obs.span("negotiation.policy_phase");
+    if span.id().is_some() {
+        span.field("resource", resource);
+        span.field("strategy", cfg.strategy.to_string());
+    }
     if !cfg.strategy.compatible_with(cfg.format) {
+        record_policy_phase(cfg, &mut span, &Transcript::new(), "incompatible-format");
         return Err(NegotiationError::IncompatibleFormat {
             detail: format!(
                 "strategy '{}' requires partial hiding, which format {:?} does not support",
@@ -334,6 +387,7 @@ pub fn evaluate_policies(
                 reason: "message budget exhausted".into(),
             },
         );
+        record_policy_phase(cfg, &mut span, &engine.transcript, "interrupted");
         return Err(NegotiationError::Interrupted {
             reason: format!(
                 "policy exchange exceeded the {}-message budget",
@@ -348,18 +402,65 @@ pub fn evaluate_policies(
                 reason: "no satisfiable view".into(),
             },
         );
+        record_policy_phase(cfg, &mut span, &engine.transcript, "no-trust-sequence");
         return Err(NegotiationError::NoTrustSequence {
             resource: resource.to_owned(),
         });
     };
     let mut sequence = TrustSequence::new();
     sequence_of(&plan, &mut sequence);
+    record_policy_phase(cfg, &mut span, &engine.transcript, "ok");
     Ok(PolicyPhase {
         resource: resource.to_owned(),
         sequence,
         transcript: engine.transcript,
         tree: engine.tree,
     })
+}
+
+/// Phase-2 accounting deltas relative to the transcript handed in (phase
+/// 1 and phase 2 share one transcript, so only the growth is this
+/// phase's contribution).
+struct ExchangeEntry {
+    messages: usize,
+    credentials_disclosed: usize,
+    verifications: usize,
+    ownership_proofs: usize,
+}
+
+/// Reports phase-2 accounting (deltas vs. `entry`) into the config's
+/// observability context. Called on every return path.
+fn record_exchange_phase(
+    cfg: &NegotiationConfig,
+    span: &mut SpanGuard,
+    transcript: &Transcript,
+    entry: &ExchangeEntry,
+    outcome: &str,
+) {
+    if !cfg.obs.is_enabled() {
+        return;
+    }
+    let obs = &cfg.obs;
+    obs.add(
+        "negotiation.messages",
+        (transcript.message_count() - entry.messages) as u64,
+    );
+    obs.add(
+        "negotiation.credentials_disclosed",
+        (transcript.credentials_disclosed - entry.credentials_disclosed) as u64,
+    );
+    obs.add(
+        "negotiation.verifications",
+        (transcript.verifications - entry.verifications) as u64,
+    );
+    obs.add(
+        "negotiation.ownership_proofs",
+        (transcript.ownership_proofs - entry.ownership_proofs) as u64,
+    );
+    if outcome != "ok" {
+        obs.add("negotiation.failures", 1);
+    }
+    span.field("outcome", outcome);
 }
 
 /// Run phase 2 (credential exchange) over an agreed trust sequence,
@@ -376,6 +477,17 @@ pub fn exchange_credentials(
         mut transcript,
         mut tree,
     } = phase;
+    let mut span = cfg.obs.span("negotiation.exchange_phase");
+    if span.id().is_some() {
+        span.field("resource", resource.as_str());
+        span.field("disclosures", sequence.disclosures().len());
+    }
+    let entry = ExchangeEntry {
+        messages: transcript.message_count(),
+        credentials_disclosed: transcript.credentials_disclosed,
+        verifications: transcript.verifications,
+        ownership_proofs: transcript.ownership_proofs,
+    };
     let nonce = session_nonce(requester, controller, &resource);
     for disclosure in sequence.disclosures() {
         // The message budget covers the whole negotiation, not just the
@@ -389,6 +501,7 @@ pub fn exchange_credentials(
                 },
             );
             tree.set_status(tree.root(), NodeStatus::Failed);
+            record_exchange_phase(cfg, &mut span, &transcript, &entry, "interrupted");
             return Err(NegotiationError::Interrupted {
                 reason: format!(
                     "credential exchange exceeded the {}-message budget",
@@ -434,6 +547,7 @@ pub fn exchange_credentials(
                 },
             );
             tree.set_status(tree.root(), NodeStatus::Failed);
+            record_exchange_phase(cfg, &mut span, &transcript, &entry, "trust-failure");
             return Err(NegotiationError::TrustFailure { cause });
         }
         if cfg.strategy.requires_ownership_proof() {
@@ -442,6 +556,7 @@ pub fn exchange_credentials(
         transcript.log(disclosure.by.other(), Message::Ack);
     }
     transcript.log(Side::Controller, Message::Success);
+    record_exchange_phase(cfg, &mut span, &transcript, &entry, "ok");
     Ok(NegotiationOutcome {
         resource,
         sequence,
@@ -930,6 +1045,78 @@ mod tests {
         );
         assert_eq!(count_views(&aerospace, &aircraft, "Nothing", &cfg, 100), 1);
         // ungoverned
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn obs_counters_match_transcript_accounting() {
+        use trust_vo_obs::{Collector, ObsContext, Record};
+
+        let (aerospace, aircraft, _) = fig2_parties();
+        let collector = Collector::new();
+        let cfg = NegotiationConfig::new(Strategy::StrongSuspicious, at())
+            .with_obs(ObsContext::new(collector.clone()));
+        let outcome = negotiate(&aerospace, &aircraft, "VoMembership", &cfg).unwrap();
+        let t = &outcome.transcript;
+        let snap = collector.metrics();
+        assert_eq!(
+            snap.counter("negotiation.messages"),
+            t.message_count() as u64
+        );
+        assert_eq!(
+            snap.counter("negotiation.policy_rounds"),
+            t.policy_rounds as u64
+        );
+        assert_eq!(
+            snap.counter("negotiation.policies_disclosed"),
+            t.policies_disclosed as u64
+        );
+        assert_eq!(
+            snap.counter("negotiation.credentials_disclosed"),
+            t.credentials_disclosed as u64
+        );
+        assert_eq!(
+            snap.counter("negotiation.verifications"),
+            t.verifications as u64
+        );
+        assert_eq!(
+            snap.counter("negotiation.ownership_proofs"),
+            t.ownership_proofs as u64
+        );
+        assert_eq!(snap.counter("negotiation.failures"), 0);
+        // One span per phase, both closed with outcome "ok".
+        let spans: Vec<_> = collector
+            .records()
+            .into_iter()
+            .filter_map(|r| match r {
+                Record::Span(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(spans.len(), 2);
+        assert!(spans.iter().any(|s| s.name == "negotiation.policy_phase"));
+        assert!(spans.iter().any(|s| s.name == "negotiation.exchange_phase"));
+        for span in &spans {
+            assert!(span
+                .fields
+                .iter()
+                .any(|(k, v)| k == "outcome" && *v == trust_vo_obs::Value::Str("ok".into())));
+        }
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn obs_counts_failed_negotiations() {
+        use trust_vo_obs::{Collector, ObsContext};
+
+        let (mut aerospace, aircraft, _) = fig2_parties();
+        let id = aerospace.profile.credentials()[0].id().clone();
+        aerospace.profile.remove(&id);
+        let collector = Collector::new();
+        let cfg = NegotiationConfig::new(Strategy::Standard, at())
+            .with_obs(ObsContext::new(collector.clone()));
+        negotiate(&aerospace, &aircraft, "VoMembership", &cfg).unwrap_err();
+        assert_eq!(collector.metrics().counter("negotiation.failures"), 1);
     }
 
     #[test]

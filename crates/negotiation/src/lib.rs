@@ -42,7 +42,7 @@ pub mod transcript;
 pub mod tree;
 pub mod view;
 
-pub use cache::{CacheStats, ConcurrentSequenceCache, SequenceCache};
+pub use cache::{CacheMetrics, CacheStats, ConcurrentSequenceCache, SequenceCache};
 pub use engine::{
     count_views, evaluate_policies, exchange_credentials, negotiate, NegotiationConfig,
     NegotiationOutcome, PolicyPhase,
@@ -55,3 +55,4 @@ pub use party::Party;
 pub use strategy::Strategy;
 pub use ticket::{negotiate_with_ticket, TrustTicket};
 pub use transcript::Transcript;
+pub use trust_vo_obs::{Collector, ObsContext};

@@ -1,0 +1,461 @@
+//! The [`Collector`]: a shared handle owning a metrics [`Registry`], a
+//! bounded ring buffer of [`Record`]s, and the span-id allocator.
+//!
+//! Cloning a collector clones the handle, not the data — every subsystem
+//! holds a clone of the same collector. A *disabled* collector (from
+//! [`Collector::disabled`], or any constructor when the crate's `enabled`
+//! feature is off) carries no inner state: every operation early-returns
+//! after one `Option` check, which is what makes it safe to leave the
+//! instrumentation calls in the parallel formation hot path.
+
+use crate::metrics::{MetricsSnapshot, Registry};
+use crate::record::{EventRecord, HistogramRecord, Record, SpanRecord, Value};
+use crate::summary::render_summary;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Default bound on the number of records the ring buffer retains.
+pub const DEFAULT_RING_CAPACITY: usize = 65_536;
+
+/// Closure that reports the current simulated time in microseconds.
+type SimSource = Box<dyn Fn() -> u64 + Send + Sync>;
+
+struct Inner {
+    epoch: Instant,
+    registry: Registry,
+    ring: Mutex<VecDeque<Record>>,
+    capacity: usize,
+    next_span_id: AtomicU64,
+    dropped: AtomicU64,
+    sim_source: OnceLock<SimSource>,
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Inner")
+            .field("capacity", &self.capacity)
+            .field("dropped", &self.dropped.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+/// A cheaply-cloneable observability sink.
+///
+/// See the [module docs](self) for the enabled/disabled contract.
+#[derive(Clone, Debug, Default)]
+pub struct Collector {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Collector {
+    /// Creates an enabled collector with [`DEFAULT_RING_CAPACITY`].
+    ///
+    /// When the crate's `enabled` feature is off this returns a disabled
+    /// collector instead, so callers never need their own `cfg` gates.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_RING_CAPACITY)
+    }
+
+    /// Creates an enabled collector whose ring buffer keeps at most
+    /// `capacity` records (oldest evicted first; evictions are counted in
+    /// [`Collector::dropped`]). Disabled when the `enabled` feature is off.
+    pub fn with_capacity(capacity: usize) -> Self {
+        if !cfg!(feature = "enabled") {
+            return Self::disabled();
+        }
+        Self {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                registry: Registry::new(),
+                ring: Mutex::new(VecDeque::with_capacity(capacity.min(1_024))),
+                capacity,
+                next_span_id: AtomicU64::new(1),
+                dropped: AtomicU64::new(0),
+                sim_source: OnceLock::new(),
+            })),
+        }
+    }
+
+    /// Creates a collector for which every operation is a no-op.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// Whether this collector records anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The metrics registry, or `None` when disabled.
+    pub fn registry(&self) -> Option<&Registry> {
+        self.inner.as_deref().map(|i| &i.registry)
+    }
+
+    /// Adds `n` to the counter registered under `name`. No-op when
+    /// disabled. Hot paths that increment repeatedly should fetch the
+    /// handle once via [`Collector::registry`] instead.
+    pub fn counter_add(&self, name: &str, n: u64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.counter(name).add(n);
+        }
+    }
+
+    /// Installs the simulated-time source (a closure returning elapsed
+    /// simulated microseconds). First caller wins; later calls are
+    /// ignored, which makes attach-twice safe.
+    pub fn set_sim_source(&self, source: impl Fn() -> u64 + Send + Sync + 'static) {
+        if let Some(inner) = &self.inner {
+            let _ = inner.sim_source.set(Box::new(source));
+        }
+    }
+
+    /// Current simulated time in microseconds (0 before a source is
+    /// installed or when disabled).
+    pub fn sim_now(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.sim_source.get().map_or(0, |f| f()),
+            None => 0,
+        }
+    }
+
+    fn wall_now(inner: &Inner) -> u64 {
+        inner.epoch.elapsed().as_micros() as u64
+    }
+
+    fn push(inner: &Inner, record: Record) {
+        let mut ring = inner.ring.lock().expect("obs ring lock");
+        if ring.len() >= inner.capacity {
+            ring.pop_front();
+            inner.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(record);
+    }
+
+    /// Records a structured event. No-op when disabled.
+    pub fn event(&self, name: &str, fields: Vec<(String, Value)>) {
+        if let Some(inner) = &self.inner {
+            let record = Record::Event(EventRecord {
+                name: name.to_string(),
+                wall_us: Self::wall_now(inner),
+                sim_us: self.sim_now(),
+                fields,
+            });
+            Self::push(inner, record);
+        }
+    }
+
+    /// Starts a root span. The returned guard records the span into the
+    /// ring buffer when dropped.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        self.span_with_parent(name, None)
+    }
+
+    /// Starts a span with an explicit parent id (from
+    /// [`SpanGuard::id`] of the enclosing span, possibly on another
+    /// thread).
+    pub fn span_with_parent(&self, name: &str, parent: Option<u64>) -> SpanGuard {
+        match &self.inner {
+            Some(inner) => SpanGuard {
+                collector: self.clone(),
+                record: Some(SpanRecord {
+                    id: inner.next_span_id.fetch_add(1, Ordering::Relaxed),
+                    parent,
+                    name: name.to_string(),
+                    wall_start_us: Self::wall_now(inner),
+                    wall_us: 0,
+                    sim_start_us: self.sim_now(),
+                    sim_us: 0,
+                    fields: Vec::new(),
+                }),
+            },
+            None => SpanGuard {
+                collector: Collector::disabled(),
+                record: None,
+            },
+        }
+    }
+
+    /// Copies out the ring buffer contents, oldest first.
+    pub fn records(&self) -> Vec<Record> {
+        match &self.inner {
+            Some(inner) => inner
+                .ring
+                .lock()
+                .expect("obs ring lock")
+                .iter()
+                .cloned()
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Removes and returns the ring buffer contents, oldest first.
+    pub fn drain(&self) -> Vec<Record> {
+        match &self.inner {
+            Some(inner) => inner
+                .ring
+                .lock()
+                .expect("obs ring lock")
+                .drain(..)
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of records evicted from the ring buffer because it was
+    /// full.
+    pub fn dropped(&self) -> u64 {
+        self.inner
+            .as_deref()
+            .map_or(0, |i| i.dropped.load(Ordering::Relaxed))
+    }
+
+    /// Snapshot of every registered metric (empty when disabled).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.registry().map(Registry::snapshot).unwrap_or_default()
+    }
+
+    /// Serializes the ring buffer plus a metrics snapshot as JSON lines:
+    /// span/event records in arrival order, then one `counter`/`gauge`/
+    /// `histogram` line per registered metric.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for record in self.records() {
+            out.push_str(&record.to_json_line());
+            out.push('\n');
+        }
+        let snap = self.metrics();
+        for (name, value) in snap.counters {
+            out.push_str(&Record::Counter { name, value }.to_json_line());
+            out.push('\n');
+        }
+        for (name, value) in snap.gauges {
+            out.push_str(&Record::Gauge { name, value }.to_json_line());
+            out.push('\n');
+        }
+        for (name, h) in snap.histograms {
+            let record = Record::Histogram(HistogramRecord {
+                name,
+                bounds: h.bounds,
+                buckets: h.buckets,
+                count: h.count,
+                sum: h.sum,
+            });
+            out.push_str(&record.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders a human-readable summary table of spans, events, and
+    /// metrics.
+    pub fn summary(&self) -> String {
+        let mut records = self.records();
+        let snap = self.metrics();
+        for (name, value) in snap.counters {
+            records.push(Record::Counter { name, value });
+        }
+        for (name, value) in snap.gauges {
+            records.push(Record::Gauge { name, value });
+        }
+        for (name, h) in snap.histograms {
+            records.push(Record::Histogram(HistogramRecord {
+                name,
+                bounds: h.bounds,
+                buckets: h.buckets,
+                count: h.count,
+                sum: h.sum,
+            }));
+        }
+        render_summary(&records)
+    }
+}
+
+/// RAII guard for an in-flight span; records it on drop.
+///
+/// From a disabled collector the guard is inert: `id()` is `None` and
+/// `field()`/drop do nothing.
+#[derive(Debug)]
+pub struct SpanGuard {
+    collector: Collector,
+    record: Option<SpanRecord>,
+}
+
+impl SpanGuard {
+    /// The span's id, for parenting child spans — `None` when inert.
+    pub fn id(&self) -> Option<u64> {
+        self.record.as_ref().map(|r| r.id)
+    }
+
+    /// Attaches a structured field to the span.
+    pub fn field(&mut self, key: &str, value: impl Into<Value>) {
+        if let Some(record) = &mut self.record {
+            record.fields.push((key.to_string(), value.into()));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let (Some(mut record), Some(inner)) = (self.record.take(), self.collector.inner.clone())
+        {
+            let wall_now = Collector::wall_now(&inner);
+            record.wall_us = wall_now.saturating_sub(record.wall_start_us);
+            record.sim_us = self.collector.sim_now().saturating_sub(record.sim_start_us);
+            Collector::push(&inner, Record::Span(record));
+        }
+    }
+}
+
+/// A collector plus the current parent span id — the unit the
+/// negotiation engine threads through its call tree.
+///
+/// `ObsContext::default()` is disabled, so existing `NegotiationConfig`
+/// construction sites keep working unchanged.
+#[derive(Clone, Debug, Default)]
+pub struct ObsContext {
+    collector: Collector,
+    parent: Option<u64>,
+}
+
+impl ObsContext {
+    /// Wraps a collector with no parent span.
+    pub fn new(collector: Collector) -> Self {
+        Self {
+            collector,
+            parent: None,
+        }
+    }
+
+    /// A context whose operations are all no-ops.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Returns this context re-parented under `parent`.
+    pub fn with_parent(mut self, parent: Option<u64>) -> Self {
+        self.parent = parent;
+        self
+    }
+
+    /// Whether the underlying collector records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.collector.is_enabled()
+    }
+
+    /// The underlying collector.
+    pub fn collector(&self) -> &Collector {
+        &self.collector
+    }
+
+    /// Starts a span parented under this context's parent id.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        self.collector.span_with_parent(name, self.parent)
+    }
+
+    /// Adds `n` to the named counter.
+    pub fn add(&self, name: &str, n: u64) {
+        self.collector.counter_add(name, n);
+    }
+
+    /// Records a structured event.
+    pub fn event(&self, name: &str, fields: Vec<(String, Value)>) {
+        self.collector.event(name, fields);
+    }
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_via_explicit_parents() {
+        let c = Collector::new();
+        let root = c.span("root");
+        let mut child = c.span_with_parent("child", root.id());
+        child.field("k", "v");
+        drop(child);
+        drop(root);
+        let records = c.records();
+        assert_eq!(records.len(), 2);
+        // Child drops first, so it is recorded first.
+        match (&records[0], &records[1]) {
+            (Record::Span(child), Record::Span(root)) => {
+                assert_eq!(child.name, "child");
+                assert_eq!(child.parent, Some(root.id));
+                assert_eq!(root.parent, None);
+                assert_eq!(
+                    child.fields,
+                    vec![("k".to_string(), Value::Str("v".into()))]
+                );
+            }
+            other => panic!("unexpected records {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest_and_counts_drops() {
+        let c = Collector::with_capacity(2);
+        for i in 0..4 {
+            c.event("e", vec![("i".into(), Value::I64(i))]);
+        }
+        let records = c.records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(c.dropped(), 2);
+        match &records[0] {
+            Record::Event(e) => assert_eq!(e.fields[0].1, Value::I64(2)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disabled_collector_is_inert() {
+        let c = Collector::disabled();
+        assert!(!c.is_enabled());
+        let mut span = c.span("x");
+        assert_eq!(span.id(), None);
+        span.field("k", 1i64);
+        drop(span);
+        c.event("e", vec![]);
+        c.counter_add("n", 5);
+        assert!(c.records().is_empty());
+        assert_eq!(c.metrics(), MetricsSnapshot::default());
+        assert!(c.to_jsonl().is_empty());
+    }
+
+    #[test]
+    fn sim_source_feeds_span_durations() {
+        let c = Collector::new();
+        let ticks = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(100));
+        let t = ticks.clone();
+        c.set_sim_source(move || t.load(Ordering::Relaxed));
+        let span = c.span("charged");
+        ticks.store(350, Ordering::Relaxed);
+        drop(span);
+        match &c.records()[0] {
+            Record::Span(s) => {
+                assert_eq!(s.sim_start_us, 100);
+                assert_eq!(s.sim_us, 250);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn jsonl_export_parses_back() {
+        let c = Collector::new();
+        c.event(
+            "hello",
+            vec![("msg".into(), Value::Str("line1\nline2".into()))],
+        );
+        c.counter_add("negotiation.messages", 3);
+        let records = crate::record::parse_jsonl(&c.to_jsonl()).unwrap();
+        assert_eq!(records.len(), 2);
+        assert!(matches!(
+            &records[1],
+            Record::Counter { name, value: 3 } if name == "negotiation.messages"
+        ));
+    }
+}

@@ -1,0 +1,44 @@
+//! Observability substrate for the trust-vo workspace.
+//!
+//! The paper's whole evaluation (Fig. 9, the message-count and disclosure
+//! tables) is an observability exercise: counting rounds, disclosures, and
+//! per-phase latencies. This crate provides the instrumentation layer the
+//! rest of the workspace threads through — with **no external
+//! dependencies** (std only, so the offline build stays offline) and no
+//! global state (every [`Collector`] owns its own [`Registry`] and ring
+//! buffer).
+//!
+//! Three primitives:
+//!
+//! * **Spans** ([`SpanGuard`]) — hierarchical timed regions with explicit
+//!   parent ids, capturing both wall-clock *and* simulated
+//!   (`SimClock`-virtual) durations. Recorded on drop.
+//! * **Metrics** ([`metrics`]) — sharded atomic [`Counter`]s, [`Gauge`]s,
+//!   and fixed-bucket [`Histogram`]s registered by name in a [`Registry`].
+//!   Increments are lock-free; registry locks are touched only at
+//!   handle-registration time, never on the hot path.
+//! * **Events** — structured key/value records pushed into the
+//!   collector's bounded in-memory ring buffer.
+//!
+//! Export: [`Collector::to_jsonl`] serializes the ring buffer plus a
+//! metrics snapshot as JSON lines ([`Record::from_json_line`] parses them
+//! back — see the round-trip tests), and [`Collector::summary`] renders a
+//! human-readable table.
+//!
+//! A disabled collector ([`Collector::disabled`], or any collector when
+//! the `enabled` feature is off) makes every operation an early-returning
+//! no-op, cheap enough to leave in the parallel formation hot path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collector;
+mod json;
+pub mod metrics;
+pub mod record;
+pub mod summary;
+
+pub use collector::{Collector, ObsContext, SpanGuard, DEFAULT_RING_CAPACITY};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
+pub use record::{parse_jsonl, EventRecord, HistogramRecord, Record, SpanRecord, Value};
+pub use summary::render_summary;

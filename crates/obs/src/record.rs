@@ -1,0 +1,424 @@
+//! Exportable record types and the JSON-lines wire format.
+//!
+//! Every line is one JSON object with a `"type"` discriminator:
+//! `"span"`, `"event"`, `"counter"`, `"gauge"`, or `"histogram"`.
+//! [`Record::to_json_line`] and [`Record::from_json_line`] are exact
+//! inverses for every representable record (see the round-trip tests).
+
+use crate::json::{self, Json};
+use std::fmt::Write as _;
+
+/// A structured field value attached to spans and events.
+///
+/// Integers are carried as `i64` (not `u64`) so the JSON round trip is
+/// unambiguous; durations and ids that need the full `u64` range have
+/// dedicated schema fields instead.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// A signed integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A boolean.
+    Bool(bool),
+    /// A string.
+    Str(String),
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::I64(i64::from(v))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::I64(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// A completed span: a named, timed region with an optional parent.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanRecord {
+    /// Collector-unique span id (dense, starting at 1).
+    pub id: u64,
+    /// Id of the enclosing span, if any.
+    pub parent: Option<u64>,
+    /// Span name, e.g. `negotiation.policy_phase`.
+    pub name: String,
+    /// Wall-clock start, microseconds since the collector's epoch.
+    pub wall_start_us: u64,
+    /// Wall-clock duration in microseconds.
+    pub wall_us: u64,
+    /// Simulated-clock start in microseconds (0 when no sim source).
+    pub sim_start_us: u64,
+    /// Simulated-clock duration in microseconds.
+    pub sim_us: u64,
+    /// Structured key/value fields, in insertion order.
+    pub fields: Vec<(String, Value)>,
+}
+
+/// A point-in-time structured event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EventRecord {
+    /// Event name, e.g. `sim.charge`.
+    pub name: String,
+    /// Wall-clock timestamp, microseconds since the collector's epoch.
+    pub wall_us: u64,
+    /// Simulated-clock timestamp in microseconds.
+    pub sim_us: u64,
+    /// Structured key/value fields, in insertion order.
+    pub fields: Vec<(String, Value)>,
+}
+
+/// An exported histogram snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramRecord {
+    /// Metric name.
+    pub name: String,
+    /// Inclusive bucket upper bounds.
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; one longer than `bounds` (overflow last).
+    pub buckets: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+}
+
+/// One exportable observability record.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Record {
+    /// A completed span.
+    Span(SpanRecord),
+    /// A structured event.
+    Event(EventRecord),
+    /// A counter total at export time.
+    Counter {
+        /// Metric name.
+        name: String,
+        /// Counter total.
+        value: u64,
+    },
+    /// A gauge value at export time.
+    Gauge {
+        /// Metric name.
+        name: String,
+        /// Gauge value.
+        value: i64,
+    },
+    /// A histogram snapshot at export time.
+    Histogram(HistogramRecord),
+}
+
+fn write_fields(out: &mut String, fields: &[(String, Value)]) {
+    out.push_str(",\"fields\":{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::escape_into(out, k);
+        out.push(':');
+        match v {
+            Value::I64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            // Rust's f64 Display prints the shortest representation that
+            // parses back to the same value, so this round-trips.
+            Value::F64(f) => {
+                if f.is_finite() {
+                    let _ = write!(out, "{f}");
+                    if f.fract() == 0.0 {
+                        // "2" would re-parse fine as f64, but keep the
+                        // type distinguishable from I64 on the wire.
+                        out.push_str(".0");
+                    }
+                } else {
+                    // JSON has no NaN/Inf; encode as null-like string.
+                    json::escape_into(out, &f.to_string());
+                }
+            }
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Str(s) => json::escape_into(out, s),
+        }
+    }
+    out.push('}');
+}
+
+fn write_u64_arr(out: &mut String, key: &str, values: &[u64]) {
+    let _ = write!(out, ",\"{key}\":[");
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push(']');
+}
+
+impl Record {
+    /// Serializes this record as one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(128);
+        match self {
+            Record::Span(s) => {
+                out.push_str("{\"type\":\"span\",\"id\":");
+                let _ = write!(out, "{}", s.id);
+                out.push_str(",\"parent\":");
+                match s.parent {
+                    Some(p) => {
+                        let _ = write!(out, "{p}");
+                    }
+                    None => out.push_str("null"),
+                }
+                out.push_str(",\"name\":");
+                json::escape_into(&mut out, &s.name);
+                let _ = write!(
+                    out,
+                    ",\"wall_start_us\":{},\"wall_us\":{},\"sim_start_us\":{},\"sim_us\":{}",
+                    s.wall_start_us, s.wall_us, s.sim_start_us, s.sim_us
+                );
+                write_fields(&mut out, &s.fields);
+                out.push('}');
+            }
+            Record::Event(e) => {
+                out.push_str("{\"type\":\"event\",\"name\":");
+                json::escape_into(&mut out, &e.name);
+                let _ = write!(out, ",\"wall_us\":{},\"sim_us\":{}", e.wall_us, e.sim_us);
+                write_fields(&mut out, &e.fields);
+                out.push('}');
+            }
+            Record::Counter { name, value } => {
+                out.push_str("{\"type\":\"counter\",\"name\":");
+                json::escape_into(&mut out, name);
+                let _ = write!(out, ",\"value\":{value}}}");
+            }
+            Record::Gauge { name, value } => {
+                out.push_str("{\"type\":\"gauge\",\"name\":");
+                json::escape_into(&mut out, name);
+                let _ = write!(out, ",\"value\":{value}}}");
+            }
+            Record::Histogram(h) => {
+                out.push_str("{\"type\":\"histogram\",\"name\":");
+                json::escape_into(&mut out, &h.name);
+                write_u64_arr(&mut out, "bounds", &h.bounds);
+                write_u64_arr(&mut out, "buckets", &h.buckets);
+                let _ = write!(out, ",\"count\":{},\"sum\":{}}}", h.count, h.sum);
+            }
+        }
+        out
+    }
+
+    /// Parses one JSON line produced by [`Record::to_json_line`].
+    pub fn from_json_line(line: &str) -> Result<Record, String> {
+        let doc = json::parse(line)?;
+        let kind = doc
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or("missing \"type\"")?;
+        let name = |doc: &Json| -> Result<String, String> {
+            doc.get("name")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| "missing \"name\"".to_string())
+        };
+        let u64_field = |doc: &Json, key: &str| -> Result<u64, String> {
+            doc.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing u64 \"{key}\""))
+        };
+        match kind {
+            "span" => Ok(Record::Span(SpanRecord {
+                id: u64_field(&doc, "id")?,
+                parent: match doc.get("parent") {
+                    Some(Json::Null) | None => None,
+                    Some(v) => Some(v.as_u64().ok_or("bad \"parent\"")?),
+                },
+                name: name(&doc)?,
+                wall_start_us: u64_field(&doc, "wall_start_us")?,
+                wall_us: u64_field(&doc, "wall_us")?,
+                sim_start_us: u64_field(&doc, "sim_start_us")?,
+                sim_us: u64_field(&doc, "sim_us")?,
+                fields: parse_fields(&doc)?,
+            })),
+            "event" => Ok(Record::Event(EventRecord {
+                name: name(&doc)?,
+                wall_us: u64_field(&doc, "wall_us")?,
+                sim_us: u64_field(&doc, "sim_us")?,
+                fields: parse_fields(&doc)?,
+            })),
+            "counter" => Ok(Record::Counter {
+                name: name(&doc)?,
+                value: u64_field(&doc, "value")?,
+            }),
+            "gauge" => Ok(Record::Gauge {
+                name: name(&doc)?,
+                value: doc
+                    .get("value")
+                    .and_then(Json::as_i64)
+                    .ok_or("missing i64 \"value\"")?,
+            }),
+            "histogram" => {
+                let u64_arr = |key: &str| -> Result<Vec<u64>, String> {
+                    doc.get(key)
+                        .and_then(Json::as_arr)
+                        .ok_or_else(|| format!("missing array \"{key}\""))?
+                        .iter()
+                        .map(|v| v.as_u64().ok_or_else(|| format!("bad item in \"{key}\"")))
+                        .collect()
+                };
+                Ok(Record::Histogram(HistogramRecord {
+                    name: name(&doc)?,
+                    bounds: u64_arr("bounds")?,
+                    buckets: u64_arr("buckets")?,
+                    count: u64_field(&doc, "count")?,
+                    sum: u64_field(&doc, "sum")?,
+                }))
+            }
+            other => Err(format!("unknown record type {other:?}")),
+        }
+    }
+}
+
+fn parse_fields(doc: &Json) -> Result<Vec<(String, Value)>, String> {
+    let obj = match doc.get("fields") {
+        Some(Json::Obj(pairs)) => pairs,
+        Some(_) => return Err("\"fields\" is not an object".into()),
+        None => return Ok(Vec::new()),
+    };
+    obj.iter()
+        .map(|(k, v)| {
+            let value = match v {
+                Json::Bool(b) => Value::Bool(*b),
+                Json::Str(s) => Value::Str(s.clone()),
+                Json::Num(raw) => {
+                    if raw.contains(['.', 'e', 'E']) {
+                        Value::F64(v.as_f64().ok_or_else(|| format!("bad number {raw:?}"))?)
+                    } else {
+                        Value::I64(v.as_i64().ok_or_else(|| format!("bad number {raw:?}"))?)
+                    }
+                }
+                other => return Err(format!("unsupported field value {other:?}")),
+            };
+            Ok((k.clone(), value))
+        })
+        .collect()
+}
+
+/// Parses a whole JSONL document (one record per non-empty line).
+pub fn parse_jsonl(text: &str) -> Result<Vec<Record>, String> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(Record::from_json_line)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(record: Record) {
+        let line = record.to_json_line();
+        let back = Record::from_json_line(&line)
+            .unwrap_or_else(|e| panic!("failed to parse {line:?}: {e}"));
+        assert_eq!(back, record, "line was {line}");
+    }
+
+    #[test]
+    fn span_round_trips_with_tricky_fields() {
+        round_trip(Record::Span(SpanRecord {
+            id: 7,
+            parent: Some(3),
+            name: "negotiation.policy_phase".into(),
+            wall_start_us: 12,
+            wall_us: 345,
+            sim_start_us: 0,
+            sim_us: u64::MAX,
+            fields: vec![
+                ("role".into(), Value::Str("Design \"Portal\"\n2".into())),
+                ("depth".into(), Value::I64(-4)),
+                ("ratio".into(), Value::F64(1.25)),
+                ("whole".into(), Value::F64(2.0)),
+                ("ok".into(), Value::Bool(true)),
+            ],
+        }));
+    }
+
+    #[test]
+    fn root_span_has_null_parent() {
+        let record = Record::Span(SpanRecord {
+            id: 1,
+            parent: None,
+            name: "formation.form_vo".into(),
+            wall_start_us: 0,
+            wall_us: 1,
+            sim_start_us: 2,
+            sim_us: 3,
+            fields: vec![],
+        });
+        assert!(record.to_json_line().contains("\"parent\":null"));
+        round_trip(record);
+    }
+
+    #[test]
+    fn event_counter_gauge_histogram_round_trip() {
+        round_trip(Record::Event(EventRecord {
+            name: "sim.charge".into(),
+            wall_us: 9,
+            sim_us: 10,
+            fields: vec![("kind".into(), Value::Str("SoapRoundTrip".into()))],
+        }));
+        round_trip(Record::Counter {
+            name: "negotiation.messages".into(),
+            value: u64::MAX,
+        });
+        round_trip(Record::Gauge {
+            name: "bus.depth".into(),
+            value: -17,
+        });
+        round_trip(Record::Histogram(HistogramRecord {
+            name: "store.vo.op_us".into(),
+            bounds: vec![1, 10, 100],
+            buckets: vec![0, 2, 5, 1],
+            count: 8,
+            sum: 911,
+        }));
+    }
+
+    #[test]
+    fn parse_jsonl_skips_blank_lines() {
+        let text = "\n{\"type\":\"counter\",\"name\":\"a\",\"value\":1}\n\n";
+        let records = parse_jsonl(text).unwrap();
+        assert_eq!(records.len(), 1);
+    }
+}

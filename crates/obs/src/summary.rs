@@ -1,0 +1,191 @@
+//! Human-readable summary rendering for a batch of [`Record`]s.
+
+use crate::record::Record;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+#[derive(Default)]
+struct SpanAgg {
+    count: u64,
+    wall_total_us: u64,
+    sim_total_us: u64,
+}
+
+/// Renders a fixed-width summary table: spans aggregated by name (count,
+/// total/mean wall time, total sim time), event counts by name, then
+/// counters, gauges, and histograms. Ordering is alphabetical within
+/// each section, so output is deterministic.
+pub fn render_summary(records: &[Record]) -> String {
+    let mut spans: BTreeMap<&str, SpanAgg> = BTreeMap::new();
+    let mut events: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut counters: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut gauges: BTreeMap<&str, i64> = BTreeMap::new();
+    let mut histograms: Vec<&crate::record::HistogramRecord> = Vec::new();
+
+    for record in records {
+        match record {
+            Record::Span(s) => {
+                let agg = spans.entry(&s.name).or_default();
+                agg.count += 1;
+                agg.wall_total_us = agg.wall_total_us.saturating_add(s.wall_us);
+                agg.sim_total_us = agg.sim_total_us.saturating_add(s.sim_us);
+            }
+            Record::Event(e) => *events.entry(&e.name).or_default() += 1,
+            Record::Counter { name, value } => {
+                counters.insert(name, *value);
+            }
+            Record::Gauge { name, value } => {
+                gauges.insert(name, *value);
+            }
+            Record::Histogram(h) => histograms.push(h),
+        }
+    }
+    histograms.sort_by(|a, b| a.name.cmp(&b.name));
+
+    let mut out = String::new();
+    if !spans.is_empty() {
+        out.push_str("spans\n");
+        let _ = writeln!(
+            out,
+            "  {:<36} {:>7} {:>12} {:>12} {:>12}",
+            "name", "count", "wall total", "wall mean", "sim total"
+        );
+        for (name, agg) in &spans {
+            let _ = writeln!(
+                out,
+                "  {:<36} {:>7} {:>12} {:>12} {:>12}",
+                name,
+                agg.count,
+                fmt_us(agg.wall_total_us),
+                fmt_us(agg.wall_total_us / agg.count.max(1)),
+                fmt_us(agg.sim_total_us)
+            );
+        }
+    }
+    if !events.is_empty() {
+        out.push_str("events\n");
+        for (name, count) in &events {
+            let _ = writeln!(out, "  {name:<36} {count:>7}");
+        }
+    }
+    if !counters.is_empty() {
+        out.push_str("counters\n");
+        for (name, value) in &counters {
+            let _ = writeln!(out, "  {name:<36} {value:>7}");
+        }
+    }
+    if !gauges.is_empty() {
+        out.push_str("gauges\n");
+        for (name, value) in &gauges {
+            let _ = writeln!(out, "  {name:<36} {value:>7}");
+        }
+    }
+    if !histograms.is_empty() {
+        out.push_str("histograms\n");
+        for h in &histograms {
+            let mean = h.sum.checked_div(h.count).unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "  {:<36} {:>7} samples, mean {}, p~max {}",
+                h.name,
+                h.count,
+                fmt_us(mean),
+                fmt_us(approx_max(h))
+            );
+        }
+    }
+    if out.is_empty() {
+        out.push_str("(no records)\n");
+    }
+    out
+}
+
+/// Upper bound of the highest non-empty bucket — a crude max estimate.
+fn approx_max(h: &crate::record::HistogramRecord) -> u64 {
+    for idx in (0..h.buckets.len()).rev() {
+        if h.buckets[idx] > 0 {
+            return h
+                .bounds
+                .get(idx)
+                .copied()
+                .unwrap_or_else(|| h.bounds.last().copied().unwrap_or(0));
+        }
+    }
+    0
+}
+
+fn fmt_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1_000_000.0)
+    } else if us >= 1_000 {
+        format!("{:.2}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{us}us")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{EventRecord, HistogramRecord, SpanRecord};
+
+    #[test]
+    fn renders_all_sections_deterministically() {
+        let records = vec![
+            Record::Span(SpanRecord {
+                id: 1,
+                parent: None,
+                name: "b.span".into(),
+                wall_start_us: 0,
+                wall_us: 2_500,
+                sim_start_us: 0,
+                sim_us: 1_000_000,
+                fields: vec![],
+            }),
+            Record::Span(SpanRecord {
+                id: 2,
+                parent: None,
+                name: "a.span".into(),
+                wall_start_us: 0,
+                wall_us: 500,
+                sim_start_us: 0,
+                sim_us: 0,
+                fields: vec![],
+            }),
+            Record::Event(EventRecord {
+                name: "sim.charge".into(),
+                wall_us: 0,
+                sim_us: 0,
+                fields: vec![],
+            }),
+            Record::Counter {
+                name: "negotiation.messages".into(),
+                value: 9,
+            },
+            Record::Gauge {
+                name: "depth".into(),
+                value: -1,
+            },
+            Record::Histogram(HistogramRecord {
+                name: "store.op_us".into(),
+                bounds: vec![10, 100],
+                buckets: vec![1, 2, 0],
+                count: 3,
+                sum: 90,
+            }),
+        ];
+        let text = render_summary(&records);
+        assert!(text.contains("spans"));
+        assert!(text.find("a.span").unwrap() < text.find("b.span").unwrap());
+        assert!(text.contains("2.50ms"));
+        assert!(text.contains("1.00s"));
+        assert!(text.contains("negotiation.messages"));
+        assert!(text.contains("store.op_us"));
+        assert!(text.contains("mean 30us"));
+    }
+
+    #[test]
+    fn empty_input_is_explicit() {
+        assert_eq!(render_summary(&[]), "(no records)\n");
+    }
+}

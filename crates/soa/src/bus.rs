@@ -50,17 +50,35 @@ impl ServiceBus {
     /// Dispatch a request to a service. Charges one SOAP round trip.
     pub fn call(&self, service: &str, request: &Envelope) -> Result<Envelope, Fault> {
         self.clock.charge(CostKind::SoapRoundTrip);
+        let obs = self.clock.collector();
+        if obs.is_enabled() {
+            obs.counter_add("bus.calls", 1);
+        }
         let endpoint = {
             let guard = self.endpoints.read();
             guard.get(service).cloned()
         };
-        match endpoint {
+        let result = match endpoint {
             Some(ep) => ep.handle(request),
             None => Err(Fault::new(
                 "NoSuchService",
                 format!("service '{service}' not registered"),
             )),
+        };
+        if obs.is_enabled() {
+            if result.is_err() {
+                obs.counter_add("bus.faults", 1);
+            }
+            obs.event(
+                "bus.call",
+                vec![
+                    ("service".to_string(), service.into()),
+                    ("operation".to_string(), request.operation.as_str().into()),
+                    ("ok".to_string(), result.is_ok().into()),
+                ],
+            );
         }
+        result
     }
 
     /// The shared clock.

@@ -16,8 +16,9 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use trust_vo_credential::Timestamp;
+use trust_vo_obs::{Collector, Counter, Value};
 
 /// A span of simulated time, in microseconds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -48,23 +49,26 @@ impl SimDuration {
     }
 }
 
+// Saturating arithmetic throughout: a pathological cost model (u64::MAX
+// per operation) must pin the clock at the end of time, not panic in
+// debug builds mid-negotiation.
 impl std::ops::Add for SimDuration {
     type Output = SimDuration;
     fn add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0 + rhs.0)
+        SimDuration(self.0.saturating_add(rhs.0))
     }
 }
 
 impl std::ops::AddAssign for SimDuration {
     fn add_assign(&mut self, rhs: SimDuration) {
-        self.0 += rhs.0;
+        self.0 = self.0.saturating_add(rhs.0);
     }
 }
 
 impl std::ops::Mul<u64> for SimDuration {
     type Output = SimDuration;
     fn mul(self, rhs: u64) -> SimDuration {
-        SimDuration(self.0 * rhs)
+        SimDuration(self.0.saturating_mul(rhs))
     }
 }
 
@@ -189,6 +193,15 @@ struct ClockState {
     counts: [AtomicU64; 8],
 }
 
+/// Observability hooks for a clock: the collector plus one pre-fetched
+/// counter handle per [`CostKind`], so charging never touches the
+/// registry lock.
+#[derive(Debug)]
+struct ClockObs {
+    collector: Collector,
+    charge_counters: [Counter; 8],
+}
+
 /// A shareable simulated clock: charge operations, read elapsed time.
 #[derive(Debug, Clone)]
 pub struct SimClock {
@@ -196,6 +209,10 @@ pub struct SimClock {
     state: Arc<ClockState>,
     /// The virtual calendar instant at elapsed == 0.
     epoch: Timestamp,
+    /// Shared across clones so attaching after cloning (the usual order:
+    /// scenario builders clone the clock into every service first) still
+    /// observes charges from every holder.
+    obs: Arc<OnceLock<ClockObs>>,
 }
 
 impl SimClock {
@@ -205,7 +222,38 @@ impl SimClock {
             model: Arc::new(model),
             state: Arc::new(ClockState::default()),
             epoch,
+            obs: Arc::new(OnceLock::new()),
         }
+    }
+
+    /// Attaches an observability collector to this clock (and all its
+    /// clones, past and future). The collector's simulated-time source is
+    /// pointed at this clock, per-kind `sim.charge.*` counters are
+    /// registered, and every subsequent charge emits a `sim.charge` event
+    /// tagged by cost category. No-op for a disabled collector; the first
+    /// attachment wins.
+    pub fn attach_obs(&self, collector: &Collector) {
+        let Some(registry) = collector.registry() else {
+            return;
+        };
+        let state = Arc::clone(&self.state);
+        collector.set_sim_source(move || state.elapsed_micros.load(Ordering::Relaxed));
+        let charge_counters =
+            CostKind::ALL.map(|kind| registry.counter(&format!("sim.charge.{}", kind.label())));
+        let _ = self.obs.set(ClockObs {
+            collector: collector.clone(),
+            charge_counters,
+        });
+    }
+
+    /// The collector attached via [`SimClock::attach_obs`], or a disabled
+    /// one. Subsystems holding a clock clone use this as their
+    /// observability sink.
+    pub fn collector(&self) -> Collector {
+        self.obs
+            .get()
+            .map(|o| o.collector.clone())
+            .unwrap_or_else(Collector::disabled)
     }
 
     /// A paper-testbed clock starting at the paper's credential epoch.
@@ -231,6 +279,17 @@ impl SimClock {
             .elapsed_micros
             .fetch_add(cost.0, Ordering::Relaxed);
         self.state.counts[kind.slot()].fetch_add(n, Ordering::Relaxed);
+        if let Some(obs) = self.obs.get() {
+            obs.charge_counters[kind.slot()].add(n);
+            obs.collector.event(
+                "sim.charge",
+                vec![
+                    ("kind".to_string(), Value::Str(kind.label().to_string())),
+                    ("n".to_string(), Value::I64(n as i64)),
+                    ("cost_us".to_string(), Value::I64(cost.0 as i64)),
+                ],
+            );
+        }
     }
 
     /// Total simulated time elapsed.
@@ -348,6 +407,55 @@ mod tests {
         assert_eq!(d.to_string(), "1.5 ms");
         assert_eq!((SimDuration::from_millis(2) * 3).as_millis_f64(), 6.0);
         assert!((SimDuration::from_millis(1500).as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duration_arithmetic_saturates_instead_of_panicking() {
+        // Regression: Add/AddAssign/Mul used unchecked arithmetic, so a
+        // pathological cost model overflowed (panicking in debug builds).
+        let max = SimDuration(u64::MAX);
+        assert_eq!(max + SimDuration::from_millis(1), max);
+        let mut acc = SimDuration(u64::MAX - 1);
+        acc += SimDuration::from_micros(5);
+        assert_eq!(acc, max);
+        assert_eq!(max * 3, max);
+        assert_eq!(SimDuration(u64::MAX / 2 + 1) * 2, max);
+
+        // A clock driven by such a model pins at the end of time too.
+        let mut model = CostModel::free();
+        model.set(CostKind::DbQuery, max);
+        let clock = SimClock::new(model, Timestamp(0));
+        clock.charge_n(CostKind::DbQuery, 7);
+        assert_eq!(clock.counts()[&CostKind::DbQuery], 7);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn attached_collector_sees_charges_from_every_clone() {
+        let clock = SimClock::paper_default();
+        let clone = clock.clone(); // cloned before attach
+        let collector = Collector::new();
+        clock.attach_obs(&collector);
+        clone.charge_n(CostKind::DbQuery, 3);
+        clone.charge(CostKind::SoapRoundTrip);
+        let snap = collector.metrics();
+        assert_eq!(snap.counter("sim.charge.db-query"), 3);
+        assert_eq!(snap.counter("sim.charge.soap-roundtrip"), 1);
+        // Sim-time source reports the clock's elapsed micros.
+        assert_eq!(collector.sim_now(), clock.elapsed().0);
+        // Events carry the cost category.
+        let events = collector.records();
+        assert_eq!(events.len(), 2);
+        // Clock clones all report the same attached collector.
+        assert!(clone.collector().is_enabled());
+    }
+
+    #[test]
+    fn unattached_clock_reports_disabled_collector() {
+        let clock = SimClock::paper_default();
+        assert!(!clock.collector().is_enabled());
+        clock.attach_obs(&Collector::disabled());
+        assert!(!clock.collector().is_enabled());
     }
 
     #[test]

@@ -58,8 +58,14 @@ pub struct TnService {
 }
 
 impl TnService {
-    /// An empty service on the given clock and database.
+    /// An empty service on the given clock and database. If the clock has
+    /// an attached collector, the database inherits it so per-collection
+    /// op latencies land in the same registry.
     pub fn new(clock: SimClock, db: Database) -> Self {
+        let collector = clock.collector();
+        if collector.is_enabled() {
+            db.attach_obs(&collector);
+        }
         TnService {
             clock,
             db,
@@ -343,7 +349,21 @@ impl TnService {
 
 impl ServiceEndpoint for TnService {
     fn handle(&self, request: &Envelope) -> Result<Envelope, Fault> {
-        match request.operation.as_str() {
+        let obs = self.clock.collector();
+        let mut span = obs.span("tn.operation");
+        if span.id().is_some() {
+            span.field("operation", request.operation.as_str());
+            let counter = match request.operation.as_str() {
+                "StartNegotiation" => Some("tn.start_negotiation"),
+                "PolicyExchange" => Some("tn.policy_exchange"),
+                "CredentialExchange" => Some("tn.credential_exchange"),
+                _ => None,
+            };
+            if let Some(name) = counter {
+                obs.counter_add(name, 1);
+            }
+        }
+        let result = match request.operation.as_str() {
             "StartNegotiation" => self.start_negotiation(request),
             "PolicyExchange" => self.policy_exchange(request),
             "CredentialExchange" => self.credential_exchange(request),
@@ -351,7 +371,11 @@ impl ServiceEndpoint for TnService {
                 "NoSuchOperation",
                 format!("operation '{other}' not supported"),
             )),
+        };
+        if span.id().is_some() {
+            span.field("ok", result.is_ok());
         }
+        result
     }
 
     fn operations(&self) -> Vec<String> {

@@ -9,7 +9,9 @@
 use crate::collection::Collection;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+use trust_vo_obs::Collector;
 
 /// Aggregate statistics over the whole database.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -26,6 +28,7 @@ pub struct StoreStats {
 #[derive(Debug, Clone, Default)]
 pub struct Database {
     inner: Arc<RwLock<BTreeMap<String, Collection>>>,
+    obs: Arc<OnceLock<Collector>>,
 }
 
 impl Database {
@@ -34,12 +37,34 @@ impl Database {
         Self::default()
     }
 
+    /// Attach a collector: subsequent collection accesses record their
+    /// wall-clock latency to the `store.<collection>.op_us` histogram of
+    /// the collector's registry. First attachment wins; shared by clones.
+    pub fn attach_obs(&self, collector: &Collector) {
+        if collector.is_enabled() {
+            let _ = self.obs.set(collector.clone());
+        }
+    }
+
+    fn record_latency(&self, name: &str, started: Instant) {
+        if let Some(registry) = self.obs.get().and_then(Collector::registry) {
+            registry
+                .latency_histogram(&format!("store.{name}.op_us"))
+                .record(started.elapsed().as_micros() as u64);
+        }
+    }
+
     /// Run `f` with mutable access to the named collection (created on
     /// first use).
     pub fn with_collection<R>(&self, name: &str, f: impl FnOnce(&mut Collection) -> R) -> R {
-        let mut guard = self.inner.write();
-        let collection = guard.entry(name.to_owned()).or_default();
-        f(collection)
+        let started = Instant::now();
+        let result = {
+            let mut guard = self.inner.write();
+            let collection = guard.entry(name.to_owned()).or_default();
+            f(collection)
+        };
+        self.record_latency(name, started);
+        result
     }
 
     /// Run `f` with shared read access to the named collection. Unlike
@@ -47,8 +72,13 @@ impl Database {
     /// number of readers proceed concurrently (collection reads are
     /// `&self`); returns `None` when the collection does not exist.
     pub fn read_collection<R>(&self, name: &str, f: impl FnOnce(&Collection) -> R) -> Option<R> {
-        let guard = self.inner.read();
-        guard.get(name).map(f)
+        let started = Instant::now();
+        let result = {
+            let guard = self.inner.read();
+            guard.get(name).map(f)
+        };
+        self.record_latency(name, started);
+        result
     }
 
     /// Does the named collection exist?
@@ -164,6 +194,32 @@ mod tests {
             }
         });
         assert_eq!(db.stats().operations, ops_before + 8 * 50);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn attached_collector_records_op_latencies() {
+        let db = Database::new();
+        let collector = Collector::new();
+        db.attach_obs(&collector);
+        db.with_collection("profiles", |c| {
+            c.put("1", Element::new("x"));
+        });
+        db.read_collection("profiles", |c| {
+            c.get(&"1".into());
+        });
+        let snapshot = collector.metrics();
+        let hist = snapshot
+            .histograms
+            .get("store.profiles.op_us")
+            .expect("histogram registered");
+        assert_eq!(hist.count, 2);
+        // Clones share the attachment.
+        db.clone().with_collection("profiles", |c| c.len());
+        assert_eq!(
+            collector.metrics().histograms["store.profiles.op_us"].count,
+            3
+        );
     }
 
     #[test]

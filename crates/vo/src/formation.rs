@@ -52,6 +52,7 @@ use trust_vo_negotiation::{
     negotiate, ConcurrentSequenceCache, NegotiationConfig, NegotiationError, NegotiationOutcome,
     Party, Strategy, Transcript,
 };
+use trust_vo_obs::ObsContext;
 use trust_vo_soa::simclock::{CostKind, SimClock};
 
 /// A formed VO: the output of the Formation phase.
@@ -204,12 +205,14 @@ pub fn join_member(
         None => TnAction::Skip,
     };
     join_attempt(
-        vo, initiator, candidate, role, mailboxes, reputation, clock, action,
+        vo, initiator, candidate, role, mailboxes, reputation, clock, action, None,
     )
 }
 
 /// One join attempt: invitation flow, optional TN (live or precomputed),
-/// role assignment, membership certificate.
+/// role assignment, membership certificate. `parent` is the enclosing
+/// formation span, if any — the attempt's own span (and the negotiation
+/// spans under it) hang off it.
 #[allow(clippy::too_many_arguments)]
 fn join_attempt(
     vo: &mut FormedVo,
@@ -220,12 +223,22 @@ fn join_attempt(
     reputation: &mut ReputationLedger,
     clock: &SimClock,
     tn: TnAction<'_>,
+    parent: Option<u64>,
 ) -> Result<MemberRecord, VoError> {
-    let role_def = vo
-        .contract
-        .role(role)
-        .ok_or_else(|| VoError::UnknownRole(role.to_owned()))?
-        .clone();
+    let obs = clock.collector();
+    let mut span = obs.span_with_parent("formation.join_attempt", parent);
+    if span.id().is_some() {
+        span.field("role", role);
+        span.field("provider", candidate.name());
+        obs.counter_add("formation.attempts", 1);
+    }
+    let role_def = match vo.contract.role(role) {
+        Some(def) => def.clone(),
+        None => {
+            span.field("result", "unknown-role");
+            return Err(VoError::UnknownRole(role.to_owned()));
+        }
+    };
 
     // Invitation screen + delivery into the member's mailbox.
     clock.charge(CostKind::GuiStep);
@@ -243,6 +256,7 @@ fn join_attempt(
     clock.charge(CostKind::GuiStep);
     let _invitation = mailboxes.take(candidate.name());
     if !candidate.accepts_invitations {
+        span.field("result", "declined");
         return Err(VoError::RoleUnfilled {
             role: role.to_owned(),
             tried: vec![candidate.name().to_owned()],
@@ -260,7 +274,8 @@ fn join_attempt(
             cache,
         } => {
             let initiator_party = initiator_party_for_role(initiator, &vo.contract, role);
-            let cfg = NegotiationConfig::new(strategy, at);
+            let cfg = NegotiationConfig::new(strategy, at)
+                .with_obs(ObsContext::new(obs.clone()).with_parent(span.id()));
             Some(match cache {
                 Some(shared) => {
                     shared.negotiate(&candidate.party, &initiator_party, "VoMembership", &cfg)
@@ -269,6 +284,7 @@ fn join_attempt(
             })
         }
         TnAction::Precomputed(outcome) => {
+            obs.counter_add("formation.replayed", 1);
             Some(outcome.expect("speculation covered every accepting candidate"))
         }
     };
@@ -281,6 +297,7 @@ fn join_attempt(
             Err(e) => {
                 // "the failed TN may affect the parties' reputation" (§5.1).
                 reputation.record_failed_negotiation(candidate.name());
+                span.field("result", "tn-failed");
                 return Err(VoError::Negotiation(e));
             }
         }
@@ -301,6 +318,8 @@ fn join_attempt(
         certificate,
     };
     vo.members.push(record.clone());
+    span.field("result", "admitted");
+    obs.counter_add("formation.admissions", 1);
     Ok(record)
 }
 
@@ -355,6 +374,13 @@ fn form_vo_impl(
     mut tn: TnSource<'_>,
 ) -> Result<FormedVo, VoError> {
     let mut vo = create_vo(contract, initiator, clock);
+    let obs = clock.collector();
+    let mut root_span = obs.span("formation.form_vo");
+    if root_span.id().is_some() {
+        root_span.field("vo", vo.name.as_str());
+        root_span.field("roles", vo.contract.roles.len());
+    }
+    let parent = root_span.id();
     let formation_at = clock.timestamp();
     let roles: Vec<_> = vo.contract.roles.clone();
     for role in &roles {
@@ -364,6 +390,7 @@ fn form_vo_impl(
         let mut candidates: Vec<&crate::registry::ResourceDescription> =
             registry.find_by_capability(&role.capability);
         if candidates.is_empty() {
+            root_span.field("outcome", "no-candidates");
             return Err(VoError::NoCandidates {
                 role: role.name.clone(),
             });
@@ -411,6 +438,7 @@ fn form_vo_impl(
             };
             match join_attempt(
                 &mut vo, initiator, candidate, &role.name, mailboxes, reputation, clock, action,
+                parent,
             ) {
                 Ok(_) => {
                     assigned = true;
@@ -420,6 +448,7 @@ fn form_vo_impl(
             }
         }
         if !assigned {
+            root_span.field("outcome", "role-unfilled");
             return Err(VoError::RoleUnfilled {
                 role: role.name.clone(),
                 tried,
@@ -429,6 +458,8 @@ fn form_vo_impl(
     vo.lifecycle
         .advance_to(Phase::Operation, clock.timestamp())
         .expect("formation advances to operation");
+    root_span.field("outcome", "ok");
+    root_span.field("members", vo.members.len());
     Ok(vo)
 }
 
@@ -538,6 +569,7 @@ pub fn form_vo_parallel(
         }
     }
 
+    let obs = clock.collector();
     let table: Mutex<HashMap<SpeculationKey, Result<NegotiationOutcome, NegotiationError>>> =
         Mutex::new(HashMap::with_capacity(jobs.len()));
     let next = AtomicUsize::new(0);
@@ -549,9 +581,21 @@ pub fn form_vo_parallel(
                 let Some((role, candidate, initiator_party)) = jobs.get(i) else {
                     break;
                 };
-                let cfg = NegotiationConfig::new(strategy, formation_at);
+                let mut span = obs.span("formation.speculate");
+                let cfg = if span.id().is_some() {
+                    span.field("role", role.as_str());
+                    span.field("provider", candidate.name());
+                    obs.counter_add("formation.speculated", 1);
+                    NegotiationConfig::new(strategy, formation_at)
+                        .with_obs(ObsContext::new(obs.clone()).with_parent(span.id()))
+                } else {
+                    NegotiationConfig::new(strategy, formation_at)
+                };
                 let result =
                     cache.negotiate(&candidate.party, initiator_party, "VoMembership", &cfg);
+                if span.id().is_some() {
+                    span.field("ok", result.is_ok());
+                }
                 table
                     .lock()
                     .insert((role.clone(), candidate.name().to_owned()), result);

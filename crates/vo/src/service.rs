@@ -4,7 +4,10 @@
 //! SOA combining several Web services for managing VOs" — and the TN
 //! system "is integrated as part of the VO Management tool, and invoked as
 //! a web service when needed" (§6). This endpoint exposes the toolkit's
-//! edition operations over the same [`ServiceBus`] the TN service runs on:
+//! edition operations over the same [`ServiceBus`] the TN service runs
+//! on:
+//!
+//! [`ServiceBus`]: trust_vo_soa::bus::ServiceBus
 //!
 //! | operation        | edition   | §6.1 behaviour                         |
 //! |------------------|-----------|----------------------------------------|

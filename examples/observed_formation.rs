@@ -1,0 +1,39 @@
+//! Observability walk-through: run the paper's Fig. 9(a) join — the
+//! Design Partner Web Portal joining the Aircraft Optimization VO with a
+//! trust negotiation — on an instrumented clock, then print the summary
+//! table and a few raw JSONL records.
+//!
+//! Run with `cargo run --example observed_formation`.
+
+use trust_vo::negotiation::Strategy;
+use trust_vo::obs::{render_summary, Collector};
+use trust_vo_bench::workloads;
+
+fn main() {
+    // Attach the collector before building the scenario so registration
+    // traffic (DB writes, sim-clock charges) is captured too.
+    let collector = Collector::new();
+    let clock = workloads::paper_clock();
+    clock.attach_obs(&collector);
+    let mut scenario = workloads::scenario(clock);
+
+    let member = workloads::join_with_tn(&mut scenario, Strategy::Standard)
+        .expect("the Fig. 9(a) join succeeds");
+    println!(
+        "admitted '{}' as '{}' (certificate serial {})\n",
+        member.provider, member.role, member.certificate.serial
+    );
+
+    println!("{}", render_summary(&collector.records()));
+
+    println!("counters");
+    for (name, value) in &collector.metrics().counters {
+        println!("  {name:38} {value:>6}");
+    }
+    println!();
+
+    println!("sample JSONL records (full dump via `--emit-obs` on the bench binaries):");
+    for line in collector.to_jsonl().lines().take(8) {
+        println!("  {line}");
+    }
+}

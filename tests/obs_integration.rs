@@ -1,0 +1,244 @@
+//! End-to-end observability: a formation run on an instrumented clock
+//! must emit a span for every negotiation phase, parent-link them under
+//! the formation spans, and report counters that exactly match the
+//! engine's own transcript/cache accounting — serial and parallel alike.
+
+use std::collections::BTreeMap;
+use trust_vo::negotiation::{
+    negotiate, ConcurrentSequenceCache, NegotiationConfig, Strategy, Transcript,
+};
+use trust_vo::obs::{Collector, MetricsSnapshot, Record};
+use trust_vo::soa::simclock::SimClock;
+use trust_vo::vo::mailbox::MailboxSystem;
+use trust_vo::vo::{form_vo, form_vo_cached, form_vo_parallel, ReputationLedger};
+use trust_vo_bench::workloads::{self, ParallelJoinWorld};
+
+fn observed_clock() -> (SimClock, Collector) {
+    let clock = workloads::free_clock();
+    let collector = Collector::new();
+    clock.attach_obs(&collector);
+    (clock, collector)
+}
+
+/// Re-run every (role, accepting-candidate) negotiation of `world`
+/// standalone — the same pairs, parties, and config the formation path
+/// uses — and return the transcripts. Each role has exactly one
+/// accepting candidate in this workload, so this is precisely the set of
+/// negotiations `form_vo` performs.
+fn independent_transcripts(world: &ParallelJoinWorld, clock: &SimClock) -> Vec<Transcript> {
+    let mut transcripts = Vec::new();
+    for role in &world.contract.roles {
+        for description in world.registry.find_by_capability(&role.capability) {
+            let Some(candidate) = world.providers.get(&description.provider) else {
+                continue;
+            };
+            if !candidate.accepts_invitations {
+                continue;
+            }
+            let mut initiator_party = world.initiator.party.clone();
+            if let Some(set) = world.contract.policies_for(&role.name) {
+                for policy in set.iter() {
+                    initiator_party.policies.add(policy.clone());
+                }
+            }
+            let cfg = NegotiationConfig::new(Strategy::Standard, clock.timestamp());
+            let outcome = negotiate(&candidate.party, &initiator_party, "VoMembership", &cfg)
+                .expect("workload negotiations succeed");
+            transcripts.push(outcome.transcript);
+        }
+    }
+    transcripts
+}
+
+fn span_records(collector: &Collector) -> Vec<trust_vo::obs::SpanRecord> {
+    collector
+        .records()
+        .into_iter()
+        .filter_map(|r| match r {
+            Record::Span(s) => Some(s),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn serial_formation_emits_phase_spans_and_transcript_exact_counters() {
+    let world = workloads::parallel_join_world(3, 4, 2);
+    let (clock, collector) = observed_clock();
+    let vo = form_vo(
+        world.contract.clone(),
+        &world.initiator,
+        &world.providers,
+        &world.registry,
+        &mut MailboxSystem::new(),
+        &mut ReputationLedger::new(),
+        &clock,
+        Strategy::Standard,
+    )
+    .expect("formation succeeds");
+    assert_eq!(vo.members().len(), 3);
+
+    // Span structure: one root, one join attempt per member, and under
+    // each attempt exactly one span per negotiation phase.
+    let spans = span_records(&collector);
+    let roots: Vec<_> = spans
+        .iter()
+        .filter(|s| s.name == "formation.form_vo")
+        .collect();
+    assert_eq!(roots.len(), 1);
+    assert_eq!(roots[0].parent, None);
+    let attempts: Vec<_> = spans
+        .iter()
+        .filter(|s| s.name == "formation.join_attempt")
+        .collect();
+    assert_eq!(attempts.len(), 3);
+    for attempt in &attempts {
+        assert_eq!(attempt.parent, Some(roots[0].id), "attempt under root");
+        for phase in ["negotiation.policy_phase", "negotiation.exchange_phase"] {
+            let children: Vec<_> = spans
+                .iter()
+                .filter(|s| s.name == phase && s.parent == Some(attempt.id))
+                .collect();
+            assert_eq!(children.len(), 1, "one {phase} span per join attempt");
+        }
+    }
+
+    // Counters must equal the engine's own accounting, recomputed by
+    // running the identical negotiations standalone.
+    let transcripts = independent_transcripts(&world, &workloads::free_clock());
+    assert_eq!(transcripts.len(), 3);
+    let sum =
+        |f: fn(&Transcript) -> usize| -> u64 { transcripts.iter().map(|t| f(t) as u64).sum() };
+    let snap = collector.metrics();
+    assert_eq!(
+        snap.counter("negotiation.messages"),
+        sum(Transcript::message_count)
+    );
+    assert_eq!(
+        snap.counter("negotiation.policy_rounds"),
+        sum(|t| t.policy_rounds)
+    );
+    assert_eq!(
+        snap.counter("negotiation.policies_disclosed"),
+        sum(|t| t.policies_disclosed)
+    );
+    assert_eq!(
+        snap.counter("negotiation.policy_evaluations"),
+        sum(|t| t.policies_disclosed)
+    );
+    assert_eq!(
+        snap.counter("negotiation.credentials_disclosed"),
+        sum(|t| t.credentials_disclosed)
+    );
+    assert_eq!(
+        snap.counter("negotiation.verifications"),
+        sum(|t| t.verifications)
+    );
+    assert_eq!(
+        snap.counter("negotiation.ownership_proofs"),
+        sum(|t| t.ownership_proofs)
+    );
+    assert_eq!(
+        snap.counter("negotiation.failed_alternatives"),
+        sum(|t| t.failed_alternatives)
+    );
+    assert_eq!(snap.counter("negotiation.failures"), 0);
+    assert_eq!(snap.counter("formation.attempts"), 3);
+    assert_eq!(snap.counter("formation.admissions"), 3);
+}
+
+#[test]
+fn observed_cache_counters_equal_cache_stats() {
+    let world = workloads::parallel_join_world(3, 4, 2);
+    let (clock, collector) = observed_clock();
+    let cache = ConcurrentSequenceCache::observed(collector.registry().expect("collector enabled"));
+    for round in 0..2 {
+        let vo = form_vo_cached(
+            world.contract.clone(),
+            &world.initiator,
+            &world.providers,
+            &world.registry,
+            &mut MailboxSystem::new(),
+            &mut ReputationLedger::new(),
+            &clock,
+            Strategy::Standard,
+            &cache,
+        )
+        .expect("cached formation succeeds");
+        assert_eq!(vo.members().len(), 3, "round {round}");
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.misses, 3, "first round misses");
+    assert_eq!(stats.hits, 3, "second round hits");
+    let snap = collector.metrics();
+    assert_eq!(snap.counter("cache.hits"), stats.hits);
+    assert_eq!(snap.counter("cache.misses"), stats.misses);
+    assert_eq!(snap.counter("cache.invalidations"), stats.invalidations);
+    assert_eq!(snap.counter("cache.evictions"), stats.evictions);
+}
+
+/// The counters the serial/parallel equivalence covers: everything the
+/// negotiation engine and the sequence cache record.
+fn engine_counters(snap: &MetricsSnapshot) -> BTreeMap<String, u64> {
+    snap.counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("negotiation.") || name.starts_with("cache."))
+        .map(|(name, value)| (name.clone(), *value))
+        .collect()
+}
+
+#[test]
+fn parallel_formation_matches_serial_counter_totals() {
+    for applicants in [4usize, 16, 64] {
+        let world = workloads::parallel_join_world(applicants, 4, 2);
+
+        let (serial_clock, serial_collector) = observed_clock();
+        let serial_cache = ConcurrentSequenceCache::observed(
+            serial_collector.registry().expect("collector enabled"),
+        );
+        let serial = form_vo_cached(
+            world.contract.clone(),
+            &world.initiator,
+            &world.providers,
+            &world.registry,
+            &mut MailboxSystem::new(),
+            &mut ReputationLedger::new(),
+            &serial_clock,
+            Strategy::Standard,
+            &serial_cache,
+        )
+        .expect("serial formation succeeds");
+
+        let (parallel_clock, parallel_collector) = observed_clock();
+        let parallel_cache = ConcurrentSequenceCache::observed(
+            parallel_collector.registry().expect("collector enabled"),
+        );
+        let parallel = form_vo_parallel(
+            world.contract.clone(),
+            &world.initiator,
+            &world.providers,
+            &world.registry,
+            &mut MailboxSystem::new(),
+            &mut ReputationLedger::new(),
+            &parallel_clock,
+            Strategy::Standard,
+            &parallel_cache,
+            4,
+        )
+        .expect("parallel formation succeeds");
+
+        assert_eq!(serial.members().len(), applicants);
+        assert_eq!(parallel.members().len(), applicants);
+        let serial_counters = engine_counters(&serial_collector.metrics());
+        let parallel_counters = engine_counters(&parallel_collector.metrics());
+        assert_eq!(
+            serial_counters, parallel_counters,
+            "serial and parallel counter totals diverge at {applicants} applicants"
+        );
+        assert_eq!(
+            parallel_collector.metrics().counter("formation.speculated"),
+            applicants as u64,
+            "one speculation per (role, accepting candidate)"
+        );
+    }
+}
