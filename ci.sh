@@ -12,10 +12,17 @@ cargo clippy --workspace --all-targets -- -D warnings
 # subsets under vendor/ are out of scope for the doc gate).
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
   -p trust-vo -p trust-vo-bench -p trust-vo-credential -p trust-vo-crypto \
-  -p trust-vo-negotiation -p trust-vo-obs -p trust-vo-ontology \
-  -p trust-vo-policy -p trust-vo-soa -p trust-vo-store -p trust-vo-vo \
-  -p trust-vo-xmldoc
+  -p trust-vo-negotiation -p trust-vo-netsim -p trust-vo-obs \
+  -p trust-vo-ontology -p trust-vo-policy -p trust-vo-soa -p trust-vo-store \
+  -p trust-vo-vo -p trust-vo-xmldoc
 cargo bench --workspace --no-run
 # Disabled-instrumentation smoke: with the obs feature compiled out the
 # formation bench must still build and complete one shrunken iteration.
 cargo run --release -p trust-vo-bench --no-default-features --bin parallel_join_times -- --smoke
+cargo run --release -p trust-vo-bench --no-default-features --bin fig9_faulty_join -- --smoke --seed 42
+# Chaos determinism gate: the same seed must replay the whole fault
+# schedule bit-for-bit — two E11 smoke runs, byte-identical deterministic
+# obs dumps (wall-clock fields scrubbed, everything else compared).
+cargo run --release -p trust-vo-bench --bin fig9_faulty_join -- --smoke --seed 42 --emit-obs target/e11-chaos-a.jsonl
+cargo run --release -p trust-vo-bench --bin fig9_faulty_join -- --smoke --seed 42 --emit-obs target/e11-chaos-b.jsonl
+cmp target/e11-chaos-a.jsonl target/e11-chaos-b.jsonl

@@ -1,0 +1,321 @@
+//! E11 — formation over a faulty transport: loss sweep + crash/resume.
+//!
+//! Drives the transport-backed formation (`form_vo_resilient`, serial and
+//! parallel) through the `trust-vo-netsim` fault injector at 0 / 1 / 5 /
+//! 20 % per-direction message loss, and once more at 20 % loss with a
+//! crash outage dropped mid-run so at least one negotiation must resume
+//! from its durable checkpoint. Everything is simulated time on a
+//! paper-calibrated clock; the whole sweep is a pure function of
+//! `--seed`, which this harness proves by replaying the loss rows and
+//! asserting identical outcomes.
+//!
+//! Checks built into the run:
+//!
+//! * every row completes — at 20 % loss each admission still lands via
+//!   retry/backoff (and, in the crash row, checkpointed resume);
+//! * serial and parallel admit identical members, burn identical sim
+//!   time, and report identical recovery counters at every loss rate;
+//! * the 0 % row is a strict pass-through: outcome, sim time, and
+//!   recovery counters equal a run on the bare `ServiceBus`, with zero
+//!   injected faults;
+//! * the crash row observes `negotiation.resumed > 0` on the TN service.
+//!
+//! `--smoke --seed 42 --emit-obs <path>` is the CI chaos smoke: a tiny
+//! world, with the dump scrubbed of wall-clock fields so two runs are
+//! byte-identical.
+
+use std::sync::Arc;
+use trust_vo_bench::obsutil::ObsArgs;
+use trust_vo_bench::report::Report;
+use trust_vo_bench::workloads::{self, ParallelJoinWorld};
+use trust_vo_negotiation::Strategy;
+use trust_vo_netsim::{FaultPlan, NetSim};
+use trust_vo_soa::simclock::{CostModel, SimClock, SimDuration};
+use trust_vo_soa::{ResumePolicy, RetryPolicy, ServiceBus, TnService, Transport};
+use trust_vo_store::Database;
+use trust_vo_vo::mailbox::MailboxSystem;
+use trust_vo_vo::{
+    form_vo_resilient, form_vo_resilient_parallel, register_formation_parties, FormedVo,
+    ReputationLedger,
+};
+
+const DEFAULT_SEED: u64 = 9;
+const WORKERS: usize = 4;
+
+/// Everything a case produces that determinism must preserve.
+#[derive(Debug, Clone, PartialEq)]
+struct Outcome {
+    members: Vec<(String, String, u64)>,
+    elapsed: SimDuration,
+    negotiations: u64,
+    retries: u64,
+    resumes: u64,
+    restarts: u64,
+    delivered: u64,
+    drops: u64,
+    dups: u64,
+    dedup_replays: u64,
+    /// Sessions the TN service resumed from a checkpoint.
+    service_resumed: u64,
+}
+
+fn membership(vo: &FormedVo) -> Vec<(String, String, u64)> {
+    vo.members()
+        .iter()
+        .map(|m| (m.provider.clone(), m.role.clone(), m.certificate.serial))
+        .collect()
+}
+
+/// A paper-cost clock anchored at the workload epoch (the batch world's
+/// credentials are valid from the scenario date, not the paper's default
+/// start time).
+fn paper_clock_at_epoch() -> SimClock {
+    SimClock::new(CostModel::paper_testbed(), workloads::at())
+}
+
+/// Run one formation through a fresh TN service behind the given fault
+/// plan. `workers = None` drives the serial engine, `Some(n)` the
+/// parallel one. When `obs` is given, a collector rides the case's clock
+/// and is dumped (deterministically) after the run.
+fn run_case(
+    world: &ParallelJoinWorld,
+    plan: FaultPlan,
+    seed: u64,
+    workers: Option<usize>,
+    obs: Option<&ObsArgs>,
+) -> Outcome {
+    let clock = paper_clock_at_epoch();
+    let collector = obs.map(|a| a.collector_for(&clock));
+    let bus = ServiceBus::new(clock.clone());
+    let svc = Arc::new(TnService::new(clock.clone(), Database::new()));
+    register_formation_parties(&svc, &world.contract, &world.initiator, &world.providers);
+    bus.register("tn", svc.clone());
+    let net = NetSim::new(bus, plan);
+
+    let mut mailboxes = MailboxSystem::new();
+    let mut reputation = ReputationLedger::new();
+    let retry = RetryPolicy::standard();
+    let resume = ResumePolicy::standard();
+    let formed = match workers {
+        None => form_vo_resilient(
+            world.contract.clone(),
+            &world.initiator,
+            &world.providers,
+            &world.registry,
+            &mut mailboxes,
+            &mut reputation,
+            &net,
+            "tn",
+            Strategy::Standard,
+            &retry,
+            &resume,
+            seed,
+        ),
+        Some(n) => form_vo_resilient_parallel(
+            world.contract.clone(),
+            &world.initiator,
+            &world.providers,
+            &world.registry,
+            &mut mailboxes,
+            &mut reputation,
+            &net,
+            "tn",
+            Strategy::Standard,
+            &retry,
+            &resume,
+            seed,
+            n,
+        ),
+    };
+    let (vo, stats) = formed.expect("E11 formation completes under the fault plan");
+    assert_eq!(
+        vo.members().len(),
+        world.contract.roles.len(),
+        "every role must be filled"
+    );
+
+    if let (Some(args), Some(collector)) = (obs, collector.as_ref()) {
+        args.dump_deterministic(collector);
+    }
+
+    let m = net.metrics();
+    Outcome {
+        members: membership(&vo),
+        elapsed: net.clock().elapsed(),
+        negotiations: stats.negotiations,
+        retries: stats.retries,
+        resumes: stats.resumes,
+        restarts: stats.restarts,
+        delivered: m.delivered.get(),
+        drops: m.drops.get(),
+        dups: m.dups.get(),
+        dedup_replays: m.dedup_replays.get(),
+        service_resumed: svc.resumed_count(),
+    }
+}
+
+/// The 0 %-loss reference: the same formation on the bare bus.
+fn run_bare(world: &ParallelJoinWorld, seed: u64) -> Outcome {
+    let clock = paper_clock_at_epoch();
+    let bus = ServiceBus::new(clock.clone());
+    let svc = Arc::new(TnService::new(clock.clone(), Database::new()));
+    register_formation_parties(&svc, &world.contract, &world.initiator, &world.providers);
+    bus.register("tn", svc.clone());
+    let (vo, stats) = form_vo_resilient(
+        world.contract.clone(),
+        &world.initiator,
+        &world.providers,
+        &world.registry,
+        &mut MailboxSystem::new(),
+        &mut ReputationLedger::new(),
+        &bus,
+        "tn",
+        Strategy::Standard,
+        &RetryPolicy::standard(),
+        &ResumePolicy::standard(),
+        seed,
+    )
+    .expect("bare-bus formation completes");
+    Outcome {
+        members: membership(&vo),
+        elapsed: bus.clock().elapsed(),
+        negotiations: stats.negotiations,
+        retries: stats.retries,
+        resumes: stats.resumes,
+        restarts: stats.restarts,
+        delivered: 0,
+        drops: 0,
+        dups: 0,
+        dedup_replays: 0,
+        service_resumed: svc.resumed_count(),
+    }
+}
+
+fn main() {
+    let args = ObsArgs::from_env();
+    let seed = args.seed.unwrap_or(DEFAULT_SEED);
+    // --smoke: a tiny world and the two interesting loss rates, so CI can
+    // replay the chaos run (and diff its deterministic obs dump) fast.
+    let (applicants, depth, alternatives, losses): (usize, usize, usize, &[f64]) = if args.smoke {
+        (3, 4, 2, &[0.0, 0.20])
+    } else {
+        (6, 10, 3, &[0.0, 0.01, 0.05, 0.20])
+    };
+    let world = workloads::parallel_join_world(applicants, depth, alternatives);
+
+    let mut report = Report::new(
+        "E11",
+        "Formation over a faulty transport: loss sweep, serial vs. parallel, crash resume",
+        &[
+            "serial sim (s)",
+            "parallel sim (s)",
+            "delivered",
+            "drops",
+            "dups",
+            "retries",
+            "resumes",
+            "restarts",
+        ],
+    );
+
+    let mut elapsed_at_heaviest = SimDuration::ZERO;
+    for &loss in losses {
+        // 0% means a perfect network (no loss AND no link latency), so the
+        // bare-bus comparison below is apples-to-apples.
+        let plan = if loss == 0.0 {
+            FaultPlan::reliable(seed)
+        } else {
+            FaultPlan::lossy(seed, loss)
+        };
+        let serial = run_case(&world, plan.clone(), seed, None, None);
+        let parallel = run_case(&world, plan.clone(), seed, Some(WORKERS), None);
+        // Loss/duplication decisions are a pure function of each call's
+        // idempotency-key stream, so the thread pool must change nothing.
+        assert_eq!(serial, parallel, "parallel must replay serial at {loss}");
+
+        // Replaying the same seed must reproduce the run bit-for-bit.
+        let replay = run_case(&world, plan, seed, None, None);
+        assert_eq!(serial, replay, "same seed must replay identically");
+
+        if loss == 0.0 {
+            // A reliable plan is a strict pass-through: same outcome, same
+            // sim time, nothing injected, nothing recovered.
+            let bare = run_bare(&world, seed);
+            assert_eq!(serial.members, bare.members);
+            assert_eq!(serial.elapsed, bare.elapsed);
+            assert_eq!(
+                (
+                    serial.negotiations,
+                    serial.retries,
+                    serial.resumes,
+                    serial.restarts
+                ),
+                (bare.negotiations, bare.retries, bare.resumes, bare.restarts),
+            );
+            assert_eq!(serial.drops + serial.dups + serial.dedup_replays, 0);
+        }
+        elapsed_at_heaviest = serial.elapsed;
+
+        report.row(
+            &format!("{:.0}%", loss * 100.0),
+            &[
+                format!("{:.2}", serial.elapsed.as_secs_f64()),
+                format!("{:.2}", parallel.elapsed.as_secs_f64()),
+                serial.delivered.to_string(),
+                serial.drops.to_string(),
+                serial.dups.to_string(),
+                serial.retries.to_string(),
+                serial.resumes.to_string(),
+                serial.restarts.to_string(),
+            ],
+        );
+    }
+
+    // Crash row: 20 % loss plus a crash outage dropped at ~45 % of the
+    // measured heavy-loss run, long enough that in-flight sessions are
+    // wiped and must resume from their checkpoints. Serial only — crash
+    // windows fire on whichever call reaches them first, which is only
+    // deterministic under a serial drive. This is also the scenario whose
+    // obs stream the CI smoke diffs, so the collector rides this case.
+    let outage_start = SimDuration((elapsed_at_heaviest.0 as f64 * 0.45) as u64);
+    let outage_end = outage_start + SimDuration::from_millis(1_200);
+    let crash_plan = FaultPlan::lossy(seed, 0.20).outage("tn", outage_start, outage_end, true);
+    let crashed = run_case(&world, crash_plan.clone(), seed, None, Some(&args));
+    let crash_replay = run_case(&world, crash_plan, seed, None, None);
+    assert_eq!(
+        crashed, crash_replay,
+        "crash schedule must replay identically"
+    );
+    assert!(
+        crashed.resumes > 0 && crashed.service_resumed > 0,
+        "the crash window must force at least one checkpointed resume \
+         (client resumes: {}, service resumed: {})",
+        crashed.resumes,
+        crashed.service_resumed,
+    );
+    report.row(
+        "20%+crash",
+        &[
+            format!("{:.2}", crashed.elapsed.as_secs_f64()),
+            "—".to_string(),
+            crashed.delivered.to_string(),
+            crashed.drops.to_string(),
+            crashed.dups.to_string(),
+            crashed.retries.to_string(),
+            crashed.resumes.to_string(),
+            crashed.restarts.to_string(),
+        ],
+    );
+
+    report.note(&format!(
+        "seed = {seed}; {applicants} applicants, chain depth {depth}, {alternatives} \
+         alternatives; loss is per direction (end-to-end ≈ 2p−p²); crash row resumed \
+         {} negotiation(s) from durable checkpoints",
+        crashed.service_resumed
+    ));
+    report.note(
+        "serial == parallel and replay == run asserted at every loss rate; \
+         0% row asserted equal to the bare-bus baseline",
+    );
+    report.print();
+}

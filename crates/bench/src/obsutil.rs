@@ -6,7 +6,10 @@
 //!   and, after the run, dump every span/event/metric as JSON lines to
 //!   `<path>` (see `trust-vo-obs` for the line schema);
 //! * `--smoke` (where documented) — shrink the workload to a single tiny
-//!   iteration so CI can exercise the binary in seconds.
+//!   iteration so CI can exercise the binary in seconds;
+//! * `--seed <u64>` (where documented) — the fault-plan / idempotency
+//!   seed for chaos binaries such as `fig9_faulty_join`, so a run can be
+//!   replayed exactly.
 //!
 //! With the `obs` feature disabled the collector handles are inert: the
 //! flags still parse, the dump file is written, but it only carries the
@@ -23,6 +26,8 @@ pub struct ObsArgs {
     pub emit_obs: Option<PathBuf>,
     /// Run a single shrunken iteration (CI smoke).
     pub smoke: bool,
+    /// Deterministic seed for chaos binaries (`--seed <u64>`).
+    pub seed: Option<u64>,
 }
 
 impl ObsArgs {
@@ -41,6 +46,16 @@ impl ObsArgs {
                     parsed.emit_obs = Some(PathBuf::from(path));
                 }
                 "--smoke" => parsed.smoke = true,
+                "--seed" => {
+                    let value = args.next().unwrap_or_else(|| {
+                        eprintln!("--seed requires a u64 argument");
+                        std::process::exit(2);
+                    });
+                    parsed.seed = Some(value.parse().unwrap_or_else(|e| {
+                        eprintln!("--seed {value}: not a u64 ({e})");
+                        std::process::exit(2);
+                    }));
+                }
                 _ => {}
             }
         }
@@ -70,6 +85,22 @@ impl ObsArgs {
             .unwrap_or_else(|e| panic!("writing {} failed: {e}", path.display()));
         eprintln!("observability dump written to {}", path.display());
     }
+
+    /// Like [`ObsArgs::dump`], but scrubs wall-clock fields from every
+    /// record first (see `Collector::to_jsonl_deterministic`), so two runs
+    /// of a deterministic workload produce byte-identical files. The CI
+    /// chaos smoke diffs two such dumps.
+    pub fn dump_deterministic(&self, collector: &Collector) {
+        let Some(path) = &self.emit_obs else {
+            return;
+        };
+        std::fs::write(path, collector.to_jsonl_deterministic())
+            .unwrap_or_else(|e| panic!("writing {} failed: {e}", path.display()));
+        eprintln!(
+            "deterministic observability dump written to {}",
+            path.display()
+        );
+    }
 }
 
 #[cfg(test)]
@@ -95,6 +126,7 @@ mod tests {
         let args = ObsArgs {
             emit_obs: Some(path.clone()),
             smoke: false,
+            seed: None,
         };
         let clock = SimClock::new(CostModel::paper_testbed(), Timestamp(0));
         let collector = args.collector_for(&clock);

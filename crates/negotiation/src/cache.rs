@@ -855,6 +855,110 @@ mod tests {
     }
 
     #[test]
+    fn abandoned_phase1_leaves_no_phantom_entry() {
+        // Satellite: a negotiation abandoned mid-flight — phase 1 never
+        // produces a sequence — must not leave a phantom cache entry, and
+        // the stats must still account for every attempt.
+        let (mut requester, controller) = parties();
+        let id = requester.profile.credentials()[0].id().clone();
+        requester.profile.remove(&id);
+        let cache = ConcurrentSequenceCache::with_shards(16, 1);
+        let cfg = NegotiationConfig::new(Strategy::Standard, at());
+        for _ in 0..5 {
+            let err = cache
+                .negotiate(&requester, &controller, "Svc", &cfg)
+                .unwrap_err();
+            assert!(matches!(err, NegotiationError::NoTrustSequence { .. }));
+        }
+        assert!(cache.is_empty(), "phantom entry after abandoned phase 1");
+        let stats = cache.stats();
+        // Every attempt was a miss (nothing was ever stored to hit on),
+        // and nothing was invalidated or evicted.
+        assert_eq!(
+            stats,
+            CacheStats {
+                hits: 0,
+                misses: 5,
+                invalidations: 0,
+                evictions: 0
+            }
+        );
+    }
+
+    #[test]
+    fn abandoned_phase2_keeps_valid_sequence_without_double_entry() {
+        // A negotiation that agrees a sequence but dies in phase 2 (here:
+        // a revocation discovered mid-exchange) keeps the — still valid —
+        // memoized sequence, and retries hit it instead of duplicating it.
+        let (requester, mut controller) = parties();
+        let cfg = NegotiationConfig::new(Strategy::Standard, at());
+        let cache = ConcurrentSequenceCache::new();
+        cache
+            .negotiate(&requester, &controller, "Svc", &cfg)
+            .unwrap();
+        let victim = requester.profile.credentials()[0].id().clone();
+        controller.crl.revoke(victim, at());
+        for _ in 0..3 {
+            let err = cache
+                .negotiate(&requester, &controller, "Svc", &cfg)
+                .unwrap_err();
+            assert!(matches!(err, NegotiationError::TrustFailure { .. }));
+        }
+        assert_eq!(
+            cache.len(),
+            1,
+            "phase-2 failures must not duplicate entries"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
+    fn stat_conservation_holds_with_concurrent_abandonment() {
+        // Mixed workload: one requester succeeds, one abandons every
+        // negotiation in phase 1. Residency and stats must still conserve:
+        // hits + misses == attempts, and every resident entry was stored
+        // by a *successful* phase 1 (failures store nothing).
+        let (good, controller) = parties();
+        let (mut bad, _) = parties();
+        bad.name = "R-bad".into();
+        let id = bad.profile.credentials()[0].id().clone();
+        bad.profile.remove(&id);
+
+        const RESOURCES: usize = 10;
+        const REPEATS: usize = 4;
+        let cache = ConcurrentSequenceCache::with_shards(16, DEFAULT_CACHE_CAPACITY);
+        crossbeam::thread::scope(|s| {
+            for r in 0..RESOURCES {
+                for _ in 0..REPEATS {
+                    let (cache, good, bad, controller) = (&cache, &good, &bad, &controller);
+                    s.spawn(move |_| {
+                        let cfg = NegotiationConfig::new(Strategy::Standard, at());
+                        // Ungoverned resources: trivially granted for the
+                        // good requester; `Svc` fails for the bad one.
+                        let resource = format!("R{r}");
+                        cache.negotiate(good, controller, &resource, &cfg).unwrap();
+                        cache.negotiate(bad, controller, "Svc", &cfg).unwrap_err();
+                    });
+                }
+            }
+        })
+        .unwrap();
+        let stats = cache.stats();
+        let attempts = (RESOURCES * REPEATS * 2) as u64;
+        assert_eq!(stats.hits + stats.misses, attempts, "{stats:?}");
+        assert_eq!(stats.invalidations, 0, "{stats:?}");
+        assert_eq!(stats.evictions, 0, "{stats:?}");
+        // Exactly one resident entry per successful key; the bad
+        // requester's 40 abandoned attempts left nothing behind.
+        assert_eq!(cache.len(), RESOURCES);
+        // All abandoned attempts missed (their key never gets an entry).
+        assert!(stats.misses >= (RESOURCES * REPEATS) as u64, "{stats:?}");
+    }
+
+    #[test]
     fn different_strategies_cached_separately() {
         let (requester, controller) = parties();
         let mut cache = SequenceCache::new();

@@ -36,6 +36,7 @@ pub mod enumerate;
 pub mod error;
 pub mod message;
 pub mod party;
+pub mod resume;
 pub mod strategy;
 pub mod ticket;
 pub mod transcript;
@@ -52,7 +53,8 @@ pub use enumerate::{
 };
 pub use error::NegotiationError;
 pub use party::Party;
+pub use resume::{ResumeCheckpoint, ResumeError, ResumeToken};
 pub use strategy::Strategy;
-pub use ticket::{negotiate_with_ticket, TrustTicket};
+pub use ticket::{negotiate_with_ticket, session_window_contains, TrustTicket};
 pub use transcript::Transcript;
 pub use trust_vo_obs::{Collector, ObsContext};

@@ -17,6 +17,17 @@ use crate::party::Party;
 use trust_vo_credential::{CredentialError, TimeRange, Timestamp};
 use trust_vo_crypto::{KeyPair, PublicKey, Signature};
 
+/// Validity check for session artifacts (trust tickets, resume tokens):
+/// start-**inclusive**, end-**exclusive**. A ticket presented exactly at
+/// `validity.not_after` is already expired — deterministically, on every
+/// replica — so two services sharing a clock can never disagree about the
+/// boundary instant. (Credential validity, [`TimeRange::contains`], stays
+/// inclusive at both ends per X.509 convention; only short-lived session
+/// artifacts use the half-open window.)
+pub fn session_window_contains(validity: &TimeRange, at: Timestamp) -> bool {
+    validity.not_before <= at && at < validity.not_after
+}
+
 /// A ticket attesting a previously successful negotiation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TrustTicket {
@@ -102,7 +113,7 @@ impl TrustTicket {
                 cred_id: format!("ticket:{}", self.resource),
             });
         }
-        if !self.validity.contains(at) {
+        if !session_window_contains(&self.validity, at) {
             return Err(CredentialError::Expired {
                 cred_id: format!("ticket:{}", self.resource),
                 at,
@@ -232,6 +243,36 @@ mod tests {
         let ticket = TrustTicket::issue(&requester, &controller, &controller.keys, "Svc", window());
         assert!(ticket.verify(at()).is_ok());
         assert!(ticket.verify(window().not_after.plus_days(1)).is_err());
+    }
+
+    #[test]
+    fn validity_boundaries_are_start_inclusive_end_exclusive() {
+        let (requester, controller) = parties();
+        let w = window();
+        let ticket = TrustTicket::issue(&requester, &controller, &controller.keys, "Svc", w);
+        // Exactly at the start instant: valid.
+        assert!(ticket.verify(w.not_before).is_ok());
+        // One second before the start: not yet valid.
+        assert!(ticket.verify(w.not_before.plus_seconds(-1)).is_err());
+        // One second before the end: still valid.
+        assert!(ticket.verify(w.not_after.plus_seconds(-1)).is_ok());
+        // Exactly at the end instant: already expired — the half-open
+        // window makes the boundary deterministic across replicas.
+        assert!(matches!(
+            ticket.verify(w.not_after),
+            Err(CredentialError::Expired { .. })
+        ));
+    }
+
+    #[test]
+    fn session_window_is_half_open() {
+        let w = TimeRange::new(Timestamp(100), Timestamp(200));
+        assert!(!session_window_contains(&w, Timestamp(99)));
+        assert!(session_window_contains(&w, Timestamp(100)));
+        assert!(session_window_contains(&w, Timestamp(199)));
+        assert!(!session_window_contains(&w, Timestamp(200)));
+        // Contrast: credential validity is inclusive at both ends.
+        assert!(w.contains(Timestamp(200)));
     }
 
     #[test]

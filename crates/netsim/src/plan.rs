@@ -1,0 +1,218 @@
+//! Declarative fault plans: what the network does to each link, and when.
+//!
+//! A [`FaultPlan`] is pure data — probabilities, windows, and a seed —
+//! so a chaos experiment is fully described by its plan and replays
+//! identically from it. The [`NetSim`](crate::NetSim) transport consults
+//! the plan on every call.
+
+use std::collections::BTreeMap;
+
+use trust_vo_soa::SimDuration;
+
+/// Per-link fault parameters. A "link" is the client↔service path for
+/// one registered service name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkProfile {
+    /// Probability that one message *direction* (request or response) is
+    /// lost. A call survives only if both directions do, so end-to-end
+    /// loss is `2p − p²`.
+    pub drop_probability: f64,
+    /// Probability that a delivered request is delivered twice.
+    /// Idempotency keys absorb the duplicate; unkeyed requests execute
+    /// twice, duplicating side effects.
+    pub duplicate_probability: f64,
+    /// Lower bound of the per-direction transit latency.
+    pub latency_min: SimDuration,
+    /// Upper bound of the per-direction transit latency.
+    pub latency_max: SimDuration,
+    /// Sim time the caller burns waiting before concluding a message was
+    /// lost (charged on every drop and outage hit).
+    pub drop_timeout: SimDuration,
+}
+
+impl LinkProfile {
+    /// A perfect link: no loss, no duplication, zero added latency. A
+    /// `NetSim` whose every link is `reliable()` is a strict pass-through
+    /// — byte-identical behaviour to the bare bus.
+    pub fn reliable() -> Self {
+        LinkProfile {
+            drop_probability: 0.0,
+            duplicate_probability: 0.0,
+            latency_min: SimDuration::ZERO,
+            latency_max: SimDuration::ZERO,
+            drop_timeout: SimDuration::ZERO,
+        }
+    }
+
+    /// A lossy WAN-ish link: per-direction loss `p`, duplicates at `p/4`,
+    /// 1–5 ms transit, 40 ms loss-detection timeout.
+    pub fn lossy(p: f64) -> Self {
+        LinkProfile {
+            drop_probability: p,
+            duplicate_probability: p / 4.0,
+            latency_min: SimDuration::from_millis(1),
+            latency_max: SimDuration::from_millis(5),
+            drop_timeout: SimDuration::from_millis(40),
+        }
+    }
+}
+
+/// A service outage window in sim time: calls landing in
+/// `[start, end)` fail as unreachable. With `crash` set, the first such
+/// call also crashes the endpoint — its volatile sessions are wiped
+/// (durable state survives), modelling a process restart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outage {
+    /// The service whose endpoint is down.
+    pub service: String,
+    /// Window start (inclusive), measured on the sim clock.
+    pub start: SimDuration,
+    /// Window end (exclusive).
+    pub end: SimDuration,
+    /// Whether entering the window wipes the endpoint's volatile state.
+    pub crash: bool,
+}
+
+/// A named network partition: during `[start, end)` every listed service
+/// is unreachable from the client side.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partition {
+    /// Label used in fault reasons and metrics.
+    pub name: String,
+    /// Services cut off by the partition.
+    pub services: Vec<String>,
+    /// Window start (inclusive), measured on the sim clock.
+    pub start: SimDuration,
+    /// Window end (exclusive).
+    pub end: SimDuration,
+}
+
+/// The complete, replayable description of an unreliable network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for every probabilistic decision. Equal plans with equal
+    /// seeds produce identical fault schedules.
+    pub seed: u64,
+    /// Profile applied to services without a per-link override.
+    pub default_link: LinkProfile,
+    /// Per-service overrides of the default link.
+    pub links: BTreeMap<String, LinkProfile>,
+    /// Scheduled endpoint outages.
+    pub outages: Vec<Outage>,
+    /// Scheduled named partitions.
+    pub partitions: Vec<Partition>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing: the identity network.
+    pub fn reliable(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            default_link: LinkProfile::reliable(),
+            links: BTreeMap::new(),
+            outages: Vec::new(),
+            partitions: Vec::new(),
+        }
+    }
+
+    /// A plan whose every link drops each message direction with
+    /// probability `p` (see [`LinkProfile::lossy`]).
+    pub fn lossy(seed: u64, p: f64) -> Self {
+        FaultPlan {
+            default_link: LinkProfile::lossy(p),
+            ..FaultPlan::reliable(seed)
+        }
+    }
+
+    /// Overrides the link profile for one service.
+    pub fn link(mut self, service: impl Into<String>, profile: LinkProfile) -> Self {
+        self.links.insert(service.into(), profile);
+        self
+    }
+
+    /// Schedules an outage window for `service`; `crash` wipes volatile
+    /// endpoint state on first contact inside the window.
+    pub fn outage(
+        mut self,
+        service: impl Into<String>,
+        start: SimDuration,
+        end: SimDuration,
+        crash: bool,
+    ) -> Self {
+        self.outages.push(Outage {
+            service: service.into(),
+            start,
+            end,
+            crash,
+        });
+        self
+    }
+
+    /// Schedules a named partition cutting off `services` during
+    /// `[start, end)`.
+    pub fn partition(
+        mut self,
+        name: impl Into<String>,
+        services: Vec<String>,
+        start: SimDuration,
+        end: SimDuration,
+    ) -> Self {
+        self.partitions.push(Partition {
+            name: name.into(),
+            services,
+            start,
+            end,
+        });
+        self
+    }
+
+    /// The link profile governing calls to `service`.
+    pub fn profile_for(&self, service: &str) -> &LinkProfile {
+        self.links.get(service).unwrap_or(&self.default_link)
+    }
+
+    /// If `service` is cut off by a partition at instant `now`, returns
+    /// the partition's name.
+    pub fn partitioned(&self, service: &str, now: SimDuration) -> Option<&str> {
+        self.partitions
+            .iter()
+            .find(|p| p.start <= now && now < p.end && p.services.iter().any(|s| s == service))
+            .map(|p| p.name.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_override_wins() {
+        let plan = FaultPlan::lossy(1, 0.2).link("stable", LinkProfile::reliable());
+        assert_eq!(plan.profile_for("stable"), &LinkProfile::reliable());
+        assert_eq!(plan.profile_for("other"), &LinkProfile::lossy(0.2));
+    }
+
+    #[test]
+    fn partition_window_is_half_open() {
+        let plan = FaultPlan::reliable(1).partition(
+            "split-brain",
+            vec!["tn".into()],
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(20),
+        );
+        assert_eq!(plan.partitioned("tn", SimDuration::from_millis(9)), None);
+        assert_eq!(
+            plan.partitioned("tn", SimDuration::from_millis(10)),
+            Some("split-brain")
+        );
+        assert_eq!(
+            plan.partitioned("tn", SimDuration::from_millis(19)),
+            Some("split-brain")
+        );
+        assert_eq!(plan.partitioned("tn", SimDuration::from_millis(20)), None);
+        assert_eq!(
+            plan.partitioned("other", SimDuration::from_millis(15)),
+            None
+        );
+    }
+}

@@ -249,6 +249,43 @@ impl Collector {
         out
     }
 
+    /// [`Self::to_jsonl`], with wall-clock timings scrubbed to zero
+    /// (see [`Record::scrub_wall_times`]): two runs of the same
+    /// deterministic workload — e.g. a seeded chaos bench — export
+    /// byte-identical JSONL, so CI can `diff` them.
+    pub fn to_jsonl_deterministic(&self) -> String {
+        let mut out = String::new();
+        for mut record in self.records() {
+            record.scrub_wall_times();
+            out.push_str(&record.to_json_line());
+            out.push('\n');
+        }
+        let snap = self.metrics();
+        for (name, value) in snap.counters {
+            out.push_str(&Record::Counter { name, value }.to_json_line());
+            out.push('\n');
+        }
+        for (name, value) in snap.gauges {
+            out.push_str(&Record::Gauge { name, value }.to_json_line());
+            out.push('\n');
+        }
+        for (name, h) in snap.histograms {
+            let mut record = Record::Histogram(HistogramRecord {
+                name,
+                bounds: h.bounds,
+                buckets: h.buckets,
+                count: h.count,
+                sum: h.sum,
+            });
+            // Wall-latency histograms (`*.op_us`) keep their sample count
+            // but lose their run-varying timing shape.
+            record.scrub_wall_times();
+            out.push_str(&record.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+
     /// Renders a human-readable summary table of spans, events, and
     /// metrics.
     pub fn summary(&self) -> String {
@@ -393,6 +430,27 @@ mod tests {
             }
             other => panic!("unexpected records {other:?}"),
         }
+    }
+
+    #[test]
+    fn deterministic_export_is_reproducible_and_wall_free() {
+        let run = || {
+            let c = Collector::new();
+            let mut span = c.span("work");
+            span.field("k", "v");
+            drop(span);
+            c.event("tick", vec![("n".into(), Value::I64(3))]);
+            c.counter_add("hits", 2);
+            c.to_jsonl_deterministic()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b, "identical workloads must export identical JSONL");
+        assert!(a.contains("\"wall_us\":0"));
+        assert!(a.contains("\"wall_start_us\":0"));
+        assert!(a.contains("\"name\":\"hits\",\"value\":2"));
+        // Still parseable by the round-trip reader.
+        let parsed = crate::record::parse_jsonl(&a).unwrap();
+        assert_eq!(parsed.len(), 3);
     }
 
     #[test]

@@ -187,6 +187,34 @@ fn write_u64_arr(out: &mut String, key: &str, values: &[u64]) {
 }
 
 impl Record {
+    /// Zeroes every wall-clock field, leaving only sim-clock timings.
+    ///
+    /// Sim durations are a pure function of the workload, but wall
+    /// timings vary run to run; scrubbing them makes two exports of the
+    /// same deterministic workload byte-identical — the property the
+    /// chaos-replay CI gate diffs on.
+    ///
+    /// Histograms named `*.op_us` (the wall-latency naming convention —
+    /// see `Database::attach_obs` in `trust-vo-store`) hold wall-clock
+    /// samples throughout: their sample *count* is deterministic and kept,
+    /// but the timing shape (buckets, sum) is zeroed.
+    pub fn scrub_wall_times(&mut self) {
+        match self {
+            Record::Span(s) => {
+                s.wall_start_us = 0;
+                s.wall_us = 0;
+            }
+            Record::Event(e) => {
+                e.wall_us = 0;
+            }
+            Record::Histogram(h) if h.name.ends_with(".op_us") => {
+                h.buckets.iter_mut().for_each(|b| *b = 0);
+                h.sum = 0;
+            }
+            Record::Counter { .. } | Record::Gauge { .. } | Record::Histogram(_) => {}
+        }
+    }
+
     /// Serializes this record as one JSON line (no trailing newline).
     pub fn to_json_line(&self) -> String {
         let mut out = String::with_capacity(128);

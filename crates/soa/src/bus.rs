@@ -19,6 +19,24 @@ pub trait ServiceEndpoint: Send + Sync {
 
     /// The operations this endpoint serves (for discovery/diagnostics).
     fn operations(&self) -> Vec<String>;
+
+    /// Notification that the simulated process hosting this endpoint
+    /// crashed and restarted: volatile state (in-flight sessions) should be
+    /// discarded, durable state (the database) survives. Default: no-op.
+    fn on_crash(&self) {}
+}
+
+/// Anything a client can dispatch envelopes through: the bare
+/// [`ServiceBus`], or a fault-injecting wrapper around it (see the
+/// `trust-vo-netsim` crate). Client-side drivers ([`crate::client`],
+/// `vo::formation`) are written against this trait so the same code runs on
+/// a perfect transport and on a lossy one.
+pub trait Transport: Send + Sync {
+    /// Dispatch a request to a service.
+    fn call(&self, service: &str, request: &Envelope) -> Result<Envelope, Fault>;
+
+    /// The clock this transport charges latency to.
+    fn clock(&self) -> &SimClock;
 }
 
 /// The service bus: a registry plus dispatcher.
@@ -47,6 +65,12 @@ impl ServiceBus {
         self.endpoints.read().keys().cloned().collect()
     }
 
+    /// Look up a registered endpoint (used by transport wrappers to deliver
+    /// out-of-band notifications such as crash/restart).
+    pub fn endpoint(&self, name: &str) -> Option<Arc<dyn ServiceEndpoint>> {
+        self.endpoints.read().get(name).cloned()
+    }
+
     /// Dispatch a request to a service. Charges one SOAP round trip.
     pub fn call(&self, service: &str, request: &Envelope) -> Result<Envelope, Fault> {
         self.clock.charge(CostKind::SoapRoundTrip);
@@ -60,10 +84,7 @@ impl ServiceBus {
         };
         let result = match endpoint {
             Some(ep) => ep.handle(request),
-            None => Err(Fault::new(
-                "NoSuchService",
-                format!("service '{service}' not registered"),
-            )),
+            None => Err(Fault::no_such_service(service)),
         };
         if obs.is_enabled() {
             if result.is_err() {
@@ -84,6 +105,16 @@ impl ServiceBus {
     /// The shared clock.
     pub fn clock(&self) -> &SimClock {
         &self.clock
+    }
+}
+
+impl Transport for ServiceBus {
+    fn call(&self, service: &str, request: &Envelope) -> Result<Envelope, Fault> {
+        ServiceBus::call(self, service, request)
+    }
+
+    fn clock(&self) -> &SimClock {
+        ServiceBus::clock(self)
     }
 }
 
@@ -135,7 +166,26 @@ mod tests {
         let err = bus()
             .call("ghost", &Envelope::request("x", Element::new("b")))
             .unwrap_err();
+        // Pinned: an unregistered service is a *typed* fault, not a generic
+        // application string — callers branch on the kind, not the text.
+        assert_eq!(err.kind, crate::envelope::FaultKind::NoSuchService);
         assert_eq!(err.code, "NoSuchService");
+        assert_eq!(err.reason, "service 'ghost' not registered");
+        assert!(!err.is_transport());
+    }
+
+    #[test]
+    fn bus_implements_transport() {
+        fn dispatch<T: Transport>(t: &T) -> Result<Envelope, Fault> {
+            t.call("echo-svc", &Envelope::request("echo", Element::new("b")))
+        }
+        let bus = bus();
+        bus.register("echo-svc", Arc::new(Echo));
+        assert!(dispatch(&bus).is_ok());
+        assert!(bus.endpoint("echo-svc").is_some());
+        assert!(bus.endpoint("ghost").is_none());
+        // Default crash notification is a no-op and must not panic.
+        bus.endpoint("echo-svc").unwrap().on_crash();
     }
 
     #[test]

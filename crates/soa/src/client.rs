@@ -6,9 +6,19 @@
 //! `StartNegotiation`, one `PolicyExchange`, and then `CredentialExchange`
 //! calls until the service reports completion, returning the accounting a
 //! GUI would display.
+//!
+//! Two drivers are provided: [`run_negotiation`] assumes a reliable bus
+//! (any transport fault is fatal), while [`run_negotiation_resilient`]
+//! survives a lossy one — every call carries an idempotency key and is
+//! retried under a [`RetryPolicy`], and when retries are exhausted the
+//! driver falls back to the checkpointed-resume protocol: it reconnects
+//! and presents the freshest `ResumeToken` the service handed out, so the
+//! negotiation continues from the last verified disclosure instead of
+//! restarting phase 1.
 
-use crate::bus::ServiceBus;
+use crate::bus::{ServiceBus, Transport};
 use crate::envelope::{Envelope, Fault};
+use crate::retry::{call_with_retry, RetryPolicy};
 use crate::simclock::SimDuration;
 use trust_vo_negotiation::Strategy;
 use trust_vo_xmldoc::Element;
@@ -98,6 +108,261 @@ pub fn run_negotiation(
     })
 }
 
+/// Reconnect behaviour of the resilient driver, on top of the per-call
+/// [`RetryPolicy`]: how many times a *session* may be re-established
+/// (fresh start or token resume) and how long to back off before each
+/// reconnect, charged to the sim clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResumePolicy {
+    /// Maximum session re-establishment cycles before giving up.
+    pub max_cycles: u32,
+    /// Sim-time pause before each reconnect attempt.
+    pub reconnect_delay: SimDuration,
+}
+
+impl ResumePolicy {
+    /// Default profile used by the benches: up to 8 reconnect cycles,
+    /// 500 ms (sim) apart.
+    pub fn standard() -> Self {
+        ResumePolicy {
+            max_cycles: 8,
+            reconnect_delay: SimDuration::from_millis(500),
+        }
+    }
+
+    /// Never reconnect: the first exhausted retry budget is fatal.
+    pub fn none() -> Self {
+        ResumePolicy {
+            max_cycles: 0,
+            reconnect_delay: SimDuration::ZERO,
+        }
+    }
+}
+
+/// Accounting for a resilient run: the underlying [`ClientRun`] plus the
+/// recovery work it took to get there.
+#[derive(Debug, Clone)]
+pub struct ResilientRun {
+    /// The completed negotiation, as a plain run.
+    pub run: ClientRun,
+    /// Transport-level call retries across all operations.
+    pub retries: u64,
+    /// Sessions re-established via `ResumeNegotiation` with a token.
+    pub resumes: u64,
+    /// Sessions restarted from scratch (no token held yet).
+    pub restarts: u64,
+}
+
+/// SplitMix64 finalizer: derives a fresh idempotency key for each logical
+/// call from the driver's `key_seed` and a monotone counter, so retries of
+/// the same call share a key while distinct calls never collide.
+fn mix_key(seed: u64, counter: u64) -> u64 {
+    let mut z = seed ^ counter.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Faults the driver answers by re-establishing the session rather than
+/// giving up: exhausted transport retries, and `NoSuchNegotiation`, which
+/// is what a crashed-and-restarted endpoint reports for a session that
+/// lived only in its volatile memory.
+fn session_lost(fault: &Fault) -> bool {
+    fault.is_transport() || fault.code == "NoSuchNegotiation"
+}
+
+fn call_attempt<T: Transport + ?Sized>(
+    transport: &T,
+    service: &str,
+    request: &Envelope,
+    retry: &RetryPolicy,
+    retries: &mut u64,
+) -> Result<Envelope, Fault> {
+    let attempted = call_with_retry(transport, service, request, retry);
+    *retries += attempted.retries();
+    attempted.outcome
+}
+
+/// Drive a negotiation to completion over an unreliable [`Transport`].
+///
+/// Every call carries an idempotency key derived from `key_seed` and is
+/// retried under `retry`; when a call's retry budget is exhausted — or the
+/// service forgot the session after a crash — the driver reconnects under
+/// `resume`: with the freshest `ResumeToken` it holds it replays from the
+/// service's durable checkpoint, otherwise it restarts from phase 1. The
+/// negotiation is requested with `resumable="true"`, so the service
+/// checkpoints after phase 1 and after every verified disclosure.
+#[allow(clippy::too_many_arguments)]
+pub fn run_negotiation_resilient<T: Transport + ?Sized>(
+    transport: &T,
+    service: &str,
+    requester: &str,
+    controller: &str,
+    resource: &str,
+    strategy: Strategy,
+    retry: &RetryPolicy,
+    resume: &ResumePolicy,
+    key_seed: u64,
+) -> Result<ResilientRun, Fault> {
+    let clock = transport.clock();
+    let started_at = clock.elapsed();
+    let mut key_counter = 0u64;
+    let mut retries = 0u64;
+    let mut resumes = 0u64;
+    let mut restarts = 0u64;
+    let mut cycles = 0u32;
+    let mut token: Option<Element> = None;
+    let mut credential_calls = 0usize;
+    let mut sequence_len = 0usize;
+    let mut negotiation_id;
+
+    let obs = clock.collector();
+    // Burn one reconnect cycle: charge the delay and report whether the
+    // budget allowed it.
+    let reconnect = |cycles: &mut u32| -> bool {
+        if *cycles >= resume.max_cycles {
+            return false;
+        }
+        *cycles += 1;
+        clock.advance(resume.reconnect_delay);
+        true
+    };
+
+    'session: loop {
+        // Establish a session: resume from the freshest token if one is
+        // held, otherwise start over from phase 1.
+        let remaining_bound;
+        if let Some(tok) = token.clone() {
+            key_counter += 1;
+            let env = Envelope::request(
+                "ResumeNegotiation",
+                Element::new("ResumeNegotiationRequest").child(tok),
+            )
+            .with_idempotency(mix_key(key_seed, key_counter));
+            match call_attempt(transport, service, &env, retry, &mut retries) {
+                Ok(resp) => {
+                    resumes += 1;
+                    if obs.is_enabled() {
+                        obs.counter_add("client.resumes", 1);
+                    }
+                    negotiation_id = resp
+                        .negotiation_id
+                        .ok_or_else(|| Fault::new("BadResponse", "resume lacks negotiation id"))?;
+                    remaining_bound = resp
+                        .body
+                        .get_attr("remaining")
+                        .and_then(|t| t.parse().ok())
+                        .unwrap_or(sequence_len);
+                }
+                Err(f) if session_lost(&f) && reconnect(&mut cycles) => {
+                    continue 'session;
+                }
+                Err(f) => return Err(f),
+            }
+        } else {
+            key_counter += 1;
+            let env = Envelope::request(
+                "StartNegotiation",
+                Element::new("StartNegotiationRequest")
+                    .attr("resumable", "true")
+                    .child(Element::new("strategy").text(strategy.wire_name()))
+                    .child(Element::new("requester").text(requester))
+                    .child(Element::new("counterpartUrl").text(controller))
+                    .child(Element::new("resource").text(resource)),
+            )
+            .with_idempotency(mix_key(key_seed, key_counter));
+            let start = match call_attempt(transport, service, &env, retry, &mut retries) {
+                Ok(resp) => resp,
+                Err(f) if f.is_transport() && reconnect(&mut cycles) => {
+                    restarts += 1;
+                    continue 'session;
+                }
+                Err(f) => return Err(f),
+            };
+            let id: u64 = start
+                .body
+                .child_text("negotiationId")
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| Fault::new("BadResponse", "missing negotiation id"))?;
+
+            key_counter += 1;
+            let env = Envelope::request("PolicyExchange", Element::new("PolicyExchangeRequest"))
+                .with_negotiation(id)
+                .with_idempotency(mix_key(key_seed, key_counter));
+            match call_attempt(transport, service, &env, retry, &mut retries) {
+                Ok(policy) => {
+                    sequence_len = policy
+                        .body
+                        .first("trustSequence")
+                        .map(|seq| seq.all("disclosure").count())
+                        .unwrap_or(0);
+                    token = policy.body.first("ResumeToken").cloned();
+                    negotiation_id = id;
+                    remaining_bound = sequence_len;
+                }
+                Err(f) if session_lost(&f) && reconnect(&mut cycles) => {
+                    if token.is_none() {
+                        restarts += 1;
+                    }
+                    continue 'session;
+                }
+                Err(f) => return Err(f),
+            }
+        }
+
+        // Phase 2 on this session: exchange credentials until completion,
+        // refreshing the held token after every verified disclosure.
+        let mut calls_this_session = 0usize;
+        loop {
+            key_counter += 1;
+            let env = Envelope::request(
+                "CredentialExchange",
+                Element::new("CredentialExchangeRequest"),
+            )
+            .with_negotiation(negotiation_id)
+            .with_idempotency(mix_key(key_seed, key_counter));
+            match call_attempt(transport, service, &env, retry, &mut retries) {
+                Ok(resp) => {
+                    credential_calls += 1;
+                    calls_this_session += 1;
+                    if let Some(t) = resp.body.first("ResumeToken") {
+                        token = Some(t.clone());
+                    }
+                    if resp.body.get_attr("status") == Some("completed") {
+                        break 'session;
+                    }
+                    if calls_this_session > remaining_bound + 1 {
+                        return Err(Fault::new(
+                            "ProtocolError",
+                            "service never reported completion",
+                        ));
+                    }
+                }
+                Err(f) if session_lost(&f) && reconnect(&mut cycles) => {
+                    if token.is_none() {
+                        restarts += 1;
+                    }
+                    continue 'session;
+                }
+                Err(f) => return Err(f),
+            }
+        }
+    }
+
+    let sim_elapsed = SimDuration(clock.elapsed().0 - started_at.0);
+    Ok(ResilientRun {
+        run: ClientRun {
+            negotiation_id,
+            credential_calls,
+            sequence_len,
+            sim_elapsed,
+        },
+        retries,
+        resumes,
+        restarts,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,6 +441,145 @@ mod tests {
         assert_eq!(err.code, "UnknownParty");
         let err = run_negotiation(&bus, "nope", "a", "b", "r", Strategy::Standard).unwrap_err();
         assert_eq!(err.code, "NoSuchService");
+    }
+
+    /// A deterministic chaos wrapper: fails chosen call indices with a
+    /// transport fault and can crash the endpoint before a chosen call.
+    struct Chaos {
+        bus: ServiceBus,
+        calls: std::sync::atomic::AtomicU64,
+        fail_calls: std::collections::HashSet<u64>,
+        fail_all: bool,
+        crash_before: Option<u64>,
+    }
+
+    impl Chaos {
+        fn new(bus: ServiceBus) -> Self {
+            Chaos {
+                bus,
+                calls: std::sync::atomic::AtomicU64::new(0),
+                fail_calls: Default::default(),
+                fail_all: false,
+                crash_before: None,
+            }
+        }
+    }
+
+    impl Transport for Chaos {
+        fn call(&self, service: &str, request: &Envelope) -> Result<Envelope, Fault> {
+            let n = self.calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            if self.crash_before == Some(n) {
+                if let Some(ep) = self.bus.endpoint(service) {
+                    ep.on_crash();
+                }
+            }
+            if self.fail_all || self.fail_calls.contains(&n) {
+                return Err(Fault::transport("Timeout", "injected"));
+            }
+            self.bus.call(service, request)
+        }
+
+        fn clock(&self) -> &crate::simclock::SimClock {
+            self.bus.clock()
+        }
+    }
+
+    fn resilient(
+        chaos: &Chaos,
+        retry: &RetryPolicy,
+        resume: &ResumePolicy,
+    ) -> Result<ResilientRun, Fault> {
+        run_negotiation_resilient(
+            chaos,
+            "tn",
+            "Aerospace",
+            "Aircraft",
+            "VoMembership",
+            Strategy::Standard,
+            retry,
+            resume,
+            0xD00D,
+        )
+    }
+
+    #[test]
+    fn resilient_driver_matches_plain_on_reliable_transport() {
+        let bus = setup();
+        let plain = run_negotiation(
+            &bus,
+            "tn",
+            "Aerospace",
+            "Aircraft",
+            "VoMembership",
+            Strategy::Standard,
+        )
+        .unwrap();
+        let bus2 = setup();
+        let chaos = Chaos::new(bus2);
+        let run = resilient(&chaos, &RetryPolicy::standard(), &ResumePolicy::standard()).unwrap();
+        assert_eq!(run.retries, 0);
+        assert_eq!(run.resumes, 0);
+        assert_eq!(run.restarts, 0);
+        assert_eq!(run.run.sequence_len, plain.sequence_len);
+        assert_eq!(run.run.credential_calls, plain.credential_calls);
+    }
+
+    #[test]
+    fn resilient_driver_retries_transport_faults() {
+        let bus = setup();
+        let mut chaos = Chaos::new(bus);
+        // Calls: 0 = Start, 1 = Policy, 2 = first CredentialExchange.
+        chaos.fail_calls.insert(2);
+        let run = resilient(&chaos, &RetryPolicy::standard(), &ResumePolicy::none()).unwrap();
+        assert_eq!(run.retries, 1);
+        assert_eq!(run.resumes, 0);
+        assert_eq!(run.restarts, 0);
+        assert_eq!(run.run.credential_calls, 1);
+    }
+
+    #[test]
+    fn resilient_driver_resumes_after_endpoint_crash() {
+        let bus = setup();
+        let mut chaos = Chaos::new(bus);
+        // Crash the service right before the first CredentialExchange:
+        // volatile sessions are wiped, the durable checkpoint survives.
+        chaos.crash_before = Some(2);
+        let run = resilient(&chaos, &RetryPolicy::none(), &ResumePolicy::standard()).unwrap();
+        assert_eq!(run.resumes, 1);
+        assert_eq!(run.restarts, 0);
+        assert_eq!(run.run.credential_calls, 1);
+        assert_eq!(run.run.sequence_len, 1);
+    }
+
+    #[test]
+    fn resilient_driver_restarts_when_no_token_is_held() {
+        let bus = setup();
+        let mut chaos = Chaos::new(bus);
+        // Fail the very first StartNegotiation; no token exists yet, so
+        // the driver must start over from phase 1.
+        chaos.fail_calls.insert(0);
+        let run = resilient(&chaos, &RetryPolicy::none(), &ResumePolicy::standard()).unwrap();
+        assert_eq!(run.restarts, 1);
+        assert_eq!(run.resumes, 0);
+    }
+
+    #[test]
+    fn resilient_driver_gives_up_after_max_cycles() {
+        let bus = setup();
+        let mut chaos = Chaos::new(bus);
+        chaos.fail_all = true;
+        let err = resilient(
+            &chaos,
+            &RetryPolicy::none(),
+            &ResumePolicy {
+                max_cycles: 2,
+                reconnect_delay: SimDuration::from_millis(1),
+            },
+        )
+        .unwrap_err();
+        assert!(err.is_transport());
+        // 1 original + 2 reconnect cycles = 3 StartNegotiation attempts.
+        assert_eq!(chaos.calls.load(std::sync::atomic::Ordering::SeqCst), 3);
     }
 
     #[test]

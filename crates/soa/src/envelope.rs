@@ -13,6 +13,10 @@ pub struct Envelope {
     pub operation: String,
     /// The negotiation id, once assigned.
     pub negotiation_id: Option<u64>,
+    /// Idempotency key: identifies one *logical* call across transport
+    /// retries and duplicate deliveries, so state-mutating operations can be
+    /// deduplicated at the receiver.
+    pub idempotency_key: Option<u64>,
     /// The XML body.
     pub body: Element,
 }
@@ -23,6 +27,7 @@ impl Envelope {
         Envelope {
             operation: operation.into(),
             negotiation_id: None,
+            idempotency_key: None,
             body,
         }
     }
@@ -34,6 +39,13 @@ impl Envelope {
         self
     }
 
+    /// Attach an idempotency key (same key ⇒ same logical call).
+    #[must_use]
+    pub fn with_idempotency(mut self, key: u64) -> Self {
+        self.idempotency_key = Some(key);
+        self
+    }
+
     /// Serialize as a SOAP-shaped XML document.
     pub fn to_xml(&self) -> Element {
         let mut header =
@@ -41,6 +53,11 @@ impl Envelope {
         if let Some(id) = self.negotiation_id {
             header.children.push(Node::Element(
                 Element::new("negotiationId").text(id.to_string()),
+            ));
+        }
+        if let Some(key) = self.idempotency_key {
+            header.children.push(Node::Element(
+                Element::new("idempotencyKey").text(key.to_string()),
             ));
         }
         Element::new("Envelope")
@@ -58,13 +75,33 @@ impl Envelope {
         let negotiation_id = header
             .child_text("negotiationId")
             .and_then(|t| t.parse().ok());
+        let idempotency_key = header
+            .child_text("idempotencyKey")
+            .and_then(|t| t.parse().ok());
         let body = root.first("Body")?.elements().next()?.clone();
         Some(Envelope {
             operation,
             negotiation_id,
+            idempotency_key,
             body,
         })
     }
+}
+
+/// Classifies a [`Fault`] by *where* it originated, which determines how a
+/// caller should react to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Raised by the called endpoint itself (bad request, protocol error,
+    /// policy failure…). Retrying the same call will not help.
+    Application,
+    /// The service name has no registration on the bus: a wiring error, not
+    /// a runtime condition. Retrying will not help.
+    NoSuchService,
+    /// The transport lost, timed out, or could not deliver the message
+    /// (drop, partition, endpoint crash). The endpoint may or may not have
+    /// seen the request; retrying with the same idempotency key is safe.
+    Transport,
 }
 
 /// A service fault (SOAP fault analogue).
@@ -74,15 +111,42 @@ pub struct Fault {
     pub code: String,
     /// Human-readable reason.
     pub reason: String,
+    /// Where the fault originated.
+    pub kind: FaultKind,
 }
 
 impl Fault {
-    /// Build a fault.
+    /// Build an application-level fault.
     pub fn new(code: impl Into<String>, reason: impl Into<String>) -> Self {
         Fault {
             code: code.into(),
             reason: reason.into(),
+            kind: FaultKind::Application,
         }
+    }
+
+    /// Build the typed fault for an unregistered service name.
+    pub fn no_such_service(service: &str) -> Self {
+        Fault {
+            code: "NoSuchService".into(),
+            reason: format!("service '{service}' not registered"),
+            kind: FaultKind::NoSuchService,
+        }
+    }
+
+    /// Build a transport-level fault (drop, timeout, partition, crash).
+    pub fn transport(code: impl Into<String>, reason: impl Into<String>) -> Self {
+        Fault {
+            code: code.into(),
+            reason: reason.into(),
+            kind: FaultKind::Transport,
+        }
+    }
+
+    /// True when the fault came from the transport, i.e. the call may be
+    /// retried with the same idempotency key.
+    pub fn is_transport(&self) -> bool {
+        self.kind == FaultKind::Transport
     }
 }
 
@@ -133,5 +197,27 @@ mod tests {
     fn fault_display() {
         let f = Fault::new("NoSuchNegotiation", "id 42 unknown");
         assert_eq!(f.to_string(), "fault [NoSuchNegotiation]: id 42 unknown");
+    }
+
+    #[test]
+    fn fault_kinds() {
+        assert_eq!(Fault::new("X", "y").kind, FaultKind::Application);
+        let ns = Fault::no_such_service("ghost");
+        assert_eq!(ns.kind, FaultKind::NoSuchService);
+        assert_eq!(ns.code, "NoSuchService");
+        assert!(!ns.is_transport());
+        let t = Fault::transport("Timeout", "request lost");
+        assert_eq!(t.kind, FaultKind::Transport);
+        assert!(t.is_transport());
+    }
+
+    #[test]
+    fn idempotency_key_roundtrips() {
+        let env = Envelope::request("CredentialExchange", Element::new("x"))
+            .with_negotiation(3)
+            .with_idempotency(0xDEAD_BEEF);
+        let back = Envelope::from_xml(&env.to_xml()).unwrap();
+        assert_eq!(back.idempotency_key, Some(0xDEAD_BEEF));
+        assert_eq!(back, env);
     }
 }

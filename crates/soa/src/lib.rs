@@ -21,7 +21,10 @@
 //!   negotiation id, backed by a policy/credential [`trust_vo_store`]
 //!   database per party,
 //! * [`client`] — the `ClientWS` analogue that drives a whole negotiation
-//!   through the service operations.
+//!   through the service operations,
+//! * [`retry`] — sim-time capped exponential backoff for transport faults,
+//!   used by the resilient client driver and `vo::formation` when the bus
+//!   is wrapped in the fault-injecting `trust-vo-netsim` transport.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,10 +32,15 @@
 pub mod bus;
 pub mod client;
 pub mod envelope;
+pub mod retry;
 pub mod simclock;
 pub mod tn_service;
 
-pub use bus::{ServiceBus, ServiceEndpoint};
-pub use envelope::{Envelope, Fault};
+pub use bus::{ServiceBus, ServiceEndpoint, Transport};
+pub use client::{
+    run_negotiation, run_negotiation_resilient, ClientRun, ResilientRun, ResumePolicy,
+};
+pub use envelope::{Envelope, Fault, FaultKind};
+pub use retry::{call_with_retry, Attempted, RetryPolicy};
 pub use simclock::{CostModel, SimClock, SimDuration};
 pub use tn_service::TnService;

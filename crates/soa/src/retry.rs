@@ -1,0 +1,259 @@
+//! Sim-time retry with capped exponential backoff.
+//!
+//! Transport faults (drops, timeouts, partitions — see
+//! [`FaultKind::Transport`](crate::envelope::FaultKind)) are transient by
+//! definition, so clients retry them. [`RetryPolicy`] describes how: a
+//! bounded number of attempts, exponentially growing waits capped at a
+//! ceiling, and a total sim-time budget per logical call. All waiting is
+//! *simulated* — backoff is charged to the shared [`SimClock`](crate::simclock::SimClock) via
+//! [`SimClock::advance`](crate::simclock::SimClock::advance), never to the host's wall clock — so chaos runs
+//! are fast and, for a fixed fault-plan seed, fully deterministic.
+//!
+//! Application faults are never retried: the endpoint already processed the
+//! request and deterministically rejected it.
+
+use crate::bus::Transport;
+use crate::envelope::{Envelope, Fault};
+use crate::simclock::SimDuration;
+
+/// Backoff histogram bucket bounds (µs): 1 ms … 4 s.
+const BACKOFF_BOUNDS: [u64; 8] = [
+    1_000, 10_000, 50_000, 100_000, 500_000, 1_000_000, 2_000_000, 4_000_000,
+];
+
+/// How a client retries transport faults, entirely in sim-time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum delivery attempts per logical call (first try included).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles each further attempt.
+    pub base_backoff: SimDuration,
+    /// Ceiling on a single backoff wait.
+    pub max_backoff: SimDuration,
+    /// Total sim-time budget for one logical call: once the backoff spent
+    /// on this call reaches the budget, the call fails even if attempts
+    /// remain.
+    pub budget: SimDuration,
+}
+
+impl RetryPolicy {
+    /// The default client policy: 4 attempts, 40 ms → 160 ms backoff,
+    /// 5 s budget.
+    pub fn standard() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: SimDuration::from_millis(40),
+            max_backoff: SimDuration::from_millis(1_000),
+            budget: SimDuration::from_millis(5_000),
+        }
+    }
+
+    /// A policy that never retries (one attempt, zero budget).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: SimDuration::ZERO,
+            max_backoff: SimDuration::ZERO,
+            budget: SimDuration::ZERO,
+        }
+    }
+
+    /// The backoff to wait after failed attempt number `attempt` (1-based):
+    /// `base * 2^(attempt-1)`, capped at [`RetryPolicy::max_backoff`].
+    pub fn backoff_after(&self, attempt: u32) -> SimDuration {
+        let factor = 1u64 << (attempt - 1).min(32);
+        let raw = self.base_backoff * factor;
+        raw.min(self.max_backoff)
+    }
+}
+
+/// The outcome of [`call_with_retry`]: the final result plus how many
+/// delivery attempts it took and how much sim-time was spent backing off.
+#[derive(Debug, Clone)]
+pub struct Attempted {
+    /// The final response or the last fault observed.
+    pub outcome: Result<Envelope, Fault>,
+    /// Delivery attempts made (≥ 1).
+    pub attempts: u32,
+    /// Total backoff charged to the clock for this logical call.
+    pub backoff_spent: SimDuration,
+}
+
+impl Attempted {
+    /// Retries made beyond the first attempt.
+    pub fn retries(&self) -> u64 {
+        u64::from(self.attempts.saturating_sub(1))
+    }
+}
+
+/// Dispatch `request` through `transport`, retrying transport faults per
+/// `policy`. Backoff between attempts is charged to the transport's clock.
+/// Application faults and
+/// [`FaultKind::NoSuchService`](crate::envelope::FaultKind) return
+/// immediately.
+///
+/// When obs is attached to the clock, emits `net.retries` (count of
+/// attempts beyond the first) and a `net.backoff_us` histogram.
+pub fn call_with_retry<T: Transport + ?Sized>(
+    transport: &T,
+    service: &str,
+    request: &Envelope,
+    policy: &RetryPolicy,
+) -> Attempted {
+    let clock = transport.clock();
+    let mut attempts = 0u32;
+    let mut backoff_spent = SimDuration::ZERO;
+    let outcome = loop {
+        attempts += 1;
+        match transport.call(service, request) {
+            Ok(resp) => break Ok(resp),
+            Err(fault) if fault.is_transport() && attempts < policy.max_attempts => {
+                let wait = policy.backoff_after(attempts);
+                if backoff_spent + wait > policy.budget {
+                    break Err(fault);
+                }
+                backoff_spent += wait;
+                clock.advance(wait);
+                let obs = clock.collector();
+                if obs.is_enabled() {
+                    obs.counter_add("net.retries", 1);
+                    if let Some(reg) = obs.registry() {
+                        reg.histogram("net.backoff_us", &BACKOFF_BOUNDS)
+                            .record(wait.0);
+                    }
+                }
+            }
+            Err(fault) => break Err(fault),
+        }
+    };
+    Attempted {
+        outcome,
+        attempts,
+        backoff_spent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::ServiceBus;
+    use crate::simclock::{CostModel, SimClock};
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use trust_vo_credential::Timestamp;
+    use trust_vo_xmldoc::Element;
+
+    /// A transport that fails the first `fail_first` calls with a transport
+    /// fault, then succeeds.
+    struct Flaky {
+        clock: SimClock,
+        fail_first: u32,
+        calls: AtomicU32,
+        fault: Fault,
+    }
+
+    impl Flaky {
+        fn new(fail_first: u32, fault: Fault) -> Self {
+            Flaky {
+                clock: SimClock::new(CostModel::paper_testbed(), Timestamp(0)),
+                fail_first,
+                calls: AtomicU32::new(0),
+                fault,
+            }
+        }
+    }
+
+    impl Transport for Flaky {
+        fn call(&self, _service: &str, request: &Envelope) -> Result<Envelope, Fault> {
+            let n = self.calls.fetch_add(1, Ordering::SeqCst);
+            if n < self.fail_first {
+                Err(self.fault.clone())
+            } else {
+                Ok(Envelope::request(
+                    format!("{}Response", request.operation),
+                    Element::new("ok"),
+                ))
+            }
+        }
+
+        fn clock(&self) -> &SimClock {
+            &self.clock
+        }
+    }
+
+    fn req() -> Envelope {
+        Envelope::request("Echo", Element::new("x"))
+    }
+
+    #[test]
+    fn succeeds_after_transient_faults() {
+        let t = Flaky::new(2, Fault::transport("Timeout", "lost"));
+        let a = call_with_retry(&t, "svc", &req(), &RetryPolicy::standard());
+        assert!(a.outcome.is_ok());
+        assert_eq!(a.attempts, 3);
+        assert_eq!(a.retries(), 2);
+        // backoff 40 + 80 ms charged to the clock
+        assert_eq!(a.backoff_spent, SimDuration::from_millis(120));
+        assert_eq!(t.clock.elapsed(), SimDuration::from_millis(120));
+    }
+
+    #[test]
+    fn gives_up_after_max_attempts() {
+        let t = Flaky::new(100, Fault::transport("Timeout", "lost"));
+        let a = call_with_retry(&t, "svc", &req(), &RetryPolicy::standard());
+        assert_eq!(a.attempts, 4);
+        assert!(a.outcome.unwrap_err().is_transport());
+    }
+
+    #[test]
+    fn application_faults_are_not_retried() {
+        let t = Flaky::new(100, Fault::new("BadState", "nope"));
+        let a = call_with_retry(&t, "svc", &req(), &RetryPolicy::standard());
+        assert_eq!(a.attempts, 1);
+        assert_eq!(a.backoff_spent, SimDuration::ZERO);
+        assert_eq!(a.outcome.unwrap_err().code, "BadState");
+    }
+
+    #[test]
+    fn no_such_service_is_not_retried() {
+        let clock = SimClock::new(CostModel::paper_testbed(), Timestamp(0));
+        let bus = ServiceBus::new(clock);
+        let a = call_with_retry(&bus, "ghost", &req(), &RetryPolicy::standard());
+        assert_eq!(a.attempts, 1);
+        assert_eq!(
+            a.outcome.unwrap_err().kind,
+            crate::envelope::FaultKind::NoSuchService
+        );
+    }
+
+    #[test]
+    fn budget_caps_total_backoff() {
+        let t = Flaky::new(100, Fault::transport("Timeout", "lost"));
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base_backoff: SimDuration::from_millis(100),
+            max_backoff: SimDuration::from_millis(10_000),
+            budget: SimDuration::from_millis(250),
+        };
+        let a = call_with_retry(&t, "svc", &req(), &policy);
+        // 100 ms fits, +200 ms would exceed 250 ms → stop after 2 attempts.
+        assert_eq!(a.attempts, 2);
+        assert_eq!(a.backoff_spent, SimDuration::from_millis(100));
+        assert!(a.outcome.is_err());
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy::standard();
+        assert_eq!(p.backoff_after(1), SimDuration::from_millis(40));
+        assert_eq!(p.backoff_after(2), SimDuration::from_millis(80));
+        assert_eq!(p.backoff_after(3), SimDuration::from_millis(160));
+        assert_eq!(p.backoff_after(10), SimDuration::from_millis(1_000));
+    }
+
+    #[test]
+    fn none_policy_is_single_shot() {
+        let t = Flaky::new(100, Fault::transport("Timeout", "lost"));
+        let a = call_with_retry(&t, "svc", &req(), &RetryPolicy::none());
+        assert_eq!(a.attempts, 1);
+    }
+}

@@ -23,13 +23,16 @@ use crate::simclock::{CostKind, SimClock};
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use trust_vo_credential::Credential;
+use trust_vo_credential::{Credential, TimeRange};
 use trust_vo_negotiation::{
-    evaluate_policies, message::Side, strategy::CredentialFormat, NegotiationConfig, Party,
-    PolicyPhase, Strategy,
+    evaluate_policies, message::Side, strategy::CredentialFormat, view::TrustSequence,
+    NegotiationConfig, Party, PolicyPhase, ResumeCheckpoint, ResumeToken, Strategy,
 };
 use trust_vo_store::Database;
 use trust_vo_xmldoc::{Element, Node};
+
+/// Default lifetime of a resume token, in simulated seconds.
+pub const DEFAULT_RESUME_TTL_SECS: u64 = 3_600;
 
 #[derive(Debug)]
 enum SessionState {
@@ -46,6 +49,11 @@ struct Session {
     resource: String,
     strategy: Strategy,
     state: SessionState,
+    /// Whether the client asked for checkpoint/resume support at start.
+    resumable: bool,
+    /// Durable checkpoint slot: stable across crash/resume cycles, so
+    /// every re-checkpoint of the same negotiation overwrites one row.
+    ck_id: u64,
 }
 
 /// The TN web service endpoint.
@@ -53,8 +61,13 @@ pub struct TnService {
     clock: SimClock,
     db: Database,
     parties: RwLock<BTreeMap<String, Party>>,
+    /// Volatile: a simulated crash (see [`ServiceEndpoint::on_crash`])
+    /// wipes in-flight sessions. Profiles, policies, and checkpoints live
+    /// in the durable [`Database`] and survive.
     sessions: Mutex<BTreeMap<u64, Session>>,
     next_id: AtomicU64,
+    resumed: AtomicU64,
+    resume_ttl_secs: AtomicU64,
 }
 
 impl TnService {
@@ -72,7 +85,20 @@ impl TnService {
             parties: RwLock::new(BTreeMap::new()),
             sessions: Mutex::new(BTreeMap::new()),
             next_id: AtomicU64::new(1),
+            resumed: AtomicU64::new(0),
+            resume_ttl_secs: AtomicU64::new(DEFAULT_RESUME_TTL_SECS),
         }
+    }
+
+    /// How many negotiations were resumed from a checkpoint so far.
+    pub fn resumed_count(&self) -> u64 {
+        self.resumed.load(Ordering::Relaxed)
+    }
+
+    /// Change the resume-token lifetime (simulated seconds). Tokens issued
+    /// after the call use the new value.
+    pub fn set_resume_ttl_secs(&self, secs: u64) {
+        self.resume_ttl_secs.store(secs, Ordering::Relaxed);
     }
 
     /// Register a party: its profile and policies are persisted into the
@@ -135,6 +161,66 @@ impl TnService {
         cfg
     }
 
+    /// Persist a checkpoint for a resumable session into the durable
+    /// `checkpoints` collection (slot `ck_id`, overwritten on every
+    /// progress step) and return the signed [`ResumeToken`] as XML to
+    /// embed in the response. Charges one DB write plus one signature.
+    #[allow(clippy::too_many_arguments)]
+    fn checkpoint(
+        &self,
+        ck_id: u64,
+        requester: &str,
+        controller: &str,
+        resource: &str,
+        strategy: Strategy,
+        sequence: &TrustSequence,
+        next: usize,
+    ) -> Element {
+        let ck = ResumeCheckpoint::new(
+            requester,
+            controller,
+            resource,
+            strategy,
+            sequence.clone(),
+            next,
+        );
+        let digest = ck.digest();
+        self.db.with_collection("checkpoints", |c| {
+            c.put(ck_id.to_string().as_str(), ck.to_xml());
+        });
+        self.clock.charge(CostKind::DbQuery);
+        let (holder_key, issuer_keys) = {
+            let parties = self.parties.read();
+            (
+                parties.get(requester).expect("validated").keys.public,
+                parties.get(controller).expect("validated").keys.clone(),
+            )
+        };
+        let now = self.clock.timestamp();
+        let ttl = self.resume_ttl_secs.load(Ordering::Relaxed);
+        let validity = TimeRange::new(now, now.plus_seconds(ttl as i64));
+        self.clock.charge(CostKind::SignatureSign);
+        ResumeToken::issue(
+            ck_id,
+            requester,
+            holder_key,
+            controller,
+            &issuer_keys,
+            resource,
+            digest,
+            validity,
+        )
+        .to_xml()
+    }
+
+    /// Retire the checkpoint slot of a finished negotiation.
+    fn drop_checkpoint(&self, ck_id: u64) {
+        self.db.with_collection("checkpoints", |c| {
+            c.delete(&trust_vo_store::DocId(ck_id.to_string()));
+        });
+        self.clock.charge(CostKind::DbQuery);
+    }
+
     fn start_negotiation(&self, request: &Envelope) -> Result<Envelope, Fault> {
         let body = &request.body;
         let get = |name: &str| -> Result<String, Fault> {
@@ -161,6 +247,7 @@ impl TnService {
         }
         // "opens the connection with \[the\] database".
         self.clock.charge(CostKind::DbQuery);
+        let resumable = body.get_attr("resumable") == Some("true");
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         self.sessions.lock().insert(
             id,
@@ -170,6 +257,8 @@ impl TnService {
                 resource,
                 strategy,
                 state: SessionState::Started,
+                resumable,
+                ck_id: id,
             },
         );
         Ok(Envelope::request(
@@ -225,13 +314,27 @@ impl TnService {
                             .attr("credId", &d.cred_id.0),
                     ));
                 }
-                let response = Element::new("PolicyExchangeResponse")
+                let mut response = Element::new("PolicyExchangeResponse")
                     .attr(
                         "policiesDisclosed",
                         phase.transcript.policies_disclosed.to_string(),
                     )
                     .attr("rounds", phase.transcript.policy_rounds.to_string())
                     .child(seq_el);
+                if session.resumable {
+                    // Phase 1 is the expensive part: checkpoint it now so a
+                    // mid-phase-2 interruption never repeats it.
+                    let token = self.checkpoint(
+                        session.ck_id,
+                        &session.requester,
+                        &session.controller,
+                        &session.resource,
+                        session.strategy,
+                        &phase.sequence,
+                        0,
+                    );
+                    response.children.push(Node::Element(token));
+                }
                 session.state = SessionState::Sequenced { phase, next: 0 };
                 Ok(Envelope::request("PolicyExchangeResponse", response).with_negotiation(id))
             }
@@ -267,6 +370,9 @@ impl TnService {
         let disclosures = phase.sequence.disclosures();
         if *next >= disclosures.len() {
             session.state = SessionState::Completed;
+            if session.resumable {
+                self.drop_checkpoint(session.ck_id);
+            }
             return Ok(Envelope::request(
                 "CredentialExchangeResponse",
                 Element::new("CredentialExchangeResponse").attr("status", "completed"),
@@ -310,22 +416,144 @@ impl TnService {
         if let Err(cause) = check {
             let reason = cause.to_string();
             session.state = SessionState::Failed(reason.clone());
+            if session.resumable {
+                // A trust failure is terminal — resuming cannot fix it.
+                self.drop_checkpoint(session.ck_id);
+            }
             return Err(Fault::new("TrustFailure", reason));
         }
         *next += 1;
-        let remaining = disclosures.len() - *next;
+        let progressed = *next;
+        let remaining = disclosures.len() - progressed;
+        let sequence = (remaining > 0 && session.resumable).then(|| phase.sequence.clone());
         let status = if remaining == 0 {
             session.state = SessionState::Completed;
+            if session.resumable {
+                self.drop_checkpoint(session.ck_id);
+            }
             "completed"
         } else {
             "in-progress"
         };
+        let mut response = Element::new("CredentialExchangeResponse")
+            .attr("status", status)
+            .attr("remaining", remaining.to_string())
+            .child(cred.to_xml());
+        if let Some(sequence) = sequence {
+            // Re-checkpoint after every verified disclosure: a resumed
+            // session replays from here, not from the start of phase 2.
+            let token = self.checkpoint(
+                session.ck_id,
+                &session.requester,
+                &session.controller,
+                &session.resource,
+                session.strategy,
+                &sequence,
+                progressed,
+            );
+            response.children.push(Node::Element(token));
+        }
+        Ok(Envelope::request("CredentialExchangeResponse", response).with_negotiation(id))
+    }
+
+    /// `ResumeNegotiation`: verify a presented [`ResumeToken`], reload the
+    /// durable checkpoint it names, and rebuild the session under a fresh
+    /// negotiation id with the credential-exchange cursor restored. The
+    /// token is checked for issuer signature, half-open validity at the
+    /// current sim instant, and binding to the *registered* keys of both
+    /// parties; the checkpoint row is cross-checked against the token's
+    /// party and resource names. The controller's durable checkpoint is
+    /// authoritative: if it is ahead of the checkpoint the client last saw
+    /// (its response was lost in flight), resuming skips the disclosures
+    /// the service already verified.
+    fn resume_negotiation(&self, request: &Envelope) -> Result<Envelope, Fault> {
+        let token_el = request
+            .body
+            .first("ResumeToken")
+            .ok_or_else(|| Fault::new("BadRequest", "missing <ResumeToken>"))?;
+        let token = ResumeToken::from_xml(token_el)
+            .ok_or_else(|| Fault::new("BadRequest", "malformed <ResumeToken>"))?;
+        {
+            let parties = self.parties.read();
+            let holder = parties.get(&token.holder).ok_or_else(|| {
+                Fault::new(
+                    "UnknownParty",
+                    format!("party '{}' not registered", token.holder),
+                )
+            })?;
+            let issuer = parties.get(&token.issuer).ok_or_else(|| {
+                Fault::new(
+                    "UnknownParty",
+                    format!("party '{}' not registered", token.issuer),
+                )
+            })?;
+            if token.holder_key != holder.keys.public || token.issuer_key != issuer.keys.public {
+                return Err(Fault::new(
+                    "InvalidToken",
+                    "token keys do not match registered parties",
+                ));
+            }
+        }
+        self.clock.charge(CostKind::SignatureVerify);
+        token
+            .verify(self.clock.timestamp())
+            .map_err(|e| Fault::new("InvalidToken", e.to_string()))?;
+        self.clock.charge(CostKind::DbQuery);
+        let stored = self.db.with_collection("checkpoints", |c| {
+            c.get(&trust_vo_store::DocId(token.token_id.to_string()))
+                .cloned()
+        });
+        let stored = stored.ok_or_else(|| {
+            Fault::new(
+                "NoSuchCheckpoint",
+                format!("checkpoint slot {} is gone", token.token_id),
+            )
+        })?;
+        let ck = ResumeCheckpoint::from_xml(&stored)
+            .ok_or_else(|| Fault::new("BadCheckpoint", "stored checkpoint is malformed"))?;
+        if ck.requester != token.holder
+            || ck.controller != token.issuer
+            || ck.resource != token.resource
+        {
+            return Err(Fault::new(
+                "InvalidToken",
+                "token does not match the stored checkpoint's session",
+            ));
+        }
+        let (next, remaining) = (ck.next, ck.remaining());
+        let (strategy, requester, controller, resource) = (
+            ck.strategy,
+            ck.requester.clone(),
+            ck.controller.clone(),
+            ck.resource.clone(),
+        );
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.sessions.lock().insert(
+            id,
+            Session {
+                requester,
+                controller,
+                resource,
+                strategy,
+                state: SessionState::Sequenced {
+                    phase: ck.into_phase(),
+                    next,
+                },
+                resumable: true,
+                ck_id: token.token_id,
+            },
+        );
+        self.resumed.fetch_add(1, Ordering::Relaxed);
+        let obs = self.clock.collector();
+        if obs.is_enabled() {
+            obs.counter_add("negotiation.resumed", 1);
+        }
         Ok(Envelope::request(
-            "CredentialExchangeResponse",
-            Element::new("CredentialExchangeResponse")
-                .attr("status", status)
-                .attr("remaining", remaining.to_string())
-                .child(cred.to_xml()),
+            "ResumeNegotiationResponse",
+            Element::new("ResumeNegotiationResponse")
+                .attr("status", "resumed")
+                .attr("next", next.to_string())
+                .attr("remaining", remaining.to_string()),
         )
         .with_negotiation(id))
     }
@@ -357,6 +585,7 @@ impl ServiceEndpoint for TnService {
                 "StartNegotiation" => Some("tn.start_negotiation"),
                 "PolicyExchange" => Some("tn.policy_exchange"),
                 "CredentialExchange" => Some("tn.credential_exchange"),
+                "ResumeNegotiation" => Some("tn.resume_negotiation"),
                 _ => None,
             };
             if let Some(name) = counter {
@@ -367,6 +596,7 @@ impl ServiceEndpoint for TnService {
             "StartNegotiation" => self.start_negotiation(request),
             "PolicyExchange" => self.policy_exchange(request),
             "CredentialExchange" => self.credential_exchange(request),
+            "ResumeNegotiation" => self.resume_negotiation(request),
             other => Err(Fault::new(
                 "NoSuchOperation",
                 format!("operation '{other}' not supported"),
@@ -383,7 +613,21 @@ impl ServiceEndpoint for TnService {
             "StartNegotiation".into(),
             "PolicyExchange".into(),
             "CredentialExchange".into(),
+            "ResumeNegotiation".into(),
         ]
+    }
+
+    /// A simulated crash/restart: in-flight sessions (volatile memory) are
+    /// lost; the party registry, profiles, policies, and negotiation
+    /// checkpoints (durable database) survive. Clients holding a resume
+    /// token re-attach via `ResumeNegotiation`.
+    fn on_crash(&self) {
+        self.sessions.lock().clear();
+        let obs = self.clock.collector();
+        if obs.is_enabled() {
+            obs.counter_add("tn.crashes", 1);
+            obs.event("tn.crash", vec![]);
+        }
     }
 }
 
@@ -599,6 +843,149 @@ mod tests {
         let stats = svc.database().stats();
         assert!(stats.collections >= 2);
         assert!(stats.documents >= 4); // 2 profiles + >= 2 policies
+    }
+
+    fn start_resumable(svc: &TnService) -> u64 {
+        let resp = svc
+            .handle(&Envelope::request(
+                "StartNegotiation",
+                Element::new("StartNegotiationRequest")
+                    .attr("resumable", "true")
+                    .child(Element::new("strategy").text("standard"))
+                    .child(Element::new("requester").text("Aerospace"))
+                    .child(Element::new("counterpartUrl").text("Aircraft"))
+                    .child(Element::new("resource").text("VoMembership")),
+            ))
+            .unwrap();
+        resp.negotiation_id.unwrap()
+    }
+
+    fn exchange(svc: &TnService, id: u64) -> Result<Envelope, Fault> {
+        svc.handle(
+            &Envelope::request(
+                "CredentialExchange",
+                Element::new("CredentialExchangeRequest"),
+            )
+            .with_negotiation(id),
+        )
+    }
+
+    #[test]
+    fn non_resumable_sessions_issue_no_tokens() {
+        let svc = service_with_fig2();
+        let id = start(&svc, "standard");
+        let policy = svc
+            .handle(&Envelope::request("PolicyExchange", Element::new("x")).with_negotiation(id))
+            .unwrap();
+        assert!(policy.body.first("ResumeToken").is_none());
+        let resp = exchange(&svc, id).unwrap();
+        assert!(resp.body.first("ResumeToken").is_none());
+    }
+
+    #[test]
+    fn resumable_negotiation_survives_crash() {
+        let svc = service_with_fig2();
+        let id = start_resumable(&svc);
+        let policy = svc
+            .handle(&Envelope::request("PolicyExchange", Element::new("x")).with_negotiation(id))
+            .unwrap();
+        // Phase 1 checkpointed immediately: the response carries a token.
+        assert!(policy.body.first("ResumeToken").is_some());
+        // One verified disclosure; its response carries a fresher token.
+        let resp = exchange(&svc, id).unwrap();
+        assert_eq!(resp.body.get_attr("status"), Some("in-progress"));
+        let token = resp.body.first("ResumeToken").unwrap().clone();
+
+        // The endpoint crashes: volatile sessions are gone...
+        svc.on_crash();
+        let err = exchange(&svc, id).unwrap_err();
+        assert_eq!(err.code, "NoSuchNegotiation");
+
+        // ...but the durable checkpoint resumes under a fresh id, with the
+        // cursor where the crash left it (1 of 2 disclosures done).
+        let resume = svc
+            .handle(&Envelope::request(
+                "ResumeNegotiation",
+                Element::new("ResumeNegotiationRequest").child(token),
+            ))
+            .unwrap();
+        assert_eq!(resume.body.get_attr("status"), Some("resumed"));
+        assert_eq!(resume.body.get_attr("next"), Some("1"));
+        assert_eq!(resume.body.get_attr("remaining"), Some("1"));
+        let new_id = resume.negotiation_id.unwrap();
+        assert_ne!(new_id, id);
+
+        let resp = exchange(&svc, new_id).unwrap();
+        assert_eq!(resp.body.get_attr("status"), Some("completed"));
+        assert!(svc.is_completed(new_id));
+        assert_eq!(svc.resumed_count(), 1);
+    }
+
+    #[test]
+    fn completed_negotiation_retires_its_checkpoint() {
+        let svc = service_with_fig2();
+        let id = start_resumable(&svc);
+        let policy = svc
+            .handle(&Envelope::request("PolicyExchange", Element::new("x")).with_negotiation(id))
+            .unwrap();
+        let token = policy.body.first("ResumeToken").unwrap().clone();
+        while exchange(&svc, id).unwrap().body.get_attr("status") != Some("completed") {}
+        assert_eq!(
+            svc.database().with_collection("checkpoints", |c| c.len()),
+            0,
+            "checkpoint slot must be retired on completion"
+        );
+        // A stale token for the retired slot cannot resurrect the session.
+        let err = svc
+            .handle(&Envelope::request(
+                "ResumeNegotiation",
+                Element::new("ResumeNegotiationRequest").child(token),
+            ))
+            .unwrap_err();
+        assert_eq!(err.code, "NoSuchCheckpoint");
+    }
+
+    #[test]
+    fn expired_resume_token_is_rejected() {
+        let svc = service_with_fig2();
+        svc.set_resume_ttl_secs(1);
+        let id = start_resumable(&svc);
+        let policy = svc
+            .handle(&Envelope::request("PolicyExchange", Element::new("x")).with_negotiation(id))
+            .unwrap();
+        let token = policy.body.first("ResumeToken").unwrap().clone();
+        svc.on_crash();
+        // Two virtual seconds later the 1 s token is past its (exclusive)
+        // end instant.
+        svc.clock
+            .advance(crate::simclock::SimDuration::from_millis(2_000));
+        let err = svc
+            .handle(&Envelope::request(
+                "ResumeNegotiation",
+                Element::new("ResumeNegotiationRequest").child(token),
+            ))
+            .unwrap_err();
+        assert_eq!(err.code, "InvalidToken");
+        assert_eq!(svc.resumed_count(), 0);
+    }
+
+    #[test]
+    fn tampered_resume_token_is_rejected() {
+        let svc = service_with_fig2();
+        let id = start_resumable(&svc);
+        let policy = svc
+            .handle(&Envelope::request("PolicyExchange", Element::new("x")).with_negotiation(id))
+            .unwrap();
+        let mut token = policy.body.first("ResumeToken").unwrap().clone();
+        token.attrs.retain(|(n, _)| n != "resource");
+        let token = token.attr("resource", "SomethingElse");
+        let err = svc
+            .handle(&Envelope::request(
+                "ResumeNegotiation",
+                Element::new("ResumeNegotiationRequest").child(token),
+            ))
+            .unwrap_err();
+        assert_eq!(err.code, "InvalidToken");
     }
 }
 

@@ -2,6 +2,7 @@
 
 use crate::lifecycle::Phase;
 use trust_vo_negotiation::NegotiationError;
+use trust_vo_soa::Fault;
 
 /// Errors raised by the VO Management toolkit.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,6 +40,9 @@ pub enum VoError {
     },
     /// A trust negotiation failed.
     Negotiation(NegotiationError),
+    /// The transport to the TN web service failed even after the retry
+    /// and resume budgets were exhausted.
+    Transport(Fault),
     /// The member's membership certificate failed verification during the
     /// operation phase.
     InvalidMembership {
@@ -77,6 +81,13 @@ impl std::fmt::Display for VoError {
                 )
             }
             Self::Negotiation(e) => write!(f, "trust negotiation failed: {e}"),
+            Self::Transport(fault) => {
+                write!(
+                    f,
+                    "TN service unreachable: [{}] {}",
+                    fault.code, fault.reason
+                )
+            }
             Self::InvalidMembership { member, detail } => {
                 write!(f, "membership certificate of '{member}' invalid: {detail}")
             }
@@ -134,6 +145,10 @@ mod tests {
                     detail: "expired".into(),
                 },
                 "expired",
+            ),
+            (
+                VoError::Transport(Fault::transport("Timeout", "request lost")),
+                "TN service unreachable",
             ),
         ];
         for (err, needle) in cases {

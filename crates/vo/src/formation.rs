@@ -123,7 +123,11 @@ pub fn charge_negotiation(clock: &SimClock, transcript: &Transcript) {
 /// with the contract's Identification-phase policies for that role merged
 /// in ("policies are created for the specific VO and in particular for the
 /// roles", §5.1).
-fn initiator_party_for_role(initiator: &ServiceProvider, contract: &Contract, role: &str) -> Party {
+pub(crate) fn initiator_party_for_role(
+    initiator: &ServiceProvider,
+    contract: &Contract,
+    role: &str,
+) -> Party {
     let mut party = initiator.party.clone();
     if let Some(set) = contract.policies_for(role) {
         for policy in set.iter() {
@@ -163,7 +167,7 @@ fn issue_membership(
 }
 
 /// How a join attempt resolves its trust negotiation.
-enum TnAction<'a> {
+pub(crate) enum TnAction<'a> {
     /// No TN (the paper's plain join bar).
     Skip,
     /// Negotiate now, at a fixed virtual instant, optionally through a
@@ -177,6 +181,9 @@ enum TnAction<'a> {
     /// `None` means the speculation pass skipped this pair; reaching it is
     /// a bug because speculation covers every accepting candidate.
     Precomputed(Option<Result<NegotiationOutcome, NegotiationError>>),
+    /// A verdict already reached — and charged to the sim clock — by the
+    /// TN web service (the resilient, transport-driven formation path).
+    External(Result<(), NegotiationError>),
 }
 
 /// The §6.3.1 join process for one member, with or without TN.
@@ -214,7 +221,7 @@ pub fn join_member(
 /// formation span, if any — the attempt's own span (and the negotiation
 /// spans under it) hang off it.
 #[allow(clippy::too_many_arguments)]
-fn join_attempt(
+pub(crate) fn join_attempt(
     vo: &mut FormedVo,
     initiator: &ServiceProvider,
     candidate: &ServiceProvider,
@@ -265,8 +272,10 @@ fn join_attempt(
     clock.charge(CostKind::GuiStep); // accept click + reply
     clock.charge(CostKind::SoapRoundTrip);
 
-    // The interleaved trust negotiation (Fig. 3, arrow 0 / Fig. 4).
-    let outcome = match tn {
+    // The interleaved trust negotiation (Fig. 3, arrow 0 / Fig. 4). The
+    // inner `Option<NegotiationOutcome>` is `None` when the verdict was
+    // reached (and charged) elsewhere — the TN-web-service-driven path.
+    let outcome: Option<Result<Option<NegotiationOutcome>, NegotiationError>> = match tn {
         TnAction::Skip => None,
         TnAction::Negotiate {
             strategy,
@@ -276,22 +285,30 @@ fn join_attempt(
             let initiator_party = initiator_party_for_role(initiator, &vo.contract, role);
             let cfg = NegotiationConfig::new(strategy, at)
                 .with_obs(ObsContext::new(obs.clone()).with_parent(span.id()));
-            Some(match cache {
+            let result = match cache {
                 Some(shared) => {
                     shared.negotiate(&candidate.party, &initiator_party, "VoMembership", &cfg)
                 }
                 None => negotiate(&candidate.party, &initiator_party, "VoMembership", &cfg),
-            })
+            };
+            Some(result.map(Some))
         }
         TnAction::Precomputed(outcome) => {
             obs.counter_add("formation.replayed", 1);
-            Some(outcome.expect("speculation covered every accepting candidate"))
+            Some(
+                outcome
+                    .expect("speculation covered every accepting candidate")
+                    .map(Some),
+            )
         }
+        TnAction::External(verdict) => Some(verdict.map(|()| None)),
     };
     if let Some(result) = outcome {
         match result {
             Ok(outcome) => {
-                charge_negotiation(clock, &outcome.transcript);
+                if let Some(outcome) = outcome {
+                    charge_negotiation(clock, &outcome.transcript);
+                }
                 reputation.record_success(candidate.name());
             }
             Err(e) => {

@@ -37,6 +37,7 @@ pub mod operation;
 pub mod persist;
 pub mod registry;
 pub mod reputation;
+pub mod resilient;
 pub mod scenario;
 pub mod service;
 pub mod toolkit;
@@ -49,5 +50,9 @@ pub use lifecycle::{Phase, VoLifecycle};
 pub use member::{MemberRecord, ServiceProvider};
 pub use registry::{ResourceDescription, ServiceRegistry};
 pub use reputation::ReputationLedger;
+pub use resilient::{
+    controller_name, form_vo_resilient, form_vo_resilient_parallel, register_formation_parties,
+    FormationResilience,
+};
 pub use scenario::AircraftScenario;
 pub use toolkit::VoToolkit;

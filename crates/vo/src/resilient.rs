@@ -1,0 +1,616 @@
+//! Formation driven through the TN *web service* over an unreliable
+//! transport (paper §6: the toolkit invokes trust negotiation "as a web
+//! service when needed").
+//!
+//! [`form_vo`](crate::form_vo) negotiates in-process; the functions here
+//! instead route every trust negotiation through a
+//! [`TnService`] behind any [`Transport`] — the bare
+//! [`ServiceBus`](trust_vo_soa::ServiceBus) or the fault-injecting
+//! `trust-vo-netsim` wrapper — using the resilient client driver
+//! (per-call retry with capped backoff, plus checkpointed negotiation
+//! resume when an endpoint crashes mid-exchange).
+//!
+//! The admission *decision procedure* — candidate ranking, attempt order,
+//! reputation updates, GUI charges, certificate issue — is the same
+//! `join_attempt` the in-process path uses; only the verdict source
+//! differs. Per-role disclosure policies live in a dedicated controller
+//! identity per role (see [`register_formation_parties`]), mirroring how
+//! the paper's initiator authors "policies … for the specific VO and in
+//! particular for the roles" (§5.1).
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+use trust_vo_negotiation::{NegotiationError, Strategy};
+use trust_vo_soa::simclock::CostKind;
+use trust_vo_soa::{
+    run_negotiation_resilient, Fault, ResilientRun, ResumePolicy, RetryPolicy, TnService, Transport,
+};
+
+use crate::contract::Contract;
+use crate::error::VoError;
+use crate::formation::{create_vo, initiator_party_for_role, join_attempt, FormedVo, TnAction};
+use crate::lifecycle::Phase;
+use crate::mailbox::MailboxSystem;
+use crate::member::ServiceProvider;
+use crate::registry::ServiceRegistry;
+use crate::reputation::ReputationLedger;
+
+/// Recovery work the transport-driven formation performed, summed over
+/// every trust negotiation it ran.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FormationResilience {
+    /// Negotiations completed through the service.
+    pub negotiations: u64,
+    /// Transport-level call retries.
+    pub retries: u64,
+    /// Sessions resumed from a durable checkpoint.
+    pub resumes: u64,
+    /// Sessions restarted from phase 1.
+    pub restarts: u64,
+}
+
+impl FormationResilience {
+    fn absorb(&mut self, run: &ResilientRun) {
+        self.negotiations += 1;
+        self.retries += run.retries;
+        self.resumes += run.resumes;
+        self.restarts += run.restarts;
+    }
+}
+
+/// The service-registry name of the initiator's per-role controller
+/// identity.
+pub fn controller_name(initiator: &str, role: &str) -> String {
+    format!("{initiator}/{role}")
+}
+
+/// Registers everything the TN service needs to arbitrate this
+/// formation: one controller identity per contract role (the initiator's
+/// party with that role's disclosure policies merged in) and every
+/// candidate provider under its own name.
+pub fn register_formation_parties(
+    service: &TnService,
+    contract: &Contract,
+    initiator: &ServiceProvider,
+    providers: &BTreeMap<String, ServiceProvider>,
+) {
+    for role in &contract.roles {
+        let mut controller = initiator_party_for_role(initiator, contract, &role.name);
+        controller.name = controller_name(initiator.name(), &role.name);
+        service.register_party(controller);
+    }
+    for provider in providers.values() {
+        service.register_party(provider.party.clone());
+    }
+}
+
+/// FNV-1a over a name pair: a stable per-(role, candidate) word for
+/// deriving idempotency-key seeds.
+fn pair_seed(seed: u64, role: &str, candidate: &str) -> u64 {
+    let mut h: u64 = seed ^ 0xCBF2_9CE4_8422_2325;
+    for b in role
+        .as_bytes()
+        .iter()
+        .chain([0xFFu8].iter())
+        .chain(candidate.as_bytes())
+    {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Classify a service fault: transport exhaustion aborts the formation,
+/// anything else is that candidate's negative verdict.
+fn verdict_from_fault(fault: Fault) -> Result<TnAction<'static>, VoError> {
+    if fault.is_transport() {
+        return Err(VoError::Transport(fault));
+    }
+    Ok(TnAction::External(Err(NegotiationError::Interrupted {
+        reason: format!("[{}] {}", fault.code, fault.reason),
+    })))
+}
+
+/// A verdict-table key: (role name, provider name).
+type PairKey = (String, String);
+
+/// The shared decision procedure: the serial Formation loop with each
+/// accepting candidate's trust-negotiation verdict supplied by `verdict`.
+#[allow(clippy::too_many_arguments)]
+fn admit_with<'a>(
+    contract: Contract,
+    initiator: &ServiceProvider,
+    providers: &BTreeMap<String, ServiceProvider>,
+    registry: &ServiceRegistry,
+    mailboxes: &mut MailboxSystem,
+    reputation: &mut ReputationLedger,
+    clock: &trust_vo_soa::SimClock,
+    mut verdict: impl FnMut(&str, &ServiceProvider) -> Result<TnAction<'a>, VoError>,
+) -> Result<FormedVo, VoError> {
+    let mut vo = create_vo(contract, initiator, clock);
+    let obs = clock.collector();
+    let mut root_span = obs.span("formation.form_vo_resilient");
+    if root_span.id().is_some() {
+        root_span.field("vo", vo.name.as_str());
+        root_span.field("roles", vo.contract.roles.len());
+    }
+    let parent = root_span.id();
+    let roles: Vec<_> = vo.contract.roles.clone();
+    for role in &roles {
+        clock.charge(CostKind::DbQuery);
+        let mut candidates: Vec<&crate::registry::ResourceDescription> =
+            registry.find_by_capability(&role.capability);
+        if candidates.is_empty() {
+            root_span.field("outcome", "no-candidates");
+            return Err(VoError::NoCandidates {
+                role: role.name.clone(),
+            });
+        }
+        candidates.sort_by(|a, b| {
+            let score =
+                |d: &crate::registry::ResourceDescription| d.quality * reputation.get(&d.provider);
+            score(b)
+                .partial_cmp(&score(a))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.provider.cmp(&b.provider))
+        });
+        let mut tried = Vec::new();
+        let mut assigned = false;
+        for description in candidates {
+            let Some(candidate) = providers.get(&description.provider) else {
+                continue;
+            };
+            tried.push(candidate.name().to_owned());
+            // Declining candidates turn back inside join_attempt before
+            // the verdict is consumed, so don't negotiate for them.
+            let action = if candidate.accepts_invitations {
+                verdict(&role.name, candidate)?
+            } else {
+                TnAction::External(Ok(()))
+            };
+            match join_attempt(
+                &mut vo, initiator, candidate, &role.name, mailboxes, reputation, clock, action,
+                parent,
+            ) {
+                Ok(_) => {
+                    assigned = true;
+                    break;
+                }
+                Err(_) => continue, // "looks for other potential members"
+            }
+        }
+        if !assigned {
+            root_span.field("outcome", "role-unfilled");
+            return Err(VoError::RoleUnfilled {
+                role: role.name.clone(),
+                tried,
+            });
+        }
+    }
+    vo.lifecycle
+        .advance_to(Phase::Operation, clock.timestamp())
+        .expect("formation advances to operation");
+    root_span.field("outcome", "ok");
+    root_span.field("members", vo.members.len());
+    Ok(vo)
+}
+
+/// Run the Formation phase with every trust negotiation driven through
+/// the TN service registered as `service_name` on `transport`.
+///
+/// Negotiations use the resilient client driver: each SOAP call carries
+/// an idempotency key and is retried under `retry`; exhausted budgets and
+/// endpoint crashes fall back to checkpointed resume under `resume`. A
+/// transport fault that survives both budgets aborts the formation with
+/// [`VoError::Transport`]. `seed` parameterizes the per-negotiation
+/// idempotency-key streams, so a fixed `(seed, FaultPlan)` pair replays
+/// the identical formation.
+#[allow(clippy::too_many_arguments)]
+pub fn form_vo_resilient<T: Transport + ?Sized>(
+    contract: Contract,
+    initiator: &ServiceProvider,
+    providers: &BTreeMap<String, ServiceProvider>,
+    registry: &ServiceRegistry,
+    mailboxes: &mut MailboxSystem,
+    reputation: &mut ReputationLedger,
+    transport: &T,
+    service_name: &str,
+    strategy: Strategy,
+    retry: &RetryPolicy,
+    resume: &ResumePolicy,
+    seed: u64,
+) -> Result<(FormedVo, FormationResilience), VoError> {
+    let initiator_name = initiator.name().to_owned();
+    let mut stats = FormationResilience::default();
+    let vo = admit_with(
+        contract,
+        initiator,
+        providers,
+        registry,
+        mailboxes,
+        reputation,
+        transport.clock(),
+        |role, candidate| {
+            let run = run_negotiation_resilient(
+                transport,
+                service_name,
+                candidate.name(),
+                &controller_name(&initiator_name, role),
+                "VoMembership",
+                strategy,
+                retry,
+                resume,
+                pair_seed(seed, role, candidate.name()),
+            );
+            match run {
+                Ok(run) => {
+                    stats.absorb(&run);
+                    Ok(TnAction::External(Ok(())))
+                }
+                Err(fault) => {
+                    if !fault.is_transport() {
+                        // A negative verdict is still a completed
+                        // negotiation; only transport exhaustion is not.
+                        stats.negotiations += 1;
+                    }
+                    verdict_from_fault(fault)
+                }
+            }
+        },
+    )?;
+    Ok((vo, stats))
+}
+
+/// [`form_vo_resilient`], with the per-candidate negotiations fanned out
+/// over a scoped thread pool before the serial admission replay —
+/// the transport-driven analogue of
+/// [`form_vo_parallel`](crate::form_vo_parallel).
+///
+/// Loss/duplication decisions depend only on each call's idempotency-key
+/// stream, so with no outage windows in play the parallel run admits the
+/// same members and burns the same simulated time as the serial one.
+/// (Crash windows fire on whichever call reaches them first and are only
+/// deterministic under a serial drive.)
+#[allow(clippy::too_many_arguments)]
+pub fn form_vo_resilient_parallel<T: Transport + Sync + ?Sized>(
+    contract: Contract,
+    initiator: &ServiceProvider,
+    providers: &BTreeMap<String, ServiceProvider>,
+    registry: &ServiceRegistry,
+    mailboxes: &mut MailboxSystem,
+    reputation: &mut ReputationLedger,
+    transport: &T,
+    service_name: &str,
+    strategy: Strategy,
+    retry: &RetryPolicy,
+    resume: &ResumePolicy,
+    seed: u64,
+    workers: usize,
+) -> Result<(FormedVo, FormationResilience), VoError> {
+    // One job per (role, accepting candidate), exactly the pairs the
+    // admission loop could ever ask about.
+    let mut jobs: Vec<(String, String)> = Vec::new();
+    let mut seen: HashSet<PairKey> = HashSet::new();
+    for role in &contract.roles {
+        for description in registry.find_by_capability(&role.capability) {
+            let Some(candidate) = providers.get(&description.provider) else {
+                continue;
+            };
+            if !candidate.accepts_invitations {
+                continue;
+            }
+            if seen.insert((role.name.clone(), candidate.name().to_owned())) {
+                jobs.push((role.name.clone(), candidate.name().to_owned()));
+            }
+        }
+    }
+
+    let initiator_name = initiator.name().to_owned();
+    let table: Mutex<HashMap<PairKey, Result<ResilientRun, Fault>>> =
+        Mutex::new(HashMap::with_capacity(jobs.len()));
+    let next = AtomicUsize::new(0);
+    let workers = workers.max(1).min(jobs.len().max(1));
+    crossbeam::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some((role, candidate)) = jobs.get(i) else {
+                    break;
+                };
+                let run = run_negotiation_resilient(
+                    transport,
+                    service_name,
+                    candidate,
+                    &controller_name(&initiator_name, role),
+                    "VoMembership",
+                    strategy,
+                    retry,
+                    resume,
+                    pair_seed(seed, role, candidate),
+                );
+                table.lock().insert((role.clone(), candidate.clone()), run);
+            });
+        }
+    })
+    .expect("negotiation workers do not panic");
+
+    let mut stats = FormationResilience::default();
+    let mut table = table.into_inner();
+    let vo = admit_with(
+        contract,
+        initiator,
+        providers,
+        registry,
+        mailboxes,
+        reputation,
+        transport.clock(),
+        |role, candidate| {
+            let key = (role.to_owned(), candidate.name().to_owned());
+            match table
+                .remove(&key)
+                .expect("fan-out covered every accepting candidate")
+            {
+                Ok(run) => {
+                    stats.absorb(&run);
+                    Ok(TnAction::External(Ok(())))
+                }
+                Err(fault) => {
+                    if !fault.is_transport() {
+                        // A negative verdict is still a completed
+                        // negotiation; only transport exhaustion is not.
+                        stats.negotiations += 1;
+                    }
+                    verdict_from_fault(fault)
+                }
+            }
+        },
+    )?;
+    Ok((vo, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contract::Role;
+    use crate::form_vo;
+    use crate::registry::ResourceDescription;
+    use std::sync::Arc;
+    use trust_vo_credential::{CredentialAuthority, TimeRange, Timestamp};
+    use trust_vo_negotiation::Party;
+    use trust_vo_policy::{DisclosurePolicy, PolicySet, Resource, Term};
+    use trust_vo_soa::simclock::{CostModel, SimClock};
+    use trust_vo_soa::ServiceBus;
+    use trust_vo_store::Database;
+
+    fn clock() -> SimClock {
+        SimClock::new(
+            CostModel::paper_testbed(),
+            Timestamp::from_ymd_hms(2009, 6, 1, 0, 0, 0),
+        )
+    }
+
+    fn world() -> (
+        Contract,
+        ServiceProvider,
+        BTreeMap<String, ServiceProvider>,
+        ServiceRegistry,
+    ) {
+        let mut ca = CredentialAuthority::new("AAA");
+        let window = TimeRange::one_year_from(Timestamp::from_ymd_hms(2009, 1, 1, 0, 0, 0));
+
+        let mut initiator_party = Party::new("Aircraft");
+        let mut good = Party::new("Aerospace");
+        let quality = ca
+            .issue(
+                "WebDesignerQuality",
+                "Aerospace",
+                good.keys.public,
+                vec![],
+                window,
+            )
+            .unwrap();
+        good.profile.add(quality);
+        good.trust_root(ca.public_key());
+        initiator_party.trust_root(ca.public_key());
+        let bad = Party::new("Shady Co");
+
+        let mut contract = Contract::new("AircraftOptimization", "low emissions")
+            .with_role(Role::new("DesignPortal", "design-db", "ISO 9000"));
+        let mut policies = PolicySet::new();
+        policies.add(DisclosurePolicy::rule(
+            "vo-p1",
+            Resource::service("VoMembership"),
+            vec![Term::of_type("WebDesignerQuality")],
+        ));
+        contract.set_role_policies("DesignPortal", policies);
+
+        let mut registry = ServiceRegistry::new();
+        registry.publish(ResourceDescription::new("Shady Co", "design-db", "x", 0.99));
+        registry.publish(ResourceDescription::new("Aerospace", "design-db", "x", 0.9));
+
+        let mut providers = BTreeMap::new();
+        providers.insert("Aerospace".to_owned(), ServiceProvider::new(good));
+        providers.insert("Shady Co".to_owned(), ServiceProvider::new(bad));
+        (
+            contract,
+            ServiceProvider::new(initiator_party),
+            providers,
+            registry,
+        )
+    }
+
+    fn service_bus(
+        contract: &Contract,
+        initiator: &ServiceProvider,
+        providers: &BTreeMap<String, ServiceProvider>,
+    ) -> ServiceBus {
+        let clock = clock();
+        let bus = ServiceBus::new(clock.clone());
+        let svc = TnService::new(clock, Database::new());
+        register_formation_parties(&svc, contract, initiator, providers);
+        bus.register("tn", Arc::new(svc));
+        bus
+    }
+
+    #[test]
+    fn resilient_formation_admits_the_same_members_as_in_process() {
+        let (contract, initiator, providers, registry) = world();
+
+        let in_process_clock = clock();
+        let in_process = form_vo(
+            contract.clone(),
+            &initiator,
+            &providers,
+            &registry,
+            &mut MailboxSystem::new(),
+            &mut ReputationLedger::new(),
+            &in_process_clock,
+            Strategy::Standard,
+        )
+        .unwrap();
+
+        let bus = service_bus(&contract, &initiator, &providers);
+        let (vo, stats) = form_vo_resilient(
+            contract,
+            &initiator,
+            &providers,
+            &registry,
+            &mut MailboxSystem::new(),
+            &mut ReputationLedger::new(),
+            &bus,
+            "tn",
+            Strategy::Standard,
+            &RetryPolicy::standard(),
+            &ResumePolicy::standard(),
+            42,
+        )
+        .unwrap();
+
+        let summary = |vo: &FormedVo| {
+            vo.members()
+                .iter()
+                .map(|m| (m.provider.clone(), m.role.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(summary(&in_process), summary(&vo));
+        // Two candidates negotiated (Shady Co failed, Aerospace passed);
+        // nothing needed recovery on a perfect bus.
+        assert_eq!(stats.negotiations, 2);
+        assert_eq!(stats.retries + stats.resumes + stats.restarts, 0);
+    }
+
+    #[test]
+    fn parallel_resilient_formation_matches_serial() {
+        let (contract, initiator, providers, registry) = world();
+
+        let serial_bus = service_bus(&contract, &initiator, &providers);
+        let mut serial_rep = ReputationLedger::new();
+        let (serial_vo, serial_stats) = form_vo_resilient(
+            contract.clone(),
+            &initiator,
+            &providers,
+            &registry,
+            &mut MailboxSystem::new(),
+            &mut serial_rep,
+            &serial_bus,
+            "tn",
+            Strategy::Standard,
+            &RetryPolicy::standard(),
+            &ResumePolicy::standard(),
+            42,
+        )
+        .unwrap();
+
+        let parallel_bus = service_bus(&contract, &initiator, &providers);
+        let mut parallel_rep = ReputationLedger::new();
+        let (parallel_vo, parallel_stats) = form_vo_resilient_parallel(
+            contract,
+            &initiator,
+            &providers,
+            &registry,
+            &mut MailboxSystem::new(),
+            &mut parallel_rep,
+            &parallel_bus,
+            "tn",
+            Strategy::Standard,
+            &RetryPolicy::standard(),
+            &ResumePolicy::standard(),
+            42,
+            4,
+        )
+        .unwrap();
+
+        let summary = |vo: &FormedVo| {
+            vo.members()
+                .iter()
+                .map(|m| (m.provider.clone(), m.role.clone(), m.certificate.serial))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(summary(&serial_vo), summary(&parallel_vo));
+        assert_eq!(serial_stats, parallel_stats);
+        assert_eq!(serial_bus.clock().elapsed(), parallel_bus.clock().elapsed());
+        assert_eq!(serial_rep.get("Aerospace"), parallel_rep.get("Aerospace"));
+    }
+
+    #[test]
+    fn unregistered_service_fails_every_candidate() {
+        let (contract, initiator, providers, registry) = world();
+        // Nothing registered under "tn": every call gets a NoSuchService
+        // fault — terminal, surfaced as a failed verdict per candidate.
+        let bus = ServiceBus::new(clock());
+        let err = form_vo_resilient(
+            contract,
+            &initiator,
+            &providers,
+            &registry,
+            &mut MailboxSystem::new(),
+            &mut ReputationLedger::new(),
+            &bus,
+            "tn",
+            Strategy::Standard,
+            &RetryPolicy::standard(),
+            &ResumePolicy::none(),
+            1,
+        )
+        .unwrap_err();
+        assert!(matches!(err, VoError::RoleUnfilled { .. }), "got {err:?}");
+    }
+
+    /// A transport that refuses every call, to exercise the abort path.
+    struct DeadNet(SimClock);
+    impl Transport for DeadNet {
+        fn call(
+            &self,
+            _service: &str,
+            _request: &trust_vo_soa::Envelope,
+        ) -> Result<trust_vo_soa::Envelope, Fault> {
+            Err(Fault::transport("Timeout", "black hole"))
+        }
+        fn clock(&self) -> &SimClock {
+            &self.0
+        }
+    }
+
+    #[test]
+    fn dead_transport_aborts_formation() {
+        let (contract, initiator, providers, registry) = world();
+        let err = form_vo_resilient(
+            contract,
+            &initiator,
+            &providers,
+            &registry,
+            &mut MailboxSystem::new(),
+            &mut ReputationLedger::new(),
+            &DeadNet(clock()),
+            "tn",
+            Strategy::Standard,
+            &RetryPolicy::none(),
+            &ResumePolicy::none(),
+            1,
+        )
+        .unwrap_err();
+        assert!(matches!(err, VoError::Transport(_)), "got {err:?}");
+    }
+}

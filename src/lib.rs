@@ -33,6 +33,8 @@ pub use trust_vo_credential as credential;
 pub use trust_vo_crypto as crypto;
 /// The Trust-X negotiation engine and the eager baseline.
 pub use trust_vo_negotiation as negotiation;
+/// Deterministic fault-injection transport: loss, latency, crashes.
+pub use trust_vo_netsim as netsim;
 /// Zero-dependency observability: spans, metrics, events, JSONL export.
 pub use trust_vo_obs as obs;
 /// Concept ontology, Jaccard matching, and Algorithm 1 mapping.
