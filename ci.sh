@@ -26,3 +26,11 @@ cargo run --release -p trust-vo-bench --no-default-features --bin fig9_faulty_jo
 cargo run --release -p trust-vo-bench --bin fig9_faulty_join -- --smoke --seed 42 --emit-obs target/e11-chaos-a.jsonl
 cargo run --release -p trust-vo-bench --bin fig9_faulty_join -- --smoke --seed 42 --emit-obs target/e11-chaos-b.jsonl
 cmp target/e11-chaos-a.jsonl target/e11-chaos-b.jsonl
+# Crypto fast-path gate (E12): speedup floors vs the seed pow_mod path
+# and the verified-credential cache hit rate are asserted in-binary.
+cargo run --release -p trust-vo-bench --bin crypto_bench -- --smoke
+# Cache-correctness gate: Fig. 9 must be byte-identical with the
+# verified-credential cache disabled (TRUST_VO_CRED_CACHE=0) vs enabled.
+cargo run --release -p trust-vo-bench --bin fig9_join_times -- --smoke > target/e12-cache-on.txt
+TRUST_VO_CRED_CACHE=0 cargo run --release -p trust-vo-bench --bin fig9_join_times -- --smoke > target/e12-cache-off.txt
+cmp target/e12-cache-on.txt target/e12-cache-off.txt

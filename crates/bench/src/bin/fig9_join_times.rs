@@ -18,6 +18,16 @@ fn main() {
         "Join execution times (Aircraft Optimization VO, Design Partner Web Portal joining)",
         &["case", "sim wall-clock (s)", "paper (s)", "cpu (ms)"],
     );
+    // Under --smoke the cpu column is suppressed so stdout is a pure
+    // function of the sim-clock: ci.sh diffs two smoke runs (verified-
+    // credential cache on vs off) byte-for-byte.
+    let cpu_cell = |d: std::time::Duration| {
+        if args.smoke {
+            "-".to_string()
+        } else {
+            format!("{:.3}", d.as_secs_f64() * 1e3)
+        }
+    };
 
     // (a) Join with trust negotiation. The clock is reset after scenario
     // construction so only the join process itself is measured. With
@@ -62,7 +72,7 @@ fn main() {
         &[
             format!("{:.2}", sim_with.as_secs_f64()),
             "~4".into(),
-            format!("{:.3}", cpu_with.as_secs_f64() * 1e3),
+            cpu_cell(cpu_with),
         ],
     );
     report.row(
@@ -70,7 +80,7 @@ fn main() {
         &[
             format!("{:.2}", sim_without.as_secs_f64()),
             "~3".into(),
-            format!("{:.3}", cpu_without.as_secs_f64() * 1e3),
+            cpu_cell(cpu_without),
         ],
     );
     report.row(
@@ -78,7 +88,7 @@ fn main() {
         &[
             format!("{:.2}", sim_tn.as_secs_f64()),
             "~1".into(),
-            format!("{:.3}", cpu_tn.as_secs_f64() * 1e3),
+            cpu_cell(cpu_tn),
         ],
     );
     let overhead = (sim_with.as_secs_f64() / sim_without.as_secs_f64() - 1.0) * 100.0;

@@ -77,10 +77,18 @@ impl ObsArgs {
     /// Write the collector's JSONL dump to the `--emit-obs` path (no-op
     /// without the flag). Panics on I/O errors: a bench run that cannot
     /// write its requested artifact should fail loudly.
+    ///
+    /// Process-wide `crypto.*` and `credcache.*` totals are published
+    /// into the dump as metric lines. They are deliberately **absent**
+    /// from [`ObsArgs::dump_deterministic`]: under parallel formation the
+    /// interleaving of speculative negotiations makes cache hit/miss
+    /// splits run-dependent, which would break the byte-identical chaos
+    /// gate in ci.sh.
     pub fn dump(&self, collector: &Collector) {
         let Some(path) = &self.emit_obs else {
             return;
         };
+        publish_crypto_metrics(collector);
         std::fs::write(path, collector.to_jsonl())
             .unwrap_or_else(|e| panic!("writing {} failed: {e}", path.display()));
         eprintln!("observability dump written to {}", path.display());
@@ -101,6 +109,35 @@ impl ObsArgs {
             path.display()
         );
     }
+}
+
+/// Publish the process-wide crypto-substrate totals — `crypto.*`
+/// operation counters and `credcache.*` verified-cache counters — into
+/// `collector`'s metrics registry so they land in the JSONL dump. No-op
+/// when the collector is disabled. Counters are cumulative per process;
+/// each name is brought up to the current total (idempotent across
+/// repeated dumps).
+pub fn publish_crypto_metrics(collector: &Collector) {
+    let Some(registry) = collector.registry() else {
+        return;
+    };
+    let set_total = |name: &str, total: u64| {
+        let counter = registry.counter(name);
+        counter.add(total.saturating_sub(counter.get()));
+    };
+    let crypto = trust_vo_crypto::stats::snapshot();
+    set_total("crypto.sign", crypto.sign);
+    set_total("crypto.verify", crypto.verify);
+    set_total("crypto.verify_reference", crypto.verify_reference);
+    set_total("crypto.verify_batch", crypto.verify_batch);
+    set_total("crypto.verify_batch_sigs", crypto.verify_batch_sigs);
+    set_total("crypto.table_builds", crypto.table_builds);
+    set_total("crypto.table_hits", crypto.table_hits);
+    let cache = trust_vo_credential::VerifiedCache::global().stats();
+    set_total("credcache.hits", cache.hits);
+    set_total("credcache.misses", cache.misses);
+    set_total("credcache.insertions", cache.insertions);
+    set_total("credcache.evictions", cache.evictions);
 }
 
 #[cfg(test)]

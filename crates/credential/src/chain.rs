@@ -12,17 +12,24 @@
 //! next issuer). Every link must also pass the ordinary per-credential
 //! checks (signature, validity, revocation).
 
-use crate::credential::Credential;
+use crate::credential::{signing_bytes, Credential};
 use crate::error::CredentialError;
 use crate::revocation::RevocationList;
 use crate::time::Timestamp;
-use std::collections::VecDeque;
-use trust_vo_crypto::PublicKey;
+use crate::verified::VerifiedCache;
+use std::collections::{HashMap, HashSet, VecDeque};
+use trust_vo_crypto::{verify_batch, PublicKey, Signature};
 
 /// Verify a chain ending at the target credential (`chain.last()`).
 ///
 /// `crl` is consulted for every link; pass the union of the relevant
 /// authorities' lists.
+///
+/// Structural, validity, and revocation checks run per link first (these
+/// are cheap and never cached); the remaining signature checks are then
+/// answered from the [`VerifiedCache`] where possible and batch-verified
+/// in a single multi-exponentiation otherwise. A failing batch falls back
+/// to individual verification so the error still names the bad link.
 pub fn verify_chain(
     chain: &[Credential],
     trusted_roots: &[PublicKey],
@@ -39,7 +46,7 @@ pub fn verify_chain(
         )));
     }
     for (i, cred) in chain.iter().enumerate() {
-        cred.verify(at, crl)?;
+        cred.verify_nonsig(at, crl)?;
         if i > 0 {
             let prev = &chain[i - 1];
             if cred.header.issuer_key != prev.header.subject_key {
@@ -51,7 +58,37 @@ pub fn verify_chain(
             }
         }
     }
-    Ok(())
+    // Signature pass: cache hits are free, the misses share one batch.
+    let cache = VerifiedCache::global();
+    let mut pending: Vec<(&Credential, Vec<u8>)> = Vec::new();
+    for cred in chain {
+        if !cache.check(&cred.verified_key()) {
+            pending.push((cred, signing_bytes(&cred.header, &cred.content)));
+        }
+    }
+    if pending.len() == 1 {
+        return pending[0].0.verify_signature();
+    }
+    let items: Vec<(PublicKey, &[u8], Signature)> = pending
+        .iter()
+        .map(|(cred, bytes)| (cred.header.issuer_key, bytes.as_slice(), cred.signature))
+        .collect();
+    if verify_batch(&items) {
+        for (cred, _) in &pending {
+            cache.insert(cred.verified_key());
+        }
+        return Ok(());
+    }
+    // At least one signature is bad; re-verify individually for a
+    // precise error naming the first failing link.
+    for (cred, _) in &pending {
+        cred.verify_signature()?;
+    }
+    // Unreachable in practice (the batch rejects iff some individual
+    // check rejects), but fail closed rather than trust the batch alone.
+    Err(CredentialError::BrokenChain(
+        "batch signature verification failed".into(),
+    ))
 }
 
 /// A directory of credentials known to a party, used to build chains for
@@ -86,6 +123,11 @@ impl ChainDirectory {
     /// first search over "subject-key certifies issuer-key" edges. The
     /// returned chain includes `target` as its last element. Returns `None`
     /// when no chain exists.
+    ///
+    /// Candidate links are found through a subject-key index built once
+    /// per call and visited keys are tracked in hash sets, so resolution
+    /// is linear in the credentials actually reachable rather than
+    /// quadratic in the directory size.
     pub fn resolve(
         &self,
         target: &Credential,
@@ -95,27 +137,42 @@ impl ChainDirectory {
         if trusted_roots.contains(&target.header.issuer_key) {
             return Some(vec![target.clone()]);
         }
+        // Index once: subject key → directory entries certifying it.
+        let mut by_subject: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (idx, cred) in self.creds.iter().enumerate() {
+            by_subject
+                .entry(cred.header.subject_key.0)
+                .or_default()
+                .push(idx);
+        }
+        let roots: HashSet<u64> = trusted_roots.iter().map(|k| k.0).collect();
         // BFS backwards: we need a credential whose subject key is the
         // target's issuer key; its own issuer then needs certification, etc.
-        #[derive(Clone)]
         struct State {
             need: PublicKey,
             suffix: Vec<usize>, // indices into self.creds, target-most last
+            suffix_members: HashSet<usize>, // same indices, for O(1) cycle checks
         }
         let mut queue = VecDeque::new();
         queue.push_back(State {
             need: target.header.issuer_key,
             suffix: Vec::new(),
+            suffix_members: HashSet::new(),
         });
-        let mut seen = vec![target.header.issuer_key];
+        let mut seen: HashSet<u64> = HashSet::new();
+        seen.insert(target.header.issuer_key.0);
         while let Some(state) = queue.pop_front() {
-            for (idx, cred) in self.creds.iter().enumerate() {
-                if cred.header.subject_key != state.need || state.suffix.contains(&idx) {
+            let Some(candidates) = by_subject.get(&state.need.0) else {
+                continue;
+            };
+            for &idx in candidates {
+                let cred = &self.creds[idx];
+                if state.suffix_members.contains(&idx) {
                     continue;
                 }
                 let mut suffix = state.suffix.clone();
                 suffix.push(idx);
-                if trusted_roots.contains(&cred.header.issuer_key) {
+                if roots.contains(&cred.header.issuer_key.0) {
                     // Found a root-issued link; assemble root → … → target.
                     let mut chain: Vec<Credential> = suffix
                         .iter()
@@ -125,11 +182,13 @@ impl ChainDirectory {
                     chain.push(target.clone());
                     return Some(chain);
                 }
-                if !seen.contains(&cred.header.issuer_key) {
-                    seen.push(cred.header.issuer_key);
+                if seen.insert(cred.header.issuer_key.0) {
+                    let mut suffix_members = state.suffix_members.clone();
+                    suffix_members.insert(idx);
                     queue.push_back(State {
                         need: cred.header.issuer_key,
                         suffix,
+                        suffix_members,
                     });
                 }
             }

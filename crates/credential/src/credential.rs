@@ -11,7 +11,9 @@ use crate::attribute::{AttrValue, Attribute};
 use crate::error::CredentialError;
 use crate::revocation::RevocationList;
 use crate::time::{TimeRange, Timestamp};
-use trust_vo_crypto::{base64, hex, KeyPair, PublicKey, Signature};
+use crate::verified::{VerifiedCache, VerifiedKey};
+use trust_vo_crypto::sha256::Sha256;
+use trust_vo_crypto::{base64, hex, Digest, KeyPair, PublicKey, Signature};
 use trust_vo_xmldoc::{Element, Node};
 
 /// A unique credential identifier assigned by the issuing authority.
@@ -92,10 +94,68 @@ impl Credential {
         &self.header.cred_type
     }
 
+    /// Feed every signed field — the full header, every content
+    /// attribute, and the issuer signature — into `h`, with unambiguous
+    /// separators. This is the byte stream both the negotiation sequence
+    /// cache's party fingerprint and [`Credential::fingerprint`] are built
+    /// from: it covers exactly the content of the canonical XML encoding
+    /// without materializing an element tree.
+    pub fn hash_into(&self, h: &mut Sha256) {
+        let sep = |h: &mut Sha256| h.update(&[0x1f]);
+        h.update(self.header.cred_id.0.as_bytes());
+        sep(h);
+        h.update(self.header.cred_type.as_bytes());
+        sep(h);
+        h.update(self.header.issuer.as_bytes());
+        h.update(&self.header.issuer_key.0.to_be_bytes());
+        sep(h);
+        h.update(self.header.subject.as_bytes());
+        h.update(&self.header.subject_key.0.to_be_bytes());
+        sep(h);
+        h.update(&self.header.validity.not_before.0.to_be_bytes());
+        h.update(&self.header.validity.not_after.0.to_be_bytes());
+        for attr in &self.content {
+            sep(h);
+            h.update(attr.name.as_bytes());
+            h.update(b"=");
+            h.update(attr.value.canonical().as_bytes());
+        }
+        sep(h);
+        h.update(&self.signature.r.to_be_bytes());
+        h.update(&self.signature.s.to_be_bytes());
+    }
+
+    /// A collision-resistant fingerprint of the whole credential (all
+    /// signed fields plus the signature), domain-separated from the other
+    /// credential formats. Keys the [`VerifiedCache`].
+    pub fn fingerprint(&self) -> Digest {
+        let mut h = Sha256::new();
+        h.update(&[0x01]); // domain tag: X-TNL credential
+        self.hash_into(&mut h);
+        h.finalize()
+    }
+
+    /// The [`VerifiedCache`] key for this credential's signature check.
+    pub(crate) fn verified_key(&self) -> VerifiedKey {
+        VerifiedKey::new(self.fingerprint(), self.header.issuer_key, self.signature)
+    }
+
     /// Verify the issuer signature only.
+    ///
+    /// Consults the process-wide [`VerifiedCache`] first: a hit skips
+    /// both the canonical re-serialization and the signature
+    /// exponentiations. The cache key fingerprints every signed field, so
+    /// any mutation of header or content forces a real re-verification;
+    /// failures are never cached.
     pub fn verify_signature(&self) -> Result<(), CredentialError> {
+        let cache = VerifiedCache::global();
+        let key = self.verified_key();
+        if cache.check(&key) {
+            return Ok(());
+        }
         let bytes = signing_bytes(&self.header, &self.content);
         if self.header.issuer_key.verify(&bytes, &self.signature) {
+            cache.insert(key);
             Ok(())
         } else {
             Err(CredentialError::BadSignature {
@@ -104,14 +164,15 @@ impl Credential {
         }
     }
 
-    /// The full exchange-time check the paper describes (§4.2): signature,
-    /// validity dates, and revocation status.
-    pub fn verify(
+    /// The time- and state-dependent checks: validity window and
+    /// revocation. Split out of [`Credential::verify`] so chain
+    /// verification can batch the signature work while still running
+    /// these **uncached, on every call**.
+    pub fn verify_nonsig(
         &self,
         at: Timestamp,
         crl: Option<&RevocationList>,
     ) -> Result<(), CredentialError> {
-        self.verify_signature()?;
         if !self.header.validity.contains(at) {
             return Err(CredentialError::Expired {
                 cred_id: self.header.cred_id.0.clone(),
@@ -126,6 +187,19 @@ impl Credential {
             }
         }
         Ok(())
+    }
+
+    /// The full exchange-time check the paper describes (§4.2): signature,
+    /// validity dates, and revocation status. Only the signature check is
+    /// memoized (see [`VerifiedCache`]); expiry and revocation are
+    /// re-evaluated every time.
+    pub fn verify(
+        &self,
+        at: Timestamp,
+        crl: Option<&RevocationList>,
+    ) -> Result<(), CredentialError> {
+        self.verify_signature()?;
+        self.verify_nonsig(at, crl)
     }
 
     /// Produce an ownership proof: the holder signs `nonce` with the

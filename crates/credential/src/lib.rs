@@ -24,7 +24,10 @@
 //! * [`x509`] — X.509 v2-style attribute certificates, the format the VO
 //!   toolkit uses for membership certificates (§6.3),
 //! * [`selective`] — the paper's §6.3 proposed extension: hash-commitment
-//!   attributes enabling selective disclosure on attribute certificates.
+//!   attributes enabling selective disclosure on attribute certificates,
+//! * [`verified`] — the cross-negotiation verified-credential cache that
+//!   memoizes *successful* signature checks (revocation and validity
+//!   windows are never cached).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,6 +43,7 @@ pub mod selective;
 pub mod sensitivity;
 pub mod time;
 pub mod types;
+pub mod verified;
 pub mod x509;
 
 pub use attribute::{AttrValue, Attribute};
@@ -51,3 +55,4 @@ pub use revocation::RevocationList;
 pub use sensitivity::Sensitivity;
 pub use time::{TimeRange, Timestamp};
 pub use types::CredentialType;
+pub use verified::{VerifiedCache, VerifiedCacheStats, VerifiedKey};

@@ -20,6 +20,7 @@
 use crate::error::CredentialError;
 use crate::revocation::RevocationList;
 use crate::time::{TimeRange, Timestamp};
+use crate::verified::{VerifiedCache, VerifiedKey};
 use trust_vo_crypto::sha256::Sha256;
 use trust_vo_crypto::{Digest, KeyPair, PublicKey, Signature};
 
@@ -181,9 +182,28 @@ impl SelectiveCertificate {
         crate::credential::CredentialId(format!("sel:{}:{}", self.issuer, self.serial))
     }
 
-    /// Verify the issuer signature over the committed content.
+    /// The [`VerifiedCache`] key for this certificate's signature check:
+    /// a domain-tagged digest of the to-be-signed bytes (which cover
+    /// every field and every commitment), plus issuer key and signature.
+    pub(crate) fn verified_key(&self) -> VerifiedKey {
+        let mut h = Sha256::new();
+        h.update(&[0x03]); // domain tag: selective-disclosure certificate
+        h.update(&tbs_bytes(self));
+        VerifiedKey::new(h.finalize(), self.issuer_key, self.signature)
+    }
+
+    /// Verify the issuer signature over the committed content. Successful
+    /// checks are memoized in the process-wide [`VerifiedCache`]; the
+    /// per-opening commitment checks in [`DisclosedView::verify`] are
+    /// never cached.
     pub fn verify_signature(&self) -> Result<(), CredentialError> {
+        let cache = VerifiedCache::global();
+        let key = self.verified_key();
+        if cache.check(&key) {
+            return Ok(());
+        }
         if self.issuer_key.verify(&tbs_bytes(self), &self.signature) {
+            cache.insert(key);
             Ok(())
         } else {
             Err(CredentialError::BadSignature {

@@ -16,6 +16,8 @@
 use crate::error::CredentialError;
 use crate::revocation::RevocationList;
 use crate::time::{TimeRange, Timestamp};
+use crate::verified::{VerifiedCache, VerifiedKey};
+use trust_vo_crypto::sha256::Sha256;
 use trust_vo_crypto::{KeyPair, PublicKey, Signature};
 
 /// Field tags for the TLV encoding.
@@ -144,9 +146,9 @@ impl AttributeCertificate {
             .map(|(_, v)| v.as_str())
     }
 
-    /// Verify the issuer signature only.
-    pub fn verify_signature(&self) -> Result<(), CredentialError> {
-        let tbs = tbs_bytes(
+    /// The canonical to-be-signed bytes of this certificate.
+    pub fn tbs(&self) -> Vec<u8> {
+        tbs_bytes(
             self.serial,
             &self.holder,
             self.holder_key,
@@ -154,8 +156,29 @@ impl AttributeCertificate {
             self.issuer_key,
             self.validity,
             &self.attributes,
-        );
-        if self.issuer_key.verify(&tbs, &self.signature) {
+        )
+    }
+
+    /// The [`VerifiedCache`] key for this certificate's signature check:
+    /// a domain-tagged digest of the TLV to-be-signed bytes (which cover
+    /// every field), plus issuer key and signature.
+    pub(crate) fn verified_key(&self) -> VerifiedKey {
+        let mut h = Sha256::new();
+        h.update(&[0x02]); // domain tag: X.509 attribute certificate
+        h.update(&self.tbs());
+        VerifiedKey::new(h.finalize(), self.issuer_key, self.signature)
+    }
+
+    /// Verify the issuer signature only. Successful checks are memoized
+    /// in the process-wide [`VerifiedCache`]; failures never are.
+    pub fn verify_signature(&self) -> Result<(), CredentialError> {
+        let cache = VerifiedCache::global();
+        let key = self.verified_key();
+        if cache.check(&key) {
+            return Ok(());
+        }
+        if self.issuer_key.verify(&self.tbs(), &self.signature) {
+            cache.insert(key);
             Ok(())
         } else {
             Err(CredentialError::BadSignature {

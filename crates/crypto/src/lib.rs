@@ -15,8 +15,14 @@
 //! * [`base64`] — the standard alphabet with padding, used for the
 //!   `<signature>` element of X-TNL credentials.
 //! * [`hex`] — lowercase hex encoding for digests and identifiers.
-//! * [`group`] — modular arithmetic in a 62-bit safe-prime group.
-//! * [`schnorr`] — Schnorr signatures over the order-`q` subgroup.
+//! * [`group`] — modular arithmetic in a 62-bit safe-prime group, with
+//!   subgroup membership via the exponentiation-free Jacobi symbol.
+//! * [`fastexp`] — precomputed fixed-base window tables (generator +
+//!   cached issuer keys) and Straus multi-exponentiation.
+//! * [`schnorr`] — Schnorr signatures over the order-`q` subgroup, with
+//!   fast single verification and random-linear-combination batch
+//!   verification ([`verify_batch`]).
+//! * [`stats`] — process-wide `crypto.*` operation counters.
 //!
 //! # Security disclaimer
 //!
@@ -30,13 +36,15 @@
 #![warn(missing_docs)]
 
 pub mod base64;
+pub mod fastexp;
 pub mod group;
 pub mod hex;
 pub mod hmac;
 pub mod schnorr;
 pub mod sha256;
+pub mod stats;
 
-pub use schnorr::{KeyPair, PublicKey, SecretKey, Signature};
+pub use schnorr::{verify_batch, KeyPair, PrecomputedKey, PublicKey, SecretKey, Signature};
 pub use sha256::{sha256, Digest};
 
 /// Convenience: digest arbitrary bytes and return the lowercase hex form.

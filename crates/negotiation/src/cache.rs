@@ -21,7 +21,6 @@ use crate::party::Party;
 use crate::strategy::Strategy;
 use crate::view::TrustSequence;
 use std::collections::{BTreeMap, HashMap};
-use trust_vo_credential::Credential;
 use trust_vo_crypto::sha256::Sha256;
 use trust_vo_crypto::Digest;
 use trust_vo_obs::{Counter, Registry};
@@ -45,7 +44,7 @@ fn party_fingerprint(party: &Party) -> Digest {
         // materializing an element tree per negotiation — fingerprints run
         // on every cache access, and the parallel formation path is
         // sensitive to their cost.
-        hash_credential(&mut h, cred);
+        cred.hash_into(&mut h);
         h.update(&[1]);
         // Sensitivity lives in the profile, not the credential encoding.
         h.update(party.profile.sensitivity_of(cred.id()).label().as_bytes());
@@ -59,34 +58,6 @@ fn party_fingerprint(party: &Party) -> Digest {
         sink.0.update(&[3]);
     }
     h.finalize()
-}
-
-/// Hash every field the canonical credential encoding carries: the full
-/// header (id, type, issuer + key, subject + key, both validity bounds),
-/// every content attribute, and the issuer signature.
-fn hash_credential(h: &mut Sha256, cred: &Credential) {
-    let sep = |h: &mut Sha256| h.update(&[0x1f]);
-    h.update(cred.header.cred_id.0.as_bytes());
-    sep(h);
-    h.update(cred.header.cred_type.as_bytes());
-    sep(h);
-    h.update(cred.header.issuer.as_bytes());
-    h.update(&cred.header.issuer_key.0.to_be_bytes());
-    sep(h);
-    h.update(cred.header.subject.as_bytes());
-    h.update(&cred.header.subject_key.0.to_be_bytes());
-    sep(h);
-    h.update(&cred.header.validity.not_before.0.to_be_bytes());
-    h.update(&cred.header.validity.not_after.0.to_be_bytes());
-    for attr in &cred.content {
-        sep(h);
-        h.update(attr.name.as_bytes());
-        h.update(b"=");
-        h.update(attr.value.canonical().as_bytes());
-    }
-    sep(h);
-    h.update(&cred.signature.r.to_be_bytes());
-    h.update(&cred.signature.s.to_be_bytes());
 }
 
 /// A `fmt::Write` adapter feeding formatted output straight into a hasher.

@@ -47,7 +47,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use trust_vo_credential::x509::AttributeCertificate;
 use trust_vo_credential::{TimeRange, Timestamp};
-use trust_vo_crypto::{hex, KeyPair};
+use trust_vo_crypto::{hex, verify_batch, KeyPair, PublicKey, Signature};
 use trust_vo_negotiation::{
     negotiate, ConcurrentSequenceCache, NegotiationConfig, NegotiationError, NegotiationOutcome,
     Party, Strategy, Transcript,
@@ -95,6 +95,48 @@ impl FormedVo {
         self.next_serial += 1;
         self.next_serial
     }
+}
+
+/// Batch-audit every member's membership-certificate signature in a
+/// single Schnorr batch verification (one shared multi-exponentiation
+/// instead of one pair of exponentiations per member).
+///
+/// Every formation path — serial, cached, parallel, and the
+/// transport-driven resilient loop — runs this before handing the VO to
+/// the Operation phase. A failing batch is re-checked individually so the
+/// error names the offending member.
+pub fn audit_members(vo: &FormedVo) -> Result<(), VoError> {
+    let tbs: Vec<Vec<u8>> = vo.members.iter().map(|m| m.certificate.tbs()).collect();
+    let items: Vec<(PublicKey, &[u8], Signature)> = vo
+        .members
+        .iter()
+        .zip(&tbs)
+        .map(|(m, bytes)| {
+            (
+                m.certificate.issuer_key,
+                bytes.as_slice(),
+                m.certificate.signature,
+            )
+        })
+        .collect();
+    if verify_batch(&items) {
+        return Ok(());
+    }
+    for member in &vo.members {
+        member
+            .certificate
+            .verify_signature()
+            .map_err(|e| VoError::InvalidMembership {
+                member: member.provider.clone(),
+                detail: e.to_string(),
+            })?;
+    }
+    // Unreachable in practice (the batch rejects iff some individual
+    // check rejects), but fail closed rather than trust the batch alone.
+    Err(VoError::InvalidMembership {
+        member: vo.name.clone(),
+        detail: "batch membership audit failed".into(),
+    })
 }
 
 /// Charge the sim-clock for the work a negotiation transcript records.
@@ -472,6 +514,8 @@ fn form_vo_impl(
             });
         }
     }
+    audit_members(&vo)?;
+    obs.counter_add("formation.audits", 1);
     vo.lifecycle
         .advance_to(Phase::Operation, clock.timestamp())
         .expect("formation advances to operation");

@@ -45,7 +45,9 @@ pub mod workflow;
 
 pub use contract::{CollaborationRule, Contract, Role};
 pub use error::VoError;
-pub use formation::{create_vo, form_vo, form_vo_cached, form_vo_parallel, join_member, FormedVo};
+pub use formation::{
+    audit_members, create_vo, form_vo, form_vo_cached, form_vo_parallel, join_member, FormedVo,
+};
 pub use lifecycle::{Phase, VoLifecycle};
 pub use member::{MemberRecord, ServiceProvider};
 pub use registry::{ResourceDescription, ServiceRegistry};

@@ -30,7 +30,9 @@ use trust_vo_soa::{
 
 use crate::contract::Contract;
 use crate::error::VoError;
-use crate::formation::{create_vo, initiator_party_for_role, join_attempt, FormedVo, TnAction};
+use crate::formation::{
+    audit_members, create_vo, initiator_party_for_role, join_attempt, FormedVo, TnAction,
+};
 use crate::lifecycle::Phase;
 use crate::mailbox::MailboxSystem;
 use crate::member::ServiceProvider;
@@ -189,6 +191,7 @@ fn admit_with<'a>(
             });
         }
     }
+    audit_members(&vo)?;
     vo.lifecycle
         .advance_to(Phase::Operation, clock.timestamp())
         .expect("formation advances to operation");
