@@ -28,7 +28,13 @@ cargo run --release -p trust-vo-bench --bin fig9_faulty_join -- --smoke --seed 4
 cmp target/e11-chaos-a.jsonl target/e11-chaos-b.jsonl
 # Crypto fast-path gate (E12): speedup floors vs the seed pow_mod path
 # and the verified-credential cache hit rate are asserted in-binary.
-cargo run --release -p trust-vo-bench --bin crypto_bench -- --smoke
+# target-cpu=native is scoped to this one bench run (with its own target
+# dir so the portable artifacts above are untouched): the batch floors
+# assume the multi-buffer SHA-256 lanes vectorize, and bench numbers are
+# only meaningful for the host that ran them anyway. Everything that
+# ships or gets cached is built portable.
+RUSTFLAGS="-C target-cpu=native" CARGO_TARGET_DIR=target/native \
+  cargo run --release -p trust-vo-bench --bin crypto_bench -- --smoke
 # Cache-correctness gate: Fig. 9 must be byte-identical with the
 # verified-credential cache disabled (TRUST_VO_CRED_CACHE=0) vs enabled.
 cargo run --release -p trust-vo-bench --bin fig9_join_times -- --smoke > target/e12-cache-on.txt

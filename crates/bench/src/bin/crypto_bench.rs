@@ -11,6 +11,12 @@
 //! assertions still run; the JSON artifact is not rewritten), and
 //! `--emit-obs <path>` dumps the process-wide `crypto.*` / `credcache.*`
 //! counters as an observability JSONL file.
+//!
+//! Run with `RUSTFLAGS="-C target-cpu=native"` as `ci.sh` does: the
+//! batch-verification floors assume the multi-buffer SHA-256 lanes
+//! vectorize, which the portable baseline build does not deliver. The
+//! flag is deliberately *not* checked in workspace-wide — only this
+//! host-local bench run wants host-specific codegen.
 
 use std::hint::black_box;
 use std::time::Instant;

@@ -30,6 +30,16 @@ use trust_vo_crypto::{verify_batch, PublicKey, Signature};
 /// answered from the [`VerifiedCache`] where possible and batch-verified
 /// in a single multi-exponentiation otherwise. A failing batch falls back
 /// to individual verification so the error still names the bad link.
+///
+/// Batch-accepted links are inserted into the [`VerifiedCache`], so the
+/// batch test's per-item false-accept bound (~2⁻³² coefficient
+/// cancellation, see [`verify_batch`]) is extended from one call to the
+/// process lifetime: a signature the batch wrongly accepted would keep
+/// hitting the cache instead of being re-tested. This is a deliberate
+/// trade — the attacker cannot influence the Fiat–Shamir coefficients,
+/// so 2⁻³² bounds the *attack's* success probability whether the accept
+/// is remembered or not; re-verifying every link individually before
+/// caching would erase the batch speedup entirely.
 pub fn verify_chain(
     chain: &[Credential],
     trusted_roots: &[PublicKey],

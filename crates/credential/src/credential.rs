@@ -95,32 +95,40 @@ impl Credential {
     }
 
     /// Feed every signed field — the full header, every content
-    /// attribute, and the issuer signature — into `h`, with unambiguous
-    /// separators. This is the byte stream both the negotiation sequence
-    /// cache's party fingerprint and [`Credential::fingerprint`] are built
-    /// from: it covers exactly the content of the canonical XML encoding
-    /// without materializing an element tree.
+    /// attribute, and the issuer signature — into `h`. This is the byte
+    /// stream both the negotiation sequence cache's party fingerprint and
+    /// [`Credential::fingerprint`] are built from: it covers exactly the
+    /// content of the canonical XML encoding without materializing an
+    /// element tree.
+    ///
+    /// The encoding is **injective**: every variable-length field (the
+    /// strings are unconstrained) carries a length prefix, the attribute
+    /// list carries a count prefix, and typed values hash their type tag
+    /// alongside the canonical form, so no two distinct credentials
+    /// produce the same stream. Separator-joined encodings are not enough
+    /// here — `[("a", "b=c")]` vs `[("a=b", "c")]`, or `Str("42")` vs
+    /// `Int(42)`, must not collide, or a signature copied onto the
+    /// colliding variant would hit the [`VerifiedCache`] for bytes that
+    /// were never signed.
     pub fn hash_into(&self, h: &mut Sha256) {
-        let sep = |h: &mut Sha256| h.update(&[0x1f]);
-        h.update(self.header.cred_id.0.as_bytes());
-        sep(h);
-        h.update(self.header.cred_type.as_bytes());
-        sep(h);
-        h.update(self.header.issuer.as_bytes());
+        let field = |h: &mut Sha256, bytes: &[u8]| {
+            h.update(&(bytes.len() as u64).to_be_bytes());
+            h.update(bytes);
+        };
+        field(h, self.header.cred_id.0.as_bytes());
+        field(h, self.header.cred_type.as_bytes());
+        field(h, self.header.issuer.as_bytes());
         h.update(&self.header.issuer_key.0.to_be_bytes());
-        sep(h);
-        h.update(self.header.subject.as_bytes());
+        field(h, self.header.subject.as_bytes());
         h.update(&self.header.subject_key.0.to_be_bytes());
-        sep(h);
         h.update(&self.header.validity.not_before.0.to_be_bytes());
         h.update(&self.header.validity.not_after.0.to_be_bytes());
+        h.update(&(self.content.len() as u64).to_be_bytes());
         for attr in &self.content {
-            sep(h);
-            h.update(attr.name.as_bytes());
-            h.update(b"=");
-            h.update(attr.value.canonical().as_bytes());
+            field(h, attr.name.as_bytes());
+            field(h, attr.value.type_tag().as_bytes());
+            field(h, attr.value.canonical().as_bytes());
         }
-        sep(h);
         h.update(&self.signature.r.to_be_bytes());
         h.update(&self.signature.s.to_be_bytes());
     }
@@ -531,6 +539,68 @@ mod tests {
             text.contains("<QualityRegulation type=\"string\">UNI EN ISO 9000</QualityRegulation>")
         );
         assert!(text.contains("<signature>"));
+    }
+
+    /// The collision families that break separator-joined encodings:
+    /// each pair of distinct credentials below hashed identically under a
+    /// `0x1f`/`=`-separated stream and must fingerprint differently now.
+    #[test]
+    fn fingerprint_is_injective_over_field_boundaries() {
+        let issuer = issuer_keys();
+        let subject = subject_keys();
+        let with = |content: Vec<Attribute>| {
+            let mut cred = sample(&issuer, &subject);
+            cred.content = content;
+            cred
+        };
+        // Separator char inside a value vs. a real field boundary.
+        let pairs = [
+            (
+                with(vec![Attribute::new("a", "b=c")]),
+                with(vec![Attribute::new("a=b", "c")]),
+            ),
+            // Typed value vs. its canonical string form.
+            (
+                with(vec![Attribute::new("a", AttrValue::Str("42".into()))]),
+                with(vec![Attribute::new("a", AttrValue::Int(42))]),
+            ),
+            // A 0x1f inside one value vs. two separate attributes.
+            (
+                with(vec![Attribute::new("a", "x\u{1f}b=c")]),
+                with(vec![Attribute::new("a", "x"), Attribute::new("b", "c")]),
+            ),
+        ];
+        for (lhs, rhs) in &pairs {
+            assert_ne!(lhs.fingerprint(), rhs.fingerprint(), "{lhs:?} vs {rhs:?}");
+        }
+        // Header fields collide across their boundary too.
+        let mut lhs = sample(&issuer, &subject);
+        lhs.header.cred_id = CredentialId("a\u{1f}b".into());
+        lhs.header.cred_type = "c".into();
+        let mut rhs = sample(&issuer, &subject);
+        rhs.header.cred_id = CredentialId("a".into());
+        rhs.header.cred_type = "b\u{1f}c".into();
+        assert_ne!(lhs.fingerprint(), rhs.fingerprint());
+    }
+
+    /// The attack the fingerprint exists to prevent: copying a
+    /// legitimately-signed credential's issuer key and signature onto a
+    /// variant whose signed bytes differ must not produce a cache hit in
+    /// `verify_signature` — the forgery has to fail even though the
+    /// original was verified (and cached) first.
+    #[test]
+    fn colliding_variant_cannot_ride_the_verified_cache() {
+        let issuer = issuer_keys();
+        let mut legit = sample(&issuer, &subject_keys());
+        legit.content = vec![Attribute::new("a", "b=c")];
+        legit.signature = issuer.sign(&signing_bytes(&legit.header, &legit.content));
+        assert!(legit.verify_signature().is_ok()); // populates the cache
+        let mut forged = legit.clone();
+        forged.content = vec![Attribute::new("a=b", "c")];
+        assert!(matches!(
+            forged.verify_signature(),
+            Err(CredentialError::BadSignature { .. })
+        ));
     }
 
     #[test]

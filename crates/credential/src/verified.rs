@@ -21,6 +21,14 @@
 //! checks are never inserted: a forged credential pays full price every
 //! time and can never poison the cache.
 //!
+//! One probabilistic caveat: chain verification inserts links whose
+//! signatures were accepted *as a batch* (see
+//! [`crate::chain::verify_chain`]), so the batch test's ~2⁻³² per-item
+//! false-accept bound persists for the process lifetime instead of one
+//! call. Since the Fiat–Shamir coefficients are outside the attacker's
+//! control, 2⁻³² already bounds the attack end-to-end; the cache changes
+//! how long a freak acceptance would live, not how likely it is.
+//!
 //! The cache is sharded (16 ways) and capacity-bounded with per-shard
 //! FIFO eviction; `credcache.*` counters (hits / misses / insertions /
 //! evictions) are always-on [`trust_vo_obs::Counter`]s that bench
