@@ -40,3 +40,13 @@ RUSTFLAGS="-C target-cpu=native" CARGO_TARGET_DIR=target/native \
 cargo run --release -p trust-vo-bench --bin fig9_join_times -- --smoke > target/e12-cache-on.txt
 TRUST_VO_CRED_CACHE=0 cargo run --release -p trust-vo-bench --bin fig9_join_times -- --smoke > target/e12-cache-off.txt
 cmp target/e12-cache-on.txt target/e12-cache-off.txt
+# Indexed mapping-engine gate (E5b): the similarity-fallback speedup
+# floor at n=800 and the n=10000 completeness check are asserted
+# in-binary.
+cargo run --release -p trust-vo-bench --bin ontology_bench -- --smoke
+# Mapping-memo correctness gate: outcome digests must be byte-identical
+# with the memo disabled (TRUST_VO_MAP_CACHE=0) vs enabled — the memo
+# may change mapping cost, never mapping results.
+cargo run --release -p trust-vo-bench --bin ontology_bench -- --digest > target/e5b-memo-on.txt
+TRUST_VO_MAP_CACHE=0 cargo run --release -p trust-vo-bench --bin ontology_bench -- --digest > target/e5b-memo-off.txt
+cmp target/e5b-memo-on.txt target/e5b-memo-off.txt

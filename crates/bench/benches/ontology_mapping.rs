@@ -1,13 +1,19 @@
 //! E5 — Algorithm 1 mapping cost: direct concept lookups vs. the Jaccard
 //! similarity fallback (lines 20–29), over growing ontologies.
+//!
+//! The mapping memo is disabled for the whole process: these benches
+//! measure the per-request engine cost (direct lookup / indexed scan),
+//! not the memo hit path — `ontology_bench` covers the memoized regime.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use trust_vo_bench::workloads::{self, map_concept, SIMILARITY_THRESHOLD};
+use trust_vo_ontology::MapMemo;
 
 fn bench_direct_lookup(c: &mut Criterion) {
+    MapMemo::global().set_enabled(false);
     let mut group = c.benchmark_group("ontology_direct");
-    for n in [10usize, 50, 200, 800] {
+    for n in [10usize, 50, 200, 800, 3200, 10_000] {
         let w = workloads::ontology_workload(n, 0);
         let request = format!("Concept{}Quality", n / 2);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
@@ -25,8 +31,9 @@ fn bench_direct_lookup(c: &mut Criterion) {
 }
 
 fn bench_similarity_fallback(c: &mut Criterion) {
+    MapMemo::global().set_enabled(false);
     let mut group = c.benchmark_group("ontology_similarity");
-    for n in [10usize, 50, 200, 800] {
+    for n in [10usize, 50, 200, 800, 3200, 10_000] {
         let w = workloads::ontology_workload(n, n);
         let request = format!("Quality_Concept{}", n / 2);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
@@ -43,9 +50,28 @@ fn bench_similarity_fallback(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_similarity_fallback_reference(c: &mut Criterion) {
+    // The seed's O(concepts) scan, kept as the before/after baseline.
+    let mut group = c.benchmark_group("ontology_similarity_reference");
+    for n in [10usize, 50, 200, 800] {
+        let w = workloads::ontology_workload(n, n);
+        let request = format!("Quality_Concept{}", n / 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                black_box(trust_vo_ontology::match_concept_reference(
+                    &request,
+                    &w.ontology,
+                    SIMILARITY_THRESHOLD,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_cross_ontology_match(c: &mut Criterion) {
     let mut group = c.benchmark_group("ontology_cross_match");
-    for n in [10usize, 50, 200] {
+    for n in [10usize, 50, 200, 800] {
         let a = workloads::ontology_workload(n, 0).ontology;
         let b_onto = workloads::ontology_workload(n, 0).ontology;
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
@@ -59,6 +85,7 @@ criterion_group!(
     benches,
     bench_direct_lookup,
     bench_similarity_fallback,
+    bench_similarity_fallback_reference,
     bench_cross_ontology_match
 );
 criterion_main!(benches);

@@ -25,6 +25,9 @@ fn main() {
         (100, 50),
         (400, 0),
         (400, 200),
+        (800, 400),
+        (3200, 1600),
+        (10_000, 5000),
     ] {
         let w = workloads::ontology_workload(n, paraphrased);
         let mut mapped = 0;
@@ -52,6 +55,9 @@ fn main() {
             ],
         );
     }
-    report.note("similarity fallback is O(concepts) per request; direct lookup is O(log concepts)");
+    report.note(
+        "similarity fallback runs one inverted-index scan per request (O(candidates)); \
+         direct lookup is O(log concepts); repeats hit the mapping memo",
+    );
     report.print();
 }

@@ -89,6 +89,7 @@ impl ObsArgs {
             return;
         };
         publish_crypto_metrics(collector);
+        publish_ontology_metrics(collector);
         std::fs::write(path, collector.to_jsonl())
             .unwrap_or_else(|e| panic!("writing {} failed: {e}", path.display()));
         eprintln!("observability dump written to {}", path.display());
@@ -138,6 +139,32 @@ pub fn publish_crypto_metrics(collector: &Collector) {
     set_total("credcache.misses", cache.misses);
     set_total("credcache.insertions", cache.insertions);
     set_total("credcache.evictions", cache.evictions);
+}
+
+/// Publish the process-wide ontology-engine totals — `ontology.*`
+/// mapping/index counters and `mapmemo.*` mapping-memo counters — into
+/// `collector`'s metrics registry. Same idempotent bring-up-to-total
+/// contract as [`publish_crypto_metrics`].
+pub fn publish_ontology_metrics(collector: &Collector) {
+    let Some(registry) = collector.registry() else {
+        return;
+    };
+    let set_total = |name: &str, total: u64| {
+        let counter = registry.counter(name);
+        counter.add(total.saturating_sub(counter.get()));
+    };
+    let onto = trust_vo_ontology::stats::snapshot();
+    set_total("ontology.direct_hits", onto.direct_hits);
+    set_total("ontology.similarity_scans", onto.similarity_scans);
+    set_total("ontology.reference_scans", onto.reference_scans);
+    set_total("ontology.index_candidates", onto.index_candidates);
+    set_total("ontology.index_pruned", onto.index_pruned);
+    set_total("ontology.index_builds", onto.index_builds);
+    let memo = trust_vo_ontology::MapMemo::global().stats();
+    set_total("mapmemo.hits", memo.hits);
+    set_total("mapmemo.misses", memo.misses);
+    set_total("mapmemo.insertions", memo.insertions);
+    set_total("mapmemo.evictions", memo.evictions);
 }
 
 #[cfg(test)]

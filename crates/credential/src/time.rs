@@ -72,7 +72,7 @@ impl Timestamp {
         let min: u8 = text[14..16].parse().ok()?;
         let sec: u8 = text[17..19].parse().ok()?;
         if !(1..=12).contains(&month)
-            || !(1..=31).contains(&day)
+            || !(1..=days_in_month(year, month)).contains(&day)
             || hour > 23
             || min > 59
             || sec > 59
@@ -98,6 +98,23 @@ impl Timestamp {
     #[must_use]
     pub fn plus_days(self, days: i64) -> Self {
         self.plus_seconds(days * 86_400)
+    }
+}
+
+/// Days in `month` of `year`, proleptic Gregorian (leap-year aware).
+fn days_in_month(year: i64, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            let leap = year % 4 == 0 && (year % 100 != 0 || year % 400 == 0);
+            if leap {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
     }
 }
 
@@ -190,6 +207,36 @@ mod tests {
     }
 
     #[test]
+    fn parse_rejects_calendar_invalid_days() {
+        // Regression: the seed's flat 1..=31 day check accepted Feb 30,
+        // which silently normalized to Mar 2 via days_from_civil.
+        for bad in [
+            "2009-02-30T00:00:00",
+            "2009-02-29T00:00:00", // 2009 is not a leap year
+            "2100-02-29T00:00:00", // century non-leap
+            "2009-04-31T00:00:00",
+            "2009-06-31T12:30:00",
+            "2009-09-31T00:00:00",
+            "2009-11-31T00:00:00",
+            "2009-01-32T00:00:00",
+            "2009-01-00T00:00:00",
+        ] {
+            assert!(Timestamp::parse_iso(bad).is_none(), "{bad}");
+        }
+        // Valid calendar boundaries still parse.
+        for good in [
+            "2008-02-29T00:00:00", // leap year
+            "2000-02-29T00:00:00", // 400-year leap
+            "2009-01-31T23:59:59",
+            "2009-04-30T00:00:00",
+            "2009-12-31T23:59:59",
+        ] {
+            let t = Timestamp::parse_iso(good).expect(good);
+            assert_eq!(t.to_iso(), good);
+        }
+    }
+
+    #[test]
     fn range_contains() {
         let r = TimeRange::one_year_from(Timestamp::from_ymd_hms(2009, 10, 26, 0, 0, 0));
         assert!(r.contains(Timestamp::from_ymd_hms(2010, 1, 1, 0, 0, 0)));
@@ -217,6 +264,24 @@ mod tests {
         fn iso_roundtrip(secs in 0i64..10_000_000_000i64) {
             let t = Timestamp(secs);
             prop_assert_eq!(Timestamp::parse_iso(&t.to_iso()), Some(t));
+        }
+
+        #[test]
+        fn parse_accepts_iff_calendar_valid(
+            year in 1i64..9999,
+            month in 0u8..15,
+            day in 0u8..35,
+        ) {
+            let text = format!("{year:04}-{month:02}-{day:02}T12:00:00");
+            let valid = (1..=12).contains(&month)
+                && (1..=days_in_month(year, month)).contains(&day);
+            let parsed = Timestamp::parse_iso(&text);
+            prop_assert_eq!(parsed.is_some(), valid, "{}", text);
+            if let Some(t) = parsed {
+                // A valid date must round-trip to the same civil form —
+                // the seed's Feb-30 bug normalized instead.
+                prop_assert_eq!(t.to_iso(), text);
+            }
         }
     }
 }

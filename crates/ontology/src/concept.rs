@@ -115,23 +115,34 @@ impl Concept {
     }
 }
 
-/// Split an identifier into lowercase tokens on case changes, digits, and
-/// separators: `TexasDriverLicense` → {texas, driver, license}.
+/// Split an identifier into lowercase tokens on case changes, alpha↔digit
+/// boundaries, and separators: `TexasDriverLicense` → {texas, driver,
+/// license}, `ISO9000Certified` → {iso, 9000, certified}.
+///
+/// Digit runs form their own tokens so that `ISO9000Certified` and the
+/// spaced keyword form `ISO 9000` tokenize compatibly ({iso, 9000, …} in
+/// both); without the boundary split the two share zero tokens and
+/// Jaccard matching on the paper's running example silently under-scores.
 pub fn tokenize_into(text: &str, out: &mut BTreeSet<String>) {
     let mut current = String::new();
     let mut prev_lower = false;
+    let mut prev_digit = false;
     for ch in text.chars() {
         if ch.is_alphanumeric() {
-            if ch.is_uppercase() && prev_lower && !current.is_empty() {
+            let boundary = (ch.is_uppercase() && prev_lower)
+                || (ch.is_numeric() != prev_digit && !current.is_empty());
+            if boundary && !current.is_empty() {
                 out.insert(std::mem::take(&mut current));
             }
             current.extend(ch.to_lowercase());
-            prev_lower = ch.is_lowercase() || ch.is_numeric();
+            prev_lower = ch.is_lowercase();
+            prev_digit = ch.is_numeric();
         } else {
             if !current.is_empty() {
                 out.insert(std::mem::take(&mut current));
             }
             prev_lower = false;
+            prev_digit = false;
         }
     }
     if !current.is_empty() {
@@ -194,6 +205,27 @@ mod tests {
         let mut set2 = BTreeSet::new();
         tokenize_into("", &mut set2);
         assert!(set2.is_empty());
+    }
+
+    #[test]
+    fn tokenize_splits_alpha_digit_boundaries() {
+        // Regression: the seed tokenizer kept `iso9000` joined, so
+        // `ISO9000Certified` shared zero tokens with the keyword
+        // `ISO 9000` and the paper's running example never matched.
+        let mut set = BTreeSet::new();
+        tokenize_into("ISO9000Certified", &mut set);
+        assert_eq!(set.iter().collect::<Vec<_>>(), ["9000", "certified", "iso"]);
+        let mut spaced = BTreeSet::new();
+        tokenize_into("ISO 9000", &mut spaced);
+        assert_eq!(spaced.iter().collect::<Vec<_>>(), ["9000", "iso"]);
+        assert_eq!(set.intersection(&spaced).count(), 2);
+        // Digit→alpha boundaries split too, digit runs stay whole.
+        let mut set = BTreeSet::new();
+        tokenize_into("9000x509v3", &mut set);
+        assert_eq!(
+            set.iter().collect::<Vec<_>>(),
+            ["3", "509", "9000", "v", "x"]
+        );
     }
 
     #[test]

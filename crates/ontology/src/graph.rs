@@ -7,14 +7,69 @@
 //! conveyed by concept Cₖ." (§4.3)
 
 use crate::concept::Concept;
+use crate::index::ConceptIndex;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Process-unique cache identities (see [`Ontology::cache_id`]).
+static NEXT_CACHE_ID: AtomicU64 = AtomicU64::new(1);
 
 /// A party's local ontology: a set of named concepts and `is_a` edges.
-#[derive(Debug, Clone, Default)]
+///
+/// Queries that scan or traverse — similarity matching, `is_subconcept`,
+/// `credential_types_for` — run against a lazily-built
+/// `ConceptIndex` (token interner, inverted token index, subsumption
+/// closure bitsets). The index carries the generation it was built at and
+/// is rebuilt on first use after any mutation, so `&self` queries always
+/// see current data.
 pub struct Ontology {
     concepts: BTreeMap<String, Concept>,
     /// `is_a` edges: child concept name → parent concept names.
     parents: BTreeMap<String, BTreeSet<String>>,
+    /// Process-unique identity for memo keying; fresh per clone.
+    cache_id: u64,
+    /// Mutation counter; bumped by `add` / `add_is_a`.
+    generation: u64,
+    /// The index snapshot, if built; stale when its generation lags.
+    index: RwLock<Option<Arc<ConceptIndex>>>,
+}
+
+impl Default for Ontology {
+    fn default() -> Self {
+        Ontology {
+            concepts: BTreeMap::new(),
+            parents: BTreeMap::new(),
+            cache_id: NEXT_CACHE_ID.fetch_add(1, Ordering::Relaxed),
+            generation: 0,
+            index: RwLock::new(None),
+        }
+    }
+}
+
+impl Clone for Ontology {
+    fn clone(&self) -> Self {
+        Ontology {
+            concepts: self.concepts.clone(),
+            parents: self.parents.clone(),
+            // A fresh id: clones that later diverge must never alias in
+            // the mapping memo. The built index (if current) is shared —
+            // it only depends on content.
+            cache_id: NEXT_CACHE_ID.fetch_add(1, Ordering::Relaxed),
+            generation: self.generation,
+            index: RwLock::new(self.index.read().expect("ontology index lock").clone()),
+        }
+    }
+}
+
+impl std::fmt::Debug for Ontology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ontology")
+            .field("concepts", &self.concepts)
+            .field("parents", &self.parents)
+            .field("generation", &self.generation)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Ontology {
@@ -27,6 +82,7 @@ impl Ontology {
     /// and adds more concepts to it as needed."
     pub fn add(&mut self, concept: Concept) {
         self.concepts.insert(concept.name.clone(), concept);
+        self.invalidate();
     }
 
     /// Declare `child is_a parent`. Returns `false` (and does nothing) if
@@ -35,14 +91,59 @@ impl Ontology {
         if !self.concepts.contains_key(child) || !self.concepts.contains_key(parent) {
             return false;
         }
-        if child == parent || self.is_subconcept(parent, child) {
+        // Cycle check on the raw edge maps: going through the index here
+        // would force a rebuild per inserted edge while an ontology is
+        // still being populated.
+        if child == parent || self.is_subconcept_scan(parent, child) {
             return false; // would create a cycle
         }
         self.parents
             .entry(child.to_owned())
             .or_default()
             .insert(parent.to_owned());
+        self.invalidate();
         true
+    }
+
+    /// Bump the generation and drop the stale index snapshot. Memo
+    /// entries keyed on the old `(cache_id, generation)` pair become
+    /// unreachable at the same instant.
+    fn invalidate(&mut self) {
+        self.generation += 1;
+        *self.index.get_mut().expect("ontology index lock") = None;
+    }
+
+    /// The process-unique identity of this instance (fresh per clone),
+    /// used with [`Ontology::generation`] to key the mapping memo.
+    pub fn cache_id(&self) -> u64 {
+        self.cache_id
+    }
+
+    /// The mutation counter: bumped by every `add` / `add_is_a`.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The current index snapshot, building it if absent or stale.
+    pub(crate) fn index(&self) -> Arc<ConceptIndex> {
+        if let Some(index) = self.index.read().expect("ontology index lock").as_ref() {
+            if index.built_generation() == self.generation {
+                return index.clone();
+            }
+        }
+        let mut guard = self.index.write().expect("ontology index lock");
+        if let Some(index) = guard.as_ref() {
+            if index.built_generation() == self.generation {
+                return index.clone();
+            }
+        }
+        let index = Arc::new(ConceptIndex::build(
+            &self.concepts,
+            &self.parents,
+            self.generation,
+        ));
+        *guard = Some(index.clone());
+        index
     }
 
     /// Look up a concept by name.
@@ -80,7 +181,22 @@ impl Ontology {
 
     /// Is `child` a (possibly transitive) subconcept of `ancestor`?
     /// Reflexive: every concept is a subconcept of itself.
+    ///
+    /// Answered from the precomputed subsumption closure: one bit test
+    /// instead of a BFS per query.
     pub fn is_subconcept(&self, child: &str, ancestor: &str) -> bool {
+        let index = self.index();
+        match (index.concept_id(child), index.concept_id(ancestor)) {
+            (Some(c), Some(a)) => index.is_subconcept(c, a),
+            _ => false,
+        }
+    }
+
+    /// BFS subsumption test on the raw edge maps — used by the
+    /// `add_is_a` cycle check so that populating an ontology never
+    /// triggers index rebuilds, and by the differential tests as the
+    /// closure's oracle.
+    pub(crate) fn is_subconcept_scan(&self, child: &str, ancestor: &str) -> bool {
         if child == ancestor {
             return self.concepts.contains_key(child);
         }
@@ -101,6 +217,12 @@ impl Ontology {
     }
 
     /// All ancestors of `name` (excluding itself), nearest first.
+    ///
+    /// Stays a BFS on purpose: the nearest-first contract encodes BFS
+    /// discovery order, which the closure's id-ordered bitsets cannot
+    /// reproduce, and the walk is already output-sensitive
+    /// (O(reachable), not O(concepts)). The closure still bounds it —
+    /// every name returned is a set bit in the ancestor row.
     pub fn ancestors(&self, name: &str) -> Vec<&str> {
         let mut out = Vec::new();
         let mut queue: VecDeque<&str> = VecDeque::new();
@@ -120,10 +242,21 @@ impl Ontology {
     /// All concepts that are subconcepts of `name` (including itself, if
     /// present). Credentials bound to any of these satisfy a request for
     /// `name`, by the `is_a` inference rule.
+    ///
+    /// Enumerated from the closure's descendant bitset (name order, same
+    /// as the seed's full filter scan) rather than one BFS per concept.
     pub fn subconcepts_of(&self, name: &str) -> Vec<&Concept> {
-        self.concepts
-            .values()
-            .filter(|c| self.is_subconcept(&c.name, name))
+        let index = self.index();
+        let Some(id) = index.concept_id(name) else {
+            return Vec::new();
+        };
+        index
+            .descendants_of(id)
+            .map(|c| {
+                self.concepts
+                    .get(index.name(c))
+                    .expect("index is in sync with the concept map")
+            })
             .collect()
     }
 

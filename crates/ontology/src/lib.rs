@@ -30,14 +30,21 @@
 pub mod concept;
 pub mod dictionary;
 pub mod graph;
+mod index;
 pub mod mapping;
 pub mod matcher;
+pub mod memo;
 pub mod owl;
 pub mod similarity;
+pub mod stats;
 
 pub use concept::{Binding, Concept};
 pub use dictionary::{map_concept_with_dictionary, Dictionary};
 pub use graph::Ontology;
-pub use mapping::{map_policy_concepts, MappingOutcome};
-pub use matcher::{match_concept, match_ontologies, ConceptMatch};
+pub use mapping::{map_concept, map_policy_concepts, MappingEngine, MappingOutcome};
+pub use matcher::{
+    best_local_match, match_concept, match_concept_reference, match_ontologies,
+    match_ontologies_reference, ConceptMatch,
+};
+pub use memo::{MapMemo, MapMemoStats};
 pub use owl::{ontology_from_xml, ontology_to_xml};

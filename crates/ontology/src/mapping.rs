@@ -14,7 +14,9 @@
 //! held credential found.
 
 use crate::graph::Ontology;
-use crate::matcher::{match_concept, ConceptMatch};
+use crate::matcher::{best_local_match, ConceptMatch};
+use crate::memo::{MapMemo, MemoKey};
+use crate::stats;
 use trust_vo_credential::{CredentialId, Sensitivity, XProfile};
 
 /// The result of mapping one requested concept.
@@ -64,6 +66,105 @@ impl MappingOutcome {
     }
 }
 
+/// The indexed Algorithm 1 engine: one ontology + one profile + one
+/// confidence floor, mapping requested concepts onto credentials.
+///
+/// Every [`MappingEngine::map`] call first consults the process-wide
+/// [`MapMemo`] (keyed on the ontology's and profile's
+/// `(cache_id, generation)` identities plus the threshold and the
+/// requested name), then runs Algorithm 1 against the ontology's
+/// `ConceptIndex`: direct lookup, single-scan indexed
+/// similarity fallback, closure-backed `is_a` inference, and the
+/// `CredCluster` low→high sensitivity probe.
+#[derive(Debug, Clone, Copy)]
+pub struct MappingEngine<'a> {
+    ontology: &'a Ontology,
+    profile: &'a XProfile,
+    threshold: f64,
+}
+
+impl<'a> MappingEngine<'a> {
+    /// An engine over one ontology/profile pair with a similarity floor.
+    pub fn new(ontology: &'a Ontology, profile: &'a XProfile, threshold: f64) -> Self {
+        MappingEngine {
+            ontology,
+            profile,
+            threshold,
+        }
+    }
+
+    /// Map one concept (Algorithm 1's inner loop body), memoized.
+    pub fn map(&self, concept: &str) -> MappingOutcome {
+        let memo = MapMemo::global();
+        let key = MemoKey::new(
+            (self.ontology.cache_id(), self.ontology.generation()),
+            (self.profile.cache_id(), self.profile.generation()),
+            self.threshold,
+            concept,
+        );
+        if let Some(hit) = memo.get(&key) {
+            return hit;
+        }
+        let outcome = self.map_uncached(concept);
+        memo.insert(key, &outcome);
+        outcome
+    }
+
+    /// Algorithm 1 proper: map every concept of a policy.
+    pub fn map_all(&self, concepts: &[String]) -> Vec<MappingOutcome> {
+        concepts.iter().map(|c| self.map(c)).collect()
+    }
+
+    fn map_uncached(&self, concept: &str) -> MappingOutcome {
+        // Line 3: `if Cᵢ ∈ CSet` — direct lookup first.
+        let (resolved, via) = if self.ontology.contains(concept) {
+            stats::DIRECT_HITS.inc();
+            (concept.to_owned(), None)
+        } else {
+            // Lines 20–29: similarity fallback, one indexed scan. The
+            // best sub-threshold confidence for the `UnknownConcept`
+            // diagnostics comes from the same pass — the seed ran the
+            // whole O(concepts) scan a second time to recover it.
+            match best_local_match(concept, self.ontology) {
+                Some(m) if m.confidence >= self.threshold && m.confidence > 0.0 => {
+                    (m.target.clone(), Some(m))
+                }
+                best => {
+                    return MappingOutcome::UnknownConcept {
+                        concept: concept.to_owned(),
+                        best_confidence: best.map(|m| m.confidence).unwrap_or(0.0),
+                    }
+                }
+            }
+        };
+        // Lines 4–18: collect the credentials associated with the concept
+        // (is_a inference included) and probe sensitivity clusters
+        // low→high.
+        let types = self.ontology.credential_types_for(&resolved);
+        let candidates: Vec<CredentialId> = self
+            .profile
+            .credentials()
+            .iter()
+            .filter(|c| types.contains(c.cred_type()))
+            .map(|c| c.id().clone())
+            .collect();
+        for level in Sensitivity::ALL {
+            if let Some(cred) = self.profile.cred_cluster(&candidates, level).next() {
+                return MappingOutcome::Mapped {
+                    concept: concept.to_owned(),
+                    via,
+                    credential: cred.id().clone(),
+                    sensitivity: level,
+                };
+            }
+        }
+        MappingOutcome::NoCredential {
+            concept: concept.to_owned(),
+            resolved,
+        }
+    }
+}
+
 /// Map one concept (Algorithm 1's inner loop body).
 pub fn map_concept(
     ontology: &Ontology,
@@ -71,47 +172,7 @@ pub fn map_concept(
     concept: &str,
     threshold: f64,
 ) -> MappingOutcome {
-    // Line 3: `if Cᵢ ∈ CSet` — direct lookup first.
-    let (resolved, via) = if ontology.contains(concept) {
-        (concept.to_owned(), None)
-    } else {
-        // Lines 20–29: similarity fallback over every local concept.
-        match match_concept(concept, ontology, threshold) {
-            Some(m) => (m.target.clone(), Some(m)),
-            None => {
-                let best = match_concept(concept, ontology, 0.0)
-                    .map(|m| m.confidence)
-                    .unwrap_or(0.0);
-                return MappingOutcome::UnknownConcept {
-                    concept: concept.to_owned(),
-                    best_confidence: best,
-                };
-            }
-        }
-    };
-    // Lines 4–18: collect the credentials associated with the concept
-    // (is_a inference included) and probe sensitivity clusters low→high.
-    let types = ontology.credential_types_for(&resolved);
-    let candidates: Vec<CredentialId> = profile
-        .credentials()
-        .iter()
-        .filter(|c| types.contains(c.cred_type()))
-        .map(|c| c.id().clone())
-        .collect();
-    for level in Sensitivity::ALL {
-        if let Some(cred) = profile.cred_cluster(&candidates, level).next() {
-            return MappingOutcome::Mapped {
-                concept: concept.to_owned(),
-                via,
-                credential: cred.id().clone(),
-                sensitivity: level,
-            };
-        }
-    }
-    MappingOutcome::NoCredential {
-        concept: concept.to_owned(),
-        resolved,
-    }
+    MappingEngine::new(ontology, profile, threshold).map(concept)
 }
 
 /// Algorithm 1 proper: map every concept of a policy.
@@ -121,10 +182,7 @@ pub fn map_policy_concepts(
     concepts: &[String],
     threshold: f64,
 ) -> Vec<MappingOutcome> {
-    concepts
-        .iter()
-        .map(|c| map_concept(ontology, profile, c, threshold))
-        .collect()
+    MappingEngine::new(ontology, profile, threshold).map_all(concepts)
 }
 
 #[cfg(test)]

@@ -8,8 +8,11 @@
 //! This is achieved by taking C and matching it with every concept in
 //! ontology O₂." (§4.3.1)
 
+use crate::concept::tokenize_into;
 use crate::graph::Ontology;
 use crate::similarity::{compute_similarity, name_similarity};
+use crate::stats;
+use std::collections::BTreeSet;
 
 /// One entry of an ontology mapping: a source concept matched to a target
 /// concept with a confidence in `[0, 1]`.
@@ -28,8 +31,43 @@ pub struct ConceptMatch {
 ///
 /// This is the fallback branch of Algorithm 1 (lines 20–29): "the
 /// negotiator … can compute the mapping according to a matching algorithm,
-/// and resolve the ambiguity".
+/// and resolve the ambiguity". Scoring goes through the inverted token
+/// index (`crate::index`), which only scores concepts sharing ≥ 1 token
+/// with the query — byte-identical outcomes to
+/// [`match_concept_reference`], measurably faster on large ontologies.
 pub fn match_concept(name: &str, local: &Ontology, threshold: f64) -> Option<ConceptMatch> {
+    best_local_match(name, local).filter(|m| m.confidence >= threshold && m.confidence > 0.0)
+}
+
+/// The unfiltered similarity argmax of `name` over `local` — one indexed
+/// scan, no threshold. Returns `None` only when `local` is empty.
+///
+/// This is the single-scan primitive behind [`match_concept`] and the
+/// mapping engine's `UnknownConcept` diagnostics: the best sub-threshold
+/// confidence comes from the same pass that computed the argmax, where
+/// the seed ran the full scan a second time just to report it.
+pub fn best_local_match(name: &str, local: &Ontology) -> Option<ConceptMatch> {
+    let index = local.index();
+    let mut tokens = BTreeSet::new();
+    tokenize_into(name, &mut tokens);
+    stats::SIMILARITY_SCANS.inc();
+    let (id, confidence) = index.best_match(&tokens)?;
+    Some(ConceptMatch {
+        source: name.to_owned(),
+        target: index.name(id).to_owned(),
+        confidence,
+    })
+}
+
+/// The seed's naive scan, retained verbatim as the differential oracle
+/// for the indexed path: re-tokenizes every concept and scores all of
+/// them. Must return byte-identical results to [`match_concept`].
+pub fn match_concept_reference(
+    name: &str,
+    local: &Ontology,
+    threshold: f64,
+) -> Option<ConceptMatch> {
+    stats::REFERENCE_SCANS.inc();
     let mut best: Option<ConceptMatch> = None;
     for concept in local.concepts() {
         let score = name_similarity(name, concept);
@@ -50,9 +88,29 @@ pub fn match_concept(name: &str, local: &Ontology, threshold: f64) -> Option<Con
 
 /// Match every concept of `source` against `target`, returning the best
 /// match per source concept (no threshold — callers filter by confidence).
+/// Each source concept is one indexed query against `target`.
 pub fn match_ontologies(source: &Ontology, target: &Ontology) -> Vec<ConceptMatch> {
+    let index = target.index();
     let mut out = Vec::with_capacity(source.len());
     for sc in source.concepts() {
+        stats::SIMILARITY_SCANS.inc();
+        if let Some((id, confidence)) = index.best_match(&sc.feature_tokens()) {
+            out.push(ConceptMatch {
+                source: sc.name.clone(),
+                target: index.name(id).to_owned(),
+                confidence,
+            });
+        }
+    }
+    out
+}
+
+/// The seed's all-pairs cross-ontology scan, retained as the
+/// differential oracle for [`match_ontologies`].
+pub fn match_ontologies_reference(source: &Ontology, target: &Ontology) -> Vec<ConceptMatch> {
+    let mut out = Vec::with_capacity(source.len());
+    for sc in source.concepts() {
+        stats::REFERENCE_SCANS.inc();
         let mut best: Option<ConceptMatch> = None;
         for tc in target.concepts() {
             let score = compute_similarity(sc, tc);

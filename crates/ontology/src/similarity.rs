@@ -16,11 +16,17 @@ use std::collections::BTreeSet;
 /// Jaccard coefficient between two sets: `|A ∩ B| / |A ∪ B|`.
 /// Both empty ⇒ 1.0 (identical); one empty ⇒ 0.0.
 pub fn jaccard(a: &BTreeSet<String>, b: &BTreeSet<String>) -> f64 {
-    if a.is_empty() && b.is_empty() {
+    jaccard_counts(a.intersection(b).count(), a.len(), b.len())
+}
+
+/// The coefficient from precomputed set sizes — the single shared float
+/// computation, so the indexed matcher and the naive scan produce
+/// bit-identical scores from the same integer counts.
+pub(crate) fn jaccard_counts(intersection: usize, a_len: usize, b_len: usize) -> f64 {
+    if a_len == 0 && b_len == 0 {
         return 1.0;
     }
-    let intersection = a.intersection(b).count();
-    let union = a.len() + b.len() - intersection;
+    let union = a_len + b_len - intersection;
     if union == 0 {
         1.0
     } else {
@@ -79,6 +85,19 @@ mod tests {
         let a = Concept::new("BalanceSheet");
         let b = Concept::new("DriverLicense");
         assert_eq!(compute_similarity(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn iso9000_digit_boundary_regression() {
+        // Regression for the tokenizer digit-boundary bug: under the seed
+        // tokenizer `ISO9000Certified` → {iso9000, certified} shared zero
+        // tokens with the spaced keyword form `ISO 9000` → {iso, 9000},
+        // so the paper's running example scored 0 here.
+        let a = Concept::new("ISO9000Certified");
+        let b = Concept::new("QualityStandard").keyword("ISO 9000");
+        let s = compute_similarity(&a, &b);
+        assert!(s > 0.0, "{s}");
+        assert!(name_similarity("ISO 9000", &a) > 0.0);
     }
 
     #[test]

@@ -1,0 +1,70 @@
+//! Process-wide `ontology.*` operation counters.
+//!
+//! Mirrors `trust_vo_crypto::stats`: the counters are
+//! [`trust_vo_obs::Counter`]s held in statics, because the mapping layer
+//! has no per-call context to thread a registry through and the benches
+//! want one authoritative count of how much Algorithm 1 work a whole run
+//! performed. Bench binaries export a [`snapshot`] into their collector
+//! as `ontology.*` counters at dump time.
+
+use std::sync::LazyLock;
+use trust_vo_obs::Counter;
+
+/// Direct (`Cᵢ ∈ CSet`) concept lookups that hit.
+pub(crate) static DIRECT_HITS: LazyLock<Counter> = LazyLock::new(Counter::new);
+/// Indexed similarity scans (one per `best_local_match` call — the
+/// `UnknownConcept` path must move this by exactly one).
+pub(crate) static SIMILARITY_SCANS: LazyLock<Counter> = LazyLock::new(Counter::new);
+/// Naive reference scans (`match_concept_reference`), kept for
+/// differential testing.
+pub(crate) static REFERENCE_SCANS: LazyLock<Counter> = LazyLock::new(Counter::new);
+/// Concepts actually scored by the inverted index (shared ≥ 1 token).
+pub(crate) static INDEX_CANDIDATES: LazyLock<Counter> = LazyLock::new(Counter::new);
+/// Concepts the inverted index pruned without scoring.
+pub(crate) static INDEX_PRUNED: LazyLock<Counter> = LazyLock::new(Counter::new);
+/// Index (re)builds — interner, postings, and subsumption closure.
+pub(crate) static INDEX_BUILDS: LazyLock<Counter> = LazyLock::new(Counter::new);
+
+/// A point-in-time copy of every `ontology.*` counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OntologyStats {
+    /// Direct concept lookups that hit.
+    pub direct_hits: u64,
+    /// Indexed similarity scans.
+    pub similarity_scans: u64,
+    /// Naive reference scans.
+    pub reference_scans: u64,
+    /// Concepts scored by the inverted index.
+    pub index_candidates: u64,
+    /// Concepts pruned by the inverted index.
+    pub index_pruned: u64,
+    /// Index (re)builds.
+    pub index_builds: u64,
+}
+
+/// Read the current totals.
+pub fn snapshot() -> OntologyStats {
+    OntologyStats {
+        direct_hits: DIRECT_HITS.get(),
+        similarity_scans: SIMILARITY_SCANS.get(),
+        reference_scans: REFERENCE_SCANS.get(),
+        index_candidates: INDEX_CANDIDATES.get(),
+        index_pruned: INDEX_PRUNED.get(),
+        index_builds: INDEX_BUILDS.get(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_increments() {
+        let before = snapshot();
+        DIRECT_HITS.inc();
+        INDEX_CANDIDATES.add(3);
+        let after = snapshot();
+        assert!(after.direct_hits > before.direct_hits);
+        assert!(after.index_candidates >= before.index_candidates + 3);
+    }
+}

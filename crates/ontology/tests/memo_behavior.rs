@@ -1,0 +1,125 @@
+//! Behavioural tests for the process-wide mapping memo: hit/miss
+//! accounting, on/off outcome identity, and generation-based
+//! invalidation. These assert on [`MapMemo::global`] counters, so every
+//! test serializes on one lock and restores the enabled flag it found.
+
+use std::sync::{Mutex, MutexGuard};
+use trust_vo_credential::{Attribute, CredentialAuthority, TimeRange, Timestamp, XProfile};
+use trust_vo_crypto::KeyPair;
+use trust_vo_ontology::{map_concept, Concept, MapMemo, Ontology};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// Serialize the test and restore the memo's enabled flag on drop.
+struct MemoGuard {
+    _lock: MutexGuard<'static, ()>,
+    was_enabled: bool,
+}
+
+impl MemoGuard {
+    fn acquire() -> Self {
+        let lock = LOCK.lock().unwrap_or_else(|poison| poison.into_inner());
+        MemoGuard {
+            _lock: lock,
+            was_enabled: MapMemo::global().is_enabled(),
+        }
+    }
+}
+
+impl Drop for MemoGuard {
+    fn drop(&mut self) {
+        MapMemo::global().set_enabled(self.was_enabled);
+    }
+}
+
+fn setup() -> (Ontology, XProfile) {
+    let mut o = Ontology::new();
+    o.add(
+        Concept::new("QualityCertification")
+            .keyword("ISO 9000")
+            .implemented_by("ISO9000Certified"),
+    );
+    o.add(Concept::new("BalanceSheet").implemented_by("CertificationAuthorityCompany"));
+    let mut ca = CredentialAuthority::new("INFN");
+    let keys = KeyPair::from_seed(b"memo");
+    let mut p = XProfile::new("Aerospace");
+    p.add(
+        ca.issue(
+            "ISO9000Certified",
+            "Aerospace",
+            keys.public,
+            vec![Attribute::new("QualityRegulation", "UNI EN ISO 9000")],
+            TimeRange::one_year_from(Timestamp::from_ymd_hms(2009, 1, 1, 0, 0, 0)),
+        )
+        .expect("open schema"),
+    );
+    (o, p)
+}
+
+#[test]
+fn repeat_mapping_hits_the_memo() {
+    let _guard = MemoGuard::acquire();
+    let memo = MapMemo::global();
+    memo.set_enabled(true);
+    let (o, p) = setup();
+    let before = memo.stats();
+    let first = map_concept(&o, &p, "Quality_Certification_ISO", 0.2);
+    let mid = memo.stats();
+    assert_eq!(mid.misses, before.misses + 1);
+    assert_eq!(mid.insertions, before.insertions + 1);
+    let second = map_concept(&o, &p, "Quality_Certification_ISO", 0.2);
+    let after = memo.stats();
+    assert_eq!(after.hits, mid.hits + 1);
+    assert_eq!(first, second, "memo hit must be byte-identical");
+}
+
+#[test]
+fn disabled_memo_yields_identical_outcomes() {
+    let _guard = MemoGuard::acquire();
+    let memo = MapMemo::global();
+    let (o, p) = setup();
+    let concepts = [
+        "QualityCertification",
+        "Quality_Certification_ISO",
+        "BalanceSheet",
+        "Xylophone",
+    ];
+    memo.set_enabled(false);
+    let off: Vec<_> = concepts
+        .iter()
+        .map(|c| map_concept(&o, &p, c, 0.2))
+        .collect();
+    memo.set_enabled(true);
+    let on_miss: Vec<_> = concepts
+        .iter()
+        .map(|c| map_concept(&o, &p, c, 0.2))
+        .collect();
+    let on_hit: Vec<_> = concepts
+        .iter()
+        .map(|c| map_concept(&o, &p, c, 0.2))
+        .collect();
+    assert_eq!(off, on_miss, "memo off vs on (miss path) diverged");
+    assert_eq!(off, on_hit, "memo off vs on (hit path) diverged");
+}
+
+#[test]
+fn mutation_moves_to_miss_not_stale_hit() {
+    let _guard = MemoGuard::acquire();
+    let memo = MapMemo::global();
+    memo.set_enabled(true);
+    let (mut o, p) = setup();
+    let mapped = map_concept(&o, &p, "QualityCertification", 0.2);
+    assert!(mapped.is_mapped());
+    // Replace the concept: the old memo entry's key embeds the old
+    // generation, so the next lookup must be a *miss*, not a stale hit.
+    o.add(Concept::new("QualityCertification"));
+    let before = memo.stats();
+    let remapped = map_concept(&o, &p, "QualityCertification", 0.2);
+    let after = memo.stats();
+    assert_eq!(after.misses, before.misses + 1);
+    assert_eq!(after.hits, before.hits);
+    assert!(
+        !remapped.is_mapped(),
+        "served a stale outcome: {remapped:?}"
+    );
+}

@@ -37,7 +37,10 @@ pub fn satisfying_credentials<'a>(
                 return Vec::new();
             };
             // Resolve the concept as Algorithm 1 does (direct lookup, then
-            // similarity fallback) …
+            // one indexed similarity scan — the ontology's inverted token
+            // index makes this O(candidates), not O(concepts)). The
+            // mapping memo is not consulted here: the result depends on
+            // the term's conditions, which are not part of the memo key …
             let resolved = if ontology.contains(name) {
                 name.clone()
             } else {
