@@ -12,9 +12,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 # subsets under vendor/ are out of scope for the doc gate).
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
   -p trust-vo -p trust-vo-bench -p trust-vo-credential -p trust-vo-crypto \
-  -p trust-vo-negotiation -p trust-vo-netsim -p trust-vo-obs \
-  -p trust-vo-ontology -p trust-vo-policy -p trust-vo-soa -p trust-vo-store \
-  -p trust-vo-vo -p trust-vo-xmldoc
+  -p trust-vo-journal -p trust-vo-negotiation -p trust-vo-netsim \
+  -p trust-vo-obs -p trust-vo-ontology -p trust-vo-policy -p trust-vo-soa \
+  -p trust-vo-store -p trust-vo-vo -p trust-vo-xmldoc
 cargo bench --workspace --no-run
 # Disabled-instrumentation smoke: with the obs feature compiled out the
 # formation bench must still build and complete one shrunken iteration.
@@ -40,6 +40,14 @@ RUSTFLAGS="-C target-cpu=native" CARGO_TARGET_DIR=target/native \
 cargo run --release -p trust-vo-bench --bin fig9_join_times -- --smoke > target/e12-cache-on.txt
 TRUST_VO_CRED_CACHE=0 cargo run --release -p trust-vo-bench --bin fig9_join_times -- --smoke > target/e12-cache-off.txt
 cmp target/e12-cache-on.txt target/e12-cache-off.txt
+# Journal determinism gate: the same seed must journal the same facts in
+# the same frames — two formation runs, byte-identical replay/state
+# digests — plus a truncated-journal recovery smoke (every cut in a
+# 97-step sweep must restore a clean-prefix state, asserted in-binary).
+cargo run --release -p trust-vo-bench --bin journal_workload -- --seed 42 > target/journal-digest-a.txt
+cargo run --release -p trust-vo-bench --bin journal_workload -- --seed 42 > target/journal-digest-b.txt
+cmp target/journal-digest-a.txt target/journal-digest-b.txt
+cargo run --release -p trust-vo-bench --bin journal_workload -- --smoke --seed 42
 # Indexed mapping-engine gate (E5b): the similarity-fallback speedup
 # floor at n=800 and the n=10000 completeness check are asserted
 # in-binary.

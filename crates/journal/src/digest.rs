@@ -1,0 +1,77 @@
+//! FNV-1a 64-bit folding, for replay and state digests.
+//!
+//! Not cryptographic — the journal's integrity guard is the per-record
+//! CRC in [`crate::frame`]; this digest only has to make *unequal
+//! replayed states* collide with negligible probability so determinism
+//! gates can compare one number instead of whole journals.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incremental FNV-1a 64-bit hasher.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64(FNV_OFFSET)
+    }
+}
+
+impl Fnv64 {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold bytes into the running digest.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Fold a length-prefixed chunk: `write_framed(a); write_framed(b)`
+    /// never collides with `write_framed(a ++ b)`.
+    pub fn write_framed(&mut self, bytes: &[u8]) {
+        self.write(&(bytes.len() as u64).to_le_bytes());
+        self.write(bytes);
+    }
+
+    /// The current digest value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot digest of a byte slice.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn framing_separates_chunks() {
+        let mut a = Fnv64::new();
+        a.write_framed(b"ab");
+        a.write_framed(b"c");
+        let mut b = Fnv64::new();
+        b.write_framed(b"a");
+        b.write_framed(b"bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

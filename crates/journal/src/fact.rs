@@ -1,0 +1,171 @@
+//! Journal facts: the logical operations the journal makes durable.
+//!
+//! Facts are deliberately domain-light — collections and documents are
+//! named by strings and documents travel as serialized XML — so the
+//! journal crate sits below `store`, `ontology`, and `soa` without
+//! depending on any of them.
+
+/// One durable operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fact {
+    /// A document insert/update in a named collection (appends one
+    /// revision on replay, exactly as the original `put` did).
+    Put {
+        /// The collection name.
+        collection: String,
+        /// The document id within the collection.
+        id: String,
+        /// The document, serialized XML.
+        xml: String,
+    },
+    /// A document tombstone (history retained, as in the live store).
+    Delete {
+        /// The collection name.
+        collection: String,
+        /// The document id within the collection.
+        id: String,
+    },
+    /// A resolved concept pair from the mapping memo: `alias` (the
+    /// counterpart's name) resolved to the local `canonical` concept —
+    /// replayable as the paper's §4.3 dictionary.
+    Mapping {
+        /// The requested (foreign) concept name.
+        alias: String,
+        /// The local concept it resolved to.
+        canonical: String,
+    },
+}
+
+const TAG_PUT: u8 = 1;
+const TAG_DELETE: u8 = 2;
+const TAG_MAPPING: u8 = 3;
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn get_str(bytes: &[u8], pos: &mut usize) -> Option<String> {
+    let len_end = pos.checked_add(4)?;
+    let len = u32::from_le_bytes(bytes.get(*pos..len_end)?.try_into().ok()?) as usize;
+    let end = len_end.checked_add(len)?;
+    let s = std::str::from_utf8(bytes.get(len_end..end)?).ok()?;
+    *pos = end;
+    Some(s.to_owned())
+}
+
+impl Fact {
+    /// Append this fact's canonical byte encoding to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Fact::Put {
+                collection,
+                id,
+                xml,
+            } => {
+                out.push(TAG_PUT);
+                put_str(out, collection);
+                put_str(out, id);
+                put_str(out, xml);
+            }
+            Fact::Delete { collection, id } => {
+                out.push(TAG_DELETE);
+                put_str(out, collection);
+                put_str(out, id);
+            }
+            Fact::Mapping { alias, canonical } => {
+                out.push(TAG_MAPPING);
+                put_str(out, alias);
+                put_str(out, canonical);
+            }
+        }
+    }
+
+    /// The canonical byte encoding.
+    pub fn encoded(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decode one fact starting at `*pos`, advancing it past the fact.
+    /// `None` on any malformed byte — the caller treats the whole record
+    /// as corrupt.
+    pub fn decode(bytes: &[u8], pos: &mut usize) -> Option<Fact> {
+        let tag = *bytes.get(*pos)?;
+        *pos += 1;
+        match tag {
+            TAG_PUT => Some(Fact::Put {
+                collection: get_str(bytes, pos)?,
+                id: get_str(bytes, pos)?,
+                xml: get_str(bytes, pos)?,
+            }),
+            TAG_DELETE => Some(Fact::Delete {
+                collection: get_str(bytes, pos)?,
+                id: get_str(bytes, pos)?,
+            }),
+            TAG_MAPPING => Some(Fact::Mapping {
+                alias: get_str(bytes, pos)?,
+                canonical: get_str(bytes, pos)?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(fact: &Fact) {
+        let enc = fact.encoded();
+        let mut pos = 0;
+        let back = Fact::decode(&enc, &mut pos).expect("decodes");
+        assert_eq!(&back, fact);
+        assert_eq!(pos, enc.len(), "decode consumes the whole encoding");
+    }
+
+    #[test]
+    fn roundtrip_all_variants() {
+        roundtrip(&Fact::Put {
+            collection: "profiles".into(),
+            id: "Aerospace".into(),
+            xml: "<profile owner=\"Aerospace\"/>".into(),
+        });
+        roundtrip(&Fact::Delete {
+            collection: "checkpoints".into(),
+            id: "7".into(),
+        });
+        roundtrip(&Fact::Mapping {
+            alias: "Bilancio".into(),
+            canonical: "BalanceSheet".into(),
+        });
+        roundtrip(&Fact::Put {
+            collection: String::new(),
+            id: String::new(),
+            xml: String::new(),
+        });
+    }
+
+    #[test]
+    fn malformed_bytes_rejected() {
+        // Unknown tag.
+        assert!(Fact::decode(&[9], &mut 0).is_none());
+        // Truncated string length.
+        assert!(Fact::decode(&[2, 5, 0, 0], &mut 0).is_none());
+        // String length past the end.
+        assert!(Fact::decode(&[2, 255, 0, 0, 0, b'x'], &mut 0).is_none());
+        // Empty input.
+        assert!(Fact::decode(&[], &mut 0).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_arbitrary_strings(c in ".{0,40}", i in ".{0,40}", x in ".{0,80}") {
+            roundtrip(&Fact::Put { collection: c.clone(), id: i.clone(), xml: x });
+            roundtrip(&Fact::Delete { collection: c.clone(), id: i.clone() });
+            roundtrip(&Fact::Mapping { alias: c, canonical: i });
+        }
+    }
+}

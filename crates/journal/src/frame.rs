@@ -1,0 +1,180 @@
+//! Record framing: `[len: u32 LE][crc32: u32 LE][payload]`.
+//!
+//! The length is of the payload alone; the CRC is the IEEE CRC-32 of the
+//! payload. A record whose frame runs past the end of the buffer, or
+//! whose payload fails its checksum, ends the clean prefix — everything
+//! before it replays, everything from it on is a torn tail.
+
+/// Bytes of frame header preceding every payload.
+pub const HEADER_LEN: usize = 8;
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// IEEE CRC-32 (the zlib/PNG polynomial) of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Append one framed record to `buf`.
+pub fn push_record(buf: &mut Vec<u8>, payload: &[u8]) {
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&crc32(payload).to_le_bytes());
+    buf.extend_from_slice(payload);
+}
+
+/// The clean record prefix of a (possibly torn) journal byte stream.
+#[derive(Debug)]
+pub struct ScanOutcome<'a> {
+    /// Payloads of every intact record, in append order.
+    pub payloads: Vec<&'a [u8]>,
+    /// Byte length of the clean prefix (end of the last intact record).
+    pub clean_len: usize,
+    /// Whether bytes after the clean prefix were discarded.
+    pub truncated: bool,
+}
+
+/// Scan framed records from the front, stopping at the first incomplete
+/// or checksum-failing record.
+pub fn scan(bytes: &[u8]) -> ScanOutcome<'_> {
+    let mut payloads = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        let remaining = bytes.len() - pos;
+        if remaining == 0 {
+            return ScanOutcome {
+                payloads,
+                clean_len: pos,
+                truncated: false,
+            };
+        }
+        if remaining < HEADER_LEN {
+            return ScanOutcome {
+                payloads,
+                clean_len: pos,
+                truncated: true,
+            };
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        let body_start = pos + HEADER_LEN;
+        if len > bytes.len() - body_start {
+            // Torn mid-payload (or a corrupt length field): drop the tail.
+            return ScanOutcome {
+                payloads,
+                clean_len: pos,
+                truncated: true,
+            };
+        }
+        let payload = &bytes[body_start..body_start + len];
+        if crc32(payload) != crc {
+            return ScanOutcome {
+                payloads,
+                clean_len: pos,
+                truncated: true,
+            };
+        }
+        payloads.push(payload);
+        pos = body_start + len;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn roundtrip_multiple_records() {
+        let mut buf = Vec::new();
+        push_record(&mut buf, b"alpha");
+        push_record(&mut buf, b"");
+        push_record(&mut buf, b"gamma-gamma");
+        let scan = scan(&buf);
+        assert!(!scan.truncated);
+        assert_eq!(scan.clean_len, buf.len());
+        assert_eq!(
+            scan.payloads,
+            vec![
+                b"alpha".as_slice(),
+                b"".as_slice(),
+                b"gamma-gamma".as_slice()
+            ]
+        );
+    }
+
+    #[test]
+    fn corrupt_record_ends_prefix() {
+        let mut buf = Vec::new();
+        push_record(&mut buf, b"good");
+        let boundary = buf.len();
+        push_record(&mut buf, b"bad!");
+        // Flip a payload byte of the second record.
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01;
+        let scan = scan(&buf);
+        assert!(scan.truncated);
+        assert_eq!(scan.clean_len, boundary);
+        assert_eq!(scan.payloads, vec![b"good".as_slice()]);
+    }
+
+    proptest! {
+        /// Every byte-truncation point recovers some record prefix, and
+        /// truncation exactly at a boundary keeps all records before it.
+        #[test]
+        fn truncation_yields_prefix(
+            payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..24), 1..12),
+            cut_permille in 0u32..1000,
+        ) {
+            let mut buf = Vec::new();
+            let mut boundaries = vec![0usize];
+            for p in &payloads {
+                push_record(&mut buf, p);
+                boundaries.push(buf.len());
+            }
+            let cut = buf.len() * cut_permille as usize / 1000;
+            let scanned = scan(&buf[..cut]);
+            // The clean prefix is a record boundary ≤ cut, and the record
+            // count equals the number of boundaries passed.
+            let expect_records = boundaries.iter().filter(|&&b| b > 0 && b <= cut).count();
+            prop_assert_eq!(scanned.payloads.len(), expect_records);
+            prop_assert_eq!(scanned.clean_len, boundaries[expect_records]);
+            for (got, want) in scanned.payloads.iter().zip(&payloads) {
+                prop_assert_eq!(*got, want.as_slice());
+            }
+        }
+    }
+}

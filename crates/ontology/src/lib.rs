@@ -39,6 +39,8 @@ pub mod similarity;
 pub mod stats;
 
 pub use concept::{Binding, Concept};
+#[cfg(feature = "journal")]
+pub use dictionary::dictionary_from_journal;
 pub use dictionary::{map_concept_with_dictionary, Dictionary};
 pub use graph::Ontology;
 pub use mapping::{map_concept, map_policy_concepts, MappingEngine, MappingOutcome};

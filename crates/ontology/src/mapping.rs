@@ -81,6 +81,7 @@ pub struct MappingEngine<'a> {
     ontology: &'a Ontology,
     profile: &'a XProfile,
     threshold: f64,
+    memo: Option<&'a MapMemo>,
 }
 
 impl<'a> MappingEngine<'a> {
@@ -90,12 +91,25 @@ impl<'a> MappingEngine<'a> {
             ontology,
             profile,
             threshold,
+            memo: None,
         }
+    }
+
+    /// Memoize through `memo` instead of the process-wide
+    /// [`MapMemo::global`]. A private memo isolates journal attachment
+    /// (the global's first-wins hook is process lifetime) — recovery
+    /// tooling and tests use this to keep their fact streams separate.
+    pub fn with_memo(mut self, memo: &'a MapMemo) -> Self {
+        self.memo = Some(memo);
+        self
     }
 
     /// Map one concept (Algorithm 1's inner loop body), memoized.
     pub fn map(&self, concept: &str) -> MappingOutcome {
-        let memo = MapMemo::global();
+        let memo = match self.memo {
+            Some(memo) => memo,
+            None => MapMemo::global(),
+        };
         let key = MemoKey::new(
             (self.ontology.cache_id(), self.ontology.generation()),
             (self.profile.cache_id(), self.profile.generation()),

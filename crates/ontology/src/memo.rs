@@ -30,7 +30,11 @@ use crate::mapping::MappingOutcome;
 use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, Ordering};
+#[cfg(feature = "journal")]
+use std::sync::{Arc, OnceLock};
 use std::sync::{LazyLock, Mutex};
+#[cfg(feature = "journal")]
+use trust_vo_journal::{Fact, Journal};
 use trust_vo_obs::Counter;
 
 /// Memo key: everything a [`MappingOutcome`] is a pure function of.
@@ -106,6 +110,11 @@ pub struct MapMemo {
     misses: Counter,
     insertions: Counter,
     evictions: Counter,
+    /// When armed, every genuinely-inserted similarity resolution
+    /// (`alias → canonical`) spills a [`Fact::Mapping`] record — the
+    /// durable form of the paper's §4.3 dictionary.
+    #[cfg(feature = "journal")]
+    journal: OnceLock<Arc<Journal>>,
 }
 
 /// Shards in the global memo.
@@ -141,7 +150,20 @@ impl MapMemo {
             misses: Counter::new(),
             insertions: Counter::new(),
             evictions: Counter::new(),
+            #[cfg(feature = "journal")]
+            journal: OnceLock::new(),
         }
+    }
+
+    /// Attach a journal: each subsequently-memoized concept resolution
+    /// that went through similarity matching appends a [`Fact::Mapping`]
+    /// (the alias the counterpart used and the local canonical concept it
+    /// resolved to). First attachment wins. On the process-wide
+    /// [`MapMemo::global`] this is a startup-time call — tests use private
+    /// memos via `MappingEngine::with_memo` instead.
+    #[cfg(feature = "journal")]
+    pub fn attach_journal(&self, journal: Arc<Journal>) {
+        let _ = self.journal.set(journal);
     }
 
     /// The process-wide memo every `map_concept` call goes through.
@@ -187,6 +209,18 @@ impl MapMemo {
         let mut guard = shard.lock().expect("map memo lock");
         if guard.map.insert(key.clone(), outcome.clone()).is_some() {
             return; // racing mapper got there first
+        }
+        // Only genuine first inserts spill, and only resolutions that went
+        // through similarity matching carry dictionary information (a
+        // direct hit's alias *is* its canonical name).
+        #[cfg(feature = "journal")]
+        if let Some(journal) = self.journal.get() {
+            if let MappingOutcome::Mapped { via: Some(m), .. } = outcome {
+                journal.append(&Fact::Mapping {
+                    alias: key.concept.to_string(),
+                    canonical: m.target.clone(),
+                });
+            }
         }
         guard.order.push_back(key);
         if guard.order.len() > self.per_shard_capacity {

@@ -60,9 +60,12 @@ impl RetryPolicy {
 
     /// The backoff to wait after failed attempt number `attempt` (1-based):
     /// `base * 2^(attempt-1)`, capped at [`RetryPolicy::max_backoff`].
+    /// Out-of-contract inputs stay safe: attempt 0 behaves like attempt 1
+    /// (no debug-mode underflow panic), and huge attempts saturate at the
+    /// cap instead of overflowing the shift or the multiply.
     pub fn backoff_after(&self, attempt: u32) -> SimDuration {
-        let factor = 1u64 << (attempt - 1).min(32);
-        let raw = self.base_backoff * factor;
+        let shift = attempt.saturating_sub(1).min(32);
+        let raw = SimDuration(self.base_backoff.0.saturating_mul(1u64 << shift));
         raw.min(self.max_backoff)
     }
 }
@@ -248,6 +251,28 @@ mod tests {
         assert_eq!(p.backoff_after(2), SimDuration::from_millis(80));
         assert_eq!(p.backoff_after(3), SimDuration::from_millis(160));
         assert_eq!(p.backoff_after(10), SimDuration::from_millis(1_000));
+    }
+
+    #[test]
+    fn backoff_is_total_over_out_of_contract_attempts() {
+        let p = RetryPolicy::standard();
+        // Attempt 0 is out of contract (attempts are 1-based) but must not
+        // underflow: it behaves like attempt 1.
+        assert_eq!(p.backoff_after(0), p.backoff_after(1));
+        // The shift is capped at 32 and the multiply saturates, so even
+        // absurd attempt numbers stay at the ceiling.
+        assert_eq!(p.backoff_after(33), SimDuration::from_millis(1_000));
+        assert_eq!(p.backoff_after(u32::MAX), SimDuration::from_millis(1_000));
+        // Saturation without a cap in the way: a huge base times 2^32
+        // would overflow u64; the multiply saturates and the explicit
+        // max_backoff still wins.
+        let huge = RetryPolicy {
+            max_attempts: u32::MAX,
+            base_backoff: SimDuration(u64::MAX / 2),
+            max_backoff: SimDuration(u64::MAX),
+            budget: SimDuration(u64::MAX),
+        };
+        assert_eq!(huge.backoff_after(u32::MAX), SimDuration(u64::MAX));
     }
 
     #[test]

@@ -1,5 +1,9 @@
 //! A versioned collection of XML documents.
 
+#[cfg(feature = "journal")]
+use std::sync::Arc;
+#[cfg(feature = "journal")]
+use trust_vo_journal::{Fact, Fnv64, Journal};
 use trust_vo_xmldoc::{Element, Selector, XPathExpr};
 
 /// A document identifier within a collection.
@@ -43,6 +47,11 @@ pub struct Collection {
     entries: std::collections::BTreeMap<DocId, Entry>,
     /// Operations performed (reads + writes), for latency accounting.
     ops: std::sync::atomic::AtomicU64,
+    /// Armed by [`Database::attach_journal`](crate::Database::attach_journal):
+    /// every `put`/`delete` spills a [`Fact`] tagged with this collection's
+    /// name into the shared journal.
+    #[cfg(feature = "journal")]
+    journal: Option<(Arc<Journal>, String)>,
 }
 
 impl Clone for Collection {
@@ -50,6 +59,10 @@ impl Clone for Collection {
         Collection {
             entries: self.entries.clone(),
             ops: std::sync::atomic::AtomicU64::new(self.ops()),
+            // A clone is a detached copy — its mutations are not part of
+            // the database's durable history, so the hook does not travel.
+            #[cfg(feature = "journal")]
+            journal: None,
         }
     }
 }
@@ -64,14 +77,89 @@ impl Collection {
         self.ops.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
 
+    /// Arm the journal spill hook if not already armed.
+    #[cfg(feature = "journal")]
+    pub(crate) fn ensure_journal(&mut self, journal: &Arc<Journal>, name: &str) {
+        if self.journal.is_none() {
+            self.journal = Some((journal.clone(), name.to_owned()));
+        }
+    }
+
     /// Insert or update a document; returns the new revision number.
     pub fn put(&mut self, id: impl Into<DocId>, doc: Element) -> u64 {
         self.count_op();
-        let entry = self.entries.entry(id.into()).or_default();
+        let id = id.into();
+        #[cfg(feature = "journal")]
+        if let Some((journal, name)) = &self.journal {
+            journal.append(&Fact::Put {
+                collection: name.clone(),
+                id: id.0.clone(),
+                xml: trust_vo_xmldoc::to_string(&doc),
+            });
+        }
+        let entry = self.entries.entry(id).or_default();
         entry.deleted = false;
         let number = entry.revisions.last().map(|r| r.number + 1).unwrap_or(1);
         entry.revisions.push(Revision { number, doc });
         number
+    }
+
+    /// Replay-path put: identical revision bookkeeping to [`Collection::put`]
+    /// but bypasses both the journal hook (replay must not re-journal) and
+    /// the op counter (recovery is not a workload).
+    #[cfg(feature = "journal")]
+    pub(crate) fn apply_put(&mut self, id: DocId, doc: Element) {
+        let entry = self.entries.entry(id).or_default();
+        entry.deleted = false;
+        let number = entry.revisions.last().map(|r| r.number + 1).unwrap_or(1);
+        entry.revisions.push(Revision { number, doc });
+    }
+
+    /// Replay-path delete; see [`Collection::apply_put`].
+    #[cfg(feature = "journal")]
+    pub(crate) fn apply_delete(&mut self, id: &DocId) {
+        if let Some(e) = self.entries.get_mut(id) {
+            e.deleted = true;
+        }
+    }
+
+    /// Emit facts that rebuild this collection exactly — every revision in
+    /// order (replay's dense numbering reproduces the originals) plus a
+    /// tombstone for currently-deleted documents. Used for snapshot
+    /// compaction.
+    #[cfg(feature = "journal")]
+    pub(crate) fn snapshot_facts(&self, name: &str, out: &mut Vec<Fact>) {
+        for (id, entry) in &self.entries {
+            for rev in &entry.revisions {
+                out.push(Fact::Put {
+                    collection: name.to_owned(),
+                    id: id.0.clone(),
+                    xml: trust_vo_xmldoc::to_string(&rev.doc),
+                });
+            }
+            if entry.deleted {
+                out.push(Fact::Delete {
+                    collection: name.to_owned(),
+                    id: id.0.clone(),
+                });
+            }
+        }
+    }
+
+    /// Fold this collection's logical content (names, revision histories,
+    /// tombstones — *not* the op counter) into a state digest.
+    #[cfg(feature = "journal")]
+    pub(crate) fn digest_into(&self, name: &str, h: &mut Fnv64) {
+        h.write_framed(name.as_bytes());
+        for (id, entry) in &self.entries {
+            h.write_framed(id.0.as_bytes());
+            h.write(&[u8::from(entry.deleted)]);
+            h.write(&(entry.revisions.len() as u64).to_le_bytes());
+            for rev in &entry.revisions {
+                h.write(&rev.number.to_le_bytes());
+                h.write_framed(trust_vo_xmldoc::to_string(&rev.doc).as_bytes());
+            }
+        }
     }
 
     /// The latest revision of a live document.
@@ -96,13 +184,25 @@ impl Collection {
     /// Mark a document deleted (history retained). Returns whether it was live.
     pub fn delete(&mut self, id: &DocId) -> bool {
         self.count_op();
-        match self.entries.get_mut(id) {
+        let deleted = match self.entries.get_mut(id) {
             Some(e) if !e.deleted => {
                 e.deleted = true;
                 true
             }
             _ => false,
+        };
+        // No-op deletes are not facts: replaying them would be harmless but
+        // would bloat the log and shift replay digests.
+        #[cfg(feature = "journal")]
+        if deleted {
+            if let Some((journal, name)) = &self.journal {
+                journal.append(&Fact::Delete {
+                    collection: name.clone(),
+                    id: id.0.clone(),
+                });
+            }
         }
+        deleted
     }
 
     /// Ids of all live documents.
@@ -136,9 +236,19 @@ impl Collection {
             .collect()
     }
 
-    /// First live document matching a condition.
+    /// First live document matching a condition. Short-circuits on the
+    /// first match — only the yielded document is cloned, unlike
+    /// `find_all(..).into_iter().next()` which clones every match just to
+    /// drop all but the first.
     pub fn find(&self, condition: &XPathExpr) -> Option<(DocId, Element)> {
-        self.find_all(condition).into_iter().next()
+        self.count_op();
+        self.entries
+            .iter()
+            .filter(|(_, e)| !e.deleted)
+            .find_map(|(id, e)| {
+                let doc = &e.revisions.last()?.doc;
+                condition.evaluate(doc).then(|| (id.clone(), doc.clone()))
+            })
     }
 
     /// Extract values from every live document via a selector.
@@ -236,6 +346,23 @@ mod tests {
     }
 
     #[test]
+    fn find_charges_one_op_and_returns_first_match() {
+        let mut c = Collection::new();
+        for i in 0..10 {
+            c.put(format!("d{i}").as_str(), doc("match", "7"));
+        }
+        let before = c.ops();
+        let found = c.find(&XPathExpr::parse("/item[@name='match']").unwrap());
+        assert_eq!(c.ops(), before + 1, "find charges exactly one operation");
+        assert_eq!(found.unwrap().0, DocId("d0".into()));
+        // A miss also charges one op and clones nothing.
+        assert!(c
+            .find(&XPathExpr::parse("/item[@name='absent']").unwrap())
+            .is_none());
+        assert_eq!(c.ops(), before + 2);
+    }
+
+    #[test]
     fn ops_counter_increments() {
         let mut c = Collection::new();
         let before = c.ops();
@@ -303,6 +430,24 @@ mod property_tests {
             }
             let cond = trust_vo_xmldoc::XPathExpr::parse("/item/v = 3").unwrap();
             prop_assert_eq!(c.find_all(&cond).len(), live_matching);
+        }
+
+        /// The short-circuiting find returns exactly the head of find_all.
+        #[test]
+        fn find_agrees_with_find_all_head(
+            values in proptest::collection::vec(0u8..5, 0..20),
+            deleted in proptest::collection::vec(any::<bool>(), 20),
+        ) {
+            let mut c = Collection::new();
+            for (i, v) in values.iter().enumerate() {
+                let id: DocId = format!("d{i}").as_str().into();
+                c.put(id.clone(), Element::new("item").child(Element::new("v").text(v.to_string())));
+                if deleted.get(i).copied().unwrap_or(false) {
+                    c.delete(&id);
+                }
+            }
+            let cond = trust_vo_xmldoc::XPathExpr::parse("/item/v = 3").unwrap();
+            prop_assert_eq!(c.find(&cond), c.find_all(&cond).into_iter().next());
         }
     }
 }

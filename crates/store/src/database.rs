@@ -11,6 +11,8 @@ use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
+#[cfg(feature = "journal")]
+use trust_vo_journal::{Fact, Fnv64, Journal, Replay};
 use trust_vo_obs::Collector;
 
 /// Aggregate statistics over the whole database.
@@ -29,6 +31,8 @@ pub struct StoreStats {
 pub struct Database {
     inner: Arc<RwLock<BTreeMap<String, Collection>>>,
     obs: Arc<OnceLock<Collector>>,
+    #[cfg(feature = "journal")]
+    journal: Arc<OnceLock<Arc<Journal>>>,
 }
 
 impl Database {
@@ -54,6 +58,19 @@ impl Database {
         }
     }
 
+    /// Attach a journal: every subsequent `put`/`delete` through any
+    /// collection of this database (existing or created later) appends a
+    /// replayable [`Fact`]. First attachment wins; shared by clones.
+    #[cfg(feature = "journal")]
+    pub fn attach_journal(&self, journal: Arc<Journal>) {
+        if self.journal.set(journal.clone()).is_ok() {
+            let mut guard = self.inner.write();
+            for (name, collection) in guard.iter_mut() {
+                collection.ensure_journal(&journal, name);
+            }
+        }
+    }
+
     /// Run `f` with mutable access to the named collection (created on
     /// first use).
     pub fn with_collection<R>(&self, name: &str, f: impl FnOnce(&mut Collection) -> R) -> R {
@@ -61,6 +78,10 @@ impl Database {
         let result = {
             let mut guard = self.inner.write();
             let collection = guard.entry(name.to_owned()).or_default();
+            #[cfg(feature = "journal")]
+            if let Some(journal) = self.journal.get() {
+                collection.ensure_journal(journal, name);
+            }
             f(collection)
         };
         self.record_latency(name, started);
@@ -77,8 +98,84 @@ impl Database {
             let guard = self.inner.read();
             guard.get(name).map(f)
         };
-        self.record_latency(name, started);
+        // Only record latency for collections that exist: probing a missing
+        // name must not register a phantom `store.<name>.op_us` histogram.
+        if result.is_some() {
+            self.record_latency(name, started);
+        }
         result
+    }
+
+    /// Rebuild state from replayed facts (e.g. after a crash). Facts apply
+    /// through the replay path, which neither re-journals nor counts ops —
+    /// so a restored database digests identically to the original.
+    /// [`Fact::Mapping`] facts belong to the ontology layer and are skipped.
+    #[cfg(feature = "journal")]
+    pub fn restore_from_facts<'a>(&self, facts: impl IntoIterator<Item = &'a Fact>) {
+        let mut guard = self.inner.write();
+        for fact in facts {
+            match fact {
+                Fact::Put {
+                    collection,
+                    id,
+                    xml,
+                } => {
+                    if let Ok(doc) = trust_vo_xmldoc::parse(xml) {
+                        guard
+                            .entry(collection.clone())
+                            .or_default()
+                            .apply_put(id.as_str().into(), doc);
+                    }
+                }
+                Fact::Delete { collection, id } => {
+                    if let Some(c) = guard.get_mut(collection) {
+                        c.apply_delete(&id.as_str().into());
+                    }
+                }
+                Fact::Mapping { .. } => {}
+            }
+        }
+    }
+
+    /// Replay a journal into this database; returns the replay (digest,
+    /// truncation flag) for the caller to inspect.
+    #[cfg(feature = "journal")]
+    pub fn restore_from_journal(&self, journal: &Journal) -> Replay {
+        let replay = journal.replay();
+        self.restore_from_facts(&replay.facts);
+        replay
+    }
+
+    /// Facts that rebuild the entire database — full revision histories
+    /// and tombstones included. The input to snapshot compaction.
+    #[cfg(feature = "journal")]
+    pub fn snapshot_facts(&self) -> Vec<Fact> {
+        let guard = self.inner.read();
+        let mut out = Vec::new();
+        for (name, c) in guard.iter() {
+            c.snapshot_facts(name, &mut out);
+        }
+        out
+    }
+
+    /// Compact `journal` down to a single snapshot of this database's
+    /// current state.
+    #[cfg(feature = "journal")]
+    pub fn compact_into(&self, journal: &Journal) {
+        journal.compact(&self.snapshot_facts());
+    }
+
+    /// Deterministic digest of the logical state: collection names, ids,
+    /// revision histories, tombstones. Op counters are excluded so a
+    /// replayed database digests equal to the original.
+    #[cfg(feature = "journal")]
+    pub fn state_digest(&self) -> u64 {
+        let guard = self.inner.read();
+        let mut h = Fnv64::new();
+        for (name, c) in guard.iter() {
+            c.digest_into(name, &mut h);
+        }
+        h.finish()
     }
 
     /// Does the named collection exist?
@@ -220,6 +317,105 @@ mod tests {
             collector.metrics().histograms["store.profiles.op_us"].count,
             3
         );
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn read_collection_miss_records_no_latency() {
+        let db = Database::new();
+        let collector = Collector::new();
+        db.attach_obs(&collector);
+        assert!(db.read_collection("never-created", |_| ()).is_none());
+        assert!(
+            !collector
+                .metrics()
+                .histograms
+                .contains_key("store.never-created.op_us"),
+            "a miss must not register a phantom histogram"
+        );
+        // A hit still records.
+        db.with_collection("real", |c| {
+            c.put("1", Element::new("x"));
+        });
+        db.read_collection("real", |c| c.len());
+        assert_eq!(collector.metrics().histograms["store.real.op_us"].count, 2);
+    }
+
+    #[cfg(feature = "journal")]
+    #[test]
+    fn journaled_mutations_replay_to_identical_state() {
+        use std::sync::Arc;
+        use trust_vo_journal::Journal;
+
+        let db = Database::new();
+        let journal = Arc::new(Journal::in_memory());
+        db.attach_journal(journal.clone());
+        // Mutations through both pre-existing and on-demand collections.
+        db.with_collection("profiles", |c| {
+            c.put("p1", Element::new("profile").attr("v", "1"));
+            c.put("p1", Element::new("profile").attr("v", "2"));
+        });
+        db.with_collection("checkpoints", |c| {
+            c.put("ck", Element::new("checkpoint"));
+            c.delete(&"ck".into());
+            c.delete(&"ck".into()); // no-op delete: not journaled
+        });
+        assert_eq!(journal.stats().appends, 4);
+
+        let restored = Database::new();
+        let replay = restored.restore_from_journal(&journal);
+        assert!(!replay.truncated);
+        assert_eq!(restored.state_digest(), db.state_digest());
+        // Restore did not echo facts into a journal or count ops.
+        assert_eq!(restored.stats().operations, 0);
+        // Revision history is reconstructed exactly.
+        let v1 = restored
+            .read_collection("profiles", |c| c.get_revision(&"p1".into(), 1).cloned())
+            .flatten()
+            .expect("revision 1 restored");
+        assert_eq!(v1.get_attr("v"), Some("1"));
+        assert!(restored
+            .read_collection("checkpoints", |c| c.get(&"ck".into()).is_none())
+            .unwrap());
+    }
+
+    #[cfg(feature = "journal")]
+    #[test]
+    fn compaction_preserves_state_and_shrinks_log() {
+        use std::sync::Arc;
+        use trust_vo_journal::Journal;
+
+        let db = Database::new();
+        let journal = Arc::new(Journal::in_memory());
+        db.attach_journal(journal.clone());
+        for i in 0..20 {
+            db.with_collection("docs", |c| {
+                c.put("hot", Element::new("d").attr("i", i.to_string()));
+            });
+        }
+        db.with_collection("docs", |c| c.delete(&"hot".into()));
+        let before = journal.len_bytes();
+        db.compact_into(&journal);
+        assert!(journal.len_bytes() < before);
+
+        let restored = Database::new();
+        restored.restore_from_journal(&journal);
+        assert_eq!(restored.state_digest(), db.state_digest());
+    }
+
+    #[cfg(feature = "journal")]
+    #[test]
+    fn clones_share_the_journal_attachment() {
+        use std::sync::Arc;
+        use trust_vo_journal::Journal;
+
+        let db = Database::new();
+        let journal = Arc::new(Journal::in_memory());
+        db.attach_journal(journal.clone());
+        db.clone().with_collection("via-clone", |c| {
+            c.put("1", Element::new("x"));
+        });
+        assert_eq!(journal.stats().appends, 1);
     }
 
     #[test]

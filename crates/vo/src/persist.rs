@@ -130,6 +130,19 @@ pub fn vo_to_xml(vo: &FormedVo) -> Element {
         }
         contract_el.children.push(Node::Element(rule_el));
     }
+    // Role admission policies. Without these, a reloaded VO's renewal and
+    // admission negotiations run ungoverned — the negotiation engine treats
+    // resources with no policy as freely released, so dropping them here
+    // silently disables the membership gate.
+    for (role, set) in &vo.contract.role_policies {
+        let mut rp_el = Element::new("rolePolicies").attr("role", role);
+        for policy in set.iter() {
+            rp_el
+                .children
+                .push(Node::Element(trust_vo_policy::xml::policy_to_xml(policy)));
+        }
+        contract_el.children.push(Node::Element(rp_el));
+    }
     let mut lifecycle_el = Element::new("lifecycle");
     for (phase, at) in vo.lifecycle.history() {
         lifecycle_el.children.push(Node::Element(
@@ -218,6 +231,19 @@ pub fn vo_from_xml(root: &Element) -> Result<FormedVo, PersistError> {
         }
         contract.rules.push(rule);
     }
+    for rp_el in contract_el.all("rolePolicies") {
+        let role = rp_el
+            .get_attr("role")
+            .ok_or_else(|| PersistError("rolePolicies missing role".into()))?;
+        let mut set = trust_vo_policy::PolicySet::new();
+        for policy_el in rp_el.all("policy") {
+            set.add(
+                trust_vo_policy::xml::policy_from_xml(policy_el)
+                    .map_err(|e| PersistError(format!("role '{role}': {e}")))?,
+            );
+        }
+        contract.set_role_policies(role, set);
+    }
     // Lifecycle replay.
     let lifecycle_el = root
         .first("lifecycle")
@@ -280,8 +306,12 @@ pub fn save_vo(db: &Database, vo: &FormedVo) -> u64 {
 
 /// Load a VO by name from `db`.
 pub fn load_vo(db: &Database, name: &str) -> Result<FormedVo, PersistError> {
+    // Shared read access: loading must not take the write lock (which
+    // serializes concurrent loaders) nor create an empty `vos` collection
+    // as a side effect of a miss.
     let doc = db
-        .with_collection("vos", |c| c.get(&name.into()).cloned())
+        .read_collection("vos", |c| c.get(&name.into()).cloned())
+        .flatten()
         .ok_or_else(|| PersistError(format!("no persisted VO named '{name}'")))?;
     vo_from_xml(&doc)
 }
@@ -299,7 +329,15 @@ mod tests {
     use trust_vo_policy::{DisclosurePolicy, PolicySet, Resource, Term};
     use trust_vo_soa::simclock::{CostModel, SimClock};
 
-    fn formed() -> (FormedVo, SimClock) {
+    struct World {
+        vo: FormedVo,
+        clock: SimClock,
+        initiator: ServiceProvider,
+        providers: BTreeMap<String, ServiceProvider>,
+        ca: CredentialAuthority,
+    }
+
+    fn formed_world() -> World {
         let clock = SimClock::new(
             CostModel::free(),
             Timestamp::from_ymd_hms(2009, 6, 1, 0, 0, 0),
@@ -328,9 +366,10 @@ mod tests {
         registry.publish(ResourceDescription::new("StoreCo", "storage", "x", 0.9));
         let mut providers = BTreeMap::new();
         providers.insert("StoreCo".to_owned(), ServiceProvider::new(member));
+        let initiator = ServiceProvider::new(initiator_party);
         let vo = crate::formation::form_vo(
             contract,
-            &ServiceProvider::new(initiator_party),
+            &initiator,
             &providers,
             &registry,
             &mut MailboxSystem::new(),
@@ -339,7 +378,18 @@ mod tests {
             Strategy::Standard,
         )
         .unwrap();
-        (vo, clock)
+        World {
+            vo,
+            clock,
+            initiator,
+            providers,
+            ca,
+        }
+    }
+
+    fn formed() -> (FormedVo, SimClock) {
+        let w = formed_world();
+        (w.vo, w.clock)
     }
 
     #[test]
@@ -356,6 +406,67 @@ mod tests {
         assert_eq!(back.contract.roles.len(), 1);
         assert_eq!(back.contract.rules.len(), 1);
         assert_eq!(back.vo_keys.public, vo.vo_keys.public);
+    }
+
+    #[test]
+    fn role_policies_survive_roundtrip() {
+        let (vo, _clock) = formed();
+        let doc = vo_to_xml(&vo);
+        let text = trust_vo_xmldoc::to_string(&doc);
+        let back = vo_from_xml(&trust_vo_xmldoc::parse(&text).unwrap()).unwrap();
+        let set = back
+            .contract
+            .policies_for("Storage")
+            .expect("role policies must survive save/load");
+        assert_eq!(set.len(), 1);
+        let policy = set.iter().next().unwrap();
+        assert_eq!(policy.target.name, "VoMembership");
+    }
+
+    /// The reloaded admission gate must still gate: a renewal negotiation
+    /// against a provider stripped of its SLA credential has to fail.
+    /// Before role policies were persisted, this renewal *succeeded* — the
+    /// negotiation engine treats ungoverned resources as freely released,
+    /// so the lost PolicySet silently disabled membership checks.
+    #[test]
+    fn reloaded_vo_renewal_enforces_role_policies() {
+        let w = formed_world();
+        let db = Database::new();
+        save_vo(&db, &w.vo);
+        let mut reloaded = load_vo(&db, "PersistVO").unwrap();
+
+        let mut bare = Party::new("StoreCo");
+        bare.trust_root(w.ca.public_key());
+        let mut stripped = BTreeMap::new();
+        stripped.insert("StoreCo".to_owned(), ServiceProvider::new(bare));
+        let denied = crate::operation::renew_membership(
+            &mut reloaded,
+            &w.initiator,
+            &stripped,
+            "StoreCo",
+            &mut MailboxSystem::new(),
+            &mut ReputationLedger::new(),
+            &w.clock,
+            Strategy::Standard,
+        );
+        assert!(
+            denied.is_err(),
+            "renewal without the SLA credential must fail against the reloaded policy"
+        );
+
+        // The genuine provider still renews successfully.
+        let record = crate::operation::renew_membership(
+            &mut reloaded,
+            &w.initiator,
+            &w.providers,
+            "StoreCo",
+            &mut MailboxSystem::new(),
+            &mut ReputationLedger::new(),
+            &w.clock,
+            Strategy::Standard,
+        )
+        .expect("renewal with the credentialed provider succeeds");
+        assert_eq!(record.provider, "StoreCo");
     }
 
     #[test]

@@ -31,6 +31,9 @@
 pub use trust_vo_credential as credential;
 /// Cryptographic substrate: SHA-256, HMAC, base64, Schnorr signatures.
 pub use trust_vo_crypto as crypto;
+/// Append-only crash-safe fact journal: framed checksummed records,
+/// snapshot compaction, deterministic replay.
+pub use trust_vo_journal as journal;
 /// The Trust-X negotiation engine and the eager baseline.
 pub use trust_vo_negotiation as negotiation;
 /// Deterministic fault-injection transport: loss, latency, crashes.

@@ -1,0 +1,349 @@
+//! Crash-recovery properties of the fact journal (PR 6 tentpole).
+//!
+//! The contract under test: a process killed after *any byte prefix* of
+//! its journal recovers to the state after some clean prefix of its
+//! committed operations — and an in-flight negotiation recovered this way
+//! finishes with the same outcome as an uninterrupted run.
+
+use std::sync::Arc;
+use trust_vo::credential::{CredentialAuthority, TimeRange, Timestamp};
+use trust_vo::journal::{Fact, Journal};
+use trust_vo::negotiation::Party;
+use trust_vo::obs::Collector;
+use trust_vo::policy::{DisclosurePolicy, Resource, Term};
+use trust_vo::soa::simclock::{CostModel, SimClock};
+use trust_vo::soa::{Envelope, ServiceEndpoint, TnService};
+use trust_vo::store::Database;
+use trust_vo::xmldoc::Element;
+
+/// A deterministic mixed workload over three collections. Returns the
+/// `(journal boundary, state digest)` after every operation.
+fn scripted_workload(db: &Database, journal: &Journal) -> Vec<(u64, u64)> {
+    let mut checkpoints = vec![(journal.len_bytes(), db.state_digest())];
+    for i in 0u64..30 {
+        let coll = ["vos", "profiles", "checkpoints"][(i % 3) as usize];
+        let id = format!("doc{}", i % 5);
+        if i % 7 == 3 {
+            db.with_collection(coll, |c| {
+                c.delete(&id.as_str().into());
+            });
+        } else {
+            db.with_collection(coll, |c| {
+                c.put(
+                    id.as_str(),
+                    Element::new("d")
+                        .attr("i", i.to_string())
+                        .attr("coll", coll),
+                );
+            });
+        }
+        checkpoints.push((journal.len_bytes(), db.state_digest()));
+    }
+    checkpoints
+}
+
+#[test]
+fn kill_at_any_prefix_restores_a_clean_state() {
+    let db = Database::new();
+    let journal = Arc::new(Journal::in_memory());
+    db.attach_journal(journal.clone());
+    let checkpoints = scripted_workload(&db, &journal);
+    let bytes = journal.bytes();
+
+    // Truncating exactly at each operation's boundary restores exactly
+    // that operation's state.
+    for &(cut, want) in &checkpoints {
+        let restored = Database::new();
+        let replay =
+            restored.restore_from_journal(&Journal::from_bytes(bytes[..cut as usize].to_vec()));
+        assert!(!replay.truncated, "boundary {cut} is a clean prefix");
+        assert_eq!(restored.state_digest(), want, "boundary {cut}");
+    }
+
+    // Killing at EVERY byte offset — mid-record included — restores the
+    // state of the last completed operation before the cut.
+    for cut in 0..=bytes.len() {
+        let restored = Database::new();
+        restored.restore_from_journal(&Journal::from_bytes(bytes[..cut].to_vec()));
+        let want = checkpoints
+            .iter()
+            .rev()
+            .find(|(b, _)| *b as usize <= cut)
+            .expect("boundary 0 always qualifies")
+            .1;
+        assert_eq!(restored.state_digest(), want, "cut at byte {cut}");
+    }
+}
+
+#[test]
+fn recovery_from_a_compacted_journal_is_identical() {
+    let db = Database::new();
+    let journal = Arc::new(Journal::in_memory());
+    db.attach_journal(journal.clone());
+    scripted_workload(&db, &journal);
+
+    db.compact_into(&journal);
+    // Post-compaction appends extend the snapshot baseline.
+    db.with_collection("vos", |c| {
+        c.put("after", Element::new("late"));
+    });
+
+    let restored = Database::new();
+    let replay = restored.restore_from_journal(&journal);
+    assert!(!replay.truncated);
+    assert_eq!(replay.records, 2, "snapshot + one append");
+    assert_eq!(restored.state_digest(), db.state_digest());
+    assert_eq!(journal.stats().compactions, 1);
+}
+
+/// The Fig. 2 negotiation pair from the paper: Aerospace requests
+/// VoMembership from Aircraft; two counter-requirements deep. Party keys
+/// are seed-derived from names, so a "restarted process" rebuilding its
+/// parties reproduces the keys its resume tokens are bound to.
+fn fig2_parties() -> (Party, Party) {
+    let mut ca = CredentialAuthority::new("AAA");
+    let window = TimeRange::one_year_from(Timestamp::from_ymd_hms(2009, 1, 1, 0, 0, 0));
+    let mut aircraft = Party::new("Aircraft");
+    let mut aerospace = Party::new("Aerospace");
+    let quality = ca
+        .issue(
+            "WebDesignerQuality",
+            "Aerospace",
+            aerospace.keys.public,
+            vec![],
+            window,
+        )
+        .unwrap();
+    aerospace.profile.add(quality);
+    let accr = ca
+        .issue(
+            "AAACreditation",
+            "Aircraft",
+            aircraft.keys.public,
+            vec![],
+            window,
+        )
+        .unwrap();
+    aircraft.profile.add(accr);
+    aircraft.policies.add(DisclosurePolicy::rule(
+        "p1",
+        Resource::service("VoMembership"),
+        vec![Term::of_type("WebDesignerQuality")],
+    ));
+    aircraft.policies.add(DisclosurePolicy::deliv(
+        "d1",
+        Resource::credential("AAACreditation"),
+    ));
+    aerospace.policies.add(DisclosurePolicy::rule(
+        "p2",
+        Resource::credential("WebDesignerQuality"),
+        vec![Term::of_type("AAACreditation")],
+    ));
+    aircraft.trust_root(ca.public_key());
+    aerospace.trust_root(ca.public_key());
+    (aerospace, aircraft)
+}
+
+fn clock() -> SimClock {
+    SimClock::new(
+        CostModel::free(),
+        Timestamp::from_ymd_hms(2009, 6, 1, 0, 0, 0),
+    )
+}
+
+fn tn_service(clock: SimClock, db: Database) -> TnService {
+    let (aerospace, aircraft) = fig2_parties();
+    let svc = TnService::new(clock, db);
+    svc.register_party(aerospace);
+    svc.register_party(aircraft);
+    svc
+}
+
+fn start_resumable(svc: &TnService) -> u64 {
+    svc.handle(&Envelope::request(
+        "StartNegotiation",
+        Element::new("StartNegotiationRequest")
+            .attr("resumable", "true")
+            .child(Element::new("strategy").text("standard"))
+            .child(Element::new("requester").text("Aerospace"))
+            .child(Element::new("counterpartUrl").text("Aircraft"))
+            .child(Element::new("resource").text("VoMembership")),
+    ))
+    .unwrap()
+    .negotiation_id
+    .unwrap()
+}
+
+fn policy_exchange(svc: &TnService, id: u64) -> Envelope {
+    svc.handle(&Envelope::request("PolicyExchange", Element::new("x")).with_negotiation(id))
+        .unwrap()
+}
+
+fn exchange(svc: &TnService, id: u64) -> Envelope {
+    svc.handle(
+        &Envelope::request(
+            "CredentialExchange",
+            Element::new("CredentialExchangeRequest"),
+        )
+        .with_negotiation(id),
+    )
+    .unwrap()
+}
+
+/// Drive a started negotiation to completion; returns the number of
+/// credential-exchange rounds it took.
+fn drive_to_completion(svc: &TnService, id: u64) -> u32 {
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        if exchange(svc, id).body.get_attr("status") == Some("completed") {
+            return rounds;
+        }
+        assert!(rounds < 64, "negotiation did not converge");
+    }
+}
+
+#[test]
+fn interrupted_negotiation_recovers_to_the_uninterrupted_outcome() {
+    // Baseline: the uninterrupted run.
+    let baseline = tn_service(clock(), Database::new());
+    let id = start_resumable(&baseline);
+    policy_exchange(&baseline, id);
+    let baseline_rounds = drive_to_completion(&baseline, id);
+    assert!(baseline.is_completed(id));
+
+    // Journaled run, killed mid-negotiation. The phase-2 checkpoints the
+    // TN service writes to its `checkpoints` collection flow into the
+    // journal through the database spill hook.
+    let db = Database::new();
+    let journal = Arc::new(Journal::in_memory());
+    db.attach_journal(journal.clone());
+    let svc = tn_service(clock(), db);
+    let id = start_resumable(&svc);
+    let resp = policy_exchange(&svc, id);
+    assert!(resp.body.first("ResumeToken").is_some());
+    let resp = exchange(&svc, id);
+    assert_eq!(resp.body.get_attr("status"), Some("in-progress"));
+    let done_before_crash = 1;
+    let token = resp.body.first("ResumeToken").unwrap().clone();
+    // The process dies here. All that survives: the signed resume token
+    // held by the client, and the journal bytes on disk (with whatever
+    // torn tail the crash left — replay discards it).
+    let mut salvaged = journal.bytes();
+    salvaged.extend_from_slice(&[0xDE, 0xAD]); // torn tail
+    drop(svc);
+
+    // The restarted process: replay the journal into a fresh database,
+    // rebuild the service, re-register its parties, present the token.
+    let recovered_journal = Journal::from_bytes(salvaged);
+    let db = Database::new();
+    let replay = db.restore_from_journal(&recovered_journal);
+    assert!(replay.truncated, "the torn tail is discarded");
+    db.attach_journal(Arc::new(recovered_journal));
+    let svc = tn_service(clock(), db);
+    let resume = svc
+        .handle(&Envelope::request(
+            "ResumeNegotiation",
+            Element::new("ResumeNegotiationRequest").child(token),
+        ))
+        .unwrap();
+    assert_eq!(resume.body.get_attr("status"), Some("resumed"));
+    let new_id = resume.negotiation_id.unwrap();
+    let resumed_rounds = drive_to_completion(&svc, new_id);
+    assert!(svc.is_completed(new_id));
+    assert_eq!(svc.resumed_count(), 1);
+    // Same outcome, same total work: the rounds done before the crash
+    // plus the rounds after resume equal the uninterrupted count.
+    assert_eq!(done_before_crash + resumed_rounds, baseline_rounds);
+}
+
+#[test]
+fn one_journal_recovers_both_store_and_dictionary() {
+    use trust_vo::crypto::KeyPair;
+    use trust_vo::ontology::{dictionary_from_journal, Concept, MapMemo, MappingEngine, Ontology};
+
+    let journal = Arc::new(Journal::in_memory());
+    // Producer 1: the document store.
+    let db = Database::new();
+    db.attach_journal(journal.clone());
+    db.with_collection("vos", |c| {
+        c.put("v1", Element::new("vo").attr("name", "Aircraft"));
+    });
+    // Producer 2: the mapping memo, spilling a similarity resolution.
+    let mut o = Ontology::new();
+    o.add(
+        Concept::new("QualityCertification")
+            .keyword("ISO 9000")
+            .implemented_by("ISO9000Certified"),
+    );
+    let mut ca = CredentialAuthority::new("INFN");
+    let keys = KeyPair::from_seed(b"holder");
+    let mut profile = trust_vo::credential::XProfile::new("holder");
+    profile.add(
+        ca.issue(
+            "ISO9000Certified",
+            "holder",
+            keys.public,
+            vec![trust_vo::credential::Attribute::new(
+                "QualityRegulation",
+                "UNI EN ISO 9000",
+            )],
+            TimeRange::one_year_from(Timestamp::from_ymd_hms(2009, 1, 1, 0, 0, 0)),
+        )
+        .unwrap(),
+    );
+    let memo = MapMemo::new(4, 64);
+    memo.attach_journal(journal.clone());
+    let engine = MappingEngine::new(&o, &profile, 0.3).with_memo(&memo);
+    assert!(engine.map("Quality_Certification_ISO9000").is_mapped());
+
+    // Both fact kinds interleave in one log; each consumer recovers its
+    // own and skips the other's.
+    let kinds: Vec<bool> = journal
+        .replay()
+        .facts
+        .iter()
+        .map(|f| matches!(f, Fact::Mapping { .. }))
+        .collect();
+    assert_eq!(kinds, vec![false, true]);
+
+    let restored = Database::new();
+    restored.restore_from_journal(&journal);
+    assert_eq!(restored.state_digest(), db.state_digest());
+    let dictionary = dictionary_from_journal(&journal);
+    assert_eq!(
+        dictionary.resolve("Quality_Certification_ISO9000"),
+        Some("QualityCertification")
+    );
+}
+
+#[test]
+fn journal_obs_counters_track_activity() {
+    let collector = Collector::new();
+    assert!(collector.is_enabled(), "root tests build with obs enabled");
+    let journal = Journal::in_memory();
+    journal.attach_obs(&collector);
+    let fact = |n: u32| Fact::Put {
+        collection: "c".into(),
+        id: format!("d{n}"),
+        xml: "<d/>".into(),
+    };
+    journal.append(&fact(1));
+    journal.append(&fact(2));
+    journal.compact(&[fact(1), fact(2)]);
+    journal.append(&fact(3));
+    journal.replay();
+
+    let metrics = collector.metrics();
+    assert_eq!(metrics.counter("journal.appends"), 3);
+    assert_eq!(metrics.counter("journal.compactions"), 1);
+    assert_eq!(
+        metrics.counter("journal.replayed_records"),
+        2,
+        "snapshot record + post-compaction append"
+    );
+    assert_eq!(
+        metrics.counter("journal.bytes"),
+        journal.stats().bytes_written
+    );
+}
