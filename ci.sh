@@ -26,6 +26,15 @@ cargo run --release -p trust-vo-bench --no-default-features --bin fig9_faulty_jo
 cargo run --release -p trust-vo-bench --bin fig9_faulty_join -- --smoke --seed 42 --emit-obs target/e11-chaos-a.jsonl
 cargo run --release -p trust-vo-bench --bin fig9_faulty_join -- --smoke --seed 42 --emit-obs target/e11-chaos-b.jsonl
 cmp target/e11-chaos-a.jsonl target/e11-chaos-b.jsonl
+# Trace determinism gate (E13): same seed, byte-identical deterministic
+# Perfetto exports; the runs also assert in-binary that the critical-path
+# analyzer attributes >= 95% of each formation root's sim time.
+cargo run --release -p trust-vo-bench --bin fig9_faulty_join -- --smoke --seed 42 --emit-trace target/e13-trace-a.json
+cargo run --release -p trust-vo-bench --bin fig9_faulty_join -- --smoke --seed 42 --emit-trace target/e13-trace-b.json
+cmp target/e13-trace-a.json target/e13-trace-b.json
+# The trace must round-trip through the CLI viewer (timeline, attribution
+# table, top-k critical path from the JSONL export).
+cargo run --release --bin trustvo -- trace target/e11-chaos-a.jsonl --top 5 > /dev/null
 # Crypto fast-path gate (E12): speedup floors vs the seed pow_mod path
 # and the verified-credential cache hit rate are asserted in-binary.
 # target-cpu=native is scoped to this one bench run (with its own target

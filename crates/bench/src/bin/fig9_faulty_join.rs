@@ -22,7 +22,10 @@
 //!
 //! `--smoke --seed 42 --emit-obs <path>` is the CI chaos smoke: a tiny
 //! world, with the dump scrubbed of wall-clock fields so two runs are
-//! byte-identical.
+//! byte-identical. `--emit-trace <path>` additionally writes the crash
+//! row's span tree as deterministic Perfetto/Chrome trace-event JSON;
+//! any observed run also gates on the critical-path analyzer attributing
+//! ≥ 95% of each formation root's simulated time.
 
 use std::sync::Arc;
 use trust_vo_bench::obsutil::ObsArgs;
@@ -136,6 +139,10 @@ fn run_case(
 
     if let (Some(args), Some(collector)) = (obs, collector.as_ref()) {
         args.dump_deterministic(collector);
+        args.dump_trace_deterministic(collector);
+        if collector.is_enabled() {
+            verify_attribution(collector);
+        }
     }
 
     let m = net.metrics();
@@ -151,6 +158,35 @@ fn run_case(
         dups: m.dups.get(),
         dedup_replays: m.dedup_replays.get(),
         service_resumed: svc.resumed_count(),
+    }
+}
+
+/// E11 acceptance: the critical-path analyzer must account for at least
+/// 95% of each formation root span's simulated time, with the residual
+/// reported explicitly. The per-formation table goes to stderr so stdout
+/// stays the report.
+fn verify_attribution(collector: &trust_vo_obs::Collector) {
+    use trust_vo_obs::critical;
+    let records = collector.export_records(true);
+    let root_ids: Vec<u64> = critical::roots(&records, "formation.form_vo_resilient")
+        .iter()
+        .map(|s| s.id)
+        .collect();
+    assert!(
+        !root_ids.is_empty(),
+        "an observed E11 run must record a formation root span"
+    );
+    for root_id in root_ids {
+        let a = critical::attribute(&records, root_id).expect("root is in its own export");
+        eprintln!("{}", critical::render_attribution(&a));
+        assert!(
+            a.attributed_fraction() >= 0.95,
+            "attribution covers only {:.1}% of formation root {root_id} \
+             (unattributed {} of {} µs)",
+            100.0 * a.attributed_fraction(),
+            a.unattributed_us,
+            a.total_sim_us,
+        );
     }
 }
 

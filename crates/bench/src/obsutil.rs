@@ -5,6 +5,9 @@
 //! * `--emit-obs <path>` — attach a [`Collector`] to the workload clock
 //!   and, after the run, dump every span/event/metric as JSON lines to
 //!   `<path>` (see `trust-vo-obs` for the line schema);
+//! * `--emit-trace <path>` — same collector, exported as a Chrome
+//!   trace-event / Perfetto JSON file instead (open in `ui.perfetto.dev`
+//!   or `chrome://tracing`); combinable with `--emit-obs`;
 //! * `--smoke` (where documented) — shrink the workload to a single tiny
 //!   iteration so CI can exercise the binary in seconds;
 //! * `--seed <u64>` (where documented) — the fault-plan / idempotency
@@ -24,6 +27,8 @@ use trust_vo_soa::simclock::SimClock;
 pub struct ObsArgs {
     /// Dump collected observability records to this path after the run.
     pub emit_obs: Option<PathBuf>,
+    /// Dump the run's spans as Perfetto/Chrome trace-event JSON.
+    pub emit_trace: Option<PathBuf>,
     /// Run a single shrunken iteration (CI smoke).
     pub smoke: bool,
     /// Deterministic seed for chaos binaries (`--seed <u64>`).
@@ -45,6 +50,13 @@ impl ObsArgs {
                     });
                     parsed.emit_obs = Some(PathBuf::from(path));
                 }
+                "--emit-trace" => {
+                    let path = args.next().unwrap_or_else(|| {
+                        eprintln!("--emit-trace requires a path argument");
+                        std::process::exit(2);
+                    });
+                    parsed.emit_trace = Some(PathBuf::from(path));
+                }
                 "--smoke" => parsed.smoke = true,
                 "--seed" => {
                     let value = args.next().unwrap_or_else(|| {
@@ -63,10 +75,10 @@ impl ObsArgs {
     }
 
     /// A collector for the run: enabled (and attached to `clock`) when
-    /// `--emit-obs` was given, disabled otherwise so the bench pays no
-    /// instrumentation cost.
+    /// `--emit-obs` or `--emit-trace` was given, disabled otherwise so
+    /// the bench pays no instrumentation cost.
     pub fn collector_for(&self, clock: &SimClock) -> Collector {
-        if self.emit_obs.is_none() {
+        if self.emit_obs.is_none() && self.emit_trace.is_none() {
             return Collector::disabled();
         }
         let collector = Collector::new();
@@ -109,6 +121,30 @@ impl ObsArgs {
             "deterministic observability dump written to {}",
             path.display()
         );
+    }
+
+    /// Write the collector's Perfetto/Chrome trace-event export to the
+    /// `--emit-trace` path (no-op without the flag).
+    pub fn dump_trace(&self, collector: &Collector) {
+        let Some(path) = &self.emit_trace else {
+            return;
+        };
+        std::fs::write(path, collector.to_perfetto())
+            .unwrap_or_else(|e| panic!("writing {} failed: {e}", path.display()));
+        eprintln!("perfetto trace written to {}", path.display());
+    }
+
+    /// Like [`ObsArgs::dump_trace`], but with wall-clock timings scrubbed
+    /// (see `Collector::to_perfetto_deterministic`) so two same-seed runs
+    /// produce byte-identical trace files — the contract the CI chaos
+    /// gate diffs.
+    pub fn dump_trace_deterministic(&self, collector: &Collector) {
+        let Some(path) = &self.emit_trace else {
+            return;
+        };
+        std::fs::write(path, collector.to_perfetto_deterministic())
+            .unwrap_or_else(|e| panic!("writing {} failed: {e}", path.display()));
+        eprintln!("deterministic perfetto trace written to {}", path.display());
     }
 }
 
@@ -189,8 +225,7 @@ mod tests {
         let path = dir.join("dump.jsonl");
         let args = ObsArgs {
             emit_obs: Some(path.clone()),
-            smoke: false,
-            seed: None,
+            ..ObsArgs::default()
         };
         let clock = SimClock::new(CostModel::paper_testbed(), Timestamp(0));
         let collector = args.collector_for(&clock);

@@ -93,6 +93,7 @@ mod tests {
             &RetryPolicy::standard(),
             &ResumePolicy::standard(),
             seed,
+            trust_vo_obs::SpanLink::default(),
         )
         .expect("negotiation completes under faults")
     }
@@ -113,6 +114,7 @@ mod tests {
             &RetryPolicy::standard(),
             &ResumePolicy::standard(),
             7,
+            trust_vo_obs::SpanLink::default(),
         )
         .unwrap();
         let baseline_counts = bare.clock().counts();

@@ -138,18 +138,20 @@ impl NetSim {
     }
 
     /// Delivers a request to the endpoint, through the reply cache.
+    /// The second bool reports whether the reply came from the dedup
+    /// cache without re-executing the operation.
     fn deliver(
         &self,
         service: &str,
         request: &Envelope,
         key: Option<u64>,
         duplicated: bool,
-    ) -> CachedReply {
+    ) -> (CachedReply, bool) {
         self.metrics.delivered.inc();
         if let Some(k) = key {
             if let Some(cached) = self.replies.lock().get(&(service.to_string(), k)) {
                 self.metrics.dedup_replays.inc();
-                return cached.clone();
+                return (cached.clone(), true);
             }
         }
         let result = self.bus.call(service, request);
@@ -176,7 +178,7 @@ impl NetSim {
                     .insert((service.to_string(), k), result.clone());
             }
         }
-        result
+        (result, false)
     }
 }
 
@@ -187,10 +189,37 @@ impl Transport for NetSim {
         let now = clock.elapsed();
         let profile = self.plan.profile_for(service).clone();
 
+        // A traced request crosses the simulated network under a
+        // `net.transit` span: injected latency, drop timeouts, duplicate
+        // deliveries, and dedup-cache replies all land inside it, and the
+        // envelope is re-stamped so bus/endpoint spans parent under it.
+        // The span never influences the decision stream — traced and
+        // untraced runs see identical fault schedules.
+        let mut span = match &request.trace {
+            Some(trace) if obs.is_enabled() => {
+                let mut s = obs.span_linked("net.transit", trace.link());
+                s.field("service", service);
+                s.field("operation", request.operation.as_str());
+                Some(s)
+            }
+            _ => None,
+        };
+        let routed;
+        let request = match &span {
+            Some(s) => {
+                routed = request.restamped(s.id().unwrap_or(0));
+                &routed
+            }
+            None => request,
+        };
+
         if let Some(name) = self.plan.partitioned(service, now) {
             self.metrics.partitioned.inc();
             if obs.is_enabled() {
                 obs.counter_add("net.partitioned", 1);
+            }
+            if let Some(s) = span.as_mut() {
+                s.field("disposition", "partitioned");
             }
             clock.advance(profile.drop_timeout);
             return Err(Fault::transport(
@@ -202,6 +231,9 @@ impl Transport for NetSim {
             self.metrics.drops.inc();
             if obs.is_enabled() {
                 obs.counter_add("net.drops", 1);
+            }
+            if let Some(s) = span.as_mut() {
+                s.field("disposition", "outage");
             }
             clock.advance(profile.drop_timeout);
             return Err(Fault::transport(
@@ -245,19 +277,30 @@ impl Transport for NetSim {
             if obs.is_enabled() {
                 obs.counter_add("net.drops", 1);
             }
+            if let Some(s) = span.as_mut() {
+                s.field("disposition", "request-lost");
+            }
             clock.advance(profile.drop_timeout);
             return Err(Fault::transport(
                 "Timeout",
                 format!("request to '{service}' lost"),
             ));
         }
-        let outcome = self.deliver(service, request, request.idempotency_key, duplicated);
+        let (outcome, replayed) =
+            self.deliver(service, request, request.idempotency_key, duplicated);
+        if let Some(s) = span.as_mut() {
+            s.field("duplicated", duplicated);
+            s.field("dedup_replay", replayed);
+        }
         if drop_resp {
             // The operation executed; only the caller's view of it is
             // lost. Retries recover the verdict from the reply cache.
             self.metrics.drops.inc();
             if obs.is_enabled() {
                 obs.counter_add("net.drops", 1);
+            }
+            if let Some(s) = span.as_mut() {
+                s.field("disposition", "response-lost");
             }
             clock.advance(profile.drop_timeout);
             return Err(Fault::transport(
@@ -266,6 +309,9 @@ impl Transport for NetSim {
             ));
         }
         clock.advance(trust_vo_soa::SimDuration(lat_resp));
+        if let Some(s) = span.as_mut() {
+            s.field("disposition", "delivered");
+        }
         outcome
     }
 

@@ -11,6 +11,7 @@
 use crate::metrics::{MetricsSnapshot, Registry};
 use crate::record::{EventRecord, HistogramRecord, Record, SpanRecord, Value};
 use crate::summary::render_summary;
+use crate::trace::SpanLink;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -28,6 +29,7 @@ struct Inner {
     ring: Mutex<VecDeque<Record>>,
     capacity: usize,
     next_span_id: AtomicU64,
+    next_trace_id: AtomicU64,
     dropped: AtomicU64,
     sim_source: OnceLock<SimSource>,
 }
@@ -72,6 +74,7 @@ impl Collector {
                 ring: Mutex::new(VecDeque::with_capacity(capacity.min(1_024))),
                 capacity,
                 next_span_id: AtomicU64::new(1),
+                next_trace_id: AtomicU64::new(1),
                 dropped: AtomicU64::new(0),
                 sim_source: OnceLock::new(),
             })),
@@ -156,12 +159,26 @@ impl Collector {
     /// [`SpanGuard::id`] of the enclosing span, possibly on another
     /// thread).
     pub fn span_with_parent(&self, name: &str, parent: Option<u64>) -> SpanGuard {
+        self.span_linked(
+            name,
+            SpanLink {
+                trace_id: 0,
+                parent,
+            },
+        )
+    }
+
+    /// Starts a span at a trace position: parented under `link.parent`
+    /// and tagged with `link.trace_id`. With a default (untraced) link
+    /// this is exactly [`Collector::span`].
+    pub fn span_linked(&self, name: &str, link: SpanLink) -> SpanGuard {
         match &self.inner {
             Some(inner) => SpanGuard {
                 collector: self.clone(),
                 record: Some(SpanRecord {
                     id: inner.next_span_id.fetch_add(1, Ordering::Relaxed),
-                    parent,
+                    parent: link.parent,
+                    trace_id: link.trace_id,
                     name: name.to_string(),
                     wall_start_us: Self::wall_now(inner),
                     wall_us: 0,
@@ -175,6 +192,14 @@ impl Collector {
                 record: None,
             },
         }
+    }
+
+    /// Allocates a fresh trace id (dense, starting at 1), or 0 when
+    /// disabled — callers treat 0 as "don't trace".
+    pub fn new_trace_id(&self) -> u64 {
+        self.inner
+            .as_deref()
+            .map_or(0, |i| i.next_trace_id.fetch_add(1, Ordering::Relaxed))
     }
 
     /// Copies out the ring buffer contents, oldest first.
@@ -217,32 +242,48 @@ impl Collector {
         self.registry().map(Registry::snapshot).unwrap_or_default()
     }
 
-    /// Serializes the ring buffer plus a metrics snapshot as JSON lines:
-    /// span/event records in arrival order, then one `counter`/`gauge`/
-    /// `histogram` line per registered metric.
-    pub fn to_jsonl(&self) -> String {
-        let mut out = String::new();
-        for record in self.records() {
-            out.push_str(&record.to_json_line());
-            out.push('\n');
+    /// The ring buffer contents followed by one `Counter`/`Gauge`/
+    /// `Histogram` record per registered metric — the batch every
+    /// exporter serializes. With `scrub`, wall-clock timings are zeroed
+    /// (see [`Record::scrub_wall_times`]; wall-latency `*.op_us`
+    /// histograms keep their sample count but lose their run-varying
+    /// timing shape).
+    pub fn export_records(&self, scrub: bool) -> Vec<Record> {
+        let mut records = self.records();
+        if scrub {
+            for record in &mut records {
+                record.scrub_wall_times();
+            }
         }
         let snap = self.metrics();
         for (name, value) in snap.counters {
-            out.push_str(&Record::Counter { name, value }.to_json_line());
-            out.push('\n');
+            records.push(Record::Counter { name, value });
         }
         for (name, value) in snap.gauges {
-            out.push_str(&Record::Gauge { name, value }.to_json_line());
-            out.push('\n');
+            records.push(Record::Gauge { name, value });
         }
         for (name, h) in snap.histograms {
-            let record = Record::Histogram(HistogramRecord {
+            let mut record = Record::Histogram(HistogramRecord {
                 name,
                 bounds: h.bounds,
                 buckets: h.buckets,
                 count: h.count,
                 sum: h.sum,
             });
+            if scrub {
+                record.scrub_wall_times();
+            }
+            records.push(record);
+        }
+        records
+    }
+
+    /// Serializes the ring buffer plus a metrics snapshot as JSON lines:
+    /// span/event records in arrival order, then one `counter`/`gauge`/
+    /// `histogram` line per registered metric.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for record in self.export_records(false) {
             out.push_str(&record.to_json_line());
             out.push('\n');
         }
@@ -255,58 +296,31 @@ impl Collector {
     /// byte-identical JSONL, so CI can `diff` them.
     pub fn to_jsonl_deterministic(&self) -> String {
         let mut out = String::new();
-        for mut record in self.records() {
-            record.scrub_wall_times();
-            out.push_str(&record.to_json_line());
-            out.push('\n');
-        }
-        let snap = self.metrics();
-        for (name, value) in snap.counters {
-            out.push_str(&Record::Counter { name, value }.to_json_line());
-            out.push('\n');
-        }
-        for (name, value) in snap.gauges {
-            out.push_str(&Record::Gauge { name, value }.to_json_line());
-            out.push('\n');
-        }
-        for (name, h) in snap.histograms {
-            let mut record = Record::Histogram(HistogramRecord {
-                name,
-                bounds: h.bounds,
-                buckets: h.buckets,
-                count: h.count,
-                sum: h.sum,
-            });
-            // Wall-latency histograms (`*.op_us`) keep their sample count
-            // but lose their run-varying timing shape.
-            record.scrub_wall_times();
+        for record in self.export_records(true) {
             out.push_str(&record.to_json_line());
             out.push('\n');
         }
         out
     }
 
+    /// Exports the ring buffer plus a metrics snapshot as a Chrome
+    /// trace-event / Perfetto JSON document with wall-clock timestamps
+    /// (see [`crate::perfetto`]).
+    pub fn to_perfetto(&self) -> String {
+        crate::perfetto::render(&self.export_records(false))
+    }
+
+    /// [`Self::to_perfetto`] on the simulated clock with wall times
+    /// scrubbed — same byte-identical-replay contract as
+    /// [`Self::to_jsonl_deterministic`].
+    pub fn to_perfetto_deterministic(&self) -> String {
+        crate::perfetto::render_deterministic(&self.export_records(true))
+    }
+
     /// Renders a human-readable summary table of spans, events, and
     /// metrics.
     pub fn summary(&self) -> String {
-        let mut records = self.records();
-        let snap = self.metrics();
-        for (name, value) in snap.counters {
-            records.push(Record::Counter { name, value });
-        }
-        for (name, value) in snap.gauges {
-            records.push(Record::Gauge { name, value });
-        }
-        for (name, h) in snap.histograms {
-            records.push(Record::Histogram(HistogramRecord {
-                name,
-                bounds: h.bounds,
-                buckets: h.buckets,
-                count: h.count,
-                sum: h.sum,
-            }));
-        }
-        render_summary(&records)
+        render_summary(&self.export_records(false))
     }
 }
 
@@ -324,6 +338,23 @@ impl SpanGuard {
     /// The span's id, for parenting child spans — `None` when inert.
     pub fn id(&self) -> Option<u64> {
         self.record.as_ref().map(|r| r.id)
+    }
+
+    /// The trace this span belongs to (0 when untraced or inert).
+    pub fn trace_id(&self) -> u64 {
+        self.record.as_ref().map_or(0, |r| r.trace_id)
+    }
+
+    /// A link for opening children of this span in the same trace
+    /// (the default, untraced link when inert).
+    pub fn link(&self) -> SpanLink {
+        match &self.record {
+            Some(r) => SpanLink {
+                trace_id: r.trace_id,
+                parent: Some(r.id),
+            },
+            None => SpanLink::default(),
+        }
     }
 
     /// Attaches a structured field to the span.
@@ -355,6 +386,7 @@ impl Drop for SpanGuard {
 pub struct ObsContext {
     collector: Collector,
     parent: Option<u64>,
+    trace_id: u64,
 }
 
 impl ObsContext {
@@ -363,6 +395,7 @@ impl ObsContext {
         Self {
             collector,
             parent: None,
+            trace_id: 0,
         }
     }
 
@@ -377,6 +410,29 @@ impl ObsContext {
         self
     }
 
+    /// Returns this context tagged with a trace id: spans it opens
+    /// belong to that trace (0 leaves them untraced).
+    pub fn with_trace(mut self, trace_id: u64) -> Self {
+        self.trace_id = trace_id;
+        self
+    }
+
+    /// Returns this context positioned at `link` (both parent and
+    /// trace).
+    pub fn at_link(mut self, link: SpanLink) -> Self {
+        self.parent = link.parent;
+        self.trace_id = link.trace_id;
+        self
+    }
+
+    /// The trace position this context opens spans at.
+    pub fn link(&self) -> SpanLink {
+        SpanLink {
+            trace_id: self.trace_id,
+            parent: self.parent,
+        }
+    }
+
     /// Whether the underlying collector records anything.
     pub fn is_enabled(&self) -> bool {
         self.collector.is_enabled()
@@ -387,9 +443,10 @@ impl ObsContext {
         &self.collector
     }
 
-    /// Starts a span parented under this context's parent id.
+    /// Starts a span parented under this context's parent id, in this
+    /// context's trace.
     pub fn span(&self, name: &str) -> SpanGuard {
-        self.collector.span_with_parent(name, self.parent)
+        self.collector.span_linked(name, self.link())
     }
 
     /// Adds `n` to the named counter.
@@ -430,6 +487,43 @@ mod tests {
             }
             other => panic!("unexpected records {other:?}"),
         }
+    }
+
+    #[test]
+    fn trace_ids_thread_through_linked_spans() {
+        let c = Collector::new();
+        let trace = c.new_trace_id();
+        assert_eq!(trace, 1);
+        assert_eq!(c.new_trace_id(), 2);
+        let root = c.span_linked(
+            "root",
+            SpanLink {
+                trace_id: trace,
+                parent: None,
+            },
+        );
+        assert_eq!(root.trace_id(), trace);
+        let child = c.span_linked("child", root.link());
+        assert_eq!(child.trace_id(), trace);
+        let ctx = ObsContext::new(c.clone()).at_link(child.link());
+        let grandchild = ctx.span("grandchild");
+        let (child_id, grandchild_id) = (child.id().unwrap(), grandchild.id().unwrap());
+        drop(grandchild);
+        drop(child);
+        drop(root);
+        let spans: Vec<_> = c
+            .records()
+            .into_iter()
+            .filter_map(|r| match r {
+                Record::Span(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert!(spans.iter().all(|s| s.trace_id == trace));
+        let gc = spans.iter().find(|s| s.id == grandchild_id).unwrap();
+        assert_eq!(gc.parent, Some(child_id));
+        // Disabled collectors hand out the "don't trace" id.
+        assert_eq!(Collector::disabled().new_trace_id(), 0);
     }
 
     #[test]

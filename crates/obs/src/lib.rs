@@ -22,8 +22,16 @@
 //!
 //! Export: [`Collector::to_jsonl`] serializes the ring buffer plus a
 //! metrics snapshot as JSON lines ([`Record::from_json_line`] parses them
-//! back — see the round-trip tests), and [`Collector::summary`] renders a
-//! human-readable table.
+//! back — see the round-trip tests), [`Collector::to_perfetto`] emits the
+//! same batch as a Chrome trace-event / Perfetto document, and
+//! [`Collector::summary`] renders a human-readable table.
+//!
+//! Causal tracing: [`trace`] defines the [`TraceContext`]/[`SpanLink`]
+//! pair carried across SOA envelope hops so one negotiation's spans form
+//! a single tree across client, retry, fault-transport, bus, and service
+//! layers; [`critical`] attributes a completed trace's sim time to cost
+//! categories and extracts critical paths; [`flight`] is the bounded
+//! per-negotiation flight recorder dumped on faults.
 //!
 //! A disabled collector ([`Collector::disabled`], or any collector when
 //! the `enabled` feature is off) makes every operation an early-returning
@@ -33,12 +41,21 @@
 #![warn(missing_docs)]
 
 pub mod collector;
+pub mod critical;
+pub mod flight;
 mod json;
 pub mod metrics;
+pub mod perfetto;
 pub mod record;
 pub mod summary;
+pub mod trace;
 
 pub use collector::{Collector, ObsContext, SpanGuard, DEFAULT_RING_CAPACITY};
+pub use critical::{
+    attribute, critical_path, render_attribution, render_critical_path, Attribution,
+};
+pub use flight::{FlightEntry, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
 pub use record::{parse_jsonl, EventRecord, HistogramRecord, Record, SpanRecord, Value};
 pub use summary::render_summary;
+pub use trace::{SpanLink, TraceContext};

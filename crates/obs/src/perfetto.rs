@@ -1,0 +1,209 @@
+//! Chrome trace-event ("Perfetto") JSON export.
+//!
+//! Renders a batch of [`Record`]s as a Chrome `traceEvents` document
+//! that `chrome://tracing` and [ui.perfetto.dev](https://ui.perfetto.dev)
+//! load directly. Spans become complete (`"ph":"X"`) events, structured
+//! events become instants (`"ph":"i"`), and counter/gauge/histogram
+//! snapshots become counter (`"ph":"C"`) events.
+//!
+//! Track layout: everything shares `pid` 1; a span's `tid` is its
+//! **trace id**, so each traced negotiation/formation renders as its own
+//! track while untraced spans share track 0.
+//!
+//! Two variants mirror the JSONL exporter's contract:
+//!
+//! * [`render`] uses wall-clock timestamps (what a human profiles);
+//! * [`render_deterministic`] uses simulated-clock timestamps and scrubs
+//!   every wall-derived quantity, so two runs of the same seeded
+//!   workload produce **byte-identical** documents — the property the
+//!   chaos-replay CI gate `cmp`s on, exactly like
+//!   `Collector::to_jsonl_deterministic`.
+
+use crate::json;
+use crate::record::{write_value, Record};
+use std::fmt::Write as _;
+
+/// Which clock the exporter timestamps events with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Clock {
+    Wall,
+    Sim,
+}
+
+/// Renders records as a Chrome trace-event JSON document using
+/// wall-clock timestamps.
+pub fn render(records: &[Record]) -> String {
+    render_with(records, Clock::Wall)
+}
+
+/// Renders records as a Chrome trace-event JSON document using
+/// simulated-clock timestamps only. Callers should scrub wall times
+/// first (`Record::scrub_wall_times`) if the record batch also feeds a
+/// byte-compared artifact; this renderer never reads wall fields, so
+/// its output is deterministic for a deterministic workload either way.
+pub fn render_deterministic(records: &[Record]) -> String {
+    render_with(records, Clock::Sim)
+}
+
+fn render_with(records: &[Record], clock: Clock) -> String {
+    let mut out = String::with_capacity(records.len() * 96 + 32);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for record in records {
+        let mut line = String::with_capacity(96);
+        match record {
+            Record::Span(s) => {
+                let (ts, dur) = match clock {
+                    Clock::Wall => (s.wall_start_us, s.wall_us),
+                    Clock::Sim => (s.sim_start_us, s.sim_us),
+                };
+                line.push_str("{\"name\":");
+                json::escape_into(&mut line, &s.name);
+                let _ = write!(
+                    line,
+                    ",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{ts},\"dur\":{dur},\"args\":{{\"id\":{}",
+                    s.trace_id, s.id
+                );
+                if let Some(parent) = s.parent {
+                    let _ = write!(line, ",\"parent\":{parent}");
+                }
+                for (k, v) in &s.fields {
+                    line.push(',');
+                    json::escape_into(&mut line, k);
+                    line.push(':');
+                    write_value(&mut line, v);
+                }
+                line.push_str("}}");
+            }
+            Record::Event(e) => {
+                let ts = match clock {
+                    Clock::Wall => e.wall_us,
+                    Clock::Sim => e.sim_us,
+                };
+                line.push_str("{\"name\":");
+                json::escape_into(&mut line, &e.name);
+                let _ = write!(
+                    line,
+                    ",\"ph\":\"i\",\"s\":\"g\",\"pid\":1,\"tid\":0,\"ts\":{ts},\"args\":{{"
+                );
+                for (i, (k, v)) in e.fields.iter().enumerate() {
+                    if i > 0 {
+                        line.push(',');
+                    }
+                    json::escape_into(&mut line, k);
+                    line.push(':');
+                    write_value(&mut line, v);
+                }
+                line.push_str("}}");
+            }
+            Record::Counter { name, value } => {
+                counter_event(&mut line, name, &[("value", *value)]);
+            }
+            Record::Gauge { name, value } => {
+                line.push_str("{\"name\":");
+                json::escape_into(&mut line, name);
+                let _ = write!(
+                    line,
+                    ",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":0,\"args\":{{\"value\":{value}}}}}"
+                );
+            }
+            Record::Histogram(h) => {
+                counter_event(&mut line, &h.name, &[("count", h.count), ("sum", h.sum)]);
+            }
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('\n');
+        out.push_str(&line);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+fn counter_event(line: &mut String, name: &str, series: &[(&str, u64)]) {
+    line.push_str("{\"name\":");
+    json::escape_into(line, name);
+    line.push_str(",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":0,\"args\":{");
+    for (i, (k, v)) in series.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        let _ = write!(line, "\"{k}\":{v}");
+    }
+    line.push_str("}}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{EventRecord, HistogramRecord, SpanRecord, Value};
+
+    fn sample() -> Vec<Record> {
+        vec![
+            Record::Span(SpanRecord {
+                id: 2,
+                parent: Some(1),
+                trace_id: 7,
+                name: "net.transit".into(),
+                wall_start_us: 123,
+                wall_us: 456,
+                sim_start_us: 1_000,
+                sim_us: 2_000,
+                fields: vec![("disposition".into(), Value::Str("delivered".into()))],
+            }),
+            Record::Event(EventRecord {
+                name: "sim.charge".into(),
+                wall_us: 9,
+                sim_us: 500,
+                fields: vec![("cost_us".into(), Value::I64(110_000))],
+            }),
+            Record::Counter {
+                name: "bus.calls".into(),
+                value: 3,
+            },
+            Record::Gauge {
+                name: "depth".into(),
+                value: -1,
+            },
+            Record::Histogram(HistogramRecord {
+                name: "net.backoff_us".into(),
+                bounds: vec![1_000],
+                buckets: vec![1, 0],
+                count: 1,
+                sum: 40_000,
+            }),
+        ]
+    }
+
+    #[test]
+    fn deterministic_render_uses_sim_clock_and_trace_tracks() {
+        let text = render_deterministic(&sample());
+        assert!(text.starts_with("{\"traceEvents\":["));
+        assert!(text.ends_with("]}\n"));
+        // Span rides its trace's track with sim timestamps.
+        assert!(text.contains(
+            "{\"name\":\"net.transit\",\"ph\":\"X\",\"pid\":1,\"tid\":7,\"ts\":1000,\"dur\":2000,\
+             \"args\":{\"id\":2,\"parent\":1,\"disposition\":\"delivered\"}}"
+        ));
+        assert!(text.contains("\"ph\":\"i\""));
+        assert!(text.contains("\"ts\":500"));
+        assert!(text.contains("\"name\":\"bus.calls\",\"ph\":\"C\""));
+        assert!(text.contains("\"count\":1,\"sum\":40000"));
+        // No wall quantity leaks into the deterministic document.
+        assert!(!text.contains("123"));
+        assert!(!text.contains("456"));
+    }
+
+    #[test]
+    fn wall_render_uses_wall_clock() {
+        let text = render(&sample());
+        assert!(text.contains("\"ts\":123,\"dur\":456"));
+    }
+
+    #[test]
+    fn empty_batch_is_a_valid_document() {
+        assert_eq!(render_deterministic(&[]), "{\"traceEvents\":[\n]}\n");
+    }
+}

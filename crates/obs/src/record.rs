@@ -74,6 +74,8 @@ pub struct SpanRecord {
     pub id: u64,
     /// Id of the enclosing span, if any.
     pub parent: Option<u64>,
+    /// Trace this span belongs to (0 = untraced; see `crate::trace`).
+    pub trace_id: u64,
     /// Span name, e.g. `negotiation.policy_phase`.
     pub name: String,
     /// Wall-clock start, microseconds since the collector's epoch.
@@ -149,30 +151,36 @@ fn write_fields(out: &mut String, fields: &[(String, Value)]) {
         }
         json::escape_into(out, k);
         out.push(':');
-        match v {
-            Value::I64(n) => {
-                let _ = write!(out, "{n}");
-            }
-            // Rust's f64 Display prints the shortest representation that
-            // parses back to the same value, so this round-trips.
-            Value::F64(f) => {
-                if f.is_finite() {
-                    let _ = write!(out, "{f}");
-                    if f.fract() == 0.0 {
-                        // "2" would re-parse fine as f64, but keep the
-                        // type distinguishable from I64 on the wire.
-                        out.push_str(".0");
-                    }
-                } else {
-                    // JSON has no NaN/Inf; encode as null-like string.
-                    json::escape_into(out, &f.to_string());
-                }
-            }
-            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Value::Str(s) => json::escape_into(out, s),
-        }
+        write_value(out, v);
     }
     out.push('}');
+}
+
+/// Writes one field [`Value`] as a JSON value (shared with the Perfetto
+/// exporter's `args` objects).
+pub(crate) fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        // Rust's f64 Display prints the shortest representation that
+        // parses back to the same value, so this round-trips.
+        Value::F64(f) => {
+            if f.is_finite() {
+                let _ = write!(out, "{f}");
+                if f.fract() == 0.0 {
+                    // "2" would re-parse fine as f64, but keep the
+                    // type distinguishable from I64 on the wire.
+                    out.push_str(".0");
+                }
+            } else {
+                // JSON has no NaN/Inf; encode as null-like string.
+                json::escape_into(out, &f.to_string());
+            }
+        }
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Str(s) => json::escape_into(out, s),
+    }
 }
 
 fn write_u64_arr(out: &mut String, key: &str, values: &[u64]) {
@@ -236,6 +244,11 @@ impl Record {
                     ",\"wall_start_us\":{},\"wall_us\":{},\"sim_start_us\":{},\"sim_us\":{}",
                     s.wall_start_us, s.wall_us, s.sim_start_us, s.sim_us
                 );
+                // Untraced spans omit the key so pre-tracing exports and
+                // new ones serialize identically.
+                if s.trace_id != 0 {
+                    let _ = write!(out, ",\"trace_id\":{}", s.trace_id);
+                }
                 write_fields(&mut out, &s.fields);
                 out.push('}');
             }
@@ -297,6 +310,8 @@ impl Record {
                 wall_us: u64_field(&doc, "wall_us")?,
                 sim_start_us: u64_field(&doc, "sim_start_us")?,
                 sim_us: u64_field(&doc, "sim_us")?,
+                // Absent in pre-tracing exports: default to untraced.
+                trace_id: doc.get("trace_id").and_then(Json::as_u64).unwrap_or(0),
                 fields: parse_fields(&doc)?,
             })),
             "event" => Ok(Record::Event(EventRecord {
@@ -387,6 +402,7 @@ mod tests {
         round_trip(Record::Span(SpanRecord {
             id: 7,
             parent: Some(3),
+            trace_id: 0,
             name: "negotiation.policy_phase".into(),
             wall_start_us: 12,
             wall_us: 345,
@@ -407,6 +423,7 @@ mod tests {
         let record = Record::Span(SpanRecord {
             id: 1,
             parent: None,
+            trace_id: 0,
             name: "formation.form_vo".into(),
             wall_start_us: 0,
             wall_us: 1,
@@ -415,7 +432,34 @@ mod tests {
             fields: vec![],
         });
         assert!(record.to_json_line().contains("\"parent\":null"));
+        // Untraced spans keep the pre-tracing wire shape.
+        assert!(!record.to_json_line().contains("trace_id"));
         round_trip(record);
+    }
+
+    #[test]
+    fn traced_span_round_trips_and_old_lines_default_to_untraced() {
+        let record = Record::Span(SpanRecord {
+            id: 4,
+            parent: Some(2),
+            trace_id: 99,
+            name: "net.transit".into(),
+            wall_start_us: 1,
+            wall_us: 2,
+            sim_start_us: 3,
+            sim_us: 4,
+            fields: vec![],
+        });
+        assert!(record.to_json_line().contains("\"trace_id\":99"));
+        round_trip(record);
+        // A line written before tracing existed parses as trace_id 0.
+        let old = "{\"type\":\"span\",\"id\":1,\"parent\":null,\"name\":\"x\",\
+                   \"wall_start_us\":0,\"wall_us\":0,\"sim_start_us\":0,\"sim_us\":0,\
+                   \"fields\":{}}";
+        match Record::from_json_line(old).unwrap() {
+            Record::Span(s) => assert_eq!(s.trace_id, 0),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

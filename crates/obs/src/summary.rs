@@ -86,10 +86,13 @@ pub fn render_summary(records: &[Record]) -> String {
             let mean = h.sum.checked_div(h.count).unwrap_or(0);
             let _ = writeln!(
                 out,
-                "  {:<36} {:>7} samples, mean {}, p~max {}",
+                "  {:<36} {:>7} samples, mean {}, p50 {}, p95 {}, p99 {}, p~max {}",
                 h.name,
                 h.count,
                 fmt_us(mean),
+                fmt_us(quantile(h, 0.50)),
+                fmt_us(quantile(h, 0.95)),
+                fmt_us(quantile(h, 0.99)),
                 fmt_us(approx_max(h))
             );
         }
@@ -98,6 +101,35 @@ pub fn render_summary(records: &[Record]) -> String {
         out.push_str("(no records)\n");
     }
     out
+}
+
+/// Estimates the `q`-quantile (0.0 ..= 1.0) of a bucketed histogram by
+/// linear interpolation inside the bucket holding rank `q * count`:
+/// samples are assumed uniform between the bucket's lower and upper
+/// bound (0 below the first bound). The overflow bucket has no upper
+/// bound, so it clamps to the last bound — the same crude estimate
+/// [`approx_max`] uses.
+fn quantile(h: &crate::record::HistogramRecord, q: f64) -> u64 {
+    if h.count == 0 {
+        return 0;
+    }
+    let pos = q * h.count as f64;
+    let mut cum = 0.0;
+    for (idx, &bucket) in h.buckets.iter().enumerate() {
+        let c = bucket as f64;
+        if c > 0.0 && cum + c >= pos {
+            let lower = if idx == 0 {
+                0.0
+            } else {
+                h.bounds[idx - 1] as f64
+            };
+            let upper = h.bounds.get(idx).or(h.bounds.last()).copied().unwrap_or(0) as f64;
+            let frac = ((pos - cum) / c).clamp(0.0, 1.0);
+            return (lower + frac * (upper - lower)) as u64;
+        }
+        cum += c;
+    }
+    approx_max(h)
 }
 
 /// Upper bound of the highest non-empty bucket — a crude max estimate.
@@ -114,7 +146,9 @@ fn approx_max(h: &crate::record::HistogramRecord) -> u64 {
     0
 }
 
-fn fmt_us(us: u64) -> String {
+/// Formats a microsecond quantity with a human unit (also used by the
+/// critical-path report).
+pub(crate) fn fmt_us(us: u64) -> String {
     if us >= 1_000_000 {
         format!("{:.2}s", us as f64 / 1_000_000.0)
     } else if us >= 1_000 {
@@ -135,6 +169,7 @@ mod tests {
             Record::Span(SpanRecord {
                 id: 1,
                 parent: None,
+                trace_id: 0,
                 name: "b.span".into(),
                 wall_start_us: 0,
                 wall_us: 2_500,
@@ -145,6 +180,7 @@ mod tests {
             Record::Span(SpanRecord {
                 id: 2,
                 parent: None,
+                trace_id: 0,
                 name: "a.span".into(),
                 wall_start_us: 0,
                 wall_us: 500,
@@ -182,6 +218,50 @@ mod tests {
         assert!(text.contains("negotiation.messages"));
         assert!(text.contains("store.op_us"));
         assert!(text.contains("mean 30us"));
+        // Interpolated quantiles of bounds [10, 100], buckets [1, 2, 0]:
+        // p50 lands 25% into the second bucket, p95/p99 near its top.
+        assert!(text.contains("p50 32us"));
+        assert!(text.contains("p95 93us"));
+        assert!(text.contains("p99 98us"));
+    }
+
+    #[test]
+    fn quantile_interpolation_is_pinned_on_a_known_distribution() {
+        // 40 samples spread uniformly, 10 per bucket, over bounds
+        // 100/200/300/400 — every quantile is exactly computable.
+        let h = HistogramRecord {
+            name: "t.us".into(),
+            bounds: vec![100, 200, 300, 400],
+            buckets: vec![10, 10, 10, 10, 0],
+            count: 40,
+            sum: 8_000,
+        };
+        assert_eq!(quantile(&h, 0.50), 200);
+        assert_eq!(quantile(&h, 0.95), 380);
+        assert_eq!(quantile(&h, 0.99), 396);
+        assert_eq!(quantile(&h, 0.0), 0);
+        assert_eq!(quantile(&h, 1.0), 400);
+
+        // Samples in the overflow bucket clamp to the last bound, the
+        // same estimate approx_max reports.
+        let overflow = HistogramRecord {
+            name: "o.us".into(),
+            bounds: vec![10, 100],
+            buckets: vec![0, 0, 5],
+            count: 5,
+            sum: 1_000,
+        };
+        assert_eq!(quantile(&overflow, 0.50), 100);
+
+        // Empty histograms report 0 everywhere.
+        let empty = HistogramRecord {
+            name: "e.us".into(),
+            bounds: vec![10],
+            buckets: vec![0, 0],
+            count: 0,
+            sum: 0,
+        };
+        assert_eq!(quantile(&empty, 0.99), 0);
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! Cross-hop trace identity: the causal link carried in SOA envelope
+//! headers.
+//!
+//! A *trace* groups every span recorded on behalf of one logical
+//! negotiation or formation, across every hop the work crosses: client
+//! driver → retry layer → fault transport → bus → service handler. Two
+//! small types implement it:
+//!
+//! * [`TraceContext`] is the wire form — `(trace_id, span_id,
+//!   parent_span_id)` — stamped into an `Envelope` header by whichever
+//!   layer most recently opened a span for the message. Each hop that
+//!   opens its own span re-stamps the context via
+//!   [`TraceContext::child`] so the next layer parents under it.
+//! * [`SpanLink`] is the in-process form — "which trace, and which span
+//!   should new children parent under" — what a receiving hop passes to
+//!   `Collector::span_linked`.
+//!
+//! Trace id `0` is reserved for "untraced": spans recorded outside any
+//! trace keep `trace_id == 0`, and a default [`SpanLink`] produces
+//! exactly the pre-tracing behaviour (plain parent nesting).
+
+/// A position in a trace that new child spans should attach under.
+///
+/// `SpanLink::default()` is the untraced link: `trace_id == 0`, no
+/// parent — spans opened through it behave exactly like plain root
+/// spans.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanLink {
+    /// The trace the child belongs to (0 = untraced).
+    pub trace_id: u64,
+    /// The span id new children should parent under, if any.
+    pub parent: Option<u64>,
+}
+
+impl SpanLink {
+    /// Whether this link carries a real trace id.
+    pub fn is_traced(&self) -> bool {
+        self.trace_id != 0
+    }
+}
+
+/// The trace context carried in an envelope header across one hop.
+///
+/// `span_id` names the span that *sent* the message at this hop;
+/// `parent_span_id` is that span's own parent, kept so an export that
+/// lost intermediate records can still show where the hop came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Trace the message belongs to (never 0 on the wire).
+    pub trace_id: u64,
+    /// Span that most recently handled the message.
+    pub span_id: u64,
+    /// Parent of `span_id`, if any.
+    pub parent_span_id: Option<u64>,
+}
+
+impl TraceContext {
+    /// The link a receiving hop should open its own span under.
+    pub fn link(&self) -> SpanLink {
+        SpanLink {
+            trace_id: self.trace_id,
+            parent: Some(self.span_id),
+        }
+    }
+
+    /// Re-stamps the context for the next hop: the caller's new span
+    /// (`span_id`) becomes the message's span, the previous span its
+    /// parent.
+    #[must_use]
+    pub fn child(&self, span_id: u64) -> TraceContext {
+        TraceContext {
+            trace_id: self.trace_id,
+            span_id,
+            parent_span_id: Some(self.span_id),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_link_is_untraced() {
+        let link = SpanLink::default();
+        assert_eq!(link.trace_id, 0);
+        assert_eq!(link.parent, None);
+        assert!(!link.is_traced());
+    }
+
+    #[test]
+    fn child_restamps_span_and_parent() {
+        let ctx = TraceContext {
+            trace_id: 7,
+            span_id: 3,
+            parent_span_id: None,
+        };
+        let next = ctx.child(9);
+        assert_eq!(next.trace_id, 7);
+        assert_eq!(next.span_id, 9);
+        assert_eq!(next.parent_span_id, Some(3));
+        assert_eq!(
+            next.link(),
+            SpanLink {
+                trace_id: 7,
+                parent: Some(9)
+            }
+        );
+    }
+}

@@ -72,20 +72,38 @@ impl ServiceBus {
     }
 
     /// Dispatch a request to a service. Charges one SOAP round trip.
+    ///
+    /// On a traced request (see [`Envelope::trace`]) the dispatch is
+    /// wrapped in a `bus.dispatch` span parented under the sending hop's
+    /// span, and the envelope is re-stamped so endpoint-side spans parent
+    /// under the dispatch.
     pub fn call(&self, service: &str, request: &Envelope) -> Result<Envelope, Fault> {
         self.clock.charge(CostKind::SoapRoundTrip);
         let obs = self.clock.collector();
         if obs.is_enabled() {
             obs.counter_add("bus.calls", 1);
         }
+        let span = match &request.trace {
+            Some(trace) if obs.is_enabled() => {
+                let mut span = obs.span_linked("bus.dispatch", trace.link());
+                span.field("service", service);
+                span.field("operation", request.operation.as_str());
+                Some(span)
+            }
+            _ => None,
+        };
         let endpoint = {
             let guard = self.endpoints.read();
             guard.get(service).cloned()
         };
         let result = match endpoint {
-            Some(ep) => ep.handle(request),
+            Some(ep) => match &span {
+                Some(span) => ep.handle(&request.restamped(span.id().unwrap_or(0))),
+                None => ep.handle(request),
+            },
             None => Err(Fault::no_such_service(service)),
         };
+        drop(span);
         if obs.is_enabled() {
             if result.is_err() {
                 obs.counter_add("bus.faults", 1);

@@ -21,7 +21,23 @@ use crate::envelope::{Envelope, Fault};
 use crate::retry::{call_with_retry, RetryPolicy};
 use crate::simclock::SimDuration;
 use trust_vo_negotiation::Strategy;
+use trust_vo_obs::{Collector, FlightRecorder, SpanGuard, SpanLink, TraceContext};
 use trust_vo_xmldoc::Element;
+
+/// Stamp `env` with the context of the `client.call` span just opened
+/// under `parent`, so every downstream hop (retry attempt, fault
+/// transport, bus, service) parents its spans under that call. Inert
+/// guards (disabled obs) and untraced links leave the envelope alone.
+fn stamp(env: Envelope, span: &SpanGuard, parent: SpanLink) -> Envelope {
+    match span.id() {
+        Some(id) if span.trace_id() != 0 => env.with_trace(TraceContext {
+            trace_id: span.trace_id(),
+            span_id: id,
+            parent_span_id: parent.parent,
+        }),
+        _ => env,
+    }
+}
 
 /// The result of a driven negotiation, as the client observes it.
 #[derive(Debug, Clone)]
@@ -36,8 +52,28 @@ pub struct ClientRun {
     pub sim_elapsed: SimDuration,
 }
 
+/// Issue one traced call over the bus: a `client.call` span under
+/// `parent` wrapping the dispatch of the stamped envelope.
+fn bus_call(
+    bus: &ServiceBus,
+    obs: &Collector,
+    parent: SpanLink,
+    service: &str,
+    env: Envelope,
+) -> Result<Envelope, Fault> {
+    let mut span = obs.span_linked("client.call", parent);
+    span.field("operation", env.operation.as_str());
+    let result = bus.call(service, &stamp(env, &span, parent));
+    span.field("ok", result.is_ok());
+    result
+}
+
 /// Drive a full negotiation over the bus against the TN service
 /// registered under `service`.
+///
+/// When obs is attached to the bus clock, the run mints a fresh trace:
+/// one `client.negotiation` root span with a `client.call` child per
+/// operation, and every envelope carries the call's [`TraceContext`].
 pub fn run_negotiation(
     bus: &ServiceBus,
     service: &str,
@@ -47,10 +83,24 @@ pub fn run_negotiation(
     strategy: Strategy,
 ) -> Result<ClientRun, Fault> {
     let started_at = bus.clock().elapsed();
+    let obs = bus.clock().collector();
+    let mut neg_span = obs.span_linked(
+        "client.negotiation",
+        SpanLink {
+            trace_id: obs.new_trace_id(),
+            parent: None,
+        },
+    );
+    neg_span.field("requester", requester);
+    neg_span.field("resource", resource);
+    let neg_link = neg_span.link();
     // StartNegotiation.
-    let start = bus.call(
+    let start = bus_call(
+        bus,
+        &obs,
+        neg_link,
         service,
-        &Envelope::request(
+        Envelope::request(
             "StartNegotiation",
             Element::new("StartNegotiationRequest")
                 .child(Element::new("strategy").text(strategy.wire_name()))
@@ -66,9 +116,12 @@ pub fn run_negotiation(
         .ok_or_else(|| Fault::new("BadResponse", "missing negotiation id"))?;
 
     // PolicyExchange (one call resolves the whole policy evaluation phase).
-    let policy = bus.call(
+    let policy = bus_call(
+        bus,
+        &obs,
+        neg_link,
         service,
-        &Envelope::request("PolicyExchange", Element::new("PolicyExchangeRequest"))
+        Envelope::request("PolicyExchange", Element::new("PolicyExchangeRequest"))
             .with_negotiation(negotiation_id),
     )?;
     let sequence_len = policy
@@ -80,9 +133,12 @@ pub fn run_negotiation(
     // CredentialExchange until completed.
     let mut credential_calls = 0;
     loop {
-        let resp = bus.call(
+        let resp = bus_call(
+            bus,
+            &obs,
+            neg_link,
             service,
-            &Envelope::request(
+            Envelope::request(
                 "CredentialExchange",
                 Element::new("CredentialExchangeRequest"),
             )
@@ -171,16 +227,58 @@ fn session_lost(fault: &Fault) -> bool {
     fault.is_transport() || fault.code == "NoSuchNegotiation"
 }
 
+#[allow(clippy::too_many_arguments)]
 fn call_attempt<T: Transport + ?Sized>(
     transport: &T,
+    obs: &Collector,
+    parent: SpanLink,
     service: &str,
-    request: &Envelope,
+    request: Envelope,
     retry: &RetryPolicy,
     retries: &mut u64,
+    flight: &mut FlightRecorder,
 ) -> Result<Envelope, Fault> {
-    let attempted = call_with_retry(transport, service, request, retry);
+    let mut span = obs.span_linked("client.call", parent);
+    span.field("operation", request.operation.as_str());
+    let request = stamp(request, &span, parent);
+    let sim_now = |t: &T| t.clock().elapsed().0;
+    flight.note(sim_now(transport), "call", request.operation.clone());
+    let attempted = call_with_retry(transport, service, &request, retry);
     *retries += attempted.retries();
+    if attempted.retries() > 0 {
+        flight.note(
+            sim_now(transport),
+            "retry",
+            format!(
+                "{} needed {} attempts",
+                request.operation, attempted.attempts
+            ),
+        );
+    }
+    if let Err(f) = &attempted.outcome {
+        flight.note(
+            sim_now(transport),
+            "fault",
+            format!("{} {f}", request.operation),
+        );
+    }
+    span.field("ok", attempted.outcome.is_ok());
     attempted.outcome
+}
+
+/// Record a terminal failure: note it in the flight recorder, dump the
+/// recorder as a post-mortem artifact, and hand the fault back.
+fn give_up(
+    obs: &Collector,
+    flight: &mut FlightRecorder,
+    sim_us: u64,
+    reason: &str,
+    label: &str,
+    fault: Fault,
+) -> Fault {
+    flight.note(sim_us, "dead", format!("{reason}: {fault}"));
+    flight.dump(obs, reason, label);
+    fault
 }
 
 /// Drive a negotiation to completion over an unreliable [`Transport`].
@@ -192,6 +290,16 @@ fn call_attempt<T: Transport + ?Sized>(
 /// service's durable checkpoint, otherwise it restarts from phase 1. The
 /// negotiation is requested with `resumable="true"`, so the service
 /// checkpoints after phase 1 and after every verified disclosure.
+///
+/// Tracing: the whole run — every session cycle, resume, and restart —
+/// lives under **one** `client.negotiation` span parented at `link`, so
+/// pre-crash work and post-resume work stay causally linked in the same
+/// trace (keyed by the negotiation, not by the session). Callers without
+/// a trace pass `SpanLink::default()`; when obs is enabled the run then
+/// mints its own trace id and becomes a root. A [`FlightRecorder`] notes
+/// every call/retry/resume/restart and is dumped into the collector on a
+/// terminal fault, abandonment (reconnect budget exhausted), or failed
+/// resume.
 #[allow(clippy::too_many_arguments)]
 pub fn run_negotiation_resilient<T: Transport + ?Sized>(
     transport: &T,
@@ -203,6 +311,7 @@ pub fn run_negotiation_resilient<T: Transport + ?Sized>(
     retry: &RetryPolicy,
     resume: &ResumePolicy,
     key_seed: u64,
+    link: SpanLink,
 ) -> Result<ResilientRun, Fault> {
     let clock = transport.clock();
     let started_at = clock.elapsed();
@@ -217,13 +326,29 @@ pub fn run_negotiation_resilient<T: Transport + ?Sized>(
     let mut negotiation_id;
 
     let obs = clock.collector();
-    // Burn one reconnect cycle: charge the delay and report whether the
-    // budget allowed it.
+    let link = if obs.is_enabled() && link.trace_id == 0 {
+        SpanLink {
+            trace_id: obs.new_trace_id(),
+            parent: link.parent,
+        }
+    } else {
+        link
+    };
+    let mut neg_span = obs.span_linked("client.negotiation", link);
+    neg_span.field("requester", requester);
+    neg_span.field("resource", resource);
+    let neg_link = neg_span.link();
+    let mut flight = FlightRecorder::for_collector(&obs);
+    let label = format!("neg-{key_seed:016x}");
+    // Burn one reconnect cycle: charge the delay (under its own span, so
+    // the wait is attributable) and report whether the budget allowed it.
     let reconnect = |cycles: &mut u32| -> bool {
         if *cycles >= resume.max_cycles {
             return false;
         }
         *cycles += 1;
+        let mut span = obs.span_linked("client.reconnect", neg_link);
+        span.field("cycle", *cycles);
         clock.advance(resume.reconnect_delay);
         true
     };
@@ -239,15 +364,39 @@ pub fn run_negotiation_resilient<T: Transport + ?Sized>(
                 Element::new("ResumeNegotiationRequest").child(tok),
             )
             .with_idempotency(mix_key(key_seed, key_counter));
-            match call_attempt(transport, service, &env, retry, &mut retries) {
+            match call_attempt(
+                transport,
+                &obs,
+                neg_link,
+                service,
+                env,
+                retry,
+                &mut retries,
+                &mut flight,
+            ) {
                 Ok(resp) => {
                     resumes += 1;
                     if obs.is_enabled() {
                         obs.counter_add("client.resumes", 1);
                     }
-                    negotiation_id = resp
-                        .negotiation_id
-                        .ok_or_else(|| Fault::new("BadResponse", "resume lacks negotiation id"))?;
+                    negotiation_id = match resp.negotiation_id {
+                        Some(id) => id,
+                        None => {
+                            return Err(give_up(
+                                &obs,
+                                &mut flight,
+                                clock.elapsed().0,
+                                "failed-resume",
+                                &label,
+                                Fault::new("BadResponse", "resume lacks negotiation id"),
+                            ))
+                        }
+                    };
+                    flight.note(
+                        clock.elapsed().0,
+                        "resume",
+                        format!("negotiation {negotiation_id} resumed from checkpoint"),
+                    );
                     remaining_bound = resp
                         .body
                         .get_attr("remaining")
@@ -257,7 +406,21 @@ pub fn run_negotiation_resilient<T: Transport + ?Sized>(
                 Err(f) if session_lost(&f) && reconnect(&mut cycles) => {
                     continue 'session;
                 }
-                Err(f) => return Err(f),
+                Err(f) => {
+                    let reason = if session_lost(&f) {
+                        "abandoned"
+                    } else {
+                        "failed-resume"
+                    };
+                    return Err(give_up(
+                        &obs,
+                        &mut flight,
+                        clock.elapsed().0,
+                        reason,
+                        &label,
+                        f,
+                    ));
+                }
             }
         } else {
             key_counter += 1;
@@ -271,25 +434,74 @@ pub fn run_negotiation_resilient<T: Transport + ?Sized>(
                     .child(Element::new("resource").text(resource)),
             )
             .with_idempotency(mix_key(key_seed, key_counter));
-            let start = match call_attempt(transport, service, &env, retry, &mut retries) {
+            let start = match call_attempt(
+                transport,
+                &obs,
+                neg_link,
+                service,
+                env,
+                retry,
+                &mut retries,
+                &mut flight,
+            ) {
                 Ok(resp) => resp,
                 Err(f) if f.is_transport() && reconnect(&mut cycles) => {
                     restarts += 1;
+                    flight.note(
+                        clock.elapsed().0,
+                        "restart",
+                        "no token held; restarting from phase 1",
+                    );
                     continue 'session;
                 }
-                Err(f) => return Err(f),
+                Err(f) => {
+                    let reason = if f.is_transport() {
+                        "abandoned"
+                    } else {
+                        "terminal-fault"
+                    };
+                    return Err(give_up(
+                        &obs,
+                        &mut flight,
+                        clock.elapsed().0,
+                        reason,
+                        &label,
+                        f,
+                    ));
+                }
             };
-            let id: u64 = start
+            let id: u64 = match start
                 .body
                 .child_text("negotiationId")
                 .and_then(|t| t.parse().ok())
-                .ok_or_else(|| Fault::new("BadResponse", "missing negotiation id"))?;
+            {
+                Some(id) => id,
+                None => {
+                    return Err(give_up(
+                        &obs,
+                        &mut flight,
+                        clock.elapsed().0,
+                        "terminal-fault",
+                        &label,
+                        Fault::new("BadResponse", "missing negotiation id"),
+                    ))
+                }
+            };
 
             key_counter += 1;
             let env = Envelope::request("PolicyExchange", Element::new("PolicyExchangeRequest"))
                 .with_negotiation(id)
                 .with_idempotency(mix_key(key_seed, key_counter));
-            match call_attempt(transport, service, &env, retry, &mut retries) {
+            match call_attempt(
+                transport,
+                &obs,
+                neg_link,
+                service,
+                env,
+                retry,
+                &mut retries,
+                &mut flight,
+            ) {
                 Ok(policy) => {
                     sequence_len = policy
                         .body
@@ -303,10 +515,29 @@ pub fn run_negotiation_resilient<T: Transport + ?Sized>(
                 Err(f) if session_lost(&f) && reconnect(&mut cycles) => {
                     if token.is_none() {
                         restarts += 1;
+                        flight.note(
+                            clock.elapsed().0,
+                            "restart",
+                            "no token held; restarting from phase 1",
+                        );
                     }
                     continue 'session;
                 }
-                Err(f) => return Err(f),
+                Err(f) => {
+                    let reason = if session_lost(&f) {
+                        "abandoned"
+                    } else {
+                        "terminal-fault"
+                    };
+                    return Err(give_up(
+                        &obs,
+                        &mut flight,
+                        clock.elapsed().0,
+                        reason,
+                        &label,
+                        f,
+                    ));
+                }
             }
         }
 
@@ -321,7 +552,16 @@ pub fn run_negotiation_resilient<T: Transport + ?Sized>(
             )
             .with_negotiation(negotiation_id)
             .with_idempotency(mix_key(key_seed, key_counter));
-            match call_attempt(transport, service, &env, retry, &mut retries) {
+            match call_attempt(
+                transport,
+                &obs,
+                neg_link,
+                service,
+                env,
+                retry,
+                &mut retries,
+                &mut flight,
+            ) {
                 Ok(resp) => {
                     credential_calls += 1;
                     calls_this_session += 1;
@@ -332,23 +572,48 @@ pub fn run_negotiation_resilient<T: Transport + ?Sized>(
                         break 'session;
                     }
                     if calls_this_session > remaining_bound + 1 {
-                        return Err(Fault::new(
-                            "ProtocolError",
-                            "service never reported completion",
+                        return Err(give_up(
+                            &obs,
+                            &mut flight,
+                            clock.elapsed().0,
+                            "terminal-fault",
+                            &label,
+                            Fault::new("ProtocolError", "service never reported completion"),
                         ));
                     }
                 }
                 Err(f) if session_lost(&f) && reconnect(&mut cycles) => {
                     if token.is_none() {
                         restarts += 1;
+                        flight.note(
+                            clock.elapsed().0,
+                            "restart",
+                            "no token held; restarting from phase 1",
+                        );
                     }
                     continue 'session;
                 }
-                Err(f) => return Err(f),
+                Err(f) => {
+                    let reason = if session_lost(&f) {
+                        "abandoned"
+                    } else {
+                        "terminal-fault"
+                    };
+                    return Err(give_up(
+                        &obs,
+                        &mut flight,
+                        clock.elapsed().0,
+                        reason,
+                        &label,
+                        f,
+                    ));
+                }
             }
         }
     }
 
+    neg_span.field("resumes", resumes as i64);
+    neg_span.field("restarts", restarts as i64);
     let sim_elapsed = SimDuration(clock.elapsed().0 - started_at.0);
     Ok(ResilientRun {
         run: ClientRun {
@@ -499,6 +764,7 @@ mod tests {
             retry,
             resume,
             0xD00D,
+            SpanLink::default(),
         )
     }
 

@@ -4,6 +4,7 @@
 //! answered with a response envelope (or a fault), mirroring the Axis SOAP
 //! transport of the prototype.
 
+use trust_vo_obs::TraceContext;
 use trust_vo_xmldoc::{Element, Node};
 
 /// A request or response envelope.
@@ -17,6 +18,12 @@ pub struct Envelope {
     /// retries and duplicate deliveries, so state-mutating operations can be
     /// deduplicated at the receiver.
     pub idempotency_key: Option<u64>,
+    /// Causal trace context: which trace this message belongs to and which
+    /// span sent it. Stamped by the client driver and re-stamped by each
+    /// hop that opens its own span (retry attempt, fault transport, bus),
+    /// so server-side spans parent under the sending layer's span.
+    /// `None` on untraced runs — the pre-tracing wire shape.
+    pub trace: Option<TraceContext>,
     /// The XML body.
     pub body: Element,
 }
@@ -28,6 +35,7 @@ impl Envelope {
             operation: operation.into(),
             negotiation_id: None,
             idempotency_key: None,
+            trace: None,
             body,
         }
     }
@@ -46,6 +54,27 @@ impl Envelope {
         self
     }
 
+    /// Attach a trace context (see [`Envelope::trace`]).
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceContext) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// A copy of this envelope re-stamped so the next hop parents under
+    /// span `span_id` of the same trace. Returns an unmodified clone when
+    /// the envelope is untraced or `span_id` is 0 (inert span guard).
+    #[must_use]
+    pub fn restamped(&self, span_id: u64) -> Self {
+        let mut out = self.clone();
+        if span_id != 0 {
+            if let Some(trace) = &self.trace {
+                out.trace = Some(trace.child(span_id));
+            }
+        }
+        out
+    }
+
     /// Serialize as a SOAP-shaped XML document.
     pub fn to_xml(&self) -> Element {
         let mut header =
@@ -59,6 +88,19 @@ impl Envelope {
             header.children.push(Node::Element(
                 Element::new("idempotencyKey").text(key.to_string()),
             ));
+        }
+        if let Some(trace) = &self.trace {
+            header.children.push(Node::Element(
+                Element::new("traceId").text(trace.trace_id.to_string()),
+            ));
+            header.children.push(Node::Element(
+                Element::new("spanId").text(trace.span_id.to_string()),
+            ));
+            if let Some(parent) = trace.parent_span_id {
+                header.children.push(Node::Element(
+                    Element::new("parentSpanId").text(parent.to_string()),
+                ));
+            }
         }
         Element::new("Envelope")
             .child(header)
@@ -78,11 +120,28 @@ impl Envelope {
         let idempotency_key = header
             .child_text("idempotencyKey")
             .and_then(|t| t.parse().ok());
+        // Trace headers are lenient like the ids: both trace and span ids
+        // must parse (and a 0 trace id means untraced), else the envelope
+        // simply carries no trace.
+        let trace = match (
+            header.child_text("traceId").and_then(|t| t.parse().ok()),
+            header.child_text("spanId").and_then(|t| t.parse().ok()),
+        ) {
+            (Some(trace_id), Some(span_id)) if trace_id != 0 => Some(TraceContext {
+                trace_id,
+                span_id,
+                parent_span_id: header
+                    .child_text("parentSpanId")
+                    .and_then(|t| t.parse().ok()),
+            }),
+            _ => None,
+        };
         let body = root.first("Body")?.elements().next()?.clone();
         Some(Envelope {
             operation,
             negotiation_id,
             idempotency_key,
+            trace,
             body,
         })
     }
@@ -209,6 +268,57 @@ mod tests {
         let t = Fault::transport("Timeout", "request lost");
         assert_eq!(t.kind, FaultKind::Transport);
         assert!(t.is_transport());
+    }
+
+    #[test]
+    fn trace_context_roundtrips_through_xml() {
+        let env = Envelope::request("PolicyExchange", Element::new("x"))
+            .with_negotiation(3)
+            .with_trace(TraceContext {
+                trace_id: 11,
+                span_id: 42,
+                parent_span_id: Some(40),
+            });
+        let text = trust_vo_xmldoc::to_string(&env.to_xml());
+        let back = Envelope::from_xml(&trust_vo_xmldoc::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, env);
+
+        // Root-hop context: no parent span.
+        let root =
+            Envelope::request("StartNegotiation", Element::new("x")).with_trace(TraceContext {
+                trace_id: 1,
+                span_id: 2,
+                parent_span_id: None,
+            });
+        let back = Envelope::from_xml(&root.to_xml()).unwrap();
+        assert_eq!(back, root);
+
+        // Untraced envelopes stay untraced through the round trip.
+        let plain = Envelope::request("PolicyExchange", Element::new("x"));
+        assert_eq!(Envelope::from_xml(&plain.to_xml()).unwrap().trace, None);
+    }
+
+    #[test]
+    fn restamped_advances_the_hop_chain() {
+        let env =
+            Envelope::request("CredentialExchange", Element::new("x")).with_trace(TraceContext {
+                trace_id: 9,
+                span_id: 4,
+                parent_span_id: Some(2),
+            });
+        let hop = env.restamped(6);
+        assert_eq!(
+            hop.trace,
+            Some(TraceContext {
+                trace_id: 9,
+                span_id: 6,
+                parent_span_id: Some(4),
+            })
+        );
+        // Inert span guards (id 0) and untraced envelopes pass through.
+        assert_eq!(env.restamped(0).trace, env.trace);
+        let plain = Envelope::request("CredentialExchange", Element::new("x"));
+        assert_eq!(plain.restamped(6), plain);
     }
 
     #[test]

@@ -96,7 +96,11 @@ impl Attempted {
 /// immediately.
 ///
 /// When obs is attached to the clock, emits `net.retries` (count of
-/// attempts beyond the first) and a `net.backoff_us` histogram.
+/// attempts beyond the first) and a `net.backoff_us` histogram. On a
+/// traced request each delivery attempt runs under its own `soa.attempt`
+/// span (the envelope is re-stamped per attempt, so transport- and
+/// bus-side spans parent under the attempt that carried them) and each
+/// backoff wait under a sibling `retry.backoff` span.
 pub fn call_with_retry<T: Transport + ?Sized>(
     transport: &T,
     service: &str,
@@ -104,11 +108,25 @@ pub fn call_with_retry<T: Transport + ?Sized>(
     policy: &RetryPolicy,
 ) -> Attempted {
     let clock = transport.clock();
+    let obs = clock.collector();
+    let traced = obs.is_enabled() && request.trace.is_some();
     let mut attempts = 0u32;
     let mut backoff_spent = SimDuration::ZERO;
     let outcome = loop {
         attempts += 1;
-        match transport.call(service, request) {
+        let result = if traced {
+            let link = request.trace.as_ref().expect("traced").link();
+            let mut span = obs.span_linked("soa.attempt", link);
+            span.field("service", service);
+            span.field("operation", request.operation.as_str());
+            span.field("attempt", i64::from(attempts));
+            let result = transport.call(service, &request.restamped(span.id().unwrap_or(0)));
+            span.field("ok", result.is_ok());
+            result
+        } else {
+            transport.call(service, request)
+        };
+        match result {
             Ok(resp) => break Ok(resp),
             Err(fault) if fault.is_transport() && attempts < policy.max_attempts => {
                 let wait = policy.backoff_after(attempts);
@@ -116,8 +134,17 @@ pub fn call_with_retry<T: Transport + ?Sized>(
                     break Err(fault);
                 }
                 backoff_spent += wait;
-                clock.advance(wait);
-                let obs = clock.collector();
+                {
+                    let _backoff_span = if traced {
+                        let link = request.trace.as_ref().expect("traced").link();
+                        let mut span = obs.span_linked("retry.backoff", link);
+                        span.field("wait_us", wait.0 as i64);
+                        Some(span)
+                    } else {
+                        None
+                    };
+                    clock.advance(wait);
+                }
                 if obs.is_enabled() {
                     obs.counter_add("net.retries", 1);
                     if let Some(reg) = obs.registry() {

@@ -28,6 +28,7 @@ use trust_vo_negotiation::{
     evaluate_policies, message::Side, strategy::CredentialFormat, view::TrustSequence,
     NegotiationConfig, Party, PolicyPhase, ResumeCheckpoint, ResumeToken, Strategy,
 };
+use trust_vo_obs::SpanLink;
 use trust_vo_store::Database;
 use trust_vo_xmldoc::{Element, Node};
 
@@ -164,10 +165,13 @@ impl TnService {
     /// Persist a checkpoint for a resumable session into the durable
     /// `checkpoints` collection (slot `ck_id`, overwritten on every
     /// progress step) and return the signed [`ResumeToken`] as XML to
-    /// embed in the response. Charges one DB write plus one signature.
+    /// embed in the response. Charges one DB write plus one signature,
+    /// both under a `tn.checkpoint` span linked at `link` so checkpoint
+    /// I/O is separable from the rest of the operation in attribution.
     #[allow(clippy::too_many_arguments)]
     fn checkpoint(
         &self,
+        link: SpanLink,
         ck_id: u64,
         requester: &str,
         controller: &str,
@@ -176,6 +180,10 @@ impl TnService {
         sequence: &TrustSequence,
         next: usize,
     ) -> Element {
+        let obs = self.clock.collector();
+        let mut span = obs.span_linked("tn.checkpoint", link);
+        span.field("slot", ck_id as i64);
+        span.field("next", next);
         let ck = ResumeCheckpoint::new(
             requester,
             controller,
@@ -325,6 +333,7 @@ impl TnService {
                     // Phase 1 is the expensive part: checkpoint it now so a
                     // mid-phase-2 interruption never repeats it.
                     let token = self.checkpoint(
+                        request.trace.as_ref().map(|t| t.link()).unwrap_or_default(),
                         session.ck_id,
                         &session.requester,
                         &session.controller,
@@ -443,6 +452,7 @@ impl TnService {
             // Re-checkpoint after every verified disclosure: a resumed
             // session replays from here, not from the start of phase 2.
             let token = self.checkpoint(
+                request.trace.as_ref().map(|t| t.link()).unwrap_or_default(),
                 session.ck_id,
                 &session.requester,
                 &session.controller,
@@ -578,7 +588,12 @@ impl TnService {
 impl ServiceEndpoint for TnService {
     fn handle(&self, request: &Envelope) -> Result<Envelope, Fault> {
         let obs = self.clock.collector();
-        let mut span = obs.span("tn.operation");
+        // A traced request parents the service-side span under the hop
+        // that delivered it (bus dispatch / fault transport).
+        let mut span = match &request.trace {
+            Some(trace) => obs.span_linked("tn.operation", trace.link()),
+            None => obs.span("tn.operation"),
+        };
         if span.id().is_some() {
             span.field("operation", request.operation.as_str());
             let counter = match request.operation.as_str() {
@@ -592,6 +607,15 @@ impl ServiceEndpoint for TnService {
                 obs.counter_add(name, 1);
             }
         }
+        // Re-stamp so spans opened inside the operation (checkpoint I/O)
+        // parent under `tn.operation`; untraced requests skip the clone.
+        let routed;
+        let request = if request.trace.is_some() {
+            routed = request.restamped(span.id().unwrap_or(0));
+            &routed
+        } else {
+            request
+        };
         let result = match request.operation.as_str() {
             "StartNegotiation" => self.start_negotiation(request),
             "PolicyExchange" => self.policy_exchange(request),

@@ -52,7 +52,7 @@ use trust_vo_negotiation::{
     negotiate, ConcurrentSequenceCache, NegotiationConfig, NegotiationError, NegotiationOutcome,
     Party, Strategy, Transcript,
 };
-use trust_vo_obs::ObsContext;
+use trust_vo_obs::{ObsContext, SpanLink};
 use trust_vo_soa::simclock::{CostKind, SimClock};
 
 /// A formed VO: the output of the Formation phase.
@@ -254,14 +254,22 @@ pub fn join_member(
         None => TnAction::Skip,
     };
     join_attempt(
-        vo, initiator, candidate, role, mailboxes, reputation, clock, action, None,
+        vo,
+        initiator,
+        candidate,
+        role,
+        mailboxes,
+        reputation,
+        clock,
+        action,
+        SpanLink::default(),
     )
 }
 
 /// One join attempt: invitation flow, optional TN (live or precomputed),
-/// role assignment, membership certificate. `parent` is the enclosing
-/// formation span, if any — the attempt's own span (and the negotiation
-/// spans under it) hang off it.
+/// role assignment, membership certificate. `link` is the enclosing
+/// formation span's trace position, if any — the attempt's own span (and
+/// the negotiation spans under it) hang off it and inherit its trace id.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn join_attempt(
     vo: &mut FormedVo,
@@ -272,10 +280,10 @@ pub(crate) fn join_attempt(
     reputation: &mut ReputationLedger,
     clock: &SimClock,
     tn: TnAction<'_>,
-    parent: Option<u64>,
+    link: SpanLink,
 ) -> Result<MemberRecord, VoError> {
     let obs = clock.collector();
-    let mut span = obs.span_with_parent("formation.join_attempt", parent);
+    let mut span = obs.span_linked("formation.join_attempt", link);
     if span.id().is_some() {
         span.field("role", role);
         span.field("provider", candidate.name());
@@ -326,7 +334,7 @@ pub(crate) fn join_attempt(
         } => {
             let initiator_party = initiator_party_for_role(initiator, &vo.contract, role);
             let cfg = NegotiationConfig::new(strategy, at)
-                .with_obs(ObsContext::new(obs.clone()).with_parent(span.id()));
+                .with_obs(ObsContext::new(obs.clone()).at_link(span.link()));
             let result = match cache {
                 Some(shared) => {
                     shared.negotiate(&candidate.party, &initiator_party, "VoMembership", &cfg)
@@ -434,12 +442,20 @@ fn form_vo_impl(
 ) -> Result<FormedVo, VoError> {
     let mut vo = create_vo(contract, initiator, clock);
     let obs = clock.collector();
-    let mut root_span = obs.span("formation.form_vo");
+    // Each formation is its own trace: every span below — attempts, live
+    // negotiations — carries this root's trace id.
+    let mut root_span = obs.span_linked(
+        "formation.form_vo",
+        SpanLink {
+            trace_id: obs.new_trace_id(),
+            parent: None,
+        },
+    );
     if root_span.id().is_some() {
         root_span.field("vo", vo.name.as_str());
         root_span.field("roles", vo.contract.roles.len());
     }
-    let parent = root_span.id();
+    let root_link = root_span.link();
     let formation_at = clock.timestamp();
     let roles: Vec<_> = vo.contract.roles.clone();
     for role in &roles {
@@ -497,7 +513,7 @@ fn form_vo_impl(
             };
             match join_attempt(
                 &mut vo, initiator, candidate, &role.name, mailboxes, reputation, clock, action,
-                parent,
+                root_link,
             ) {
                 Ok(_) => {
                     assigned = true;
@@ -516,9 +532,12 @@ fn form_vo_impl(
     }
     audit_members(&vo)?;
     obs.counter_add("formation.audits", 1);
-    vo.lifecycle
-        .advance_to(Phase::Operation, clock.timestamp())
-        .expect("formation advances to operation");
+    {
+        let _lifecycle = obs.span_linked("formation.lifecycle", root_link);
+        vo.lifecycle
+            .advance_to(Phase::Operation, clock.timestamp())
+            .expect("formation advances to operation");
+    }
     root_span.field("outcome", "ok");
     root_span.field("members", vo.members.len());
     Ok(vo)

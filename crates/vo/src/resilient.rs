@@ -23,6 +23,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 use trust_vo_negotiation::{NegotiationError, Strategy};
+use trust_vo_obs::{Collector, SpanGuard, SpanLink};
 use trust_vo_soa::simclock::CostKind;
 use trust_vo_soa::{
     run_negotiation_resilient, Fault, ResilientRun, ResumePolicy, RetryPolicy, TnService, Transport,
@@ -118,8 +119,29 @@ fn verdict_from_fault(fault: Fault) -> Result<TnAction<'static>, VoError> {
 /// A verdict-table key: (role name, provider name).
 type PairKey = (String, String);
 
+/// Opens the per-formation root span for a resilient drive: a fresh
+/// trace is minted so every negotiation, attempt, and bus-side span of
+/// this formation hangs off one causal tree.
+fn formation_root(obs: &Collector, contract: &Contract) -> SpanGuard {
+    let mut span = obs.span_linked(
+        "formation.form_vo_resilient",
+        SpanLink {
+            trace_id: obs.new_trace_id(),
+            parent: None,
+        },
+    );
+    if span.id().is_some() {
+        span.field("vo", contract.vo_name.as_str());
+        span.field("roles", contract.roles.len());
+    }
+    span
+}
+
 /// The shared decision procedure: the serial Formation loop with each
-/// accepting candidate's trust-negotiation verdict supplied by `verdict`.
+/// accepting candidate's trust-negotiation verdict supplied by `verdict`
+/// (which receives the formation root's trace link, so externally-driven
+/// negotiations can parent under it). The caller owns the root span —
+/// the parallel driver must open it before its fan-out.
 #[allow(clippy::too_many_arguments)]
 fn admit_with<'a>(
     contract: Contract,
@@ -129,16 +151,12 @@ fn admit_with<'a>(
     mailboxes: &mut MailboxSystem,
     reputation: &mut ReputationLedger,
     clock: &trust_vo_soa::SimClock,
-    mut verdict: impl FnMut(&str, &ServiceProvider) -> Result<TnAction<'a>, VoError>,
+    root_span: &mut SpanGuard,
+    mut verdict: impl FnMut(&str, &ServiceProvider, SpanLink) -> Result<TnAction<'a>, VoError>,
 ) -> Result<FormedVo, VoError> {
     let mut vo = create_vo(contract, initiator, clock);
     let obs = clock.collector();
-    let mut root_span = obs.span("formation.form_vo_resilient");
-    if root_span.id().is_some() {
-        root_span.field("vo", vo.name.as_str());
-        root_span.field("roles", vo.contract.roles.len());
-    }
-    let parent = root_span.id();
+    let root_link = root_span.link();
     let roles: Vec<_> = vo.contract.roles.clone();
     for role in &roles {
         clock.charge(CostKind::DbQuery);
@@ -168,13 +186,13 @@ fn admit_with<'a>(
             // Declining candidates turn back inside join_attempt before
             // the verdict is consumed, so don't negotiate for them.
             let action = if candidate.accepts_invitations {
-                verdict(&role.name, candidate)?
+                verdict(&role.name, candidate, root_link)?
             } else {
                 TnAction::External(Ok(()))
             };
             match join_attempt(
                 &mut vo, initiator, candidate, &role.name, mailboxes, reputation, clock, action,
-                parent,
+                root_link,
             ) {
                 Ok(_) => {
                     assigned = true;
@@ -192,9 +210,12 @@ fn admit_with<'a>(
         }
     }
     audit_members(&vo)?;
-    vo.lifecycle
-        .advance_to(Phase::Operation, clock.timestamp())
-        .expect("formation advances to operation");
+    {
+        let _lifecycle = obs.span_linked("formation.lifecycle", root_link);
+        vo.lifecycle
+            .advance_to(Phase::Operation, clock.timestamp())
+            .expect("formation advances to operation");
+    }
     root_span.field("outcome", "ok");
     root_span.field("members", vo.members.len());
     Ok(vo)
@@ -227,6 +248,7 @@ pub fn form_vo_resilient<T: Transport + ?Sized>(
 ) -> Result<(FormedVo, FormationResilience), VoError> {
     let initiator_name = initiator.name().to_owned();
     let mut stats = FormationResilience::default();
+    let mut root_span = formation_root(&transport.clock().collector(), &contract);
     let vo = admit_with(
         contract,
         initiator,
@@ -235,7 +257,8 @@ pub fn form_vo_resilient<T: Transport + ?Sized>(
         mailboxes,
         reputation,
         transport.clock(),
-        |role, candidate| {
+        &mut root_span,
+        |role, candidate, link| {
             let run = run_negotiation_resilient(
                 transport,
                 service_name,
@@ -246,6 +269,7 @@ pub fn form_vo_resilient<T: Transport + ?Sized>(
                 retry,
                 resume,
                 pair_seed(seed, role, candidate.name()),
+                link,
             );
             match run {
                 Ok(run) => {
@@ -311,6 +335,10 @@ pub fn form_vo_resilient_parallel<T: Transport + Sync + ?Sized>(
     }
 
     let initiator_name = initiator.name().to_owned();
+    // The root span must exist before the fan-out so every concurrent
+    // negotiation parents under the same formation trace.
+    let mut root_span = formation_root(&transport.clock().collector(), &contract);
+    let root_link = root_span.link();
     let table: Mutex<HashMap<PairKey, Result<ResilientRun, Fault>>> =
         Mutex::new(HashMap::with_capacity(jobs.len()));
     let next = AtomicUsize::new(0);
@@ -332,6 +360,7 @@ pub fn form_vo_resilient_parallel<T: Transport + Sync + ?Sized>(
                     retry,
                     resume,
                     pair_seed(seed, role, candidate),
+                    root_link,
                 );
                 table.lock().insert((role.clone(), candidate.clone()), run);
             });
@@ -349,7 +378,8 @@ pub fn form_vo_resilient_parallel<T: Transport + Sync + ?Sized>(
         mailboxes,
         reputation,
         transport.clock(),
-        |role, candidate| {
+        &mut root_span,
+        |role, candidate, _link| {
             let key = (role.to_owned(), candidate.name().to_owned());
             match table
                 .remove(&key)

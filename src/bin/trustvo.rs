@@ -6,13 +6,20 @@
 //! trustvo views                        enumerate all satisfiable trust sequences
 //! trustvo lifecycle                    full lifecycle incl. operation + dissolution
 //! trustvo strategies                   compare the four strategies side by side
+//! trustvo trace <dump.jsonl> [--top k] timeline + critical path of an obs export
 //! ```
 //!
 //! Strategies: standard (default), trusting, suspicious, strong-suspicious.
+//!
+//! `trace` reads a JSONL observability export (written by the bench
+//! binaries' `--emit-obs`), then prints for every root span its
+//! negotiation timeline, sim-time attribution table, and top-k critical
+//! path.
 
 use trust_vo::credential::RevocationList;
 use trust_vo::negotiation::message::Side;
 use trust_vo::negotiation::{choose_minimal, enumerate_sequences, NegotiationConfig, Strategy};
+use trust_vo::obs::{critical, parse_jsonl, Record, SpanRecord, Value};
 use trust_vo::vo::operation::{authorize_operation, OperationLog};
 use trust_vo::vo::scenario::{names, roles, scenario_time, AircraftScenario};
 
@@ -42,6 +49,8 @@ fn usage() -> ! {
          \x20 views       enumerate all satisfiable trust sequences\n\
          \x20 lifecycle   walk the whole VO lifecycle\n\
          \x20 strategies  compare the four Trust-X strategies\n\
+         \x20 trace       render an obs JSONL export: timeline, attribution, critical path\n\
+         \x20             (trustvo trace <dump.jsonl> [--top <k>])\n\
          strategies: standard | trusting | suspicious | strong-suspicious"
     );
     std::process::exit(2)
@@ -63,7 +72,132 @@ fn main() {
         "views" => cmd_views(),
         "lifecycle" => cmd_lifecycle(strategy),
         "strategies" => cmd_strategies(),
+        "trace" => cmd_trace(&args),
         _ => usage(),
+    }
+}
+
+/// Human-readable simulated microseconds.
+fn fmt_sim(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.1}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}µs")
+    }
+}
+
+fn cmd_trace(args: &[String]) {
+    let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
+        eprintln!("usage: trustvo trace <dump.jsonl> [--top <k>]");
+        std::process::exit(2);
+    };
+    let top = match args.iter().position(|a| a == "--top") {
+        None => 10usize,
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse().ok()) {
+            Some(k) => k,
+            None => {
+                eprintln!("--top requires a positive integer");
+                std::process::exit(2);
+            }
+        },
+    };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let records = parse_jsonl(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(1);
+    });
+    let spans: Vec<&SpanRecord> = records
+        .iter()
+        .filter_map(|r| match r {
+            Record::Span(s) => Some(s),
+            _ => None,
+        })
+        .collect();
+    let roots: Vec<&&SpanRecord> = spans.iter().filter(|s| s.parent.is_none()).collect();
+    if roots.is_empty() {
+        println!("no root spans in {path} ({} records)", records.len());
+        return;
+    }
+    println!(
+        "{}: {} records, {} spans, {} roots",
+        path,
+        records.len(),
+        spans.len(),
+        roots.len()
+    );
+    for root in roots {
+        println!();
+        println!(
+            "root '{}' (span {}, trace {}) — sim {} @ {}",
+            root.name,
+            root.id,
+            root.trace_id,
+            fmt_sim(root.sim_us),
+            fmt_sim(root.sim_start_us)
+        );
+        // Timeline: the root's direct children in sim-start order.
+        let mut children: Vec<&&SpanRecord> =
+            spans.iter().filter(|s| s.parent == Some(root.id)).collect();
+        children.sort_by_key(|s| (s.sim_start_us, s.id));
+        if !children.is_empty() {
+            println!("  timeline:");
+            for child in children {
+                println!(
+                    "    [{:>10} +{:>9}] {}{}",
+                    fmt_sim(child.sim_start_us),
+                    fmt_sim(child.sim_us),
+                    child.name,
+                    span_note(child)
+                );
+            }
+        }
+        if let Some(a) = critical::attribute(&records, root.id) {
+            print!(
+                "  {}",
+                critical::render_attribution(&a).replace('\n', "\n  ")
+            );
+            println!();
+        }
+        let path_spans = critical::critical_path(&records, root.id);
+        if !path_spans.is_empty() {
+            println!("  critical path (top {top}):");
+            print!("{}", critical::render_critical_path(&path_spans, top));
+        }
+    }
+}
+
+/// A short annotation for a timeline line from the span's fields.
+fn span_note(span: &SpanRecord) -> String {
+    let mut parts = Vec::new();
+    for key in [
+        "requester",
+        "provider",
+        "role",
+        "operation",
+        "outcome",
+        "result",
+    ] {
+        for (k, v) in &span.fields {
+            if k == key {
+                let rendered = match v {
+                    Value::I64(n) => n.to_string(),
+                    Value::F64(f) => format!("{f}"),
+                    Value::Bool(b) => b.to_string(),
+                    Value::Str(s) => s.clone(),
+                };
+                parts.push(format!("{k}={rendered}"));
+            }
+        }
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("  ({})", parts.join(", "))
     }
 }
 

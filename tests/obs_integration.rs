@@ -3,14 +3,22 @@
 //! the formation spans, and report counters that exactly match the
 //! engine's own transcript/cache accounting — serial and parallel alike.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 use trust_vo::negotiation::{
     negotiate, ConcurrentSequenceCache, NegotiationConfig, Strategy, Transcript,
 };
-use trust_vo::obs::{Collector, MetricsSnapshot, Record};
+use trust_vo::netsim::{FaultPlan, LinkProfile, NetSim};
+use trust_vo::obs::{Collector, MetricsSnapshot, Record, SpanLink, TraceContext};
 use trust_vo::soa::simclock::SimClock;
+use trust_vo::soa::{Envelope, ResumePolicy, RetryPolicy, ServiceBus, TnService, Transport};
+use trust_vo::store::Database;
 use trust_vo::vo::mailbox::MailboxSystem;
-use trust_vo::vo::{form_vo, form_vo_cached, form_vo_parallel, ReputationLedger};
+use trust_vo::vo::{
+    form_vo, form_vo_cached, form_vo_parallel, form_vo_resilient, register_formation_parties,
+    ReputationLedger,
+};
+use trust_vo::xmldoc::Element;
 use trust_vo_bench::workloads::{self, ParallelJoinWorld};
 
 fn observed_clock() -> (SimClock, Collector) {
@@ -239,6 +247,175 @@ fn parallel_formation_matches_serial_counter_totals() {
             parallel_collector.metrics().counter("formation.speculated"),
             applicants as u64,
             "one speculation per (role, accepting candidate)"
+        );
+    }
+}
+
+#[test]
+fn lossy_netsim_formation_leaves_no_orphan_bus_spans() {
+    // A full resilient formation at 20% per-direction loss: every span
+    // the bus side emits — negotiations, per-attempt deliveries, backoff
+    // waits, transits, dispatches, service operations, checkpoints —
+    // must carry the formation root's trace id and be reachable from the
+    // root through parent links alone.
+    let world = workloads::parallel_join_world(3, 4, 2);
+    let (clock, collector) = observed_clock();
+    let bus = ServiceBus::new(clock.clone());
+    let svc = Arc::new(TnService::new(clock, Database::new()));
+    register_formation_parties(&svc, &world.contract, &world.initiator, &world.providers);
+    bus.register("tn", svc);
+    let net = NetSim::new(bus, FaultPlan::lossy(1234, 0.2));
+
+    let (vo, stats) = form_vo_resilient(
+        world.contract.clone(),
+        &world.initiator,
+        &world.providers,
+        &world.registry,
+        &mut MailboxSystem::new(),
+        &mut ReputationLedger::new(),
+        &net,
+        "tn",
+        Strategy::Standard,
+        &RetryPolicy::standard(),
+        &ResumePolicy::standard(),
+        7,
+    )
+    .expect("formation survives 20% loss");
+    assert_eq!(vo.members().len(), 3);
+    assert!(
+        stats.retries > 0,
+        "20% loss should force at least one retry"
+    );
+    assert!(
+        net.metrics().drops.get() > 0,
+        "0.2 loss plan dropped nothing"
+    );
+
+    let spans = span_records(&collector);
+    let by_id: HashMap<u64, &trust_vo::obs::SpanRecord> = spans.iter().map(|s| (s.id, s)).collect();
+    let root = spans
+        .iter()
+        .find(|s| s.name == "formation.form_vo_resilient")
+        .expect("resilient formation root span");
+    assert_ne!(root.trace_id, 0, "formation root mints a trace");
+
+    let bus_side = [
+        "client.negotiation",
+        "client.call",
+        "soa.attempt",
+        "retry.backoff",
+        "client.reconnect",
+        "net.transit",
+        "bus.dispatch",
+        "tn.operation",
+        "tn.checkpoint",
+    ];
+    let mut seen: BTreeMap<&str, usize> = BTreeMap::new();
+    for span in spans.iter().filter(|s| bus_side.contains(&s.name.as_str())) {
+        *seen.entry(span.name.as_str()).or_default() += 1;
+        assert_eq!(
+            span.trace_id, root.trace_id,
+            "span '{}' ({}) is outside the formation trace",
+            span.name, span.id
+        );
+        let mut cursor: &trust_vo::obs::SpanRecord = span;
+        let mut hops = 0usize;
+        while let Some(parent) = cursor.parent {
+            cursor = by_id.get(&parent).copied().unwrap_or_else(|| {
+                panic!(
+                    "span '{}' ({}) has a dangling parent {parent}",
+                    cursor.name, cursor.id
+                )
+            });
+            hops += 1;
+            assert!(hops < 64, "parent cycle from span '{}'", span.name);
+        }
+        assert_eq!(
+            cursor.id, root.id,
+            "span '{}' ({}) is orphaned from the formation root",
+            span.name, span.id
+        );
+    }
+    // The interesting hop kinds all actually occurred in this run.
+    for name in [
+        "client.negotiation",
+        "client.call",
+        "soa.attempt",
+        "retry.backoff",
+        "net.transit",
+        "bus.dispatch",
+        "tn.operation",
+        "tn.checkpoint",
+    ] {
+        assert!(seen.get(name).copied().unwrap_or(0) > 0, "no '{name}' span");
+    }
+    // Retries mean more delivery attempts than logical calls, all with
+    // distinct span ids on the one shared trace.
+    assert!(
+        seen["soa.attempt"] > seen["client.call"],
+        "retries must add extra attempt spans"
+    );
+}
+
+#[test]
+fn duplicate_deliveries_share_the_trace_with_distinct_spans() {
+    // Force duplication of every delivered, unkeyed call: the endpoint
+    // runs twice, and both dispatches must appear as sibling spans —
+    // same trace id, distinct span ids — under one net.transit.
+    let (clock, collector) = observed_clock();
+    let bus = ServiceBus::new(clock.clone());
+    bus.register("tn", Arc::new(TnService::new(clock, Database::new())));
+    let plan = FaultPlan {
+        default_link: LinkProfile {
+            duplicate_probability: 1.0,
+            ..LinkProfile::reliable()
+        },
+        ..FaultPlan::reliable(9)
+    };
+    let net = NetSim::new(bus, plan);
+
+    let trace_id = collector.new_trace_id();
+    let root = collector.span_linked(
+        "test.root",
+        SpanLink {
+            trace_id,
+            parent: None,
+        },
+    );
+    let request = Envelope::request(
+        "StartNegotiation",
+        Element::new("StartNegotiationRequest")
+            .child(Element::new("strategy").text("standard"))
+            .child(Element::new("requester").text("Nobody"))
+            .child(Element::new("counterpartUrl").text("NobodyElse"))
+            .child(Element::new("resource").text("VoMembership")),
+    )
+    .with_trace(TraceContext {
+        trace_id,
+        span_id: root.id().expect("enabled collector"),
+        parent_span_id: None,
+    });
+    // The verdict itself is irrelevant — only the delivery shape is.
+    let _ = net.call("tn", &request);
+    drop(root);
+    assert_eq!(net.metrics().dups.get(), 1);
+
+    let spans = span_records(&collector);
+    let transits: Vec<_> = spans.iter().filter(|s| s.name == "net.transit").collect();
+    assert_eq!(transits.len(), 1, "one logical transit");
+    assert_eq!(transits[0].trace_id, trace_id);
+    let dispatches: Vec<_> = spans.iter().filter(|s| s.name == "bus.dispatch").collect();
+    assert_eq!(dispatches.len(), 2, "unkeyed duplicate delivers twice");
+    assert_ne!(dispatches[0].id, dispatches[1].id);
+    for dispatch in &dispatches {
+        assert_eq!(
+            dispatch.trace_id, trace_id,
+            "duplicate shares the logical trace"
+        );
+        assert_eq!(
+            dispatch.parent,
+            Some(transits[0].id),
+            "duplicate parents under the same transit"
         );
     }
 }
