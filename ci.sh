@@ -14,7 +14,7 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
   -p trust-vo -p trust-vo-bench -p trust-vo-credential -p trust-vo-crypto \
   -p trust-vo-journal -p trust-vo-negotiation -p trust-vo-netsim \
   -p trust-vo-obs -p trust-vo-ontology -p trust-vo-policy -p trust-vo-soa \
-  -p trust-vo-store -p trust-vo-vo -p trust-vo-xmldoc
+  -p trust-vo-store -p trust-vo-vo -p trust-vo-xmldoc -p trust-vo-admission
 cargo bench --workspace --no-run
 # Disabled-instrumentation smoke: with the obs feature compiled out the
 # formation bench must still build and complete one shrunken iteration.
@@ -67,3 +67,23 @@ cargo run --release -p trust-vo-bench --bin ontology_bench -- --smoke
 cargo run --release -p trust-vo-bench --bin ontology_bench -- --digest > target/e5b-memo-on.txt
 TRUST_VO_MAP_CACHE=0 cargo run --release -p trust-vo-bench --bin ontology_bench -- --digest > target/e5b-memo-off.txt
 cmp target/e5b-memo-on.txt target/e5b-memo-off.txt
+# Adversarial-load gates (E14). The smoke run asserts in-binary that the
+# flooding identity is rate-limited (budget_exhausted faults observed)
+# while honest success rate and sim time stay within the E14 bounds, and
+# that serial == parallel == flood-free admitted outcomes. With the obs
+# feature compiled out the bin must still build and pass the same asserts.
+cargo run --release -p trust-vo-bench --no-default-features --bin fig_adversarial_load -- --smoke --seed 42
+# Same-seed determinism: admission decisions must not perturb the netsim
+# fault decision stream — two flooded smoke runs, byte-identical
+# deterministic obs dumps and Perfetto exports.
+cargo run --release -p trust-vo-bench --bin fig_adversarial_load -- --smoke --seed 42 --emit-obs target/e14-a.jsonl --emit-trace target/e14-ta.json
+cargo run --release -p trust-vo-bench --bin fig_adversarial_load -- --smoke --seed 42 --emit-obs target/e14-b.jsonl --emit-trace target/e14-tb.json
+cmp target/e14-a.jsonl target/e14-b.jsonl
+cmp target/e14-ta.json target/e14-tb.json
+# Kill-switch byte-identity: TRUST_VO_ADMISSION=off (gated bus with a
+# no-op gate, admitted drivers delegating) must match the pre-admission
+# path (--plain: ungated bus, plain resilient driver) byte-for-byte.
+cargo run --release -p trust-vo-bench --bin fig_adversarial_load -- --smoke --seed 42 --plain --emit-obs target/e14-plain.jsonl --emit-trace target/e14-tplain.json
+TRUST_VO_ADMISSION=off cargo run --release -p trust-vo-bench --bin fig_adversarial_load -- --smoke --seed 42 --emit-obs target/e14-off.jsonl --emit-trace target/e14-toff.json
+cmp target/e14-plain.jsonl target/e14-off.jsonl
+cmp target/e14-tplain.json target/e14-toff.json

@@ -1,0 +1,241 @@
+//! Score → trust band → negotiation strategy and admission priority.
+//!
+//! The TN web service "supports the operations to carry on a TN according
+//! to the standard, the strong suspicious, the suspicious and the trusting
+//! negotiation strategies" (§6.2) — but the paper leaves *choosing* among
+//! them to the coordinator. This module closes that gap: the counterpart's
+//! reputation score selects the strategy (high trust ⇒ cheap trusting
+//! negotiation; low trust ⇒ strong-suspicious with ownership proofs) and
+//! an admission-queue priority, so well-reputed candidates are processed
+//! first.
+//!
+//! Boundary semantics are pinned to match
+//! `ReputationLedger::needs_replacement`, which uses a strict `<`: a party
+//! *exactly at* a threshold clears it. Here too, `score == band minimum`
+//! lands in the higher (more trusted) band.
+
+use trust_vo_negotiation::Strategy;
+
+/// A trust band, ordered from most to least trusted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TrustBand {
+    /// High reputation: negotiate with the cheap, disclosing
+    /// [`Strategy::Trusting`].
+    Trusting,
+    /// Ordinary reputation (the prior lands here): [`Strategy::Standard`].
+    Standard,
+    /// Damaged reputation: [`Strategy::Suspicious`] — ownership proofs,
+    /// no missing-credential disclosure.
+    Suspicious,
+    /// Near-floor reputation: [`Strategy::StrongSuspicious`] — minimal
+    /// term disclosure on top.
+    StrongSuspicious,
+}
+
+impl TrustBand {
+    /// The negotiation strategy a coordinator uses against a counterpart
+    /// in this band.
+    pub fn strategy(self) -> Strategy {
+        match self {
+            TrustBand::Trusting => Strategy::Trusting,
+            TrustBand::Standard => Strategy::Standard,
+            TrustBand::Suspicious => Strategy::Suspicious,
+            TrustBand::StrongSuspicious => Strategy::StrongSuspicious,
+        }
+    }
+
+    /// Admission-queue rank: 0 is served first. More trusted ⇒ earlier.
+    pub fn rank(self) -> u8 {
+        match self {
+            TrustBand::Trusting => 0,
+            TrustBand::Standard => 1,
+            TrustBand::Suspicious => 2,
+            TrustBand::StrongSuspicious => 3,
+        }
+    }
+
+    /// Stable lower-case name for obs fields and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            TrustBand::Trusting => "trusting",
+            TrustBand::Standard => "standard",
+            TrustBand::Suspicious => "suspicious",
+            TrustBand::StrongSuspicious => "strong_suspicious",
+        }
+    }
+}
+
+/// Band thresholds: the minimum score (inclusive — see the module docs on
+/// boundary semantics) for each band above the bottom one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandConfig {
+    /// `score >= trusting_min` ⇒ [`TrustBand::Trusting`].
+    pub trusting_min: f64,
+    /// `score >= standard_min` ⇒ at least [`TrustBand::Standard`].
+    pub standard_min: f64,
+    /// `score >= suspicious_min` ⇒ at least [`TrustBand::Suspicious`];
+    /// below it, [`TrustBand::StrongSuspicious`].
+    pub suspicious_min: f64,
+}
+
+impl BandConfig {
+    /// Defaults placing the 0.5 prior in the Standard band: one success
+    /// short of Trusting at 0.75 is deliberate — trust is *earned* by
+    /// transacting, 0.4 keeps a party Standard through one failed TN, and
+    /// 0.2 is the paper-exercised replacement threshold reused as the
+    /// strong-suspicious floor.
+    pub fn paper_defaults() -> Self {
+        BandConfig {
+            trusting_min: 0.75,
+            standard_min: 0.4,
+            suspicious_min: 0.2,
+        }
+    }
+
+    /// The band for a score. Exact-threshold scores land in the higher
+    /// band (strict-`<` demotion, matching `needs_replacement`).
+    pub fn band_for(&self, score: f64) -> TrustBand {
+        if score >= self.trusting_min {
+            TrustBand::Trusting
+        } else if score >= self.standard_min {
+            TrustBand::Standard
+        } else if score >= self.suspicious_min {
+            TrustBand::Suspicious
+        } else {
+            TrustBand::StrongSuspicious
+        }
+    }
+
+    /// The strategy for a score: [`BandConfig::band_for`] composed with
+    /// [`TrustBand::strategy`].
+    pub fn strategy_for(&self, score: f64) -> Strategy {
+        self.band_for(score).strategy()
+    }
+}
+
+impl Default for BandConfig {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+/// A sortable admission-queue key: band rank first (more trusted bands
+/// drain first), then descending weight (e.g. `quality × score`), with the
+/// party name as the deterministic tiebreak. Build one per candidate and
+/// sort ascending.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueueKey {
+    /// The candidate's band rank ([`TrustBand::rank`]).
+    pub rank: u8,
+    /// Descending-order weight, stored negated-for-sort as raw bits.
+    weight_bits: u64,
+    /// The candidate's name (final tiebreak).
+    pub party: String,
+}
+
+impl QueueKey {
+    /// A key for a candidate with the given band and weight. NaN weights
+    /// sort as the lowest weight in the band.
+    pub fn new(band: TrustBand, weight: f64, party: impl Into<String>) -> Self {
+        let w = if weight.is_nan() {
+            f64::NEG_INFINITY
+        } else {
+            weight
+        };
+        // Total-order trick: map f64 to a u64 that sorts ascending
+        // (negative values have the sign bit set, so invert all their
+        // bits; non-negatives just get the sign bit flipped), then invert
+        // once more so *bigger* weights sort first within a band.
+        let bits = w.to_bits();
+        let ascending = if bits >> 63 == 1 {
+            !bits
+        } else {
+            bits ^ (1u64 << 63)
+        };
+        QueueKey {
+            rank: band.rank(),
+            weight_bits: !ascending,
+            party: party.into(),
+        }
+    }
+}
+
+impl Eq for QueueKey {}
+
+impl Ord for QueueKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.rank, self.weight_bits, &self.party).cmp(&(
+            other.rank,
+            other.weight_bits,
+            &other.party,
+        ))
+    }
+}
+
+impl PartialOrd for QueueKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The default replacement threshold (paper §5.1 exercise: two violations
+/// from the prior cross it). Documented here because admission banding
+/// reuses the same strict-`<` comparison.
+pub const REPLACEMENT_THRESHOLD: f64 = 0.2;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bands_cover_the_score_range() {
+        let c = BandConfig::paper_defaults();
+        assert_eq!(c.band_for(1.0), TrustBand::Trusting);
+        assert_eq!(c.band_for(0.8), TrustBand::Trusting);
+        assert_eq!(c.band_for(0.5), TrustBand::Standard);
+        assert_eq!(c.band_for(0.3), TrustBand::Suspicious);
+        assert_eq!(c.band_for(0.1), TrustBand::StrongSuspicious);
+        assert_eq!(c.band_for(0.0), TrustBand::StrongSuspicious);
+    }
+
+    #[test]
+    fn exact_threshold_lands_in_the_higher_band() {
+        // Pinned boundary semantics: score == threshold clears it, the
+        // same strict-`<` the replacement check uses.
+        let c = BandConfig::paper_defaults();
+        assert_eq!(c.band_for(0.75), TrustBand::Trusting);
+        assert_eq!(c.band_for(0.4), TrustBand::Standard);
+        assert_eq!(c.band_for(0.2), TrustBand::Suspicious);
+        assert_eq!(c.band_for(0.75 - 1e-12), TrustBand::Standard);
+        assert_eq!(c.band_for(0.2 - 1e-12), TrustBand::StrongSuspicious);
+    }
+
+    #[test]
+    fn band_maps_to_strategy_and_rank() {
+        assert_eq!(TrustBand::Trusting.strategy(), Strategy::Trusting);
+        assert_eq!(TrustBand::Standard.strategy(), Strategy::Standard);
+        assert_eq!(TrustBand::Suspicious.strategy(), Strategy::Suspicious);
+        assert_eq!(
+            TrustBand::StrongSuspicious.strategy(),
+            Strategy::StrongSuspicious
+        );
+        assert!(TrustBand::Trusting.rank() < TrustBand::StrongSuspicious.rank());
+        assert_eq!(BandConfig::default().strategy_for(0.5), Strategy::Standard);
+    }
+
+    #[test]
+    fn queue_orders_by_band_then_weight_then_name() {
+        let mut keys = [
+            QueueKey::new(TrustBand::Standard, 0.9, "B"),
+            QueueKey::new(TrustBand::Trusting, 0.1, "C"),
+            QueueKey::new(TrustBand::Standard, 0.9, "A"),
+            QueueKey::new(TrustBand::Standard, 1.5, "D"),
+            QueueKey::new(TrustBand::StrongSuspicious, 9.0, "E"),
+        ];
+        keys.sort();
+        let order: Vec<&str> = keys.iter().map(|k| k.party.as_str()).collect();
+        // Trusting first despite tiny weight; within Standard the bigger
+        // weight wins; ties break by name; bottom band drains last.
+        assert_eq!(order, ["C", "D", "A", "B", "E"]);
+    }
+}

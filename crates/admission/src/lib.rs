@@ -1,0 +1,62 @@
+//! Reputation-gated admission control and per-party flow budgets.
+//!
+//! The paper establishes that "each member will have an associated
+//! reputation, established on the basis of past transactions" (§2) and
+//! that "the failed TN may affect the parties' reputation" (§5.1), but its
+//! reputation is write-only: nothing at admission time *reads* it. This
+//! crate closes the loop, in three layers:
+//!
+//! * [`score`] — a [`ScoringEngine`] fed every negotiation outcome
+//!   (success, violation, failed TN, abandonment, transport fault-timeout)
+//!   with configurable deltas and sim-time decay toward the prior;
+//! * [`band`] — coordinators map the counterpart's score to a trust band
+//!   that selects the `negotiation::Strategy` (trusting ↔ standard ↔
+//!   suspicious ↔ strong-suspicious) and the admission-queue priority;
+//! * [`mana`] + [`gate`] — a regenerating per-party token bucket enforced
+//!   at the service-bus boundary: a party flooding negotiation starts is
+//!   refused with a typed `BudgetExhausted` fault (retry-after hinted)
+//!   before any simulated latency is charged, so the flood throttles
+//!   itself and honest parties keep their latency.
+//!
+//! Reputation and budget mutations spill as journal facts
+//! (`Fact::Reputation` / `Fact::Mana`), surviving the journal's
+//! kill-at-any-byte-prefix recovery contract; `admission.*` / `mana.*`
+//! counters and `admission.gate` spans land in the causal trace tree.
+//!
+//! # Kill-switch
+//!
+//! Set `TRUST_VO_ADMISSION=0` (or `off`/`false`/`no`) to disable the whole
+//! subsystem at first use: the gate admits everything silently, and the
+//! admission-aware formation drivers in `vo` fall back to their fixed
+//! strategy — behavior, obs output, and Perfetto exports are byte-identical
+//! to a build without admission (ci.sh pins this).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod band;
+pub mod gate;
+pub mod mana;
+pub mod score;
+
+pub use band::{BandConfig, QueueKey, TrustBand, REPLACEMENT_THRESHOLD};
+pub use gate::{AdmissionGate, GATED_OPERATIONS, REQUESTER_ELEMENT};
+pub use mana::{ManaConfig, ManaLedger};
+pub use score::{Outcome, ScoringConfig, ScoringEngine};
+
+use std::sync::LazyLock;
+
+/// Is the admission subsystem enabled? Reads `TRUST_VO_ADMISSION` once at
+/// first use; `0`/`off`/`false`/`no` disables (same contract as
+/// `TRUST_VO_CRED_CACHE` and `TRUST_VO_MAP_CACHE`). Disabled, the gate,
+/// banding, and scoring hooks all become inert no-ops.
+pub fn admission_enabled() -> bool {
+    static ENABLED: LazyLock<bool> = LazyLock::new(|| match std::env::var("TRUST_VO_ADMISSION") {
+        Ok(v) => !matches!(
+            v.to_ascii_lowercase().as_str(),
+            "0" | "off" | "false" | "no"
+        ),
+        Err(_) => true,
+    });
+    *ENABLED
+}

@@ -1,0 +1,334 @@
+//! Per-party regenerating flow budgets ("mana").
+//!
+//! A token bucket per party identity: each gated call costs tokens, the
+//! bucket refills continuously at a configured rate of the *sim* clock,
+//! and the burst capacity bounds how many calls a party can fire
+//! back-to-back. A party that floods bogus negotiation starts drains its
+//! own bucket and gets typed
+//! [`budget_exhausted`](trust_vo_soa::envelope::Fault::budget_exhausted)
+//! refusals with a retry-after hint — honest parties' buckets are
+//! untouched, so one identity cannot starve the bus for everyone else.
+//!
+//! All arithmetic is sequential per bucket under one mutex and driven by
+//! caller-supplied sim-times, so a deterministic workload produces
+//! bit-identical budget trajectories on every run.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
+use trust_vo_journal::{Fact, Journal};
+use trust_vo_obs::Collector;
+use trust_vo_soa::simclock::SimDuration;
+
+/// Token-bucket parameters, shared by every party.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ManaConfig {
+    /// Bucket capacity: the burst a party can spend instantly. New
+    /// parties start full.
+    pub capacity: f64,
+    /// Tokens regenerated per sim-second.
+    pub refill_per_sec: f64,
+    /// Tokens one gated call costs.
+    pub cost_per_call: f64,
+}
+
+impl ManaConfig {
+    /// Defaults sized for formation traffic: a burst of 8 negotiation
+    /// starts, regenerating 2 per sim-second — far above what any honest
+    /// formation driver issues per party, throttling only floods.
+    pub fn standard() -> Self {
+        ManaConfig {
+            capacity: 8.0,
+            refill_per_sec: 2.0,
+            cost_per_call: 1.0,
+        }
+    }
+}
+
+impl Default for ManaConfig {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    tokens: f64,
+    /// Regeneration anchor: sim-time of the last mutation.
+    last_us: u64,
+}
+
+/// The per-party bucket map.
+#[derive(Debug, Default)]
+pub struct ManaLedger {
+    config: ManaConfig,
+    buckets: Mutex<BTreeMap<String, Bucket>>,
+    journal: OnceLock<Arc<Journal>>,
+    obs: OnceLock<Collector>,
+}
+
+impl ManaLedger {
+    /// A ledger with the given bucket parameters.
+    pub fn new(config: ManaConfig) -> Self {
+        ManaLedger {
+            config,
+            buckets: Mutex::new(BTreeMap::new()),
+            journal: OnceLock::new(),
+            obs: OnceLock::new(),
+        }
+    }
+
+    /// The ledger's configuration.
+    pub fn config(&self) -> &ManaConfig {
+        &self.config
+    }
+
+    /// Attach a journal: every bucket mutation spills a [`Fact::Mana`]
+    /// with the resulting level and anchor. First attachment wins.
+    pub fn attach_journal(&self, journal: Arc<Journal>) {
+        let _ = self.journal.set(journal);
+    }
+
+    /// Attach an obs collector: charges and refusals emit `mana.charged` /
+    /// `mana.rejected` counters. First attachment wins.
+    pub fn attach_obs(&self, collector: &Collector) {
+        let _ = self.obs.set(collector.clone());
+    }
+
+    /// The party's token level as of sim-time `now` (refilled read; does
+    /// not mutate state).
+    pub fn tokens(&self, party: &str, now: SimDuration) -> f64 {
+        let guard = self.buckets.lock();
+        match guard.get(party) {
+            Some(b) => self.refilled(b, now),
+            None => self.config.capacity,
+        }
+    }
+
+    fn refilled(&self, bucket: &Bucket, now: SimDuration) -> f64 {
+        let dt_us = now.0.saturating_sub(bucket.last_us);
+        let regen = self.config.refill_per_sec * (dt_us as f64 / 1_000_000.0);
+        (bucket.tokens + regen).min(self.config.capacity)
+    }
+
+    /// Charge one call to `party` at sim-time `now`. `Ok(remaining)` when
+    /// the bucket covers the cost; `Err(retry_after)` — the sim-time until
+    /// the bucket regenerates enough — when it does not. Both paths
+    /// advance the regeneration anchor.
+    pub fn try_charge(&self, party: &str, now: SimDuration) -> Result<f64, SimDuration> {
+        let mut guard = self.buckets.lock();
+        let bucket = guard.entry(party.to_owned()).or_insert(Bucket {
+            tokens: self.config.capacity,
+            last_us: now.0,
+        });
+        let refilled = self.refilled(bucket, now);
+        let result = if refilled >= self.config.cost_per_call {
+            bucket.tokens = refilled - self.config.cost_per_call;
+            bucket.last_us = now.0;
+            Ok(bucket.tokens)
+        } else {
+            bucket.tokens = refilled;
+            bucket.last_us = now.0;
+            let deficit = self.config.cost_per_call - refilled;
+            let retry_after = if self.config.refill_per_sec > 0.0 {
+                // Ceil to the next whole µs so retrying exactly at the
+                // hint always finds the bucket refilled.
+                SimDuration((deficit * 1_000_000.0 / self.config.refill_per_sec).ceil() as u64)
+            } else {
+                // Never regenerates: an effectively-infinite hint (the
+                // retry layer's budget check fails it immediately).
+                SimDuration(u64::MAX)
+            };
+            Err(retry_after)
+        };
+        let (tokens, last_us) = (bucket.tokens, bucket.last_us);
+        drop(guard);
+        if let Some(journal) = self.journal.get() {
+            journal.append(&Fact::Mana {
+                party: party.to_owned(),
+                tokens_bits: tokens.to_bits(),
+                at_us: last_us,
+            });
+        }
+        if let Some(obs) = self.obs.get() {
+            if obs.is_enabled() {
+                obs.counter_add(
+                    if result.is_ok() {
+                        "mana.charged"
+                    } else {
+                        "mana.rejected"
+                    },
+                    1,
+                );
+            }
+        }
+        result
+    }
+
+    /// Rebuild bucket state from replayed [`Fact::Mana`] facts (last fact
+    /// per party wins). Other fact kinds are skipped.
+    pub fn restore_from_facts<'a>(&self, facts: impl IntoIterator<Item = &'a Fact>) {
+        let mut guard = self.buckets.lock();
+        for fact in facts {
+            if let Fact::Mana {
+                party,
+                tokens_bits,
+                at_us,
+            } = fact
+            {
+                guard.insert(
+                    party.clone(),
+                    Bucket {
+                        tokens: f64::from_bits(*tokens_bits),
+                        last_us: *at_us,
+                    },
+                );
+            }
+        }
+    }
+
+    /// All known parties and their raw (un-refilled) token levels, in
+    /// party order — for digests and tests.
+    pub fn snapshot(&self) -> Vec<(String, f64)> {
+        self.buckets
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.tokens))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ledger() -> ManaLedger {
+        ManaLedger::new(ManaConfig::standard())
+    }
+
+    #[test]
+    fn fresh_party_has_a_full_burst() {
+        let m = ledger();
+        let now = SimDuration::ZERO;
+        assert_eq!(m.tokens("A", now), 8.0);
+        for i in 0..8 {
+            let left = m.try_charge("A", now).expect("burst");
+            assert!((left - (7 - i) as f64).abs() < 1e-9);
+        }
+        let retry = m.try_charge("A", now).unwrap_err();
+        // 1 token at 2/sec = 500 ms.
+        assert_eq!(retry, SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn bucket_regenerates_with_sim_time_and_caps_at_capacity() {
+        let m = ledger();
+        let now = SimDuration::ZERO;
+        for _ in 0..8 {
+            m.try_charge("A", now).unwrap();
+        }
+        // After 1 sim-second: 2 tokens back.
+        let later = SimDuration::from_millis(1_000);
+        assert!((m.tokens("A", later) - 2.0).abs() < 1e-9);
+        assert!(m.try_charge("A", later).is_ok());
+        // After an hour idle the bucket is full again, not overflowing.
+        let much_later = SimDuration::from_millis(3_600_000);
+        assert_eq!(m.tokens("A", much_later), 8.0);
+    }
+
+    #[test]
+    fn retry_hint_is_sufficient() {
+        let m = ledger();
+        let now = SimDuration::ZERO;
+        for _ in 0..8 {
+            m.try_charge("A", now).unwrap();
+        }
+        let retry = m.try_charge("A", now).unwrap_err();
+        // Retrying exactly at the hint succeeds.
+        assert!(m.try_charge("A", now + retry).is_ok());
+    }
+
+    #[test]
+    fn one_party_cannot_drain_another() {
+        let m = ledger();
+        let now = SimDuration::ZERO;
+        for _ in 0..100 {
+            let _ = m.try_charge("Flooder", now);
+        }
+        assert_eq!(m.tokens("Honest", now), 8.0);
+        assert!(m.try_charge("Honest", now).is_ok());
+    }
+
+    #[test]
+    fn zero_refill_hints_forever() {
+        let m = ManaLedger::new(ManaConfig {
+            capacity: 1.0,
+            refill_per_sec: 0.0,
+            cost_per_call: 1.0,
+        });
+        let now = SimDuration::ZERO;
+        assert!(m.try_charge("A", now).is_ok());
+        assert_eq!(m.try_charge("A", now).unwrap_err(), SimDuration(u64::MAX));
+    }
+
+    #[test]
+    fn journal_spill_and_restore_round_trip() {
+        let journal = Arc::new(Journal::in_memory());
+        let m = ledger();
+        m.attach_journal(journal.clone());
+        let t = SimDuration::from_millis(3);
+        m.try_charge("A", t).unwrap();
+        m.try_charge("B", t).unwrap();
+        m.try_charge("A", SimDuration::from_millis(7)).unwrap();
+        let replay = journal.replay();
+        assert_eq!(replay.facts.len(), 3);
+        let restored = ledger();
+        restored.restore_from_facts(&replay.facts);
+        assert_eq!(restored.snapshot(), m.snapshot());
+        // The restored ledger regenerates from the same anchor.
+        let later = SimDuration::from_millis(1_007);
+        assert_eq!(restored.tokens("A", later), m.tokens("A", later));
+    }
+
+    proptest! {
+        /// Tokens never go negative and never exceed capacity, for any
+        /// charge schedule.
+        #[test]
+        fn tokens_stay_bounded(
+            steps in proptest::collection::vec((0u64..5_000_000, any::<bool>()), 0..80),
+        ) {
+            let m = ledger();
+            let mut now = 0u64;
+            for (dt, other_party) in steps {
+                now += dt;
+                let party = if other_party { "B" } else { "A" };
+                let _ = m.try_charge(party, SimDuration(now));
+                for p in ["A", "B"] {
+                    let level = m.tokens(p, SimDuration(now));
+                    prop_assert!((0.0..=8.0 + 1e-9).contains(&level));
+                }
+            }
+        }
+
+        /// The retry-after hint is always sufficient: charging again at
+        /// `now + hint` succeeds.
+        #[test]
+        fn hint_is_always_sufficient(
+            burn in 1usize..20,
+            start_ms in 0u64..10_000,
+        ) {
+            let m = ledger();
+            let now = SimDuration::from_millis(start_ms);
+            let mut hint = None;
+            for _ in 0..burn + 8 {
+                if let Err(h) = m.try_charge("A", now) {
+                    hint = Some(h);
+                }
+            }
+            if let Some(h) = hint {
+                prop_assert!(m.try_charge("A", now + h).is_ok());
+            }
+        }
+    }
+}

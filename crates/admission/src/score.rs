@@ -1,0 +1,455 @@
+//! The outcome-fed scoring engine.
+//!
+//! "Each member will have an associated reputation, established on the
+//! basis of past transactions" (§2) and "the failed TN may affect the
+//! parties' reputation" (§5.1). The `vo` crate's `ReputationLedger`
+//! implements the paper's write-side; this engine closes the loop: every
+//! negotiation *outcome* — including transport-level ones the ledger never
+//! sees, such as a netsim-injected fault timeout — moves a per-party score
+//! that then drives strategy selection and admission priority (see
+//! [`crate::band`]).
+//!
+//! Scores live in `[0, 1]`, start at a configurable prior, move by
+//! per-outcome deltas, and decay toward the prior with a configurable
+//! half-life in *sim-time* — old evidence fades, matching the
+//! nonmonotonic-trust position that decisions must be revisable as
+//! evidence ages. All time is the shared
+//! [`SimDuration`] sim-clock, so a
+//! fixed workload produces bit-identical scores on every run.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
+use trust_vo_journal::{Fact, Journal};
+use trust_vo_obs::Collector;
+use trust_vo_soa::simclock::SimDuration;
+
+/// One recorded negotiation outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// The negotiation succeeded (trust established, member admitted).
+    Success,
+    /// The member violated the VO contract during operation.
+    Violation,
+    /// The trust negotiation terminated with a failure (§5.1).
+    FailedNegotiation,
+    /// The counterpart walked away mid-negotiation (declined invitation,
+    /// abandoned session).
+    Abandonment,
+    /// The negotiation died to transport faults (netsim-injected drops,
+    /// crashes, exhausted retries) — weak negative evidence: the party may
+    /// be unlucky, not malicious.
+    FaultTimeout,
+}
+
+impl Outcome {
+    /// Stable lower-case name, used in obs counter suffixes and event
+    /// fields.
+    pub fn name(self) -> &'static str {
+        match self {
+            Outcome::Success => "success",
+            Outcome::Violation => "violation",
+            Outcome::FailedNegotiation => "failed_tn",
+            Outcome::Abandonment => "abandonment",
+            Outcome::FaultTimeout => "fault_timeout",
+        }
+    }
+}
+
+/// How outcomes move scores and how scores age.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoringConfig {
+    /// Score for a never-seen party, and the value decay relaxes toward.
+    pub prior: f64,
+    /// Signed delta per [`Outcome::Success`].
+    pub success_delta: f64,
+    /// Signed delta per [`Outcome::Violation`].
+    pub violation_delta: f64,
+    /// Signed delta per [`Outcome::FailedNegotiation`].
+    pub failed_tn_delta: f64,
+    /// Signed delta per [`Outcome::Abandonment`].
+    pub abandonment_delta: f64,
+    /// Signed delta per [`Outcome::FaultTimeout`].
+    pub fault_timeout_delta: f64,
+    /// Sim-time for half the distance to the prior to fade.
+    /// [`SimDuration::ZERO`] disables decay entirely.
+    pub half_life: SimDuration,
+}
+
+impl ScoringConfig {
+    /// The default configuration: the `ReputationLedger` deltas for the
+    /// outcomes the paper names, mild penalties for the transport-era
+    /// outcomes it could not, and no decay (scores behave exactly like the
+    /// ledger unless decay is opted into).
+    pub fn paper_defaults() -> Self {
+        ScoringConfig {
+            prior: 0.5,
+            success_delta: 0.05,
+            violation_delta: -0.2,
+            failed_tn_delta: -0.1,
+            abandonment_delta: -0.05,
+            fault_timeout_delta: -0.02,
+            half_life: SimDuration::ZERO,
+        }
+    }
+
+    /// The signed score delta for one outcome.
+    pub fn delta_for(&self, outcome: Outcome) -> f64 {
+        match outcome {
+            Outcome::Success => self.success_delta,
+            Outcome::Violation => self.violation_delta,
+            Outcome::FailedNegotiation => self.failed_tn_delta,
+            Outcome::Abandonment => self.abandonment_delta,
+            Outcome::FaultTimeout => self.fault_timeout_delta,
+        }
+    }
+
+    /// `score` aged by `dt` of decay toward the prior:
+    /// `prior + (score - prior) · 2^(−dt/half_life)`. Identity when decay
+    /// is disabled (`half_life == ZERO`) or no time passed.
+    pub fn decayed(&self, score: f64, dt: SimDuration) -> f64 {
+        if self.half_life == SimDuration::ZERO || dt == SimDuration::ZERO {
+            return score;
+        }
+        let factor = 0.5_f64.powf(dt.0 as f64 / self.half_life.0 as f64);
+        self.prior + (score - self.prior) * factor
+    }
+}
+
+impl Default for ScoringConfig {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PartyScore {
+    score: f64,
+    events: u64,
+    /// Decay anchor: sim-time of the last mutation.
+    last_us: u64,
+}
+
+/// The engine: per-party scores fed by [`ScoringEngine::record`], read by
+/// the banding layer. Thread-safe (one mutex; record rates are formation
+/// rates, not packet rates) and shareable via `Arc`.
+#[derive(Debug, Default)]
+pub struct ScoringEngine {
+    config: ScoringConfig,
+    inner: Mutex<BTreeMap<String, PartyScore>>,
+    journal: OnceLock<Arc<Journal>>,
+    obs: OnceLock<Collector>,
+}
+
+impl ScoringEngine {
+    /// An empty engine with the given configuration.
+    pub fn new(config: ScoringConfig) -> Self {
+        ScoringEngine {
+            config,
+            inner: Mutex::new(BTreeMap::new()),
+            journal: OnceLock::new(),
+            obs: OnceLock::new(),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &ScoringConfig {
+        &self.config
+    }
+
+    /// Attach a journal: every effective score mutation spills a
+    /// [`Fact::Reputation`] carrying the *resulting* state, so a replayed
+    /// prefix restores exact scores regardless of configuration drift.
+    /// First attachment wins.
+    pub fn attach_journal(&self, journal: Arc<Journal>) {
+        let _ = self.journal.set(journal);
+    }
+
+    /// Attach an obs collector: each recorded outcome emits
+    /// `admission.outcomes` and `admission.outcome.<name>` counters.
+    /// First attachment wins.
+    pub fn attach_obs(&self, collector: &Collector) {
+        let _ = self.obs.set(collector.clone());
+    }
+
+    /// The current score of `party` as of sim-time `now` (decayed read;
+    /// does not mutate state). Unknown parties sit at the prior.
+    pub fn score(&self, party: &str, now: SimDuration) -> f64 {
+        let guard = self.inner.lock();
+        match guard.get(party) {
+            Some(p) => self
+                .config
+                .decayed(p.score, SimDuration(now.0.saturating_sub(p.last_us))),
+            None => self.config.prior,
+        }
+    }
+
+    /// Effective (score-moving) events recorded for `party`. Fully-clamped
+    /// no-op updates — e.g. a violation against a party already at the
+    /// floor — do not count, matching `ReputationLedger::events_for`.
+    pub fn events_for(&self, party: &str) -> u64 {
+        self.inner.lock().get(party).map(|p| p.events).unwrap_or(0)
+    }
+
+    /// Record one outcome for `party` at sim-time `now`; returns the new
+    /// score. The stored score is first aged to `now`, then moved by the
+    /// outcome's delta and clamped to `[0, 1]`.
+    pub fn record(&self, party: &str, outcome: Outcome, now: SimDuration) -> f64 {
+        let mut guard = self.inner.lock();
+        let entry = guard.entry(party.to_owned()).or_insert(PartyScore {
+            score: self.config.prior,
+            events: 0,
+            last_us: now.0,
+        });
+        let before = entry.score;
+        let aged = self
+            .config
+            .decayed(before, SimDuration(now.0.saturating_sub(entry.last_us)));
+        let after = (aged + self.config.delta_for(outcome)).clamp(0.0, 1.0);
+        entry.score = after;
+        entry.last_us = now.0;
+        // A fully-clamped no-op (e.g. a violation against a party already
+        // at the floor, with no decay pending) is not an *event* — but the
+        // decay anchor still advanced, so the journal spills every record:
+        // replaying a prefix must restore the exact (score, anchor) pair,
+        // not just the score.
+        let effective = after.to_bits() != before.to_bits();
+        if effective {
+            entry.events += 1;
+        }
+        let (events, last_us) = (entry.events, entry.last_us);
+        drop(guard);
+        if let Some(journal) = self.journal.get() {
+            journal.append(&Fact::Reputation {
+                party: party.to_owned(),
+                score_bits: after.to_bits(),
+                events,
+                at_us: last_us,
+            });
+        }
+        if let Some(obs) = self.obs.get() {
+            if obs.is_enabled() {
+                obs.counter_add("admission.outcomes", 1);
+                obs.counter_add(&format!("admission.outcome.{}", outcome.name()), 1);
+            }
+        }
+        after
+    }
+
+    /// Seed scores (e.g. from an existing `ReputationLedger` snapshot) at
+    /// sim-time `now`. Seeding is not an event and does not spill.
+    pub fn seed<I, S>(&self, scores: I, now: SimDuration)
+    where
+        I: IntoIterator<Item = (S, f64)>,
+        S: Into<String>,
+    {
+        let mut guard = self.inner.lock();
+        for (party, score) in scores {
+            guard.insert(
+                party.into(),
+                PartyScore {
+                    score: score.clamp(0.0, 1.0),
+                    events: 0,
+                    last_us: now.0,
+                },
+            );
+        }
+    }
+
+    /// Rebuild state from replayed [`Fact::Reputation`] facts (last fact
+    /// per party wins — facts carry resulting state, so replay is a plain
+    /// overwrite). Other fact kinds are skipped.
+    pub fn restore_from_facts<'a>(&self, facts: impl IntoIterator<Item = &'a Fact>) {
+        let mut guard = self.inner.lock();
+        for fact in facts {
+            if let Fact::Reputation {
+                party,
+                score_bits,
+                events,
+                at_us,
+            } = fact
+            {
+                guard.insert(
+                    party.clone(),
+                    PartyScore {
+                        score: f64::from_bits(*score_bits),
+                        events: *events,
+                        last_us: *at_us,
+                    },
+                );
+            }
+        }
+    }
+
+    /// All known parties and their raw (un-decayed) stored scores, in
+    /// party order — for digests and tests.
+    pub fn snapshot(&self) -> Vec<(String, f64)> {
+        self.inner
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.score))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn engine() -> ScoringEngine {
+        ScoringEngine::new(ScoringConfig::paper_defaults())
+    }
+
+    #[test]
+    fn unknown_party_sits_at_prior() {
+        assert_eq!(engine().score("Ghost", SimDuration::ZERO), 0.5);
+    }
+
+    #[test]
+    fn outcomes_move_scores_like_the_ledger() {
+        let e = engine();
+        let now = SimDuration::ZERO;
+        assert!((e.record("A", Outcome::Success, now) - 0.55).abs() < 1e-12);
+        assert!((e.record("A", Outcome::Violation, now) - 0.35).abs() < 1e-12);
+        assert!((e.record("A", Outcome::FailedNegotiation, now) - 0.25).abs() < 1e-12);
+        assert!((e.record("A", Outcome::Abandonment, now) - 0.20).abs() < 1e-12);
+        assert!((e.record("A", Outcome::FaultTimeout, now) - 0.18).abs() < 1e-12);
+        assert_eq!(e.events_for("A"), 5);
+    }
+
+    #[test]
+    fn clamped_noop_is_not_an_event() {
+        let e = engine();
+        let now = SimDuration::ZERO;
+        for _ in 0..10 {
+            e.record("V", Outcome::Violation, now);
+        }
+        assert_eq!(e.score("V", now), 0.0);
+        let floor_events = e.events_for("V");
+        // Already at the floor with no decay: another violation is a
+        // fully-clamped no-op and must not count.
+        e.record("V", Outcome::Violation, now);
+        assert_eq!(e.events_for("V"), floor_events);
+    }
+
+    #[test]
+    fn decay_relaxes_toward_prior_from_both_sides() {
+        let mut config = ScoringConfig::paper_defaults();
+        config.half_life = SimDuration::from_millis(1_000);
+        let e = ScoringEngine::new(config);
+        e.record("Good", Outcome::Success, SimDuration::ZERO); // 0.55
+        e.record("Bad", Outcome::Violation, SimDuration::ZERO); // 0.30
+        let later = SimDuration::from_millis(1_000); // one half-life
+        assert!((e.score("Good", later) - 0.525).abs() < 1e-12);
+        assert!((e.score("Bad", later) - 0.40).abs() < 1e-12);
+        // Reads do not mutate: same answer twice.
+        assert_eq!(e.score("Good", later), e.score("Good", later));
+        // Far future: both sides converge to the prior.
+        let far = SimDuration::from_millis(1_000_000);
+        assert!((e.score("Good", far) - 0.5).abs() < 1e-9);
+        assert!((e.score("Bad", far) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn journal_spill_and_restore_round_trip() {
+        let journal = Arc::new(Journal::in_memory());
+        let e = engine();
+        e.attach_journal(journal.clone());
+        let t = SimDuration::from_millis(5);
+        e.record("A", Outcome::Success, t);
+        e.record("B", Outcome::FailedNegotiation, t);
+        e.record("A", Outcome::Success, SimDuration::from_millis(9));
+        let replay = journal.replay();
+        assert_eq!(replay.facts.len(), 3);
+        let restored = engine();
+        restored.restore_from_facts(&replay.facts);
+        assert_eq!(restored.snapshot(), e.snapshot());
+        assert_eq!(restored.events_for("A"), 2);
+        assert_eq!(restored.events_for("B"), 1);
+    }
+
+    #[test]
+    fn seeding_is_not_an_event_and_clamps() {
+        let e = engine();
+        e.seed([("L", 0.9), ("M", 7.0)], SimDuration::ZERO);
+        assert_eq!(e.score("L", SimDuration::ZERO), 0.9);
+        assert_eq!(e.score("M", SimDuration::ZERO), 1.0);
+        assert_eq!(e.events_for("L"), 0);
+    }
+
+    proptest! {
+        /// Bounds: any outcome sequence at any times keeps every score in
+        /// [0, 1], with or without decay.
+        #[test]
+        fn scores_stay_bounded(
+            ops in proptest::collection::vec((0u8..5, 0u64..10_000_000), 0..60),
+            half_life_ms in 0u64..5_000,
+        ) {
+            let mut config = ScoringConfig::paper_defaults();
+            config.half_life = SimDuration::from_millis(half_life_ms);
+            let e = ScoringEngine::new(config);
+            let mut now = 0u64;
+            for (op, dt) in ops {
+                now += dt;
+                let outcome = match op {
+                    0 => Outcome::Success,
+                    1 => Outcome::Violation,
+                    2 => Outcome::FailedNegotiation,
+                    3 => Outcome::Abandonment,
+                    _ => Outcome::FaultTimeout,
+                };
+                let score = e.record("X", outcome, SimDuration(now));
+                prop_assert!((0.0..=1.0).contains(&score));
+                let read = e.score("X", SimDuration(now + dt));
+                prop_assert!((0.0..=1.0).contains(&read));
+            }
+        }
+
+        /// Decay is a contraction toward the prior: it never overshoots
+        /// and never increases the distance, and it is monotone in time.
+        #[test]
+        fn decay_contracts_toward_prior(
+            score_milli in 0u32..=1_000,
+            dt1 in 0u64..100_000_000,
+            dt2 in 0u64..100_000_000,
+            half_life_ms in 1u64..10_000,
+        ) {
+            let score = f64::from(score_milli) / 1_000.0;
+            let mut config = ScoringConfig::paper_defaults();
+            config.half_life = SimDuration::from_millis(half_life_ms);
+            let d1 = config.decayed(score, SimDuration(dt1));
+            prop_assert!((d1 - config.prior).abs() <= (score - config.prior).abs() + 1e-12);
+            prop_assert!((0.0..=1.0).contains(&d1));
+            // Longer wait ⇒ closer to the prior.
+            let (near, far) = (dt1.min(dt2), dt1.max(dt2));
+            let dn = config.decayed(score, SimDuration(near));
+            let df = config.decayed(score, SimDuration(far));
+            prop_assert!((df - config.prior).abs() <= (dn - config.prior).abs() + 1e-12);
+        }
+
+        /// With decay disabled the engine reproduces the ledger: a pure
+        /// fold of clamped deltas, independent of timestamps.
+        #[test]
+        fn no_decay_matches_plain_delta_fold(
+            ops in proptest::collection::vec((0u8..5, 0u64..1_000_000), 0..40),
+        ) {
+            let e = engine();
+            let mut expected = 0.5f64;
+            let mut now = 0u64;
+            for (op, dt) in ops {
+                now += dt;
+                let outcome = match op {
+                    0 => Outcome::Success,
+                    1 => Outcome::Violation,
+                    2 => Outcome::FailedNegotiation,
+                    3 => Outcome::Abandonment,
+                    _ => Outcome::FaultTimeout,
+                };
+                let got = e.record("X", outcome, SimDuration(now));
+                expected = (expected + e.config().delta_for(outcome)).clamp(0.0, 1.0);
+                prop_assert!((got - expected).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -34,15 +34,56 @@ pub enum Fact {
         /// The local concept it resolved to.
         canonical: String,
     },
+    /// A party's reputation score after one recorded outcome (spilled by
+    /// the admission scoring engine). The *resulting* state is journaled,
+    /// not the outcome, so replay restores the exact score even if the
+    /// scoring configuration changed between runs.
+    Reputation {
+        /// The party whose score changed.
+        party: String,
+        /// The new score, as IEEE-754 bits (`f64::to_bits`) so the fact
+        /// stays `Eq` and byte-exact across the journal round trip.
+        score_bits: u64,
+        /// The party's effective event count after this outcome.
+        events: u64,
+        /// Sim-time of the mutation (µs since the run epoch) — the decay
+        /// anchor the restored engine resumes from.
+        at_us: u64,
+    },
+    /// A party's flow-budget bucket level after one mutation (spilled by
+    /// the admission mana ledger). Same resulting-state contract as
+    /// [`Fact::Reputation`].
+    Mana {
+        /// The party whose bucket changed.
+        party: String,
+        /// Remaining tokens, as IEEE-754 bits (`f64::to_bits`).
+        tokens_bits: u64,
+        /// Sim-time of the mutation (µs since the run epoch) — the
+        /// regeneration anchor the restored ledger resumes from.
+        at_us: u64,
+    },
 }
 
 const TAG_PUT: u8 = 1;
 const TAG_DELETE: u8 = 2;
 const TAG_MAPPING: u8 = 3;
+const TAG_REPUTATION: u8 = 4;
+const TAG_MANA: u8 = 5;
 
 fn put_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(&(s.len() as u32).to_le_bytes());
     out.extend_from_slice(s.as_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn get_u64(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    let end = pos.checked_add(8)?;
+    let v = u64::from_le_bytes(bytes.get(*pos..end)?.try_into().ok()?);
+    *pos = end;
+    Some(v)
 }
 
 fn get_str(bytes: &[u8], pos: &mut usize) -> Option<String> {
@@ -78,6 +119,28 @@ impl Fact {
                 put_str(out, alias);
                 put_str(out, canonical);
             }
+            Fact::Reputation {
+                party,
+                score_bits,
+                events,
+                at_us,
+            } => {
+                out.push(TAG_REPUTATION);
+                put_str(out, party);
+                put_u64(out, *score_bits);
+                put_u64(out, *events);
+                put_u64(out, *at_us);
+            }
+            Fact::Mana {
+                party,
+                tokens_bits,
+                at_us,
+            } => {
+                out.push(TAG_MANA);
+                put_str(out, party);
+                put_u64(out, *tokens_bits);
+                put_u64(out, *at_us);
+            }
         }
     }
 
@@ -107,6 +170,17 @@ impl Fact {
             TAG_MAPPING => Some(Fact::Mapping {
                 alias: get_str(bytes, pos)?,
                 canonical: get_str(bytes, pos)?,
+            }),
+            TAG_REPUTATION => Some(Fact::Reputation {
+                party: get_str(bytes, pos)?,
+                score_bits: get_u64(bytes, pos)?,
+                events: get_u64(bytes, pos)?,
+                at_us: get_u64(bytes, pos)?,
+            }),
+            TAG_MANA => Some(Fact::Mana {
+                party: get_str(bytes, pos)?,
+                tokens_bits: get_u64(bytes, pos)?,
+                at_us: get_u64(bytes, pos)?,
             }),
             _ => None,
         }
@@ -146,6 +220,37 @@ mod tests {
             id: String::new(),
             xml: String::new(),
         });
+        roundtrip(&Fact::Reputation {
+            party: "Flooder Inc".into(),
+            score_bits: 0.35_f64.to_bits(),
+            events: 7,
+            at_us: 1_234_567,
+        });
+        roundtrip(&Fact::Mana {
+            party: "HPC-A".into(),
+            tokens_bits: 2.5_f64.to_bits(),
+            at_us: 42,
+        });
+    }
+
+    #[test]
+    fn score_bits_round_trip_exactly() {
+        // f64 travels as raw bits, so even non-representable-in-decimal
+        // and negative-zero values survive byte-exactly.
+        for score in [0.0, -0.0, 0.1 + 0.2, f64::MIN_POSITIVE, 1.0] {
+            let fact = Fact::Reputation {
+                party: "X".into(),
+                score_bits: score.to_bits(),
+                events: 0,
+                at_us: 0,
+            };
+            let mut pos = 0;
+            let back = Fact::decode(&fact.encoded(), &mut pos).unwrap();
+            let Fact::Reputation { score_bits, .. } = back else {
+                panic!("wrong variant");
+            };
+            assert_eq!(score_bits, score.to_bits());
+        }
     }
 
     #[test]
@@ -158,6 +263,18 @@ mod tests {
         assert!(Fact::decode(&[2, 255, 0, 0, 0, b'x'], &mut 0).is_none());
         // Empty input.
         assert!(Fact::decode(&[], &mut 0).is_none());
+        // Reputation fact truncated mid-u64.
+        let mut trunc = Fact::Reputation {
+            party: "X".into(),
+            score_bits: 1,
+            events: 2,
+            at_us: 3,
+        }
+        .encoded();
+        trunc.truncate(trunc.len() - 3);
+        assert!(Fact::decode(&trunc, &mut 0).is_none());
+        // Mana fact with only the party string.
+        assert!(Fact::decode(&[5, 1, 0, 0, 0, b'p'], &mut 0).is_none());
     }
 
     proptest! {
@@ -166,6 +283,16 @@ mod tests {
             roundtrip(&Fact::Put { collection: c.clone(), id: i.clone(), xml: x });
             roundtrip(&Fact::Delete { collection: c.clone(), id: i.clone() });
             roundtrip(&Fact::Mapping { alias: c, canonical: i });
+        }
+
+        #[test]
+        fn roundtrip_arbitrary_admission_facts(
+            p in ".{0,40}", a in any::<u64>(), b in any::<u64>(), t in any::<u64>()
+        ) {
+            roundtrip(&Fact::Reputation {
+                party: p.clone(), score_bits: a, events: b, at_us: t,
+            });
+            roundtrip(&Fact::Mana { party: p, tokens_bits: a, at_us: t });
         }
     }
 }

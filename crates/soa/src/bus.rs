@@ -39,10 +39,27 @@ pub trait Transport: Send + Sync {
     fn clock(&self) -> &SimClock;
 }
 
+/// An admission gate consulted by [`ServiceBus::call`] *before* any
+/// dispatch work (including the SOAP round-trip charge): return `Err` to
+/// refuse the call without it ever reaching the wire. Implemented by the
+/// `trust-vo-admission` crate's per-party flow-budget gate; the trait
+/// lives here so `soa` needs no dependency on the admission layer.
+///
+/// Rejections are free in sim-time by design: a refused call never
+/// occupied the transport, so a flooding party throttles *itself* without
+/// inflating the shared clock that honest parties' latency is measured on.
+pub trait CallGate: Send + Sync {
+    /// Admit or refuse one call. `Err` is returned to the caller verbatim
+    /// (use [`Fault::budget_exhausted`](crate::envelope::Fault::budget_exhausted)
+    /// for flow-budget refusals so clients get the retry-after hint).
+    fn admit(&self, service: &str, request: &Envelope) -> Result<(), Fault>;
+}
+
 /// The service bus: a registry plus dispatcher.
 #[derive(Clone)]
 pub struct ServiceBus {
     endpoints: Arc<RwLock<BTreeMap<String, Arc<dyn ServiceEndpoint>>>>,
+    gate: Arc<RwLock<Option<Arc<dyn CallGate>>>>,
     clock: SimClock,
 }
 
@@ -51,8 +68,20 @@ impl ServiceBus {
     pub fn new(clock: SimClock) -> Self {
         ServiceBus {
             endpoints: Arc::new(RwLock::new(BTreeMap::new())),
+            gate: Arc::new(RwLock::new(None)),
             clock,
         }
+    }
+
+    /// Install (or replace) the admission gate consulted by every call.
+    /// Shared across clones of this bus, like the endpoint registry.
+    pub fn set_gate(&self, gate: Arc<dyn CallGate>) {
+        *self.gate.write() = Some(gate);
+    }
+
+    /// Remove the admission gate: every call is admitted again.
+    pub fn clear_gate(&self) {
+        *self.gate.write() = None;
     }
 
     /// Register an endpoint under a service name. Re-registering replaces.
@@ -73,11 +102,20 @@ impl ServiceBus {
 
     /// Dispatch a request to a service. Charges one SOAP round trip.
     ///
+    /// When an admission gate is installed (see [`ServiceBus::set_gate`])
+    /// it is consulted first; a refused call returns the gate's fault
+    /// without charging the round trip — the message never reached the
+    /// wire.
+    ///
     /// On a traced request (see [`Envelope::trace`]) the dispatch is
     /// wrapped in a `bus.dispatch` span parented under the sending hop's
     /// span, and the envelope is re-stamped so endpoint-side spans parent
     /// under the dispatch.
     pub fn call(&self, service: &str, request: &Envelope) -> Result<Envelope, Fault> {
+        let gate = self.gate.read().clone();
+        if let Some(gate) = gate {
+            gate.admit(service, request)?;
+        }
         self.clock.charge(CostKind::SoapRoundTrip);
         let obs = self.clock.collector();
         if obs.is_enabled() {
@@ -227,6 +265,43 @@ mod tests {
             bus.clock().elapsed().0 - before.0,
             (bus.clock().model().cost_of(CostKind::SoapRoundTrip) * 2).0
         );
+    }
+
+    #[test]
+    fn gate_refusal_is_free_and_shared_across_clones() {
+        struct DenyOp(String);
+        impl CallGate for DenyOp {
+            fn admit(&self, _service: &str, request: &Envelope) -> Result<(), Fault> {
+                if request.operation == self.0 {
+                    Err(Fault::budget_exhausted("tester", 1_000))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+        let bus = bus();
+        bus.register("echo-svc", Arc::new(Echo));
+        let clone = bus.clone();
+        bus.set_gate(Arc::new(DenyOp("echo".into())));
+        let before = bus.clock().elapsed();
+        // Refused via the clone too (gate state is shared), and the
+        // refusal charges nothing: the message never reached the wire.
+        let err = clone
+            .call("echo-svc", &Envelope::request("echo", Element::new("b")))
+            .unwrap_err();
+        assert_eq!(err.kind, crate::envelope::FaultKind::BudgetExhausted);
+        assert_eq!(err.retry_after_us, Some(1_000));
+        assert_eq!(bus.clock().elapsed(), before);
+        // Other operations pass and pay the usual round trip.
+        assert!(bus
+            .call("echo-svc", &Envelope::request("other", Element::new("b")))
+            .is_ok());
+        assert!(bus.clock().elapsed() > before);
+        // Clearing the gate admits everything again.
+        bus.clear_gate();
+        assert!(clone
+            .call("echo-svc", &Envelope::request("echo", Element::new("b")))
+            .is_ok());
     }
 
     #[test]

@@ -161,6 +161,16 @@ pub enum FaultKind {
     /// (drop, partition, endpoint crash). The endpoint may or may not have
     /// seen the request; retrying with the same idempotency key is safe.
     Transport,
+    /// The caller's per-party flow budget is exhausted (see the
+    /// `trust-vo-admission` mana ledger): the bus refused to dispatch the
+    /// call *before* charging any simulated latency. The request was never
+    /// delivered, so retrying with the same idempotency key is safe — but
+    /// only after the budget regenerates; [`Fault::retry_after_us`] carries
+    /// the hint. Deliberately distinct from [`FaultKind::Transport`] so
+    /// blind retry loops do not hammer an exhausted budget, and from
+    /// [`FaultKind::Application`] so reply caches never pin the rejection
+    /// (budgets refill; the rejection is transient).
+    BudgetExhausted,
 }
 
 /// A service fault (SOAP fault analogue).
@@ -172,6 +182,10 @@ pub struct Fault {
     pub reason: String,
     /// Where the fault originated.
     pub kind: FaultKind,
+    /// Sim-time hint (µs) after which retrying may succeed. Only set on
+    /// [`FaultKind::BudgetExhausted`] faults: the time until the party's
+    /// flow budget regenerates one call's worth of tokens.
+    pub retry_after_us: Option<u64>,
 }
 
 impl Fault {
@@ -181,6 +195,7 @@ impl Fault {
             code: code.into(),
             reason: reason.into(),
             kind: FaultKind::Application,
+            retry_after_us: None,
         }
     }
 
@@ -190,6 +205,7 @@ impl Fault {
             code: "NoSuchService".into(),
             reason: format!("service '{service}' not registered"),
             kind: FaultKind::NoSuchService,
+            retry_after_us: None,
         }
     }
 
@@ -199,6 +215,19 @@ impl Fault {
             code: code.into(),
             reason: reason.into(),
             kind: FaultKind::Transport,
+            retry_after_us: None,
+        }
+    }
+
+    /// Build the typed fault for an exhausted per-party flow budget.
+    /// `retry_after_us` is the sim-time until the party's bucket
+    /// regenerates enough to admit one call (0 ⇒ retry immediately).
+    pub fn budget_exhausted(party: &str, retry_after_us: u64) -> Self {
+        Fault {
+            code: "BudgetExhausted".into(),
+            reason: format!("flow budget for party '{party}' exhausted"),
+            kind: FaultKind::BudgetExhausted,
+            retry_after_us: Some(retry_after_us),
         }
     }
 
@@ -206,6 +235,12 @@ impl Fault {
     /// retried with the same idempotency key.
     pub fn is_transport(&self) -> bool {
         self.kind == FaultKind::Transport
+    }
+
+    /// True when the fault is a flow-budget rejection: the call was never
+    /// dispatched and may be retried after [`Fault::retry_after_us`].
+    pub fn is_budget_exhausted(&self) -> bool {
+        self.kind == FaultKind::BudgetExhausted
     }
 }
 
@@ -268,6 +303,23 @@ mod tests {
         let t = Fault::transport("Timeout", "request lost");
         assert_eq!(t.kind, FaultKind::Transport);
         assert!(t.is_transport());
+    }
+
+    #[test]
+    fn budget_exhausted_fault_is_typed_with_hint() {
+        let f = Fault::budget_exhausted("Flooder Inc", 250_000);
+        assert_eq!(f.kind, FaultKind::BudgetExhausted);
+        assert_eq!(f.code, "BudgetExhausted");
+        assert_eq!(f.retry_after_us, Some(250_000));
+        assert!(f.is_budget_exhausted());
+        // Pinned: neither transport (blind retry loops must not hammer an
+        // exhausted budget) nor application (reply caches must not pin it).
+        assert!(!f.is_transport());
+        assert_ne!(f.kind, FaultKind::Application);
+        // Every other constructor leaves the hint empty.
+        assert_eq!(Fault::new("X", "y").retry_after_us, None);
+        assert_eq!(Fault::transport("T", "u").retry_after_us, None);
+        assert_eq!(Fault::no_such_service("g").retry_after_us, None);
     }
 
     #[test]

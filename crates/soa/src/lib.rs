@@ -36,7 +36,7 @@ pub mod retry;
 pub mod simclock;
 pub mod tn_service;
 
-pub use bus::{ServiceBus, ServiceEndpoint, Transport};
+pub use bus::{CallGate, ServiceBus, ServiceEndpoint, Transport};
 pub use client::{
     run_negotiation, run_negotiation_resilient, ClientRun, ResilientRun, ResumePolicy,
 };

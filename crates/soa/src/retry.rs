@@ -91,8 +91,10 @@ impl Attempted {
 
 /// Dispatch `request` through `transport`, retrying transport faults per
 /// `policy`. Backoff between attempts is charged to the transport's clock.
-/// Application faults and
-/// [`FaultKind::NoSuchService`](crate::envelope::FaultKind) return
+/// [`FaultKind::BudgetExhausted`](crate::envelope::FaultKind) faults are
+/// also retried, waiting at least the fault's `retry_after_us` hint (the
+/// sim-time until the party's flow budget regenerates). Application faults
+/// and [`FaultKind::NoSuchService`](crate::envelope::FaultKind) return
 /// immediately.
 ///
 /// When obs is attached to the clock, emits `net.retries` (count of
@@ -128,8 +130,20 @@ pub fn call_with_retry<T: Transport + ?Sized>(
         };
         match result {
             Ok(resp) => break Ok(resp),
-            Err(fault) if fault.is_transport() && attempts < policy.max_attempts => {
-                let wait = policy.backoff_after(attempts);
+            Err(fault)
+                if (fault.is_transport() || fault.is_budget_exhausted())
+                    && attempts < policy.max_attempts =>
+            {
+                // A flow-budget refusal is retried like a transport fault,
+                // but waits at least the fault's retry-after hint: the
+                // bucket cannot admit the call any sooner, so backing off
+                // less would burn an attempt for nothing. This is how a
+                // flood throttles itself — each refused caller sleeps (in
+                // sim-time) until its own budget regenerates.
+                let mut wait = policy.backoff_after(attempts);
+                if let Some(hint) = fault.retry_after_us {
+                    wait = wait.max(SimDuration(hint));
+                }
                 if backoff_spent + wait > policy.budget {
                     break Err(fault);
                 }
@@ -300,6 +314,32 @@ mod tests {
             budget: SimDuration(u64::MAX),
         };
         assert_eq!(huge.backoff_after(u32::MAX), SimDuration(u64::MAX));
+    }
+
+    #[test]
+    fn budget_exhausted_waits_at_least_the_hint() {
+        // Hint (500 ms) dominates the 40/80 ms backoff schedule: each
+        // retry waits the full regeneration time, not the smaller backoff.
+        let t = Flaky::new(2, Fault::budget_exhausted("Flooder", 500_000));
+        let a = call_with_retry(&t, "svc", &req(), &RetryPolicy::standard());
+        assert!(a.outcome.is_ok());
+        assert_eq!(a.attempts, 3);
+        assert_eq!(a.backoff_spent, SimDuration::from_millis(1_000));
+        assert_eq!(t.clock.elapsed(), SimDuration::from_millis(1_000));
+    }
+
+    #[test]
+    fn budget_exhausted_respects_attempt_and_budget_caps() {
+        let t = Flaky::new(100, Fault::budget_exhausted("Flooder", 1_000));
+        let a = call_with_retry(&t, "svc", &req(), &RetryPolicy::standard());
+        assert_eq!(a.attempts, 4);
+        assert!(a.outcome.as_ref().unwrap_err().is_budget_exhausted());
+        // A hint larger than the whole budget fails fast instead of
+        // sleeping past the caller's sim-time allowance.
+        let t = Flaky::new(100, Fault::budget_exhausted("Flooder", 60_000_000));
+        let a = call_with_retry(&t, "svc", &req(), &RetryPolicy::standard());
+        assert_eq!(a.attempts, 1);
+        assert_eq!(a.backoff_spent, SimDuration::ZERO);
     }
 
     #[test]

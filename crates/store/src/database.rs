@@ -109,7 +109,9 @@ impl Database {
     /// Rebuild state from replayed facts (e.g. after a crash). Facts apply
     /// through the replay path, which neither re-journals nor counts ops —
     /// so a restored database digests identically to the original.
-    /// [`Fact::Mapping`] facts belong to the ontology layer and are skipped.
+    /// [`Fact::Mapping`] facts belong to the ontology layer and
+    /// [`Fact::Reputation`]/[`Fact::Mana`] to the admission layer; all
+    /// three are skipped here.
     #[cfg(feature = "journal")]
     pub fn restore_from_facts<'a>(&self, facts: impl IntoIterator<Item = &'a Fact>) {
         let mut guard = self.inner.write();
@@ -132,7 +134,7 @@ impl Database {
                         c.apply_delete(&id.as_str().into());
                     }
                 }
-                Fact::Mapping { .. } => {}
+                Fact::Mapping { .. } | Fact::Reputation { .. } | Fact::Mana { .. } => {}
             }
         }
     }

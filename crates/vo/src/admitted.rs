@@ -1,0 +1,723 @@
+//! Admission-aware formation drivers: reputation-gated strategy selection
+//! and queue priority over the standard Formation decision procedure.
+//!
+//! The paper's reputation is write-only — scores move during formation and
+//! operation but influence nothing at admission time. These drivers close
+//! the loop with the `trust-vo-admission` crate:
+//!
+//! * the coordinator snapshots every candidate's score from a shared
+//!   [`ScoringEngine`] at formation start, maps it through [`BandConfig`]
+//!   to a trust band, and negotiates each candidate with the band's
+//!   `negotiation::Strategy` (trusting ↔ standard ↔ suspicious ↔
+//!   strong-suspicious);
+//! * candidates are attempted in admission-queue order — trust band first,
+//!   then score-weighted advertised quality — instead of the plain
+//!   quality × reputation ranking;
+//! * every attempt outcome feeds back into the engine: TN success,
+//!   failed TN, declined invitation (abandonment), and — on the
+//!   transport-driven paths — netsim-injected fault timeouts.
+//!
+//! The snapshot is taken once, before any attempt: the parallel drivers
+//! speculate negotiations *before* the serial replay runs, so per-candidate
+//! strategies must not depend on outcomes recorded mid-formation. This is
+//! what keeps serial, parallel, and journal-resumed runs byte-identical.
+//!
+//! # Kill-switch
+//!
+//! When `TRUST_VO_ADMISSION` is off, every `*_admitted` driver collapses to
+//! its plain counterpart with the caller's fallback strategy: no scoring
+//! reads, no engine writes, no extra obs — byte-identical behavior.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use trust_vo_admission::{
+    admission_enabled, BandConfig, Outcome, QueueKey, ScoringConfig, ScoringEngine, TrustBand,
+};
+use trust_vo_negotiation::{ConcurrentSequenceCache, Strategy};
+use trust_vo_soa::simclock::{SimClock, SimDuration};
+use trust_vo_soa::{ResumePolicy, RetryPolicy, Transport};
+
+use crate::contract::Contract;
+use crate::error::VoError;
+use crate::formation::{form_vo_impl, form_vo_parallel_impl, FormedVo, TnSource};
+use crate::mailbox::MailboxSystem;
+use crate::member::ServiceProvider;
+use crate::registry::ServiceRegistry;
+use crate::reputation::ReputationLedger;
+use crate::resilient::{
+    form_vo_resilient_impl, form_vo_resilient_parallel_impl, FormationResilience,
+};
+
+/// The coordinator-side admission state: a shared scoring engine plus the
+/// band thresholds mapping scores to strategies and queue priorities.
+#[derive(Debug, Clone)]
+pub struct AdmissionControl {
+    engine: Arc<ScoringEngine>,
+    bands: BandConfig,
+}
+
+impl AdmissionControl {
+    /// Admission control over an existing engine.
+    pub fn new(engine: Arc<ScoringEngine>, bands: BandConfig) -> Self {
+        AdmissionControl { engine, bands }
+    }
+
+    /// The shared scoring engine.
+    pub fn engine(&self) -> &Arc<ScoringEngine> {
+        &self.engine
+    }
+
+    /// The band thresholds.
+    pub fn bands(&self) -> &BandConfig {
+        &self.bands
+    }
+
+    /// Seed the engine from the paper's [`ReputationLedger`] — the
+    /// pluggable-over-the-ledger path: a toolkit that has been tracking
+    /// reputation the §5.1 way can hand its scores to admission control
+    /// without replaying its history.
+    pub fn seed_from_ledger(&self, ledger: &ReputationLedger, now: SimDuration) {
+        self.engine.seed(ledger.snapshot(), now);
+    }
+
+    /// The trust band `party`'s score (as of sim-time `now`) lands in.
+    pub fn band_for(&self, party: &str, now: SimDuration) -> TrustBand {
+        self.bands.band_for(self.engine.score(party, now))
+    }
+
+    /// The banded negotiation strategy for `party` as of sim-time `now`.
+    /// This is the raw banding read; the `*_admitted` drivers apply the
+    /// kill-switch (falling back to the caller's fixed strategy) on top.
+    pub fn strategy_for(&self, party: &str, now: SimDuration) -> Strategy {
+        self.band_for(party, now).strategy()
+    }
+}
+
+impl Default for AdmissionControl {
+    /// A fresh engine with [`ScoringConfig::paper_defaults`] under
+    /// [`BandConfig::paper_defaults`].
+    fn default() -> Self {
+        AdmissionControl::new(
+            Arc::new(ScoringEngine::new(ScoringConfig::paper_defaults())),
+            BandConfig::paper_defaults(),
+        )
+    }
+}
+
+/// A formation-start snapshot of every candidate's score, band-derived
+/// strategy, and queue weight, plus the engine handle for outcome
+/// feedback.
+///
+/// Snapshotting (rather than reading the engine per attempt) is what makes
+/// the parallel drivers deterministic: speculation picks each candidate's
+/// strategy before the serial replay records any outcome, so both phases
+/// must read the same pre-formation scores.
+pub(crate) struct AdmissionHooks<'a> {
+    engine: &'a ScoringEngine,
+    bands: BandConfig,
+    strategies: BTreeMap<String, Strategy>,
+    scores: BTreeMap<String, f64>,
+    fallback: Strategy,
+}
+
+impl<'a> AdmissionHooks<'a> {
+    /// Snapshot scores for every registered provider at sim-time `now`.
+    pub(crate) fn snapshot(
+        control: &'a AdmissionControl,
+        providers: &BTreeMap<String, ServiceProvider>,
+        fallback: Strategy,
+        now: SimDuration,
+    ) -> Self {
+        let mut strategies = BTreeMap::new();
+        let mut scores = BTreeMap::new();
+        for name in providers.keys() {
+            let score = control.engine.score(name, now);
+            scores.insert(name.clone(), score);
+            strategies.insert(name.clone(), control.bands.strategy_for(score));
+        }
+        AdmissionHooks {
+            engine: &control.engine,
+            bands: control.bands,
+            strategies,
+            scores,
+            fallback,
+        }
+    }
+
+    /// The snapshotted banded strategy for a candidate. Parties outside
+    /// the snapshot (never the case for registered providers) negotiate
+    /// with the fallback.
+    pub(crate) fn strategy_for(&self, party: &str) -> Strategy {
+        self.strategies.get(party).copied().unwrap_or(self.fallback)
+    }
+
+    /// The admission-queue key for a candidate: snapshot band first, then
+    /// descending `quality × score`, party name as the tiebreak.
+    pub(crate) fn queue_key(&self, party: &str, quality: f64) -> QueueKey {
+        let score = self
+            .scores
+            .get(party)
+            .copied()
+            .unwrap_or(self.engine.config().prior);
+        QueueKey::new(self.bands.band_for(score), quality * score, party)
+    }
+
+    /// Feed a TN success into the engine at the clock's current sim-time.
+    pub(crate) fn record_success(&self, party: &str, clock: &SimClock) {
+        self.engine.record(party, Outcome::Success, clock.elapsed());
+    }
+
+    /// Feed a failed trust negotiation into the engine.
+    pub(crate) fn record_failed_negotiation(&self, party: &str, clock: &SimClock) {
+        self.engine
+            .record(party, Outcome::FailedNegotiation, clock.elapsed());
+    }
+
+    /// Feed a declined invitation (abandonment) into the engine.
+    pub(crate) fn record_abandonment(&self, party: &str, clock: &SimClock) {
+        self.engine
+            .record(party, Outcome::Abandonment, clock.elapsed());
+    }
+
+    /// Feed a transport fault-timeout (e.g. netsim-injected) into the
+    /// engine.
+    pub(crate) fn record_fault_timeout(&self, party: &str, clock: &SimClock) {
+        self.engine
+            .record(party, Outcome::FaultTimeout, clock.elapsed());
+    }
+}
+
+/// [`form_vo`](crate::form_vo) with reputation-gated admission: candidates
+/// are queued by trust band and negotiated with their banded strategy;
+/// outcomes feed the scoring engine. With the `TRUST_VO_ADMISSION`
+/// kill-switch off, identical to `form_vo` with `fallback`.
+#[allow(clippy::too_many_arguments)]
+pub fn form_vo_admitted(
+    contract: Contract,
+    initiator: &ServiceProvider,
+    providers: &BTreeMap<String, ServiceProvider>,
+    registry: &ServiceRegistry,
+    mailboxes: &mut MailboxSystem,
+    reputation: &mut ReputationLedger,
+    clock: &SimClock,
+    fallback: Strategy,
+    admission: &AdmissionControl,
+) -> Result<FormedVo, VoError> {
+    if !admission_enabled() {
+        return crate::formation::form_vo(
+            contract, initiator, providers, registry, mailboxes, reputation, clock, fallback,
+        );
+    }
+    let hooks = AdmissionHooks::snapshot(admission, providers, fallback, clock.elapsed());
+    form_vo_impl(
+        contract,
+        initiator,
+        providers,
+        registry,
+        mailboxes,
+        reputation,
+        clock,
+        fallback,
+        TnSource::Live(None),
+        Some(&hooks),
+    )
+}
+
+/// [`form_vo_parallel`](crate::form_vo_parallel) with reputation-gated
+/// admission. Speculation and replay share one formation-start score
+/// snapshot, so the result is identical to [`form_vo_admitted`] with the
+/// same inputs.
+#[allow(clippy::too_many_arguments)]
+pub fn form_vo_admitted_parallel(
+    contract: Contract,
+    initiator: &ServiceProvider,
+    providers: &BTreeMap<String, ServiceProvider>,
+    registry: &ServiceRegistry,
+    mailboxes: &mut MailboxSystem,
+    reputation: &mut ReputationLedger,
+    clock: &SimClock,
+    fallback: Strategy,
+    admission: &AdmissionControl,
+    cache: &ConcurrentSequenceCache,
+    workers: usize,
+) -> Result<FormedVo, VoError> {
+    if !admission_enabled() {
+        return crate::formation::form_vo_parallel(
+            contract, initiator, providers, registry, mailboxes, reputation, clock, fallback,
+            cache, workers,
+        );
+    }
+    let hooks = AdmissionHooks::snapshot(admission, providers, fallback, clock.elapsed());
+    form_vo_parallel_impl(
+        contract,
+        initiator,
+        providers,
+        registry,
+        mailboxes,
+        reputation,
+        clock,
+        fallback,
+        cache,
+        workers,
+        Some(&hooks),
+    )
+}
+
+/// [`form_vo_resilient`](crate::form_vo_resilient) with reputation-gated
+/// admission. On top of the in-process drivers' outcome feed, transport
+/// exhaustion — the netsim-injected timeout path — is recorded as a
+/// fault-timeout before the formation aborts.
+#[allow(clippy::too_many_arguments)]
+pub fn form_vo_resilient_admitted<T: Transport + ?Sized>(
+    contract: Contract,
+    initiator: &ServiceProvider,
+    providers: &BTreeMap<String, ServiceProvider>,
+    registry: &ServiceRegistry,
+    mailboxes: &mut MailboxSystem,
+    reputation: &mut ReputationLedger,
+    transport: &T,
+    service_name: &str,
+    fallback: Strategy,
+    retry: &RetryPolicy,
+    resume: &ResumePolicy,
+    seed: u64,
+    admission: &AdmissionControl,
+) -> Result<(FormedVo, FormationResilience), VoError> {
+    if !admission_enabled() {
+        return crate::resilient::form_vo_resilient(
+            contract,
+            initiator,
+            providers,
+            registry,
+            mailboxes,
+            reputation,
+            transport,
+            service_name,
+            fallback,
+            retry,
+            resume,
+            seed,
+        );
+    }
+    let hooks =
+        AdmissionHooks::snapshot(admission, providers, fallback, transport.clock().elapsed());
+    form_vo_resilient_impl(
+        contract,
+        initiator,
+        providers,
+        registry,
+        mailboxes,
+        reputation,
+        transport,
+        service_name,
+        fallback,
+        retry,
+        resume,
+        seed,
+        Some(&hooks),
+    )
+}
+
+/// [`form_vo_resilient_parallel`](crate::form_vo_resilient_parallel) with
+/// reputation-gated admission; fan-out and replay share one
+/// formation-start score snapshot.
+#[allow(clippy::too_many_arguments)]
+pub fn form_vo_resilient_parallel_admitted<T: Transport + Sync + ?Sized>(
+    contract: Contract,
+    initiator: &ServiceProvider,
+    providers: &BTreeMap<String, ServiceProvider>,
+    registry: &ServiceRegistry,
+    mailboxes: &mut MailboxSystem,
+    reputation: &mut ReputationLedger,
+    transport: &T,
+    service_name: &str,
+    fallback: Strategy,
+    retry: &RetryPolicy,
+    resume: &ResumePolicy,
+    seed: u64,
+    workers: usize,
+    admission: &AdmissionControl,
+) -> Result<(FormedVo, FormationResilience), VoError> {
+    if !admission_enabled() {
+        return crate::resilient::form_vo_resilient_parallel(
+            contract,
+            initiator,
+            providers,
+            registry,
+            mailboxes,
+            reputation,
+            transport,
+            service_name,
+            fallback,
+            retry,
+            resume,
+            seed,
+            workers,
+        );
+    }
+    let hooks =
+        AdmissionHooks::snapshot(admission, providers, fallback, transport.clock().elapsed());
+    form_vo_resilient_parallel_impl(
+        contract,
+        initiator,
+        providers,
+        registry,
+        mailboxes,
+        reputation,
+        transport,
+        service_name,
+        fallback,
+        retry,
+        resume,
+        seed,
+        workers,
+        Some(&hooks),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contract::Role;
+    use crate::registry::ResourceDescription;
+    use trust_vo_credential::{CredentialAuthority, TimeRange, Timestamp};
+    use trust_vo_journal::Journal;
+    use trust_vo_negotiation::Party;
+    use trust_vo_policy::{DisclosurePolicy, PolicySet, Resource, Term};
+    use trust_vo_soa::simclock::CostModel;
+
+    fn clock() -> SimClock {
+        SimClock::new(
+            CostModel::paper_testbed(),
+            Timestamp::from_ymd_hms(2009, 6, 1, 0, 0, 0),
+        )
+    }
+
+    /// The formation test world: Shady Co advertises higher quality but
+    /// fails the trust negotiation; Aerospace passes.
+    fn world() -> (
+        Contract,
+        ServiceProvider,
+        BTreeMap<String, ServiceProvider>,
+        ServiceRegistry,
+    ) {
+        let mut ca = CredentialAuthority::new("AAA");
+        let window = TimeRange::one_year_from(Timestamp::from_ymd_hms(2009, 1, 1, 0, 0, 0));
+
+        let mut initiator_party = Party::new("Aircraft");
+        let mut good = Party::new("Aerospace");
+        let quality = ca
+            .issue(
+                "WebDesignerQuality",
+                "Aerospace",
+                good.keys.public,
+                vec![],
+                window,
+            )
+            .unwrap();
+        good.profile.add(quality);
+        good.trust_root(ca.public_key());
+        initiator_party.trust_root(ca.public_key());
+        let bad = Party::new("Shady Co");
+
+        let mut contract = Contract::new("AircraftOptimization", "low emissions")
+            .with_role(Role::new("DesignPortal", "design-db", "ISO 9000"));
+        let mut policies = PolicySet::new();
+        policies.add(DisclosurePolicy::rule(
+            "vo-p1",
+            Resource::service("VoMembership"),
+            vec![Term::of_type("WebDesignerQuality")],
+        ));
+        contract.set_role_policies("DesignPortal", policies);
+
+        let mut registry = ServiceRegistry::new();
+        registry.publish(ResourceDescription::new("Shady Co", "design-db", "x", 0.99));
+        registry.publish(ResourceDescription::new("Aerospace", "design-db", "x", 0.9));
+
+        let mut providers = BTreeMap::new();
+        providers.insert("Aerospace".to_owned(), ServiceProvider::new(good));
+        providers.insert("Shady Co".to_owned(), ServiceProvider::new(bad));
+        (
+            contract,
+            ServiceProvider::new(initiator_party),
+            providers,
+            registry,
+        )
+    }
+
+    fn member_summary(vo: &FormedVo) -> Vec<(String, String, u64)> {
+        vo.members()
+            .iter()
+            .map(|m| (m.provider.clone(), m.role.clone(), m.certificate.serial))
+            .collect()
+    }
+
+    #[test]
+    fn control_maps_scores_to_bands_and_strategies() {
+        let control = AdmissionControl::default();
+        let now = SimDuration::ZERO;
+        // Unknown parties sit at the prior: Standard.
+        assert_eq!(control.strategy_for("Ghost", now), Strategy::Standard);
+        control
+            .engine()
+            .seed([("Saint", 0.9), ("Crook", 0.05)], now);
+        assert_eq!(control.band_for("Saint", now), TrustBand::Trusting);
+        assert_eq!(control.strategy_for("Saint", now), Strategy::Trusting);
+        assert_eq!(
+            control.strategy_for("Crook", now),
+            Strategy::StrongSuspicious
+        );
+    }
+
+    #[test]
+    fn seeding_from_the_ledger_reuses_its_scores() {
+        let mut ledger = ReputationLedger::new();
+        ledger.record_violation("Shady Co");
+        ledger.record_success("Aerospace");
+        let control = AdmissionControl::default();
+        control.seed_from_ledger(&ledger, SimDuration::ZERO);
+        assert_eq!(
+            control.engine().score("Shady Co", SimDuration::ZERO),
+            ledger.get("Shady Co")
+        );
+        // One violation from the prior: 0.3, the Suspicious band.
+        assert_eq!(
+            control.band_for("Shady Co", SimDuration::ZERO),
+            TrustBand::Suspicious
+        );
+    }
+
+    #[test]
+    fn admitted_formation_with_fresh_engine_matches_plain() {
+        // Every candidate sits at the prior (Standard band ⇒ the same
+        // Standard strategy; equal scores ⇒ the same quality ordering), so
+        // the admitted driver must reproduce the plain one exactly.
+        let (contract, initiator, providers, registry) = world();
+
+        let plain_clock = clock();
+        let plain = crate::formation::form_vo(
+            contract.clone(),
+            &initiator,
+            &providers,
+            &registry,
+            &mut MailboxSystem::new(),
+            &mut ReputationLedger::new(),
+            &plain_clock,
+            Strategy::Standard,
+        )
+        .unwrap();
+
+        let admitted_clock = clock();
+        let control = AdmissionControl::default();
+        let admitted = form_vo_admitted(
+            contract,
+            &initiator,
+            &providers,
+            &registry,
+            &mut MailboxSystem::new(),
+            &mut ReputationLedger::new(),
+            &admitted_clock,
+            Strategy::Standard,
+            &control,
+        )
+        .unwrap();
+
+        assert_eq!(member_summary(&plain), member_summary(&admitted));
+        assert_eq!(plain_clock.elapsed(), admitted_clock.elapsed());
+        // The faulty join fed the engine: Shady Co failed, Aerospace won.
+        assert_eq!(control.engine().events_for("Shady Co"), 1);
+        assert_eq!(control.engine().events_for("Aerospace"), 1);
+        assert!(control.engine().score("Shady Co", admitted_clock.elapsed()) < 0.5);
+        assert!(
+            control
+                .engine()
+                .score("Aerospace", admitted_clock.elapsed())
+                > 0.5
+        );
+    }
+
+    #[test]
+    fn low_scored_party_is_demoted_in_the_admission_queue() {
+        // Shady Co advertises the higher quality, but its near-floor score
+        // drops it to the StrongSuspicious band — so Aerospace is tried
+        // (and admitted) first and Shady Co is never negotiated at all.
+        let (contract, initiator, providers, registry) = world();
+        let control = AdmissionControl::default();
+        control
+            .engine()
+            .seed([("Shady Co", 0.05)], SimDuration::ZERO);
+        let clock = clock();
+        let mut reputation = ReputationLedger::new();
+        let vo = form_vo_admitted(
+            contract,
+            &initiator,
+            &providers,
+            &registry,
+            &mut MailboxSystem::new(),
+            &mut reputation,
+            &clock,
+            Strategy::Standard,
+            &control,
+        )
+        .unwrap();
+        assert!(vo.is_member("Aerospace"));
+        // Never attempted: no ledger movement, no engine events.
+        assert_eq!(reputation.get("Shady Co"), 0.5);
+        assert_eq!(control.engine().events_for("Shady Co"), 0);
+    }
+
+    #[test]
+    fn serial_parallel_and_resumed_scores_agree_after_faulty_join() {
+        let (contract, initiator, providers, registry) = world();
+
+        // Serial, with a journal capturing every score mutation.
+        let journal = Arc::new(Journal::in_memory());
+        let serial_control = AdmissionControl::default();
+        serial_control.engine().attach_journal(journal.clone());
+        let serial_clock = clock();
+        let mut serial_rep = ReputationLedger::new();
+        let serial = form_vo_admitted(
+            contract.clone(),
+            &initiator,
+            &providers,
+            &registry,
+            &mut MailboxSystem::new(),
+            &mut serial_rep,
+            &serial_clock,
+            Strategy::Standard,
+            &serial_control,
+        )
+        .unwrap();
+
+        // Parallel, fresh engine.
+        let parallel_control = AdmissionControl::default();
+        let parallel_clock = clock();
+        let mut parallel_rep = ReputationLedger::new();
+        let cache = ConcurrentSequenceCache::new();
+        let parallel = form_vo_admitted_parallel(
+            contract,
+            &initiator,
+            &providers,
+            &registry,
+            &mut MailboxSystem::new(),
+            &mut parallel_rep,
+            &parallel_clock,
+            Strategy::Standard,
+            &parallel_control,
+            &cache,
+            4,
+        )
+        .unwrap();
+
+        assert_eq!(member_summary(&serial), member_summary(&parallel));
+        assert_eq!(serial_clock.elapsed(), parallel_clock.elapsed());
+        assert_eq!(serial_rep, parallel_rep);
+        assert_eq!(
+            serial_control.engine().snapshot(),
+            parallel_control.engine().snapshot()
+        );
+
+        // Resumed: replay the journal into a fresh engine — bit-identical
+        // scores, and the same events.
+        let replay = journal.replay();
+        assert!(!replay.truncated);
+        let resumed = AdmissionControl::default();
+        resumed.engine().restore_from_facts(&replay.facts);
+        assert_eq!(
+            resumed.engine().snapshot(),
+            serial_control.engine().snapshot()
+        );
+        assert_eq!(
+            resumed.engine().events_for("Shady Co"),
+            serial_control.engine().events_for("Shady Co")
+        );
+        assert_eq!(
+            resumed.engine().events_for("Aerospace"),
+            serial_control.engine().events_for("Aerospace")
+        );
+    }
+
+    #[test]
+    fn declined_invitation_is_scored_as_abandonment() {
+        let (contract, initiator, mut providers, registry) = world();
+        providers.insert(
+            "Aerospace".to_owned(),
+            ServiceProvider::new(providers.get("Aerospace").unwrap().party.clone()).declining(),
+        );
+        let control = AdmissionControl::default();
+        let clock = clock();
+        let err = form_vo_admitted(
+            contract,
+            &initiator,
+            &providers,
+            &registry,
+            &mut MailboxSystem::new(),
+            &mut ReputationLedger::new(),
+            &clock,
+            Strategy::Standard,
+            &control,
+        )
+        .unwrap_err();
+        assert!(matches!(err, VoError::RoleUnfilled { .. }));
+        // The decliner was scored down by the abandonment delta; the
+        // paper's ledger (which has no such outcome) never saw it.
+        let now = clock.elapsed();
+        assert!(
+            (control.engine().score("Aerospace", now)
+                - (0.5 + control.engine().config().abandonment_delta))
+                .abs()
+                < 1e-12
+        );
+    }
+
+    /// A transport that refuses every call: every negotiation dies to
+    /// transport exhaustion.
+    struct DeadNet(SimClock);
+    impl Transport for DeadNet {
+        fn call(
+            &self,
+            _service: &str,
+            _request: &trust_vo_soa::Envelope,
+        ) -> Result<trust_vo_soa::Envelope, trust_vo_soa::Fault> {
+            Err(trust_vo_soa::Fault::transport("Timeout", "black hole"))
+        }
+        fn clock(&self) -> &SimClock {
+            &self.0
+        }
+    }
+
+    #[test]
+    fn transport_exhaustion_is_scored_as_fault_timeout() {
+        let (contract, initiator, providers, registry) = world();
+        let control = AdmissionControl::default();
+        let net = DeadNet(clock());
+        let err = form_vo_resilient_admitted(
+            contract,
+            &initiator,
+            &providers,
+            &registry,
+            &mut MailboxSystem::new(),
+            &mut ReputationLedger::new(),
+            &net,
+            "tn",
+            Strategy::Standard,
+            &trust_vo_soa::RetryPolicy::none(),
+            &trust_vo_soa::ResumePolicy::none(),
+            1,
+            &control,
+        )
+        .unwrap_err();
+        assert!(matches!(err, VoError::Transport(_)), "got {err:?}");
+        // The first queued candidate (Shady Co: higher quality, same
+        // Standard band) took the fault-timeout hit before the abort.
+        let now = net.clock().elapsed();
+        assert!(
+            (control.engine().score("Shady Co", now)
+                - (0.5 + control.engine().config().fault_timeout_delta))
+                .abs()
+                < 1e-12
+        );
+        assert_eq!(control.engine().events_for("Shady Co"), 1);
+    }
+}

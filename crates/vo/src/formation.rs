@@ -35,6 +35,7 @@
 //! identical to the serial one; negotiations speculated past the first
 //! success per role are the (bounded) price of the parallel fan-out.
 
+use crate::admitted::AdmissionHooks;
 use crate::contract::Contract;
 use crate::error::VoError;
 use crate::lifecycle::{Phase, VoLifecycle};
@@ -263,6 +264,7 @@ pub fn join_member(
         clock,
         action,
         SpanLink::default(),
+        None,
     )
 }
 
@@ -270,6 +272,9 @@ pub fn join_member(
 /// role assignment, membership certificate. `link` is the enclosing
 /// formation span's trace position, if any — the attempt's own span (and
 /// the negotiation spans under it) hang off it and inherit its trace id.
+/// When `admission` hooks are present, the attempt's outcome (success,
+/// failed TN, declined invitation) is also recorded into the admission
+/// scoring engine alongside the paper's reputation ledger.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn join_attempt(
     vo: &mut FormedVo,
@@ -281,6 +286,7 @@ pub(crate) fn join_attempt(
     clock: &SimClock,
     tn: TnAction<'_>,
     link: SpanLink,
+    admission: Option<&AdmissionHooks<'_>>,
 ) -> Result<MemberRecord, VoError> {
     let obs = clock.collector();
     let mut span = obs.span_linked("formation.join_attempt", link);
@@ -313,6 +319,11 @@ pub(crate) fn join_attempt(
     clock.charge(CostKind::GuiStep);
     let _invitation = mailboxes.take(candidate.name());
     if !candidate.accepts_invitations {
+        // The counterpart walked away before negotiating: admission
+        // scoring treats that as an abandonment.
+        if let Some(hooks) = admission {
+            hooks.record_abandonment(candidate.name(), clock);
+        }
         span.field("result", "declined");
         return Err(VoError::RoleUnfilled {
             role: role.to_owned(),
@@ -360,10 +371,16 @@ pub(crate) fn join_attempt(
                     charge_negotiation(clock, &outcome.transcript);
                 }
                 reputation.record_success(candidate.name());
+                if let Some(hooks) = admission {
+                    hooks.record_success(candidate.name(), clock);
+                }
             }
             Err(e) => {
                 // "the failed TN may affect the parties' reputation" (§5.1).
                 reputation.record_failed_negotiation(candidate.name());
+                if let Some(hooks) = admission {
+                    hooks.record_failed_negotiation(candidate.name(), clock);
+                }
                 span.field("result", "tn-failed");
                 return Err(VoError::Negotiation(e));
             }
@@ -416,7 +433,7 @@ pub fn create_vo(contract: Contract, initiator: &ServiceProvider, clock: &SimClo
 type SpeculationKey = (String, String);
 
 /// Where the per-attempt trust negotiations come from during formation.
-enum TnSource<'a> {
+pub(crate) enum TnSource<'a> {
     /// Negotiate live as each attempt is made, optionally through a shared
     /// sequence cache.
     Live(Option<&'a ConcurrentSequenceCache>),
@@ -428,8 +445,14 @@ enum TnSource<'a> {
 /// attempt's negotiation result comes from. Every negotiation — live or
 /// speculated — is configured at the formation-start instant, so the same
 /// contract and registry yield the same outcomes in every mode.
+///
+/// When `admission` hooks are present (the admission-aware drivers in
+/// [`crate::admitted`]), candidates are ordered by the admission queue key
+/// (trust band first, then score-weighted quality), each candidate is
+/// negotiated with the strategy its formation-start trust band selects,
+/// and every attempt outcome feeds the scoring engine.
 #[allow(clippy::too_many_arguments)]
-fn form_vo_impl(
+pub(crate) fn form_vo_impl(
     contract: Contract,
     initiator: &ServiceProvider,
     providers: &BTreeMap<String, ServiceProvider>,
@@ -439,6 +462,7 @@ fn form_vo_impl(
     clock: &SimClock,
     strategy: Strategy,
     mut tn: TnSource<'_>,
+    admission: Option<&AdmissionHooks<'_>>,
 ) -> Result<FormedVo, VoError> {
     let mut vo = create_vo(contract, initiator, clock);
     let obs = clock.collector();
@@ -454,6 +478,9 @@ fn form_vo_impl(
     if root_span.id().is_some() {
         root_span.field("vo", vo.name.as_str());
         root_span.field("roles", vo.contract.roles.len());
+        if admission.is_some() {
+            root_span.field("admission", true);
+        }
     }
     let root_link = root_span.link();
     let formation_at = clock.timestamp();
@@ -470,15 +497,23 @@ fn form_vo_impl(
                 role: role.name.clone(),
             });
         }
-        // Order by advertised quality weighted by reputation.
-        candidates.sort_by(|a, b| {
-            let score =
-                |d: &crate::registry::ResourceDescription| d.quality * reputation.get(&d.provider);
-            score(b)
-                .partial_cmp(&score(a))
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.provider.cmp(&b.provider))
-        });
+        match admission {
+            // Order by advertised quality weighted by reputation.
+            None => candidates.sort_by(|a, b| {
+                let score = |d: &crate::registry::ResourceDescription| {
+                    d.quality * reputation.get(&d.provider)
+                };
+                score(b)
+                    .partial_cmp(&score(a))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.provider.cmp(&b.provider))
+            }),
+            // Admission queue: trust band first, then score-weighted
+            // quality, from the formation-start snapshot.
+            Some(hooks) => {
+                candidates.sort_by_cached_key(|d| hooks.queue_key(&d.provider, d.quality))
+            }
+        }
         let mut tried = Vec::new();
         let mut assigned = false;
         for description in candidates {
@@ -488,7 +523,8 @@ fn form_vo_impl(
             tried.push(candidate.name().to_owned());
             let action = match &mut tn {
                 TnSource::Live(cache) => TnAction::Negotiate {
-                    strategy,
+                    strategy: admission
+                        .map_or(strategy, |hooks| hooks.strategy_for(candidate.name())),
                     at: formation_at,
                     cache: *cache,
                 },
@@ -513,7 +549,7 @@ fn form_vo_impl(
             };
             match join_attempt(
                 &mut vo, initiator, candidate, &role.name, mailboxes, reputation, clock, action,
-                root_link,
+                root_link, admission,
             ) {
                 Ok(_) => {
                     assigned = true;
@@ -568,6 +604,7 @@ pub fn form_vo(
         clock,
         strategy,
         TnSource::Live(None),
+        None,
     )
 }
 
@@ -597,6 +634,7 @@ pub fn form_vo_cached(
         clock,
         strategy,
         TnSource::Live(Some(cache)),
+        None,
     )
 }
 
@@ -624,6 +662,30 @@ pub fn form_vo_parallel(
     strategy: Strategy,
     cache: &ConcurrentSequenceCache,
     workers: usize,
+) -> Result<FormedVo, VoError> {
+    form_vo_parallel_impl(
+        contract, initiator, providers, registry, mailboxes, reputation, clock, strategy, cache,
+        workers, None,
+    )
+}
+
+/// [`form_vo_parallel`] with optional admission hooks: speculation
+/// negotiates each candidate with its banded strategy (from the same
+/// formation-start snapshot the serial replay uses, so the two stay in
+/// lock-step), and the replay feeds outcomes to the scoring engine.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn form_vo_parallel_impl(
+    contract: Contract,
+    initiator: &ServiceProvider,
+    providers: &BTreeMap<String, ServiceProvider>,
+    registry: &ServiceRegistry,
+    mailboxes: &mut MailboxSystem,
+    reputation: &mut ReputationLedger,
+    clock: &SimClock,
+    strategy: Strategy,
+    cache: &ConcurrentSequenceCache,
+    workers: usize,
+    admission: Option<&AdmissionHooks<'_>>,
 ) -> Result<FormedVo, VoError> {
     let formation_at = clock.timestamp();
 
@@ -662,14 +724,16 @@ pub fn form_vo_parallel(
                     break;
                 };
                 let mut span = obs.span("formation.speculate");
+                let candidate_strategy =
+                    admission.map_or(strategy, |hooks| hooks.strategy_for(candidate.name()));
                 let cfg = if span.id().is_some() {
                     span.field("role", role.as_str());
                     span.field("provider", candidate.name());
                     obs.counter_add("formation.speculated", 1);
-                    NegotiationConfig::new(strategy, formation_at)
+                    NegotiationConfig::new(candidate_strategy, formation_at)
                         .with_obs(ObsContext::new(obs.clone()).with_parent(span.id()))
                 } else {
-                    NegotiationConfig::new(strategy, formation_at)
+                    NegotiationConfig::new(candidate_strategy, formation_at)
                 };
                 let result =
                     cache.negotiate(&candidate.party, initiator_party, "VoMembership", &cfg);
@@ -695,6 +759,7 @@ pub fn form_vo_parallel(
         clock,
         strategy,
         TnSource::Table(table.into_inner()),
+        admission,
     )
 }
 

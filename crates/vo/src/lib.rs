@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admitted;
 pub mod contract;
 pub mod dissolution;
 pub mod error;
@@ -43,6 +44,10 @@ pub mod service;
 pub mod toolkit;
 pub mod workflow;
 
+pub use admitted::{
+    form_vo_admitted, form_vo_admitted_parallel, form_vo_resilient_admitted,
+    form_vo_resilient_parallel_admitted, AdmissionControl,
+};
 pub use contract::{CollaborationRule, Contract, Role};
 pub use error::VoError;
 pub use formation::{

@@ -24,6 +24,7 @@ pub const FAILED_TN_DELTA: f64 = 0.1;
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ReputationLedger {
     scores: BTreeMap<String, f64>,
+    party_events: BTreeMap<String, u64>,
     events: u64,
 }
 
@@ -43,9 +44,14 @@ impl ReputationLedger {
 
     fn adjust(&mut self, party: &str, delta: f64) {
         let current = self.get(party);
-        self.scores
-            .insert(party.to_owned(), (current + delta).clamp(0.0, 1.0));
-        self.events += 1;
+        let next = (current + delta).clamp(0.0, 1.0);
+        self.scores.insert(party.to_owned(), next);
+        // A fully-clamped no-op update — e.g. a violation against a party
+        // already at 0.0 — leaves the score untouched and is not an event.
+        if next.to_bits() != current.to_bits() {
+            self.events += 1;
+            *self.party_events.entry(party.to_owned()).or_insert(0) += 1;
+        }
     }
 
     /// Record a successful transaction.
@@ -64,13 +70,32 @@ impl ReputationLedger {
     }
 
     /// Is the party below the replacement threshold?
+    ///
+    /// The comparison is a strict `<`: a party whose score sits *exactly
+    /// at* the threshold is **not** replaced. Admission banding
+    /// (`trust-vo-admission`'s `BandConfig::band_for`) reuses the same
+    /// boundary semantics — an exact-threshold score lands in the higher
+    /// band — so the two layers never disagree about a borderline party.
     pub fn needs_replacement(&self, party: &str, threshold: f64) -> bool {
         self.get(party) < threshold
     }
 
-    /// Number of recorded events.
+    /// Number of effective (score-moving) recorded events, over all
+    /// parties. Fully-clamped no-op updates do not count.
     pub fn events(&self) -> u64 {
         self.events
+    }
+
+    /// Effective (score-moving) events recorded for one party — the
+    /// transaction-count evidence the admission scoring engine reads.
+    pub fn events_for(&self, party: &str) -> u64 {
+        self.party_events.get(party).copied().unwrap_or(0)
+    }
+
+    /// Every known party and its score, in party order — e.g. for seeding
+    /// an admission `ScoringEngine` over this ledger.
+    pub fn snapshot(&self) -> Vec<(String, f64)> {
+        self.scores.iter().map(|(k, v)| (k.clone(), *v)).collect()
     }
 }
 
@@ -103,6 +128,49 @@ mod tests {
         ledger.record_violation("HPC-A");
         // 0.5 - 0.4 = 0.1 < 0.3
         assert!(ledger.needs_replacement("HPC-A", 0.3));
+    }
+
+    #[test]
+    fn replacement_boundary_is_strict() {
+        // Pinned boundary semantics: score == threshold is NOT replaced.
+        // Admission banding reuses this comparison, so it must not drift.
+        let mut ledger = ReputationLedger::new();
+        ledger.record_violation("Edge");
+        let score = ledger.get("Edge");
+        assert!(!ledger.needs_replacement("Edge", score));
+        assert!(ledger.needs_replacement("Edge", score + 1e-12));
+        // Unknown parties sit exactly at the default: same rule.
+        assert!(!ledger.needs_replacement("Ghost", DEFAULT_REPUTATION));
+    }
+
+    #[test]
+    fn clamped_noop_update_is_not_an_event() {
+        let mut ledger = ReputationLedger::new();
+        // 0.5 → 0.3 → 0.1 → 0.0 (clamped but still moving): 3 events.
+        ledger.record_violation("V");
+        ledger.record_violation("V");
+        ledger.record_violation("V");
+        assert_eq!(ledger.get("V"), 0.0);
+        assert_eq!(ledger.events(), 3);
+        assert_eq!(ledger.events_for("V"), 3);
+        // Already at the floor: a further violation changes nothing and
+        // must not count as an event.
+        ledger.record_violation("V");
+        assert_eq!(ledger.events(), 3);
+        assert_eq!(ledger.events_for("V"), 3);
+        assert_eq!(ledger.events_for("Ghost"), 0);
+    }
+
+    #[test]
+    fn snapshot_lists_scores_in_party_order() {
+        let mut ledger = ReputationLedger::new();
+        ledger.record_success("B");
+        ledger.record_violation("A");
+        let snapshot = ledger.snapshot();
+        assert_eq!(snapshot.len(), 2);
+        assert_eq!(snapshot[0].0, "A");
+        assert_eq!(snapshot[1].0, "B");
+        assert!((snapshot[1].1 - 0.55).abs() < 1e-12);
     }
 
     #[test]

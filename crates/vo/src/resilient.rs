@@ -29,6 +29,7 @@ use trust_vo_soa::{
     run_negotiation_resilient, Fault, ResilientRun, ResumePolicy, RetryPolicy, TnService, Transport,
 };
 
+use crate::admitted::AdmissionHooks;
 use crate::contract::Contract;
 use crate::error::VoError;
 use crate::formation::{
@@ -152,10 +153,14 @@ fn admit_with<'a>(
     reputation: &mut ReputationLedger,
     clock: &trust_vo_soa::SimClock,
     root_span: &mut SpanGuard,
+    admission: Option<&AdmissionHooks<'_>>,
     mut verdict: impl FnMut(&str, &ServiceProvider, SpanLink) -> Result<TnAction<'a>, VoError>,
 ) -> Result<FormedVo, VoError> {
     let mut vo = create_vo(contract, initiator, clock);
     let obs = clock.collector();
+    if admission.is_some() && root_span.id().is_some() {
+        root_span.field("admission", true);
+    }
     let root_link = root_span.link();
     let roles: Vec<_> = vo.contract.roles.clone();
     for role in &roles {
@@ -168,14 +173,20 @@ fn admit_with<'a>(
                 role: role.name.clone(),
             });
         }
-        candidates.sort_by(|a, b| {
-            let score =
-                |d: &crate::registry::ResourceDescription| d.quality * reputation.get(&d.provider);
-            score(b)
-                .partial_cmp(&score(a))
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.provider.cmp(&b.provider))
-        });
+        match admission {
+            None => candidates.sort_by(|a, b| {
+                let score = |d: &crate::registry::ResourceDescription| {
+                    d.quality * reputation.get(&d.provider)
+                };
+                score(b)
+                    .partial_cmp(&score(a))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.provider.cmp(&b.provider))
+            }),
+            Some(hooks) => {
+                candidates.sort_by_cached_key(|d| hooks.queue_key(&d.provider, d.quality))
+            }
+        }
         let mut tried = Vec::new();
         let mut assigned = false;
         for description in candidates {
@@ -192,7 +203,7 @@ fn admit_with<'a>(
             };
             match join_attempt(
                 &mut vo, initiator, candidate, &role.name, mailboxes, reputation, clock, action,
-                root_link,
+                root_link, admission,
             ) {
                 Ok(_) => {
                     assigned = true;
@@ -246,6 +257,43 @@ pub fn form_vo_resilient<T: Transport + ?Sized>(
     resume: &ResumePolicy,
     seed: u64,
 ) -> Result<(FormedVo, FormationResilience), VoError> {
+    form_vo_resilient_impl(
+        contract,
+        initiator,
+        providers,
+        registry,
+        mailboxes,
+        reputation,
+        transport,
+        service_name,
+        strategy,
+        retry,
+        resume,
+        seed,
+        None,
+    )
+}
+
+/// [`form_vo_resilient`] with optional admission hooks: each candidate is
+/// negotiated with its banded strategy, and transport exhaustion — the
+/// netsim-injected fault-timeout path — is recorded into the scoring
+/// engine before the formation aborts.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn form_vo_resilient_impl<T: Transport + ?Sized>(
+    contract: Contract,
+    initiator: &ServiceProvider,
+    providers: &BTreeMap<String, ServiceProvider>,
+    registry: &ServiceRegistry,
+    mailboxes: &mut MailboxSystem,
+    reputation: &mut ReputationLedger,
+    transport: &T,
+    service_name: &str,
+    strategy: Strategy,
+    retry: &RetryPolicy,
+    resume: &ResumePolicy,
+    seed: u64,
+    admission: Option<&AdmissionHooks<'_>>,
+) -> Result<(FormedVo, FormationResilience), VoError> {
     let initiator_name = initiator.name().to_owned();
     let mut stats = FormationResilience::default();
     let mut root_span = formation_root(&transport.clock().collector(), &contract);
@@ -258,6 +306,7 @@ pub fn form_vo_resilient<T: Transport + ?Sized>(
         reputation,
         transport.clock(),
         &mut root_span,
+        admission,
         |role, candidate, link| {
             let run = run_negotiation_resilient(
                 transport,
@@ -265,7 +314,7 @@ pub fn form_vo_resilient<T: Transport + ?Sized>(
                 candidate.name(),
                 &controller_name(&initiator_name, role),
                 "VoMembership",
-                strategy,
+                admission.map_or(strategy, |hooks| hooks.strategy_for(candidate.name())),
                 retry,
                 resume,
                 pair_seed(seed, role, candidate.name()),
@@ -277,7 +326,13 @@ pub fn form_vo_resilient<T: Transport + ?Sized>(
                     Ok(TnAction::External(Ok(())))
                 }
                 Err(fault) => {
-                    if !fault.is_transport() {
+                    if fault.is_transport() {
+                        // The negotiation died to the network, not to a
+                        // verdict: weak negative evidence for the scorer.
+                        if let Some(hooks) = admission {
+                            hooks.record_fault_timeout(candidate.name(), transport.clock());
+                        }
+                    } else {
                         // A negative verdict is still a completed
                         // negotiation; only transport exhaustion is not.
                         stats.negotiations += 1;
@@ -315,6 +370,45 @@ pub fn form_vo_resilient_parallel<T: Transport + Sync + ?Sized>(
     resume: &ResumePolicy,
     seed: u64,
     workers: usize,
+) -> Result<(FormedVo, FormationResilience), VoError> {
+    form_vo_resilient_parallel_impl(
+        contract,
+        initiator,
+        providers,
+        registry,
+        mailboxes,
+        reputation,
+        transport,
+        service_name,
+        strategy,
+        retry,
+        resume,
+        seed,
+        workers,
+        None,
+    )
+}
+
+/// [`form_vo_resilient_parallel`] with optional admission hooks: the
+/// fan-out negotiates each candidate with its banded strategy (from the
+/// same formation-start snapshot the replay uses) and the replay feeds
+/// outcomes — including transport fault-timeouts — to the scoring engine.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn form_vo_resilient_parallel_impl<T: Transport + Sync + ?Sized>(
+    contract: Contract,
+    initiator: &ServiceProvider,
+    providers: &BTreeMap<String, ServiceProvider>,
+    registry: &ServiceRegistry,
+    mailboxes: &mut MailboxSystem,
+    reputation: &mut ReputationLedger,
+    transport: &T,
+    service_name: &str,
+    strategy: Strategy,
+    retry: &RetryPolicy,
+    resume: &ResumePolicy,
+    seed: u64,
+    workers: usize,
+    admission: Option<&AdmissionHooks<'_>>,
 ) -> Result<(FormedVo, FormationResilience), VoError> {
     // One job per (role, accepting candidate), exactly the pairs the
     // admission loop could ever ask about.
@@ -356,7 +450,7 @@ pub fn form_vo_resilient_parallel<T: Transport + Sync + ?Sized>(
                     candidate,
                     &controller_name(&initiator_name, role),
                     "VoMembership",
-                    strategy,
+                    admission.map_or(strategy, |hooks| hooks.strategy_for(candidate)),
                     retry,
                     resume,
                     pair_seed(seed, role, candidate),
@@ -379,6 +473,7 @@ pub fn form_vo_resilient_parallel<T: Transport + Sync + ?Sized>(
         reputation,
         transport.clock(),
         &mut root_span,
+        admission,
         |role, candidate, _link| {
             let key = (role.to_owned(), candidate.name().to_owned());
             match table
@@ -390,7 +485,14 @@ pub fn form_vo_resilient_parallel<T: Transport + Sync + ?Sized>(
                     Ok(TnAction::External(Ok(())))
                 }
                 Err(fault) => {
-                    if !fault.is_transport() {
+                    if fault.is_transport() {
+                        // Recorded at the serial replay position, so the
+                        // parallel drive scores exactly like the serial
+                        // one.
+                        if let Some(hooks) = admission {
+                            hooks.record_fault_timeout(candidate.name(), transport.clock());
+                        }
+                    } else {
                         // A negative verdict is still a completed
                         // negotiation; only transport exhaustion is not.
                         stats.negotiations += 1;

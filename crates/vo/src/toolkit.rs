@@ -8,6 +8,7 @@
 //! holds the shared state; the edition structs expose each component's
 //! operations over it.
 
+use crate::admitted::{form_vo_admitted, AdmissionControl};
 use crate::contract::Contract;
 use crate::error::VoError;
 use crate::formation::{form_vo, FormedVo};
@@ -114,6 +115,41 @@ impl VoToolkit {
         Ok(vo)
     }
 
+    /// Initiator Edition: [`VoToolkit::initiator_form_vo`] under
+    /// reputation-gated admission control. The engine is seeded from the
+    /// toolkit's own [`ReputationLedger`] first, so admission banding
+    /// starts from the reputation the paper's write-side has accumulated —
+    /// the ledger keeps working exactly as before underneath.
+    pub fn initiator_form_vo_admitted(
+        &mut self,
+        contract: Contract,
+        initiator_name: &str,
+        fallback: Strategy,
+        admission: &AdmissionControl,
+    ) -> Result<FormedVo, VoError> {
+        let initiator = self
+            .providers
+            .get(initiator_name)
+            .ok_or_else(|| VoError::UnknownMember(initiator_name.to_owned()))?
+            .clone();
+        admission.seed_from_ledger(&self.reputation, self.clock.elapsed());
+        // Authoring the contract + policies on the Initiator GUI.
+        self.clock.charge(CostKind::GuiStep);
+        let vo = form_vo_admitted(
+            contract,
+            &initiator,
+            &self.providers,
+            &self.registry,
+            &mut self.mailboxes,
+            &mut self.reputation,
+            &self.clock,
+            fallback,
+            admission,
+        )?;
+        self.active_vos.push(vo.name.clone());
+        Ok(vo)
+    }
+
     // ---- Member Edition ----
 
     /// Member Edition: a member's pending invitations.
@@ -202,6 +238,25 @@ mod tests {
             .unwrap();
         assert!(vo.is_member("StoreCo"));
         assert_eq!(tk.host_active_vos(), ["VO-1"]);
+    }
+
+    #[test]
+    fn admitted_formation_seeds_the_engine_from_the_ledger() {
+        let mut tk = toolkit();
+        // Pre-formation history in the paper's ledger: two violations put
+        // StoreCo in the Suspicious band at admission time.
+        tk.reputation.record_violation("StoreCo");
+        tk.reputation.record_violation("StoreCo");
+        let admission = crate::admitted::AdmissionControl::default();
+        let vo = tk
+            .initiator_form_vo_admitted(contract(), "Aircraft", Strategy::Standard, &admission)
+            .unwrap();
+        assert!(vo.is_member("StoreCo"));
+        // The engine saw the ledger's 0.1 seed, then the join success.
+        let now = tk.clock.elapsed();
+        let expected = 0.5 - 0.2 - 0.2 + admission.engine().config().success_delta;
+        assert!((admission.engine().score("StoreCo", now) - expected).abs() < 1e-12);
+        assert_eq!(admission.engine().events_for("StoreCo"), 1);
     }
 
     #[test]

@@ -27,6 +27,9 @@
 
 #![forbid(unsafe_code)]
 
+/// Reputation-gated admission: outcome scoring, trust bands, mana-style
+/// per-party flow budgets, and the bus-boundary admission gate.
+pub use trust_vo_admission as admission;
 /// X-TNL credentials, X-Profiles, authorities, revocation, X.509v2 certs.
 pub use trust_vo_credential as credential;
 /// Cryptographic substrate: SHA-256, HMAC, base64, Schnorr signatures.
