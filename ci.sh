@@ -87,3 +87,26 @@ cargo run --release -p trust-vo-bench --bin fig_adversarial_load -- --smoke --se
 TRUST_VO_ADMISSION=off cargo run --release -p trust-vo-bench --bin fig_adversarial_load -- --smoke --seed 42 --emit-obs target/e14-off.jsonl --emit-trace target/e14-toff.json
 cmp target/e14-plain.jsonl target/e14-off.jsonl
 cmp target/e14-tplain.json target/e14-toff.json
+# Wire-path gates (E15). The smoke run asserts in-binary that the same
+# negotiations produce identical outcomes serially, through the
+# single-queue dispatcher bus, and on the sharded work-stealing executor;
+# that a seeded netsim formation over the wire replays bit-for-bit
+# (serial == parallel == replay == in-process); that a crash window
+# forces a checkpointed resume; and that a flood of a tiny dispatch
+# queue sheds typed Overloaded faults with drain hints. With the obs
+# feature compiled out the bin must still build and pass the same asserts.
+cargo run --release -p trust-vo-bench --no-default-features --bin fig_wire_throughput -- --smoke --seed 42
+# Same-seed determinism over the async bus: two smoke runs must dump
+# byte-identical deterministic obs streams and Perfetto exports.
+cargo run --release -p trust-vo-bench --bin fig_wire_throughput -- --smoke --seed 42 --emit-obs target/e15-a.jsonl --emit-trace target/e15-ta.json
+cargo run --release -p trust-vo-bench --bin fig_wire_throughput -- --smoke --seed 42 --emit-obs target/e15-b.jsonl --emit-trace target/e15-tb.json
+cmp target/e15-a.jsonl target/e15-b.jsonl
+cmp target/e15-ta.json target/e15-tb.json
+# Wire kill-switch byte-identity: TRUST_VO_WIRE=off (bus skips the byte
+# boundary) must match --plain (bus built with the wire disabled)
+# byte-for-byte — and the only dump delta vs the wire-on run is the
+# bus.wire.* counters (outcome equality is asserted in-binary).
+cargo run --release -p trust-vo-bench --bin fig_wire_throughput -- --smoke --seed 42 --plain --emit-obs target/e15-plain.jsonl --emit-trace target/e15-tplain.json
+TRUST_VO_WIRE=off cargo run --release -p trust-vo-bench --bin fig_wire_throughput -- --smoke --seed 42 --emit-obs target/e15-off.jsonl --emit-trace target/e15-toff.json
+cmp target/e15-plain.jsonl target/e15-off.jsonl
+cmp target/e15-tplain.json target/e15-toff.json

@@ -5,8 +5,10 @@
 //! *negotiation-starting* call to the requesting party's mana bucket and
 //! refuses exhausted parties with a typed
 //! [`budget_exhausted`](Fault::budget_exhausted) fault *before* any
-//! simulated latency is charged — a refused message never occupied the
-//! wire, so a flood throttles only itself.
+//! simulated latency is charged and before a single byte is encoded —
+//! `ServiceBus::call` consults the gate ahead of the binary wire codec,
+//! so a refused message never occupied the wire (nor paid its own
+//! serialization) and a flood throttles only itself.
 //!
 //! Determinism contract: the gate sits *inside* the netsim wrapper (it
 //! gates the real bus that netsim delivers to), and netsim's fault
@@ -175,6 +177,28 @@ mod tests {
         let anon = Envelope::request("StartNegotiation", Element::new("x"));
         assert!(bus.call("tn", &anon).is_ok());
         assert_eq!(mana.tokens("A", bus.clock().elapsed()), 0.0);
+    }
+
+    #[test]
+    fn refusal_precedes_encoding() {
+        // The gate sits before the wire boundary: a refused request is
+        // never framed (its canonical bytes are never produced), while an
+        // admitted one crosses the codec and caches its encoding.
+        let (bus, _mana) = gated_bus(ManaConfig {
+            capacity: 1.0,
+            refill_per_sec: 0.0,
+            cost_per_call: 1.0,
+        });
+        bus.set_wire(true);
+        let admitted = start_request("A");
+        bus.call("tn", &admitted).unwrap();
+        assert!(admitted.wire_cached(), "admitted call crossed the codec");
+        let refused = start_request("A");
+        assert!(bus.call("tn", &refused).unwrap_err().is_budget_exhausted());
+        assert!(
+            !refused.wire_cached(),
+            "a refusal must cost zero encode work"
+        );
     }
 
     #[test]

@@ -8,8 +8,13 @@
 /// Bytes of frame header preceding every payload.
 pub const HEADER_LEN: usize = 8;
 
-const fn crc_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
+/// Slicing-by-8 lookup tables: `TABLES[0]` is the classic byte-at-a-time
+/// table; `TABLES[j][b]` is the CRC contribution of byte `b` seen `j`
+/// positions earlier in an 8-byte block. Eight table lookups then advance
+/// the CRC eight input bytes at once, which matters because every wire
+/// frame and journal record pays this checksum twice (frame + scan).
+const fn crc_tables() -> [[u32; 256]; 8] {
+    let mut t = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut c = i as u32;
@@ -22,19 +27,42 @@ const fn crc_table() -> [u32; 256] {
             };
             k += 1;
         }
-        table[i] = c;
+        t[0][i] = c;
         i += 1;
     }
-    table
+    let mut j = 1;
+    while j < 8 {
+        let mut i = 0;
+        while i < 256 {
+            t[j][i] = t[0][(t[j - 1][i] & 0xFF) as usize] ^ (t[j - 1][i] >> 8);
+            i += 1;
+        }
+        j += 1;
+    }
+    t
 }
 
-static CRC_TABLE: [u32; 256] = crc_table();
+static CRC_TABLES: [[u32; 256]; 8] = crc_tables();
 
 /// IEEE CRC-32 (the zlib/PNG polynomial) of a byte slice.
 pub fn crc32(bytes: &[u8]) -> u32 {
+    let t = &CRC_TABLES;
     let mut c = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = c ^ u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        let hi = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+        c = t[7][(lo & 0xFF) as usize]
+            ^ t[6][((lo >> 8) & 0xFF) as usize]
+            ^ t[5][((lo >> 16) & 0xFF) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][(hi & 0xFF) as usize]
+            ^ t[2][((hi >> 8) & 0xFF) as usize]
+            ^ t[1][((hi >> 16) & 0xFF) as usize]
+            ^ t[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        c = t[0][((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
     }
     c ^ 0xFFFF_FFFF
 }
@@ -44,6 +72,42 @@ pub fn push_record(buf: &mut Vec<u8>, payload: &[u8]) {
     buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     buf.extend_from_slice(&crc32(payload).to_le_bytes());
     buf.extend_from_slice(payload);
+}
+
+/// Open a record at the end of `buf`, reserving its header; encode the
+/// payload directly into `buf`, then close with [`end_record`]. Skips
+/// the intermediate payload buffer `push_record` would need.
+pub fn begin_record(buf: &mut Vec<u8>) -> usize {
+    let start = buf.len();
+    buf.extend_from_slice(&[0u8; HEADER_LEN]);
+    start
+}
+
+/// Close the record opened at `start`: backfill the length and checksum
+/// of everything appended since [`begin_record`].
+pub fn end_record(buf: &mut [u8], start: usize) {
+    let body = start + HEADER_LEN;
+    debug_assert!(body <= buf.len(), "end_record before begin_record");
+    let len = (buf.len() - body) as u32;
+    let crc = crc32(&buf[body..]);
+    buf[start..start + 4].copy_from_slice(&len.to_le_bytes());
+    buf[start + 4..body].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// The payload of a buffer holding exactly one intact record — the
+/// wire-path hot case, with none of [`scan`]'s bookkeeping allocations.
+/// `None` if the buffer is torn, corrupt, or holds anything else.
+pub fn single_record(bytes: &[u8]) -> Option<&[u8]> {
+    if bytes.len() < HEADER_LEN {
+        return None;
+    }
+    let len = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    let payload = bytes.get(HEADER_LEN..)?;
+    if payload.len() != len || crc32(payload) != crc {
+        return None;
+    }
+    Some(payload)
 }
 
 /// The clean record prefix of a (possibly torn) journal byte stream.
@@ -115,6 +179,38 @@ mod tests {
             crc32(b"The quick brown fox jumps over the lazy dog"),
             0x414F_A339
         );
+    }
+
+    #[test]
+    fn begin_end_record_matches_push_record() {
+        let mut pushed = Vec::new();
+        push_record(&mut pushed, b"payload");
+        let mut streamed = vec![0xAA]; // records can start mid-buffer
+        let start = begin_record(&mut streamed);
+        streamed.extend_from_slice(b"pay");
+        streamed.extend_from_slice(b"load");
+        end_record(&mut streamed, start);
+        assert_eq!(&streamed[1..], pushed.as_slice());
+    }
+
+    #[test]
+    fn single_record_reads_exactly_one_intact_record() {
+        let mut buf = Vec::new();
+        push_record(&mut buf, b"only");
+        assert_eq!(single_record(&buf), Some(b"only".as_slice()));
+        // Torn, corrupt, under-length, and multi-record buffers all fail.
+        assert_eq!(single_record(&buf[..buf.len() - 1]), None);
+        let mut corrupt = buf.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0x01;
+        assert_eq!(single_record(&corrupt), None);
+        assert_eq!(single_record(b""), None);
+        push_record(&mut buf, b"second");
+        assert_eq!(single_record(&buf), None);
+        // An empty payload is still one intact record.
+        let mut empty = Vec::new();
+        push_record(&mut empty, b"");
+        assert_eq!(single_record(&empty), Some(b"".as_slice()));
     }
 
     #[test]

@@ -104,6 +104,12 @@ impl Gauge {
         self.value.fetch_add(delta, Ordering::Relaxed);
     }
 
+    /// Raises the gauge to `v` if it is currently lower — a high-water
+    /// mark (e.g. peak queue depth), monotone under concurrent updates.
+    pub fn set_max(&self, v: i64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
     /// Returns the current value.
     pub fn get(&self) -> i64 {
         self.value.load(Ordering::Relaxed)

@@ -8,6 +8,7 @@
 
 use crate::envelope::{Envelope, Fault};
 use crate::simclock::{CostKind, SimClock};
+use crate::wire;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -60,6 +61,9 @@ pub trait CallGate: Send + Sync {
 pub struct ServiceBus {
     endpoints: Arc<RwLock<BTreeMap<String, Arc<dyn ServiceEndpoint>>>>,
     gate: Arc<RwLock<Option<Arc<dyn CallGate>>>>,
+    /// Per-bus wire-path override; `None` follows the `TRUST_VO_WIRE`
+    /// environment switch. Shared across clones like the registry.
+    wire: Arc<RwLock<Option<bool>>>,
     clock: SimClock,
 }
 
@@ -69,6 +73,7 @@ impl ServiceBus {
         ServiceBus {
             endpoints: Arc::new(RwLock::new(BTreeMap::new())),
             gate: Arc::new(RwLock::new(None)),
+            wire: Arc::new(RwLock::new(None)),
             clock,
         }
     }
@@ -100,22 +105,89 @@ impl ServiceBus {
         self.endpoints.read().get(name).cloned()
     }
 
+    /// Force the wire path on or off for this bus (and its clones),
+    /// overriding the `TRUST_VO_WIRE` environment switch. Benches use
+    /// `set_wire(false)` to build the explicit in-process reference bus
+    /// the kill-switch is byte-compared against.
+    pub fn set_wire(&self, enabled: bool) {
+        *self.wire.write() = Some(enabled);
+    }
+
+    /// Whether calls on this bus cross the byte boundary: the per-bus
+    /// override if set, else the `TRUST_VO_WIRE` environment switch.
+    pub fn wire_active(&self) -> bool {
+        self.wire.read().unwrap_or_else(wire::wire_enabled)
+    }
+
+    /// Consult the admission gate for one call, without dispatching.
+    /// `Err` is the gate's refusal, returned before any encoding or
+    /// simulated latency: a refused message never occupies the wire.
+    pub fn admit(&self, service: &str, request: &Envelope) -> Result<(), Fault> {
+        let gate = self.gate.read().clone();
+        if let Some(gate) = gate {
+            gate.admit(service, request)?;
+        }
+        Ok(())
+    }
+
     /// Dispatch a request to a service. Charges one SOAP round trip.
     ///
     /// When an admission gate is installed (see [`ServiceBus::set_gate`])
     /// it is consulted first; a refused call returns the gate's fault
-    /// without charging the round trip — the message never reached the
-    /// wire.
+    /// without charging the round trip *or encoding a single byte* — the
+    /// message never reached the wire.
+    ///
+    /// With the wire path active (see [`ServiceBus::wire_active`] and
+    /// [`crate::wire`]) the admitted request then crosses a real byte
+    /// boundary: its cached canonical encoding is length-framed with a
+    /// CRC, unframed and decoded on the service side, dispatched, and
+    /// the reply — response or fault — crosses back the same way.
+    /// `bus.wire.frames` / `bus.wire.tx_bytes` / `bus.wire.rx_bytes`
+    /// counters account the traffic. A frame that fails its checksum or
+    /// decode surfaces as a typed transport fault. The boundary charges
+    /// no simulated latency of its own (the SOAP round-trip cost already
+    /// models the hop), so sim-time, spans, and outcomes are identical
+    /// with the wire on or off — ci.sh pins the byte-identity.
     ///
     /// On a traced request (see [`Envelope::trace`]) the dispatch is
     /// wrapped in a `bus.dispatch` span parented under the sending hop's
     /// span, and the envelope is re-stamped so endpoint-side spans parent
     /// under the dispatch.
     pub fn call(&self, service: &str, request: &Envelope) -> Result<Envelope, Fault> {
-        let gate = self.gate.read().clone();
-        if let Some(gate) = gate {
-            gate.admit(service, request)?;
+        self.admit(service, request)?;
+        if !self.wire_active() {
+            return self.dispatch(service, request);
         }
+        // Client side: one framed record around the cached canonical
+        // payload. Encoding happens only after admission.
+        let request_frame = wire::frame_envelope(request);
+        let obs = self.clock.collector();
+        if obs.is_enabled() {
+            obs.counter_add("bus.wire.frames", 1);
+            obs.counter_add("bus.wire.tx_bytes", request_frame.len() as u64);
+        }
+        // Service side: unframe + decode before the endpoint sees it.
+        let delivered = wire::unframe_envelope(&request_frame)
+            .ok_or_else(|| Fault::transport("WireDecode", "request frame torn or corrupt"))?;
+        let reply = self.dispatch(service, &delivered);
+        let reply_frame = wire::frame_reply(&reply);
+        if obs.is_enabled() {
+            obs.counter_add("bus.wire.frames", 1);
+            obs.counter_add("bus.wire.rx_bytes", reply_frame.len() as u64);
+        }
+        wire::unframe_reply(&reply_frame).unwrap_or_else(|| {
+            Err(Fault::transport(
+                "WireDecode",
+                "reply frame torn or corrupt",
+            ))
+        })
+    }
+
+    /// The in-process dispatch behind [`ServiceBus::call`]: charge,
+    /// span, endpoint. The admission gate has already been consulted and
+    /// the wire boundary (if any) already crossed — the `shard` module's
+    /// dispatcher calls this after unframing on its own thread.
+    pub(crate) fn dispatch(&self, service: &str, request: &Envelope) -> Result<Envelope, Fault> {
         self.clock.charge(CostKind::SoapRoundTrip);
         let obs = self.clock.collector();
         if obs.is_enabled() {

@@ -4,11 +4,20 @@
 //! answered with a response envelope (or a fault), mirroring the Axis SOAP
 //! transport of the prototype.
 
+use std::sync::Arc;
+use std::sync::OnceLock;
 use trust_vo_obs::TraceContext;
 use trust_vo_xmldoc::{Element, Node};
 
 /// A request or response envelope.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The body is held behind an [`Arc`]: hops that only rewrite trace
+/// headers ([`Envelope::restamped`], per-attempt re-stamps in the retry
+/// and netsim layers) share the payload instead of deep-cloning the XML
+/// tree. The canonical wire encoding is cached on first use (see
+/// [`Envelope::wire_bytes`]) so one logical call is encoded once, not
+/// once per delivery attempt.
+#[derive(Debug)]
 pub struct Envelope {
     /// The operation name, e.g. `StartNegotiation`.
     pub operation: String,
@@ -24,19 +33,56 @@ pub struct Envelope {
     /// so server-side spans parent under the sending layer's span.
     /// `None` on untraced runs — the pre-tracing wire shape.
     pub trace: Option<TraceContext>,
-    /// The XML body.
-    pub body: Element,
+    /// The XML body, shared between header-only copies of this envelope.
+    pub body: Arc<Element>,
+    /// Lazily computed canonical wire encoding (`crate::wire` payload
+    /// bytes). Cleared by every builder mutation; carried across clones
+    /// (identical fields ⇒ identical encoding). Excluded from equality.
+    wire: OnceLock<Arc<[u8]>>,
 }
 
+impl Clone for Envelope {
+    fn clone(&self) -> Self {
+        let wire = OnceLock::new();
+        // An exact copy encodes to the exact same bytes, so the cache
+        // rides along; builder mutations on the copy clear it.
+        if let Some(bytes) = self.wire.get() {
+            let _ = wire.set(Arc::clone(bytes));
+        }
+        Envelope {
+            operation: self.operation.clone(),
+            negotiation_id: self.negotiation_id,
+            idempotency_key: self.idempotency_key,
+            trace: self.trace,
+            body: Arc::clone(&self.body),
+            wire,
+        }
+    }
+}
+
+impl PartialEq for Envelope {
+    fn eq(&self, other: &Self) -> bool {
+        self.operation == other.operation
+            && self.negotiation_id == other.negotiation_id
+            && self.idempotency_key == other.idempotency_key
+            && self.trace == other.trace
+            && self.body == other.body
+    }
+}
+
+impl Eq for Envelope {}
+
 impl Envelope {
-    /// Build a request envelope.
-    pub fn request(operation: impl Into<String>, body: Element) -> Self {
+    /// Build a request envelope. Accepts an owned [`Element`] or an
+    /// already-shared `Arc<Element>` body.
+    pub fn request(operation: impl Into<String>, body: impl Into<Arc<Element>>) -> Self {
         Envelope {
             operation: operation.into(),
             negotiation_id: None,
             idempotency_key: None,
             trace: None,
-            body,
+            body: body.into(),
+            wire: OnceLock::new(),
         }
     }
 
@@ -44,6 +90,7 @@ impl Envelope {
     #[must_use]
     pub fn with_negotiation(mut self, id: u64) -> Self {
         self.negotiation_id = Some(id);
+        self.wire = OnceLock::new();
         self
     }
 
@@ -51,6 +98,7 @@ impl Envelope {
     #[must_use]
     pub fn with_idempotency(mut self, key: u64) -> Self {
         self.idempotency_key = Some(key);
+        self.wire = OnceLock::new();
         self
     }
 
@@ -58,21 +106,40 @@ impl Envelope {
     #[must_use]
     pub fn with_trace(mut self, trace: TraceContext) -> Self {
         self.trace = Some(trace);
+        self.wire = OnceLock::new();
         self
     }
 
     /// A copy of this envelope re-stamped so the next hop parents under
     /// span `span_id` of the same trace. Returns an unmodified clone when
     /// the envelope is untraced or `span_id` is 0 (inert span guard).
+    /// The body is shared, not deep-cloned: only trace headers change.
     #[must_use]
     pub fn restamped(&self, span_id: u64) -> Self {
         let mut out = self.clone();
         if span_id != 0 {
             if let Some(trace) = &self.trace {
                 out.trace = Some(trace.child(span_id));
+                out.wire = OnceLock::new();
             }
         }
         out
+    }
+
+    /// The canonical wire encoding of this envelope (the frame payload of
+    /// [`crate::wire`]), computed once and cached: retries and duplicate
+    /// deliveries of the same logical call reuse one encoding, as do
+    /// frame checksumming and transcript digests over the same bytes.
+    pub fn wire_bytes(&self) -> &Arc<[u8]> {
+        self.wire
+            .get_or_init(|| crate::wire::encode_envelope(self).into())
+    }
+
+    /// Whether the wire encoding has been computed yet. A call refused by
+    /// the admission gate must never have been encoded — pinned by the
+    /// admission crate's tests.
+    pub fn wire_cached(&self) -> bool {
+        self.wire.get().is_some()
     }
 
     /// Serialize as a SOAP-shaped XML document.
@@ -104,7 +171,7 @@ impl Envelope {
         }
         Element::new("Envelope")
             .child(header)
-            .child(Element::new("Body").child(self.body.clone()))
+            .child(Element::new("Body").child(self.body.as_ref().clone()))
     }
 
     /// Parse an envelope from its XML document.
@@ -142,7 +209,8 @@ impl Envelope {
             negotiation_id,
             idempotency_key,
             trace,
-            body,
+            body: Arc::new(body),
+            wire: OnceLock::new(),
         })
     }
 }
@@ -171,6 +239,17 @@ pub enum FaultKind {
     /// [`FaultKind::Application`] so reply caches never pin the rejection
     /// (budgets refill; the rejection is transient).
     BudgetExhausted,
+    /// A bounded dispatch queue was full and the call was shed *before*
+    /// any bytes were encoded or any simulated latency charged (see the
+    /// sharded executor and single-queue bus in `crate::shard`). The
+    /// request was never delivered, so retrying with the same idempotency
+    /// key is safe once the queue drains; [`Fault::retry_after_us`]
+    /// carries the drain estimate. Distinct from [`FaultKind::Transport`]
+    /// so blind retry loops do not hammer a saturated queue, and from
+    /// [`FaultKind::Application`] so reply caches never pin the shed
+    /// (queues drain; the rejection is transient) — the same contract as
+    /// [`FaultKind::BudgetExhausted`].
+    Overloaded,
 }
 
 /// A service fault (SOAP fault analogue).
@@ -182,9 +261,10 @@ pub struct Fault {
     pub reason: String,
     /// Where the fault originated.
     pub kind: FaultKind,
-    /// Sim-time hint (µs) after which retrying may succeed. Only set on
-    /// [`FaultKind::BudgetExhausted`] faults: the time until the party's
-    /// flow budget regenerates one call's worth of tokens.
+    /// Sim-time hint (µs) after which retrying may succeed. Set on
+    /// [`FaultKind::BudgetExhausted`] faults (time until the party's flow
+    /// budget regenerates one call's worth of tokens) and on
+    /// [`FaultKind::Overloaded`] sheds (estimated queue drain time).
     pub retry_after_us: Option<u64>,
 }
 
@@ -231,10 +311,30 @@ impl Fault {
         }
     }
 
+    /// Build the typed fault for a saturated dispatch queue: the call was
+    /// shed before encoding, never delivered. `retry_after_us` is the
+    /// estimated sim-time until the queue drains one slot (0 ⇒ retry
+    /// immediately).
+    pub fn overloaded(service: &str, retry_after_us: u64) -> Self {
+        Fault {
+            code: "Overloaded".into(),
+            reason: format!("dispatch queue for service '{service}' is full"),
+            kind: FaultKind::Overloaded,
+            retry_after_us: Some(retry_after_us),
+        }
+    }
+
     /// True when the fault came from the transport, i.e. the call may be
     /// retried with the same idempotency key.
     pub fn is_transport(&self) -> bool {
         self.kind == FaultKind::Transport
+    }
+
+    /// True when the fault is a shed from a saturated dispatch queue: the
+    /// call was never dispatched and may be retried after
+    /// [`Fault::retry_after_us`].
+    pub fn is_overloaded(&self) -> bool {
+        self.kind == FaultKind::Overloaded
     }
 
     /// True when the fault is a flow-budget rejection: the call was never
@@ -320,6 +420,41 @@ mod tests {
         assert_eq!(Fault::new("X", "y").retry_after_us, None);
         assert_eq!(Fault::transport("T", "u").retry_after_us, None);
         assert_eq!(Fault::no_such_service("g").retry_after_us, None);
+    }
+
+    #[test]
+    fn overloaded_fault_is_typed_with_hint() {
+        let f = Fault::overloaded("tn", 75_000);
+        assert_eq!(f.kind, FaultKind::Overloaded);
+        assert_eq!(f.code, "Overloaded");
+        assert_eq!(f.retry_after_us, Some(75_000));
+        assert!(f.is_overloaded());
+        // Pinned like BudgetExhausted: neither transport (blind retry
+        // loops must not hammer a saturated queue) nor application (reply
+        // caches must not pin a shed).
+        assert!(!f.is_transport());
+        assert!(!f.is_budget_exhausted());
+        assert_ne!(f.kind, FaultKind::Application);
+    }
+
+    #[test]
+    fn restamped_shares_the_body_allocation() {
+        let env = Envelope::request("PolicyExchange", Element::new("big"))
+            .with_negotiation(7)
+            .with_trace(TraceContext {
+                trace_id: 9,
+                span_id: 4,
+                parent_span_id: None,
+            });
+        let hop = env.restamped(6);
+        // Per-hop restamping is allocation-light: the (possibly large)
+        // XML body is shared, never deep-cloned.
+        assert!(Arc::ptr_eq(&env.body, &hop.body));
+        // An inert restamp (span id 0 — no trace change) also keeps the
+        // cached wire bytes; a real restamp must drop them.
+        let _ = env.wire_bytes();
+        assert!(env.restamped(0).wire_cached());
+        assert!(!env.restamped(6).wire_cached());
     }
 
     #[test]

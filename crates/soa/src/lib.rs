@@ -24,7 +24,15 @@
 //!   through the service operations,
 //! * [`retry`] — sim-time capped exponential backoff for transport faults,
 //!   used by the resilient client driver and `vo::formation` when the bus
-//!   is wrapped in the fault-injecting `trust-vo-netsim` transport.
+//!   is wrapped in the fault-injecting `trust-vo-netsim` transport,
+//! * [`wire`] — the real byte boundary every bus call crosses: a
+//!   length-framed (`[len][crc32][payload]`) canonical binary codec for
+//!   envelopes and replies, with the XML path kept as a differential
+//!   oracle and a `TRUST_VO_WIRE` kill-switch,
+//! * [`shard`] — the sharded work-stealing executor (per-shard bounded
+//!   queues, `bus.queue_depth`/`bus.shed` backpressure, typed
+//!   `Overloaded` sheds) and the single-queue dispatcher bus it is
+//!   benchmarked against.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,8 +41,10 @@ pub mod bus;
 pub mod client;
 pub mod envelope;
 pub mod retry;
+pub mod shard;
 pub mod simclock;
 pub mod tn_service;
+pub mod wire;
 
 pub use bus::{CallGate, ServiceBus, ServiceEndpoint, Transport};
 pub use client::{
@@ -42,5 +52,7 @@ pub use client::{
 };
 pub use envelope::{Envelope, Fault, FaultKind};
 pub use retry::{call_with_retry, Attempted, RetryPolicy};
+pub use shard::{QueuedBus, ShardConfig, ShardRun};
 pub use simclock::{CostModel, SimClock, SimDuration};
 pub use tn_service::TnService;
+pub use wire::wire_enabled;

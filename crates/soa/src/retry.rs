@@ -91,10 +91,12 @@ impl Attempted {
 
 /// Dispatch `request` through `transport`, retrying transport faults per
 /// `policy`. Backoff between attempts is charged to the transport's clock.
-/// [`FaultKind::BudgetExhausted`](crate::envelope::FaultKind) faults are
-/// also retried, waiting at least the fault's `retry_after_us` hint (the
-/// sim-time until the party's flow budget regenerates). Application faults
-/// and [`FaultKind::NoSuchService`](crate::envelope::FaultKind) return
+/// [`FaultKind::BudgetExhausted`](crate::envelope::FaultKind) and
+/// [`FaultKind::Overloaded`](crate::envelope::FaultKind) faults are also
+/// retried, waiting at least the fault's `retry_after_us` hint (the
+/// sim-time until the party's flow budget regenerates, or the queue's
+/// drain estimate). Application faults and
+/// [`FaultKind::NoSuchService`](crate::envelope::FaultKind) return
 /// immediately.
 ///
 /// When obs is attached to the clock, emits `net.retries` (count of
@@ -131,15 +133,19 @@ pub fn call_with_retry<T: Transport + ?Sized>(
         match result {
             Ok(resp) => break Ok(resp),
             Err(fault)
-                if (fault.is_transport() || fault.is_budget_exhausted())
+                if (fault.is_transport()
+                    || fault.is_budget_exhausted()
+                    || fault.is_overloaded())
                     && attempts < policy.max_attempts =>
             {
-                // A flow-budget refusal is retried like a transport fault,
-                // but waits at least the fault's retry-after hint: the
-                // bucket cannot admit the call any sooner, so backing off
-                // less would burn an attempt for nothing. This is how a
-                // flood throttles itself — each refused caller sleeps (in
-                // sim-time) until its own budget regenerates.
+                // A flow-budget refusal or queue shed is retried like a
+                // transport fault, but waits at least the fault's
+                // retry-after hint: the bucket cannot admit the call (or
+                // the queue drain) any sooner, so backing off less would
+                // burn an attempt for nothing. This is how a flood
+                // throttles itself — each refused caller sleeps (in
+                // sim-time) until its own budget regenerates or the queue
+                // has room.
                 let mut wait = policy.backoff_after(attempts);
                 if let Some(hint) = fault.retry_after_us {
                     wait = wait.max(SimDuration(hint));
@@ -337,6 +343,31 @@ mod tests {
         // A hint larger than the whole budget fails fast instead of
         // sleeping past the caller's sim-time allowance.
         let t = Flaky::new(100, Fault::budget_exhausted("Flooder", 60_000_000));
+        let a = call_with_retry(&t, "svc", &req(), &RetryPolicy::standard());
+        assert_eq!(a.attempts, 1);
+        assert_eq!(a.backoff_spent, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn overloaded_is_retried_waiting_at_least_the_drain_hint() {
+        // A queue shed behaves exactly like a budget refusal: the drain
+        // estimate (300 ms) dominates the 40/80 ms backoff schedule.
+        let t = Flaky::new(2, Fault::overloaded("bus", 300_000));
+        let a = call_with_retry(&t, "svc", &req(), &RetryPolicy::standard());
+        assert!(a.outcome.is_ok());
+        assert_eq!(a.attempts, 3);
+        assert_eq!(a.backoff_spent, SimDuration::from_millis(600));
+        assert_eq!(t.clock.elapsed(), SimDuration::from_millis(600));
+    }
+
+    #[test]
+    fn overloaded_respects_attempt_and_budget_caps() {
+        let t = Flaky::new(100, Fault::overloaded("bus", 1_000));
+        let a = call_with_retry(&t, "svc", &req(), &RetryPolicy::standard());
+        assert_eq!(a.attempts, 4);
+        assert!(a.outcome.as_ref().unwrap_err().is_overloaded());
+        // A drain estimate larger than the whole budget fails fast.
+        let t = Flaky::new(100, Fault::overloaded("bus", 60_000_000));
         let a = call_with_retry(&t, "svc", &req(), &RetryPolicy::standard());
         assert_eq!(a.attempts, 1);
         assert_eq!(a.backoff_spent, SimDuration::ZERO);

@@ -19,15 +19,19 @@
 //! particular for the roles" (§5.1).
 
 use std::collections::{BTreeMap, HashMap, HashSet};
-use std::sync::atomic::{AtomicUsize, Ordering};
 
-use parking_lot::Mutex;
 use trust_vo_negotiation::{NegotiationError, Strategy};
 use trust_vo_obs::{Collector, SpanGuard, SpanLink};
+use trust_vo_soa::shard::{run_sharded, Backpressure, ShardConfig};
 use trust_vo_soa::simclock::CostKind;
 use trust_vo_soa::{
     run_negotiation_resilient, Fault, ResilientRun, ResumePolicy, RetryPolicy, TnService, Transport,
 };
+
+/// Per-shard queue bound for the formation fan-out: deep enough that the
+/// submitter rarely stalls, small enough that `bus.queue_depth` stays an
+/// honest load signal.
+const FAN_OUT_QUEUE_DEPTH: usize = 8;
 
 use crate::admitted::AdmissionHooks;
 use crate::contract::Contract;
@@ -433,22 +437,21 @@ pub(crate) fn form_vo_resilient_parallel_impl<T: Transport + Sync + ?Sized>(
     // negotiation parents under the same formation trace.
     let mut root_span = formation_root(&transport.clock().collector(), &contract);
     let root_link = root_span.link();
-    let table: Mutex<HashMap<PairKey, Result<ResilientRun, Fault>>> =
-        Mutex::new(HashMap::with_capacity(jobs.len()));
-    let next = AtomicUsize::new(0);
+    // Fan out over the sharded work-stealing executor: one job per
+    // (role, candidate) pair, each dispatching its bus calls inline on
+    // its shard worker. `Block` backpressure means every pair runs —
+    // flow control, never a shed.
     let workers = workers.max(1).min(jobs.len().max(1));
-    crossbeam::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some((role, candidate)) = jobs.get(i) else {
-                    break;
-                };
+    let shard_jobs: Vec<_> = jobs
+        .iter()
+        .map(|(role, candidate)| {
+            let initiator_name = &initiator_name;
+            move || {
                 let run = run_negotiation_resilient(
                     transport,
                     service_name,
                     candidate,
-                    &controller_name(&initiator_name, role),
+                    &controller_name(initiator_name, role),
                     "VoMembership",
                     admission.map_or(strategy, |hooks| hooks.strategy_for(candidate)),
                     retry,
@@ -456,14 +459,20 @@ pub(crate) fn form_vo_resilient_parallel_impl<T: Transport + Sync + ?Sized>(
                     pair_seed(seed, role, candidate),
                     root_link,
                 );
-                table.lock().insert((role.clone(), candidate.clone()), run);
-            });
-        }
-    })
-    .expect("negotiation workers do not panic");
+                ((role.clone(), candidate.clone()), run)
+            }
+        })
+        .collect();
+    let fan_out = run_sharded(
+        ShardConfig::new(workers, FAN_OUT_QUEUE_DEPTH),
+        transport.clock(),
+        shard_jobs,
+        Backpressure::Block,
+    );
 
     let mut stats = FormationResilience::default();
-    let mut table = table.into_inner();
+    let mut table: HashMap<PairKey, Result<ResilientRun, Fault>> =
+        fan_out.results.into_iter().flatten().collect();
     let vo = admit_with(
         contract,
         initiator,

@@ -15,7 +15,9 @@
 //! * [`parser`] — a recursive-descent parser for the subset the writer
 //!   emits (elements, attributes, text, comments, XML declarations),
 //! * [`xpath`] — an XPath-subset evaluator covering the location paths and
-//!   comparisons used by `<certCond>` conditions.
+//!   comparisons used by `<certCond>` conditions,
+//! * [`binary`] — the wire-speed length-prefixed binary codec for the same
+//!   tree, with the XML pair kept as its differential oracle.
 //!
 //! The canonical writer/parser pair round-trips (`parse(write(d)) == d`),
 //! which is the invariant the credential-signing path depends on: a
@@ -24,12 +26,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod binary;
 pub mod error;
 pub mod node;
 pub mod parser;
 pub mod writer;
 pub mod xpath;
 
+pub use binary::{decode_element, decode_element_at, encode_element, encode_element_into};
 pub use error::XmlError;
 pub use node::{Element, Node};
 pub use parser::parse;
