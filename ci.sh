@@ -14,7 +14,8 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
   -p trust-vo -p trust-vo-bench -p trust-vo-credential -p trust-vo-crypto \
   -p trust-vo-journal -p trust-vo-negotiation -p trust-vo-netsim \
   -p trust-vo-obs -p trust-vo-ontology -p trust-vo-policy -p trust-vo-soa \
-  -p trust-vo-store -p trust-vo-vo -p trust-vo-xmldoc -p trust-vo-admission
+  -p trust-vo-store -p trust-vo-vo -p trust-vo-xmldoc -p trust-vo-admission \
+  -p trust-vo-scenario
 cargo bench --workspace --no-run
 # Disabled-instrumentation smoke: with the obs feature compiled out the
 # formation bench must still build and complete one shrunken iteration.
@@ -110,3 +111,24 @@ cargo run --release -p trust-vo-bench --bin fig_wire_throughput -- --smoke --see
 TRUST_VO_WIRE=off cargo run --release -p trust-vo-bench --bin fig_wire_throughput -- --smoke --seed 42 --emit-obs target/e15-off.jsonl --emit-trace target/e15-toff.json
 cmp target/e15-plain.jsonl target/e15-off.jsonl
 cmp target/e15-tplain.json target/e15-toff.json
+# Scenario-fuzzer gates (E16). The smoke run generates 500 seeded
+# lifecycle scenarios and checks all four properties in-binary
+# (membership <=> completed TN, serial == replay (== parallel when
+# order-independent), kill-anywhere journal recovery, honored
+# retry_after_us hints); the fixed showcase scenario's obs/Perfetto
+# dumps must be byte-identical across two runs. The scenario crate must
+# also build with instrumentation compiled out.
+cargo build --release -p trust-vo-scenario --no-default-features
+cargo run --release -p trust-vo-bench --bin fig_scenario_sweep -- --smoke --seed 42 --emit-obs target/e16-a.jsonl --emit-trace target/e16-ta.json
+cargo run --release -p trust-vo-bench --bin fig_scenario_sweep -- --smoke --seed 42 --emit-obs target/e16-b.jsonl --emit-trace target/e16-tb.json
+cmp target/e16-a.jsonl target/e16-b.jsonl
+cmp target/e16-ta.json target/e16-tb.json
+# Shrinker proof: the canary mode requires every scenario to FAIL
+# formation, so the first healthy seed violates it deliberately; the
+# run asserts in-binary that the shrinker reduces that failure to
+# <= 3 parties and <= 2 fault clauses, and the printed repro command
+# must re-run through the CLI and report the formation success that
+# tripped the canary.
+cargo run --release -p trust-vo-bench --bin fig_scenario_sweep -- --canary --seed 42 | tee target/e16-canary.txt
+repro=$(sed -n 's/^repro: trustvo //p' target/e16-canary.txt)
+cargo run --release --bin trustvo -- $repro | grep -q "all lifecycle properties hold"

@@ -12,6 +12,13 @@
 //! All arithmetic is sequential per bucket under one mutex and driven by
 //! caller-supplied sim-times, so a deterministic workload produces
 //! bit-identical budget trajectories on every run.
+//!
+//! Internally the bucket counts **integer micro-tokens** (1 token =
+//! 1 000 000 µtokens). The public API stays `f64`, but refill, charge,
+//! and the retry-after hint are all exact integer arithmetic: a refused
+//! caller that advances sim-time by exactly the hint is *always* admitted
+//! — no ULP of float accumulation can push the bucket one rounding error
+//! short of the cost (the bug the old `f64` bucket had).
 
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -51,27 +58,44 @@ impl Default for ManaConfig {
     }
 }
 
+/// Micro-tokens per token: the integer accounting granularity.
+const MICRO: u64 = 1_000_000;
+
+/// A token count (f64 config surface) as integer micro-tokens.
+fn to_micro(tokens: f64) -> u64 {
+    (tokens.max(0.0) * MICRO as f64).round() as u64
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Bucket {
-    tokens: f64,
+    /// Remaining budget in micro-tokens (1 token = 10⁶ µtokens).
+    tokens_micro: u64,
     /// Regeneration anchor: sim-time of the last mutation.
     last_us: u64,
 }
 
 /// The per-party bucket map.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ManaLedger {
     config: ManaConfig,
+    /// Integer images of the config, fixed at construction.
+    capacity_micro: u64,
+    refill_micro_per_sec: u64,
+    cost_micro: u64,
     buckets: Mutex<BTreeMap<String, Bucket>>,
     journal: OnceLock<Arc<Journal>>,
     obs: OnceLock<Collector>,
 }
 
 impl ManaLedger {
-    /// A ledger with the given bucket parameters.
+    /// A ledger with the given bucket parameters. The `f64` config is
+    /// quantized to micro-tokens once, here; everything after is integer.
     pub fn new(config: ManaConfig) -> Self {
         ManaLedger {
             config,
+            capacity_micro: to_micro(config.capacity),
+            refill_micro_per_sec: to_micro(config.refill_per_sec),
+            cost_micro: to_micro(config.cost_per_call),
             buckets: Mutex::new(BTreeMap::new()),
             journal: OnceLock::new(),
             obs: OnceLock::new(),
@@ -81,6 +105,13 @@ impl ManaLedger {
     /// The ledger's configuration.
     pub fn config(&self) -> &ManaConfig {
         &self.config
+    }
+
+    /// `ceil(n / d)` with the intermediate widened so huge deficits cannot
+    /// overflow, saturating at `u64::MAX`.
+    fn div_ceil_saturating(n: u128, d: u128) -> u64 {
+        let q = n.div_ceil(d);
+        u64::try_from(q).unwrap_or(u64::MAX)
     }
 
     /// Attach a journal: every bucket mutation spills a [`Fact::Mana`]
@@ -99,54 +130,72 @@ impl ManaLedger {
     /// not mutate state).
     pub fn tokens(&self, party: &str, now: SimDuration) -> f64 {
         let guard = self.buckets.lock();
-        match guard.get(party) {
-            Some(b) => self.refilled(b, now),
-            None => self.config.capacity,
-        }
+        let micro = match guard.get(party) {
+            Some(b) => self.refilled_micro(b, now),
+            None => self.capacity_micro,
+        };
+        micro as f64 / MICRO as f64
     }
 
-    fn refilled(&self, bucket: &Bucket, now: SimDuration) -> f64 {
+    /// The bucket's level at `now`, in micro-tokens. Regeneration is
+    /// `⌊refill_µ · dt_µs / 10⁶⌋`: exact whenever the product divides
+    /// evenly, and under-credits by strictly less than one µtoken
+    /// otherwise — the conservative direction, so the retry-after hint
+    /// below can guarantee sufficiency with a matching ceiling division.
+    fn refilled_micro(&self, bucket: &Bucket, now: SimDuration) -> u64 {
         let dt_us = now.0.saturating_sub(bucket.last_us);
-        let regen = self.config.refill_per_sec * (dt_us as f64 / 1_000_000.0);
-        (bucket.tokens + regen).min(self.config.capacity)
+        let regen = self.refill_micro_per_sec as u128 * dt_us as u128 / MICRO as u128;
+        let total = bucket.tokens_micro as u128 + regen;
+        u64::try_from(total.min(self.capacity_micro as u128)).expect("capped at capacity")
     }
 
     /// Charge one call to `party` at sim-time `now`. `Ok(remaining)` when
     /// the bucket covers the cost; `Err(retry_after)` — the sim-time until
     /// the bucket regenerates enough — when it does not. Both paths
     /// advance the regeneration anchor.
+    ///
+    /// The hint is exact: `retry_after = ⌈deficit_µ · 10⁶ / refill_µ⌉`
+    /// µs, so `⌊refill_µ · retry_after / 10⁶⌋ ≥ deficit_µ` and a caller
+    /// retrying at `now + retry_after` is always admitted (integer
+    /// arithmetic throughout — no float accumulation can undercut it).
     pub fn try_charge(&self, party: &str, now: SimDuration) -> Result<f64, SimDuration> {
         let mut guard = self.buckets.lock();
         let bucket = guard.entry(party.to_owned()).or_insert(Bucket {
-            tokens: self.config.capacity,
+            tokens_micro: self.capacity_micro,
             last_us: now.0,
         });
-        let refilled = self.refilled(bucket, now);
-        let result = if refilled >= self.config.cost_per_call {
-            bucket.tokens = refilled - self.config.cost_per_call;
+        let refilled = self.refilled_micro(bucket, now);
+        let result = if refilled >= self.cost_micro {
+            bucket.tokens_micro = refilled - self.cost_micro;
             bucket.last_us = now.0;
-            Ok(bucket.tokens)
+            Ok(bucket.tokens_micro as f64 / MICRO as f64)
         } else {
-            bucket.tokens = refilled;
+            bucket.tokens_micro = refilled;
             bucket.last_us = now.0;
-            let deficit = self.config.cost_per_call - refilled;
-            let retry_after = if self.config.refill_per_sec > 0.0 {
-                // Ceil to the next whole µs so retrying exactly at the
-                // hint always finds the bucket refilled.
-                SimDuration((deficit * 1_000_000.0 / self.config.refill_per_sec).ceil() as u64)
-            } else {
-                // Never regenerates: an effectively-infinite hint (the
-                // retry layer's budget check fails it immediately).
-                SimDuration(u64::MAX)
-            };
+            let deficit = self.cost_micro - refilled;
+            let retry_after =
+                if self.refill_micro_per_sec == 0 || self.cost_micro > self.capacity_micro {
+                    // Never regenerates, or the cost exceeds the bucket's
+                    // ceiling so no wait can ever cover it: an effectively-
+                    // infinite hint (the retry layer's budget check fails it
+                    // immediately) instead of a finite lie.
+                    SimDuration(u64::MAX)
+                } else {
+                    SimDuration(Self::div_ceil_saturating(
+                        deficit as u128 * MICRO as u128,
+                        self.refill_micro_per_sec as u128,
+                    ))
+                };
             Err(retry_after)
         };
-        let (tokens, last_us) = (bucket.tokens, bucket.last_us);
+        let (tokens_micro, last_us) = (bucket.tokens_micro, bucket.last_us);
         drop(guard);
         if let Some(journal) = self.journal.get() {
             journal.append(&Fact::Mana {
                 party: party.to_owned(),
-                tokens_bits: tokens.to_bits(),
+                // The µtoken count as an integral f64 — exact below 2⁵³,
+                // so restore round-trips bit-for-bit.
+                tokens_bits: (tokens_micro as f64).to_bits(),
                 at_us: last_us,
             });
         }
@@ -179,7 +228,7 @@ impl ManaLedger {
                 guard.insert(
                     party.clone(),
                     Bucket {
-                        tokens: f64::from_bits(*tokens_bits),
+                        tokens_micro: f64::from_bits(*tokens_bits).max(0.0) as u64,
                         last_us: *at_us,
                     },
                 );
@@ -193,8 +242,14 @@ impl ManaLedger {
         self.buckets
             .lock()
             .iter()
-            .map(|(k, v)| (k.clone(), v.tokens))
+            .map(|(k, v)| (k.clone(), v.tokens_micro as f64 / MICRO as f64))
             .collect()
+    }
+}
+
+impl Default for ManaLedger {
+    fn default() -> Self {
+        Self::new(ManaConfig::default())
     }
 }
 
@@ -273,6 +328,56 @@ mod tests {
     }
 
     #[test]
+    fn exact_hint_regression_non_dyadic_rates() {
+        // Pinned ISSUE-10 counterexample: with refill 0.001/s and cost
+        // 1.3, the old f64 bucket's anchor resets accumulated rounding
+        // error so that after burn@0, refusals at t=1µs and t=13332µs,
+        // waiting *exactly* the issued hint still got refused by one ULP.
+        // Integer micro-token accounting admits it exactly at the hint.
+        let m = ManaLedger::new(ManaConfig {
+            capacity: 2.0,
+            refill_per_sec: 0.001,
+            cost_per_call: 1.3,
+        });
+        assert!(m.try_charge("A", SimDuration(0)).is_ok());
+        assert!(m.try_charge("A", SimDuration(1)).is_err());
+        let hint = m.try_charge("A", SimDuration(13_332)).unwrap_err();
+        assert!(hint.0 < u64::MAX);
+        assert!(
+            m.try_charge("A", SimDuration(13_332 + hint.0)).is_ok(),
+            "waiting exactly the hint ({}µs) must admit the call",
+            hint.0,
+        );
+        // One µs earlier must still refuse — the hint is tight, not padded.
+        let m2 = ManaLedger::new(ManaConfig {
+            capacity: 2.0,
+            refill_per_sec: 0.001,
+            cost_per_call: 1.3,
+        });
+        assert!(m2.try_charge("A", SimDuration(0)).is_ok());
+        assert!(m2.try_charge("A", SimDuration(1)).is_err());
+        let hint2 = m2.try_charge("A", SimDuration(13_332)).unwrap_err();
+        assert!(m2
+            .try_charge("A", SimDuration(13_332 + hint2.0 - 1))
+            .is_err());
+    }
+
+    #[test]
+    fn uncoverable_cost_hints_forever() {
+        // Cost above capacity: no wait ever suffices, so the hint is the
+        // same effectively-infinite sentinel the zero-refill path uses.
+        let m = ManaLedger::new(ManaConfig {
+            capacity: 1.0,
+            refill_per_sec: 2.0,
+            cost_per_call: 1.5,
+        });
+        assert_eq!(
+            m.try_charge("A", SimDuration::ZERO).unwrap_err(),
+            SimDuration(u64::MAX)
+        );
+    }
+
+    #[test]
     fn journal_spill_and_restore_round_trip() {
         let journal = Arc::new(Journal::in_memory());
         let m = ledger();
@@ -307,6 +412,44 @@ mod tests {
                 for p in ["A", "B"] {
                     let level = m.tokens(p, SimDuration(now));
                     prop_assert!((0.0..=8.0 + 1e-9).contains(&level));
+                }
+            }
+        }
+
+        /// The ISSUE-10 regression: with non-dyadic rates (1/3 token
+        /// calls against a 0.3-ish refill) and an arbitrary charge/wait
+        /// schedule, a refused party that advances sim-time by *exactly*
+        /// the hint is always admitted. The old `f64` bucket violated
+        /// this: float accumulation across anchor resets could leave the
+        /// refilled level one ULP short of the cost at `now + hint`.
+        #[test]
+        fn exact_hint_wait_is_always_admitted(
+            refill_milli in 1u64..4_000,
+            cost_milli in 1u64..3_000,
+            steps in proptest::collection::vec(0u64..700_000, 1..40),
+        ) {
+            let m = ManaLedger::new(ManaConfig {
+                capacity: 2.0,
+                refill_per_sec: refill_milli as f64 / 1_000.0,
+                cost_per_call: cost_milli as f64 / 1_000.0,
+            });
+            let mut now = 0u64;
+            for dt in steps {
+                now += dt;
+                if let Err(hint) = m.try_charge("A", SimDuration(now)) {
+                    if cost_milli > 2_000 {
+                        // Cost above capacity: uncoverable, hinted as such.
+                        prop_assert_eq!(hint.0, u64::MAX);
+                        break;
+                    }
+                    prop_assert!(hint.0 < u64::MAX);
+                    now += hint.0;
+                    prop_assert!(
+                        m.try_charge("A", SimDuration(now)).is_ok(),
+                        "refused at {}µs with hint {}µs, still refused after the exact wait",
+                        now - hint.0,
+                        hint.0,
+                    );
                 }
             }
         }

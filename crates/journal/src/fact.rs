@@ -56,7 +56,9 @@ pub enum Fact {
     Mana {
         /// The party whose bucket changed.
         party: String,
-        /// Remaining tokens, as IEEE-754 bits (`f64::to_bits`).
+        /// Remaining micro-tokens (1 token = 10⁶ µtokens), stored as the
+        /// IEEE-754 bits (`f64::to_bits`) of the integral count — exact,
+        /// since any realistic count is far below 2⁵³.
         tokens_bits: u64,
         /// Sim-time of the mutation (µs since the run epoch) — the
         /// regeneration anchor the restored ledger resumes from.

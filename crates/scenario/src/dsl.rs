@@ -1,0 +1,409 @@
+//! The declarative scenario grammar and its seeded generator.
+//!
+//! A [`Scenario`] is a *value*: a small integer-quantized description of
+//! one VO lifecycle run — party population, negotiation policy shape,
+//! ontology drift, credential-revocation storms, member churn, and the
+//! fault clauses (loss, partitions, crash windows, flow-budget caps)
+//! injected under it. Everything is integers or integer-quantized
+//! fractions so a scenario round-trips losslessly through a command line
+//! (`trustvo scenario repro …`) and shrinks by deleting clauses.
+//!
+//! Determinism contract: `Scenario::generate(seed)` is a pure function
+//! of the seed (SplitMix64 streams, like netsim's per-call decision
+//! streams), and running a scenario is a pure function of the scenario
+//! value — same seed ⇒ same scenario ⇒ byte-identical outcome.
+
+use trust_vo_netsim::rng::{hash_str, mix, SplitMix64};
+
+/// A credential-revocation storm during the operation phase: the first
+/// `revoke` members' membership certificates are revoked into the CRL
+/// (and must then fail [`verify_membership`](trust_vo_vo::operation::verify_membership)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Storm {
+    /// How many members the storm revokes (clamped to the member count).
+    pub revoke: usize,
+}
+
+/// One member-churn operation applied during the operation phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Churn {
+    /// Replace the member holding role `role` (formation protocols re-run
+    /// against the registry, old member excluded; see §5.1).
+    Replace {
+        /// Role index into the contract's role list.
+        role: usize,
+    },
+    /// Re-negotiate and re-issue the certificate of member `member`.
+    Renew {
+        /// Member index into the formed VO's member list.
+        member: usize,
+    },
+}
+
+/// A sim-time window, anchored as a percentage of a fault-free probe
+/// run's elapsed formation time (so windows land *inside* the run
+/// regardless of how the scenario's world scales).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window {
+    /// Window start: percent of the probe run's elapsed time (0–100).
+    pub start_pct: u32,
+    /// Window length in sim-milliseconds.
+    pub len_ms: u32,
+}
+
+/// A per-party flow-budget clause: a deliberately tight mana bucket at
+/// the bus boundary, provoking typed `budget_exhausted` refusals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ManaClause {
+    /// Bucket capacity in milli-tokens (1000 = one call at standard cost).
+    pub capacity_milli: u32,
+    /// Refill rate in milli-tokens per sim-second.
+    pub refill_milli: u32,
+}
+
+/// One declarative lifecycle scenario. See the module docs for the
+/// determinism contract; [`crate::run::check_scenario`] executes it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Seed for every decision stream under this scenario (fault plan,
+    /// idempotency streams, generated values).
+    pub seed: u64,
+    /// Applicant count — one contract role per applicant.
+    pub parties: usize,
+    /// Interlocking disclosure-policy chain depth per admission.
+    pub depth: usize,
+    /// Failing policy alternatives per chain level.
+    pub alternatives: usize,
+    /// Per-direction message loss, in percent (0 ⇒ a reliable plan with
+    /// zero latency; >0 ⇒ the netsim lossy profile).
+    pub loss_pct: u32,
+    /// Ontology drift: how many of the profile-exchange concept lookups
+    /// use paraphrased names that only similarity mapping resolves.
+    pub drift: usize,
+    /// Revocation storms applied during the operation phase.
+    pub storms: Vec<Storm>,
+    /// Member churn applied during the operation phase.
+    pub churn: Vec<Churn>,
+    /// Network partitions cutting off the TN service.
+    pub partitions: Vec<Window>,
+    /// Crash outages of the TN service (state wiped; sessions must
+    /// resume from durable checkpoints).
+    pub crashes: Vec<Window>,
+    /// Optional tight per-party flow budget at the bus boundary.
+    pub mana: Option<ManaClause>,
+}
+
+impl Scenario {
+    /// The smallest interesting scenario: one party, shallow chain, no
+    /// faults. The shrinker converges toward this.
+    pub fn minimal(seed: u64) -> Self {
+        Scenario {
+            seed,
+            parties: 1,
+            depth: 1,
+            alternatives: 1,
+            loss_pct: 0,
+            drift: 0,
+            storms: Vec::new(),
+            churn: Vec::new(),
+            partitions: Vec::new(),
+            crashes: Vec::new(),
+            mana: None,
+        }
+    }
+
+    /// Generate the scenario for `seed` — a pure function of the seed.
+    ///
+    /// Populations stay small (≤ 3 parties, chain depth ≤ 2) so a smoke
+    /// sweep of hundreds of scenarios, each run several ways, finishes in
+    /// seconds; the *variety* comes from clause combinations, not world
+    /// size.
+    pub fn generate(seed: u64) -> Self {
+        let mut rng = SplitMix64::new(mix(&[seed, hash_str("scenario.generate")]));
+        let parties = rng.in_range(1, 3) as usize;
+        let depth = rng.in_range(1, 2) as usize;
+        let alternatives = rng.in_range(1, 2) as usize;
+        let loss_pct = *[0u32, 0, 5, 10, 20]
+            .get(rng.in_range(0, 4) as usize)
+            .expect("index in range");
+        let drift = if rng.chance(0.4) {
+            rng.in_range(1, 4) as usize
+        } else {
+            0
+        };
+        let storms = if rng.chance(0.35) {
+            vec![Storm {
+                revoke: rng.in_range(1, parties as u64) as usize,
+            }]
+        } else {
+            Vec::new()
+        };
+        let mut churn = Vec::new();
+        if rng.chance(0.4) {
+            churn.push(Churn::Replace {
+                role: rng.in_range(0, parties as u64 - 1) as usize,
+            });
+        }
+        if rng.chance(0.25) {
+            churn.push(Churn::Renew {
+                member: rng.in_range(0, parties as u64 - 1) as usize,
+            });
+        }
+        let partitions = if rng.chance(0.25) {
+            vec![Window {
+                start_pct: rng.in_range(10, 70) as u32,
+                len_ms: rng.in_range(50, 800) as u32,
+            }]
+        } else {
+            Vec::new()
+        };
+        let crashes = if rng.chance(0.25) {
+            vec![Window {
+                start_pct: rng.in_range(20, 60) as u32,
+                len_ms: rng.in_range(200, 1_500) as u32,
+            }]
+        } else {
+            Vec::new()
+        };
+        let mana = if rng.chance(0.3) {
+            Some(ManaClause {
+                capacity_milli: rng.in_range(1_000, 4_000) as u32,
+                refill_milli: rng.in_range(500, 4_000) as u32,
+            })
+        } else {
+            None
+        };
+        Scenario {
+            seed,
+            parties,
+            depth,
+            alternatives,
+            loss_pct,
+            drift,
+            storms,
+            churn,
+            partitions,
+            crashes,
+            mana,
+        }
+    }
+
+    /// The number of *fault clauses* in the scenario: loss, partitions,
+    /// crash windows, and the mana cap. (Storms and churn are lifecycle
+    /// script steps, not injected faults.) The acceptance bar for a
+    /// shrunk repro is stated in these units.
+    pub fn fault_clauses(&self) -> usize {
+        usize::from(self.loss_pct > 0)
+            + self.partitions.len()
+            + self.crashes.len()
+            + usize::from(self.mana.is_some())
+    }
+
+    /// Whether any clause makes run behavior depend on *call arrival
+    /// order*: partitions and crash windows fire on whichever call
+    /// reaches them first, and the mana gate's bucket charges are
+    /// stateful per party. Those scenarios are only deterministic under
+    /// a serial drive, so the parallel-equivalence leg is skipped for
+    /// them (the crash row of E11 set the precedent; E14 only ever
+    /// drives the gate serially).
+    pub fn serial_only(&self) -> bool {
+        !self.partitions.is_empty() || !self.crashes.is_empty() || self.mana.is_some()
+    }
+
+    /// Render the scenario as `trustvo scenario repro` arguments —
+    /// the exact inverse of [`Scenario::from_args`].
+    pub fn repro_args(&self) -> Vec<String> {
+        let mut args = vec![
+            "--seed".into(),
+            self.seed.to_string(),
+            "--parties".into(),
+            self.parties.to_string(),
+            "--depth".into(),
+            self.depth.to_string(),
+            "--alternatives".into(),
+            self.alternatives.to_string(),
+        ];
+        if self.loss_pct > 0 {
+            args.push("--loss".into());
+            args.push(self.loss_pct.to_string());
+        }
+        if self.drift > 0 {
+            args.push("--drift".into());
+            args.push(self.drift.to_string());
+        }
+        for s in &self.storms {
+            args.push("--storm".into());
+            args.push(s.revoke.to_string());
+        }
+        for c in &self.churn {
+            args.push("--churn".into());
+            args.push(match c {
+                Churn::Replace { role } => format!("replace:{role}"),
+                Churn::Renew { member } => format!("renew:{member}"),
+            });
+        }
+        for w in &self.partitions {
+            args.push("--partition".into());
+            args.push(format!("{}:{}", w.start_pct, w.len_ms));
+        }
+        for w in &self.crashes {
+            args.push("--crash".into());
+            args.push(format!("{}:{}", w.start_pct, w.len_ms));
+        }
+        if let Some(m) = &self.mana {
+            args.push("--mana".into());
+            args.push(format!("{}:{}", m.capacity_milli, m.refill_milli));
+        }
+        args
+    }
+
+    /// The full repro command line, as printed next to a shrunk failure.
+    pub fn repro_command(&self) -> String {
+        let mut cmd = "trustvo scenario repro".to_owned();
+        for a in self.repro_args() {
+            cmd.push(' ');
+            cmd.push_str(&a);
+        }
+        cmd
+    }
+
+    /// Parse `trustvo scenario repro` arguments back into a scenario —
+    /// the exact inverse of [`Scenario::repro_args`].
+    pub fn from_args(args: &[String]) -> Result<Scenario, String> {
+        let mut s = Scenario::minimal(0);
+        let mut i = 0;
+        fn parse_pair(v: &str, flag: &str) -> Result<(u32, u32), String> {
+            let (a, b) = v
+                .split_once(':')
+                .ok_or_else(|| format!("{flag} takes A:B, got '{v}'"))?;
+            Ok((
+                a.parse().map_err(|_| format!("bad {flag} '{v}'"))?,
+                b.parse().map_err(|_| format!("bad {flag} '{v}'"))?,
+            ))
+        }
+        while i < args.len() {
+            let flag = args[i].as_str();
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("{flag} requires a value"))?;
+            match flag {
+                "--seed" => s.seed = value.parse().map_err(|_| format!("bad seed '{value}'"))?,
+                "--parties" => {
+                    s.parties = value
+                        .parse()
+                        .map_err(|_| format!("bad parties '{value}'"))?
+                }
+                "--depth" => s.depth = value.parse().map_err(|_| format!("bad depth '{value}'"))?,
+                "--alternatives" => {
+                    s.alternatives = value
+                        .parse()
+                        .map_err(|_| format!("bad alternatives '{value}'"))?
+                }
+                "--loss" => {
+                    s.loss_pct = value.parse().map_err(|_| format!("bad loss '{value}'"))?
+                }
+                "--drift" => s.drift = value.parse().map_err(|_| format!("bad drift '{value}'"))?,
+                "--storm" => s.storms.push(Storm {
+                    revoke: value.parse().map_err(|_| format!("bad storm '{value}'"))?,
+                }),
+                "--churn" => {
+                    let (kind, idx) = value
+                        .split_once(':')
+                        .ok_or_else(|| format!("--churn takes kind:index, got '{value}'"))?;
+                    let idx: usize = idx.parse().map_err(|_| format!("bad churn '{value}'"))?;
+                    s.churn.push(match kind {
+                        "replace" => Churn::Replace { role: idx },
+                        "renew" => Churn::Renew { member: idx },
+                        other => return Err(format!("unknown churn kind '{other}'")),
+                    });
+                }
+                "--partition" => {
+                    let (start_pct, len_ms) = parse_pair(value, "--partition")?;
+                    s.partitions.push(Window { start_pct, len_ms });
+                }
+                "--crash" => {
+                    let (start_pct, len_ms) = parse_pair(value, "--crash")?;
+                    s.crashes.push(Window { start_pct, len_ms });
+                }
+                "--mana" => {
+                    let (capacity_milli, refill_milli) = parse_pair(value, "--mana")?;
+                    s.mana = Some(ManaClause {
+                        capacity_milli,
+                        refill_milli,
+                    });
+                }
+                other => return Err(format!("unknown scenario flag '{other}'")),
+            }
+            i += 2;
+        }
+        if s.parties == 0 || s.depth == 0 || s.alternatives == 0 {
+            return Err("parties, depth, and alternatives must be ≥ 1".into());
+        }
+        Ok(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_a_pure_function_of_the_seed() {
+        for seed in 0..200 {
+            assert_eq!(Scenario::generate(seed), Scenario::generate(seed));
+        }
+        // And seeds actually vary the shape.
+        let distinct: std::collections::BTreeSet<String> = (0..50)
+            .map(|seed| format!("{:?}", Scenario::generate(seed)))
+            .collect();
+        assert!(
+            distinct.len() > 20,
+            "only {} distinct shapes",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn repro_args_round_trip() {
+        for seed in 0..300 {
+            let s = Scenario::generate(seed);
+            let back = Scenario::from_args(&s.repro_args()).expect("parse own args");
+            assert_eq!(s, back, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn fault_clause_accounting() {
+        let mut s = Scenario::minimal(1);
+        assert_eq!(s.fault_clauses(), 0);
+        assert!(!s.serial_only());
+        s.loss_pct = 5;
+        assert_eq!(s.fault_clauses(), 1);
+        assert!(!s.serial_only(), "loss alone is parallel-deterministic");
+        s.mana = Some(ManaClause {
+            capacity_milli: 1_000,
+            refill_milli: 500,
+        });
+        assert_eq!(s.fault_clauses(), 2);
+        assert!(s.serial_only(), "gate bucket state is order-dependent");
+        s.crashes.push(Window {
+            start_pct: 40,
+            len_ms: 300,
+        });
+        assert_eq!(s.fault_clauses(), 3);
+        assert!(s.serial_only());
+    }
+
+    #[test]
+    fn bad_args_are_rejected() {
+        let bad = |v: &[&str]| {
+            Scenario::from_args(&v.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+                .expect_err("must reject")
+        };
+        bad(&["--seed"]);
+        bad(&["--nope", "1"]);
+        bad(&["--churn", "evict:0"]);
+        bad(&["--partition", "40"]);
+        bad(&["--parties", "0"]);
+    }
+}

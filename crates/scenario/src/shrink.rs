@@ -1,0 +1,233 @@
+//! Delta-debugging shrinker: reduce a failing scenario to a minimal one
+//! that still violates the *same* property, then print it as a
+//! reproducible `trustvo scenario repro` command line.
+//!
+//! Reductions are clause deletions and dimension floors, tried
+//! harshest-first (drop the mana cap, drop windows, drop lifecycle
+//! steps, zero the loss, shrink the world). A reduction is kept only if
+//! the reduced scenario fails with the same property identifier — a
+//! different failure is a different bug and must not hijack the repro.
+//! The loop runs to a fixpoint under a run budget, so shrinking always
+//! terminates even on flapping properties.
+
+use crate::dsl::Scenario;
+use crate::run::Failure;
+
+/// The result of shrinking one failing scenario.
+#[derive(Debug, Clone)]
+pub struct Shrunk {
+    /// The minimal scenario still failing the original property.
+    pub scenario: Scenario,
+    /// The failure the minimal scenario produces.
+    pub failure: Failure,
+    /// Property checks spent shrinking.
+    pub runs: usize,
+}
+
+impl Shrunk {
+    /// The reproduction command ci prints next to the failure.
+    pub fn repro(&self) -> String {
+        self.scenario.repro_command()
+    }
+}
+
+/// Every single-step reduction of `s`, harshest-first.
+fn reductions(s: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    if s.mana.is_some() {
+        out.push(Scenario {
+            mana: None,
+            ..s.clone()
+        });
+    }
+    for list in ["partitions", "crashes", "storms", "churn"] {
+        let variants: Vec<Scenario> = match list {
+            "partitions" => (0..s.partitions.len())
+                .map(|i| {
+                    let mut c = s.clone();
+                    c.partitions.remove(i);
+                    c
+                })
+                .collect(),
+            "crashes" => (0..s.crashes.len())
+                .map(|i| {
+                    let mut c = s.clone();
+                    c.crashes.remove(i);
+                    c
+                })
+                .collect(),
+            "storms" => (0..s.storms.len())
+                .map(|i| {
+                    let mut c = s.clone();
+                    c.storms.remove(i);
+                    c
+                })
+                .collect(),
+            _ => (0..s.churn.len())
+                .map(|i| {
+                    let mut c = s.clone();
+                    c.churn.remove(i);
+                    c
+                })
+                .collect(),
+        };
+        out.extend(variants);
+    }
+    if s.loss_pct > 0 {
+        out.push(Scenario {
+            loss_pct: 0,
+            ..s.clone()
+        });
+    }
+    if s.drift > 0 {
+        out.push(Scenario {
+            drift: 0,
+            ..s.clone()
+        });
+    }
+    if s.parties > 1 {
+        out.push(Scenario {
+            parties: s.parties - 1,
+            ..s.clone()
+        });
+    }
+    if s.depth > 1 {
+        out.push(Scenario {
+            depth: 1,
+            ..s.clone()
+        });
+    }
+    if s.alternatives > 1 {
+        out.push(Scenario {
+            alternatives: 1,
+            ..s.clone()
+        });
+    }
+    out
+}
+
+/// Shrink `scenario` (which fails `check` with `failure`) to a fixpoint:
+/// no single reduction still fails the same property. `max_runs` bounds
+/// the total property checks spent.
+pub fn shrink(
+    scenario: &Scenario,
+    failure: &Failure,
+    max_runs: usize,
+    check: impl Fn(&Scenario) -> Result<crate::run::Outcome, Failure>,
+) -> Shrunk {
+    let mut current = scenario.clone();
+    let mut current_failure = failure.clone();
+    let mut runs = 0usize;
+    loop {
+        let mut reduced = false;
+        for candidate in reductions(&current) {
+            if runs >= max_runs {
+                return Shrunk {
+                    scenario: current,
+                    failure: current_failure,
+                    runs,
+                };
+            }
+            runs += 1;
+            if let Err(f) = check(&candidate) {
+                if f.property == current_failure.property {
+                    current = candidate;
+                    current_failure = f;
+                    reduced = true;
+                    break;
+                }
+            }
+        }
+        if !reduced {
+            return Shrunk {
+                scenario: current,
+                failure: current_failure,
+                runs,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::{Churn, ManaClause, Storm, Window};
+
+    /// A synthetic check failing whenever loss > 0 — shrinking must strip
+    /// every other clause and keep the loss.
+    fn loss_check(s: &Scenario) -> Result<crate::run::Outcome, Failure> {
+        if s.loss_pct > 0 {
+            Err(Failure {
+                property: "synthetic-loss".into(),
+                detail: format!("loss={}", s.loss_pct),
+            })
+        } else {
+            // A passing synthetic check; the outcome value is never read.
+            Ok(crate::run::Outcome {
+                mapped: 0,
+                formed: Err("not run".into()),
+                elapsed_us: 0,
+                delivered: 0,
+                drops: 0,
+                dups: 0,
+                dedup_replays: 0,
+                crashes: 0,
+                partitioned: 0,
+                refusals: 0,
+                service_resumed: 0,
+            })
+        }
+    }
+
+    #[test]
+    fn shrink_strips_everything_but_the_culprit() {
+        let fat = Scenario {
+            parties: 3,
+            depth: 2,
+            alternatives: 2,
+            loss_pct: 20,
+            drift: 3,
+            storms: vec![Storm { revoke: 1 }],
+            churn: vec![Churn::Replace { role: 0 }, Churn::Renew { member: 0 }],
+            partitions: vec![Window {
+                start_pct: 30,
+                len_ms: 200,
+            }],
+            crashes: vec![Window {
+                start_pct: 40,
+                len_ms: 400,
+            }],
+            mana: Some(ManaClause {
+                capacity_milli: 2_000,
+                refill_milli: 1_000,
+            }),
+            ..Scenario::minimal(5)
+        };
+        let failure = loss_check(&fat).expect_err("fat scenario fails");
+        let shrunk = shrink(&fat, &failure, 200, loss_check);
+        assert_eq!(shrunk.scenario.parties, 1);
+        assert_eq!(shrunk.scenario.depth, 1);
+        assert_eq!(shrunk.scenario.fault_clauses(), 1, "only the loss stays");
+        assert!(shrunk.scenario.loss_pct > 0);
+        assert!(shrunk.scenario.storms.is_empty());
+        assert!(shrunk.scenario.churn.is_empty());
+        assert!(shrunk.scenario.mana.is_none());
+        assert!(shrunk
+            .repro()
+            .starts_with("trustvo scenario repro --seed 5"));
+        assert!(shrunk.runs <= 200);
+    }
+
+    #[test]
+    fn shrink_respects_the_run_budget() {
+        let fat = Scenario {
+            parties: 3,
+            loss_pct: 20,
+            drift: 3,
+            ..Scenario::minimal(6)
+        };
+        let failure = loss_check(&fat).expect_err("fails");
+        let shrunk = shrink(&fat, &failure, 1, loss_check);
+        assert!(shrunk.runs <= 1, "budget must cap the search");
+    }
+}

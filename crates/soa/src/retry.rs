@@ -32,7 +32,9 @@ pub struct RetryPolicy {
     pub max_backoff: SimDuration,
     /// Total sim-time budget for one logical call: once the backoff spent
     /// on this call reaches the budget, the call fails even if attempts
-    /// remain.
+    /// remain. The boundary is inclusive — a wait that would bring the
+    /// spend exactly to the budget is refused, so `backoff_spent` stays
+    /// strictly below the budget on every path.
     pub budget: SimDuration,
 }
 
@@ -150,7 +152,7 @@ pub fn call_with_retry<T: Transport + ?Sized>(
                 if let Some(hint) = fault.retry_after_us {
                     wait = wait.max(SimDuration(hint));
                 }
-                if backoff_spent + wait > policy.budget {
+                if backoff_spent + wait >= policy.budget {
                     break Err(fault);
                 }
                 backoff_spent += wait;
@@ -289,6 +291,51 @@ mod tests {
         assert_eq!(a.attempts, 2);
         assert_eq!(a.backoff_spent, SimDuration::from_millis(100));
         assert!(a.outcome.is_err());
+    }
+
+    #[test]
+    fn budget_boundary_is_inclusive() {
+        // The schedule lands exactly on the budget: 40 ms fits, the next
+        // 80 ms wait would bring the spend to exactly 120 ms — "reaches
+        // the budget" — so the call fails after 2 attempts with 40 ms
+        // spent, instead of sleeping to the boundary and burning a third
+        // attempt.
+        let t = Flaky::new(2, Fault::transport("Timeout", "lost"));
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base_backoff: SimDuration::from_millis(40),
+            max_backoff: SimDuration::from_millis(1_000),
+            budget: SimDuration::from_millis(120),
+        };
+        let a = call_with_retry(&t, "svc", &req(), &policy);
+        assert!(a.outcome.is_err(), "reaching the budget must fail the call");
+        assert_eq!(a.attempts, 2);
+        assert_eq!(a.backoff_spent, SimDuration::from_millis(40));
+        assert_eq!(t.clock.elapsed(), SimDuration::from_millis(40));
+    }
+
+    #[test]
+    fn hint_equal_to_remaining_budget_fails_fast() {
+        // A retry-after hint exactly equal to the remaining budget: waiting
+        // it out would consume the entire allowance, so the call fails
+        // immediately without sleeping. The hint is still honored — the
+        // caller never retries before it elapses (here: never).
+        let t = Flaky::new(1, Fault::budget_exhausted("Flooder", 5_000_000));
+        let a = call_with_retry(&t, "svc", &req(), &RetryPolicy::standard());
+        assert_eq!(a.attempts, 1);
+        assert_eq!(a.backoff_spent, SimDuration::ZERO);
+        assert_eq!(t.clock.elapsed(), SimDuration::ZERO);
+        assert!(a.outcome.unwrap_err().is_budget_exhausted());
+    }
+
+    #[test]
+    fn hint_one_us_under_remaining_budget_still_retries() {
+        // One µs inside the budget: the wait is taken and the retry lands.
+        let t = Flaky::new(1, Fault::budget_exhausted("Flooder", 4_999_999));
+        let a = call_with_retry(&t, "svc", &req(), &RetryPolicy::standard());
+        assert!(a.outcome.is_ok());
+        assert_eq!(a.attempts, 2);
+        assert_eq!(a.backoff_spent, SimDuration(4_999_999));
     }
 
     #[test]

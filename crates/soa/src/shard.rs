@@ -103,11 +103,33 @@ struct Shard {
     depth: AtomicUsize,
 }
 
+/// The queues job `index` probes for a slot: its home shard first, then
+/// every other shard starting at a rotation derived from the job index.
+/// The old fixed `(home + off) % shards` order sent *all* overflow from a
+/// hot home shard to `home + 1`, re-creating the hotspot one shard over;
+/// rotating the start by `index / shards` (decorrelated from
+/// `home = index % shards`) spreads consecutive same-home overflows
+/// across every other shard.
+fn probe_order(home: usize, index: usize, shards: usize) -> impl Iterator<Item = usize> {
+    let others = shards.saturating_sub(1);
+    let start = if others > 0 {
+        (index / shards) % others
+    } else {
+        0
+    };
+    std::iter::once(home).chain((0..others).map(move |k| {
+        let off = 1 + (start + k) % others;
+        (home + off) % shards
+    }))
+}
+
 /// Run `jobs` over `config.shards` bounded queues with one stealing
 /// worker per shard, returning every job's result (and any sheds).
 ///
 /// Job `i`'s home shard is `i % shards`; a full home queue overflows to
-/// the other shards before the submission counts as refused. Workers
+/// the other shards — probed in an order rotated by the job index, so
+/// overflow from a hot shard spreads instead of herding onto `home + 1`
+/// — before the submission counts as refused. Workers
 /// drain their own queue front-first and steal from other queues
 /// back-first, so skewed job sizes rebalance instead of idling shards.
 /// Emits `bus.queue_depth` (high-water), `bus.shed`, and `bus.steals`
@@ -184,14 +206,13 @@ where
             });
         }
 
-        // Submitter: home shard first, overflow to the others, then
-        // block or shed.
+        // Submitter: home shard first, overflow to the others in
+        // index-rotated order, then block or shed.
         for i in 0..n {
             let home = i % config.shards;
             loop {
                 let mut pushed = false;
-                for off in 0..config.shards {
-                    let t = (home + off) % config.shards;
+                for t in probe_order(home, i, config.shards) {
                     let mut queue = shards[t].queue.lock();
                     if queue.len() < config.capacity {
                         queue.push_back(i);
@@ -458,6 +479,60 @@ mod tests {
         // Not asserted > 0 strictly (scheduling-dependent), but the
         // counter must at least be consistent with the run.
         assert!(run.stolen <= 64);
+    }
+
+    #[test]
+    fn probe_order_is_home_first_then_a_permutation() {
+        for shards in [1usize, 2, 3, 4, 8] {
+            for index in 0..64 {
+                let home = index % shards;
+                let order: Vec<usize> = probe_order(home, index, shards).collect();
+                assert_eq!(order.len(), shards);
+                assert_eq!(order[0], home, "home shard is always probed first");
+                let mut sorted = order.clone();
+                sorted.sort_unstable();
+                assert_eq!(
+                    sorted,
+                    (0..shards).collect::<Vec<_>>(),
+                    "every shard is probed exactly once"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overflow_first_choice_is_distributed_not_herded() {
+        // ISSUE-10 regression: consecutive jobs sharing a home shard must
+        // *not* all pick `home + 1` as their first overflow target. Count
+        // the first non-home probe across many same-home jobs.
+        let shards = 8usize;
+        let home = 3usize;
+        let mut first_choice = vec![0usize; shards];
+        let rounds = 7 * 40; // full rotation cycles, so the split is exact
+        for round in 0..rounds {
+            let index = home + round * shards; // all map to the same home
+            let t = probe_order(home, index, shards)
+                .nth(1)
+                .expect("more than one shard");
+            assert_ne!(t, home);
+            first_choice[t] += 1;
+        }
+        assert_eq!(first_choice[home], 0);
+        let max = *first_choice.iter().max().unwrap();
+        assert!(
+            max < rounds,
+            "fixed probe order would pile all {rounds} overflows onto one shard"
+        );
+        for (t, &count) in first_choice.iter().enumerate() {
+            if t == home {
+                continue;
+            }
+            assert_eq!(
+                count,
+                rounds / (shards - 1),
+                "first overflow choice must spread evenly (shard {t}: {count})"
+            );
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! trustvo lifecycle                    full lifecycle incl. operation + dissolution
 //! trustvo strategies                   compare the four strategies side by side
 //! trustvo trace <dump.jsonl> [--top k] timeline + critical path of an obs export
+//! trustvo scenario repro <flags…>      re-run a generated lifecycle scenario
 //! ```
 //!
 //! Strategies: standard (default), trusting, suspicious, strong-suspicious.
@@ -15,6 +16,11 @@
 //! binaries' `--emit-obs`), then prints for every root span its
 //! negotiation timeline, sim-time attribution table, and top-k critical
 //! path.
+//!
+//! `scenario repro` takes the flag set printed by the lifecycle fuzzer's
+//! shrinker (`fig_scenario_sweep`, `trust-vo-scenario`), rebuilds the
+//! scenario, runs every property check on it, and prints the outcome —
+//! so a shrunk failing seed reproduces outside the fuzzing harness.
 
 use trust_vo::credential::RevocationList;
 use trust_vo::negotiation::message::Side;
@@ -51,6 +57,8 @@ fn usage() -> ! {
          \x20 strategies  compare the four Trust-X strategies\n\
          \x20 trace       render an obs JSONL export: timeline, attribution, critical path\n\
          \x20             (trustvo trace <dump.jsonl> [--top <k>])\n\
+         \x20 scenario    re-run a generated lifecycle scenario and check its properties\n\
+         \x20             (trustvo scenario repro --seed <s> --parties <n> …)\n\
          strategies: standard | trusting | suspicious | strong-suspicious"
     );
     std::process::exit(2)
@@ -73,7 +81,56 @@ fn main() {
         "lifecycle" => cmd_lifecycle(strategy),
         "strategies" => cmd_strategies(),
         "trace" => cmd_trace(&args),
+        "scenario" => cmd_scenario(&args),
         _ => usage(),
+    }
+}
+
+fn cmd_scenario(args: &[String]) {
+    use trust_vo::scenario_dsl::{check_scenario, Scenario};
+    if args.get(1).map(String::as_str) != Some("repro") {
+        eprintln!("usage: trustvo scenario repro --seed <s> --parties <n> [--depth <d>] …");
+        std::process::exit(2);
+    }
+    let scenario = Scenario::from_args(&args[2..]).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    println!("scenario: {scenario:?}");
+    match check_scenario(&scenario) {
+        Ok(outcome) => {
+            match &outcome.formed {
+                Ok(formed) => {
+                    println!(
+                        "formed {} member(s) in {} ({} negotiation(s), {} retry(ies), \
+                         {} resume(s), {} restart(s)):",
+                        formed.members.len(),
+                        fmt_sim(outcome.elapsed_us),
+                        formed.negotiations,
+                        formed.retries,
+                        formed.resumes,
+                        formed.restarts,
+                    );
+                    for (provider, role, serial) in &formed.members {
+                        println!("  {provider:<12} as {role} (serial {serial})");
+                    }
+                }
+                Err(e) => println!("formation failed (a legitimate outcome): {e}"),
+            }
+            println!(
+                "network: {} delivered, {} dropped, {} crash(es), {} partitioned, {} refused",
+                outcome.delivered,
+                outcome.drops,
+                outcome.crashes,
+                outcome.partitioned,
+                outcome.refusals,
+            );
+            println!("all lifecycle properties hold");
+        }
+        Err(failure) => {
+            eprintln!("property violation: {failure}");
+            std::process::exit(1);
+        }
     }
 }
 

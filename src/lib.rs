@@ -47,6 +47,9 @@ pub use trust_vo_obs as obs;
 pub use trust_vo_ontology as ontology;
 /// X-TNL disclosure policies and compliance checking.
 pub use trust_vo_policy as policy;
+/// Seeded scenario DSL + lifecycle fuzzer: generated fault plans and VO
+/// lifecycle scripts, property checks, failure shrinking.
+pub use trust_vo_scenario as scenario_dsl;
 /// SOA substrate: envelopes, service bus, TN web service, sim-clock.
 pub use trust_vo_soa as soa;
 /// In-memory versioned document store.

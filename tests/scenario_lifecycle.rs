@@ -1,0 +1,177 @@
+//! Pinned scenario corpus: eight lifecycle scenarios — originally found
+//! by the fuzzer and shrunk by hand to the clause that makes each one
+//! interesting — checked against all four lifecycle properties, with
+//! their outcomes asserted byte-for-byte identical across two in-process
+//! runs. This is the regression net under the `trust-vo-scenario` crate:
+//! a behavior change anywhere in the formation/operation/dissolution
+//! path, the fault injector, the journal, or the admission gate shows up
+//! here as an outcome-summary diff long before it breaks a property.
+//!
+//! Every corpus entry is also a valid `trustvo scenario repro` command
+//! line (asserted via the args round trip), so any diff observed here
+//! can be replayed from a shell.
+
+use trust_vo::scenario_dsl::{check_scenario, Churn, ManaClause, Scenario, Storm, Window};
+
+/// The corpus: `(name, scenario)`. Keep these *small* — each is checked
+/// two to four ways (replay, parallel, journal cuts) per run.
+fn corpus() -> Vec<(&'static str, Scenario)> {
+    vec![
+        ("minimal", Scenario::minimal(7)),
+        (
+            // A storm revoking a member's certificate right after
+            // admission: the revoked certificate must fail verification
+            // while its peers keep verifying.
+            "revocation-after-admission",
+            Scenario {
+                parties: 2,
+                storms: vec![Storm { revoke: 1 }],
+                ..Scenario::minimal(13)
+            },
+        ),
+        (
+            // A partition cutting the TN service mid-formation (the
+            // phase-2 window of the first admissions): calls refuse with
+            // typed faults until the partition heals, then formation
+            // completes.
+            "partition-mid-formation",
+            Scenario {
+                parties: 2,
+                depth: 2,
+                loss_pct: 5,
+                partitions: vec![Window {
+                    start_pct: 50,
+                    len_ms: 800,
+                }],
+                ..Scenario::minimal(29)
+            },
+        ),
+        (
+            // Churn under load: a lossy link, then a replacement (the
+            // spare provider is admitted through a fresh negotiation)
+            // and a renewal during the operation phase.
+            "churn-and-replacement-under-load",
+            Scenario {
+                parties: 2,
+                loss_pct: 20,
+                storms: vec![Storm { revoke: 1 }],
+                churn: vec![Churn::Replace { role: 1 }, Churn::Renew { member: 0 }],
+                ..Scenario::minimal(13)
+            },
+        ),
+        (
+            // A crash outage wiping the service's volatile sessions
+            // mid-formation: the journal-backed database survives, and
+            // the clients restart their negotiations.
+            "crash-mid-formation",
+            Scenario {
+                parties: 3,
+                depth: 2,
+                loss_pct: 20,
+                crashes: vec![Window {
+                    start_pct: 40,
+                    len_ms: 900,
+                }],
+                ..Scenario::minimal(17)
+            },
+        ),
+        (
+            // An uncoverable flow budget: capacity below one call's cost,
+            // so the gate refuses every start with a u64::MAX hint and
+            // formation fails — deterministically.
+            "uncoverable-flow-budget",
+            Scenario {
+                parties: 3,
+                mana: Some(ManaClause {
+                    capacity_milli: 500,
+                    refill_milli: 700,
+                }),
+                ..Scenario::minimal(19)
+            },
+        ),
+        (
+            // Ontology drift: paraphrased concept lookups resolved by
+            // similarity mapping, feeding the outcome's `mapped` count.
+            "ontology-drift",
+            Scenario {
+                parties: 2,
+                drift: 4,
+                ..Scenario::minimal(31)
+            },
+        ),
+        (
+            // Heavy loss with deeper interlocking chains: retries and
+            // backoff all the way down, still forming.
+            "lossy-deep-chains",
+            Scenario {
+                parties: 3,
+                depth: 2,
+                alternatives: 2,
+                loss_pct: 20,
+                ..Scenario::minimal(11)
+            },
+        ),
+    ]
+}
+
+#[test]
+fn corpus_passes_and_outcomes_replay_byte_for_byte() {
+    for (name, scenario) in corpus() {
+        let first = check_scenario(&scenario)
+            .unwrap_or_else(|f| panic!("corpus '{name}' violated a property: {f}"));
+        let second = check_scenario(&scenario)
+            .unwrap_or_else(|f| panic!("corpus '{name}' violated a property on rerun: {f}"));
+        assert_eq!(
+            first.summary(),
+            second.summary(),
+            "corpus '{name}': outcome summary must be byte-identical across reruns"
+        );
+    }
+}
+
+#[test]
+fn corpus_scenarios_produce_their_expected_shapes() {
+    let outcomes: std::collections::BTreeMap<&str, _> = corpus()
+        .into_iter()
+        .map(|(name, s)| (name, check_scenario(&s).expect(name)))
+        .collect();
+
+    let formed = |name: &str| {
+        outcomes[name]
+            .formed
+            .as_ref()
+            .unwrap_or_else(|e| panic!("'{name}' must form: {e}"))
+    };
+
+    assert_eq!(formed("minimal").members.len(), 1);
+    assert_eq!(formed("revocation-after-admission").revoked, 1);
+    assert!(
+        outcomes["partition-mid-formation"].partitioned > 0,
+        "the partition window must refuse at least one call"
+    );
+    let churned = formed("churn-and-replacement-under-load");
+    assert!(
+        churned.churn[0].contains("-> Spare001"),
+        "replacement must land on the spare: {}",
+        churned.churn[0]
+    );
+    assert!(outcomes["crash-mid-formation"].crashes > 0);
+    let crashed = formed("crash-mid-formation");
+    assert!(crashed.resumes + crashed.restarts > 0);
+    assert!(outcomes["uncoverable-flow-budget"].refusals > 0);
+    assert!(outcomes["uncoverable-flow-budget"].formed.is_err());
+    assert!(outcomes["ontology-drift"].mapped >= 3);
+    assert!(formed("lossy-deep-chains").retries > 0);
+}
+
+#[test]
+fn corpus_round_trips_through_repro_command_lines() {
+    for (name, scenario) in corpus() {
+        let parsed = Scenario::from_args(&scenario.repro_args())
+            .unwrap_or_else(|e| panic!("corpus '{name}' repro args must parse: {e}"));
+        assert_eq!(parsed, scenario, "corpus '{name}' round trip");
+        assert!(scenario
+            .repro_command()
+            .starts_with("trustvo scenario repro --seed"));
+    }
+}
